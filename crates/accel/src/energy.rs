@@ -1,0 +1,145 @@
+//! Unit-energy model (STEP 4, Eq. 4).
+//!
+//! "All unit costs were derived from synthesis results corresponding to
+//! 16 nm technology, except for the DRAM access energy, which was sourced
+//! from the open-source tool DRAMPower."  We encode representative 16 nm
+//! per-access energies; the absolute values matter less than their ratios
+//! (DRAM ≫ SRAM ≫ register ≫ MAC), which set the shape of Figs. 15–17.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energies in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy of one 8×8 bit-parallel MAC.
+    pub mac_8x8_pj: f64,
+    /// Energy of one 1b×8b bit-serial multiply-accumulate step
+    /// (traditional bit-serial PE, with per-lane shifter/accumulator).
+    pub mac_bit_serial_pj: f64,
+    /// Energy of one 1b×8b bit-column-serial step (BitWave BCE lane,
+    /// add-then-shift shares the shifter across the column).
+    pub mac_bit_column_pj: f64,
+    /// Energy per byte read from on-chip SRAM.
+    pub sram_read_pj_per_byte: f64,
+    /// Energy per byte written to on-chip SRAM.
+    pub sram_write_pj_per_byte: f64,
+    /// Energy per register-file access (one operand).
+    pub reg_access_pj: f64,
+    /// Energy per byte transferred to/from off-chip DRAM (DDR3, DRAMPower).
+    pub dram_pj_per_byte: f64,
+}
+
+impl EnergyModel {
+    /// The 16 nm FinFET unit energies used throughout the reproduction.
+    ///
+    /// Ratios follow Table IV (bit-serial lanes cost ≈2.7× a bit-parallel
+    /// MAC for the same work; bit-column-serial lanes ≈0.8×) and the usual
+    /// 16 nm memory-hierarchy energy ladder (register ≪ SRAM ≪ DRAM).
+    pub fn finfet_16nm() -> Self {
+        Self {
+            mac_8x8_pj: 0.20,
+            // Eight 1b×8b bit-serial steps replace one 8×8 MAC at ~2.7× the
+            // energy → 0.20 * 2.68 / 8 per step.
+            mac_bit_serial_pj: 0.067,
+            // Bit-column-serial: ~0.80× of the bit-parallel energy per 8 steps.
+            mac_bit_column_pj: 0.020,
+            sram_read_pj_per_byte: 1.25,
+            sram_write_pj_per_byte: 1.45,
+            reg_access_pj: 0.03,
+            dram_pj_per_byte: 80.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::finfet_16nm()
+    }
+}
+
+/// Energy of one layer or one network broken down by component (Fig. 16).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// MAC / datapath energy in pJ.
+    pub compute_pj: f64,
+    /// On-chip SRAM energy in pJ.
+    pub sram_pj: f64,
+    /// Register-file energy in pJ.
+    pub register_pj: f64,
+    /// Off-chip DRAM energy in pJ.
+    pub dram_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.sram_pj + self.register_pj + self.dram_pj
+    }
+
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() / 1e9
+    }
+
+    /// Fraction of the total contributed by DRAM (the dominant term for
+    /// weight-heavy networks, Fig. 16).
+    pub fn dram_fraction(&self) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.dram_pj / total
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn accumulate(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj + other.compute_pj,
+            sram_pj: self.sram_pj + other.sram_pj,
+            register_pj: self.register_pj + other.register_pj,
+            dram_pj: self.dram_pj + other.dram_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_energy_ladder_is_ordered() {
+        let m = EnergyModel::finfet_16nm();
+        assert!(m.reg_access_pj < m.sram_read_pj_per_byte);
+        assert!(m.sram_read_pj_per_byte < m.dram_pj_per_byte);
+        assert!(m.mac_bit_column_pj < m.mac_bit_serial_pj);
+        assert_eq!(EnergyModel::default(), m);
+    }
+
+    #[test]
+    fn bit_serial_vs_parallel_energy_ratio_matches_table4() {
+        let m = EnergyModel::finfet_16nm();
+        // 8 bit-serial steps vs one 8x8 MAC: ~2.7x (Table IV power ratio).
+        let ratio = 8.0 * m.mac_bit_serial_pj / m.mac_8x8_pj;
+        assert!((2.0..3.5).contains(&ratio), "ratio {ratio}");
+        // 8 bit-column-serial steps vs one 8x8 MAC: ~0.8x.
+        let bc_ratio = 8.0 * m.mac_bit_column_pj / m.mac_8x8_pj;
+        assert!((0.6..1.0).contains(&bc_ratio), "ratio {bc_ratio}");
+    }
+
+    #[test]
+    fn breakdown_arithmetic() {
+        let a = EnergyBreakdown {
+            compute_pj: 1.0,
+            sram_pj: 2.0,
+            register_pj: 0.5,
+            dram_pj: 6.5,
+        };
+        assert_eq!(a.total_pj(), 10.0);
+        assert!((a.dram_fraction() - 0.65).abs() < 1e-12);
+        let b = a.accumulate(&a);
+        assert_eq!(b.total_pj(), 20.0);
+        assert_eq!(EnergyBreakdown::default().dram_fraction(), 0.0);
+        assert!((a.total_mj() - 1e-8).abs() < 1e-20);
+    }
+}

@@ -1,0 +1,239 @@
+//! STEP 2: per-layer sparsity statistics and compression ratios, including
+//! the load-imbalance adjustment.
+//!
+//! The paper adjusts the raw sparsity statistics "to accommodate for load
+//! imbalance in the runtime scheduled accelerators": a bit-serial lane that
+//! skips zero bits still has to wait for the slowest lane in its
+//! synchronisation group, so the *effective* number of processed bits per
+//! weight is the expected maximum over the group rather than the mean.  We
+//! compute those maxima directly from the (synthetic) weight tensors instead
+//! of assuming a distribution.
+
+use bitwave_core::compress::{BcsCodec, CsrCodec, WeightCodec, ZreCodec};
+use bitwave_core::group::{extract_groups, GroupSize};
+use bitwave_core::stats::LayerSparsityStats;
+use bitwave_tensor::bits::{nonzero_column_count, Encoding};
+use bitwave_tensor::QuantTensor;
+use serde::{Deserialize, Serialize};
+
+/// Synchronisation width assumed for Pragmatic's bit-serial lanes.
+pub const PRAGMATIC_SYNC_LANES: usize = 16;
+/// Synchronisation width assumed for Bitlet's bit-interleaving pipeline.
+pub const BITLET_SYNC_LANES: usize = 64;
+/// Number of weight groups that share one column schedule in BitWave
+/// (one 64-bit packed segment holds 8 groups of 8 channels, Fig. 10).
+pub const BITWAVE_SYNC_GROUPS: usize = 8;
+
+/// Sparsity statistics of one layer as consumed by the performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerSparsityProfile {
+    /// Fraction of zero-valued weights (`Sw`).
+    pub weight_value_sparsity: f64,
+    /// Fraction of zero-valued input activations (`Sa`).
+    pub activation_value_sparsity: f64,
+    /// Fraction of zero weight bits in two's complement (`Sw,b`).
+    pub weight_bit_sparsity_tc: f64,
+    /// Fraction of zero weight bits in sign-magnitude.
+    pub weight_bit_sparsity_sm: f64,
+    /// Group (column) size used for the BCS statistics.
+    pub group_size: usize,
+    /// Mean non-zero bit-columns per group (sign-magnitude, 0..=8).
+    pub mean_nonzero_columns: f64,
+    /// Mean over the layer of the *maximum* non-zero column count across the
+    /// [`BITWAVE_SYNC_GROUPS`] groups processed in lockstep — the effective
+    /// per-group cycle count before Bit-Flip balances the workload.
+    pub max_nonzero_columns_synced: f64,
+    /// Mean non-zero bits per weight in two's complement (0..=8).
+    pub mean_nonzero_bits_tc: f64,
+    /// Effective bits per weight for Pragmatic (max over 16 synced lanes).
+    pub max_nonzero_bits_sync16: f64,
+    /// Effective bits per weight for Bitlet (max over 64 synced lanes).
+    pub max_nonzero_bits_sync64: f64,
+    /// BCS weight compression ratio including index overhead.
+    pub bcs_compression_ratio: f64,
+    /// ZRE weight compression ratio including index overhead (SCNN).
+    pub zre_compression_ratio: f64,
+    /// CSR weight compression ratio including index overhead.
+    pub csr_compression_ratio: f64,
+}
+
+impl LayerSparsityProfile {
+    /// Analyses a weight tensor (plus the layer's expected activation value
+    /// sparsity) at the given group size.
+    pub fn from_weights(
+        weights: &QuantTensor,
+        activation_value_sparsity: f64,
+        group_size: GroupSize,
+    ) -> Self {
+        let stats = LayerSparsityStats::analyze(weights, group_size);
+        let groups = extract_groups(weights, group_size);
+
+        // Non-zero columns per group, and the synced maximum over chunks of
+        // BITWAVE_SYNC_GROUPS groups.
+        let column_counts: Vec<u32> = groups
+            .iter()
+            .map(|g| nonzero_column_count(g, Encoding::SignMagnitude))
+            .collect();
+        let mean_nonzero_columns = mean_u32(&column_counts);
+        let max_nonzero_columns_synced = mean_of_chunk_max(&column_counts, BITWAVE_SYNC_GROUPS);
+
+        // Non-zero bits per weight (two's complement) and their synced maxima.
+        let bit_counts: Vec<u32> = weights
+            .data()
+            .iter()
+            .map(|&w| (w as u8).count_ones())
+            .collect();
+        let mean_nonzero_bits_tc = mean_u32(&bit_counts);
+        let max_nonzero_bits_sync16 = mean_of_chunk_max(&bit_counts, PRAGMATIC_SYNC_LANES);
+        let max_nonzero_bits_sync64 = mean_of_chunk_max(&bit_counts, BITLET_SYNC_LANES);
+
+        let data = weights.data();
+        let bcs = BcsCodec::new(group_size, Encoding::SignMagnitude)
+            .compress_groups(groups.iter(), groups.padded_len());
+        let zre = ZreCodec::default().compress(data);
+        let csr = CsrCodec::new(weights.shape().dim(weights.shape().rank() - 1).max(2)).compress(data);
+
+        Self {
+            weight_value_sparsity: stats.value_sparsity,
+            activation_value_sparsity: activation_value_sparsity.clamp(0.0, 1.0),
+            weight_bit_sparsity_tc: stats.bit_sparsity_twos_complement,
+            weight_bit_sparsity_sm: stats.bit_sparsity_sign_magnitude,
+            group_size: group_size.len(),
+            mean_nonzero_columns,
+            max_nonzero_columns_synced,
+            mean_nonzero_bits_tc,
+            max_nonzero_bits_sync16,
+            max_nonzero_bits_sync64,
+            bcs_compression_ratio: bcs.compression_ratio_with_index(),
+            zre_compression_ratio: zre.compression_ratio_with_index(),
+            csr_compression_ratio: csr.compression_ratio_with_index(),
+        }
+    }
+
+    /// A fully dense profile (no sparsity anywhere) — the behaviour every
+    /// accelerator degenerates to on incompressible weights.
+    pub fn dense(group_size: usize) -> Self {
+        Self {
+            weight_value_sparsity: 0.0,
+            activation_value_sparsity: 0.0,
+            weight_bit_sparsity_tc: 0.0,
+            weight_bit_sparsity_sm: 0.0,
+            group_size,
+            mean_nonzero_columns: 8.0,
+            max_nonzero_columns_synced: 8.0,
+            mean_nonzero_bits_tc: 8.0,
+            max_nonzero_bits_sync16: 8.0,
+            max_nonzero_bits_sync64: 8.0,
+            bcs_compression_ratio: 1.0,
+            zre_compression_ratio: 1.0,
+            csr_compression_ratio: 1.0,
+        }
+    }
+}
+
+fn mean_u32(values: &[u32]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().map(|&v| f64::from(v)).sum::<f64>() / values.len() as f64
+}
+
+/// Mean of per-chunk maxima: the effective per-item cost when `chunk` items
+/// are processed in lockstep and the slowest one gates the group.
+fn mean_of_chunk_max(values: &[u32], chunk: usize) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let chunk = chunk.max(1);
+    let mut total = 0.0f64;
+    let mut chunks = 0usize;
+    for c in values.chunks(chunk) {
+        total += f64::from(*c.iter().max().expect("non-empty chunk"));
+        chunks += 1;
+    }
+    total / chunks as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitwave_dnn::models::{bert_base, resnet18};
+    use bitwave_dnn::weights::generate_layer_sample;
+
+    fn resnet_profile() -> LayerSparsityProfile {
+        let net = resnet18();
+        let layer = net.layer("layer3.0.conv1").unwrap();
+        let w = generate_layer_sample(layer, 3, 60_000);
+        LayerSparsityProfile::from_weights(&w, layer.expected_activation_sparsity(), GroupSize::G8)
+    }
+
+    #[test]
+    fn profile_fields_are_consistent() {
+        let p = resnet_profile();
+        assert!(p.weight_value_sparsity < p.weight_bit_sparsity_tc);
+        assert!(p.weight_bit_sparsity_sm > p.weight_bit_sparsity_tc);
+        assert!((0.0..=8.0).contains(&p.mean_nonzero_columns));
+        // Synced maxima are never better than the mean.
+        assert!(p.max_nonzero_columns_synced >= p.mean_nonzero_columns);
+        assert!(p.max_nonzero_bits_sync16 >= p.mean_nonzero_bits_tc);
+        assert!(p.max_nonzero_bits_sync64 >= p.max_nonzero_bits_sync16);
+        assert!(p.bcs_compression_ratio > 1.0);
+        assert_eq!(p.activation_value_sparsity, 0.5);
+        assert_eq!(p.group_size, 8);
+    }
+
+    #[test]
+    fn bcs_outcompresses_value_codecs_on_low_value_sparsity_layers() {
+        // The Fig. 5 observation: with little value sparsity, BCS wins.
+        let p = resnet_profile();
+        assert!(p.weight_value_sparsity < 0.4);
+        assert!(p.bcs_compression_ratio > p.zre_compression_ratio);
+        assert!(p.bcs_compression_ratio > p.csr_compression_ratio);
+    }
+
+    #[test]
+    fn bert_profile_has_little_column_sparsity() {
+        let net = bert_base();
+        let layer = net.layer("bert.encoder.layer.5.attention.v").unwrap();
+        let w = generate_layer_sample(layer, 3, 60_000);
+        let p = LayerSparsityProfile::from_weights(&w, 0.0, GroupSize::G8);
+        assert!(p.mean_nonzero_columns > 6.0, "got {}", p.mean_nonzero_columns);
+        assert!(p.bcs_compression_ratio < 1.4);
+        assert_eq!(p.activation_value_sparsity, 0.0);
+    }
+
+    #[test]
+    fn dense_profile_is_neutral() {
+        let p = LayerSparsityProfile::dense(16);
+        assert_eq!(p.mean_nonzero_columns, 8.0);
+        assert_eq!(p.bcs_compression_ratio, 1.0);
+        assert_eq!(p.weight_value_sparsity, 0.0);
+        assert_eq!(p.group_size, 16);
+    }
+
+    #[test]
+    fn chunk_max_helpers() {
+        assert_eq!(mean_u32(&[]), 0.0);
+        assert_eq!(mean_of_chunk_max(&[], 4), 0.0);
+        assert_eq!(mean_u32(&[2, 4, 6]), 4.0);
+        // Chunks of 2: max(1,5)=5, max(2,2)=2 -> mean 3.5.
+        assert_eq!(mean_of_chunk_max(&[1, 5, 2, 2], 2), 3.5);
+        // Chunk of 1 degenerates to the mean.
+        assert_eq!(mean_of_chunk_max(&[1, 5, 2, 2], 1), 2.5);
+    }
+
+    #[test]
+    fn bitflipped_weights_reduce_synced_column_count() {
+        use bitwave_core::bitflip::flip_tensor;
+        let net = resnet18();
+        let layer = net.layer("layer4.0.conv1").unwrap();
+        let w = generate_layer_sample(layer, 3, 60_000);
+        let before =
+            LayerSparsityProfile::from_weights(&w, 0.5, GroupSize::G16);
+        let (flipped, _) = flip_tensor(&w, GroupSize::G16, 5, Encoding::SignMagnitude);
+        let after = LayerSparsityProfile::from_weights(&flipped, 0.5, GroupSize::G16);
+        assert!(after.max_nonzero_columns_synced <= 3.0 + 1e-9);
+        assert!(after.max_nonzero_columns_synced < before.max_nonzero_columns_synced);
+        assert!(after.bcs_compression_ratio > before.bcs_compression_ratio);
+    }
+}

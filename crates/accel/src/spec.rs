@@ -1,0 +1,410 @@
+//! Accelerator specifications (Fig. 12 right).
+//!
+//! All accelerators are normalised to an equivalent compute budget — 512
+//! 8b×8b bit-parallel PEs or 4096 1b×8b bit-serial lanes — and the common
+//! 256 KB + 256 KB SRAM hierarchy, exactly as the paper's comparison
+//! methodology requires ("all systems should be compared with an equivalent
+//! number of processing elements, and memory hierarchy").
+
+use bitwave_dataflow::su::{baseline_su, SpatialUnrolling};
+use bitwave_dataflow::SuSet;
+use serde::Serialize;
+
+/// The accelerators modelled in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum AcceleratorKind {
+    /// Dense bit-parallel reference with the fixed `[Ku=64, Cu=64]` mapping.
+    Dense,
+    /// HUAA: bit-parallel, dynamic dataflow, no sparsity handling.
+    Huaa,
+    /// Stripes: bit-serial, no bit-level sparsity skipping.
+    Stripes,
+    /// Pragmatic: bit-serial, skips zero weight bits (two's complement).
+    Pragmatic,
+    /// SCNN: bit-parallel, skips zero weight *and* activation values,
+    /// ZRE-compressed weights.
+    Scnn,
+    /// Bitlet: bit-interleaved weight-bit-sparsity accelerator.
+    Bitlet,
+    /// BitWave (this paper): bit-column-serial, dynamic dataflow,
+    /// sign-magnitude BCS compression, optional Bit-Flip.
+    BitWave,
+}
+
+impl AcceleratorKind {
+    /// Display name used in the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AcceleratorKind::Dense => "Dense",
+            AcceleratorKind::Huaa => "HUAA",
+            AcceleratorKind::Stripes => "Stripes",
+            AcceleratorKind::Pragmatic => "Pragmatic",
+            AcceleratorKind::Scnn => "SCNN",
+            AcceleratorKind::Bitlet => "Bitlet",
+            AcceleratorKind::BitWave => "BitWave",
+        }
+    }
+}
+
+/// How the PE datapath processes operand bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PeStyle {
+    /// Full 8×8 multipliers, one MAC per PE per cycle.
+    BitParallel,
+    /// 1b×8b multipliers, weights streamed bit-serially (8 cycles per dense
+    /// MAC), possibly skipping zero bits.
+    BitSerial,
+    /// BitWave's bit-column-serial datapath: 1b×8b sign-magnitude multipliers
+    /// sharing one shifter per group, skipping zero bit-columns.
+    BitColumnSerial,
+}
+
+/// Which sparsity an accelerator can exploit to skip compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct SparsitySupport {
+    /// Skips zero-valued weights.
+    pub weight_value: bool,
+    /// Skips zero-valued activations.
+    pub activation_value: bool,
+    /// Skips zero weight bits (two's complement).
+    pub weight_bit: bool,
+    /// Skips zero weight bit-columns (sign-magnitude, BitWave).
+    pub weight_bit_column: bool,
+}
+
+/// Weight compression applied to DRAM/SRAM weight traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum WeightCompression {
+    /// Uncompressed Int8 weights.
+    None,
+    /// Zero run-length encoding (SCNN).
+    Zre,
+    /// BitWave's bit-column-sparsity compression.
+    Bcs,
+}
+
+/// Which of BitWave's incremental optimisations are enabled — the Fig. 13
+/// breakdown steps (Dense → +DF → +SM → +BF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BitwaveOptimizations {
+    /// Dynamic dataflow (per-layer SU selection).
+    pub dynamic_dataflow: bool,
+    /// Sign-magnitude bit-column-serial compute and BCS compression.
+    pub sign_magnitude_bcs: bool,
+    /// Bit-Flip post-training enhancement.
+    pub bit_flip: bool,
+}
+
+impl BitwaveOptimizations {
+    /// All optimisations on (the full "BitWave+DF+SM+BF" configuration).
+    pub fn all() -> Self {
+        Self {
+            dynamic_dataflow: true,
+            sign_magnitude_bcs: true,
+            bit_flip: true,
+        }
+    }
+
+    /// Only dynamic dataflow (Fig. 13 "DF").
+    pub fn dataflow_only() -> Self {
+        Self {
+            dynamic_dataflow: true,
+            sign_magnitude_bcs: false,
+            bit_flip: false,
+        }
+    }
+
+    /// Dynamic dataflow + sign-magnitude BCS (Fig. 13 "DF+SM").
+    pub fn dataflow_sm() -> Self {
+        Self {
+            dynamic_dataflow: true,
+            sign_magnitude_bcs: true,
+            bit_flip: false,
+        }
+    }
+}
+
+/// A complete accelerator configuration for the performance model.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AcceleratorSpec {
+    /// Which accelerator this is.
+    pub kind: AcceleratorKind,
+    /// Display label (lets several BitWave variants coexist in one figure).
+    pub label: String,
+    /// Datapath style.
+    pub pe_style: PeStyle,
+    /// Selectable spatial unrollings (one entry for fixed-dataflow machines).
+    pub su_set: SuSet,
+    /// Sparsity skipping capabilities.
+    pub sparsity: SparsitySupport,
+    /// Weight compression scheme for memory traffic.
+    pub compression: WeightCompression,
+    /// Number of lanes that must stay bit-synchronised when skipping zero
+    /// bits (drives the load-imbalance penalty of Pragmatic/Bitlet; 1 means
+    /// no synchronisation constraint).
+    pub sync_lanes: usize,
+    /// DRAM bandwidth in bits per cycle.
+    pub dram_bandwidth_bits: usize,
+    /// On-chip activation SRAM bandwidth in bits per cycle.
+    pub act_sram_bandwidth_bits: usize,
+    /// On-chip weight SRAM bandwidth in bits per cycle.
+    pub weight_sram_bandwidth_bits: usize,
+    /// BitWave-only optimisation toggles (ignored by other kinds).
+    pub bitwave_opts: BitwaveOptimizations,
+}
+
+/// Peak equivalent 8b×8b MAC throughput shared by every modelled accelerator
+/// (512 PEs, Section IV-C).
+pub const EQUIVALENT_BIT_PARALLEL_PES: usize = 512;
+
+/// Bit-serial lane count equivalent to [`EQUIVALENT_BIT_PARALLEL_PES`].
+pub const BIT_SERIAL_LANES: usize = 4096;
+
+impl AcceleratorSpec {
+    fn common(kind: AcceleratorKind, pe_style: PeStyle, su_set: SuSet) -> Self {
+        Self {
+            label: kind.name().to_string(),
+            kind,
+            pe_style,
+            su_set,
+            sparsity: SparsitySupport::default(),
+            compression: WeightCompression::None,
+            sync_lanes: 1,
+            dram_bandwidth_bits: 64,
+            act_sram_bandwidth_bits: 1024,
+            weight_sram_bandwidth_bits: 1024,
+            bitwave_opts: BitwaveOptimizations {
+                dynamic_dataflow: false,
+                sign_magnitude_bcs: false,
+                bit_flip: false,
+            },
+        }
+    }
+
+    /// The dense reference of Fig. 13: the BitWave array with the fixed
+    /// `[Ku=64, Cu=64]` mapping and none of the paper's optimisations
+    /// enabled (all 8 bit columns are processed, weights uncompressed).
+    pub fn dense() -> Self {
+        Self::common(
+            AcceleratorKind::Dense,
+            PeStyle::BitColumnSerial,
+            SuSet::dense(),
+        )
+    }
+
+    /// HUAA: dense bit-parallel (512 8×8 PEs) with dynamic dataflow.
+    pub fn huaa() -> Self {
+        let set = SuSet {
+            name: "HUAA".to_string(),
+            options: vec![
+                baseline_su::XY_512,
+                baseline_su::CK_512,
+                baseline_su::XFX_512,
+                SpatialUnrolling::cxk("HUAA-K64", 8, 1, 64),
+                SpatialUnrolling {
+                    name: "HUAA-DW",
+                    c: 1,
+                    k: 1,
+                    ox: 8,
+                    oy: 1,
+                    fx: 1,
+                    fy: 1,
+                    g: 64,
+                },
+            ],
+        };
+        Self::common(AcceleratorKind::Huaa, PeStyle::BitParallel, set)
+    }
+
+    /// Stripes: bit-serial, sparsity-unaware.
+    pub fn stripes() -> Self {
+        Self::common(
+            AcceleratorKind::Stripes,
+            PeStyle::BitSerial,
+            SuSet::fixed(baseline_su::CK_4096),
+        )
+    }
+
+    /// Pragmatic: bit-serial with zero-weight-bit skipping.
+    pub fn pragmatic() -> Self {
+        let mut spec = Self::common(
+            AcceleratorKind::Pragmatic,
+            PeStyle::BitSerial,
+            SuSet::fixed(baseline_su::CK_4096),
+        );
+        spec.sparsity.weight_bit = true;
+        // 16 serial lanes share one bit scheduler and must sync.
+        spec.sync_lanes = 16;
+        spec
+    }
+
+    /// SCNN: value-sparsity aware with ZRE-compressed weights.
+    pub fn scnn() -> Self {
+        let mut spec = Self::common(
+            AcceleratorKind::Scnn,
+            PeStyle::BitParallel,
+            SuSet::fixed(SpatialUnrolling {
+                // SCNN's cartesian-product dataflow: 4 weights (different K)
+                // x 4 activations (different output positions) per PE,
+                // 32 PEs tiling the output map.
+                name: "SCNN-IxF",
+                c: 1,
+                k: 4,
+                ox: 16,
+                oy: 8,
+                fx: 1,
+                fy: 1,
+                g: 1,
+            }),
+        );
+        spec.sparsity.weight_value = true;
+        spec.sparsity.activation_value = true;
+        spec.compression = WeightCompression::Zre;
+        spec
+    }
+
+    /// Bitlet: bit-interleaving weight-bit-sparsity accelerator.
+    pub fn bitlet() -> Self {
+        let mut spec = Self::common(
+            AcceleratorKind::Bitlet,
+            PeStyle::BitSerial,
+            SuSet::fixed(baseline_su::CK_4096),
+        );
+        spec.sparsity.weight_bit = true;
+        // Bitlet interleaves bits across 64 lanes that fill a common pipeline.
+        spec.sync_lanes = 64;
+        spec
+    }
+
+    /// BitWave with a chosen subset of its optimisations (Fig. 13 steps).
+    pub fn bitwave(opts: BitwaveOptimizations) -> Self {
+        let su_set = if opts.dynamic_dataflow {
+            SuSet::bitwave()
+        } else {
+            SuSet::dense()
+        };
+        let mut spec = Self::common(AcceleratorKind::BitWave, PeStyle::BitColumnSerial, su_set);
+        // Eight groups share one packed 64-bit weight segment and therefore
+        // one column schedule (Fig. 10).
+        spec.sync_lanes = 8;
+        spec.label = match (opts.dynamic_dataflow, opts.sign_magnitude_bcs, opts.bit_flip) {
+            (true, true, true) => "BitWave+DF+SM+BF".to_string(),
+            (true, true, false) => "BitWave+DF+SM".to_string(),
+            (true, false, false) => "BitWave+DF".to_string(),
+            _ => "BitWave".to_string(),
+        };
+        spec.sparsity.weight_bit_column = opts.sign_magnitude_bcs;
+        spec.compression = if opts.sign_magnitude_bcs {
+            WeightCompression::Bcs
+        } else {
+            WeightCompression::None
+        };
+        spec.bitwave_opts = opts;
+        spec
+    }
+
+    /// The full comparison set of Fig. 14/15/17, in plotting order.
+    pub fn sota_comparison_set() -> Vec<AcceleratorSpec> {
+        vec![
+            Self::scnn(),
+            Self::stripes(),
+            Self::pragmatic(),
+            Self::bitlet(),
+            Self::huaa(),
+            Self::bitwave(BitwaveOptimizations::all()),
+        ]
+    }
+
+    /// Equivalent peak 8b×8b MACs per cycle of the machine (the same for all
+    /// modelled accelerators by construction).
+    pub fn peak_equivalent_macs_per_cycle(&self) -> usize {
+        EQUIVALENT_BIT_PARALLEL_PES
+    }
+
+    /// True if the datapath needs multiple cycles per dense 8-bit MAC.
+    pub fn is_bit_serial(&self) -> bool {
+        matches!(self.pe_style, PeStyle::BitSerial | PeStyle::BitColumnSerial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_kinds() {
+        assert_eq!(AcceleratorKind::BitWave.name(), "BitWave");
+        assert_eq!(AcceleratorKind::Scnn.name(), "SCNN");
+        assert_eq!(AcceleratorSpec::dense().label, "Dense");
+        assert_eq!(
+            AcceleratorSpec::bitwave(BitwaveOptimizations::all()).label,
+            "BitWave+DF+SM+BF"
+        );
+        assert_eq!(
+            AcceleratorSpec::bitwave(BitwaveOptimizations::dataflow_only()).label,
+            "BitWave+DF"
+        );
+    }
+
+    #[test]
+    fn sparsity_capabilities_match_the_paper_table() {
+        assert!(AcceleratorSpec::scnn().sparsity.weight_value);
+        assert!(AcceleratorSpec::scnn().sparsity.activation_value);
+        assert!(!AcceleratorSpec::scnn().sparsity.weight_bit);
+        assert!(AcceleratorSpec::pragmatic().sparsity.weight_bit);
+        assert!(AcceleratorSpec::bitlet().sparsity.weight_bit);
+        assert!(!AcceleratorSpec::stripes().sparsity.weight_bit);
+        assert!(AcceleratorSpec::bitwave(BitwaveOptimizations::all())
+            .sparsity
+            .weight_bit_column);
+        assert!(!AcceleratorSpec::bitwave(BitwaveOptimizations::dataflow_only())
+            .sparsity
+            .weight_bit_column);
+    }
+
+    #[test]
+    fn compression_assignment() {
+        assert_eq!(AcceleratorSpec::scnn().compression, WeightCompression::Zre);
+        assert_eq!(
+            AcceleratorSpec::bitwave(BitwaveOptimizations::all()).compression,
+            WeightCompression::Bcs
+        );
+        assert_eq!(AcceleratorSpec::stripes().compression, WeightCompression::None);
+    }
+
+    #[test]
+    fn dynamic_dataflow_machines_have_multiple_sus() {
+        assert!(AcceleratorSpec::huaa().su_set.options.len() > 1);
+        assert!(AcceleratorSpec::bitwave(BitwaveOptimizations::all()).su_set.options.len() == 7);
+        assert_eq!(AcceleratorSpec::stripes().su_set.options.len(), 1);
+        assert_eq!(
+            AcceleratorSpec::bitwave(BitwaveOptimizations {
+                dynamic_dataflow: false,
+                sign_magnitude_bcs: true,
+                bit_flip: false
+            })
+            .su_set
+            .options
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn comparison_set_order() {
+        let set = AcceleratorSpec::sota_comparison_set();
+        let names: Vec<&str> = set.iter().map(|s| s.kind.name()).collect();
+        assert_eq!(
+            names,
+            vec!["SCNN", "Stripes", "Pragmatic", "Bitlet", "HUAA", "BitWave"]
+        );
+    }
+
+    #[test]
+    fn bit_serial_flags() {
+        assert!(AcceleratorSpec::stripes().is_bit_serial());
+        assert!(AcceleratorSpec::bitwave(BitwaveOptimizations::all()).is_bit_serial());
+        assert!(!AcceleratorSpec::huaa().is_bit_serial());
+        assert_eq!(AcceleratorSpec::dense().peak_equivalent_macs_per_cycle(), 512);
+    }
+}

@@ -1,0 +1,62 @@
+//! Regenerates Fig. 9 (PE utilisation across layer shapes), Table I (SU
+//! bandwidths) and Fig. 12 (workload summary), then benchmarks the per-layer
+//! mapping search.
+
+use bitwave::experiments::hardware::{
+    fig09_pe_utilization, fig12_workload_summary, table01_su_bandwidth,
+};
+use bitwave_bench::{bench_context, print_header};
+use bitwave_dataflow::mapping::map_network;
+use bitwave_dataflow::SuSet;
+use bitwave_dnn::models::mobilenet_v2;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_figures() {
+    let ctx = bench_context();
+
+    print_header("table01_su_bandwidth", "Table I (BitWave spatial unrollings)");
+    for row in table01_su_bandwidth() {
+        println!(
+            "{:<4} [Cu={:<2} OXu={:<2} Ku={:<3} Gu={:<2}]  W BW {:>5} b/cyc  Act BW {:>5} b/cyc",
+            row.su, row.unrolling[0], row.unrolling[1], row.unrolling[2], row.unrolling[3],
+            row.weight_bw_bits, row.activation_bw_bits
+        );
+    }
+
+    print_header("fig09_pe_utilization", "Fig. 9 (fixed-SU utilisation across layer shapes)");
+    for row in fig09_pe_utilization(&ctx) {
+        println!(
+            "{:<34} {:<10} {:>5} lanes   {:>5.1}%",
+            row.case,
+            row.su,
+            row.array_lanes,
+            100.0 * row.utilization
+        );
+    }
+
+    print_header("fig12_benchmark_configs", "Fig. 12 (workload summary)");
+    for row in fig12_workload_summary() {
+        println!(
+            "{:<12} {:?}  {:>3} layers  {:>6.2} GFLOPs  {:>7.2} M params  baseline quality {:>6.2}",
+            row.name, row.task, row.layers, row.gflops, row.params_millions, row.baseline_quality
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figures();
+
+    let net = mobilenet_v2();
+    let set = SuSet::bitwave();
+    c.bench_function("kernel/map_mobilenet_v2_onto_bitwave_sus", |b| {
+        b.iter(|| black_box(map_network(black_box(&net.layers), black_box(&set))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Regenerates Table III (SotA specification comparison), Table IV (PE-type
+//! area/power) and Fig. 18 (BitWave area/power breakdown), plus the
+//! analytical-model-vs-simulator validation of Section V-B, then benchmarks
+//! the validation workload.
+
+use bitwave::experiments::evaluation::validation_model_vs_simulator;
+use bitwave::experiments::hardware::{
+    fig18_area_power_breakdown, table03_sota_comparison, table04_pe_cost,
+};
+use bitwave_bench::{bench_context, print_header};
+use bitwave_sim::engine::{BitwaveEngine, EngineConfig};
+use bitwave_tensor::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_tables() {
+    print_header("table03_sota_comparison", "Table III (normalised to 28 nm)");
+    for row in table03_sota_comparison() {
+        println!(
+            "{:<10} {:>4.0} nm  area {:>8} mm²  power {:>9} mW  eff {:>7} TOPS/W  (28nm area {:>7}, 28nm GOPS/W/mm² {:>8})",
+            row.design,
+            row.technology_nm,
+            row.area_mm2.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
+            row.power_mw.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into()),
+            row.tops_per_w.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
+            row.normalized_area_mm2(28.0).map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
+            row.normalized_area_efficiency(28.0).map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    print_header("table04_pe_cost", "Table IV (bit-parallel vs bit-serial vs bit-column-serial PE)");
+    for row in table04_pe_cost() {
+        println!("{:<36} power {:>9.3e} mW  area {:>8.3} um²", row.pe_type, row.power_mw, row.area_um2);
+    }
+
+    print_header("fig18_area_power_breakdown", "Fig. 18 (BitWave area and power breakdown)");
+    for row in fig18_area_power_breakdown() {
+        println!(
+            "{:<28} area {:>6.3} mm² ({:>5.1}%)   power {:>6.2} mW ({:>5.1}%)",
+            row.module,
+            row.area_mm2,
+            100.0 * row.area_fraction,
+            row.power_mw,
+            100.0 * row.power_fraction
+        );
+    }
+
+    print_header("validation_model_vs_sim", "Section V-B (analytical model vs cycle-level simulator)");
+    let report = validation_model_vs_simulator(&bench_context());
+    println!(
+        "simulated {:>8} cycles   modelled {:>10.1} cycles   deviation {:>5.2}%  (paper bound 6%)",
+        report.simulated_cycles,
+        report.model_cycles,
+        100.0 * report.deviation
+    );
+    println!(
+        "simulated CR {:.2}x   modelled CR {:.2}x",
+        report.simulated_compression_ratio, report.model_compression_ratio
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+
+    let gen = WeightGenerator::new(WeightDistribution::Laplacian { scale: 0.02 }, 11);
+    let weights = quantize_per_tensor(&gen.generate(Shape::d2(64, 256)), 8).unwrap();
+    let acts = quantize_per_tensor(
+        &ActivationGenerator::new(bitwave_tensor::synth::ActivationKind::Relu { std: 1.0 }, 12)
+            .generate(Shape::d2(16, 256)),
+        8,
+    )
+    .unwrap();
+    let engine = BitwaveEngine::new(EngineConfig::su1());
+    c.bench_function("kernel/cycle_sim_matmul_16x64x256", |b| {
+        b.iter(|| black_box(engine.run_matmul(black_box(&acts), black_box(&weights)).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Regenerates Fig. 1 (sparsity survey), Fig. 4 (representation study) and
+//! Fig. 5 (compression-ratio sweep), then benchmarks the underlying sparsity
+//! analysis and BCS compression kernels.
+
+use bitwave::experiments::sparsity::{
+    fig01_sparsity_survey, fig04_bcs_representation, fig05_compression_ratio,
+};
+use bitwave_bench::{bench_context, print_header};
+use bitwave_core::compress::{BcsCodec, WeightCodec};
+use bitwave_core::group::GroupSize;
+use bitwave_core::stats::LayerSparsityStats;
+use bitwave_dnn::models::resnet18;
+use bitwave_dnn::weights::generate_layer_sample;
+use bitwave_tensor::bits::Encoding;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_figures() {
+    let ctx = bench_context();
+
+    print_header("fig01_sparsity_survey", "Fig. 1 (value vs bit sparsity, SR ratios)");
+    for row in fig01_sparsity_survey(&ctx) {
+        println!(
+            "{:<12} value {:>5.1}%  bit(2C) {:>5.1}%  bit(SM) {:>5.1}%  SR(2C) {:>5.2}x  SR(SM) {:>5.2}x",
+            row.network,
+            100.0 * row.value_sparsity,
+            100.0 * row.bit_sparsity_twos_complement,
+            100.0 * row.bit_sparsity_sign_magnitude,
+            row.speedup_ratio_twos_complement,
+            row.speedup_ratio_sign_magnitude
+        );
+    }
+
+    print_header("fig04_bcs_representation", "Fig. 4 (2's complement vs sign-magnitude, G=4)");
+    let r = fig04_bcs_representation(&ctx);
+    println!(
+        "{}: value sparsity {:.1}%, zero columns 2C {:.1}%, SM {:.1}%  ({:.2}x improvement)",
+        r.layer,
+        100.0 * r.value_sparsity,
+        100.0 * r.column_sparsity_twos_complement,
+        100.0 * r.column_sparsity_sign_magnitude,
+        r.sign_magnitude_improvement
+    );
+
+    print_header("fig05_compression_ratio", "Fig. 5 (BCS vs ZRE vs CSR on ResNet18 late layers)");
+    for row in fig05_compression_ratio(&ctx) {
+        println!(
+            "{:<4} {:<6} ideal {:>5.2}x  with index {:>5.2}x",
+            row.codec,
+            row.group_size.map(|g| format!("G={g}")).unwrap_or_default(),
+            row.cr_ideal,
+            row.cr_with_index
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figures();
+
+    let net = resnet18();
+    let layer = net.layer("layer4.0.conv2").unwrap();
+    let weights = generate_layer_sample(layer, 42, 60_000);
+    let codec = BcsCodec::new(GroupSize::G16, Encoding::SignMagnitude);
+
+    c.bench_function("kernel/bcs_compress_60k_weights", |b| {
+        b.iter(|| black_box(codec.compress(black_box(weights.data()))))
+    });
+    c.bench_function("kernel/layer_sparsity_stats_60k_weights", |b| {
+        b.iter(|| black_box(LayerSparsityStats::analyze(black_box(&weights), GroupSize::G16)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

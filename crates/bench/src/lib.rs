@@ -1,0 +1,26 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target regenerates one or more tables/figures of the paper
+//! (printing the rows exactly once, before timing) and then benchmarks the
+//! computational kernel behind that experiment so regressions in the
+//! reproduction's own performance are visible.
+
+#![forbid(unsafe_code)]
+
+use bitwave::context::ExperimentContext;
+
+/// The experiment context used by all bench targets: the default
+/// configuration with a moderate sampling cap so that a full `cargo bench`
+/// pass completes in minutes rather than hours.
+pub fn bench_context() -> ExperimentContext {
+    ExperimentContext::default().with_sample_cap(20_000)
+}
+
+/// Prints a figure/table header so the bench output doubles as the
+/// regenerated evaluation tables.
+pub fn print_header(experiment: &str, paper_reference: &str) {
+    println!();
+    println!("================================================================");
+    println!("{experiment}  —  reproduces {paper_reference}");
+    println!("================================================================");
+}

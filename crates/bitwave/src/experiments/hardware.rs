@@ -1,0 +1,160 @@
+//! Hardware-oriented experiments: Fig. 9 (PE utilisation), Table I (SU
+//! bandwidths), Fig. 12 (workload summary), Table III, Table IV and Fig. 18.
+
+use crate::context::ExperimentContext;
+use bitwave_accel::prelude::{
+    bitwave_area_power_breakdown, pe_type_comparison, sota_comparison_table, AreaPowerRow,
+    PeTypeRow, SotaRow,
+};
+use bitwave_dataflow::su::{baseline_su, bitwave_su};
+use bitwave_dataflow::utilization::{utilization_matrix, UtilizationRow};
+use bitwave_dnn::models::{mobilenet_v2, resnet18, WorkloadSummary};
+use serde::{Deserialize, Serialize};
+
+/// Fig. 9: PE utilisation of fixed SUs (on a 4096-lane bit-serial array and a
+/// 512-PE bit-parallel array) across the four workload cases, plus the
+/// best utilisation BitWave's dynamic set achieves.
+pub fn fig09_pe_utilization(_ctx: &ExperimentContext) -> Vec<UtilizationRow> {
+    let resnet = resnet18();
+    let mobile = mobilenet_v2();
+    let early = resnet.layer("conv1").expect("conv1 exists");
+    let late = resnet.layer("layer4.1.conv2").expect("late conv exists");
+    let dwcv = mobile
+        .layers
+        .iter()
+        .find(|l| l.kind.is_depthwise())
+        .expect("depthwise layer exists");
+    let pwcv = mobile
+        .layers
+        .iter()
+        .find(|l| l.name.ends_with("expand"))
+        .expect("pointwise layer exists");
+    let cases = [
+        ("early layer (ResNet18 conv1)", early),
+        ("late layer (ResNet18 last conv)", late),
+        ("Dwcv (MobileNetV2)", dwcv),
+        ("Pwcv (MobileNetV2)", pwcv),
+    ];
+    let sus = [
+        baseline_su::XY_4096,
+        baseline_su::CK_4096,
+        baseline_su::XFX_4096,
+        baseline_su::XY_512,
+        baseline_su::CK_512,
+        baseline_su::XFX_512,
+        bitwave_su::SU1,
+        bitwave_su::SU3,
+        bitwave_su::SU7,
+    ];
+    utilization_matrix(&cases, &sus)
+}
+
+/// One row of the Table I bandwidth check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table01Row {
+    /// SU name.
+    pub su: String,
+    /// `[Cu, OXu, Ku, Gu]` unrolling factors.
+    pub unrolling: [usize; 4],
+    /// Weight bandwidth in bits per cycle.
+    pub weight_bw_bits: usize,
+    /// Activation bandwidth in bits per cycle.
+    pub activation_bw_bits: usize,
+}
+
+/// Table I: BitWave's seven SUs and their bandwidth requirements.
+pub fn table01_su_bandwidth() -> Vec<Table01Row> {
+    bitwave_su::ALL
+        .iter()
+        .map(|su| Table01Row {
+            su: su.name.to_string(),
+            unrolling: [su.c, su.ox, su.k, su.g],
+            weight_bw_bits: su.weight_bits_per_cycle_bit_serial(),
+            activation_bw_bits: su.activation_bits_per_cycle(),
+        })
+        .collect()
+}
+
+/// Fig. 12 (left): the workload summary table.
+pub fn fig12_workload_summary() -> Vec<WorkloadSummary> {
+    bitwave_dnn::models::all_networks()
+        .iter()
+        .map(|n| n.summary())
+        .collect()
+}
+
+/// Table III: the state-of-the-art comparison rows.
+pub fn table03_sota_comparison() -> Vec<SotaRow> {
+    sota_comparison_table()
+}
+
+/// Table IV: the PE-type area/power comparison.
+pub fn table04_pe_cost() -> Vec<PeTypeRow> {
+    pe_type_comparison()
+}
+
+/// Fig. 18: BitWave's module-level area and power breakdown.
+pub fn fig18_area_power_breakdown() -> Vec<AreaPowerRow> {
+    bitwave_area_power_breakdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig09_has_all_cases_and_dwcv_collapses() {
+        let ctx = ExperimentContext::default().with_sample_cap(1_000);
+        let rows = fig09_pe_utilization(&ctx);
+        assert_eq!(rows.len(), 4 * 9);
+        // No fixed 4096-lane SU exceeds 80% on every case (the Fig. 9 claim).
+        for su in ["XY-4096", "CK-4096", "XFx-4096"] {
+            let min = rows
+                .iter()
+                .filter(|r| r.su == su)
+                .map(|r| r.utilization)
+                .fold(f64::INFINITY, f64::min);
+            assert!(min < 0.8, "{su} stayed above 80% everywhere");
+        }
+        // The depthwise case collapses for generic SUs but not for SU7.
+        let dw_su1 = rows
+            .iter()
+            .find(|r| r.case.starts_with("Dwcv") && r.su == "SU1")
+            .unwrap();
+        let dw_su7 = rows
+            .iter()
+            .find(|r| r.case.starts_with("Dwcv") && r.su == "SU7")
+            .unwrap();
+        assert!(dw_su7.utilization > 3.0 * dw_su1.utilization);
+    }
+
+    #[test]
+    fn table01_matches_paper_values() {
+        let rows = table01_su_bandwidth();
+        assert_eq!(rows.len(), 7);
+        let su1 = &rows[0];
+        assert_eq!(su1.weight_bw_bits, 256);
+        assert_eq!(su1.activation_bw_bits, 1024);
+        let su4 = &rows[3];
+        assert_eq!(su4.weight_bw_bits, 1024);
+        assert_eq!(su4.activation_bw_bits, 64);
+        let su7 = &rows[6];
+        assert_eq!(su7.weight_bw_bits, 64);
+        assert_eq!(su7.activation_bw_bits, 1024);
+    }
+
+    #[test]
+    fn fig12_summary_has_four_networks() {
+        let rows = fig12_workload_summary();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|r| r.name == "ResNet18"));
+        assert!(rows.iter().all(|r| r.gflops > 0.0 && r.params_millions > 0.0));
+    }
+
+    #[test]
+    fn static_tables_are_nonempty() {
+        assert_eq!(table03_sota_comparison().len(), 6);
+        assert_eq!(table04_pe_cost().len(), 3);
+        assert_eq!(fig18_area_power_breakdown().len(), 6);
+    }
+}

@@ -1,0 +1,413 @@
+//! The Bit-Flip weight perturbation (Section III-D, Fig. 4c).
+//!
+//! Bit-Flip is a *one-shot, training-free* optimisation: it rewrites each
+//! weight group so that at least a target number of bit columns become zero,
+//! choosing per group the replacement vector **closest in Euclidean distance
+//! to the original** (the paper's example: `-3 → -4` at distance 1 frees a
+//! bit column).  Because the constraint is "at most `8 - target` non-zero
+//! columns", the search space per group is the set of 8-bit column masks of
+//! bounded population count; for every candidate mask the best replacement of
+//! each weight is the nearest value whose sign-magnitude encoding uses only
+//! allowed columns.
+
+use crate::group::{extract_groups, reassemble_tensor, GroupSize};
+use bitwave_tensor::bits::{zero_column_count, Encoding, WORD_BITS};
+use bitwave_tensor::metrics::euclidean_distance_i8;
+use bitwave_tensor::QuantTensor;
+use serde::{Deserialize, Serialize};
+
+/// Result of flipping one weight group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlipOutcome {
+    /// The flipped weight group.
+    pub flipped: Vec<i8>,
+    /// Euclidean distance between the original and the flipped group.
+    pub distance: f64,
+    /// Zero-column count of the flipped group (always ≥ the requested
+    /// target).
+    pub achieved_zero_columns: u32,
+}
+
+/// Aggregate statistics of flipping a whole weight slice or tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FlipStats {
+    /// Number of groups processed.
+    pub groups: usize,
+    /// Number of groups that had to be modified.
+    pub groups_modified: usize,
+    /// Root-mean-square perturbation over all weights.
+    pub rms_perturbation: f64,
+    /// Mean number of zero columns per group after flipping.
+    pub mean_zero_columns: f64,
+}
+
+/// Flips a single group so that it has at least `target_zero_columns` zero
+/// bit-columns under `encoding`, minimising the Euclidean distance to the
+/// original group.
+///
+/// `target_zero_columns` is clamped to `0..=8`.  A target of 8 forces the
+/// whole group to zero.
+///
+/// # Panics
+///
+/// Panics if `group` is empty or longer than 64 elements (the hardware group
+/// sizes are 8/16/32).
+pub fn flip_group(group: &[i8], target_zero_columns: u32, encoding: Encoding) -> FlipOutcome {
+    assert!(
+        !group.is_empty() && group.len() <= 64,
+        "group length must be 1..=64"
+    );
+    let target = target_zero_columns.min(WORD_BITS as u32);
+    let current = zero_column_count(group, encoding);
+    if current >= target {
+        return FlipOutcome {
+            flipped: group.to_vec(),
+            distance: 0.0,
+            achieved_zero_columns: current,
+        };
+    }
+
+    let allowed_nonzero = WORD_BITS as u32 - target;
+    let mut best: Option<(Vec<i8>, f64)> = None;
+    // Enumerate all 8-bit masks with exactly `allowed_nonzero` allowed
+    // columns.  Larger allowed sets dominate smaller ones, so only the
+    // maximal popcount needs to be searched.
+    for mask in 0u16..=0xFF {
+        let mask = mask as u8;
+        if u32::from(mask.count_ones()) != allowed_nonzero {
+            continue;
+        }
+        let candidate = project_group(group, mask, encoding);
+        let cost = squared_distance(group, &candidate);
+        match &best {
+            Some((_, best_cost)) if *best_cost <= cost => {}
+            _ => best = Some((candidate, cost)),
+        }
+    }
+    let (flipped, cost) =
+        best.expect("at least one mask with the requested popcount always exists");
+    let achieved = zero_column_count(&flipped, encoding);
+    debug_assert!(achieved >= target);
+    FlipOutcome {
+        distance: cost.sqrt(),
+        achieved_zero_columns: achieved,
+        flipped,
+    }
+}
+
+/// Projects every weight of `group` onto the nearest value whose encoding
+/// uses only the columns allowed by `mask`.
+fn project_group(group: &[i8], mask: u8, encoding: Encoding) -> Vec<i8> {
+    match encoding {
+        Encoding::SignMagnitude => {
+            let magnitudes = representable_magnitudes(mask & 0x7F);
+            let sign_allowed = mask & 0x80 != 0;
+            group
+                .iter()
+                .map(|&w| nearest_sign_magnitude(w, &magnitudes, sign_allowed))
+                .collect()
+        }
+        Encoding::TwosComplement => {
+            let values = representable_twos_complement(mask);
+            group
+                .iter()
+                .map(|&w| nearest_value(w, &values))
+                .collect()
+        }
+    }
+}
+
+/// All magnitudes expressible using only the allowed magnitude bits, sorted
+/// ascending.
+fn representable_magnitudes(allowed: u8) -> Vec<u8> {
+    let mut out = Vec::new();
+    // Iterate over all submasks of `allowed` (including 0).
+    let mut sub = allowed;
+    loop {
+        out.push(sub);
+        if sub == 0 {
+            break;
+        }
+        sub = (sub - 1) & allowed;
+    }
+    out.sort_unstable();
+    out
+}
+
+/// All two's-complement byte values whose set bits are within `allowed`,
+/// decoded to `i8` and sorted.
+fn representable_twos_complement(allowed: u8) -> Vec<i8> {
+    let mut out = Vec::new();
+    let mut sub = allowed;
+    loop {
+        out.push(sub as i8);
+        if sub == 0 {
+            break;
+        }
+        sub = (sub - 1) & allowed;
+    }
+    out.sort_unstable();
+    out
+}
+
+fn nearest_sign_magnitude(value: i8, magnitudes: &[u8], sign_allowed: bool) -> i8 {
+    let target_magnitude = i16::from(value).unsigned_abs() as u8;
+    let nearest_mag = nearest_in_sorted_u8(target_magnitude, magnitudes);
+    if value >= 0 {
+        nearest_mag as i8
+    } else if sign_allowed {
+        -(i16::from(nearest_mag)) as i8
+    } else {
+        // Sign column must stay zero: the best non-negative replacement of a
+        // negative value is the smallest representable magnitude (including 0).
+        magnitudes[0] as i8
+    }
+}
+
+fn nearest_in_sorted_u8(target: u8, sorted: &[u8]) -> u8 {
+    debug_assert!(!sorted.is_empty());
+    let mut best = sorted[0];
+    let mut best_dist = i16::from(best).abs_diff(i16::from(target));
+    for &m in sorted {
+        let d = i16::from(m).abs_diff(i16::from(target));
+        if d < best_dist {
+            best = m;
+            best_dist = d;
+        }
+    }
+    best
+}
+
+fn nearest_value(value: i8, sorted: &[i8]) -> i8 {
+    debug_assert!(!sorted.is_empty());
+    let mut best = sorted[0];
+    let mut best_dist = (i16::from(best) - i16::from(value)).unsigned_abs();
+    for &v in sorted {
+        let d = (i16::from(v) - i16::from(value)).unsigned_abs();
+        if d < best_dist {
+            best = v;
+            best_dist = d;
+        }
+    }
+    best
+}
+
+fn squared_distance(a: &[i8], b: &[i8]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum()
+}
+
+/// Flips every group of a flat weight slice.  Returns the flipped weights and
+/// aggregate statistics.
+pub fn flip_slice(
+    weights: &[i8],
+    group_size: GroupSize,
+    target_zero_columns: u32,
+    encoding: Encoding,
+) -> (Vec<i8>, FlipStats) {
+    let g = group_size.len();
+    let mut out = Vec::with_capacity(weights.len());
+    let mut stats = FlipStats::default();
+    let mut squared_sum = 0.0f64;
+    let mut zero_cols = 0u64;
+    for chunk in weights.chunks(g) {
+        let outcome = flip_group(chunk, target_zero_columns, encoding);
+        stats.groups += 1;
+        if outcome.distance > 0.0 {
+            stats.groups_modified += 1;
+        }
+        squared_sum += outcome.distance * outcome.distance;
+        zero_cols += u64::from(outcome.achieved_zero_columns);
+        out.extend_from_slice(&outcome.flipped[..chunk.len()]);
+    }
+    if stats.groups > 0 && !weights.is_empty() {
+        stats.rms_perturbation = (squared_sum / weights.len() as f64).sqrt();
+        stats.mean_zero_columns = zero_cols as f64 / stats.groups as f64;
+    }
+    (out, stats)
+}
+
+/// Flips a whole weight tensor, grouping along the input-channel axis exactly
+/// as [`extract_groups`] does, and returns the flipped tensor plus stats.
+pub fn flip_tensor(
+    tensor: &QuantTensor,
+    group_size: GroupSize,
+    target_zero_columns: u32,
+    encoding: Encoding,
+) -> (QuantTensor, FlipStats) {
+    let mut groups = extract_groups(tensor, group_size);
+    let mut stats = FlipStats::default();
+    let mut squared_sum = 0.0f64;
+    let mut zero_cols = 0u64;
+    for group in groups.iter_mut() {
+        let outcome = flip_group(group, target_zero_columns, encoding);
+        stats.groups += 1;
+        if outcome.distance > 0.0 {
+            stats.groups_modified += 1;
+        }
+        squared_sum += outcome.distance * outcome.distance;
+        zero_cols += u64::from(outcome.achieved_zero_columns);
+        group.copy_from_slice(&outcome.flipped);
+    }
+    let flipped = reassemble_tensor(tensor, &groups);
+    if stats.groups > 0 {
+        let n = tensor.data().len().max(1) as f64;
+        stats.rms_perturbation = (squared_sum / n).sqrt();
+        stats.mean_zero_columns = zero_cols as f64 / stats.groups as f64;
+    }
+    // The distance accounting above includes padded elements, which are zero
+    // in both the original and flipped groups, so the RMS is exact.
+    let exact_distance = euclidean_distance_i8(tensor.data(), flipped.data());
+    stats.rms_perturbation = exact_distance / (tensor.data().len().max(1) as f64).sqrt();
+    (flipped, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitwave_tensor::prelude::*;
+    use bitwave_tensor::quant::QuantParams;
+    use proptest::prelude::*;
+
+    #[test]
+    fn already_sparse_group_is_untouched() {
+        let group = [0i8, 1, 0, 1];
+        let out = flip_group(&group, 4, Encoding::SignMagnitude);
+        assert_eq!(out.flipped, group);
+        assert_eq!(out.distance, 0.0);
+    }
+
+    #[test]
+    fn paper_example_minus_three_flips_to_minus_four() {
+        // Fig. 4(c): targeting five zero columns tunes -3 to -4 at distance 1.
+        // Build a group whose other elements already only use bit 2 and the sign.
+        let group = [-3i8, 4, -4, 4];
+        let out = flip_group(&group, 6, Encoding::SignMagnitude);
+        assert_eq!(out.flipped, vec![-4, 4, -4, 4]);
+        assert_eq!(out.distance, 1.0);
+        assert!(out.achieved_zero_columns >= 6);
+    }
+
+    #[test]
+    fn target_eight_zero_columns_forces_all_zero() {
+        let group = [13i8, -77, 3, 120];
+        let out = flip_group(&group, 8, Encoding::SignMagnitude);
+        assert!(out.flipped.iter().all(|&v| v == 0));
+        assert_eq!(out.achieved_zero_columns, 8);
+    }
+
+    #[test]
+    fn target_zero_never_changes_anything() {
+        let group = [13i8, -77, 3, 120];
+        let out = flip_group(&group, 0, Encoding::SignMagnitude);
+        assert_eq!(out.flipped, group);
+    }
+
+    #[test]
+    fn twos_complement_flipping_also_satisfies_constraint() {
+        let group = [-3i8, 5, -7, 2, 9, -1, 0, 4];
+        for target in 1..=6u32 {
+            let out = flip_group(&group, target, Encoding::TwosComplement);
+            assert!(
+                out.achieved_zero_columns >= target,
+                "target {target} not met: {:?}",
+                out.flipped
+            );
+        }
+    }
+
+    #[test]
+    fn distance_grows_monotonically_with_target() {
+        let group = [33i8, -75, 14, -2, 91, -60, 7, 8];
+        let mut last = 0.0;
+        for target in 0..=8u32 {
+            let out = flip_group(&group, target, Encoding::SignMagnitude);
+            assert!(
+                out.distance >= last - 1e-9,
+                "distance should not decrease with a stricter target"
+            );
+            last = out.distance;
+        }
+    }
+
+    #[test]
+    fn flip_slice_statistics() {
+        let weights: Vec<i8> = (0..64).map(|i| ((i * 7) % 23 - 11) as i8).collect();
+        let (flipped, stats) = flip_slice(&weights, GroupSize::G8, 5, Encoding::SignMagnitude);
+        assert_eq!(flipped.len(), weights.len());
+        assert_eq!(stats.groups, 8);
+        assert!(stats.mean_zero_columns >= 5.0);
+        assert!(stats.rms_perturbation > 0.0);
+        assert!(stats.groups_modified > 0);
+    }
+
+    #[test]
+    fn flip_tensor_respects_grouping_axis() {
+        let gen = WeightGenerator::new(WeightDistribution::Gaussian { std: 0.05 }, 9);
+        let w = gen.generate(Shape::conv_weight(4, 16, 3, 3));
+        let q = quantize_per_tensor(&w, 8).unwrap();
+        let (flipped, stats) = flip_tensor(&q, GroupSize::G16, 4, Encoding::SignMagnitude);
+        assert_eq!(flipped.shape(), q.shape());
+        assert!(stats.mean_zero_columns >= 4.0);
+        // The flipped tensor must reach the column-sparsity target for every group.
+        let groups = extract_groups(&flipped, GroupSize::G16);
+        for g in groups.iter() {
+            assert!(zero_column_count(g, Encoding::SignMagnitude) >= 4);
+        }
+    }
+
+    #[test]
+    fn flipping_preserves_quant_params_and_shape() {
+        let q = QuantTensor::new(
+            Shape::d2(2, 8),
+            (0..16).map(|i| (i as i8) - 8).collect(),
+            QuantParams::symmetric(0.02, 8),
+        )
+        .unwrap();
+        let (flipped, _) = flip_tensor(&q, GroupSize::G8, 3, Encoding::SignMagnitude);
+        assert_eq!(flipped.params(), q.params());
+        assert_eq!(flipped.shape(), q.shape());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn constraint_always_satisfied(
+            group in proptest::collection::vec(-127i8..=127, 1..=32),
+            target in 0u32..=8,
+        ) {
+            let out = flip_group(&group, target, Encoding::SignMagnitude);
+            prop_assert!(out.achieved_zero_columns >= target.min(8));
+            prop_assert_eq!(out.flipped.len(), group.len());
+        }
+
+        #[test]
+        fn flip_is_idempotent(
+            group in proptest::collection::vec(-127i8..=127, 1..=16),
+            target in 0u32..=7,
+        ) {
+            let once = flip_group(&group, target, Encoding::SignMagnitude);
+            let twice = flip_group(&once.flipped, target, Encoding::SignMagnitude);
+            prop_assert_eq!(&twice.flipped, &once.flipped);
+            prop_assert_eq!(twice.distance, 0.0);
+        }
+
+        #[test]
+        fn distance_bounded_by_zeroing_everything(
+            group in proptest::collection::vec(-127i8..=127, 1..=16),
+            target in 0u32..=8,
+        ) {
+            // Zeroing the whole group always satisfies any target, so the optimal
+            // distance can never exceed the norm of the group.
+            let out = flip_group(&group, target, Encoding::SignMagnitude);
+            let norm = group.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt();
+            prop_assert!(out.distance <= norm + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Compressed Sparse Row (CSR) encoding, the second value-sparsity baseline
+//! of Fig. 5.
+//!
+//! The weight stream is viewed as a matrix of rows of `row_len` elements
+//! (for a conv layer, one row per output-channel/kernel-position slice).
+//! Each non-zero value is stored at 8 bits together with a column index of
+//! `ceil(log2(row_len))` bits; every row additionally needs a row-pointer
+//! entry wide enough to address all non-zeros.
+
+use crate::compress::{CompressedTensor, WeightCodec, BITS_PER_WEIGHT};
+use serde::{Deserialize, Serialize};
+
+/// Non-zero entries of one CSR row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrRow {
+    /// Column positions of the non-zero values within the row.
+    pub columns: Vec<u32>,
+    /// The non-zero values.
+    pub values: Vec<i8>,
+}
+
+/// CSR codec with a fixed logical row length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrCodec {
+    row_len: usize,
+}
+
+impl CsrCodec {
+    /// Creates a codec that treats the weight stream as rows of `row_len`
+    /// elements (the final row may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_len == 0`.
+    pub fn new(row_len: usize) -> Self {
+        assert!(row_len > 0, "CSR row length must be at least 1");
+        Self { row_len }
+    }
+
+    /// The configured row length.
+    pub fn row_len(&self) -> usize {
+        self.row_len
+    }
+
+    /// Bits needed for one column index.
+    pub fn column_index_bits(&self) -> usize {
+        bits_for(self.row_len.max(2) - 1).max(1)
+    }
+}
+
+fn bits_for(max_value: usize) -> usize {
+    (usize::BITS - max_value.leading_zeros()) as usize
+}
+
+impl WeightCodec for CsrCodec {
+    fn name(&self) -> &'static str {
+        "CSR"
+    }
+
+    fn compress(&self, weights: &[i8]) -> CompressedTensor {
+        let mut rows = Vec::new();
+        let mut nnz = 0usize;
+        for chunk in weights.chunks(self.row_len) {
+            let mut columns = Vec::new();
+            let mut values = Vec::new();
+            for (i, &v) in chunk.iter().enumerate() {
+                if v != 0 {
+                    columns.push(i as u32);
+                    values.push(v);
+                }
+            }
+            nnz += values.len();
+            rows.push(CsrRow { columns, values });
+        }
+        let payload_bits = nnz * BITS_PER_WEIGHT;
+        let col_bits = self.column_index_bits();
+        // Row pointers must be able to address nnz+1 positions.
+        let rowptr_bits = bits_for(nnz.max(1)).max(1);
+        let index_bits = nnz * col_bits + (rows.len() + 1) * rowptr_bits;
+        CompressedTensor::from_csr(weights.len(), self.row_len, rows, payload_bits, index_bits)
+    }
+}
+
+/// Reconstructs the original weights from CSR rows.
+pub(crate) fn decompress(rows: &[CsrRow], row_len: usize, original_len: usize) -> Vec<i8> {
+    let mut out = vec![0i8; original_len];
+    for (r, row) in rows.iter().enumerate() {
+        let base = r * row_len;
+        for (&col, &val) in row.columns.iter().zip(&row.values) {
+            let idx = base + col as usize;
+            if idx < original_len {
+                out[idx] = val;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let weights = vec![0i8, 3, 0, 0, -5, 0, 0, 0, 9, 0, 0, 1];
+        let c = CsrCodec::new(4).compress(&weights);
+        assert_eq!(c.decompress(), weights);
+    }
+
+    #[test]
+    fn dense_data_expands() {
+        let weights: Vec<i8> = (1..=64).map(|i| i as i8).collect();
+        let c = CsrCodec::new(16).compress(&weights);
+        assert_eq!(c.decompress(), weights);
+        assert!(c.compression_ratio_with_index() < 1.0);
+    }
+
+    #[test]
+    fn very_sparse_data_compresses_well() {
+        let mut weights = vec![0i8; 1024];
+        weights[100] = 1;
+        weights[900] = -7;
+        let c = CsrCodec::new(64).compress(&weights);
+        assert_eq!(c.decompress(), weights);
+        assert!(c.compression_ratio_with_index() > 10.0);
+    }
+
+    #[test]
+    fn column_index_bits_scale_with_row_len() {
+        assert_eq!(CsrCodec::new(2).column_index_bits(), 1);
+        assert_eq!(CsrCodec::new(64).column_index_bits(), 6);
+        assert_eq!(CsrCodec::new(65).column_index_bits(), 7);
+        assert_eq!(CsrCodec::new(1).column_index_bits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_row_len_rejected() {
+        CsrCodec::new(0);
+    }
+
+    #[test]
+    fn name_and_row_len() {
+        let c = CsrCodec::new(32);
+        assert_eq!(c.name(), "CSR");
+        assert_eq!(c.row_len(), 32);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(
+            weights in proptest::collection::vec(prop_oneof![2 => Just(0i8), 1 => -127i8..=127], 0..400),
+            row_len in 1usize..128,
+        ) {
+            let c = CsrCodec::new(row_len).compress(&weights);
+            prop_assert_eq!(c.decompress(), weights);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Weight compression codecs (Section III-C, Fig. 5).
+//!
+//! BitWave's bit-column-sparsity (BCS) compression stores, per group of `G`
+//! weights, an 8-bit *zero-column index* plus only the non-zero bit columns
+//! (`G` bits each).  The paper compares it against the value-sparsity
+//! baselines Zero Run-length Encoding (ZRE, used by SCNN) and Compressed
+//! Sparse Row (CSR), both *with* and *without* accounting for the index
+//! overhead.  All three codecs here are lossless; compression ratios are
+//! reported as `CR = size(original) / size(compressed)`.
+
+mod bcs;
+mod csr;
+mod zre;
+
+pub use bcs::{BcsCodec, BcsGroup};
+pub use csr::CsrCodec;
+pub use zre::ZreCodec;
+
+use serde::{Deserialize, Serialize};
+
+/// Bits per uncompressed Int8 weight.
+pub const BITS_PER_WEIGHT: usize = 8;
+
+/// A compressed weight tensor together with its size accounting.
+///
+/// The payload/index split lets callers reproduce Fig. 5's "ideal CR without
+/// index overheads" vs. "real CR" bars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressedTensor {
+    /// Name of the codec that produced this tensor.
+    pub codec: String,
+    /// Number of Int8 weights in the original tensor.
+    pub original_len: usize,
+    /// Bits of compressed data payload (weight bits that must be stored).
+    pub payload_bits: usize,
+    /// Bits of index/metadata overhead required to decompress.
+    pub index_bits: usize,
+    format: Format,
+}
+
+/// Codec-specific compressed representation (kept private so the layout can
+/// evolve without breaking the public API).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Format {
+    Bcs {
+        group_size: usize,
+        encoding_sign_magnitude: bool,
+        groups: Vec<bcs::BcsGroup>,
+    },
+    Zre {
+        run_bits: u8,
+        symbols: Vec<zre::ZreSymbol>,
+    },
+    Csr {
+        row_len: usize,
+        rows: Vec<csr::CsrRow>,
+    },
+}
+
+impl CompressedTensor {
+    /// Original size in bits.
+    pub fn original_bits(&self) -> usize {
+        self.original_len * BITS_PER_WEIGHT
+    }
+
+    /// Total compressed size in bits, including index overhead.
+    pub fn total_bits(&self) -> usize {
+        self.payload_bits + self.index_bits
+    }
+
+    /// Compression ratio ignoring index overhead (Fig. 5's "ideal" bars).
+    pub fn compression_ratio_ideal(&self) -> f64 {
+        safe_ratio(self.original_bits(), self.payload_bits)
+    }
+
+    /// Compression ratio including index overhead (Fig. 5's "real" bars).
+    pub fn compression_ratio_with_index(&self) -> f64 {
+        safe_ratio(self.original_bits(), self.total_bits())
+    }
+
+    /// Losslessly reconstructs the original Int8 weights.
+    pub fn decompress(&self) -> Vec<i8> {
+        match &self.format {
+            Format::Bcs {
+                group_size,
+                encoding_sign_magnitude,
+                groups,
+            } => bcs::decompress(groups, *group_size, *encoding_sign_magnitude, self.original_len),
+            Format::Zre { symbols, .. } => zre::decompress(symbols, self.original_len),
+            Format::Csr { row_len, rows } => csr::decompress(rows, *row_len, self.original_len),
+        }
+    }
+
+    pub(crate) fn from_bcs(
+        original_len: usize,
+        group_size: usize,
+        encoding_sign_magnitude: bool,
+        groups: Vec<bcs::BcsGroup>,
+        payload_bits: usize,
+        index_bits: usize,
+    ) -> Self {
+        Self {
+            codec: "BCS".to_string(),
+            original_len,
+            payload_bits,
+            index_bits,
+            format: Format::Bcs {
+                group_size,
+                encoding_sign_magnitude,
+                groups,
+            },
+        }
+    }
+
+    pub(crate) fn from_zre(
+        original_len: usize,
+        run_bits: u8,
+        symbols: Vec<zre::ZreSymbol>,
+        payload_bits: usize,
+        index_bits: usize,
+    ) -> Self {
+        Self {
+            codec: "ZRE".to_string(),
+            original_len,
+            payload_bits,
+            index_bits,
+            format: Format::Zre { run_bits, symbols },
+        }
+    }
+
+    pub(crate) fn from_csr(
+        original_len: usize,
+        row_len: usize,
+        rows: Vec<csr::CsrRow>,
+        payload_bits: usize,
+        index_bits: usize,
+    ) -> Self {
+        Self {
+            codec: "CSR".to_string(),
+            original_len,
+            payload_bits,
+            index_bits,
+            format: Format::Csr { row_len, rows },
+        }
+    }
+}
+
+fn safe_ratio(numerator: usize, denominator: usize) -> f64 {
+    if denominator == 0 {
+        f64::INFINITY
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+/// A lossless weight compression codec.
+pub trait WeightCodec {
+    /// Short human-readable codec name ("BCS", "ZRE", "CSR").
+    fn name(&self) -> &'static str;
+
+    /// Compresses a flat slice of Int8 weights.
+    fn compress(&self, weights: &[i8]) -> CompressedTensor;
+
+    /// Convenience: compression ratio including index overhead for `weights`.
+    fn compression_ratio(&self, weights: &[i8]) -> f64 {
+        self.compress(weights).compression_ratio_with_index()
+    }
+}
+
+/// One row of the Fig. 5-style codec comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressionReport {
+    /// Codec name.
+    pub codec: String,
+    /// Optional group size (only meaningful for BCS).
+    pub group_size: Option<usize>,
+    /// Compression ratio without index overhead.
+    pub cr_ideal: f64,
+    /// Compression ratio including index overhead.
+    pub cr_with_index: f64,
+}
+
+impl CompressionReport {
+    /// Builds a report row from a compressed tensor.
+    pub fn from_compressed(compressed: &CompressedTensor, group_size: Option<usize>) -> Self {
+        Self {
+            codec: compressed.codec.clone(),
+            group_size,
+            cr_ideal: compressed.compression_ratio_ideal(),
+            cr_with_index: compressed.compression_ratio_with_index(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupSize;
+    use bitwave_tensor::bits::Encoding;
+
+    fn sample_weights() -> Vec<i8> {
+        // Small-magnitude mix with some exact zeros: compressible by all codecs.
+        (0..256)
+            .map(|i| match i % 8 {
+                0 | 3 => 0i8,
+                1 => 2,
+                2 => -3,
+                4 => 5,
+                5 => -1,
+                6 => 7,
+                _ => -6,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_codecs_are_lossless_on_sample() {
+        let w = sample_weights();
+        let codecs: Vec<Box<dyn WeightCodec>> = vec![
+            Box::new(BcsCodec::new(GroupSize::G8, Encoding::SignMagnitude)),
+            Box::new(ZreCodec::default()),
+            Box::new(CsrCodec::new(64)),
+        ];
+        for codec in codecs {
+            let c = codec.compress(&w);
+            assert_eq!(c.decompress(), w, "codec {} is not lossless", codec.name());
+            assert!(c.total_bits() >= c.payload_bits);
+        }
+    }
+
+    #[test]
+    fn report_reflects_ratios() {
+        let w = sample_weights();
+        let c = BcsCodec::new(GroupSize::G8, Encoding::SignMagnitude).compress(&w);
+        let r = CompressionReport::from_compressed(&c, Some(8));
+        assert_eq!(r.codec, "BCS");
+        assert!(r.cr_ideal >= r.cr_with_index);
+        assert_eq!(r.group_size, Some(8));
+    }
+
+    #[test]
+    fn ideal_ratio_of_incompressible_data_is_at_most_slightly_below_one() {
+        // Alternating +127/-127 has no zero bits in sign-magnitude except none.
+        let w: Vec<i8> = (0..64).map(|i| if i % 2 == 0 { 127 } else { -127 }).collect();
+        let c = BcsCodec::new(GroupSize::G8, Encoding::SignMagnitude).compress(&w);
+        assert!(c.compression_ratio_with_index() <= 1.0);
+        assert_eq!(c.decompress(), w);
+    }
+
+    #[test]
+    fn safe_ratio_handles_zero_denominator() {
+        assert_eq!(safe_ratio(10, 0), f64::INFINITY);
+        assert_eq!(safe_ratio(10, 5), 2.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Zero Run-length Encoding (ZRE), the value-sparsity compression used by
+//! SCNN and compared against BCS in Fig. 5.
+//!
+//! Each symbol is a `(zero_run, value)` pair: `zero_run` (a fixed-width
+//! field, 4 bits by default) counts the zeros preceding a non-zero value,
+//! which is stored at full 8-bit precision.  Runs longer than the field can
+//! express are split by emitting "escape" symbols whose value is zero.
+//! Trailing zeros are encoded with escape symbols too, so the format is
+//! self-contained and lossless.
+
+use crate::compress::{CompressedTensor, WeightCodec, BITS_PER_WEIGHT};
+use serde::{Deserialize, Serialize};
+
+/// One ZRE symbol: `zero_run` zeros followed by `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZreSymbol {
+    /// Number of zeros preceding the value (bounded by the run-field width).
+    pub zero_run: u8,
+    /// The non-zero value, or 0 for an escape / trailing-run symbol.
+    pub value: i8,
+}
+
+/// Zero run-length codec with a configurable run-length field width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZreCodec {
+    run_bits: u8,
+}
+
+impl ZreCodec {
+    /// Creates a codec with the given run-length field width (1..=8 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run_bits` is 0 or greater than 8.
+    pub fn new(run_bits: u8) -> Self {
+        assert!(
+            (1..=8).contains(&run_bits),
+            "run-length field must be 1..=8 bits, got {run_bits}"
+        );
+        Self { run_bits }
+    }
+
+    /// Maximum run length expressible in a single symbol.
+    pub fn max_run(&self) -> usize {
+        (1usize << self.run_bits) - 1
+    }
+
+    /// Bits per encoded symbol (run field + 8-bit value).
+    pub fn symbol_bits(&self) -> usize {
+        self.run_bits as usize + BITS_PER_WEIGHT
+    }
+}
+
+impl Default for ZreCodec {
+    /// 4-bit run-length field, the configuration SCNN uses.
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+impl WeightCodec for ZreCodec {
+    fn name(&self) -> &'static str {
+        "ZRE"
+    }
+
+    fn compress(&self, weights: &[i8]) -> CompressedTensor {
+        let max_run = self.max_run();
+        let mut symbols = Vec::new();
+        let mut run = 0usize;
+        for &w in weights {
+            if w == 0 {
+                run += 1;
+                if run == max_run {
+                    // Escape: a full run with a zero value keeps the run countable.
+                    symbols.push(ZreSymbol {
+                        zero_run: max_run as u8,
+                        value: 0,
+                    });
+                    run = 0;
+                }
+            } else {
+                symbols.push(ZreSymbol {
+                    zero_run: run as u8,
+                    value: w,
+                });
+                run = 0;
+            }
+        }
+        if run > 0 {
+            symbols.push(ZreSymbol {
+                zero_run: run as u8,
+                value: 0,
+            });
+        }
+        // Value bits are payload; run-length fields are indexing overhead.
+        let payload_bits = symbols.len() * BITS_PER_WEIGHT;
+        let index_bits = symbols.len() * self.run_bits as usize;
+        CompressedTensor::from_zre(weights.len(), self.run_bits, symbols, payload_bits, index_bits)
+    }
+}
+
+/// Reconstructs the original weights from ZRE symbols.
+pub(crate) fn decompress(symbols: &[ZreSymbol], original_len: usize) -> Vec<i8> {
+    let mut out = Vec::with_capacity(original_len);
+    for s in symbols {
+        out.extend(std::iter::repeat(0i8).take(s.zero_run as usize));
+        if s.value != 0 {
+            out.push(s.value);
+        }
+    }
+    // Escape symbols with value 0 only contribute their zero run; any missing
+    // trailing zeros (possible when the input ended exactly on a full run)
+    // are restored here.
+    while out.len() < original_len {
+        out.push(0);
+    }
+    out.truncate(original_len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dense_data_gains_nothing() {
+        let weights: Vec<i8> = (1..=64).map(|i| i as i8).collect();
+        let c = ZreCodec::default().compress(&weights);
+        assert_eq!(c.decompress(), weights);
+        // Every value costs 8 payload bits + 4 index bits: CR < 1.
+        assert!(c.compression_ratio_with_index() < 1.0);
+    }
+
+    #[test]
+    fn sparse_data_compresses() {
+        let mut weights = vec![0i8; 256];
+        for i in (0..256).step_by(16) {
+            weights[i] = 7;
+        }
+        let c = ZreCodec::default().compress(&weights);
+        assert_eq!(c.decompress(), weights);
+        assert!(c.compression_ratio_with_index() > 2.0);
+    }
+
+    #[test]
+    fn long_runs_are_split_with_escapes() {
+        let mut weights = vec![0i8; 40];
+        weights[39] = 3;
+        let c = ZreCodec::new(4).compress(&weights);
+        assert_eq!(c.decompress(), weights);
+    }
+
+    #[test]
+    fn trailing_zeros_are_preserved() {
+        let weights = vec![1i8, 0, 0, 0, 0, 0];
+        let c = ZreCodec::default().compress(&weights);
+        assert_eq!(c.decompress(), weights);
+    }
+
+    #[test]
+    fn all_zero_input() {
+        let weights = vec![0i8; 100];
+        let c = ZreCodec::default().compress(&weights);
+        assert_eq!(c.decompress(), weights);
+        assert!(c.compression_ratio_with_index() > 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8 bits")]
+    fn invalid_run_width_rejected() {
+        ZreCodec::new(0);
+    }
+
+    #[test]
+    fn accessors() {
+        let codec = ZreCodec::new(5);
+        assert_eq!(codec.max_run(), 31);
+        assert_eq!(codec.symbol_bits(), 13);
+        assert_eq!(codec.name(), "ZRE");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(weights in proptest::collection::vec(-127i8..=127, 0..400), run_bits in 1u8..=8) {
+            let codec = ZreCodec::new(run_bits);
+            let c = codec.compress(&weights);
+            prop_assert_eq!(c.decompress(), weights);
+        }
+
+        #[test]
+        fn roundtrip_sparse(weights in proptest::collection::vec(prop_oneof![4 => Just(0i8), 1 => -127i8..=127], 0..400)) {
+            let c = ZreCodec::default().compress(&weights);
+            prop_assert_eq!(c.decompress(), weights);
+        }
+    }
+}

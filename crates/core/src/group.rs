@@ -1,0 +1,350 @@
+//! Weight grouping for bit-column analysis.
+//!
+//! BitWave groups `G` weights taken from **consecutive input channels of one
+//! kernel position** (Section III-A: "groups of 4 weight elements from
+//! consecutive input channels of one kernel") and then inspects the bit
+//! columns of the group.  The hardware supports layer-wise tunable group
+//! sizes of 8, 16 and 32 (Section III-C).
+//!
+//! For a conv weight tensor `[K, C, FY, FX]` the grouping axis is `C` for a
+//! fixed `(k, fy, fx)`; for a linear weight `[Out, In]` it is `In`; a rank-1
+//! tensor is chunked directly.  When the grouped axis is not a multiple of
+//! `G` the trailing group is zero-padded, exactly as the hardware pads the
+//! last channel group.
+
+use bitwave_tensor::{QuantTensor, Shape};
+use serde::{Deserialize, Serialize};
+
+/// The hardware-supported group (bit-column) sizes, plus arbitrary sizes for
+/// the design-space sweeps of Fig. 5 (G = 1..64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupSize {
+    /// 8 weights per group (hardware supported).
+    G8,
+    /// 16 weights per group (hardware supported).
+    G16,
+    /// 32 weights per group (hardware supported).
+    G32,
+    /// An arbitrary group size, used only for analysis sweeps.
+    Custom(
+        /// Number of weights per group (must be ≥ 1).
+        usize,
+    ),
+}
+
+impl GroupSize {
+    /// Number of weights per group.
+    pub fn len(self) -> usize {
+        match self {
+            GroupSize::G8 => 8,
+            GroupSize::G16 => 16,
+            GroupSize::G32 => 32,
+            GroupSize::Custom(n) => n,
+        }
+    }
+
+    /// Always false: a group size of zero is rejected at construction.
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// The three group sizes the BitWave hardware supports per layer.
+    pub fn hardware_supported() -> [GroupSize; 3] {
+        [GroupSize::G8, GroupSize::G16, GroupSize::G32]
+    }
+
+    /// Builds a group size from a raw length, mapping 8/16/32 onto the
+    /// hardware variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn from_len(len: usize) -> Self {
+        assert!(len > 0, "group size must be at least 1");
+        match len {
+            8 => GroupSize::G8,
+            16 => GroupSize::G16,
+            32 => GroupSize::G32,
+            other => GroupSize::Custom(other),
+        }
+    }
+}
+
+impl std::fmt::Display for GroupSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "G{}", self.len())
+    }
+}
+
+/// The groups extracted from a weight tensor, preserving enough layout
+/// information to reassemble the tensor after Bit-Flip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Groups {
+    group_size: usize,
+    /// Length of the grouped (input-channel) axis before padding.
+    axis_len: usize,
+    /// Number of independent "rows" (e.g. `K*FY*FX` for a conv weight).
+    rows: usize,
+    data: Vec<i8>,
+}
+
+impl Groups {
+    /// Group size in elements.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.data.len() / self.group_size
+    }
+
+    /// Iterates over the groups as fixed-size slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[i8]> {
+        self.data.chunks_exact(self.group_size)
+    }
+
+    /// Iterates mutably over the groups.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut [i8]> {
+        self.data.chunks_exact_mut(self.group_size)
+    }
+
+    /// Total number of stored (padded) elements.
+    pub fn padded_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reassembles the original tensor layout (dropping the padding) into a
+    /// flat `Vec<i8>` of `rows * axis_len` elements in the original row-major
+    /// order.
+    pub fn to_flat(&self) -> Vec<i8> {
+        let groups_per_row = div_ceil(self.axis_len, self.group_size);
+        let padded_axis = groups_per_row * self.group_size;
+        let mut out = Vec::with_capacity(self.rows * self.axis_len);
+        for row in 0..self.rows {
+            let start = row * padded_axis;
+            out.extend_from_slice(&self.data[start..start + self.axis_len]);
+        }
+        out
+    }
+}
+
+fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+/// Extracts weight groups from a quantised tensor along its input-channel
+/// axis (see module docs for the per-rank convention).
+///
+/// # Panics
+///
+/// Panics if the tensor rank is not 1, 2 or 4 (rank-3 weights do not occur in
+/// the evaluated networks).
+pub fn extract_groups(tensor: &QuantTensor, group_size: GroupSize) -> Groups {
+    let g = group_size.len();
+    let shape = tensor.shape();
+    let data = tensor.data();
+    match shape.rank() {
+        1 => group_rows(data, shape.dim(0), 1, g),
+        2 => group_rows(data, shape.dim(1), shape.dim(0), g),
+        4 => {
+            // [K, C, FY, FX]: the grouped axis is C, but it is not the
+            // innermost axis, so gather per (k, fy, fx) first.
+            let (k, c, fy, fx) = (shape.dim(0), shape.dim(1), shape.dim(2), shape.dim(3));
+            let mut reordered = Vec::with_capacity(k * c * fy * fx);
+            for ki in 0..k {
+                for yi in 0..fy {
+                    for xi in 0..fx {
+                        for ci in 0..c {
+                            reordered.push(data[shape.offset(&[ki, ci, yi, xi])]);
+                        }
+                    }
+                }
+            }
+            group_rows(&reordered, c, k * fy * fx, g)
+        }
+        rank => panic!("unsupported weight tensor rank {rank} for grouping"),
+    }
+}
+
+/// Groups a flat buffer organised as `rows` rows of `axis_len` contiguous
+/// elements, padding each row's tail group with zeros.
+fn group_rows(data: &[i8], axis_len: usize, rows: usize, g: usize) -> Groups {
+    assert_eq!(data.len(), rows * axis_len, "row layout mismatch");
+    let groups_per_row = div_ceil(axis_len, g);
+    let padded_axis = groups_per_row * g;
+    let mut out = vec![0i8; rows * padded_axis];
+    for row in 0..rows {
+        let src = &data[row * axis_len..(row + 1) * axis_len];
+        out[row * padded_axis..row * padded_axis + axis_len].copy_from_slice(src);
+    }
+    Groups {
+        group_size: g,
+        axis_len,
+        rows,
+        data: out,
+    }
+}
+
+/// Writes grouped (possibly Bit-Flipped) values back into a tensor with the
+/// same shape as `original`, reversing [`extract_groups`].
+///
+/// # Panics
+///
+/// Panics if `groups` was not produced from a tensor of the same shape.
+pub fn reassemble_tensor(original: &QuantTensor, groups: &Groups) -> QuantTensor {
+    let shape = original.shape();
+    let flat = groups.to_flat();
+    let data = match shape.rank() {
+        1 | 2 => flat,
+        4 => {
+            let (k, c, fy, fx) = (shape.dim(0), shape.dim(1), shape.dim(2), shape.dim(3));
+            assert_eq!(flat.len(), k * c * fy * fx, "group element count mismatch");
+            let mut out = vec![0i8; flat.len()];
+            let mut idx = 0usize;
+            for ki in 0..k {
+                for yi in 0..fy {
+                    for xi in 0..fx {
+                        for ci in 0..c {
+                            out[shape.offset(&[ki, ci, yi, xi])] = flat[idx];
+                            idx += 1;
+                        }
+                    }
+                }
+            }
+            out
+        }
+        rank => panic!("unsupported weight tensor rank {rank} for grouping"),
+    };
+    QuantTensor::new(shape, data, original.params()).expect("shape preserved")
+}
+
+/// Convenience: groups a plain slice (used by codecs operating on already
+/// flattened weight streams).
+pub fn group_slice(data: &[i8], group_size: GroupSize) -> Groups {
+    group_rows(data, data.len(), 1, group_size.len())
+}
+
+/// Returns the number of groups a tensor of `shape` produces at `group_size`
+/// without materialising them (used by the analytical models).
+pub fn group_count_for_shape(shape: Shape, group_size: GroupSize) -> usize {
+    let g = group_size.len();
+    match shape.rank() {
+        1 => div_ceil(shape.dim(0), g),
+        2 => shape.dim(0) * div_ceil(shape.dim(1), g),
+        4 => shape.dim(0) * shape.dim(2) * shape.dim(3) * div_ceil(shape.dim(1), g),
+        rank => panic!("unsupported weight tensor rank {rank} for grouping"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitwave_tensor::quant::QuantParams;
+
+    fn conv_tensor() -> QuantTensor {
+        // [K=2, C=3, FY=2, FX=2]
+        let shape = Shape::conv_weight(2, 3, 2, 2);
+        let data: Vec<i8> = (0..shape.num_elements()).map(|i| i as i8).collect();
+        QuantTensor::new(shape, data, QuantParams::unit()).unwrap()
+    }
+
+    #[test]
+    fn group_size_lengths() {
+        assert_eq!(GroupSize::G8.len(), 8);
+        assert_eq!(GroupSize::G16.len(), 16);
+        assert_eq!(GroupSize::G32.len(), 32);
+        assert_eq!(GroupSize::Custom(5).len(), 5);
+        assert_eq!(GroupSize::from_len(16), GroupSize::G16);
+        assert_eq!(GroupSize::from_len(7), GroupSize::Custom(7));
+        assert_eq!(GroupSize::G8.to_string(), "G8");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_group_size_rejected() {
+        GroupSize::from_len(0);
+    }
+
+    #[test]
+    fn conv_grouping_gathers_input_channels() {
+        let t = conv_tensor();
+        let groups = extract_groups(&t, GroupSize::Custom(3));
+        // One group per (k, fy, fx) position: 2*2*2 = 8 groups of C=3.
+        assert_eq!(groups.num_groups(), 8);
+        // First group: k=0, fy=0, fx=0, c=0..3 -> offsets 0, 4, 8 -> values 0,4,8.
+        let first: Vec<i8> = groups.iter().next().unwrap().to_vec();
+        assert_eq!(first, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn conv_grouping_pads_when_c_not_multiple_of_g() {
+        let t = conv_tensor();
+        let groups = extract_groups(&t, GroupSize::Custom(4));
+        assert_eq!(groups.group_size(), 4);
+        assert_eq!(groups.num_groups(), 8);
+        let first: Vec<i8> = groups.iter().next().unwrap().to_vec();
+        assert_eq!(first, vec![0, 4, 8, 0], "tail is zero padded");
+    }
+
+    #[test]
+    fn roundtrip_through_reassemble() {
+        let t = conv_tensor();
+        for g in [1usize, 2, 3, 4, 8] {
+            let groups = extract_groups(&t, GroupSize::from_len(g));
+            let back = reassemble_tensor(&t, &groups);
+            assert_eq!(back.data(), t.data(), "roundtrip failed for G={g}");
+        }
+    }
+
+    #[test]
+    fn linear_grouping_chunks_input_axis() {
+        let shape = Shape::d2(2, 6);
+        let data: Vec<i8> = (0..12).map(|i| i as i8).collect();
+        let t = QuantTensor::new(shape, data, QuantParams::unit()).unwrap();
+        let groups = extract_groups(&t, GroupSize::Custom(4));
+        assert_eq!(groups.num_groups(), 4);
+        let all: Vec<Vec<i8>> = groups.iter().map(|s| s.to_vec()).collect();
+        assert_eq!(all[0], vec![0, 1, 2, 3]);
+        assert_eq!(all[1], vec![4, 5, 0, 0]);
+        assert_eq!(all[2], vec![6, 7, 8, 9]);
+        let back = reassemble_tensor(&t, &groups);
+        assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn group_count_matches_extraction() {
+        let t = conv_tensor();
+        for g in [1usize, 2, 3, 4, 8, 16] {
+            let gs = GroupSize::from_len(g);
+            assert_eq!(
+                group_count_for_shape(t.shape(), gs),
+                extract_groups(&t, gs).num_groups(),
+                "mismatch at G={g}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_slice_is_single_row() {
+        let data: Vec<i8> = (0..10).map(|i| i as i8).collect();
+        let groups = group_slice(&data, GroupSize::Custom(4));
+        assert_eq!(groups.num_groups(), 3);
+        assert_eq!(groups.to_flat(), data);
+    }
+
+    #[test]
+    fn mutation_through_iter_mut_roundtrips() {
+        let t = conv_tensor();
+        let mut groups = extract_groups(&t, GroupSize::Custom(3));
+        for g in groups.iter_mut() {
+            for v in g.iter_mut() {
+                *v = v.saturating_add(1);
+            }
+        }
+        let back = reassemble_tensor(&t, &groups);
+        for (a, b) in back.data().iter().zip(t.data()) {
+            assert_eq!(*a, b + 1);
+        }
+    }
+}

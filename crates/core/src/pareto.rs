@@ -1,0 +1,127 @@
+//! Compression-ratio / accuracy Pareto fronts (Fig. 6e–h).
+//!
+//! The network-wide Bit-Flip optimisation produces a set of candidate
+//! configurations, each with a compression ratio and a model quality.  The
+//! paper reports the Pareto-optimal subset: points for which no other point
+//! has both a higher compression ratio and a higher accuracy.
+
+use serde::{Deserialize, Serialize};
+
+/// One candidate operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Weight compression ratio (higher is better).
+    pub compression_ratio: f64,
+    /// Model quality: accuracy, F1 or PESQ, depending on the network
+    /// (higher is better).
+    pub accuracy: f64,
+    /// Free-form label describing the configuration (e.g. "SM+BF z=5 G=16").
+    pub label: String,
+}
+
+impl ParetoPoint {
+    /// Creates a point.
+    pub fn new(compression_ratio: f64, accuracy: f64, label: impl Into<String>) -> Self {
+        Self {
+            compression_ratio,
+            accuracy,
+            label: label.into(),
+        }
+    }
+
+    /// True when `self` dominates `other` (at least as good on both axes and
+    /// strictly better on at least one).
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let ge = self.compression_ratio >= other.compression_ratio && self.accuracy >= other.accuracy;
+        let gt = self.compression_ratio > other.compression_ratio || self.accuracy > other.accuracy;
+        ge && gt
+    }
+}
+
+/// Extracts the Pareto-optimal subset of `points`, sorted by ascending
+/// compression ratio.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut front: Vec<ParetoPoint> = points
+        .iter()
+        .filter(|candidate| !points.iter().any(|other| other.dominates(candidate)))
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| {
+        a.compression_ratio
+            .partial_cmp(&b.compression_ratio)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    front.dedup_by(|a, b| a.compression_ratio == b.compression_ratio && a.accuracy == b.accuracy);
+    front
+}
+
+/// Picks, from a set of points, the one with the highest compression ratio
+/// whose accuracy is at least `min_accuracy` (the operating point the paper
+/// quotes, e.g. "2.04× CR with < 0.5 % accuracy drop").
+pub fn best_under_accuracy_floor(points: &[ParetoPoint], min_accuracy: f64) -> Option<ParetoPoint> {
+    points
+        .iter()
+        .filter(|p| p.accuracy >= min_accuracy)
+        .max_by(|a, b| {
+            a.compression_ratio
+                .partial_cmp(&b.compression_ratio)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<ParetoPoint> {
+        vec![
+            ParetoPoint::new(1.0, 70.0, "baseline"),
+            ParetoPoint::new(1.5, 69.8, "a"),
+            ParetoPoint::new(1.5, 69.0, "dominated by a"),
+            ParetoPoint::new(2.0, 69.5, "b"),
+            ParetoPoint::new(2.5, 68.0, "c"),
+            ParetoPoint::new(2.4, 67.0, "dominated by c"),
+        ]
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let a = ParetoPoint::new(2.0, 70.0, "a");
+        let b = ParetoPoint::new(1.5, 69.0, "b");
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a), "a point does not dominate itself");
+    }
+
+    #[test]
+    fn front_excludes_dominated_points() {
+        let front = pareto_front(&points());
+        let labels: Vec<&str> = front.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["baseline", "a", "b", "c"]);
+        // Sorted by compression ratio.
+        assert!(front.windows(2).all(|w| w[0].compression_ratio <= w[1].compression_ratio));
+    }
+
+    #[test]
+    fn best_under_floor_matches_paper_style_query() {
+        let best = best_under_accuracy_floor(&points(), 69.4).unwrap();
+        assert_eq!(best.label, "b");
+        assert!(best_under_accuracy_floor(&points(), 99.0).is_none());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+        assert!(best_under_accuracy_floor(&[], 0.0).is_none());
+    }
+
+    #[test]
+    fn equal_points_are_deduplicated() {
+        let pts = vec![
+            ParetoPoint::new(1.0, 50.0, "x"),
+            ParetoPoint::new(1.0, 50.0, "y"),
+        ];
+        assert_eq!(pareto_front(&pts).len(), 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Greedy layer-wise Bit-Flip search (Algorithm 1 of the paper).
+//!
+//! The search operates on a *strategy* `S[layer][G] = z`: for every layer and
+//! every hardware-supported group size, the number of zero columns the layer
+//! is flipped to.  Starting from an initial strategy it repeatedly tries to
+//! increment one `(layer, G)` entry, keeps the move with the best resulting
+//! model quality, and stops as soon as the best achievable quality falls
+//! below the minimum-accuracy constraint.
+//!
+//! The crate stays agnostic of what "accuracy" means: the caller supplies an
+//! evaluation closure (in the reproduction, `bitwave-dnn`'s accuracy proxy;
+//! in the paper, dataset accuracy / F1 / PESQ).
+
+use crate::group::GroupSize;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The per-layer, per-group-size zero-column targets ("strategy `S`" in
+/// Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlipStrategy {
+    entries: BTreeMap<String, BTreeMap<usize, u32>>,
+}
+
+impl FlipStrategy {
+    /// An empty strategy (no layer is flipped).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the zero-column target of `(layer, group_size)`.
+    pub fn set(&mut self, layer: &str, group_size: GroupSize, zero_columns: u32) {
+        self.entries
+            .entry(layer.to_string())
+            .or_default()
+            .insert(group_size.len(), zero_columns.min(8));
+    }
+
+    /// Returns the zero-column target of `(layer, group_size)` (0 if unset).
+    pub fn get(&self, layer: &str, group_size: GroupSize) -> u32 {
+        self.entries
+            .get(layer)
+            .and_then(|m| m.get(&group_size.len()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over all `(layer, group_size, zero_columns)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, GroupSize, u32)> + '_ {
+        self.entries.iter().flat_map(|(layer, per_g)| {
+            per_g
+                .iter()
+                .map(move |(&g, &z)| (layer.as_str(), GroupSize::from_len(g), z))
+        })
+    }
+
+    /// For a layer, the `(group_size, zero_columns)` choice with the largest
+    /// zero-column target — the setting the hardware mapping ultimately uses.
+    pub fn best_for_layer(&self, layer: &str) -> Option<(GroupSize, u32)> {
+        self.entries.get(layer).and_then(|per_g| {
+            per_g
+                .iter()
+                .max_by_key(|(_, &z)| z)
+                .map(|(&g, &z)| (GroupSize::from_len(g), z))
+        })
+    }
+
+    /// Number of layers with at least one non-zero target.
+    pub fn flipped_layer_count(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|per_g| per_g.values().any(|&z| z > 0))
+            .count()
+    }
+}
+
+/// Configuration of the greedy search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Minimum acceptable model quality (`macc` in Algorithm 1); the search
+    /// stops when no move keeps quality at or above this value.
+    pub min_accuracy: f64,
+    /// Group sizes explored per layer (the paper uses 8, 16 and 32).
+    pub group_sizes: Vec<GroupSize>,
+    /// Upper bound on the zero-column target per entry (7 in the paper — the
+    /// 8th column would zero the whole group).
+    pub max_zero_columns: u32,
+    /// Safety bound on the number of greedy moves (the paper has no explicit
+    /// bound; ours prevents run-away loops in degenerate configurations).
+    pub max_iterations: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            min_accuracy: 0.0,
+            group_sizes: GroupSize::hardware_supported().to_vec(),
+            max_zero_columns: 7,
+            max_iterations: 256,
+        }
+    }
+}
+
+/// One accepted greedy move.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchStep {
+    /// Layer whose target was incremented.
+    pub layer: String,
+    /// Group size of the incremented entry.
+    pub group_size: usize,
+    /// The new zero-column target after the move.
+    pub zero_columns: u32,
+    /// Model quality after applying the move.
+    pub accuracy: f64,
+}
+
+/// Result of the greedy search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The final strategy (the last strategy whose quality met the
+    /// constraint).
+    pub strategy: FlipStrategy,
+    /// Quality of the final strategy.
+    pub final_accuracy: f64,
+    /// The accepted moves in order.
+    pub history: Vec<SearchStep>,
+    /// Number of candidate evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Runs Algorithm 1: greedy layer-wise Bit-Flip strategy search.
+///
+/// `evaluate` receives a candidate strategy and returns the resulting model
+/// quality (higher is better); it is called once per `(layer, group size)`
+/// candidate per iteration, exactly as the pseudo-code's
+/// `Inference(BitFlip(M, Stmp), D)`.
+pub fn greedy_bitflip_search<F>(
+    layers: &[String],
+    initial: FlipStrategy,
+    config: &SearchConfig,
+    mut evaluate: F,
+) -> SearchOutcome
+where
+    F: FnMut(&FlipStrategy) -> f64,
+{
+    let mut strategy = initial;
+    let mut history = Vec::new();
+    let mut evaluations = 0usize;
+    let mut final_accuracy = {
+        evaluations += 1;
+        evaluate(&strategy)
+    };
+
+    for _ in 0..config.max_iterations {
+        let mut best_accuracy = f64::NEG_INFINITY;
+        let mut next_move: Option<(String, GroupSize, u32)> = None;
+
+        for layer in layers {
+            for &gs in &config.group_sizes {
+                let current = strategy.get(layer, gs);
+                if current >= config.max_zero_columns {
+                    continue;
+                }
+                let mut candidate = strategy.clone();
+                candidate.set(layer, gs, current + 1);
+                evaluations += 1;
+                let accuracy = evaluate(&candidate);
+                if accuracy > best_accuracy {
+                    best_accuracy = accuracy;
+                    next_move = Some((layer.clone(), gs, current + 1));
+                }
+            }
+        }
+
+        let Some((layer, gs, z)) = next_move else {
+            break; // every entry is saturated
+        };
+        if best_accuracy < config.min_accuracy {
+            break; // Algorithm 1: stop when the best move violates macc
+        }
+        strategy.set(&layer, gs, z);
+        final_accuracy = best_accuracy;
+        history.push(SearchStep {
+            layer,
+            group_size: gs.len(),
+            zero_columns: z,
+            accuracy: best_accuracy,
+        });
+    }
+
+    SearchOutcome {
+        strategy,
+        final_accuracy,
+        history,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layers() -> Vec<String> {
+        vec!["conv1".to_string(), "conv2".to_string(), "fc".to_string()]
+    }
+
+    /// A toy quality model: each layer has a per-zero-column accuracy cost,
+    /// "conv1" being the most sensitive (mirrors the paper's observation that
+    /// early, weight-light layers are more sensitive).
+    fn toy_accuracy(strategy: &FlipStrategy) -> f64 {
+        let mut acc = 100.0;
+        for (layer, _g, z) in strategy.iter() {
+            let cost = match layer {
+                "conv1" => 1.5,
+                "conv2" => 0.3,
+                _ => 0.1,
+            };
+            acc -= cost * f64::from(z);
+        }
+        acc
+    }
+
+    #[test]
+    fn greedy_prefers_insensitive_layers() {
+        let config = SearchConfig {
+            min_accuracy: 99.0,
+            max_zero_columns: 7,
+            ..SearchConfig::default()
+        };
+        let outcome = greedy_bitflip_search(&layers(), FlipStrategy::new(), &config, toy_accuracy);
+        assert!(outcome.final_accuracy >= 99.0);
+        // The insensitive fc layer should be pushed harder than conv1.
+        let fc = outcome.strategy.best_for_layer("fc").map(|(_, z)| z).unwrap_or(0);
+        let conv1 = outcome
+            .strategy
+            .best_for_layer("conv1")
+            .map(|(_, z)| z)
+            .unwrap_or(0);
+        assert!(fc > conv1, "fc={fc} should exceed conv1={conv1}");
+        assert!(!outcome.history.is_empty());
+    }
+
+    #[test]
+    fn search_stops_at_accuracy_floor() {
+        let config = SearchConfig {
+            min_accuracy: 99.9,
+            ..SearchConfig::default()
+        };
+        let outcome = greedy_bitflip_search(&layers(), FlipStrategy::new(), &config, toy_accuracy);
+        assert!(outcome.final_accuracy >= 99.9);
+        // With a 0.1 cost per column on fc only a couple of moves fit.
+        assert!(outcome.history.len() <= 3);
+    }
+
+    #[test]
+    fn search_saturates_at_max_zero_columns() {
+        let config = SearchConfig {
+            min_accuracy: 0.0,
+            max_zero_columns: 2,
+            group_sizes: vec![GroupSize::G8],
+            max_iterations: 1000,
+        };
+        let outcome = greedy_bitflip_search(&layers(), FlipStrategy::new(), &config, toy_accuracy);
+        for (_, _, z) in outcome.strategy.iter() {
+            assert!(z <= 2);
+        }
+        // All entries saturated: 3 layers * 1 group size * 2 columns = 6 moves.
+        assert_eq!(outcome.history.len(), 6);
+    }
+
+    #[test]
+    fn initial_strategy_is_respected() {
+        let mut initial = FlipStrategy::new();
+        initial.set("fc", GroupSize::G16, 4);
+        let config = SearchConfig {
+            min_accuracy: 99.0,
+            ..SearchConfig::default()
+        };
+        let outcome = greedy_bitflip_search(&layers(), initial, &config, toy_accuracy);
+        assert!(outcome.strategy.get("fc", GroupSize::G16) >= 4);
+    }
+
+    #[test]
+    fn strategy_accessors() {
+        let mut s = FlipStrategy::new();
+        s.set("a", GroupSize::G8, 3);
+        s.set("a", GroupSize::G32, 5);
+        s.set("b", GroupSize::G8, 0);
+        assert_eq!(s.get("a", GroupSize::G8), 3);
+        assert_eq!(s.get("a", GroupSize::G16), 0);
+        assert_eq!(s.best_for_layer("a"), Some((GroupSize::G32, 5)));
+        assert_eq!(s.flipped_layer_count(), 1);
+        assert_eq!(s.iter().count(), 3);
+        // Values above 8 are clamped.
+        s.set("c", GroupSize::G8, 12);
+        assert_eq!(s.get("c", GroupSize::G8), 8);
+    }
+
+    #[test]
+    fn evaluation_count_is_tracked() {
+        let config = SearchConfig {
+            min_accuracy: 99.99,
+            ..SearchConfig::default()
+        };
+        let outcome = greedy_bitflip_search(&layers(), FlipStrategy::new(), &config, toy_accuracy);
+        // 1 initial + at least one sweep over 3 layers x 3 group sizes.
+        assert!(outcome.evaluations >= 10);
+    }
+}

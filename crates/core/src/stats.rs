@@ -1,0 +1,329 @@
+//! Sparsity statistics (Figs. 1 and 4 of the paper).
+//!
+//! Three granularities matter to BitWave and its baselines:
+//!
+//! * **value sparsity** `Sw` — fraction of weights equal to zero (what SCNN
+//!   exploits);
+//! * **bit sparsity** `Sw,b` — fraction of zero *bits* over all weight bits,
+//!   in two's complement (Stripes/Pragmatic/Bitlet) or sign-magnitude;
+//! * **bit-column sparsity (BCS)** — fraction of zero *bit columns* over all
+//!   columns when the weights are grouped `G` at a time (BitWave).
+//!
+//! Fig. 1 reports the ratio `SR = bit sparsity / value sparsity` as the
+//! potential computational speedup of bit-level over value-level skipping.
+
+use crate::group::{extract_groups, GroupSize};
+use bitwave_tensor::bits::{nonzero_column_count, Encoding, WORD_BITS};
+use bitwave_tensor::sm;
+use bitwave_tensor::QuantTensor;
+use serde::{Deserialize, Serialize};
+
+/// Sparsity statistics of one weight tensor (one layer).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerSparsityStats {
+    /// Number of weights analysed.
+    pub num_weights: usize,
+    /// Fraction of zero-valued weights (`Sw`).
+    pub value_sparsity: f64,
+    /// Fraction of zero bits in two's-complement encoding.
+    pub bit_sparsity_twos_complement: f64,
+    /// Fraction of zero bits in sign-magnitude encoding.
+    pub bit_sparsity_sign_magnitude: f64,
+    /// Fraction of zero bit-columns at the analysed group size,
+    /// two's-complement encoding.
+    pub column_sparsity_twos_complement: f64,
+    /// Fraction of zero bit-columns at the analysed group size,
+    /// sign-magnitude encoding.
+    pub column_sparsity_sign_magnitude: f64,
+    /// The group size used for the column statistics.
+    pub group_size: usize,
+}
+
+impl LayerSparsityStats {
+    /// Analyses a weight tensor at the given group size.
+    pub fn analyze(tensor: &QuantTensor, group_size: GroupSize) -> Self {
+        let data = tensor.data();
+        let num_weights = data.len();
+        let zeros = data.iter().filter(|&&v| v == 0).count();
+        let value_sparsity = if num_weights == 0 {
+            0.0
+        } else {
+            zeros as f64 / num_weights as f64
+        };
+        let bit_sparsity_twos_complement = 1.0 - sm::bit_density_twos_complement(data);
+        let bit_sparsity_sign_magnitude = 1.0 - sm::bit_density_sign_magnitude(data);
+
+        let groups = extract_groups(tensor, group_size);
+        let column_sparsity_twos_complement =
+            column_sparsity_of_groups(groups.iter(), Encoding::TwosComplement);
+        let column_sparsity_sign_magnitude =
+            column_sparsity_of_groups(groups.iter(), Encoding::SignMagnitude);
+
+        Self {
+            num_weights,
+            value_sparsity,
+            bit_sparsity_twos_complement,
+            bit_sparsity_sign_magnitude,
+            column_sparsity_twos_complement,
+            column_sparsity_sign_magnitude,
+            group_size: group_size.len(),
+        }
+    }
+
+    /// Sparsity ratio `SR = bit sparsity / value sparsity` (two's complement),
+    /// Fig. 1's measure of the advantage of bit-level over value-level
+    /// skipping.  Returns `f64::INFINITY` when the tensor has no zero values
+    /// but does have zero bits.
+    pub fn speedup_ratio_twos_complement(&self) -> f64 {
+        ratio(self.bit_sparsity_twos_complement, self.value_sparsity)
+    }
+
+    /// Sparsity ratio for the sign-magnitude encoding.
+    pub fn speedup_ratio_sign_magnitude(&self) -> f64 {
+        ratio(self.bit_sparsity_sign_magnitude, self.value_sparsity)
+    }
+
+    /// Column sparsity under the chosen encoding.
+    pub fn column_sparsity(&self, encoding: Encoding) -> f64 {
+        match encoding {
+            Encoding::TwosComplement => self.column_sparsity_twos_complement,
+            Encoding::SignMagnitude => self.column_sparsity_sign_magnitude,
+        }
+    }
+}
+
+fn ratio(numerator: f64, denominator: f64) -> f64 {
+    if denominator == 0.0 {
+        if numerator == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        numerator / denominator
+    }
+}
+
+/// Fraction of zero bit-columns across an iterator of groups.
+pub fn column_sparsity_of_groups<'a, I>(groups: I, encoding: Encoding) -> f64
+where
+    I: Iterator<Item = &'a [i8]>,
+{
+    let mut total_columns = 0usize;
+    let mut nonzero_columns = 0usize;
+    for group in groups {
+        total_columns += WORD_BITS;
+        nonzero_columns += nonzero_column_count(group, encoding) as usize;
+    }
+    if total_columns == 0 {
+        0.0
+    } else {
+        1.0 - nonzero_columns as f64 / total_columns as f64
+    }
+}
+
+/// Average number of *non-zero* bit columns per group — the quantity that
+/// directly sets BitWave's compute cycle count per group (each non-zero
+/// column costs one BCE cycle).
+pub fn mean_nonzero_columns<'a, I>(groups: I, encoding: Encoding) -> f64
+where
+    I: Iterator<Item = &'a [i8]>,
+{
+    let mut count = 0usize;
+    let mut total = 0u64;
+    for group in groups {
+        count += 1;
+        total += u64::from(nonzero_column_count(group, encoding));
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+/// Aggregated sparsity statistics over a whole network (weighted by element
+/// count), the per-network bars of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SparsitySummary {
+    /// Total number of weights across the aggregated layers.
+    pub num_weights: usize,
+    /// Element-weighted mean value sparsity.
+    pub value_sparsity: f64,
+    /// Element-weighted mean two's-complement bit sparsity.
+    pub bit_sparsity_twos_complement: f64,
+    /// Element-weighted mean sign-magnitude bit sparsity.
+    pub bit_sparsity_sign_magnitude: f64,
+    /// Element-weighted mean two's-complement column sparsity.
+    pub column_sparsity_twos_complement: f64,
+    /// Element-weighted mean sign-magnitude column sparsity.
+    pub column_sparsity_sign_magnitude: f64,
+}
+
+impl SparsitySummary {
+    /// Aggregates per-layer statistics, weighting each layer by its number of
+    /// weights.
+    pub fn aggregate<'a, I>(layers: I) -> Self
+    where
+        I: IntoIterator<Item = &'a LayerSparsityStats>,
+    {
+        let mut out = SparsitySummary::default();
+        let mut weight_total = 0usize;
+        for layer in layers {
+            let w = layer.num_weights;
+            weight_total += w;
+            let wf = w as f64;
+            out.value_sparsity += layer.value_sparsity * wf;
+            out.bit_sparsity_twos_complement += layer.bit_sparsity_twos_complement * wf;
+            out.bit_sparsity_sign_magnitude += layer.bit_sparsity_sign_magnitude * wf;
+            out.column_sparsity_twos_complement += layer.column_sparsity_twos_complement * wf;
+            out.column_sparsity_sign_magnitude += layer.column_sparsity_sign_magnitude * wf;
+        }
+        if weight_total > 0 {
+            let n = weight_total as f64;
+            out.value_sparsity /= n;
+            out.bit_sparsity_twos_complement /= n;
+            out.bit_sparsity_sign_magnitude /= n;
+            out.column_sparsity_twos_complement /= n;
+            out.column_sparsity_sign_magnitude /= n;
+        }
+        out.num_weights = weight_total;
+        out
+    }
+
+    /// Fig. 1's `SR` ratio (two's-complement bit sparsity over value
+    /// sparsity).
+    pub fn speedup_ratio_twos_complement(&self) -> f64 {
+        ratio(self.bit_sparsity_twos_complement, self.value_sparsity)
+    }
+
+    /// Fig. 1's `SR` ratio for sign-magnitude.
+    pub fn speedup_ratio_sign_magnitude(&self) -> f64 {
+        ratio(self.bit_sparsity_sign_magnitude, self.value_sparsity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::group_slice;
+    use bitwave_tensor::prelude::*;
+    use bitwave_tensor::quant::QuantParams;
+
+    fn tensor_from(values: Vec<i8>) -> QuantTensor {
+        let len = values.len();
+        QuantTensor::new(Shape::d1(len), values, QuantParams::unit()).unwrap()
+    }
+
+    #[test]
+    fn all_zero_tensor_is_fully_sparse() {
+        let t = tensor_from(vec![0i8; 32]);
+        let s = LayerSparsityStats::analyze(&t, GroupSize::G8);
+        assert_eq!(s.value_sparsity, 1.0);
+        assert_eq!(s.bit_sparsity_twos_complement, 1.0);
+        assert_eq!(s.column_sparsity_sign_magnitude, 1.0);
+    }
+
+    #[test]
+    fn dense_tensor_has_low_bit_sparsity_in_twos_complement() {
+        // -1 in two's complement is all ones.
+        let t = tensor_from(vec![-1i8; 32]);
+        let s = LayerSparsityStats::analyze(&t, GroupSize::G8);
+        assert_eq!(s.value_sparsity, 0.0);
+        assert_eq!(s.bit_sparsity_twos_complement, 0.0);
+        // In sign-magnitude, -1 is 0b1000_0001: 6 of 8 bits are zero.
+        assert!((s.bit_sparsity_sign_magnitude - 0.75).abs() < 1e-12);
+        assert!(s.column_sparsity_sign_magnitude > s.column_sparsity_twos_complement);
+    }
+
+    #[test]
+    fn speedup_ratio_matches_figure1_order_of_magnitude() {
+        // Small-magnitude Gaussian weights: value sparsity is low but bit
+        // sparsity is high, so SR should be large (Fig. 1 reports 5.67x-32.5x).
+        let gen = WeightGenerator::new(WeightDistribution::Laplacian { scale: 0.02 }, 1);
+        let w = gen.generate(Shape::conv_weight(32, 32, 3, 3));
+        let q = quantize_per_tensor(&w, 8).unwrap();
+        let s = LayerSparsityStats::analyze(&q, GroupSize::G8);
+        let sr_tc = s.speedup_ratio_twos_complement();
+        let sr_sm = s.speedup_ratio_sign_magnitude();
+        assert!(sr_tc > 2.0, "SR (2's complement) too low: {sr_tc}");
+        assert!(
+            sr_sm > sr_tc,
+            "sign-magnitude SR ({sr_sm}) should exceed two's complement ({sr_tc})"
+        );
+    }
+
+    #[test]
+    fn sign_magnitude_raises_column_sparsity_like_figure4() {
+        // Mimic Fig. 4: weights dominated by small negative values.
+        let gen = WeightGenerator::new(WeightDistribution::Laplacian { scale: 0.015 }, 7);
+        let w = gen.generate(Shape::conv_weight(64, 64, 3, 3));
+        let q = quantize_per_tensor(&w, 8).unwrap();
+        let s = LayerSparsityStats::analyze(&q, GroupSize::Custom(4));
+        assert!(
+            s.column_sparsity_sign_magnitude > 2.0 * s.column_sparsity_twos_complement,
+            "expected SM column sparsity ({}) to be well above TC ({})",
+            s.column_sparsity_sign_magnitude,
+            s.column_sparsity_twos_complement
+        );
+    }
+
+    #[test]
+    fn column_sparsity_decreases_with_group_size() {
+        let gen = WeightGenerator::new(WeightDistribution::Laplacian { scale: 0.02 }, 3);
+        let w = gen.generate(Shape::conv_weight(16, 64, 3, 3));
+        let q = quantize_per_tensor(&w, 8).unwrap();
+        let mut last = f64::INFINITY;
+        for g in [1usize, 2, 4, 8, 16, 32, 64] {
+            let s = LayerSparsityStats::analyze(&q, GroupSize::from_len(g));
+            assert!(
+                s.column_sparsity_sign_magnitude <= last + 1e-9,
+                "column sparsity should not increase with G (G={g})"
+            );
+            last = s.column_sparsity_sign_magnitude;
+        }
+    }
+
+    #[test]
+    fn mean_nonzero_columns_consistent_with_sparsity() {
+        let data: Vec<i8> = (0..64).map(|i| (i % 5) as i8).collect();
+        let groups = group_slice(&data, GroupSize::G8);
+        let sparsity = column_sparsity_of_groups(groups.iter(), Encoding::SignMagnitude);
+        let mean_nz = mean_nonzero_columns(groups.iter(), Encoding::SignMagnitude);
+        assert!((mean_nz / 8.0 + sparsity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_weights_by_layer_size() {
+        let small = LayerSparsityStats::analyze(&tensor_from(vec![0i8; 8]), GroupSize::G8);
+        let large = LayerSparsityStats::analyze(&tensor_from(vec![-1i8; 24]), GroupSize::G8);
+        let agg = SparsitySummary::aggregate([&small, &large]);
+        assert_eq!(agg.num_weights, 32);
+        assert!((agg.value_sparsity - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_conventions() {
+        let stats = LayerSparsityStats {
+            num_weights: 10,
+            value_sparsity: 0.0,
+            bit_sparsity_twos_complement: 0.5,
+            bit_sparsity_sign_magnitude: 0.6,
+            column_sparsity_twos_complement: 0.1,
+            column_sparsity_sign_magnitude: 0.2,
+            group_size: 8,
+        };
+        assert_eq!(stats.speedup_ratio_twos_complement(), f64::INFINITY);
+        assert_eq!(stats.column_sparsity(Encoding::SignMagnitude), 0.2);
+    }
+
+    #[test]
+    fn empty_group_iterator_yields_zero() {
+        let empty: Vec<&[i8]> = vec![];
+        assert_eq!(
+            column_sparsity_of_groups(empty.clone().into_iter(), Encoding::SignMagnitude),
+            0.0
+        );
+        assert_eq!(mean_nonzero_columns(empty.into_iter(), Encoding::SignMagnitude), 0.0);
+    }
+}

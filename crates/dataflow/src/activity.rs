@@ -1,0 +1,223 @@
+//! Table II activity counts.
+//!
+//! For every accelerator–layer pair, STEP 1 of the paper's modelling flow
+//! extracts dense operational activity counts from ZigZag: the number of MAC
+//! operations, the effective MACs per cycle under the chosen spatial
+//! unrolling, and the read/write counts at every memory level.  This module
+//! computes those counts analytically with an output-stationary dataflow and
+//! the shared SRAM–DRAM hierarchy of [`crate::memory::MemoryHierarchy`]:
+//!
+//! * Weights and activations each enter the chip at least once.  If one
+//!   operand's working set exceeds its SRAM, the other operand has to be
+//!   re-streamed once per tile; the model evaluates both tiling orders
+//!   (weight-outer and activation-outer) and keeps the cheaper one, which is
+//!   the decision ZigZag's temporal-mapping search would make.
+//! * On-chip, a weight SRAM read is spatially reused across the unrolled
+//!   output positions (`OXu·OYu`), an activation SRAM read across the
+//!   unrolled output channels (`Ku`); outputs are accumulated in PE-local
+//!   registers and written to SRAM once (output stationary).
+
+use crate::memory::MemoryHierarchy;
+use crate::su::SpatialUnrolling;
+use bitwave_dnn::layer::LayerSpec;
+use serde::{Deserialize, Serialize};
+
+/// Dense (sparsity-unaware) activity counts of one layer on one accelerator
+/// configuration — the reproduction of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivityCounts {
+    /// Total MAC operations (`N_mac`).
+    pub macs: u64,
+    /// Effective MACs per cycle under the chosen SU (`N_mac,cycle`).
+    pub macs_per_cycle: f64,
+    /// Off-chip activation reads in elements (`N_DRAM read,a`).
+    pub dram_read_act: u64,
+    /// Off-chip weight reads in elements (`N_DRAM read,w`).
+    pub dram_read_weight: u64,
+    /// Off-chip activation writes in elements (`N_DRAM write,a`).
+    pub dram_write_act: u64,
+    /// On-chip input-activation SRAM reads (`N_SRAM read-input`).
+    pub sram_read_input: u64,
+    /// On-chip weight SRAM reads (`N_SRAM read-weight`).
+    pub sram_read_weight: u64,
+    /// On-chip output SRAM writes (`N_SRAM write-output`).
+    pub sram_write_output: u64,
+    /// On-chip input SRAM fills from DRAM (`N_SRAM write-input`).
+    pub sram_write_input: u64,
+    /// On-chip weight SRAM fills from DRAM (`N_SRAM write-weight`).
+    pub sram_write_weight: u64,
+    /// PE register-file reads (`N_reg read`).
+    pub reg_read: u64,
+    /// PE register-file writes (`N_reg write`).
+    pub reg_write: u64,
+}
+
+impl ActivityCounts {
+    /// Analyses one layer under one spatial unrolling and memory hierarchy.
+    pub fn analyze(layer: &LayerSpec, su: &SpatialUnrolling, memory: &MemoryHierarchy) -> Self {
+        let dims = &layer.dims;
+        let macs = dims.macs();
+        let utilization = su.utilization(dims);
+        let macs_per_cycle = (su.parallelism() as f64 * utilization).max(1.0);
+
+        let weight_bytes = dims.weight_count() as usize;
+        let input_bytes = dims.input_count() as usize;
+        let output_bytes = dims.output_count() as usize;
+
+        // Tiling order A: weights resident tile by tile, activations
+        // re-streamed once per weight tile.
+        let weight_tiles = memory.weight_tiles(weight_bytes) as u64;
+        let dram_a = dims.weight_count() + dims.input_count() * weight_tiles;
+        // Tiling order B: activations resident tile by tile, weights
+        // re-streamed once per activation tile.
+        let act_tiles = memory.activation_tiles(input_bytes + output_bytes) as u64;
+        let dram_b = dims.weight_count() * act_tiles + dims.input_count();
+
+        let (dram_read_weight, dram_read_act) = if dram_a <= dram_b {
+            (dims.weight_count(), dims.input_count() * weight_tiles)
+        } else {
+            (dims.weight_count() * act_tiles, dims.input_count())
+        };
+        let dram_write_act = dims.output_count();
+
+        // Spatial reuse on chip.
+        let weight_reuse = (su.ox * su.oy).max(1) as u64;
+        let input_reuse = su.k.max(1) as u64;
+        let sram_read_weight = macs / weight_reuse;
+        let sram_read_input = macs / input_reuse;
+        let sram_write_output = dims.output_count();
+        let sram_write_input = dram_read_act;
+        let sram_write_weight = dram_read_weight;
+
+        // Output-stationary accumulation: one register read + write per MAC.
+        let reg_read = macs;
+        let reg_write = macs;
+
+        Self {
+            macs,
+            macs_per_cycle,
+            dram_read_act,
+            dram_read_weight,
+            dram_write_act,
+            sram_read_input,
+            sram_read_weight,
+            sram_write_output,
+            sram_write_input,
+            sram_write_weight,
+            reg_read,
+            reg_write,
+        }
+    }
+
+    /// Dense compute cycles implied by the counts (`N_mac / N_mac,cycle`),
+    /// before any sparsity skipping.
+    pub fn dense_compute_cycles(&self) -> f64 {
+        self.macs as f64 / self.macs_per_cycle
+    }
+
+    /// Total DRAM traffic in elements.
+    pub fn dram_total(&self) -> u64 {
+        self.dram_read_act + self.dram_read_weight + self.dram_write_act
+    }
+
+    /// Element-wise sum of two activity counts (for network-level totals).
+    pub fn accumulate(&self, other: &ActivityCounts) -> ActivityCounts {
+        ActivityCounts {
+            macs: self.macs + other.macs,
+            // Aggregate throughput is defined by total MACs over total cycles.
+            macs_per_cycle: {
+                let cycles = self.dense_compute_cycles() + other.dense_compute_cycles();
+                if cycles > 0.0 {
+                    (self.macs + other.macs) as f64 / cycles
+                } else {
+                    self.macs_per_cycle
+                }
+            },
+            dram_read_act: self.dram_read_act + other.dram_read_act,
+            dram_read_weight: self.dram_read_weight + other.dram_read_weight,
+            dram_write_act: self.dram_write_act + other.dram_write_act,
+            sram_read_input: self.sram_read_input + other.sram_read_input,
+            sram_read_weight: self.sram_read_weight + other.sram_read_weight,
+            sram_write_output: self.sram_write_output + other.sram_write_output,
+            sram_write_input: self.sram_write_input + other.sram_write_input,
+            sram_write_weight: self.sram_write_weight + other.sram_write_weight,
+            reg_read: self.reg_read + other.reg_read,
+            reg_write: self.reg_write + other.reg_write,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::su::{baseline_su, bitwave_su};
+    use bitwave_dnn::models::{bert_base, resnet18};
+
+    #[test]
+    fn small_layer_reads_each_operand_once() {
+        let net = resnet18();
+        let layer = net.layer("layer1.0.conv1").unwrap(); // 36,864 weights, fits SRAM
+        let counts =
+            ActivityCounts::analyze(layer, &bitwave_su::SU1, &MemoryHierarchy::bitwave_default());
+        assert_eq!(counts.dram_read_weight, layer.dims.weight_count());
+        assert_eq!(counts.dram_read_act, layer.dims.input_count());
+        assert_eq!(counts.dram_write_act, layer.dims.output_count());
+        assert_eq!(counts.macs, layer.macs());
+    }
+
+    #[test]
+    fn oversized_weights_force_extra_traffic_on_one_operand() {
+        let net = bert_base();
+        let layer = net.layer("bert.encoder.layer.0.intermediate").unwrap(); // 2.36 MB of weights
+        let counts =
+            ActivityCounts::analyze(layer, &bitwave_su::SU6, &MemoryHierarchy::bitwave_default());
+        // With only 4 tokens the activations are tiny, so the model should
+        // keep weights streaming once and never re-read them.
+        assert_eq!(counts.dram_read_weight, layer.dims.weight_count());
+        assert!(counts.dram_read_act >= layer.dims.input_count());
+    }
+
+    #[test]
+    fn sram_reads_account_for_spatial_reuse() {
+        let net = resnet18();
+        let layer = net.layer("layer2.0.conv2").unwrap();
+        let su = bitwave_su::SU1; // OXu=16, Ku=32
+        let counts = ActivityCounts::analyze(layer, &su, &MemoryHierarchy::bitwave_default());
+        assert_eq!(counts.sram_read_weight, layer.macs() / 16);
+        assert_eq!(counts.sram_read_input, layer.macs() / 32);
+        assert_eq!(counts.sram_write_output, layer.dims.output_count());
+    }
+
+    #[test]
+    fn dense_cycles_scale_inversely_with_utilization() {
+        let net = resnet18();
+        let layer = net.layer("conv1").unwrap(); // only 3 input channels
+        let mem = MemoryHierarchy::bitwave_default();
+        let low_util = ActivityCounts::analyze(layer, &bitwave_su::SU3, &mem); // Cu=32 badly used
+        let high_util = ActivityCounts::analyze(layer, &baseline_su::XY_4096, &mem);
+        assert!(low_util.dense_compute_cycles() > high_util.dense_compute_cycles());
+    }
+
+    #[test]
+    fn accumulate_sums_counts_and_averages_throughput() {
+        let net = resnet18();
+        let mem = MemoryHierarchy::bitwave_default();
+        let a = ActivityCounts::analyze(net.layer("layer1.0.conv1").unwrap(), &bitwave_su::SU1, &mem);
+        let b = ActivityCounts::analyze(net.layer("layer1.0.conv2").unwrap(), &bitwave_su::SU1, &mem);
+        let total = a.accumulate(&b);
+        assert_eq!(total.macs, a.macs + b.macs);
+        assert_eq!(total.dram_total(), a.dram_total() + b.dram_total());
+        let expected_cycles = a.dense_compute_cycles() + b.dense_compute_cycles();
+        assert!((total.dense_compute_cycles() - expected_cycles).abs() / expected_cycles < 1e-9);
+    }
+
+    #[test]
+    fn register_activity_tracks_macs() {
+        let net = resnet18();
+        let layer = net.layer("fc").unwrap();
+        let counts =
+            ActivityCounts::analyze(layer, &bitwave_su::SU6, &MemoryHierarchy::bitwave_default());
+        assert_eq!(counts.reg_read, layer.macs());
+        assert_eq!(counts.reg_write, layer.macs());
+    }
+}

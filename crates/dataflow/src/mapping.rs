@@ -1,0 +1,165 @@
+//! Per-layer spatial-unrolling selection.
+//!
+//! BitWave (and HUAA) choose a spatial unrolling per layer offline with the
+//! ZigZag design-space exploration and store the decision in the instruction
+//! memory (Section IV-C).  The selection criterion reproduced here is the
+//! one the paper motivates with Fig. 9: maximise the effective MAC lanes per
+//! cycle (array parallelism × utilisation), and among equally-fast options
+//! prefer the one with the lower weight bandwidth demand (smaller `Cu·Ku`),
+//! which reduces SRAM pressure.
+
+use crate::su::{SpatialUnrolling, SuSet};
+use bitwave_dnn::layer::LayerSpec;
+use serde::Serialize;
+
+/// The mapping decision for one layer.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MappingDecision {
+    /// Layer name.
+    pub layer: String,
+    /// The chosen spatial unrolling.
+    pub su: SpatialUnrolling,
+    /// PE-array utilisation achieved by the choice.
+    pub utilization: f64,
+    /// Effective MAC lanes per cycle (`parallelism × utilisation`).
+    pub effective_macs_per_cycle: f64,
+}
+
+/// Selects the best SU of `set` for `layer`.
+///
+/// # Panics
+///
+/// Panics if `set.options` is empty.
+pub fn select_spatial_unrolling(layer: &LayerSpec, set: &SuSet) -> MappingDecision {
+    assert!(!set.options.is_empty(), "SU set must contain at least one option");
+    let mut best = set.options[0];
+    let mut best_rate = f64::NEG_INFINITY;
+    for &su in &set.options {
+        let rate = su.parallelism() as f64 * su.utilization_for(layer);
+        let better = rate > best_rate + 1e-9
+            || (rate > best_rate - 1e-9
+                && su.weight_elements_per_cycle() < best.weight_elements_per_cycle());
+        if better {
+            best = su;
+            best_rate = rate;
+        }
+    }
+    MappingDecision {
+        layer: layer.name.clone(),
+        su: best,
+        utilization: best.utilization_for(layer),
+        effective_macs_per_cycle: best_rate,
+    }
+}
+
+/// Maps every layer of a network onto the SU set, returning one decision per
+/// layer in execution order.
+pub fn map_network(layers: &[LayerSpec], set: &SuSet) -> Vec<MappingDecision> {
+    layers
+        .iter()
+        .map(|layer| select_spatial_unrolling(layer, set))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::su::bitwave_su;
+    use bitwave_dnn::models::{mobilenet_v2, resnet18};
+
+    #[test]
+    fn depthwise_layers_never_map_worse_than_su7() {
+        // The dedicated SU7 is the depthwise fallback of Table I; the mapper
+        // must never pick anything slower than it for a depthwise layer.
+        let net = mobilenet_v2();
+        let dw = net.layers.iter().find(|l| l.kind.is_depthwise()).unwrap();
+        let decision = select_spatial_unrolling(dw, &SuSet::bitwave());
+        let su7_rate = bitwave_su::SU7.parallelism() as f64 * bitwave_su::SU7.utilization_for(dw);
+        assert!(decision.effective_macs_per_cycle >= su7_rate - 1e-9);
+        // A depthwise layer still cannot come close to filling the array.
+        assert!(decision.utilization < 0.5, "got {}", decision.utilization);
+    }
+
+    #[test]
+    fn deep_layers_select_channel_parallel_su() {
+        let net = resnet18();
+        let late = net.layer("layer4.1.conv2").unwrap();
+        let decision = select_spatial_unrolling(late, &SuSet::bitwave());
+        assert!(decision.utilization > 0.8, "got {}", decision.utilization);
+        assert!(
+            decision.su.c >= 8 && decision.su.k >= 32,
+            "expected a CK-parallel SU, got {}",
+            decision.su.name
+        );
+    }
+
+    #[test]
+    fn fixed_set_always_returns_its_only_option() {
+        let net = resnet18();
+        let set = SuSet::dense();
+        for layer in &net.layers {
+            let d = select_spatial_unrolling(layer, &set);
+            assert_eq!(d.su.name, "Dense64x64");
+        }
+    }
+
+    #[test]
+    fn mapping_covers_every_layer_in_order() {
+        let net = resnet18();
+        let decisions = map_network(&net.layers, &SuSet::bitwave());
+        assert_eq!(decisions.len(), net.layers.len());
+        for (d, l) in decisions.iter().zip(&net.layers) {
+            assert_eq!(d.layer, l.name);
+            assert!((0.0..=1.0).contains(&d.utilization));
+            assert!(d.effective_macs_per_cycle <= 4096.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn dynamic_mapping_improves_mean_utilization_over_dense() {
+        let net = mobilenet_v2();
+        let dynamic = map_network(&net.layers, &SuSet::bitwave());
+        let dense = map_network(&net.layers, &SuSet::dense());
+        let mean_util = |d: &[MappingDecision]| {
+            d.iter().map(|x| x.utilization).sum::<f64>() / d.len() as f64
+        };
+        let mean_rate = |d: &[MappingDecision]| {
+            d.iter().map(|x| x.effective_macs_per_cycle).sum::<f64>() / d.len() as f64
+        };
+        // The Fig. 13 story: MobileNetV2 gains the most from dynamic dataflow,
+        // both in raw array occupancy and (more strongly) in effective MAC
+        // throughput.
+        assert!(
+            mean_util(&dynamic) > 1.2 * mean_util(&dense),
+            "dynamic util {:.3} vs dense {:.3}",
+            mean_util(&dynamic),
+            mean_util(&dense)
+        );
+        assert!(
+            mean_rate(&dynamic) > 1.2 * mean_rate(&dense),
+            "dynamic rate {:.0} vs dense {:.0}",
+            mean_rate(&dynamic),
+            mean_rate(&dense)
+        );
+    }
+
+    #[test]
+    fn tie_break_prefers_lower_weight_bandwidth() {
+        // A pointwise layer with plenty of channels keeps several SUs equally
+        // fast; the tie-break should then pick the lowest weight bandwidth.
+        let net = mobilenet_v2();
+        let pw = net
+            .layers
+            .iter()
+            .find(|l| l.name.ends_with("project") && l.dims.k >= 32)
+            .unwrap();
+        let decision = select_spatial_unrolling(pw, &SuSet::bitwave());
+        let best_bw = decision.su.weight_elements_per_cycle();
+        for su in bitwave_su::ALL {
+            let rate = su.parallelism() as f64 * su.utilization_for(pw);
+            if (rate - decision.effective_macs_per_cycle).abs() < 1e-9 {
+                assert!(best_bw <= su.weight_elements_per_cycle());
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! PE-array utilisation analysis (Fig. 9).
+//!
+//! Fig. 9 of the paper shows that no single fixed spatial unrolling keeps a
+//! large bit-serial array (4096 1b×8b lanes) above 80 % utilisation across
+//! early layers, late layers, depthwise and pointwise convolutions — the
+//! motivation for BitWave's dynamic dataflow.  These helpers compute the
+//! utilisation of a layer under an SU and the effective MACs per cycle that
+//! the accelerator models (Eq. 2) consume.
+
+use crate::su::{SpatialUnrolling, SuSet};
+use bitwave_dnn::layer::{LayerSpec, LoopDims};
+use serde::{Deserialize, Serialize};
+
+/// Spatial utilisation (0.0–1.0) of a layer under one SU (layer-kind aware:
+/// depthwise layers cannot fill `Cu`/`Ku` lanes, see
+/// [`SpatialUnrolling::utilization_for`]).
+pub fn spatial_utilization(layer: &LayerSpec, su: &SpatialUnrolling) -> f64 {
+    su.utilization_for(layer)
+}
+
+/// Effective MAC lanes per cycle of a layer under one SU: the SU's raw
+/// parallelism scaled by its utilisation on this layer.
+pub fn effective_macs_per_cycle(dims: &LoopDims, su: &SpatialUnrolling) -> f64 {
+    su.parallelism() as f64 * su.utilization(dims)
+}
+
+/// The best utilisation achievable for a layer across a set of selectable
+/// SUs, together with the chosen SU (dynamic-dataflow machines pick per
+/// layer; fixed machines have a single option).
+pub fn best_utilization(dims: &LoopDims, set: &SuSet) -> (SpatialUnrolling, f64) {
+    let mut best = set.options[0];
+    let mut best_util = 0.0f64;
+    for &su in &set.options {
+        let u = su.utilization(dims);
+        if u > best_util {
+            best_util = u;
+            best = su;
+        }
+    }
+    (best, best_util)
+}
+
+/// One row of the Fig. 9 utilisation study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationRow {
+    /// Workload case label ("early layer", "late layer", "Dwcv", "Pwcv").
+    pub case: String,
+    /// SU name.
+    pub su: String,
+    /// Array size in MAC lanes.
+    pub array_lanes: usize,
+    /// Utilisation in 0.0–1.0.
+    pub utilization: f64,
+}
+
+/// Evaluates a list of `(case label, layer)` pairs against a list of SUs,
+/// producing the full Fig. 9 matrix.
+pub fn utilization_matrix(
+    cases: &[(&str, &LayerSpec)],
+    sus: &[SpatialUnrolling],
+) -> Vec<UtilizationRow> {
+    let mut rows = Vec::with_capacity(cases.len() * sus.len());
+    for (label, layer) in cases {
+        for su in sus {
+            rows.push(UtilizationRow {
+                case: (*label).to_string(),
+                su: su.name.to_string(),
+                array_lanes: su.parallelism(),
+                utilization: su.utilization_for(layer),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::su::{baseline_su, bitwave_su};
+    use bitwave_dnn::models::{mobilenet_v2, resnet18};
+
+    #[test]
+    fn effective_macs_scale_with_utilization() {
+        let net = resnet18();
+        let layer = net.layer("layer4.1.conv2").unwrap();
+        let su = bitwave_su::SU3;
+        let macs = effective_macs_per_cycle(&layer.dims, &su);
+        assert!((macs - 4096.0 * su.utilization(&layer.dims)).abs() < 1e-9);
+        assert!(macs > 0.0);
+    }
+
+    #[test]
+    fn dynamic_set_beats_any_fixed_su_on_mixed_workloads() {
+        // Averaged over the four Fig. 9 workload cases, BitWave's selectable
+        // set must beat every single fixed SU.
+        let resnet = resnet18();
+        let mobile = mobilenet_v2();
+        let early = resnet.layer("conv1").unwrap();
+        let late = resnet.layer("layer4.1.conv2").unwrap();
+        let dw = mobile
+            .layers
+            .iter()
+            .find(|l| l.kind.is_depthwise())
+            .unwrap();
+        let pw = mobile
+            .layers
+            .iter()
+            .find(|l| l.name.ends_with("expand"))
+            .unwrap();
+        let cases = [early, late, dw, pw];
+
+        let set = SuSet::bitwave();
+        let dynamic_mean: f64 = cases
+            .iter()
+            .map(|l| best_utilization(&l.dims, &set).1)
+            .sum::<f64>()
+            / cases.len() as f64;
+
+        for su in bitwave_su::ALL {
+            let fixed_mean: f64 = cases
+                .iter()
+                .map(|l| su.utilization(&l.dims))
+                .sum::<f64>()
+                / cases.len() as f64;
+            assert!(
+                dynamic_mean >= fixed_mean - 1e-12,
+                "dynamic ({dynamic_mean:.3}) must not lose to fixed {} ({fixed_mean:.3})",
+                su.name
+            );
+        }
+        assert!(dynamic_mean > 0.55, "dynamic mean utilisation {dynamic_mean:.3}");
+    }
+
+    #[test]
+    fn no_fixed_su_exceeds_80_percent_everywhere() {
+        // The observation motivating Fig. 9.
+        let resnet = resnet18();
+        let mobile = mobilenet_v2();
+        let cases = [
+            resnet.layer("conv1").unwrap(),
+            resnet.layer("layer4.1.conv2").unwrap(),
+            mobile.layers.iter().find(|l| l.kind.is_depthwise()).unwrap(),
+            mobile.layers.iter().find(|l| l.name.ends_with("expand")).unwrap(),
+        ];
+        let fixed_4096 = [
+            baseline_su::XY_4096,
+            baseline_su::CK_4096,
+            baseline_su::XFX_4096,
+        ];
+        for su in fixed_4096 {
+            let min_util = cases
+                .iter()
+                .map(|l| su.utilization(&l.dims))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                min_util < 0.8,
+                "fixed SU {} unexpectedly exceeds 80% on every case",
+                su.name
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_has_one_row_per_case_su_pair() {
+        let resnet = resnet18();
+        let early = resnet.layer("conv1").unwrap();
+        let late = resnet.layer("layer4.1.conv2").unwrap();
+        let rows = utilization_matrix(
+            &[("early", early), ("late", late)],
+            &[baseline_su::XY_4096, baseline_su::CK_4096],
+        );
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.utilization)));
+        assert_eq!(rows[0].case, "early");
+        assert_eq!(rows[0].array_lanes, 4096);
+    }
+}

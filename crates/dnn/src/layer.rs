@@ -1,0 +1,451 @@
+//! Layer specifications normalised onto the 7-dimensional loop nest of
+//! Fig. 2 (`B, K, C, OY, OX, FY, FX`).
+//!
+//! Every layer kind in the four benchmark networks — regular and depthwise
+//! convolutions, pointwise (1×1) convolutions, linear layers, LSTM gates and
+//! transformer projections — maps onto this nest:
+//!
+//! | kind | B | K | C | OY×OX | FY×FX |
+//! |------|---|---|---|-------|-------|
+//! | Conv2d | batch | out channels | in channels | output map | kernel |
+//! | DepthwiseConv2d | batch | channels (one group each) | 1 | output map | kernel |
+//! | Linear / LSTM gate / attention projection | batch·tokens | out features | in features | 1×1 | 1×1 |
+//!
+//! The dataflow and accelerator models consume only these dimensions plus
+//! the per-layer sparsity statistics; the inference kernels additionally use
+//! stride and padding.
+
+use bitwave_tensor::prelude::*;
+use bitwave_tensor::synth::{ActivationKind, LayerWeightProfile};
+use serde::{Deserialize, Serialize};
+
+/// The seven loop dimensions of a (generalised) convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LoopDims {
+    /// Batch (for transformers: batch × sequence length).
+    pub b: usize,
+    /// Output channels / output features.
+    pub k: usize,
+    /// Input channels / input features.
+    pub c: usize,
+    /// Output feature-map height.
+    pub oy: usize,
+    /// Output feature-map width.
+    pub ox: usize,
+    /// Kernel height.
+    pub fy: usize,
+    /// Kernel width.
+    pub fx: usize,
+}
+
+impl LoopDims {
+    /// Loop dims of a linear layer processing `b` rows.
+    pub fn linear(b: usize, out_features: usize, in_features: usize) -> Self {
+        Self {
+            b,
+            k: out_features,
+            c: in_features,
+            oy: 1,
+            ox: 1,
+            fy: 1,
+            fx: 1,
+        }
+    }
+
+    /// Total number of MAC operations of the layer.
+    pub fn macs(&self) -> u64 {
+        self.b as u64
+            * self.k as u64
+            * self.c as u64
+            * self.oy as u64
+            * self.ox as u64
+            * self.fy as u64
+            * self.fx as u64
+    }
+
+    /// Number of weight elements (`K·C·FY·FX`).
+    pub fn weight_count(&self) -> u64 {
+        self.k as u64 * self.c as u64 * self.fy as u64 * self.fx as u64
+    }
+
+    /// Number of input activation elements consumed (`B·C·IY·IX`), assuming
+    /// stride-1 "same" geometry for the estimate (`IY ≈ OY + FY - 1`).
+    pub fn input_count(&self) -> u64 {
+        self.b as u64
+            * self.c as u64
+            * (self.oy + self.fy - 1) as u64
+            * (self.ox + self.fx - 1) as u64
+    }
+
+    /// Number of output activation elements produced (`B·K·OY·OX`).
+    pub fn output_count(&self) -> u64 {
+        self.b as u64 * self.k as u64 * self.oy as u64 * self.ox as u64
+    }
+}
+
+/// The layer kinds occurring in the evaluated networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Standard 2-D convolution.
+    Conv2d {
+        /// Convolution stride (same in both dimensions).
+        stride: usize,
+        /// Zero padding (same on all sides).
+        padding: usize,
+    },
+    /// Depthwise 2-D convolution (one input channel per output channel).
+    DepthwiseConv2d {
+        /// Convolution stride.
+        stride: usize,
+        /// Zero padding.
+        padding: usize,
+    },
+    /// Pointwise (1×1) convolution.
+    PointwiseConv2d,
+    /// Fully-connected layer.
+    Linear,
+    /// One LSTM gate bundle (the 4 gates' input and recurrent matrices,
+    /// modelled as a single wide linear layer as the hardware sees them).
+    LstmGates,
+    /// Transformer attention projection (Q, K, V or output).
+    AttentionProjection,
+    /// Transformer feed-forward linear.
+    FeedForward,
+}
+
+impl LayerKind {
+    /// Whether the layer is a depthwise convolution (needs the dedicated SU7
+    /// dataflow in BitWave, Table I).
+    pub fn is_depthwise(&self) -> bool {
+        matches!(self, LayerKind::DepthwiseConv2d { .. })
+    }
+
+    /// Whether the layer is any kind of matrix multiplication
+    /// (linear/LSTM/attention/FFN) rather than a spatial convolution.
+    pub fn is_matmul(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Linear
+                | LayerKind::LstmGates
+                | LayerKind::AttentionProjection
+                | LayerKind::FeedForward
+        )
+    }
+}
+
+/// A single layer of a benchmark network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Layer name (mirrors the framework naming used in Fig. 6, e.g.
+    /// "layer4.0.conv1" or "bert.encoder.layer.1.attention.q").
+    pub name: String,
+    /// Layer kind.
+    pub kind: LayerKind,
+    /// The 7-dimensional loop nest.
+    pub dims: LoopDims,
+    /// Weight-distribution profile used for synthetic weight generation.
+    pub weight_profile: LayerWeightProfile,
+    /// Activation statistics of this layer's *input* activations.
+    pub activation: ActivationKind,
+    /// Relative sensitivity of model quality to weight perturbation in this
+    /// layer (higher = more sensitive; early/weight-light layers are more
+    /// sensitive, Fig. 6a–d).
+    pub sensitivity: f64,
+}
+
+impl LayerSpec {
+    /// Creates a standard convolution layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        input_hw: usize,
+        sensitivity: f64,
+    ) -> Self {
+        let out_hw = conv_output_size(input_hw, kernel, stride, padding);
+        Self {
+            name: name.into(),
+            kind: LayerKind::Conv2d { stride, padding },
+            dims: LoopDims {
+                b: 1,
+                k: out_channels,
+                c: in_channels,
+                oy: out_hw,
+                ox: out_hw,
+                fy: kernel,
+                fx: kernel,
+            },
+            weight_profile: LayerWeightProfile::weight_heavy(),
+            activation: ActivationKind::Relu { std: 1.0 },
+            sensitivity,
+        }
+    }
+
+    /// Creates a depthwise convolution layer over `channels` channels.
+    pub fn depthwise(
+        name: impl Into<String>,
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        input_hw: usize,
+        sensitivity: f64,
+    ) -> Self {
+        let out_hw = conv_output_size(input_hw, kernel, stride, padding);
+        Self {
+            name: name.into(),
+            kind: LayerKind::DepthwiseConv2d { stride, padding },
+            dims: LoopDims {
+                b: 1,
+                k: channels,
+                c: 1,
+                oy: out_hw,
+                ox: out_hw,
+                fy: kernel,
+                fx: kernel,
+            },
+            weight_profile: LayerWeightProfile::weight_light(),
+            activation: ActivationKind::Relu { std: 1.0 },
+            sensitivity,
+        }
+    }
+
+    /// Creates a pointwise (1×1) convolution layer.
+    pub fn pointwise(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        output_hw: usize,
+        sensitivity: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::PointwiseConv2d,
+            dims: LoopDims {
+                b: 1,
+                k: out_channels,
+                c: in_channels,
+                oy: output_hw,
+                ox: output_hw,
+                fy: 1,
+                fx: 1,
+            },
+            weight_profile: LayerWeightProfile::weight_heavy(),
+            activation: ActivationKind::Relu { std: 1.0 },
+            sensitivity,
+        }
+    }
+
+    /// Creates a fully-connected layer processing `rows` input rows.
+    pub fn linear(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        rows: usize,
+        sensitivity: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::Linear,
+            dims: LoopDims::linear(rows, out_features, in_features),
+            weight_profile: LayerWeightProfile::weight_heavy(),
+            activation: ActivationKind::Relu { std: 1.0 },
+            sensitivity,
+        }
+    }
+
+    /// Creates an LSTM gate-bundle layer (`4·hidden × (input + hidden)`
+    /// weights applied at every one of `timesteps` steps).
+    pub fn lstm_gates(
+        name: impl Into<String>,
+        input_size: usize,
+        hidden_size: usize,
+        timesteps: usize,
+        sensitivity: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::LstmGates,
+            dims: LoopDims::linear(timesteps, 4 * hidden_size, input_size + hidden_size),
+            weight_profile: LayerWeightProfile::weight_heavy(),
+            // LSTM gates use sigmoid/tanh inputs: essentially no activation sparsity.
+            activation: ActivationKind::Gaussianlike { std: 1.0 },
+            sensitivity,
+        }
+    }
+
+    /// Creates a transformer projection or feed-forward layer over `tokens`
+    /// tokens.
+    pub fn transformer(
+        name: impl Into<String>,
+        kind: LayerKind,
+        in_features: usize,
+        out_features: usize,
+        tokens: usize,
+        sensitivity: f64,
+    ) -> Self {
+        debug_assert!(matches!(
+            kind,
+            LayerKind::AttentionProjection | LayerKind::FeedForward | LayerKind::Linear
+        ));
+        Self {
+            name: name.into(),
+            kind,
+            dims: LoopDims::linear(tokens, out_features, in_features),
+            weight_profile: LayerWeightProfile::transformer(),
+            activation: ActivationKind::Gaussianlike { std: 1.0 },
+            sensitivity,
+        }
+    }
+
+    /// Overrides the weight profile (builder style).
+    pub fn with_weight_profile(mut self, profile: LayerWeightProfile) -> Self {
+        self.weight_profile = profile;
+        self
+    }
+
+    /// Overrides the input-activation model (builder style).
+    pub fn with_activation(mut self, activation: ActivationKind) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// The weight tensor shape of the layer.
+    pub fn weight_shape(&self) -> Shape {
+        match self.kind {
+            LayerKind::Conv2d { .. } | LayerKind::PointwiseConv2d => Shape::conv_weight(
+                self.dims.k,
+                self.dims.c,
+                self.dims.fy,
+                self.dims.fx,
+            ),
+            LayerKind::DepthwiseConv2d { .. } => {
+                Shape::conv_weight(self.dims.k, 1, self.dims.fy, self.dims.fx)
+            }
+            LayerKind::Linear
+            | LayerKind::LstmGates
+            | LayerKind::AttentionProjection
+            | LayerKind::FeedForward => Shape::d2(self.dims.k, self.dims.c),
+        }
+    }
+
+    /// Total MAC operations of the layer.
+    pub fn macs(&self) -> u64 {
+        self.dims.macs()
+    }
+
+    /// Number of weight parameters of the layer.
+    pub fn weight_count(&self) -> u64 {
+        self.weight_shape().num_elements() as u64
+    }
+
+    /// Expected input-activation value sparsity of the layer (used by the
+    /// analytical accelerator models for SCNN/Pragmatic).
+    pub fn expected_activation_sparsity(&self) -> f64 {
+        match self.activation {
+            ActivationKind::Relu { .. } => 0.5,
+            ActivationKind::Gaussianlike { .. } => 0.0,
+        }
+    }
+}
+
+/// Output spatial size of a convolution.
+pub fn conv_output_size(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    (input + 2 * padding - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_size_matches_pytorch_convention() {
+        assert_eq!(conv_output_size(224, 7, 2, 3), 112);
+        assert_eq!(conv_output_size(56, 3, 1, 1), 56);
+        assert_eq!(conv_output_size(56, 3, 2, 1), 28);
+        assert_eq!(conv_output_size(56, 1, 2, 0), 28);
+    }
+
+    #[test]
+    fn resnet_conv1_macs() {
+        let l = LayerSpec::conv2d("conv1", 3, 64, 7, 2, 3, 224, 1.0);
+        // 64 * 3 * 7 * 7 * 112 * 112 = 118_013_952 MACs.
+        assert_eq!(l.macs(), 118_013_952);
+        assert_eq!(l.weight_count(), 64 * 3 * 7 * 7);
+        assert_eq!(l.weight_shape(), Shape::conv_weight(64, 3, 7, 7));
+    }
+
+    #[test]
+    fn linear_layer_dims() {
+        let l = LayerSpec::linear("fc", 512, 1000, 1, 1.0);
+        assert_eq!(l.macs(), 512_000);
+        assert_eq!(l.weight_shape(), Shape::d2(1000, 512));
+        assert!(l.kind.is_matmul());
+        assert!(!l.kind.is_depthwise());
+    }
+
+    #[test]
+    fn depthwise_layer_dims() {
+        let l = LayerSpec::depthwise("dw", 32, 3, 1, 1, 112, 1.0);
+        assert_eq!(l.dims.k, 32);
+        assert_eq!(l.dims.c, 1);
+        assert_eq!(l.macs(), 32 * 9 * 112 * 112);
+        assert!(l.kind.is_depthwise());
+        assert_eq!(l.weight_shape(), Shape::conv_weight(32, 1, 3, 3));
+    }
+
+    #[test]
+    fn lstm_gates_are_wide_linear() {
+        let l = LayerSpec::lstm_gates("lstm.0", 256, 400, 100, 1.0);
+        assert_eq!(l.dims.k, 1600);
+        assert_eq!(l.dims.c, 656);
+        assert_eq!(l.dims.b, 100);
+        assert_eq!(l.weight_count(), 1600 * 656);
+        assert_eq!(l.expected_activation_sparsity(), 0.0);
+    }
+
+    #[test]
+    fn transformer_layer() {
+        let l = LayerSpec::transformer(
+            "encoder.0.attention.q",
+            LayerKind::AttentionProjection,
+            768,
+            768,
+            4,
+            1.0,
+        );
+        assert_eq!(l.macs(), 4 * 768 * 768);
+        assert_eq!(l.expected_activation_sparsity(), 0.0);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let l = LayerSpec::conv2d("c", 8, 8, 3, 1, 1, 16, 1.0)
+            .with_activation(ActivationKind::Gaussianlike { std: 0.5 })
+            .with_weight_profile(LayerWeightProfile::transformer());
+        assert_eq!(l.expected_activation_sparsity(), 0.0);
+        assert_eq!(l.weight_profile, LayerWeightProfile::transformer());
+    }
+
+    #[test]
+    fn loop_dims_counts() {
+        let d = LoopDims {
+            b: 2,
+            k: 4,
+            c: 3,
+            oy: 5,
+            ox: 5,
+            fy: 3,
+            fx: 3,
+        };
+        assert_eq!(d.macs(), 2 * 4 * 3 * 5 * 5 * 3 * 3);
+        assert_eq!(d.weight_count(), 4 * 3 * 3 * 3);
+        assert_eq!(d.output_count(), 2 * 4 * 5 * 5);
+        assert_eq!(d.input_count(), 2 * 3 * 7 * 7);
+    }
+}

@@ -1,0 +1,162 @@
+//! The Zero-Column Index Parser (ZCIP, Fig. 7).
+//!
+//! Every compressed weight group carries an 8-bit index whose bit `b` is set
+//! when bit-column `b` is non-zero and therefore present in the compressed
+//! stream.  The ZCIP splits the index into the sign column (MSB) and the
+//! seven magnitude columns, emits one shift amount per non-zero magnitude
+//! column per cycle (LSB first), raises `Sign Rqst` when the sign column
+//! must be fetched, and reports the number of cycles the associated
+//! computation will take through the synchronisation counter.
+//!
+//! In *dense mode* the parser ignores the index and emits every column of
+//! the configured precision, which is how BitWave handles uncompressed or
+//! deeply-quantised weights without paying the index overhead.
+
+use serde::{Deserialize, Serialize};
+
+/// One micro-operation emitted by the parser: process the weight bit-column
+/// at `shift` significance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnOp {
+    /// Bit significance of the column (0 = LSB … 6 = MSB-1 of the magnitude).
+    pub shift: u8,
+}
+
+/// The parsed schedule of one weight group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParsedIndex {
+    /// Whether the sign column must be fetched (`Sign Rqst` in Fig. 7).
+    pub sign_request: bool,
+    /// The magnitude-column operations in issue order (LSB first).
+    pub ops: Vec<ColumnOp>,
+}
+
+impl ParsedIndex {
+    /// Number of compute cycles this group needs (`Sync.ctr`): one per
+    /// non-zero magnitude column.
+    pub fn sync_cycles(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// The Zero-Column Index Parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZeroColumnIndexParser {
+    dense_mode: bool,
+    /// Weight precision used in dense mode (bits including sign, 2..=8).
+    dense_precision: u8,
+}
+
+impl ZeroColumnIndexParser {
+    /// A parser in sparse (index-driven) mode.
+    pub fn new() -> Self {
+        Self {
+            dense_mode: false,
+            dense_precision: 8,
+        }
+    }
+
+    /// A parser in dense mode with the given weight precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision` is not in `2..=8`.
+    pub fn dense(precision: u8) -> Self {
+        assert!(
+            (2..=8).contains(&precision),
+            "dense-mode precision must be 2..=8 bits, got {precision}"
+        );
+        Self {
+            dense_mode: true,
+            dense_precision: precision,
+        }
+    }
+
+    /// Whether the parser is in dense mode.
+    pub fn is_dense_mode(&self) -> bool {
+        self.dense_mode
+    }
+
+    /// Parses one 8-bit non-zero-column index into a column schedule.
+    pub fn parse(&self, index: u8) -> ParsedIndex {
+        if self.dense_mode {
+            // Dense mode: emit every magnitude column of the configured
+            // precision and always fetch the sign column.
+            let magnitude_bits = self.dense_precision - 1;
+            return ParsedIndex {
+                sign_request: true,
+                ops: (0..magnitude_bits).map(|shift| ColumnOp { shift }).collect(),
+            };
+        }
+        let sign_request = index & 0x80 != 0;
+        let ops = (0..7u8)
+            .filter(|&b| (index >> b) & 1 == 1)
+            .map(|shift| ColumnOp { shift })
+            .collect();
+        ParsedIndex { sign_request, ops }
+    }
+}
+
+impl Default for ZeroColumnIndexParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sparse_mode_emits_only_nonzero_columns() {
+        let parser = ZeroColumnIndexParser::new();
+        // Index: sign column set, magnitude columns 0 and 2 set.
+        let parsed = parser.parse(0b1000_0101);
+        assert!(parsed.sign_request);
+        assert_eq!(parsed.ops, vec![ColumnOp { shift: 0 }, ColumnOp { shift: 2 }]);
+        assert_eq!(parsed.sync_cycles(), 2);
+    }
+
+    #[test]
+    fn all_zero_index_needs_no_cycles() {
+        let parsed = ZeroColumnIndexParser::new().parse(0);
+        assert!(!parsed.sign_request);
+        assert_eq!(parsed.sync_cycles(), 0);
+    }
+
+    #[test]
+    fn sign_only_index() {
+        let parsed = ZeroColumnIndexParser::new().parse(0b1000_0000);
+        assert!(parsed.sign_request);
+        assert_eq!(parsed.sync_cycles(), 0);
+    }
+
+    #[test]
+    fn dense_mode_ignores_index() {
+        let parser = ZeroColumnIndexParser::dense(8);
+        let parsed = parser.parse(0b0000_0001);
+        assert!(parsed.sign_request);
+        assert_eq!(parsed.sync_cycles(), 7);
+        assert!(parser.is_dense_mode());
+        let parser4 = ZeroColumnIndexParser::dense(4);
+        assert_eq!(parser4.parse(0xFF).sync_cycles(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=8")]
+    fn dense_mode_rejects_invalid_precision() {
+        ZeroColumnIndexParser::dense(1);
+    }
+
+    proptest! {
+        #[test]
+        fn cycle_count_matches_magnitude_popcount(index in 0u8..=255) {
+            let parsed = ZeroColumnIndexParser::new().parse(index);
+            prop_assert_eq!(parsed.sync_cycles() as u32, (index & 0x7F).count_ones());
+            prop_assert_eq!(parsed.sign_request, index & 0x80 != 0);
+            // Ops are strictly increasing in shift (LSB first).
+            prop_assert!(parsed.ops.windows(2).all(|w| w[0].shift < w[1].shift));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Bit-plane helpers shared by the sparsity analysis and the cycle-level
+//! simulator.
+//!
+//! A "bit column" in the paper is the set of bits at the same significance
+//! across a group of G weights (Fig. 4).  These helpers extract individual
+//! bits and whole bit columns from Int8 data in either two's-complement or
+//! sign-magnitude encoding.
+
+use crate::sm;
+
+/// Number of bits in an Int8 word.
+pub const WORD_BITS: usize = 8;
+
+/// Number of magnitude bits in the sign-magnitude encoding (bits 0..=6).
+pub const MAGNITUDE_BITS: usize = 7;
+
+/// Returns bit `position` (0 = LSB) of `byte`.
+#[inline]
+pub fn bit(byte: u8, position: usize) -> bool {
+    debug_assert!(position < WORD_BITS);
+    (byte >> position) & 1 == 1
+}
+
+/// Returns the 7 magnitude bits of a sign-magnitude byte, LSB first.
+pub fn magnitude_bits(sm_byte: u8) -> [bool; MAGNITUDE_BITS] {
+    let mut out = [false; MAGNITUDE_BITS];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = bit(sm_byte, i);
+    }
+    out
+}
+
+/// Binary encoding used when examining bit columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// Standard two's-complement Int8.
+    TwosComplement,
+    /// Sign-magnitude: bit 7 sign, bits 6..0 magnitude.
+    SignMagnitude,
+}
+
+impl Encoding {
+    /// Encodes an `i8` value into a byte under this encoding.
+    pub fn encode(self, value: i8) -> u8 {
+        match self {
+            Encoding::TwosComplement => value as u8,
+            Encoding::SignMagnitude => sm::to_sign_magnitude(value),
+        }
+    }
+
+    /// Decodes a byte back into an `i8` value under this encoding.
+    pub fn decode(self, byte: u8) -> i8 {
+        match self {
+            Encoding::TwosComplement => byte as i8,
+            Encoding::SignMagnitude => sm::from_sign_magnitude(byte),
+        }
+    }
+}
+
+/// Extracts the 8 bit-columns of a group of values under `encoding`.
+///
+/// `columns[b]` holds one bit per value: bit `b` (0 = LSB, 7 = MSB/sign) of
+/// every element of `group`, in order.  A column is "zero" when no element
+/// has that bit set — the condition bit-column sparsity skips on.
+///
+/// # Example
+///
+/// ```
+/// use bitwave_tensor::bits::{bit_columns, Encoding};
+/// let cols = bit_columns(&[2, 6, 2, 2], Encoding::TwosComplement);
+/// // Bit 0 (LSB) is clear in every element: a zero column.
+/// assert!(cols[0].iter().all(|&b| !b));
+/// // Bit 1 is set in every element.
+/// assert!(cols[1].iter().all(|&b| b));
+/// ```
+pub fn bit_columns(group: &[i8], encoding: Encoding) -> [Vec<bool>; WORD_BITS] {
+    let mut columns: [Vec<bool>; WORD_BITS] = Default::default();
+    for col in columns.iter_mut() {
+        col.reserve(group.len());
+    }
+    for &value in group {
+        let byte = encoding.encode(value);
+        for (b, col) in columns.iter_mut().enumerate() {
+            col.push(bit(byte, b));
+        }
+    }
+    columns
+}
+
+/// Returns an 8-bit mask with bit `b` set when bit-column `b` of `group`
+/// contains at least one `1` (i.e. the column is *non-zero*).
+///
+/// This is exactly the "zero-column index" the BitWave hardware stores next
+/// to the compressed weights (Section III-C / Fig. 4b): bit = 1 means the
+/// column is present in the compressed stream, bit = 0 means it was skipped.
+pub fn nonzero_column_mask(group: &[i8], encoding: Encoding) -> u8 {
+    let mut mask = 0u8;
+    for &value in group {
+        mask |= encoding.encode(value);
+    }
+    mask
+}
+
+/// Number of zero bit-columns in `group` under `encoding` (0..=8).
+pub fn zero_column_count(group: &[i8], encoding: Encoding) -> u32 {
+    (!nonzero_column_mask(group, encoding)).count_ones()
+}
+
+/// Number of non-zero bit-columns in `group` under `encoding` (0..=8).
+pub fn nonzero_column_count(group: &[i8], encoding: Encoding) -> u32 {
+    nonzero_column_mask(group, encoding).count_ones()
+}
+
+/// Packs one bit-column of a group into a `u64` (LSB = first element).
+///
+/// Used by the cycle-level simulator, whose memory words are 64-bit packed
+/// segments of same-significance weight bits (Fig. 10).
+///
+/// # Panics
+///
+/// Panics if `group.len() > 64` or `column >= 8`.
+pub fn pack_column(group: &[i8], column: usize, encoding: Encoding) -> u64 {
+    assert!(group.len() <= 64, "a packed column holds at most 64 bits");
+    assert!(column < WORD_BITS, "bit column index out of range");
+    let mut word = 0u64;
+    for (i, &value) in group.iter().enumerate() {
+        if bit(encoding.encode(value), column) {
+            word |= 1u64 << i;
+        }
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bit_extraction() {
+        assert!(bit(0b0000_0100, 2));
+        assert!(!bit(0b0000_0100, 1));
+        assert!(bit(0b1000_0000, 7));
+    }
+
+    #[test]
+    fn magnitude_bits_of_five() {
+        let bits = magnitude_bits(5);
+        assert_eq!(bits, [true, false, true, false, false, false, false]);
+    }
+
+    #[test]
+    fn paper_figure4_example_twos_complement() {
+        // Fig. 4(a): four Int8 values in two's complement whose LSB+1 column is
+        // zero. Values chosen so that bit 1 is zero across the group.
+        let group = [5i8, -7, 9, 13];
+        let mask = nonzero_column_mask(&group, Encoding::TwosComplement);
+        assert_eq!(mask & 0b0000_0010, 0, "bit column 1 must be zero");
+        assert!(zero_column_count(&group, Encoding::TwosComplement) >= 1);
+    }
+
+    #[test]
+    fn sign_magnitude_increases_zero_columns_for_small_negatives() {
+        // Small negative values: many leading ones in TC, almost none in SM.
+        let group = [-1i8, -2, -3, -2];
+        let zc_tc = zero_column_count(&group, Encoding::TwosComplement);
+        let zc_sm = zero_column_count(&group, Encoding::SignMagnitude);
+        assert!(zc_sm > zc_tc, "SM should expose more zero columns ({zc_sm} vs {zc_tc})");
+    }
+
+    #[test]
+    fn all_zero_group_has_eight_zero_columns() {
+        let group = [0i8; 16];
+        assert_eq!(zero_column_count(&group, Encoding::TwosComplement), 8);
+        assert_eq!(zero_column_count(&group, Encoding::SignMagnitude), 8);
+    }
+
+    #[test]
+    fn pack_column_bit_order() {
+        let group = [1i8, 0, 1, 0, 0, 0, 0, 1];
+        let word = pack_column(&group, 0, Encoding::TwosComplement);
+        assert_eq!(word, 0b1000_0101);
+        // No group element has bit 3 set.
+        assert_eq!(pack_column(&group, 3, Encoding::TwosComplement), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn pack_column_rejects_oversized_groups() {
+        let group = vec![0i8; 65];
+        pack_column(&group, 0, Encoding::TwosComplement);
+    }
+
+    #[test]
+    fn bit_columns_consistent_with_mask() {
+        let group = [17i8, -33, 4, 0, 90, -2];
+        for encoding in [Encoding::TwosComplement, Encoding::SignMagnitude] {
+            let cols = bit_columns(&group, encoding);
+            let mask = nonzero_column_mask(&group, encoding);
+            for (b, col) in cols.iter().enumerate() {
+                let nonzero = col.iter().any(|&x| x);
+                assert_eq!(nonzero, (mask >> b) & 1 == 1, "column {b} mismatch");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(v in -127i8..=127) {
+            for encoding in [Encoding::TwosComplement, Encoding::SignMagnitude] {
+                prop_assert_eq!(encoding.decode(encoding.encode(v)), v);
+            }
+        }
+
+        #[test]
+        fn zero_plus_nonzero_columns_is_eight(group in proptest::collection::vec(-127i8..=127, 1..64)) {
+            for encoding in [Encoding::TwosComplement, Encoding::SignMagnitude] {
+                let z = zero_column_count(&group, encoding);
+                let nz = nonzero_column_count(&group, encoding);
+                prop_assert_eq!(z + nz, 8);
+            }
+        }
+
+        #[test]
+        fn packed_columns_reconstruct_values(group in proptest::collection::vec(-127i8..=127, 1..=64)) {
+            // Reassembling all 8 packed columns must reproduce the original bytes.
+            for encoding in [Encoding::TwosComplement, Encoding::SignMagnitude] {
+                let words: Vec<u64> = (0..WORD_BITS).map(|b| pack_column(&group, b, encoding)).collect();
+                for (i, &v) in group.iter().enumerate() {
+                    let mut byte = 0u8;
+                    for (b, &word) in words.iter().enumerate() {
+                        if (word >> i) & 1 == 1 {
+                            byte |= 1 << b;
+                        }
+                    }
+                    prop_assert_eq!(encoding.decode(byte), v);
+                }
+            }
+        }
+    }
+}

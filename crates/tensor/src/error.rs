@@ -1,0 +1,90 @@
+//! Error type shared by the tensor substrate.
+
+use std::fmt;
+
+/// Errors produced by tensor construction, quantisation and codec routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of elements does not match the product of the shape dims.
+    ShapeMismatch {
+        /// Number of elements expected from the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    IncompatibleShapes {
+        /// Shape of the left operand.
+        left: crate::shape::Shape,
+        /// Shape of the right operand.
+        right: crate::shape::Shape,
+    },
+    /// A bit width outside the supported `1..=8` range was requested.
+    InvalidBitWidth(
+        /// The rejected bit width.
+        u8,
+    ),
+    /// A quantisation axis larger than the tensor rank was requested.
+    InvalidAxis {
+        /// Requested axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// The tensor is empty where a non-empty tensor is required.
+    Empty,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape expects {expected} elements, got {actual}")
+            }
+            TensorError::IncompatibleShapes { left, right } => {
+                write!(f, "incompatible tensor shapes {left} and {right}")
+            }
+            TensorError::InvalidBitWidth(bits) => {
+                write!(f, "bit width {bits} is outside the supported range 1..=8")
+            }
+            TensorError::InvalidAxis { axis, rank } => {
+                write!(f, "axis {axis} is invalid for a rank-{rank} tensor")
+            }
+            TensorError::Empty => write!(f, "operation requires a non-empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TensorError::ShapeMismatch {
+            expected: 12,
+            actual: 10,
+        };
+        assert_eq!(e.to_string(), "shape expects 12 elements, got 10");
+        let e = TensorError::InvalidBitWidth(12);
+        assert!(e.to_string().contains("12"));
+        let e = TensorError::IncompatibleShapes {
+            left: Shape::d2(3, 4),
+            right: Shape::d2(4, 3),
+        };
+        assert!(e.to_string().contains("incompatible"));
+        let e = TensorError::InvalidAxis { axis: 5, rank: 4 };
+        assert!(e.to_string().contains("axis 5"));
+        assert!(TensorError::Empty.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TensorError>();
+    }
+}

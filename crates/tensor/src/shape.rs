@@ -1,0 +1,227 @@
+//! Lightweight tensor shapes.
+//!
+//! The networks evaluated in the paper only need rank-1 to rank-4 tensors
+//! (NCHW layout for feature maps, `[K, C, FY, FX]` for convolution weights,
+//! `[Out, In]` for linear weights).  A small fixed-capacity shape type keeps
+//! the substrate allocation-free on the hot paths.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum supported tensor rank.
+pub const MAX_RANK: usize = 4;
+
+/// An N-dimensional tensor shape with rank at most [`MAX_RANK`].
+///
+/// # Example
+///
+/// ```
+/// use bitwave_tensor::Shape;
+/// let s = Shape::conv_weight(64, 3, 7, 7);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.num_elements(), 64 * 3 * 7 * 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: usize,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty, longer than [`MAX_RANK`], or contains a zero
+    /// dimension.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= MAX_RANK,
+            "shape rank must be in 1..={MAX_RANK}, got {}",
+            dims.len()
+        );
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape dimensions must be non-zero: {dims:?}"
+        );
+        let mut buf = [1usize; MAX_RANK];
+        buf[..dims.len()].copy_from_slice(dims);
+        Self {
+            dims: buf,
+            rank: dims.len(),
+        }
+    }
+
+    /// Rank-1 shape (a vector of `n` elements).
+    pub fn d1(n: usize) -> Self {
+        Self::new(&[n])
+    }
+
+    /// Rank-2 shape (`rows × cols`, e.g. a linear-layer weight `[out, in]`).
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Self::new(&[rows, cols])
+    }
+
+    /// Rank-3 shape.
+    pub fn d3(a: usize, b: usize, c: usize) -> Self {
+        Self::new(&[a, b, c])
+    }
+
+    /// Rank-4 shape.
+    pub fn d4(a: usize, b: usize, c: usize, d: usize) -> Self {
+        Self::new(&[a, b, c, d])
+    }
+
+    /// Convolution weight shape `[K, C, FY, FX]` (output channels, input
+    /// channels, kernel height, kernel width).
+    pub fn conv_weight(k: usize, c: usize, fy: usize, fx: usize) -> Self {
+        Self::d4(k, c, fy, fx)
+    }
+
+    /// Feature-map shape `[B, C, H, W]`.
+    pub fn feature_map(b: usize, c: usize, h: usize, w: usize) -> Self {
+        Self::d4(b, c, h, w)
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Dimensions as a slice of length [`Self::rank`].
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank]
+    }
+
+    /// The size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        assert!(axis < self.rank, "axis {axis} out of range for rank {}", self.rank);
+        self.dims[axis]
+    }
+
+    /// Total number of elements.
+    pub fn num_elements(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// Row-major (C-order) strides for this shape.
+    pub fn strides(&self) -> [usize; MAX_RANK] {
+        let mut strides = [0usize; MAX_RANK];
+        let mut acc = 1usize;
+        for axis in (0..self.rank).rev() {
+            strides[axis] = acc;
+            acc *= self.dims[axis];
+        }
+        strides
+    }
+
+    /// Linear (row-major) offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank, "index rank mismatch");
+        let strides = self.strides();
+        let mut off = 0usize;
+        for (axis, (&i, &d)) in index.iter().zip(self.dims()).enumerate() {
+            assert!(i < d, "index {i} out of bounds for axis {axis} (size {d})");
+            off += i * strides[axis];
+        }
+        off
+    }
+
+    /// Returns a new shape with all dims collapsed into one (flattening).
+    pub fn flattened(&self) -> Shape {
+        Shape::d1(self.num_elements())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims().iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<[usize; 2]> for Shape {
+    fn from(d: [usize; 2]) -> Self {
+        Shape::d2(d[0], d[1])
+    }
+}
+
+impl From<[usize; 4]> for Shape {
+    fn from(d: [usize; 4]) -> Self {
+        Shape::d4(d[0], d[1], d[2], d[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_elements_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.num_elements(), 24);
+        assert_eq!(s.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::d4(2, 3, 4, 5);
+        let strides = s.strides();
+        assert_eq!(&strides[..4], &[60, 20, 5, 1]);
+    }
+
+    #[test]
+    fn offset_matches_manual_computation() {
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 1 * 12 + 2 * 4 + 3);
+        assert_eq!(s.offset(&[1, 0, 1]), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_panics_out_of_bounds() {
+        Shape::d2(2, 2).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_rejected() {
+        Shape::new(&[3, 0]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::conv_weight(64, 3, 7, 7).to_string(), "[64x3x7x7]");
+        assert_eq!(Shape::d1(10).to_string(), "[10]");
+    }
+
+    #[test]
+    fn conversions_from_arrays() {
+        let s: Shape = [3usize, 4].into();
+        assert_eq!(s, Shape::d2(3, 4));
+        let s: Shape = [1usize, 2, 3, 4].into();
+        assert_eq!(s, Shape::d4(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn flattened_preserves_element_count() {
+        let s = Shape::d4(2, 3, 4, 5);
+        assert_eq!(s.flattened(), Shape::d1(120));
+    }
+}

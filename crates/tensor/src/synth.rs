@@ -1,0 +1,314 @@
+//! Synthetic weight and activation generators.
+//!
+//! The paper evaluates pre-trained Int8 networks (ResNet18, MobileNetV2,
+//! CNN-LSTM, BERT-Base).  We do not have those checkpoints; instead we
+//! generate weights from the zero-centred, small-σ distributions that trained
+//! DNN layers exhibit (the paper itself leans on this property — Section
+//! III-B, "NN weights often exhibit non-uniform distributions with a high
+//! frequency of small or zero values").  The generator parameters are chosen
+//! per layer so that the resulting Int8 value sparsity and bit-column
+//! sparsity land in the ranges the paper reports (e.g. ≈20 % value sparsity
+//! and ≈59 % SM bit-column sparsity for ResNet18 conv2 at G = 4).
+//!
+//! Activations are modelled as rectified Gaussians (post-ReLU) or plain
+//! Gaussians (GELU/attention outputs), again matching the qualitative
+//! statistics the evaluation needs (activation value sparsity for SCNN and
+//! Pragmatic modelling).
+
+use crate::shape::Shape;
+use crate::tensor::FloatTensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Weight distribution families used for synthetic layer weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WeightDistribution {
+    /// Zero-mean Gaussian with the given standard deviation.
+    Gaussian {
+        /// Standard deviation of the distribution.
+        std: f64,
+    },
+    /// Zero-mean Laplacian (double exponential); heavier concentration of
+    /// small values than a Gaussian, typical of trained conv layers.
+    Laplacian {
+        /// Scale parameter `b` (variance is `2 b²`).
+        scale: f64,
+    },
+    /// A mixture of a point mass at zero and a Gaussian, used to model layers
+    /// that were trained with weight decay strong enough to produce exact
+    /// zeros after quantisation.
+    SpikeAndSlab {
+        /// Probability of drawing an exact zero.
+        zero_probability: f64,
+        /// Standard deviation of the non-zero component.
+        std: f64,
+    },
+    /// Uniform over `[-range, range]`; used for stress/property tests rather
+    /// than realistic layers.
+    Uniform {
+        /// Half-width of the support.
+        range: f64,
+    },
+}
+
+/// Deterministic generator of synthetic floating-point weight tensors.
+#[derive(Debug, Clone)]
+pub struct WeightGenerator {
+    distribution: WeightDistribution,
+    seed: u64,
+}
+
+impl WeightGenerator {
+    /// Creates a generator for the given distribution and RNG seed.
+    pub fn new(distribution: WeightDistribution, seed: u64) -> Self {
+        Self { distribution, seed }
+    }
+
+    /// The configured distribution.
+    pub fn distribution(&self) -> WeightDistribution {
+        self.distribution
+    }
+
+    /// Generates a weight tensor of the requested shape.  The same generator
+    /// and shape always produce the same tensor (the seed is combined with
+    /// the shape so different layers of a network differ).
+    pub fn generate(&self, shape: Shape) -> FloatTensor {
+        let mut hash = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for &d in shape.dims() {
+            hash = hash
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(d as u64);
+        }
+        let mut rng = StdRng::seed_from_u64(hash);
+        let data = (0..shape.num_elements())
+            .map(|_| self.sample(&mut rng) as f32)
+            .collect();
+        FloatTensor::new(shape, data).expect("generated data matches shape")
+    }
+
+    /// Generates a weight tensor using an explicit per-layer salt so that two
+    /// layers with identical shapes still receive different weights.
+    pub fn generate_salted(&self, shape: Shape, salt: u64) -> FloatTensor {
+        let salted = WeightGenerator::new(self.distribution, self.seed ^ salt.rotate_left(17));
+        salted.generate(shape)
+    }
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match self.distribution {
+            WeightDistribution::Gaussian { std } => sample_gaussian(rng) * std,
+            WeightDistribution::Laplacian { scale } => {
+                // Inverse-CDF sampling of the Laplace distribution.
+                let u: f64 = rng.gen_range(-0.5..0.5);
+                -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+            }
+            WeightDistribution::SpikeAndSlab {
+                zero_probability,
+                std,
+            } => {
+                if rng.gen_bool(zero_probability.clamp(0.0, 1.0)) {
+                    0.0
+                } else {
+                    sample_gaussian(rng) * std
+                }
+            }
+            WeightDistribution::Uniform { range } => rng.gen_range(-range..=range),
+        }
+    }
+}
+
+/// Standard normal sample via the Box–Muller transform (keeps us independent
+/// of `rand_distr`, which is not in the approved dependency set).
+fn sample_gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Activation statistics model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ActivationKind {
+    /// Post-ReLU: negative half clipped to zero — high value sparsity.
+    Relu {
+        /// Standard deviation of the pre-activation Gaussian.
+        std: f64,
+    },
+    /// Post-GELU / attention output: approximately Gaussian, little sparsity.
+    Gaussianlike {
+        /// Standard deviation.
+        std: f64,
+    },
+}
+
+/// Deterministic generator of synthetic activation tensors.
+#[derive(Debug, Clone)]
+pub struct ActivationGenerator {
+    kind: ActivationKind,
+    seed: u64,
+}
+
+impl ActivationGenerator {
+    /// Creates a generator with the given activation model and RNG seed.
+    pub fn new(kind: ActivationKind, seed: u64) -> Self {
+        Self { kind, seed }
+    }
+
+    /// Generates an activation tensor of the requested shape.
+    pub fn generate(&self, shape: Shape) -> FloatTensor {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ shape.num_elements() as u64);
+        let data = (0..shape.num_elements())
+            .map(|_| {
+                let v = match self.kind {
+                    ActivationKind::Relu { std } => (sample_gaussian(&mut rng) * std).max(0.0),
+                    ActivationKind::Gaussianlike { std } => sample_gaussian(&mut rng) * std,
+                };
+                v as f32
+            })
+            .collect();
+        FloatTensor::new(shape, data).expect("generated data matches shape")
+    }
+
+    /// Expected value sparsity of this activation model (0.5 for ReLU over a
+    /// zero-mean Gaussian, ~0 otherwise).  Useful for analytical models that
+    /// only need the statistic, not the data.
+    pub fn expected_value_sparsity(&self) -> f64 {
+        match self.kind {
+            ActivationKind::Relu { .. } => 0.5,
+            ActivationKind::Gaussianlike { .. } => 0.0,
+        }
+    }
+}
+
+/// Convenience distribution parameterisation used by `bitwave-dnn` to pick a
+/// per-layer weight distribution that reproduces the paper's reported
+/// sparsity statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerWeightProfile {
+    /// Distribution family and parameters.
+    pub distribution: WeightDistribution,
+    /// Fraction of the Int8 range that the distribution's ±4σ support should
+    /// span.  Smaller values concentrate the quantised weights near zero and
+    /// therefore raise bit-level sparsity.
+    pub dynamic_range_utilisation: f64,
+}
+
+impl LayerWeightProfile {
+    /// A profile typical of large convolution / linear layers: Laplacian with
+    /// low dynamic-range utilisation — many near-zero weights, high
+    /// bit-column sparsity under sign-magnitude.
+    pub fn weight_heavy() -> Self {
+        Self {
+            distribution: WeightDistribution::Laplacian { scale: 0.018 },
+            dynamic_range_utilisation: 0.35,
+        }
+    }
+
+    /// A profile typical of early convolution layers: wider Gaussian, lower
+    /// sparsity, more sensitive to perturbation.
+    pub fn weight_light() -> Self {
+        Self {
+            distribution: WeightDistribution::Gaussian { std: 0.05 },
+            dynamic_range_utilisation: 0.8,
+        }
+    }
+
+    /// A profile for transformer (BERT) layers: dense Gaussians with very few
+    /// exact zeros and limited bit sparsity, matching the paper's
+    /// observation that the original Int8 BERT has few zero columns.
+    pub fn transformer() -> Self {
+        Self {
+            distribution: WeightDistribution::Gaussian { std: 0.03 },
+            dynamic_range_utilisation: 0.95,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::quantize_per_tensor;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = WeightGenerator::new(WeightDistribution::Gaussian { std: 0.05 }, 7);
+        let a = g.generate(Shape::d2(16, 16));
+        let b = g.generate(Shape::d2(16, 16));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_shapes_or_salts_give_different_tensors() {
+        let g = WeightGenerator::new(WeightDistribution::Gaussian { std: 0.05 }, 7);
+        let a = g.generate(Shape::d2(16, 16));
+        let b = g.generate(Shape::d2(16, 17));
+        assert_ne!(a.data()[..16], b.data()[..16]);
+        let c = g.generate_salted(Shape::d2(16, 16), 1);
+        let d = g.generate_salted(Shape::d2(16, 16), 2);
+        assert_ne!(c.data()[..16], d.data()[..16]);
+    }
+
+    #[test]
+    fn gaussian_statistics_are_plausible() {
+        let g = WeightGenerator::new(WeightDistribution::Gaussian { std: 0.1 }, 3);
+        let t = g.generate(Shape::d1(50_000));
+        let mean = t.mean().unwrap();
+        let var: f32 =
+            t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.data().len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean} too far from 0");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "std {} too far from 0.1", var.sqrt());
+    }
+
+    #[test]
+    fn laplacian_is_heavier_near_zero_than_gaussian() {
+        let lap = WeightGenerator::new(WeightDistribution::Laplacian { scale: 0.05 }, 3)
+            .generate(Shape::d1(50_000));
+        let gau = WeightGenerator::new(WeightDistribution::Gaussian { std: 0.0707 }, 3)
+            .generate(Shape::d1(50_000));
+        // Same variance, but more samples within 0.25σ of zero for the Laplacian.
+        let near = |t: &FloatTensor| t.data().iter().filter(|v| v.abs() < 0.0125).count();
+        assert!(near(&lap) > near(&gau));
+    }
+
+    #[test]
+    fn spike_and_slab_produces_exact_zero_fraction() {
+        let g = WeightGenerator::new(
+            WeightDistribution::SpikeAndSlab {
+                zero_probability: 0.3,
+                std: 0.05,
+            },
+            11,
+        );
+        let t = g.generate(Shape::d1(20_000));
+        let zero_frac = t.data().iter().filter(|&&v| v == 0.0).count() as f64 / 20_000.0;
+        assert!((zero_frac - 0.3).abs() < 0.02, "zero fraction {zero_frac}");
+    }
+
+    #[test]
+    fn relu_activations_are_half_sparse_after_quantisation() {
+        let g = ActivationGenerator::new(ActivationKind::Relu { std: 1.0 }, 5);
+        let t = g.generate(Shape::feature_map(1, 8, 32, 32));
+        let q = quantize_per_tensor(&t, 8).unwrap();
+        let sparsity = q.value_sparsity();
+        assert!(
+            (sparsity - 0.5).abs() < 0.05,
+            "post-ReLU sparsity {sparsity} should be near 0.5"
+        );
+        assert_eq!(g.expected_value_sparsity(), 0.5);
+    }
+
+    #[test]
+    fn gaussian_activations_have_little_sparsity() {
+        let g = ActivationGenerator::new(ActivationKind::Gaussianlike { std: 1.0 }, 5);
+        let t = g.generate(Shape::d2(64, 64));
+        let q = quantize_per_tensor(&t, 8).unwrap();
+        assert!(q.value_sparsity() < 0.05);
+        assert_eq!(g.expected_value_sparsity(), 0.0);
+    }
+
+    #[test]
+    fn profiles_expose_expected_orderings() {
+        let heavy = LayerWeightProfile::weight_heavy();
+        let light = LayerWeightProfile::weight_light();
+        assert!(heavy.dynamic_range_utilisation < light.dynamic_range_utilisation);
+    }
+}

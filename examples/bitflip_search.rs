@@ -1,0 +1,65 @@
+//! Runs Algorithm 1 — the greedy layer-wise Bit-Flip search — on ResNet18
+//! with the accuracy proxy, and reports the chosen strategy, the resulting
+//! compression ratio and the model-quality cost (Fig. 6a/e).
+//!
+//! Run with: `cargo run --release --example bitflip_search`
+
+use bitwave::context::ExperimentContext;
+use bitwave::experiments::bitflip::{fig06_layer_sensitivity, network_bcs_compression, run_greedy_search};
+use bitwave::dnn::models::resnet18;
+
+fn main() {
+    let ctx = ExperimentContext::default().with_sample_cap(20_000);
+    let net = resnet18();
+
+    // Step 1: layer-level sensitivity analysis on a representative subset.
+    println!("== Layer-wise Bit-Flip sensitivity (Fig. 6a) ==");
+    let probe_layers = vec![
+        "conv1".to_string(),
+        "layer1.0.conv1".to_string(),
+        "layer3.0.conv1".to_string(),
+        "layer4.1.conv2".to_string(),
+        "fc".to_string(),
+    ];
+    for row in fig06_layer_sensitivity(&ctx, &net, &probe_layers, 7) {
+        if row.zero_columns % 2 == 1 {
+            continue; // print every other point to keep the table short
+        }
+        println!(
+            "{:<18} z={}  accuracy {:>6.2}%  (drop {:>5.2})",
+            row.layer, row.zero_columns, row.quality, row.quality_drop
+        );
+    }
+
+    // Step 2: network-wide greedy search (Algorithm 1) over the weight-heavy
+    // layers with a 0.5-point accuracy budget.
+    println!("\n== Algorithm 1: greedy Bit-Flip search ==");
+    let layers: Vec<String> = net
+        .weight_heavy_layers(0.7)
+        .iter()
+        .map(|l| l.name.clone())
+        .collect();
+    let floor = net.baseline_quality - 0.5;
+    let outcome = run_greedy_search(&ctx, &net, &layers, floor, 40);
+    println!(
+        "{} accepted moves, {} evaluations, final accuracy {:.2}% (floor {:.2}%)",
+        outcome.history.len(),
+        outcome.evaluations,
+        outcome.final_accuracy,
+        floor
+    );
+    for (layer, group_size, zero_columns) in outcome.strategy.iter() {
+        if zero_columns > 0 {
+            println!("  {layer:<20} {group_size}  -> {zero_columns} zero columns");
+        }
+    }
+
+    // Step 3: the resulting weight compression ratio.
+    let weights = ctx.weights(&net);
+    let flipped = weights.apply_flip_strategy(&outcome.strategy);
+    println!(
+        "\nnetwork-wide BCS compression: baseline {:.2}x -> after search {:.2}x",
+        network_bcs_compression(&ctx, &weights),
+        network_bcs_compression(&ctx, &flipped)
+    );
+}

@@ -1,0 +1,65 @@
+//! Reproduces the compression-oriented figures: the sparsity survey (Fig. 1),
+//! the representation study (Fig. 4), the codec comparison (Fig. 5) and the
+//! CR-vs-quality trade-off with its Pareto front (Fig. 6e–h).
+//!
+//! Run with: `cargo run --release --example compression_study`
+
+use bitwave::context::ExperimentContext;
+use bitwave::experiments::bitflip::{fig06_pareto, fig06_tradeoff};
+use bitwave::experiments::sparsity::{
+    fig01_sparsity_survey, fig04_bcs_representation, fig05_compression_ratio,
+};
+use bitwave::dnn::models::all_networks;
+
+fn main() {
+    let ctx = ExperimentContext::default().with_sample_cap(30_000);
+
+    println!("== Fig. 1: value sparsity vs bit sparsity ==");
+    for row in fig01_sparsity_survey(&ctx) {
+        println!(
+            "{:<12} value {:>5.1}%  bits(2C) {:>5.1}%  bits(SM) {:>5.1}%  SR(2C) {:>5.1}x  SR(SM) {:>5.1}x",
+            row.network,
+            100.0 * row.value_sparsity,
+            100.0 * row.bit_sparsity_twos_complement,
+            100.0 * row.bit_sparsity_sign_magnitude,
+            row.speedup_ratio_twos_complement,
+            row.speedup_ratio_sign_magnitude
+        );
+    }
+
+    println!("\n== Fig. 4: bit-column sparsity, two's complement vs sign-magnitude (G=4) ==");
+    let fig4 = fig04_bcs_representation(&ctx);
+    println!(
+        "{}: value {:.1}%  columns(2C) {:.1}%  columns(SM) {:.1}%  ({:.1}x improvement)",
+        fig4.layer,
+        100.0 * fig4.value_sparsity,
+        100.0 * fig4.column_sparsity_twos_complement,
+        100.0 * fig4.column_sparsity_sign_magnitude,
+        fig4.sign_magnitude_improvement
+    );
+
+    println!("\n== Fig. 5: compression ratio on ResNet18's last four conv layers ==");
+    for row in fig05_compression_ratio(&ctx) {
+        println!(
+            "{:<4} {:<6} ideal {:>5.2}x   with index {:>5.2}x",
+            row.codec,
+            row.group_size.map(|g| format!("G={g}")).unwrap_or_default(),
+            row.cr_ideal,
+            row.cr_with_index
+        );
+    }
+
+    println!("\n== Fig. 6(e-h): compression ratio vs quality ==");
+    for net in all_networks() {
+        let rows = fig06_tradeoff(&ctx, &net);
+        println!("-- {} --", net.name);
+        for row in &rows {
+            println!(
+                "  {:<16} {:<26} CR {:>5.2}x  quality {:>6.2}",
+                row.method, row.configuration, row.compression_ratio, row.quality
+            );
+        }
+        let front = fig06_pareto(&rows);
+        println!("  Pareto front: {} points", front.len());
+    }
+}

@@ -1,0 +1,53 @@
+//! Explores BitWave's dynamic dataflow: reproduces the Fig. 9 utilisation
+//! study and shows the per-layer SU selection (Table I) for each benchmark
+//! network.
+//!
+//! Run with: `cargo run --release --example dataflow_explorer`
+
+use bitwave::context::ExperimentContext;
+use bitwave::dataflow::mapping::map_network;
+use bitwave::dataflow::SuSet;
+use bitwave::dnn::models::all_networks;
+use bitwave::experiments::hardware::{fig09_pe_utilization, table01_su_bandwidth};
+use std::collections::BTreeMap;
+
+fn main() {
+    let ctx = ExperimentContext::default();
+
+    println!("== Table I: BitWave spatial unrollings and bandwidths ==");
+    for row in table01_su_bandwidth() {
+        println!(
+            "{:<4} [Cu={:<2} OXu={:<2} Ku={:<3} Gu={:<2}]  W BW {:>5} bit/cycle   Act BW {:>5} bit/cycle",
+            row.su, row.unrolling[0], row.unrolling[1], row.unrolling[2], row.unrolling[3],
+            row.weight_bw_bits, row.activation_bw_bits
+        );
+    }
+
+    println!("\n== Fig. 9: PE utilisation of fixed SUs across workload cases ==");
+    for row in fig09_pe_utilization(&ctx) {
+        println!(
+            "{:<34} {:<10} ({} lanes)  {:>5.1}%",
+            row.case,
+            row.su,
+            row.array_lanes,
+            100.0 * row.utilization
+        );
+    }
+
+    println!("\n== Per-layer SU selection (dynamic dataflow) ==");
+    for net in all_networks() {
+        let decisions = map_network(&net.layers, &SuSet::bitwave());
+        let mut histogram: BTreeMap<&str, usize> = BTreeMap::new();
+        for d in &decisions {
+            *histogram.entry(d.su.name).or_default() += 1;
+        }
+        let mean_util: f64 =
+            decisions.iter().map(|d| d.utilization).sum::<f64>() / decisions.len() as f64;
+        println!(
+            "{:<12} mean utilisation {:>5.1}%   SU usage {:?}",
+            net.name,
+            100.0 * mean_util,
+            histogram
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: compress a weight tensor with bit-column sparsity, flip it,
+//! and estimate the resulting speedup on the BitWave accelerator model.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bitwave::accel::model::evaluate_layer;
+use bitwave::accel::spec::{AcceleratorSpec, BitwaveOptimizations};
+use bitwave::accel::{EnergyModel, LayerSparsityProfile};
+use bitwave::core::bitflip::flip_tensor;
+use bitwave::core::compress::{BcsCodec, WeightCodec};
+use bitwave::core::group::GroupSize;
+use bitwave::core::prelude::Encoding;
+use bitwave::dataflow::MemoryHierarchy;
+use bitwave::dnn::models::resnet18;
+use bitwave::dnn::weights::generate_layer_sample;
+
+fn main() {
+    // 1. Take a real layer shape from ResNet18 and give it synthetic Int8
+    //    weights whose statistics match a trained layer.
+    let net = resnet18();
+    let layer = net.layer("layer4.0.conv1").expect("layer exists");
+    let weights = generate_layer_sample(layer, 42, 100_000);
+    println!("layer {:>18}: {} weights", layer.name, weights.data().len());
+
+    // 2. Lossless BCS compression in sign-magnitude form.
+    let codec = BcsCodec::new(GroupSize::G16, Encoding::SignMagnitude);
+    let compressed = codec.compress(weights.data());
+    println!(
+        "lossless BCS compression ratio (index included): {:.2}x",
+        compressed.compression_ratio_with_index()
+    );
+    assert_eq!(compressed.decompress(), weights.data());
+
+    // 3. One-shot Bit-Flip to at least 5 zero columns per group of 16.
+    let (flipped, stats) = flip_tensor(&weights, GroupSize::G16, 5, Encoding::SignMagnitude);
+    let flipped_compressed = codec.compress(flipped.data());
+    println!(
+        "after Bit-Flip (z=5): {:.2}x compression, RMS perturbation {:.3} LSB",
+        flipped_compressed.compression_ratio_with_index(),
+        stats.rms_perturbation
+    );
+
+    // 4. Estimate the layer's latency and energy on BitWave vs the dense
+    //    reference configuration.
+    let memory = MemoryHierarchy::bitwave_default();
+    let energy = EnergyModel::finfet_16nm();
+    let profile =
+        LayerSparsityProfile::from_weights(&flipped, layer.expected_activation_sparsity(), GroupSize::G16);
+    let dense = evaluate_layer(&AcceleratorSpec::dense(), layer, &profile, &memory, &energy);
+    let bitwave = evaluate_layer(
+        &AcceleratorSpec::bitwave(BitwaveOptimizations::all()),
+        layer,
+        &profile,
+        &memory,
+        &energy,
+    );
+    println!(
+        "dense reference : {:>12.0} cycles, {:.3} mJ",
+        dense.total_cycles,
+        dense.energy.total_pj() / 1e9
+    );
+    println!(
+        "BitWave         : {:>12.0} cycles, {:.3} mJ  ({:.2}x faster)",
+        bitwave.total_cycles,
+        bitwave.energy.total_pj() / 1e9,
+        dense.total_cycles / bitwave.total_cycles
+    );
+}

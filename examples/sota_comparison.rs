@@ -1,0 +1,52 @@
+//! Reproduces the paper's headline comparison (Figs. 13–17): BitWave against
+//! Dense, Stripes, Pragmatic, SCNN, Bitlet and HUAA on the four benchmark
+//! networks.
+//!
+//! Run with: `cargo run --release --example sota_comparison`
+
+use bitwave::context::ExperimentContext;
+use bitwave::experiments::evaluation::{
+    fig13_speedup_breakdown, fig14_15_17_sota_comparison, fig16_energy_breakdown,
+};
+
+fn main() {
+    let ctx = ExperimentContext::default().with_sample_cap(20_000);
+
+    println!("== Fig. 13: BitWave speedup breakdown (vs the Dense configuration) ==");
+    let mut rows = fig13_speedup_breakdown(&ctx);
+    rows.sort_by(|a, b| a.network.cmp(&b.network));
+    for row in &rows {
+        println!("{:<12} {:<10} {:>6.2}x", row.network, row.step, row.speedup_vs_dense);
+    }
+
+    println!("\n== Fig. 14 / 15 / 17: SotA comparison (normalised as in the paper) ==");
+    println!(
+        "{:<12} {:<18} {:>14} {:>16} {:>18}",
+        "network", "accelerator", "speedup/SCNN", "energy/BitWave", "efficiency/SCNN"
+    );
+    let mut rows = fig14_15_17_sota_comparison(&ctx);
+    rows.sort_by(|a, b| (a.network.clone(), a.accelerator.clone()).cmp(&(b.network.clone(), b.accelerator.clone())));
+    for row in &rows {
+        println!(
+            "{:<12} {:<18} {:>13.2}x {:>15.2}x {:>17.2}x",
+            row.network,
+            row.accelerator,
+            row.speedup_vs_scnn,
+            row.energy_vs_bitwave,
+            row.efficiency_vs_scnn
+        );
+    }
+
+    println!("\n== Fig. 16: BitWave energy breakdown (fractions of total) ==");
+    for row in fig16_energy_breakdown(&ctx) {
+        println!(
+            "{:<12} compute {:>5.1}%  sram {:>5.1}%  reg {:>5.1}%  dram {:>5.1}%  (total {:.3} mJ)",
+            row.network,
+            100.0 * row.compute_fraction,
+            100.0 * row.sram_fraction,
+            100.0 * row.register_fraction,
+            100.0 * row.dram_fraction,
+            row.total_mj
+        );
+    }
+}

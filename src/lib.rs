@@ -1,0 +1,2 @@
+//! Reproduction harness root crate. See the `bitwave` facade crate for the API.
+pub use bitwave;

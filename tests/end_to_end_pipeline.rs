@@ -1,0 +1,85 @@
+//! Cross-crate integration tests: the full compress → flip → map → model →
+//! simulate pipeline on real layer shapes.
+
+use bitwave::context::ExperimentContext;
+use bitwave::core::compress::{BcsCodec, WeightCodec};
+use bitwave::core::group::GroupSize;
+use bitwave::core::prelude::zero_column_count;
+use bitwave::core::prelude::Encoding;
+use bitwave::dnn::models::{cnn_lstm, resnet18};
+use bitwave::dnn::weights::generate_layer_sample;
+use bitwave::sim::engine::{BitwaveEngine, EngineConfig};
+use bitwave::tensor::prelude::*;
+
+/// Compress a real ResNet18 layer, check losslessness, flip it, and check
+/// that the flipped tensor both satisfies the zero-column constraint and
+/// compresses strictly better.
+#[test]
+fn compress_flip_compress_pipeline() {
+    let ctx = ExperimentContext::default().with_sample_cap(20_000);
+    let net = resnet18();
+    let weights = ctx.weights(&net);
+    let tensor = weights.layer("layer4.0.conv2").unwrap();
+
+    let codec = BcsCodec::new(GroupSize::G16, Encoding::SignMagnitude);
+    let baseline = codec.compress(tensor.data());
+    assert_eq!(baseline.decompress(), tensor.data());
+    let baseline_cr = baseline.compression_ratio_with_index();
+    assert!(baseline_cr > 1.0, "lossless BCS should already compress: {baseline_cr}");
+
+    let (flipped, stats) =
+        bitwave::core::bitflip::flip_tensor(tensor, GroupSize::G16, 5, Encoding::SignMagnitude);
+    assert!(stats.mean_zero_columns >= 5.0);
+    let flipped_compressed = codec.compress(flipped.data());
+    assert_eq!(flipped_compressed.decompress(), flipped.data());
+    assert!(
+        flipped_compressed.compression_ratio_with_index() > baseline_cr,
+        "Bit-Flip must improve the compression ratio"
+    );
+
+    // Every group of the flipped tensor honours the constraint.
+    let groups = bitwave::core::group::extract_groups(&flipped, GroupSize::G16);
+    for g in groups.iter() {
+        assert!(zero_column_count(g, Encoding::SignMagnitude) >= 5);
+    }
+}
+
+/// The cycle-level simulator agrees with the Int8 reference on a real
+/// (sampled) CNN-LSTM projection layer and skips a meaningful number of
+/// columns.
+#[test]
+fn simulator_runs_real_layer_weights() {
+    let net = cnn_lstm();
+    let layer = net.layer("fc.mask").unwrap();
+    let weights = generate_layer_sample(layer, 9, 16_384);
+    let k = weights.shape().dim(0);
+    let c = weights.shape().dim(1);
+    assert_eq!(c, 2048);
+
+    let acts = ActivationGenerator::new(
+        bitwave::tensor::synth::ActivationKind::Gaussianlike { std: 1.0 },
+        17,
+    )
+    .generate(Shape::d2(4, c));
+    let acts = quantize_per_tensor(&acts, 8).unwrap();
+
+    let engine = BitwaveEngine::new(EngineConfig::su1());
+    let (outputs, stats) = engine.run_linear_verified(&acts, &weights).unwrap();
+    assert_eq!(outputs.len(), 4 * k);
+    assert!(stats.column_skip_speedup() > 1.0);
+    assert!(stats.weight_compression_ratio() > 1.0);
+}
+
+/// The analytical model and the simulator agree (paper: < 6 % deviation), and
+/// the experiment driver exposes that check.
+#[test]
+fn model_matches_simulator_for_validation_workload() {
+    let ctx = ExperimentContext::default().with_sample_cap(8_000);
+    let report = bitwave::experiments::evaluation::validation_model_vs_simulator(&ctx);
+    assert!(
+        report.within_paper_bound(),
+        "model/simulator deviation {:.3} exceeds the paper's 6% bound",
+        report.deviation
+    );
+    assert!(report.simulated_compression_ratio > 1.0);
+}
