@@ -128,7 +128,10 @@ impl SotaRow {
     /// Area efficiency (GOPS/W/mm²) at the normalised node, the figure of
     /// merit the paper highlights BitWave winning.
     pub fn normalized_area_efficiency(&self, target_nm: f64) -> Option<f64> {
-        match (self.normalized_tops_per_w(target_nm), self.normalized_area_mm2(target_nm)) {
+        match (
+            self.normalized_tops_per_w(target_nm),
+            self.normalized_area_mm2(target_nm),
+        ) {
             (Some(tops_w), Some(area)) if area > 0.0 => Some(tops_w * 1000.0 / area),
             _ => None,
         }
@@ -208,8 +211,14 @@ mod tests {
     #[test]
     fn sram_dominates_area_and_pe_dominates_power() {
         let rows = bitwave_area_power_breakdown();
-        let max_area = rows.iter().max_by(|a, b| a.area_fraction.total_cmp(&b.area_fraction)).unwrap();
-        let max_power = rows.iter().max_by(|a, b| a.power_fraction.total_cmp(&b.power_fraction)).unwrap();
+        let max_area = rows
+            .iter()
+            .max_by(|a, b| a.area_fraction.total_cmp(&b.area_fraction))
+            .unwrap();
+        let max_power = rows
+            .iter()
+            .max_by(|a, b| a.power_fraction.total_cmp(&b.power_fraction))
+            .unwrap();
         assert!(max_area.module.starts_with("SRAM"));
         assert!(max_power.module.starts_with("PE array"));
     }
@@ -247,7 +256,11 @@ mod tests {
         for row in &table {
             if row.design != "BitWave" {
                 if let Some(other) = row.normalized_area_efficiency(28.0) {
-                    assert!(bw_eff > other, "BitWave should lead area efficiency vs {}", row.design);
+                    assert!(
+                        bw_eff > other,
+                        "BitWave should lead area efficiency vs {}",
+                        row.design
+                    );
                 }
             }
         }

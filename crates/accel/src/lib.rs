@@ -32,7 +32,9 @@ pub mod sparsity;
 pub mod spec;
 
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use model::{evaluate_layer, evaluate_network, LayerResult, NetworkResult};
+pub use model::{
+    evaluate_layer, evaluate_layer_with_mapping, evaluate_network, LayerResult, NetworkResult,
+};
 pub use sparsity::LayerSparsityProfile;
 pub use spec::{AcceleratorKind, AcceleratorSpec, BitwaveOptimizations};
 
@@ -43,7 +45,9 @@ pub mod prelude {
         PeTypeRow, SotaRow,
     };
     pub use crate::energy::{EnergyBreakdown, EnergyModel};
-    pub use crate::model::{evaluate_layer, evaluate_network, LayerResult, NetworkResult};
+    pub use crate::model::{
+        evaluate_layer, evaluate_layer_with_mapping, evaluate_network, LayerResult, NetworkResult,
+    };
     pub use crate::sparsity::LayerSparsityProfile;
     pub use crate::spec::{AcceleratorKind, AcceleratorSpec, BitwaveOptimizations};
 }

@@ -89,7 +89,8 @@ impl NetworkResult {
     }
 }
 
-/// Evaluates one layer on one accelerator (Eqs. 1–5).
+/// Evaluates one layer on one accelerator (Eqs. 1–5), selecting the spatial
+/// unrolling from the accelerator's SU set.
 pub fn evaluate_layer(
     spec: &AcceleratorSpec,
     layer: &LayerSpec,
@@ -98,6 +99,20 @@ pub fn evaluate_layer(
     energy_model: &EnergyModel,
 ) -> LayerResult {
     let decision = select_spatial_unrolling(layer, &spec.su_set);
+    evaluate_layer_with_mapping(spec, layer, &decision, profile, memory, energy_model)
+}
+
+/// Evaluates one layer on one accelerator (Eqs. 1–5) under an already chosen
+/// mapping decision — the entry point of the pipeline's simulate stage, which
+/// receives the decision from the map stage instead of re-deriving it.
+pub fn evaluate_layer_with_mapping(
+    spec: &AcceleratorSpec,
+    layer: &LayerSpec,
+    decision: &bitwave_dataflow::MappingDecision,
+    profile: &LayerSparsityProfile,
+    memory: &MemoryHierarchy,
+    energy_model: &EnergyModel,
+) -> LayerResult {
     let activity = ActivityCounts::analyze(layer, &decision.su, memory);
 
     // Eq. 1: value-sparsity skipping (only machines that support it).
@@ -190,7 +205,8 @@ pub fn evaluate_layer(
 
     // Eq. 5: latency.  On-chip reads and register traffic overlap with
     // compute; DRAM traffic and the final output write-back do not.
-    let dram_bytes = activity.dram_read_act as f64 + dram_read_weight_e + activity.dram_write_act as f64;
+    let dram_bytes =
+        activity.dram_read_act as f64 + dram_read_weight_e + activity.dram_write_act as f64;
     let dram_cycles = dram_bytes * 8.0 / spec.dram_bandwidth_bits as f64;
     let sram_read_input_cycles = sram_read_input_e * 8.0 / spec.act_sram_bandwidth_bits as f64;
     let sram_read_weight_cycles = sram_read_weight_e * 8.0 / spec.weight_sram_bandwidth_bits as f64;
@@ -208,12 +224,12 @@ pub fn evaluate_layer(
     let compute_pj = match spec.pe_style {
         PeStyle::BitParallel => effective_macs * energy_model.mac_8x8_pj,
         PeStyle::BitSerial => effective_macs * bits_per_mac * energy_model.mac_bit_serial_pj,
-        PeStyle::BitColumnSerial => {
-            effective_macs * bits_per_mac * energy_model.mac_bit_column_pj
-        }
+        PeStyle::BitColumnSerial => effective_macs * bits_per_mac * energy_model.mac_bit_column_pj,
     };
     let sram_pj = (sram_read_input_e + sram_read_weight_e) * energy_model.sram_read_pj_per_byte
-        + (activity.sram_write_input as f64 + sram_write_weight_e + activity.sram_write_output as f64)
+        + (activity.sram_write_input as f64
+            + sram_write_weight_e
+            + activity.sram_write_output as f64)
             * energy_model.sram_write_pj_per_byte;
     let register_pj = (reg_read_e + reg_write_e) * energy_model.reg_access_pj;
     let dram_pj = dram_bytes * energy_model.dram_pj_per_byte;
@@ -286,6 +302,7 @@ mod tests {
     fn layer_profile(layer: &LayerSpec) -> LayerSparsityProfile {
         let w = generate_layer_sample(layer, 3, 40_000);
         LayerSparsityProfile::from_weights(&w, layer.expected_activation_sparsity(), GroupSize::G8)
+            .unwrap()
     }
 
     fn resnet_profiles(net: &NetworkSpec) -> Vec<LayerSparsityProfile> {
@@ -318,9 +335,20 @@ mod tests {
         let dense_profile = LayerSparsityProfile::dense(8);
         let mem = MemoryHierarchy::bitwave_default();
         let energy = EnergyModel::finfet_16nm();
-        let stripes = evaluate_layer(&AcceleratorSpec::stripes(), layer, &dense_profile, &mem, &energy);
-        let pragmatic =
-            evaluate_layer(&AcceleratorSpec::pragmatic(), layer, &dense_profile, &mem, &energy);
+        let stripes = evaluate_layer(
+            &AcceleratorSpec::stripes(),
+            layer,
+            &dense_profile,
+            &mem,
+            &energy,
+        );
+        let pragmatic = evaluate_layer(
+            &AcceleratorSpec::pragmatic(),
+            layer,
+            &dense_profile,
+            &mem,
+            &energy,
+        );
         // With zero bit sparsity Pragmatic degenerates to Stripes.
         assert!((stripes.compute_cycles - pragmatic.compute_cycles).abs() < 1e-6);
     }

@@ -10,6 +10,7 @@
 //! of assuming a distribution.
 
 use bitwave_core::compress::{BcsCodec, CsrCodec, WeightCodec, ZreCodec};
+use bitwave_core::error::CoreError;
 use bitwave_core::group::{extract_groups, GroupSize};
 use bitwave_core::stats::LayerSparsityStats;
 use bitwave_tensor::bits::{nonzero_column_count, Encoding};
@@ -60,13 +61,17 @@ pub struct LayerSparsityProfile {
 impl LayerSparsityProfile {
     /// Analyses a weight tensor (plus the layer's expected activation value
     /// sparsity) at the given group size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnsupportedRank`] for ungroupable weight tensors.
     pub fn from_weights(
         weights: &QuantTensor,
         activation_value_sparsity: f64,
         group_size: GroupSize,
-    ) -> Self {
-        let stats = LayerSparsityStats::analyze(weights, group_size);
-        let groups = extract_groups(weights, group_size);
+    ) -> Result<Self, CoreError> {
+        let stats = LayerSparsityStats::analyze(weights, group_size)?;
+        let groups = extract_groups(weights, group_size)?;
 
         // Non-zero columns per group, and the synced maximum over chunks of
         // BITWAVE_SYNC_GROUPS groups.
@@ -88,12 +93,16 @@ impl LayerSparsityProfile {
         let max_nonzero_bits_sync64 = mean_of_chunk_max(&bit_counts, BITLET_SYNC_LANES);
 
         let data = weights.data();
+        // CR is measured against the real (unpadded) weight storage, matching
+        // the pipeline's CompressionSummary and the ZRE/CSR accounting below;
+        // the stored payload/index still reflect the padded tail groups.
         let bcs = BcsCodec::new(group_size, Encoding::SignMagnitude)
-            .compress_groups(groups.iter(), groups.padded_len());
+            .compress_groups(groups.iter(), data.len());
         let zre = ZreCodec::default().compress(data);
-        let csr = CsrCodec::new(weights.shape().dim(weights.shape().rank() - 1).max(2)).compress(data);
+        let csr =
+            CsrCodec::new(weights.shape().dim(weights.shape().rank() - 1).max(2)).compress(data);
 
-        Self {
+        Ok(Self {
             weight_value_sparsity: stats.value_sparsity,
             activation_value_sparsity: activation_value_sparsity.clamp(0.0, 1.0),
             weight_bit_sparsity_tc: stats.bit_sparsity_twos_complement,
@@ -107,7 +116,7 @@ impl LayerSparsityProfile {
             bcs_compression_ratio: bcs.compression_ratio_with_index(),
             zre_compression_ratio: zre.compression_ratio_with_index(),
             csr_compression_ratio: csr.compression_ratio_with_index(),
-        }
+        })
     }
 
     /// A fully dense profile (no sparsity anywhere) — the behaviour every
@@ -165,6 +174,7 @@ mod tests {
         let layer = net.layer("layer3.0.conv1").unwrap();
         let w = generate_layer_sample(layer, 3, 60_000);
         LayerSparsityProfile::from_weights(&w, layer.expected_activation_sparsity(), GroupSize::G8)
+            .unwrap()
     }
 
     #[test]
@@ -196,8 +206,12 @@ mod tests {
         let net = bert_base();
         let layer = net.layer("bert.encoder.layer.5.attention.v").unwrap();
         let w = generate_layer_sample(layer, 3, 60_000);
-        let p = LayerSparsityProfile::from_weights(&w, 0.0, GroupSize::G8);
-        assert!(p.mean_nonzero_columns > 6.0, "got {}", p.mean_nonzero_columns);
+        let p = LayerSparsityProfile::from_weights(&w, 0.0, GroupSize::G8).unwrap();
+        assert!(
+            p.mean_nonzero_columns > 6.0,
+            "got {}",
+            p.mean_nonzero_columns
+        );
         assert!(p.bcs_compression_ratio < 1.4);
         assert_eq!(p.activation_value_sparsity, 0.0);
     }
@@ -228,10 +242,9 @@ mod tests {
         let net = resnet18();
         let layer = net.layer("layer4.0.conv1").unwrap();
         let w = generate_layer_sample(layer, 3, 60_000);
-        let before =
-            LayerSparsityProfile::from_weights(&w, 0.5, GroupSize::G16);
-        let (flipped, _) = flip_tensor(&w, GroupSize::G16, 5, Encoding::SignMagnitude);
-        let after = LayerSparsityProfile::from_weights(&flipped, 0.5, GroupSize::G16);
+        let before = LayerSparsityProfile::from_weights(&w, 0.5, GroupSize::G16).unwrap();
+        let (flipped, _) = flip_tensor(&w, GroupSize::G16, 5, Encoding::SignMagnitude).unwrap();
+        let after = LayerSparsityProfile::from_weights(&flipped, 0.5, GroupSize::G16).unwrap();
         assert!(after.max_nonzero_columns_synced <= 3.0 + 1e-9);
         assert!(after.max_nonzero_columns_synced < before.max_nonzero_columns_synced);
         assert!(after.bcs_compression_ratio > before.bcs_compression_ratio);

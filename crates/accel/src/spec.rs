@@ -287,7 +287,11 @@ impl AcceleratorSpec {
         // Eight groups share one packed 64-bit weight segment and therefore
         // one column schedule (Fig. 10).
         spec.sync_lanes = 8;
-        spec.label = match (opts.dynamic_dataflow, opts.sign_magnitude_bcs, opts.bit_flip) {
+        spec.label = match (
+            opts.dynamic_dataflow,
+            opts.sign_magnitude_bcs,
+            opts.bit_flip,
+        ) {
             (true, true, true) => "BitWave+DF+SM+BF".to_string(),
             (true, true, false) => "BitWave+DF+SM".to_string(),
             (true, false, false) => "BitWave+DF".to_string(),
@@ -354,12 +358,16 @@ mod tests {
         assert!(AcceleratorSpec::pragmatic().sparsity.weight_bit);
         assert!(AcceleratorSpec::bitlet().sparsity.weight_bit);
         assert!(!AcceleratorSpec::stripes().sparsity.weight_bit);
-        assert!(AcceleratorSpec::bitwave(BitwaveOptimizations::all())
-            .sparsity
-            .weight_bit_column);
-        assert!(!AcceleratorSpec::bitwave(BitwaveOptimizations::dataflow_only())
-            .sparsity
-            .weight_bit_column);
+        assert!(
+            AcceleratorSpec::bitwave(BitwaveOptimizations::all())
+                .sparsity
+                .weight_bit_column
+        );
+        assert!(
+            !AcceleratorSpec::bitwave(BitwaveOptimizations::dataflow_only())
+                .sparsity
+                .weight_bit_column
+        );
     }
 
     #[test]
@@ -369,13 +377,22 @@ mod tests {
             AcceleratorSpec::bitwave(BitwaveOptimizations::all()).compression,
             WeightCompression::Bcs
         );
-        assert_eq!(AcceleratorSpec::stripes().compression, WeightCompression::None);
+        assert_eq!(
+            AcceleratorSpec::stripes().compression,
+            WeightCompression::None
+        );
     }
 
     #[test]
     fn dynamic_dataflow_machines_have_multiple_sus() {
         assert!(AcceleratorSpec::huaa().su_set.options.len() > 1);
-        assert!(AcceleratorSpec::bitwave(BitwaveOptimizations::all()).su_set.options.len() == 7);
+        assert!(
+            AcceleratorSpec::bitwave(BitwaveOptimizations::all())
+                .su_set
+                .options
+                .len()
+                == 7
+        );
         assert_eq!(AcceleratorSpec::stripes().su_set.options.len(), 1);
         assert_eq!(
             AcceleratorSpec::bitwave(BitwaveOptimizations {
@@ -405,6 +422,9 @@ mod tests {
         assert!(AcceleratorSpec::stripes().is_bit_serial());
         assert!(AcceleratorSpec::bitwave(BitwaveOptimizations::all()).is_bit_serial());
         assert!(!AcceleratorSpec::huaa().is_bit_serial());
-        assert_eq!(AcceleratorSpec::dense().peak_equivalent_macs_per_cycle(), 512);
+        assert_eq!(
+            AcceleratorSpec::dense().peak_equivalent_macs_per_cycle(),
+            512
+        );
     }
 }

@@ -15,7 +15,10 @@ use std::hint::black_box;
 fn print_figures() {
     let ctx = bench_context();
 
-    print_header("fig06_bitflip_sensitivity", "Fig. 6(a-d) layer-wise flipping sensitivity");
+    print_header(
+        "fig06_bitflip_sensitivity",
+        "Fig. 6(a-d) layer-wise flipping sensitivity",
+    );
     for net in all_networks() {
         // A representative probe set: the most sensitive early layer, a middle
         // layer and the heaviest layer of each network.
@@ -23,7 +26,7 @@ fn print_figures() {
         probes.push(net.layers[net.layers.len() / 2].name.clone());
         probes.push(net.weight_heavy_layers(0.2)[0].name.clone());
         probes.dedup();
-        for row in fig06_layer_sensitivity(&ctx, &net, &probes, 7) {
+        for row in fig06_layer_sensitivity(&ctx, &net, &probes, 7).expect("fig06 runs") {
             if row.zero_columns % 2 == 0 {
                 println!(
                     "{:<12} {:<34} z={}  quality {:>7.2}  (drop {:>5.2})",
@@ -33,9 +36,12 @@ fn print_figures() {
         }
     }
 
-    print_header("fig06_pareto", "Fig. 6(e-h) CR vs accuracy: PTQ vs SM vs SM+Bit-Flip");
+    print_header(
+        "fig06_pareto",
+        "Fig. 6(e-h) CR vs accuracy: PTQ vs SM vs SM+Bit-Flip",
+    );
     for net in all_networks() {
-        let rows = fig06_tradeoff(&ctx, &net);
+        let rows = fig06_tradeoff(&ctx, &net).expect("fig06 tradeoff runs");
         for row in &rows {
             println!(
                 "{:<12} {:<16} {:<26} CR {:>5.2}x  quality {:>7.2}",

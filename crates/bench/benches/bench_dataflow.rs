@@ -15,16 +15,27 @@ use std::hint::black_box;
 fn print_figures() {
     let ctx = bench_context();
 
-    print_header("table01_su_bandwidth", "Table I (BitWave spatial unrollings)");
+    print_header(
+        "table01_su_bandwidth",
+        "Table I (BitWave spatial unrollings)",
+    );
     for row in table01_su_bandwidth() {
         println!(
             "{:<4} [Cu={:<2} OXu={:<2} Ku={:<3} Gu={:<2}]  W BW {:>5} b/cyc  Act BW {:>5} b/cyc",
-            row.su, row.unrolling[0], row.unrolling[1], row.unrolling[2], row.unrolling[3],
-            row.weight_bw_bits, row.activation_bw_bits
+            row.su,
+            row.unrolling[0],
+            row.unrolling[1],
+            row.unrolling[2],
+            row.unrolling[3],
+            row.weight_bw_bits,
+            row.activation_bw_bits
         );
     }
 
-    print_header("fig09_pe_utilization", "Fig. 9 (fixed-SU utilisation across layer shapes)");
+    print_header(
+        "fig09_pe_utilization",
+        "Fig. 9 (fixed-SU utilisation across layer shapes)",
+    );
     for row in fig09_pe_utilization(&ctx) {
         println!(
             "{:<34} {:<10} {:>5} lanes   {:>5.1}%",

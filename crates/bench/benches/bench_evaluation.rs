@@ -15,9 +15,15 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn print_figures(ctx: &ExperimentContext) {
-    print_header("fig13_speedup_breakdown", "Fig. 13 (Dense -> +DF -> +SM -> +BF)");
-    for row in fig13_speedup_breakdown(ctx) {
-        println!("{:<12} {:<10} {:>6.2}x", row.network, row.step, row.speedup_vs_dense);
+    print_header(
+        "fig13_speedup_breakdown",
+        "Fig. 13 (Dense -> +DF -> +SM -> +BF)",
+    );
+    for row in fig13_speedup_breakdown(ctx).expect("fig13 runs") {
+        println!(
+            "{:<12} {:<10} {:>6.2}x",
+            row.network, row.step, row.speedup_vs_dense
+        );
     }
 
     print_header(
@@ -28,7 +34,7 @@ fn print_figures(ctx: &ExperimentContext) {
         "{:<12} {:<18} {:>13} {:>15} {:>17}",
         "network", "accelerator", "speedup/SCNN", "energy/BitWave", "efficiency/SCNN"
     );
-    for row in fig14_15_17_sota_comparison(ctx) {
+    for row in fig14_15_17_sota_comparison(ctx).expect("fig14-17 run") {
         println!(
             "{:<12} {:<18} {:>12.2}x {:>14.2}x {:>16.2}x",
             row.network,
@@ -39,8 +45,11 @@ fn print_figures(ctx: &ExperimentContext) {
         );
     }
 
-    print_header("fig16_energy_breakdown", "Fig. 16 (BitWave energy incl. DRAM)");
-    for row in fig16_energy_breakdown(ctx) {
+    print_header(
+        "fig16_energy_breakdown",
+        "Fig. 16 (BitWave energy incl. DRAM)",
+    );
+    for row in fig16_energy_breakdown(ctx).expect("fig16 runs") {
         println!(
             "{:<12} compute {:>5.1}%  sram {:>5.1}%  reg {:>5.1}%  dram {:>5.1}%  total {:.3} mJ",
             row.network,
@@ -61,7 +70,7 @@ fn bench(c: &mut Criterion) {
     // precomputed outside the timed region).
     let net = resnet18();
     let weights = ctx.weights(&net);
-    let profiles = ctx.profiles(&net, &weights);
+    let profiles = ctx.profiles(&net, &weights).expect("profiles computed");
     let spec = AcceleratorSpec::bitwave(BitwaveOptimizations::all());
     c.bench_function("kernel/evaluate_resnet18_on_bitwave_model", |b| {
         b.iter(|| {

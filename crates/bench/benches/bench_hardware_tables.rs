@@ -28,12 +28,21 @@ fn print_tables() {
         );
     }
 
-    print_header("table04_pe_cost", "Table IV (bit-parallel vs bit-serial vs bit-column-serial PE)");
+    print_header(
+        "table04_pe_cost",
+        "Table IV (bit-parallel vs bit-serial vs bit-column-serial PE)",
+    );
     for row in table04_pe_cost() {
-        println!("{:<36} power {:>9.3e} mW  area {:>8.3} um²", row.pe_type, row.power_mw, row.area_um2);
+        println!(
+            "{:<36} power {:>9.3e} mW  area {:>8.3} um²",
+            row.pe_type, row.power_mw, row.area_um2
+        );
     }
 
-    print_header("fig18_area_power_breakdown", "Fig. 18 (BitWave area and power breakdown)");
+    print_header(
+        "fig18_area_power_breakdown",
+        "Fig. 18 (BitWave area and power breakdown)",
+    );
     for row in fig18_area_power_breakdown() {
         println!(
             "{:<28} area {:>6.3} mm² ({:>5.1}%)   power {:>6.2} mW ({:>5.1}%)",
@@ -45,8 +54,11 @@ fn print_tables() {
         );
     }
 
-    print_header("validation_model_vs_sim", "Section V-B (analytical model vs cycle-level simulator)");
-    let report = validation_model_vs_simulator(&bench_context());
+    print_header(
+        "validation_model_vs_sim",
+        "Section V-B (analytical model vs cycle-level simulator)",
+    );
+    let report = validation_model_vs_simulator(&bench_context()).expect("validation runs");
     println!(
         "simulated {:>8} cycles   modelled {:>10.1} cycles   deviation {:>5.2}%  (paper bound 6%)",
         report.simulated_cycles,
@@ -72,7 +84,13 @@ fn bench(c: &mut Criterion) {
     .unwrap();
     let engine = BitwaveEngine::new(EngineConfig::su1());
     c.bench_function("kernel/cycle_sim_matmul_16x64x256", |b| {
-        b.iter(|| black_box(engine.run_matmul(black_box(&acts), black_box(&weights)).unwrap()))
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_matmul(black_box(&acts), black_box(&weights))
+                    .unwrap(),
+            )
+        })
     });
 }
 

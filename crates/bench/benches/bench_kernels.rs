@@ -15,7 +15,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    print_header("kernel microbenchmarks", "hot loops of the reproduction itself");
+    print_header(
+        "kernel microbenchmarks",
+        "hot loops of the reproduction itself",
+    );
 
     let values: Vec<i8> = (0..65_536).map(|i| ((i * 31) % 251) as i8).collect();
     c.bench_function("kernel/sign_magnitude_encode_64k", |b| {
@@ -45,7 +48,11 @@ fn bench(c: &mut Criterion) {
     c.bench_function("kernel/bce_process_group", |b| {
         b.iter(|| {
             let mut bce = BitColumnEngine::new();
-            black_box(bce.process_group(black_box(&group), black_box(&schedule), black_box(&activations)))
+            black_box(bce.process_group(
+                black_box(&group),
+                black_box(&schedule),
+                black_box(&activations),
+            ))
         })
     });
 

@@ -1,0 +1,98 @@
+//! Benchmarks the unified layer pipeline: sequential vs rayon-parallel
+//! full-model runs on ResNet18 (small sample cap), plus the per-stage cost
+//! of one layer job.
+//!
+//! The parallel run must be bit-identical to the sequential run; this bench
+//! asserts that before timing, then reports the observed speedup so the
+//! >1.5x-at-4-cores target is visible in CI logs.
+
+use bitwave::context::ExperimentContext;
+use bitwave::pipeline::Pipeline;
+use bitwave_bench::print_header;
+use bitwave_dnn::models::resnet18;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn pipeline_context() -> ExperimentContext {
+    // Small cap: the bench compares orchestration overhead and scaling, not
+    // the full-size analysis cost.
+    ExperimentContext::default().with_sample_cap(8_000)
+}
+
+fn print_scaling_summary(pipeline: &Pipeline) {
+    let net = resnet18();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    print_header(
+        "pipeline_scaling",
+        "sequential vs rayon-parallel full-model pipeline (ResNet18)",
+    );
+
+    let sequential = pipeline.run_model(&net).expect("sequential run");
+    let parallel = pipeline.run_model_parallel(&net).expect("parallel run");
+    assert_eq!(sequential, parallel, "parallel run must be bit-identical");
+
+    // Best of three rounds per mode (after the warm-up above), so one noisy
+    // scheduling interval on a shared CI runner cannot fail the gate.
+    let best_of = |runs: &mut dyn FnMut() -> std::time::Duration| {
+        (0..3).map(|_| runs()).min().expect("three rounds")
+    };
+    let t_seq = best_of(&mut || {
+        let t0 = Instant::now();
+        black_box(pipeline.run_model(&net).expect("sequential run"));
+        t0.elapsed()
+    });
+    let t_par = best_of(&mut || {
+        let t0 = Instant::now();
+        black_box(pipeline.run_model_parallel(&net).expect("parallel run"));
+        t0.elapsed()
+    });
+
+    let speedup = t_seq.as_secs_f64() / t_par.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "cores: {cores}   sequential: {:.1} ms   parallel: {:.1} ms   speedup: {speedup:.2}x",
+        t_seq.as_secs_f64() * 1e3,
+        t_par.as_secs_f64() * 1e3,
+    );
+    println!(
+        "layers: {}   (target: >1.5x speedup at 4+ cores)",
+        parallel.layers.len()
+    );
+    if cores >= 4 {
+        assert!(
+            speedup > 1.5,
+            "parallel pipeline speedup {speedup:.2}x below the 1.5x target on {cores} cores"
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let pipeline = Pipeline::new(pipeline_context()).with_default_bitflip(&resnet18());
+    print_scaling_summary(&pipeline);
+
+    let net = resnet18();
+    c.bench_function("pipeline/run_model_sequential_resnet18", |b| {
+        b.iter(|| black_box(pipeline.run_model(black_box(&net)).expect("run")))
+    });
+    c.bench_function("pipeline/run_model_parallel_resnet18", |b| {
+        b.iter(|| black_box(pipeline.run_model_parallel(black_box(&net)).expect("run")))
+    });
+
+    // Single-job cost: the unit of work the parallel scheduler distributes.
+    let job = pipeline
+        .jobs(&net)
+        .expect("jobs planned")
+        .into_iter()
+        .last()
+        .expect("at least one job");
+    c.bench_function("pipeline/run_single_layer_job", |b| {
+        b.iter(|| black_box(pipeline.run_job(black_box(job.clone())).expect("job runs")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

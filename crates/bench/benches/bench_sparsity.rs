@@ -18,8 +18,11 @@ use std::hint::black_box;
 fn print_figures() {
     let ctx = bench_context();
 
-    print_header("fig01_sparsity_survey", "Fig. 1 (value vs bit sparsity, SR ratios)");
-    for row in fig01_sparsity_survey(&ctx) {
+    print_header(
+        "fig01_sparsity_survey",
+        "Fig. 1 (value vs bit sparsity, SR ratios)",
+    );
+    for row in fig01_sparsity_survey(&ctx).expect("fig01 runs") {
         println!(
             "{:<12} value {:>5.1}%  bit(2C) {:>5.1}%  bit(SM) {:>5.1}%  SR(2C) {:>5.2}x  SR(SM) {:>5.2}x",
             row.network,
@@ -31,8 +34,11 @@ fn print_figures() {
         );
     }
 
-    print_header("fig04_bcs_representation", "Fig. 4 (2's complement vs sign-magnitude, G=4)");
-    let r = fig04_bcs_representation(&ctx);
+    print_header(
+        "fig04_bcs_representation",
+        "Fig. 4 (2's complement vs sign-magnitude, G=4)",
+    );
+    let r = fig04_bcs_representation(&ctx).expect("fig04 runs");
     println!(
         "{}: value sparsity {:.1}%, zero columns 2C {:.1}%, SM {:.1}%  ({:.2}x improvement)",
         r.layer,
@@ -42,8 +48,11 @@ fn print_figures() {
         r.sign_magnitude_improvement
     );
 
-    print_header("fig05_compression_ratio", "Fig. 5 (BCS vs ZRE vs CSR on ResNet18 late layers)");
-    for row in fig05_compression_ratio(&ctx) {
+    print_header(
+        "fig05_compression_ratio",
+        "Fig. 5 (BCS vs ZRE vs CSR on ResNet18 late layers)",
+    );
+    for row in fig05_compression_ratio(&ctx).expect("fig05 runs") {
         println!(
             "{:<4} {:<6} ideal {:>5.2}x  with index {:>5.2}x",
             row.codec,
@@ -66,7 +75,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(codec.compress(black_box(weights.data()))))
     });
     c.bench_function("kernel/layer_sparsity_stats_60k_weights", |b| {
-        b.iter(|| black_box(LayerSparsityStats::analyze(black_box(&weights), GroupSize::G16)))
+        b.iter(|| {
+            black_box(LayerSparsityStats::analyze(
+                black_box(&weights),
+                GroupSize::G16,
+            ))
+        })
     });
 }
 

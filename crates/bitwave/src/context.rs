@@ -1,13 +1,14 @@
 //! Shared experiment configuration.
 
+use crate::error::{BitwaveError, Result};
 use bitwave_accel::EnergyModel;
+use bitwave_accel::LayerSparsityProfile;
 use bitwave_core::group::GroupSize;
 use bitwave_core::prelude::FlipStrategy;
 use bitwave_core::stats::LayerSparsityStats;
 use bitwave_dataflow::MemoryHierarchy;
 use bitwave_dnn::models::NetworkSpec;
 use bitwave_dnn::weights::NetworkWeights;
-use bitwave_accel::LayerSparsityProfile;
 
 /// Configuration shared by every experiment driver.
 #[derive(Debug, Clone)]
@@ -64,39 +65,67 @@ impl ExperimentContext {
         NetworkWeights::generate_sampled(spec, self.seed, self.sample_cap)
     }
 
+    /// Looks up one layer's weights, converting absence into a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitwaveError::MissingLayer`] when the weights lack the layer.
+    pub fn layer_weights<'w>(
+        &self,
+        spec: &NetworkSpec,
+        weights: &'w NetworkWeights,
+        layer: &str,
+    ) -> Result<&'w bitwave_tensor::QuantTensor> {
+        weights
+            .layer(layer)
+            .ok_or_else(|| BitwaveError::MissingLayer {
+                network: spec.name.clone(),
+                layer: layer.to_string(),
+            })
+    }
+
     /// Per-layer sparsity statistics of a weight set, aligned with
     /// `spec.layers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitwaveError::MissingLayer`] for absent weights and
+    /// propagates grouping errors.
     pub fn layer_stats(
         &self,
         spec: &NetworkSpec,
         weights: &NetworkWeights,
-    ) -> Vec<LayerSparsityStats> {
+    ) -> Result<Vec<LayerSparsityStats>> {
         spec.layers
             .iter()
             .map(|l| {
-                LayerSparsityStats::analyze(
-                    weights.layer(&l.name).expect("layer weights present"),
-                    self.group_size,
-                )
+                let tensor = self.layer_weights(spec, weights, &l.name)?;
+                Ok(LayerSparsityStats::analyze(tensor, self.group_size)?)
             })
             .collect()
     }
 
     /// Per-layer sparsity profiles for the accelerator models, aligned with
     /// `spec.layers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitwaveError::MissingLayer`] for absent weights and
+    /// propagates grouping errors.
     pub fn profiles(
         &self,
         spec: &NetworkSpec,
         weights: &NetworkWeights,
-    ) -> Vec<LayerSparsityProfile> {
+    ) -> Result<Vec<LayerSparsityProfile>> {
         spec.layers
             .iter()
             .map(|l| {
-                LayerSparsityProfile::from_weights(
-                    weights.layer(&l.name).expect("layer weights present"),
+                let tensor = self.layer_weights(spec, weights, &l.name)?;
+                Ok(LayerSparsityProfile::from_weights(
+                    tensor,
                     l.expected_activation_sparsity(),
                     self.group_size,
-                )
+                )?)
             })
             .collect()
     }
@@ -123,8 +152,16 @@ impl ExperimentContext {
     }
 
     /// Bit-flipped weights under the default strategy.
-    pub fn flipped_weights(&self, spec: &NetworkSpec, weights: &NetworkWeights) -> NetworkWeights {
-        weights.apply_flip_strategy(&self.default_bitflip_strategy(spec))
+    ///
+    /// # Errors
+    ///
+    /// Propagates grouping/flip errors from the Bit-Flip kernel.
+    pub fn flipped_weights(
+        &self,
+        spec: &NetworkSpec,
+        weights: &NetworkWeights,
+    ) -> Result<NetworkWeights> {
+        Ok(weights.apply_flip_strategy(&self.default_bitflip_strategy(spec))?)
     }
 }
 
@@ -149,10 +186,23 @@ mod tests {
         let ctx = ExperimentContext::default().with_sample_cap(2_000);
         let net = resnet18();
         let weights = ctx.weights(&net);
-        let profiles = ctx.profiles(&net, &weights);
+        let profiles = ctx.profiles(&net, &weights).unwrap();
         assert_eq!(profiles.len(), net.layers.len());
-        let stats = ctx.layer_stats(&net, &weights);
+        let stats = ctx.layer_stats(&net, &weights).unwrap();
         assert_eq!(stats.len(), net.layers.len());
+    }
+
+    #[test]
+    fn missing_layers_surface_as_typed_errors() {
+        let ctx = ExperimentContext::default().with_sample_cap(1_000);
+        let net = resnet18();
+        let mut foreign = bert_base();
+        foreign.name = net.name.clone();
+        let weights = ctx.weights(&foreign);
+        let err = ctx.layer_stats(&net, &weights).unwrap_err();
+        assert!(matches!(err, BitwaveError::MissingLayer { .. }));
+        let err = ctx.profiles(&net, &weights).unwrap_err();
+        assert!(matches!(err, BitwaveError::MissingLayer { .. }));
     }
 
     #[test]
@@ -179,7 +229,7 @@ mod tests {
         let ctx = ExperimentContext::default().with_sample_cap(2_000);
         let net = resnet18();
         let weights = ctx.weights(&net);
-        let flipped = ctx.flipped_weights(&net, &weights);
+        let flipped = ctx.flipped_weights(&net, &weights).unwrap();
         assert_eq!(
             weights.layer("conv1").unwrap().data(),
             flipped.layer("conv1").unwrap().data()

@@ -1,0 +1,124 @@
+//! The unified error type of the facade crate.
+//!
+//! Every stage of the [`crate::pipeline`] and every experiment driver
+//! returns [`BitwaveError`]; substrate errors convert into it via `From`, so
+//! `?` works across the tensor → core → sim → pipeline boundaries.  Written
+//! by hand rather than with `thiserror` because the build environment is
+//! offline; the shape matches what `#[derive(Error)]` would generate.
+
+use bitwave_core::error::CoreError;
+use bitwave_sim::error::SimError;
+use bitwave_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by the pipeline and the experiment drivers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BitwaveError {
+    /// An underlying tensor error.
+    Tensor(
+        /// The propagated tensor error.
+        TensorError,
+    ),
+    /// An underlying grouping/compression/Bit-Flip error.
+    Core(
+        /// The propagated core error.
+        CoreError,
+    ),
+    /// An underlying simulator error.
+    Sim(
+        /// The propagated simulator error.
+        SimError,
+    ),
+    /// A layer referenced by an experiment or pipeline job does not exist in
+    /// the network (or its weights were not generated).
+    MissingLayer {
+        /// The network searched.
+        network: String,
+        /// The missing layer name.
+        layer: String,
+    },
+    /// A model with no layers was handed to the pipeline.
+    EmptyModel {
+        /// The offending network name.
+        network: String,
+    },
+}
+
+impl fmt::Display for BitwaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitwaveError::Tensor(e) => write!(f, "tensor error: {e}"),
+            BitwaveError::Core(e) => write!(f, "core error: {e}"),
+            BitwaveError::Sim(e) => write!(f, "simulator error: {e}"),
+            BitwaveError::MissingLayer { network, layer } => {
+                write!(f, "layer `{layer}` not found in network `{network}`")
+            }
+            BitwaveError::EmptyModel { network } => {
+                write!(
+                    f,
+                    "network `{network}` has no layers to run through the pipeline"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitwaveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BitwaveError::Tensor(e) => Some(e),
+            BitwaveError::Core(e) => Some(e),
+            BitwaveError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for BitwaveError {
+    fn from(e: TensorError) -> Self {
+        BitwaveError::Tensor(e)
+    }
+}
+
+impl From<CoreError> for BitwaveError {
+    fn from(e: CoreError) -> Self {
+        BitwaveError::Core(e)
+    }
+}
+
+impl From<SimError> for BitwaveError {
+    fn from(e: SimError) -> Self {
+        BitwaveError::Sim(e)
+    }
+}
+
+/// The crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BitwaveError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        use std::error::Error;
+        let e: BitwaveError = TensorError::Empty.into();
+        assert!(e.to_string().contains("tensor error"));
+        assert!(e.source().is_some());
+        let e: BitwaveError = CoreError::UnsupportedRank(3).into();
+        assert!(e.to_string().contains("core error"));
+        let e: BitwaveError = SimError::Tensor(TensorError::Empty).into();
+        assert!(e.to_string().contains("simulator error"));
+        let e = BitwaveError::MissingLayer {
+            network: "ResNet18".to_string(),
+            layer: "conv9".to_string(),
+        };
+        assert!(e.to_string().contains("conv9"));
+        assert!(e.source().is_none());
+        let e = BitwaveError::EmptyModel {
+            network: "X".to_string(),
+        };
+        assert!(e.to_string().contains("no layers"));
+    }
+}

@@ -1,16 +1,18 @@
 //! Bit-Flip experiments: Fig. 6 layer sensitivity and CR-vs-quality Pareto
 //! fronts, plus the Algorithm 1 greedy search.
+//!
+//! Whole-network compression accounting goes through the
+//! [`crate::pipeline`] compress stage ([`Pipeline::network_compression`]).
 
 use crate::context::ExperimentContext;
-use bitwave_core::compress::BcsCodec;
-use bitwave_core::group::extract_groups;
+use crate::error::Result;
+use crate::pipeline::Pipeline;
 use bitwave_core::pareto::{pareto_front, ParetoPoint};
 use bitwave_core::prelude::FlipStrategy;
 use bitwave_core::search::{greedy_bitflip_search, SearchConfig, SearchOutcome};
 use bitwave_dnn::models::NetworkSpec;
 use bitwave_dnn::proxy::AccuracyProxy;
 use bitwave_dnn::weights::NetworkWeights;
-use bitwave_tensor::bits::Encoding;
 use serde::{Deserialize, Serialize};
 
 /// One point of a Fig. 6(a–d) layer-sensitivity curve.
@@ -32,12 +34,16 @@ pub struct SensitivityRow {
 /// quality of the proxy metric.  `layers` restricts the sweep (the paper
 /// plots every layer; the benches use a representative subset to bound the
 /// runtime).
+///
+/// # Errors
+///
+/// Propagates Bit-Flip errors from the proxy.
 pub fn fig06_layer_sensitivity(
     ctx: &ExperimentContext,
     spec: &NetworkSpec,
     layers: &[String],
     max_zero_columns: u32,
-) -> Vec<SensitivityRow> {
+) -> Result<Vec<SensitivityRow>> {
     let weights = ctx.weights(spec);
     let proxy = AccuracyProxy::new(spec, weights);
     let mut rows = Vec::new();
@@ -45,7 +51,7 @@ pub fn fig06_layer_sensitivity(
         for z in 0..=max_zero_columns.min(7) {
             let mut strategy = FlipStrategy::new();
             strategy.set(layer, ctx.group_size, z);
-            let quality = proxy.quality_of_strategy(&strategy);
+            let quality = proxy.quality_of_strategy(&strategy)?;
             rows.push(SensitivityRow {
                 network: spec.name.clone(),
                 layer: layer.clone(),
@@ -55,7 +61,7 @@ pub fn fig06_layer_sensitivity(
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One operating point of a Fig. 6(e–h) compression/quality trade-off curve.
@@ -75,7 +81,11 @@ pub struct TradeoffRow {
 
 /// Fig. 6(e–h): compression ratio vs quality for Int8+PTQ, Int8+SM (lossless)
 /// and Int8+SM+Bit-Flip on one network.
-pub fn fig06_tradeoff(ctx: &ExperimentContext, spec: &NetworkSpec) -> Vec<TradeoffRow> {
+///
+/// # Errors
+///
+/// Propagates pipeline and Bit-Flip errors.
+pub fn fig06_tradeoff(ctx: &ExperimentContext, spec: &NetworkSpec) -> Result<Vec<TradeoffRow>> {
     let weights = ctx.weights(spec);
     let proxy = AccuracyProxy::new(spec, weights.clone());
     let heavy: Vec<String> = spec
@@ -90,7 +100,7 @@ pub fn fig06_tradeoff(ctx: &ExperimentContext, spec: &NetworkSpec) -> Vec<Tradeo
         network: spec.name.clone(),
         method: "Int8+SM".to_string(),
         configuration: format!("{} lossless", ctx.group_size),
-        compression_ratio: network_bcs_compression(ctx, &weights),
+        compression_ratio: network_bcs_compression(ctx, spec, &weights)?,
         quality: proxy.baseline_quality(),
     });
 
@@ -100,12 +110,12 @@ pub fn fig06_tradeoff(ctx: &ExperimentContext, spec: &NetworkSpec) -> Vec<Tradeo
         for layer in &heavy {
             strategy.set(layer, ctx.group_size, z);
         }
-        let flipped = weights.apply_flip_strategy(&strategy);
+        let flipped = weights.apply_flip_strategy(&strategy)?;
         rows.push(TradeoffRow {
             network: spec.name.clone(),
             method: "Int8+SM+BitFlip".to_string(),
             configuration: format!("z={z} on {} layers", heavy.len()),
-            compression_ratio: network_bcs_compression(ctx, &flipped),
+            compression_ratio: network_bcs_compression(ctx, spec, &flipped)?,
             quality: proxy.quality_of(&flipped),
         });
     }
@@ -122,7 +132,8 @@ pub fn fig06_tradeoff(ctx: &ExperimentContext, spec: &NetworkSpec) -> Vec<Tradeo
         .sum();
     for bits in [6u8, 5, 4, 3, 2] {
         let ptq = weights.apply_ptq(bits, Some(&heavy));
-        let compressed_bits = heavy_weights * f64::from(bits) + (total_weights - heavy_weights) * 8.0;
+        let compressed_bits =
+            heavy_weights * f64::from(bits) + (total_weights - heavy_weights) * 8.0;
         rows.push(TradeoffRow {
             network: spec.name.clone(),
             method: "Int8+PTQ".to_string(),
@@ -131,29 +142,34 @@ pub fn fig06_tradeoff(ctx: &ExperimentContext, spec: &NetworkSpec) -> Vec<Tradeo
             quality: proxy.quality_of(&ptq),
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Whole-network BCS compression ratio (index included) at the context's
-/// group size.
-pub fn network_bcs_compression(ctx: &ExperimentContext, weights: &NetworkWeights) -> f64 {
-    let codec = BcsCodec::new(ctx.group_size, Encoding::SignMagnitude);
-    let mut original = 0usize;
-    let mut compressed = 0usize;
-    for (_, tensor) in weights.iter() {
-        let groups = extract_groups(tensor, ctx.group_size);
-        let c = codec.compress_groups(groups.iter(), groups.padded_len());
-        original += tensor.data().len() * 8;
-        compressed += c.total_bits();
-    }
-    original as f64 / compressed.max(1) as f64
+/// group size, computed through the pipeline's compress stage.
+///
+/// # Errors
+///
+/// Propagates pipeline planning/stage errors.
+pub fn network_bcs_compression(
+    ctx: &ExperimentContext,
+    spec: &NetworkSpec,
+    weights: &NetworkWeights,
+) -> Result<f64> {
+    Pipeline::new(ctx.clone()).network_compression(spec, weights)
 }
 
 /// The Pareto front of a Fig. 6(e–h) trade-off sweep.
 pub fn fig06_pareto(rows: &[TradeoffRow]) -> Vec<ParetoPoint> {
     let points: Vec<ParetoPoint> = rows
         .iter()
-        .map(|r| ParetoPoint::new(r.compression_ratio, r.quality, format!("{} {}", r.method, r.configuration)))
+        .map(|r| {
+            ParetoPoint::new(
+                r.compression_ratio,
+                r.quality,
+                format!("{} {}", r.method, r.configuration),
+            )
+        })
         .collect();
     pareto_front(&points)
 }
@@ -162,13 +178,17 @@ pub fn fig06_pareto(rows: &[TradeoffRow]) -> Vec<ParetoPoint> {
 /// proxy evaluator, restricted to the listed layers (the paper restricts the
 /// search to the flip-insensitive layers identified in the sensitivity
 /// analysis).
+///
+/// # Errors
+///
+/// Propagates Bit-Flip errors from the proxy evaluator.
 pub fn run_greedy_search(
     ctx: &ExperimentContext,
     spec: &NetworkSpec,
     layers: &[String],
     min_quality: f64,
     max_iterations: usize,
-) -> SearchOutcome {
+) -> Result<SearchOutcome> {
     let weights = ctx.weights(spec);
     let proxy = AccuracyProxy::new(spec, weights);
     let config = SearchConfig {
@@ -177,9 +197,12 @@ pub fn run_greedy_search(
         max_zero_columns: 7,
         max_iterations,
     };
-    greedy_bitflip_search(layers, FlipStrategy::new(), &config, |strategy| {
-        proxy.quality_of_strategy(strategy)
-    })
+    Ok(greedy_bitflip_search(
+        layers,
+        FlipStrategy::new(),
+        &config,
+        |strategy| proxy.quality_of_strategy(strategy),
+    )?)
 }
 
 #[cfg(test)]
@@ -200,7 +223,8 @@ mod tests {
             &net,
             &["conv1".to_string(), "layer4.1.conv2".to_string()],
             7,
-        );
+        )
+        .unwrap();
         assert_eq!(rows.len(), 2 * 8);
         for window in rows.windows(2) {
             if window[0].layer == window[1].layer {
@@ -220,16 +244,22 @@ mod tests {
     fn tradeoff_bitflip_dominates_ptq() {
         let ctx = ctx();
         let net = resnet18();
-        let rows = fig06_tradeoff(&ctx, &net);
+        let rows = fig06_tradeoff(&ctx, &net).unwrap();
         // For every PTQ point there is a Bit-Flip point with at least the
         // same compression and better quality (the Fig. 6e finding).
-        let bitflip: Vec<&TradeoffRow> = rows.iter().filter(|r| r.method == "Int8+SM+BitFlip").collect();
+        let bitflip: Vec<&TradeoffRow> = rows
+            .iter()
+            .filter(|r| r.method == "Int8+SM+BitFlip")
+            .collect();
         let ptq: Vec<&TradeoffRow> = rows.iter().filter(|r| r.method == "Int8+PTQ").collect();
         assert!(!bitflip.is_empty() && !ptq.is_empty());
-        let ptq4 = ptq.iter().find(|r| r.configuration.starts_with("4-bit")).unwrap();
-        let better = bitflip
+        let ptq4 = ptq
             .iter()
-            .any(|b| b.compression_ratio >= ptq4.compression_ratio * 0.8 && b.quality > ptq4.quality);
+            .find(|r| r.configuration.starts_with("4-bit"))
+            .unwrap();
+        let better = bitflip.iter().any(|b| {
+            b.compression_ratio >= ptq4.compression_ratio * 0.8 && b.quality > ptq4.quality
+        });
         assert!(better, "no Bit-Flip point dominates the 4-bit PTQ point");
         // The lossless SM point keeps baseline quality.
         let sm = rows.iter().find(|r| r.method == "Int8+SM").unwrap();
@@ -241,7 +271,7 @@ mod tests {
     fn pareto_front_is_nonempty_and_sorted() {
         let ctx = ctx();
         let net = cnn_lstm();
-        let rows = fig06_tradeoff(&ctx, &net);
+        let rows = fig06_tradeoff(&ctx, &net).unwrap();
         let front = fig06_pareto(&rows);
         assert!(!front.is_empty());
         assert!(front
@@ -259,7 +289,7 @@ mod tests {
             .map(|l| l.name.clone())
             .collect();
         let floor = net.baseline_quality - 0.5;
-        let outcome = run_greedy_search(&ctx, &net, &layers, floor, 12);
+        let outcome = run_greedy_search(&ctx, &net, &layers, floor, 12).unwrap();
         assert!(outcome.final_accuracy >= floor);
         assert!(outcome.evaluations > 0);
     }

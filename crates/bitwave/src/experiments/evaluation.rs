@@ -1,9 +1,14 @@
 //! End-to-end evaluation experiments: Fig. 13 (speedup breakdown), Fig. 14
 //! (speedup vs SotA), Fig. 15 (energy), Fig. 16 (energy breakdown), Fig. 17
 //! (energy efficiency) and the model-vs-simulator validation of Section V-B.
+//!
+//! Every accelerator evaluation runs through the [`crate::pipeline`]: one
+//! [`Pipeline`] per accelerator configuration, sharing one generated weight
+//! set per network.
 
 use crate::context::ExperimentContext;
-use bitwave_accel::model::{evaluate_network, NetworkResult};
+use crate::error::Result;
+use crate::pipeline::{ModelReport, Pipeline};
 use bitwave_accel::spec::{AcceleratorSpec, BitwaveOptimizations};
 use bitwave_dnn::models::{all_networks, NetworkSpec};
 use bitwave_sim::engine::EngineConfig;
@@ -58,20 +63,34 @@ pub struct Fig16Row {
 }
 
 /// Evaluates one network on every accelerator of the comparison plus the
-/// BitWave variants, returning `(label, result)` pairs.
+/// BitWave variants, returning `(label, report)` pairs.  One pipeline per
+/// configuration; the BitWave+BF configuration enables the Bit-Flip stage.
+///
+/// # Errors
+///
+/// Propagates pipeline planning/stage errors.
 pub fn evaluate_all_accelerators(
     ctx: &ExperimentContext,
     spec: &NetworkSpec,
-) -> Vec<(String, NetworkResult)> {
+) -> Result<Vec<(String, ModelReport)>> {
     let weights = ctx.weights(spec);
-    let baseline_profiles = ctx.profiles(spec, &weights);
-    let flipped = ctx.flipped_weights(spec, &weights);
-    let flipped_profiles = ctx.profiles(spec, &flipped);
-
-    let mut configs: Vec<(AcceleratorSpec, bool)> = vec![
+    // The compress/bit-flip prefix is accelerator independent: prepare the
+    // baseline and the flipped variant once, then run only the map+simulate
+    // suffix per accelerator.
+    let baseline = Pipeline::new(ctx.clone()).prepare_with_weights(spec, &weights)?;
+    let flipped = Pipeline::new(ctx.clone())
+        .with_default_bitflip(spec)
+        .prepare_with_weights(spec, &weights)?;
+    let configs: Vec<(AcceleratorSpec, bool)> = vec![
         (AcceleratorSpec::dense(), false),
-        (AcceleratorSpec::bitwave(BitwaveOptimizations::dataflow_only()), false),
-        (AcceleratorSpec::bitwave(BitwaveOptimizations::dataflow_sm()), false),
+        (
+            AcceleratorSpec::bitwave(BitwaveOptimizations::dataflow_only()),
+            false,
+        ),
+        (
+            AcceleratorSpec::bitwave(BitwaveOptimizations::dataflow_sm()),
+            false,
+        ),
         (AcceleratorSpec::bitwave(BitwaveOptimizations::all()), true),
         (AcceleratorSpec::scnn(), false),
         (AcceleratorSpec::stripes(), false),
@@ -80,25 +99,26 @@ pub fn evaluate_all_accelerators(
         (AcceleratorSpec::huaa(), false),
     ];
     configs
-        .par_iter_mut()
-        .map(|(accel, use_flipped)| {
-            let profiles = if *use_flipped {
-                &flipped_profiles
-            } else {
-                &baseline_profiles
-            };
-            let result = evaluate_network(accel, spec, profiles, &ctx.memory, &ctx.energy);
-            (accel.label.clone(), result)
+        .par_iter()
+        .map(|(accel, use_bitflip)| {
+            let pipeline = Pipeline::new(ctx.clone()).with_accelerator(accel.clone());
+            let prepared = if *use_bitflip { &flipped } else { &baseline };
+            let report = pipeline.simulate_prepared(spec, prepared)?;
+            Ok((accel.label.clone(), report))
         })
         .collect()
 }
 
 /// Fig. 13: the speedup breakdown Dense → +DF → +SM → +BF for every network.
-pub fn fig13_speedup_breakdown(ctx: &ExperimentContext) -> Vec<Fig13Row> {
-    all_networks()
+///
+/// # Errors
+///
+/// Propagates pipeline planning/stage errors.
+pub fn fig13_speedup_breakdown(ctx: &ExperimentContext) -> Result<Vec<Fig13Row>> {
+    let per_network: Vec<Vec<Fig13Row>> = all_networks()
         .par_iter()
-        .flat_map(|spec| {
-            let results = evaluate_all_accelerators(ctx, spec);
+        .map(|spec| -> Result<Vec<Fig13Row>> {
+            let results = evaluate_all_accelerators(ctx, spec)?;
             let get = |label: &str| {
                 results
                     .iter()
@@ -107,7 +127,7 @@ pub fn fig13_speedup_breakdown(ctx: &ExperimentContext) -> Vec<Fig13Row> {
                     .expect("configuration evaluated")
             };
             let dense = get("Dense");
-            [
+            Ok([
                 ("Dense", dense),
                 ("DF", get("BitWave+DF")),
                 ("DF+SM", get("BitWave+DF+SM")),
@@ -118,18 +138,23 @@ pub fn fig13_speedup_breakdown(ctx: &ExperimentContext) -> Vec<Fig13Row> {
                 step: step.to_string(),
                 speedup_vs_dense: result.speedup_over(dense),
             })
-            .to_vec()
+            .to_vec())
         })
-        .collect()
+        .collect::<Result<_>>()?;
+    Ok(per_network.into_iter().flatten().collect())
 }
 
 /// Figs. 14, 15 and 17: speedup, energy and efficiency of every accelerator,
 /// normalised exactly as the paper normalises them.
-pub fn fig14_15_17_sota_comparison(ctx: &ExperimentContext) -> Vec<SotaComparisonRow> {
-    all_networks()
+///
+/// # Errors
+///
+/// Propagates pipeline planning/stage errors.
+pub fn fig14_15_17_sota_comparison(ctx: &ExperimentContext) -> Result<Vec<SotaComparisonRow>> {
+    let per_network: Vec<Vec<SotaComparisonRow>> = all_networks()
         .par_iter()
-        .flat_map(|spec| {
-            let results = evaluate_all_accelerators(ctx, spec);
+        .map(|spec| -> Result<Vec<SotaComparisonRow>> {
+            let results = evaluate_all_accelerators(ctx, spec)?;
             let scnn = results
                 .iter()
                 .find(|(l, _)| l == "SCNN")
@@ -140,7 +165,7 @@ pub fn fig14_15_17_sota_comparison(ctx: &ExperimentContext) -> Vec<SotaCompariso
                 .find(|(l, _)| l == "BitWave+DF+SM+BF")
                 .map(|(_, r)| r.clone())
                 .expect("BitWave evaluated");
-            results
+            Ok(results
                 .iter()
                 .filter(|(label, _)| {
                     // The SotA figures plot the five baselines plus BitWave.
@@ -159,51 +184,53 @@ pub fn fig14_15_17_sota_comparison(ctx: &ExperimentContext) -> Vec<SotaCompariso
                     efficiency_vs_scnn: result.efficiency_over(&scnn),
                     dram_energy_fraction: result.energy.dram_fraction(),
                 })
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>())
         })
-        .collect()
+        .collect::<Result<_>>()?;
+    Ok(per_network.into_iter().flatten().collect())
 }
 
 /// Fig. 16: BitWave's energy breakdown including DRAM for every network.
-pub fn fig16_energy_breakdown(ctx: &ExperimentContext) -> Vec<Fig16Row> {
+///
+/// # Errors
+///
+/// Propagates pipeline planning/stage errors.
+pub fn fig16_energy_breakdown(ctx: &ExperimentContext) -> Result<Vec<Fig16Row>> {
     all_networks()
         .par_iter()
         .map(|spec| {
-            let weights = ctx.weights(spec);
-            let flipped = ctx.flipped_weights(spec, &weights);
-            let profiles = ctx.profiles(spec, &flipped);
-            let result = evaluate_network(
-                &AcceleratorSpec::bitwave(BitwaveOptimizations::all()),
-                spec,
-                &profiles,
-                &ctx.memory,
-                &ctx.energy,
-            );
-            let total = result.energy.total_pj();
-            Fig16Row {
+            let report = Pipeline::new(ctx.clone())
+                .with_default_bitflip(spec)
+                .run_model(spec)?;
+            let total = report.energy.total_pj();
+            Ok(Fig16Row {
                 network: spec.name.clone(),
-                compute_fraction: result.energy.compute_pj / total,
-                sram_fraction: result.energy.sram_pj / total,
-                register_fraction: result.energy.register_pj / total,
-                dram_fraction: result.energy.dram_pj / total,
-                total_mj: result.energy.total_mj(),
-            }
+                compute_fraction: report.energy.compute_pj / total,
+                sram_fraction: report.energy.sram_pj / total,
+                register_fraction: report.energy.register_pj / total,
+                dram_fraction: report.energy.dram_pj / total,
+                total_mj: report.energy.total_mj(),
+            })
         })
         .collect()
 }
 
 /// Section V-B validation: the analytical model against the cycle-level
 /// simulator on a representative matmul workload.
-pub fn validation_model_vs_simulator(ctx: &ExperimentContext) -> ValidationReport {
+///
+/// # Errors
+///
+/// Propagates quantisation and simulator errors.
+pub fn validation_model_vs_simulator(ctx: &ExperimentContext) -> Result<ValidationReport> {
     let gen = WeightGenerator::new(WeightDistribution::Laplacian { scale: 0.02 }, ctx.seed);
-    let weights = quantize_per_tensor(&gen.generate(Shape::d2(64, 256)), 8).expect("quantise");
+    let weights = quantize_per_tensor(&gen.generate(Shape::d2(64, 256)), 8)?;
     let acts = ActivationGenerator::new(
         bitwave_tensor::synth::ActivationKind::Relu { std: 1.0 },
         ctx.seed ^ 1,
     )
     .generate(Shape::d2(32, 256));
-    let acts = quantize_per_tensor(&acts, 8).expect("quantise");
-    validate_layer(&acts, &weights, EngineConfig::su1()).expect("validation runs")
+    let acts = quantize_per_tensor(&acts, 8)?;
+    Ok(validate_layer(&acts, &weights, EngineConfig::su1())?)
 }
 
 #[cfg(test)]
@@ -217,7 +244,7 @@ mod tests {
 
     #[test]
     fn fig13_breakdown_is_monotonic_per_network() {
-        let rows = fig13_speedup_breakdown(&ctx());
+        let rows = fig13_speedup_breakdown(&ctx()).unwrap();
         assert_eq!(rows.len(), 4 * 4);
         for net in ["ResNet18", "MobileNetV2", "CNN-LSTM", "Bert-Base"] {
             let series: Vec<&Fig13Row> = rows.iter().filter(|r| r.network == net).collect();
@@ -232,13 +259,16 @@ mod tests {
                 );
             }
             // The full stack is a real improvement.
-            assert!(series[3].speedup_vs_dense > 1.1, "{net} total speedup too small");
+            assert!(
+                series[3].speedup_vs_dense > 1.1,
+                "{net} total speedup too small"
+            );
         }
     }
 
     #[test]
     fn mobilenet_gains_most_from_dynamic_dataflow() {
-        let rows = fig13_speedup_breakdown(&ctx());
+        let rows = fig13_speedup_breakdown(&ctx()).unwrap();
         let df_gain = |net: &str| {
             rows.iter()
                 .find(|r| r.network == net && r.step == "DF")
@@ -251,7 +281,7 @@ mod tests {
 
     #[test]
     fn fig14_bitwave_wins_and_scnn_is_the_reference() {
-        let rows = fig14_15_17_sota_comparison(&ctx());
+        let rows = fig14_15_17_sota_comparison(&ctx()).unwrap();
         for net in ["ResNet18", "MobileNetV2", "CNN-LSTM", "Bert-Base"] {
             let series: Vec<&SotaComparisonRow> =
                 rows.iter().filter(|r| r.network == net).collect();
@@ -285,10 +315,13 @@ mod tests {
 
     #[test]
     fn weight_heavy_networks_are_dram_dominated() {
-        let rows = fig16_energy_breakdown(&ctx());
+        let rows = fig16_energy_breakdown(&ctx()).unwrap();
         assert_eq!(rows.len(), 4);
         for row in &rows {
-            let sum = row.compute_fraction + row.sram_fraction + row.register_fraction + row.dram_fraction;
+            let sum = row.compute_fraction
+                + row.sram_fraction
+                + row.register_fraction
+                + row.dram_fraction;
             assert!((sum - 1.0).abs() < 1e-9);
         }
         let bert = rows.iter().find(|r| r.network == "Bert-Base").unwrap();
@@ -301,7 +334,7 @@ mod tests {
 
     #[test]
     fn validation_stays_within_paper_bound() {
-        let report = validation_model_vs_simulator(&ctx());
+        let report = validation_model_vs_simulator(&ctx()).unwrap();
         assert!(
             report.within_paper_bound(),
             "deviation {:.3} exceeds 6%",
@@ -312,9 +345,9 @@ mod tests {
     #[test]
     fn evaluate_all_returns_every_configuration() {
         let ctx = ctx();
-        let results = evaluate_all_accelerators(&ctx, &mobilenet_v2());
+        let results = evaluate_all_accelerators(&ctx, &mobilenet_v2()).unwrap();
         assert_eq!(results.len(), 9);
-        let results = evaluate_all_accelerators(&ctx, &bert_base());
+        let results = evaluate_all_accelerators(&ctx, &bert_base()).unwrap();
         assert!(results.iter().any(|(l, _)| l == "Bitlet"));
     }
 }

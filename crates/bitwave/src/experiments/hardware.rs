@@ -2,6 +2,8 @@
 //! bandwidths), Fig. 12 (workload summary), Table III, Table IV and Fig. 18.
 
 use crate::context::ExperimentContext;
+use crate::error::Result;
+use crate::pipeline::{MappingSummary, Pipeline};
 use bitwave_accel::prelude::{
     bitwave_area_power_breakdown, pe_type_comparison, sota_comparison_table, AreaPowerRow,
     PeTypeRow, SotaRow,
@@ -73,6 +75,48 @@ pub fn table01_su_bandwidth() -> Vec<Table01Row> {
             activation_bw_bits: su.activation_bits_per_cycle(),
         })
         .collect()
+}
+
+/// One row of the pipeline-derived dynamic mapping table: which SU BitWave's
+/// per-layer dataflow selection (Section IV-C) actually picks for every layer
+/// of a network — the mechanism behind the Fig. 9 "BitWave best" bars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicMappingRow {
+    /// Network name.
+    pub network: String,
+    /// Layer name.
+    pub layer: String,
+    /// The chosen spatial unrolling.
+    pub su: String,
+    /// PE-array utilisation achieved by the choice.
+    pub utilization: f64,
+    /// Effective MAC lanes per cycle.
+    pub effective_macs_per_cycle: f64,
+}
+
+/// Fig. 9 companion: runs the pipeline's map stage over every layer of a
+/// network and reports the per-layer SU choice of BitWave's dynamic set.
+///
+/// # Errors
+///
+/// Propagates pipeline planning/stage errors.
+pub fn fig09_dynamic_mapping(
+    ctx: &ExperimentContext,
+    spec: &bitwave_dnn::models::NetworkSpec,
+) -> Result<Vec<DynamicMappingRow>> {
+    let mappings: Vec<MappingSummary> = Pipeline::new(ctx.clone()).map_model(spec)?;
+    Ok(spec
+        .layers
+        .iter()
+        .zip(mappings)
+        .map(|(layer, m)| DynamicMappingRow {
+            network: spec.name.clone(),
+            layer: layer.name.clone(),
+            su: m.su,
+            utilization: m.utilization,
+            effective_macs_per_cycle: m.effective_macs_per_cycle,
+        })
+        .collect())
 }
 
 /// Fig. 12 (left): the workload summary table.
@@ -148,7 +192,9 @@ mod tests {
         let rows = fig12_workload_summary();
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().any(|r| r.name == "ResNet18"));
-        assert!(rows.iter().all(|r| r.gflops > 0.0 && r.params_millions > 0.0));
+        assert!(rows
+            .iter()
+            .all(|r| r.gflops > 0.0 && r.params_millions > 0.0));
     }
 
     #[test]
@@ -156,5 +202,27 @@ mod tests {
         assert_eq!(table03_sota_comparison().len(), 6);
         assert_eq!(table04_pe_cost().len(), 3);
         assert_eq!(fig18_area_power_breakdown().len(), 6);
+    }
+
+    #[test]
+    fn dynamic_mapping_covers_every_layer_and_uses_su7_for_depthwise() {
+        let ctx = ExperimentContext::default().with_sample_cap(1_000);
+        let net = mobilenet_v2();
+        let rows = fig09_dynamic_mapping(&ctx, &net).unwrap();
+        assert_eq!(rows.len(), net.layers.len());
+        for row in &rows {
+            assert!((0.0..=1.0).contains(&row.utilization));
+        }
+        // Depthwise layers must never map worse than the dedicated SU7
+        // (Table I), though a generic SU may tie it on some shapes.
+        let dw_index = net
+            .layers
+            .iter()
+            .position(|l| l.kind.is_depthwise())
+            .unwrap();
+        let dw_layer = &net.layers[dw_index];
+        let su7 = bitwave_dataflow::su::bitwave_su::SU7;
+        let su7_rate = su7.parallelism() as f64 * su7.utilization_for(dw_layer);
+        assert!(rows[dw_index].effective_macs_per_cycle >= su7_rate - 1e-9);
     }
 }

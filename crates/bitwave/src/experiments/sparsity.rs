@@ -1,11 +1,15 @@
 //! Sparsity-analysis experiments: Fig. 1, Fig. 4 and Fig. 5.
+//!
+//! All per-layer analysis goes through the [`crate::pipeline`] compress
+//! stage; this module only aggregates stage outputs into the paper's figures.
 
 use crate::context::ExperimentContext;
-use bitwave_core::compress::{BcsCodec, CompressionReport, CsrCodec, WeightCodec, ZreCodec};
-use bitwave_core::group::{extract_groups, GroupSize};
-use bitwave_core::stats::{LayerSparsityStats, SparsitySummary};
+use crate::error::Result;
+use crate::pipeline::{CompressStage, Pipeline, PipelineStage};
+use bitwave_core::compress::{CompressionReport, CsrCodec, WeightCodec, ZreCodec};
+use bitwave_core::group::GroupSize;
+use bitwave_core::stats::SparsitySummary;
 use bitwave_dnn::models::{all_networks, resnet18};
-use bitwave_tensor::bits::Encoding;
 use serde::{Deserialize, Serialize};
 
 /// One network bar of Fig. 1.
@@ -26,21 +30,26 @@ pub struct Fig01Row {
 }
 
 /// Fig. 1: weight value sparsity vs bit sparsity for the four Int8 networks.
-pub fn fig01_sparsity_survey(ctx: &ExperimentContext) -> Vec<Fig01Row> {
+///
+/// # Errors
+///
+/// Propagates pipeline planning/stage errors.
+pub fn fig01_sparsity_survey(ctx: &ExperimentContext) -> Result<Vec<Fig01Row>> {
+    let pipeline = Pipeline::new(ctx.clone());
     all_networks()
         .iter()
         .map(|net| {
-            let weights = ctx.weights(net);
-            let stats: Vec<LayerSparsityStats> = ctx.layer_stats(net, &weights);
+            let compressed = pipeline.compress_model(net)?;
+            let stats: Vec<_> = compressed.iter().map(|c| c.sparsity).collect();
             let summary = SparsitySummary::aggregate(stats.iter());
-            Fig01Row {
+            Ok(Fig01Row {
                 network: net.name.clone(),
                 value_sparsity: summary.value_sparsity,
                 bit_sparsity_twos_complement: summary.bit_sparsity_twos_complement,
                 bit_sparsity_sign_magnitude: summary.bit_sparsity_sign_magnitude,
                 speedup_ratio_twos_complement: summary.speedup_ratio_twos_complement(),
                 speedup_ratio_sign_magnitude: summary.speedup_ratio_sign_magnitude(),
-            }
+            })
         })
         .collect()
 }
@@ -64,16 +73,31 @@ pub struct Fig04Result {
 
 /// Fig. 4: bit-column sparsity of an early ResNet18 conv layer under two's
 /// complement vs sign-magnitude at `G = 4`.
-pub fn fig04_bcs_representation(ctx: &ExperimentContext) -> Fig04Result {
+///
+/// # Errors
+///
+/// Propagates pipeline planning/stage errors.
+pub fn fig04_bcs_representation(ctx: &ExperimentContext) -> Result<Fig04Result> {
     let net = resnet18();
     // "conv2" of the paper corresponds to the first 3x3 layer of stage 1.
     let layer_name = "layer1.0.conv1";
-    let layer = net.layer(layer_name).expect("layer exists");
     let weights = ctx.weights(&net);
-    let tensor = weights.layer(layer_name).expect("weights exist");
-    let stats = LayerSparsityStats::analyze(tensor, GroupSize::Custom(4));
-    let _ = layer;
-    Fig04Result {
+    let layer = net
+        .layer(layer_name)
+        .ok_or_else(|| crate::error::BitwaveError::MissingLayer {
+            network: net.name.clone(),
+            layer: layer_name.to_string(),
+        })?;
+    let job = crate::pipeline::LayerJob {
+        network: net.name.clone(),
+        layer: layer.clone(),
+        weights: ctx.layer_weights(&net, &weights, layer_name)?.clone(),
+        group_size: GroupSize::Custom(4),
+        zero_column_target: 0,
+    };
+    let compressed = CompressStage::new(bitwave_tensor::bits::Encoding::SignMagnitude).run(job)?;
+    let stats = compressed.sparsity;
+    Ok(Fig04Result {
         layer: layer_name.to_string(),
         group_size: 4,
         value_sparsity: stats.value_sparsity,
@@ -84,7 +108,7 @@ pub fn fig04_bcs_representation(ctx: &ExperimentContext) -> Fig04Result {
         } else {
             f64::INFINITY
         },
-    }
+    })
 }
 
 /// One bar of Fig. 5.
@@ -102,36 +126,56 @@ pub struct Fig05Row {
 
 /// Fig. 5: compression ratio of BCS (G = 1..64) vs ZRE and CSR on the last
 /// four conv layers of ResNet18.
-pub fn fig05_compression_ratio(ctx: &ExperimentContext) -> Vec<Fig05Row> {
+///
+/// # Errors
+///
+/// Propagates pipeline planning/stage errors.
+pub fn fig05_compression_ratio(ctx: &ExperimentContext) -> Result<Vec<Fig05Row>> {
     let net = resnet18();
     let weights = ctx.weights(&net);
     // The last four conv layers: layer4.* (≥50% of the network's weights).
-    let target_layers: Vec<&str> = vec![
+    let target_layers = [
         "layer4.0.conv1",
         "layer4.0.conv2",
         "layer4.1.conv1",
         "layer4.1.conv2",
     ];
     let mut concatenated: Vec<i8> = Vec::new();
+    let mut target_jobs = Vec::new();
     for name in &target_layers {
-        concatenated.extend_from_slice(weights.layer(name).expect("layer exists").data());
+        let tensor = ctx.layer_weights(&net, &weights, name)?;
+        concatenated.extend_from_slice(tensor.data());
+        let layer = net
+            .layer(name)
+            .ok_or_else(|| crate::error::BitwaveError::MissingLayer {
+                network: net.name.clone(),
+                layer: (*name).to_string(),
+            })?;
+        target_jobs.push(crate::pipeline::LayerJob {
+            network: net.name.clone(),
+            layer: layer.clone(),
+            weights: tensor.clone(),
+            group_size: GroupSize::G16, // overwritten per sweep point below
+            zero_column_target: 0,
+        });
     }
 
     let mut rows = Vec::new();
     for g in [1usize, 2, 4, 8, 16, 32, 64] {
-        let codec = BcsCodec::new(GroupSize::from_len(g), Encoding::SignMagnitude);
-        // Group along the input-channel axis per layer, then merge the
-        // accounting, mirroring how the hardware compresses each layer.
+        // Group along the input-channel axis per layer through the pipeline's
+        // compress stage, then merge the accounting, mirroring how the
+        // hardware compresses each layer.
+        let stage = CompressStage::new(bitwave_tensor::bits::Encoding::SignMagnitude);
         let mut payload = 0usize;
         let mut index = 0usize;
         let mut original = 0usize;
-        for name in &target_layers {
-            let tensor = weights.layer(name).expect("layer exists");
-            let groups = extract_groups(tensor, GroupSize::from_len(g));
-            let compressed = codec.compress_groups(groups.iter(), groups.padded_len());
-            payload += compressed.payload_bits;
-            index += compressed.index_bits;
-            original += tensor.data().len() * 8;
+        for job in &target_jobs {
+            let mut job = job.clone();
+            job.group_size = GroupSize::from_len(g);
+            let compressed = stage.run(job)?;
+            payload += compressed.compression.payload_bits;
+            index += compressed.compression.index_bits;
+            original += compressed.compression.original_bits;
         }
         rows.push(Fig05Row {
             codec: "BCS".to_string(),
@@ -152,7 +196,7 @@ pub fn fig05_compression_ratio(ctx: &ExperimentContext) -> Vec<Fig05Row> {
             cr_with_index: report.cr_with_index,
         });
     }
-    rows
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -165,7 +209,7 @@ mod tests {
 
     #[test]
     fn fig01_orderings_match_paper() {
-        let rows = fig01_sparsity_survey(&ctx());
+        let rows = fig01_sparsity_survey(&ctx()).unwrap();
         assert_eq!(rows.len(), 4);
         for row in &rows {
             // Bit sparsity always exceeds value sparsity (the Fig. 1 point),
@@ -178,7 +222,7 @@ mod tests {
 
     #[test]
     fn fig04_sign_magnitude_multiplies_column_sparsity() {
-        let result = fig04_bcs_representation(&ctx());
+        let result = fig04_bcs_representation(&ctx()).unwrap();
         assert!(result.column_sparsity_sign_magnitude > result.column_sparsity_twos_complement);
         assert!(
             result.sign_magnitude_improvement > 1.5,
@@ -190,7 +234,7 @@ mod tests {
 
     #[test]
     fn fig05_cr_decreases_with_group_size_and_beats_value_codecs() {
-        let rows = fig05_compression_ratio(&ctx());
+        let rows = fig05_compression_ratio(&ctx()).unwrap();
         let bcs: Vec<&Fig05Row> = rows.iter().filter(|r| r.codec == "BCS").collect();
         assert_eq!(bcs.len(), 7);
         // Ideal CR decreases (or stays) as the group grows.

@@ -1,0 +1,207 @@
+//! Serializable reports produced by the pipeline stages.
+
+use bitwave_accel::EnergyBreakdown;
+use bitwave_core::compress::CompressedTensor;
+use bitwave_core::stats::LayerSparsityStats;
+use serde::{Deserialize, Serialize};
+
+/// Size accounting of one BCS-compressed layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionSummary {
+    /// Group size used for compression.
+    pub group_size: usize,
+    /// Uncompressed size in bits.
+    pub original_bits: usize,
+    /// Compressed payload bits (stored non-zero columns).
+    pub payload_bits: usize,
+    /// Index/metadata bits (8 per group).
+    pub index_bits: usize,
+    /// Compression ratio ignoring the index overhead.
+    pub cr_ideal: f64,
+    /// Compression ratio including the index overhead.
+    pub cr_with_index: f64,
+}
+
+impl CompressionSummary {
+    /// Builds a summary from a compressed tensor.
+    pub fn from_compressed(compressed: &CompressedTensor, group_size: usize) -> Self {
+        Self {
+            group_size,
+            original_bits: compressed.original_bits(),
+            payload_bits: compressed.payload_bits,
+            index_bits: compressed.index_bits,
+            cr_ideal: compressed.compression_ratio_ideal(),
+            cr_with_index: compressed.compression_ratio_with_index(),
+        }
+    }
+
+    /// Whole-model compression ratio (index included) over several layers'
+    /// summaries — the single source of truth for model-level CR aggregation.
+    pub fn aggregate_ratio<'a, I>(summaries: I) -> f64
+    where
+        I: IntoIterator<Item = &'a CompressionSummary>,
+    {
+        let mut original = 0u64;
+        let mut stored = 0u64;
+        for summary in summaries {
+            original += summary.original_bits as u64;
+            stored += (summary.payload_bits + summary.index_bits) as u64;
+        }
+        if stored == 0 {
+            1.0
+        } else {
+            original as f64 / stored as f64
+        }
+    }
+}
+
+/// Outcome of the Bit-Flip stage on one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BitFlipSummary {
+    /// The zero-column target that was applied.
+    pub zero_column_target: u32,
+    /// Groups processed.
+    pub groups: usize,
+    /// Groups that had to be modified.
+    pub groups_modified: usize,
+    /// RMS weight perturbation in LSBs.
+    pub rms_perturbation: f64,
+    /// Mean zero columns per group after flipping.
+    pub mean_zero_columns: f64,
+    /// Compression accounting after the flip.
+    pub compression_after: CompressionSummary,
+}
+
+/// The mapping decision for one layer, as recorded by the map stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingSummary {
+    /// Name of the chosen spatial unrolling.
+    pub su: String,
+    /// PE-array utilisation under that SU.
+    pub utilization: f64,
+    /// Effective MAC lanes per cycle.
+    pub effective_macs_per_cycle: f64,
+}
+
+/// Performance/energy results of the simulate stage on one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationSummary {
+    /// Accelerator label the layer was evaluated on.
+    pub accelerator: String,
+    /// Effective MAC operations after sparsity skipping.
+    pub effective_macs: f64,
+    /// Compute cycles.
+    pub compute_cycles: f64,
+    /// Non-hideable DRAM cycles.
+    pub dram_cycles: f64,
+    /// Total latency in cycles.
+    pub total_cycles: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+/// The complete, serializable record of one layer's trip through the
+/// compress → bit-flip → map → simulate pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Network name.
+    pub network: String,
+    /// Layer name.
+    pub layer: String,
+    /// Weight elements analysed (sampled count, not necessarily full size).
+    pub weight_elements: usize,
+    /// Dense MAC operations of the layer.
+    pub macs: u64,
+    /// Sparsity statistics of the (pre-flip) weights.
+    pub sparsity: LayerSparsityStats,
+    /// Lossless compression accounting of the (pre-flip) weights.
+    pub compression: CompressionSummary,
+    /// Bit-Flip outcome; `None` when the layer's target was 0.
+    pub bitflip: Option<BitFlipSummary>,
+    /// Dataflow mapping decision.
+    pub mapping: MappingSummary,
+    /// Performance/energy results.
+    pub simulation: SimulationSummary,
+}
+
+impl LayerReport {
+    /// The compression accounting that is actually shipped to the hardware:
+    /// post-flip when the layer was flipped, lossless otherwise.
+    pub fn effective_compression(&self) -> &CompressionSummary {
+        self.bitflip
+            .as_ref()
+            .map_or(&self.compression, |b| &b.compression_after)
+    }
+}
+
+/// Aggregated results of running a whole model through the pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelReport {
+    /// Network name.
+    pub network: String,
+    /// Accelerator label.
+    pub accelerator: String,
+    /// Per-layer reports in execution order.
+    pub layers: Vec<LayerReport>,
+    /// Total latency in cycles.
+    pub total_cycles: f64,
+    /// Total energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Total effective MAC operations.
+    pub effective_macs: f64,
+    /// Total dense MAC operations of the workload.
+    pub total_macs: u64,
+    /// Element-weighted whole-model weight compression ratio (index
+    /// included, post-flip where applicable).
+    pub weight_compression_ratio: f64,
+}
+
+impl ModelReport {
+    /// Aggregates per-layer reports into a model report.
+    pub fn from_layers(network: String, accelerator: String, layers: Vec<LayerReport>) -> Self {
+        let mut total_cycles = 0.0f64;
+        let mut energy = EnergyBreakdown::default();
+        let mut effective_macs = 0.0f64;
+        let mut total_macs = 0u64;
+        for layer in &layers {
+            total_cycles += layer.simulation.total_cycles;
+            energy = energy.accumulate(&layer.simulation.energy);
+            effective_macs += layer.simulation.effective_macs;
+            total_macs += layer.macs;
+        }
+        let weight_compression_ratio = CompressionSummary::aggregate_ratio(
+            layers.iter().map(LayerReport::effective_compression),
+        );
+        Self {
+            network,
+            accelerator,
+            layers,
+            total_cycles,
+            energy,
+            effective_macs,
+            total_macs,
+            weight_compression_ratio,
+        }
+    }
+
+    /// Speedup of `self` relative to `baseline` (higher is better).
+    pub fn speedup_over(&self, baseline: &ModelReport) -> f64 {
+        baseline.total_cycles / self.total_cycles
+    }
+
+    /// Energy of `self` relative to `baseline` (lower is better).
+    pub fn relative_energy(&self, baseline: &ModelReport) -> f64 {
+        self.energy.total_pj() / baseline.energy.total_pj()
+    }
+
+    /// Energy efficiency in useful operations per picojoule (2 ops per
+    /// effective MAC, as the paper counts useful operations).
+    pub fn energy_efficiency_ops_per_pj(&self) -> f64 {
+        2.0 * self.effective_macs / self.energy.total_pj()
+    }
+
+    /// Energy-efficiency ratio relative to `baseline` (higher is better).
+    pub fn efficiency_over(&self, baseline: &ModelReport) -> f64 {
+        self.energy_efficiency_ops_per_pj() / baseline.energy_efficiency_ops_per_pj()
+    }
+}

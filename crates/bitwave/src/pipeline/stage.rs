@@ -1,0 +1,330 @@
+//! The four typed stages of the layer pipeline.
+//!
+//! Each stage is a plain struct implementing [`PipelineStage`]: it consumes
+//! the previous stage's typed output and produces its own, so the
+//! compress → bit-flip → map → simulate chain is checked by the type system
+//! and every intermediate is inspectable by experiment drivers that only
+//! need a prefix of the chain (e.g. the Fig. 5 compression sweeps stop after
+//! [`CompressStage`]).
+
+use crate::error::Result;
+use crate::pipeline::job::LayerJob;
+use crate::pipeline::report::{
+    BitFlipSummary, CompressionSummary, LayerReport, MappingSummary, SimulationSummary,
+};
+use bitwave_accel::model::evaluate_layer_with_mapping;
+use bitwave_accel::{AcceleratorSpec, EnergyModel, LayerSparsityProfile};
+use bitwave_core::bitflip::flip_tensor;
+use bitwave_core::compress::BcsCodec;
+use bitwave_core::group::{extract_groups, GroupSize};
+use bitwave_core::stats::LayerSparsityStats;
+use bitwave_dataflow::mapping::{select_spatial_unrolling, MappingDecision};
+use bitwave_dataflow::MemoryHierarchy;
+use bitwave_tensor::bits::Encoding;
+use bitwave_tensor::QuantTensor;
+
+/// One typed stage of the pipeline.
+pub trait PipelineStage {
+    /// The stage's input.
+    type Input;
+    /// The stage's output.
+    type Output;
+
+    /// Short stage name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any substrate error as [`crate::BitwaveError`].
+    fn run(&self, input: Self::Input) -> Result<Self::Output>;
+}
+
+/// Compresses a layer's weights with sign-magnitude BCS and records its
+/// sparsity statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressStage {
+    /// Bit encoding used for column statistics and compression.
+    pub encoding: Encoding,
+}
+
+impl CompressStage {
+    /// Creates the stage with the given encoding.
+    pub fn new(encoding: Encoding) -> Self {
+        Self { encoding }
+    }
+
+    fn compress(&self, weights: &QuantTensor, group_size: GroupSize) -> Result<CompressionSummary> {
+        let groups = extract_groups(weights, group_size)?;
+        // `original_len` is the *unpadded* element count: compression ratios
+        // are measured against the real weight storage, while the stored
+        // payload/index bits still account for the hardware's zero-padded
+        // tail groups.
+        let compressed = BcsCodec::new(group_size, self.encoding)
+            .compress_groups(groups.iter(), weights.data().len());
+        Ok(CompressionSummary::from_compressed(
+            &compressed,
+            group_size.len(),
+        ))
+    }
+}
+
+/// Output of [`CompressStage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedLayer {
+    /// The job being processed (weights still unmodified).
+    pub job: LayerJob,
+    /// Sparsity statistics of the weights.
+    pub sparsity: LayerSparsityStats,
+    /// Lossless BCS size accounting.
+    pub compression: CompressionSummary,
+}
+
+impl PipelineStage for CompressStage {
+    type Input = LayerJob;
+    type Output = CompressedLayer;
+
+    fn name(&self) -> &'static str {
+        "compress"
+    }
+
+    fn run(&self, job: LayerJob) -> Result<CompressedLayer> {
+        let sparsity = LayerSparsityStats::analyze(&job.weights, job.group_size)?;
+        let compression = self.compress(&job.weights, job.group_size)?;
+        Ok(CompressedLayer {
+            job,
+            sparsity,
+            compression,
+        })
+    }
+}
+
+/// Applies the job's zero-column Bit-Flip target (no-op at target 0) and
+/// re-compresses the flipped weights.
+#[derive(Debug, Clone, Copy)]
+pub struct BitFlipStage {
+    /// Bit encoding the flip optimises for.
+    pub encoding: Encoding,
+}
+
+impl BitFlipStage {
+    /// Creates the stage with the given encoding.
+    pub fn new(encoding: Encoding) -> Self {
+        Self { encoding }
+    }
+}
+
+/// Output of [`BitFlipStage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlippedLayer {
+    /// The job, with `weights` replaced by the flipped tensor when a flip
+    /// was applied.
+    pub job: LayerJob,
+    /// Sparsity statistics of the pre-flip weights.
+    pub sparsity: LayerSparsityStats,
+    /// Lossless (pre-flip) compression accounting.
+    pub compression: CompressionSummary,
+    /// Flip outcome, `None` when the target was 0.
+    pub bitflip: Option<BitFlipSummary>,
+    /// Sparsity profile of the *final* (possibly flipped) weights, computed
+    /// once here so the simulate stage can be re-run for many accelerators
+    /// without re-analysing the same tensor.
+    pub profile: LayerSparsityProfile,
+}
+
+impl PipelineStage for BitFlipStage {
+    type Input = CompressedLayer;
+    type Output = FlippedLayer;
+
+    fn name(&self) -> &'static str {
+        "bit-flip"
+    }
+
+    fn run(&self, input: CompressedLayer) -> Result<FlippedLayer> {
+        let CompressedLayer {
+            mut job,
+            sparsity,
+            compression,
+        } = input;
+        let bitflip = if job.zero_column_target == 0 {
+            None
+        } else {
+            let (flipped, stats) = flip_tensor(
+                &job.weights,
+                job.group_size,
+                job.zero_column_target,
+                self.encoding,
+            )?;
+            let compression_after =
+                CompressStage::new(self.encoding).compress(&flipped, job.group_size)?;
+            job.weights = flipped;
+            Some(BitFlipSummary {
+                zero_column_target: job.zero_column_target,
+                groups: stats.groups,
+                groups_modified: stats.groups_modified,
+                rms_perturbation: stats.rms_perturbation,
+                mean_zero_columns: stats.mean_zero_columns,
+                compression_after,
+            })
+        };
+        let profile = LayerSparsityProfile::from_weights(
+            &job.weights,
+            job.layer.expected_activation_sparsity(),
+            job.group_size,
+        )?;
+        Ok(FlippedLayer {
+            job,
+            sparsity,
+            compression,
+            bitflip,
+            profile,
+        })
+    }
+}
+
+/// Selects the spatial unrolling for the layer from the accelerator's SU set.
+#[derive(Debug, Clone)]
+pub struct MapStage {
+    /// The accelerator whose SU set is searched.
+    pub accelerator: AcceleratorSpec,
+}
+
+impl MapStage {
+    /// Creates the stage for an accelerator.
+    pub fn new(accelerator: AcceleratorSpec) -> Self {
+        Self { accelerator }
+    }
+
+    /// The mapping decision for one layer — usable without weights, since
+    /// SU selection depends only on the loop nest.
+    pub fn decide(&self, layer: &bitwave_dnn::layer::LayerSpec) -> MappingDecision {
+        select_spatial_unrolling(layer, &self.accelerator.su_set)
+    }
+}
+
+/// Output of [`MapStage`].
+#[derive(Debug, Clone)]
+pub struct MappedLayer {
+    /// The (possibly flipped) job.
+    pub job: LayerJob,
+    /// Sparsity statistics of the pre-flip weights.
+    pub sparsity: LayerSparsityStats,
+    /// Lossless (pre-flip) compression accounting.
+    pub compression: CompressionSummary,
+    /// Flip outcome, `None` when the target was 0.
+    pub bitflip: Option<BitFlipSummary>,
+    /// Sparsity profile of the final weights (from the bit-flip stage).
+    pub profile: LayerSparsityProfile,
+    /// The full mapping decision, consumed by the simulate stage.
+    pub decision: MappingDecision,
+}
+
+impl PipelineStage for MapStage {
+    type Input = FlippedLayer;
+    type Output = MappedLayer;
+
+    fn name(&self) -> &'static str {
+        "map"
+    }
+
+    fn run(&self, input: FlippedLayer) -> Result<MappedLayer> {
+        let decision = self.decide(&input.job.layer);
+        Ok(MappedLayer {
+            job: input.job,
+            sparsity: input.sparsity,
+            compression: input.compression,
+            bitflip: input.bitflip,
+            profile: input.profile,
+            decision,
+        })
+    }
+}
+
+/// Evaluates the mapped layer on the accelerator's analytical performance and
+/// energy model (Eqs. 1–5 of the paper).
+#[derive(Debug, Clone)]
+pub struct SimulateStage {
+    /// The accelerator model to evaluate on.
+    pub accelerator: AcceleratorSpec,
+    /// Memory hierarchy shared by all modelled accelerators.
+    pub memory: MemoryHierarchy,
+    /// Unit-energy model.
+    pub energy: EnergyModel,
+}
+
+impl SimulateStage {
+    /// Creates the stage.
+    pub fn new(accelerator: AcceleratorSpec, memory: MemoryHierarchy, energy: EnergyModel) -> Self {
+        Self {
+            accelerator,
+            memory,
+            energy,
+        }
+    }
+
+    /// Evaluates a prepared layer under a mapping decision **by reference** —
+    /// neither stage reads the weight tensor, so multi-accelerator sweeps can
+    /// share one prepared layer set without cloning tensors.
+    pub fn evaluate(&self, input: &FlippedLayer, decision: &MappingDecision) -> LayerReport {
+        let job = &input.job;
+        let result = evaluate_layer_with_mapping(
+            &self.accelerator,
+            &job.layer,
+            decision,
+            &input.profile,
+            &self.memory,
+            &self.energy,
+        );
+        LayerReport {
+            network: job.network.clone(),
+            layer: job.layer.name.clone(),
+            weight_elements: job.weight_elements(),
+            macs: job.layer.macs(),
+            sparsity: input.sparsity,
+            compression: input.compression,
+            bitflip: input.bitflip,
+            mapping: MappingSummary {
+                su: decision.su.name.to_string(),
+                utilization: decision.utilization,
+                effective_macs_per_cycle: decision.effective_macs_per_cycle,
+            },
+            simulation: SimulationSummary {
+                accelerator: self.accelerator.label.clone(),
+                effective_macs: result.effective_macs,
+                compute_cycles: result.compute_cycles,
+                dram_cycles: result.dram_cycles,
+                total_cycles: result.total_cycles,
+                energy: result.energy,
+            },
+        }
+    }
+}
+
+impl PipelineStage for SimulateStage {
+    type Input = MappedLayer;
+    type Output = LayerReport;
+
+    fn name(&self) -> &'static str {
+        "simulate"
+    }
+
+    fn run(&self, input: MappedLayer) -> Result<LayerReport> {
+        let MappedLayer {
+            job,
+            sparsity,
+            compression,
+            bitflip,
+            profile,
+            decision,
+        } = input;
+        let view = FlippedLayer {
+            job,
+            sparsity,
+            compression,
+            bitflip,
+            profile,
+        };
+        Ok(self.evaluate(&view, &decision))
+    }
+}

@@ -10,6 +10,7 @@
 //! each weight is the nearest value whose sign-magnitude encoding uses only
 //! allowed columns.
 
+use crate::error::CoreError;
 use crate::group::{extract_groups, reassemble_tensor, GroupSize};
 use bitwave_tensor::bits::{zero_column_count, Encoding, WORD_BITS};
 use bitwave_tensor::metrics::euclidean_distance_i8;
@@ -48,23 +49,26 @@ pub struct FlipStats {
 /// `target_zero_columns` is clamped to `0..=8`.  A target of 8 forces the
 /// whole group to zero.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `group` is empty or longer than 64 elements (the hardware group
-/// sizes are 8/16/32).
-pub fn flip_group(group: &[i8], target_zero_columns: u32, encoding: Encoding) -> FlipOutcome {
-    assert!(
-        !group.is_empty() && group.len() <= 64,
-        "group length must be 1..=64"
-    );
+/// Returns [`CoreError::InvalidGroupLength`] if `group` is empty or longer
+/// than 64 elements (the hardware group sizes are 8/16/32).
+pub fn flip_group(
+    group: &[i8],
+    target_zero_columns: u32,
+    encoding: Encoding,
+) -> Result<FlipOutcome, CoreError> {
+    if group.is_empty() || group.len() > 64 {
+        return Err(CoreError::InvalidGroupLength(group.len()));
+    }
     let target = target_zero_columns.min(WORD_BITS as u32);
     let current = zero_column_count(group, encoding);
     if current >= target {
-        return FlipOutcome {
+        return Ok(FlipOutcome {
             flipped: group.to_vec(),
             distance: 0.0,
             achieved_zero_columns: current,
-        };
+        });
     }
 
     let allowed_nonzero = WORD_BITS as u32 - target;
@@ -74,7 +78,7 @@ pub fn flip_group(group: &[i8], target_zero_columns: u32, encoding: Encoding) ->
     // maximal popcount needs to be searched.
     for mask in 0u16..=0xFF {
         let mask = mask as u8;
-        if u32::from(mask.count_ones()) != allowed_nonzero {
+        if mask.count_ones() != allowed_nonzero {
             continue;
         }
         let candidate = project_group(group, mask, encoding);
@@ -88,11 +92,11 @@ pub fn flip_group(group: &[i8], target_zero_columns: u32, encoding: Encoding) ->
         best.expect("at least one mask with the requested popcount always exists");
     let achieved = zero_column_count(&flipped, encoding);
     debug_assert!(achieved >= target);
-    FlipOutcome {
+    Ok(FlipOutcome {
         distance: cost.sqrt(),
         achieved_zero_columns: achieved,
         flipped,
-    }
+    })
 }
 
 /// Projects every weight of `group` onto the nearest value whose encoding
@@ -109,10 +113,7 @@ fn project_group(group: &[i8], mask: u8, encoding: Encoding) -> Vec<i8> {
         }
         Encoding::TwosComplement => {
             let values = representable_twos_complement(mask);
-            group
-                .iter()
-                .map(|&w| nearest_value(w, &values))
-                .collect()
+            group.iter().map(|&w| nearest_value(w, &values)).collect()
         }
     }
 }
@@ -204,19 +205,23 @@ fn squared_distance(a: &[i8], b: &[i8]) -> f64 {
 
 /// Flips every group of a flat weight slice.  Returns the flipped weights and
 /// aggregate statistics.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidGroupLength`] for group sizes outside `1..=64`.
 pub fn flip_slice(
     weights: &[i8],
     group_size: GroupSize,
     target_zero_columns: u32,
     encoding: Encoding,
-) -> (Vec<i8>, FlipStats) {
+) -> Result<(Vec<i8>, FlipStats), CoreError> {
     let g = group_size.len();
     let mut out = Vec::with_capacity(weights.len());
     let mut stats = FlipStats::default();
     let mut squared_sum = 0.0f64;
     let mut zero_cols = 0u64;
     for chunk in weights.chunks(g) {
-        let outcome = flip_group(chunk, target_zero_columns, encoding);
+        let outcome = flip_group(chunk, target_zero_columns, encoding)?;
         stats.groups += 1;
         if outcome.distance > 0.0 {
             stats.groups_modified += 1;
@@ -229,23 +234,28 @@ pub fn flip_slice(
         stats.rms_perturbation = (squared_sum / weights.len() as f64).sqrt();
         stats.mean_zero_columns = zero_cols as f64 / stats.groups as f64;
     }
-    (out, stats)
+    Ok((out, stats))
 }
 
 /// Flips a whole weight tensor, grouping along the input-channel axis exactly
 /// as [`extract_groups`] does, and returns the flipped tensor plus stats.
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnsupportedRank`] for ungroupable tensors and
+/// [`CoreError::InvalidGroupLength`] for group sizes outside `1..=64`.
 pub fn flip_tensor(
     tensor: &QuantTensor,
     group_size: GroupSize,
     target_zero_columns: u32,
     encoding: Encoding,
-) -> (QuantTensor, FlipStats) {
-    let mut groups = extract_groups(tensor, group_size);
+) -> Result<(QuantTensor, FlipStats), CoreError> {
+    let mut groups = extract_groups(tensor, group_size)?;
     let mut stats = FlipStats::default();
     let mut squared_sum = 0.0f64;
     let mut zero_cols = 0u64;
     for group in groups.iter_mut() {
-        let outcome = flip_group(group, target_zero_columns, encoding);
+        let outcome = flip_group(group, target_zero_columns, encoding)?;
         stats.groups += 1;
         if outcome.distance > 0.0 {
             stats.groups_modified += 1;
@@ -254,7 +264,7 @@ pub fn flip_tensor(
         zero_cols += u64::from(outcome.achieved_zero_columns);
         group.copy_from_slice(&outcome.flipped);
     }
-    let flipped = reassemble_tensor(tensor, &groups);
+    let flipped = reassemble_tensor(tensor, &groups)?;
     if stats.groups > 0 {
         let n = tensor.data().len().max(1) as f64;
         stats.rms_perturbation = (squared_sum / n).sqrt();
@@ -264,7 +274,7 @@ pub fn flip_tensor(
     // in both the original and flipped groups, so the RMS is exact.
     let exact_distance = euclidean_distance_i8(tensor.data(), flipped.data());
     stats.rms_perturbation = exact_distance / (tensor.data().len().max(1) as f64).sqrt();
-    (flipped, stats)
+    Ok((flipped, stats))
 }
 
 #[cfg(test)]
@@ -277,7 +287,7 @@ mod tests {
     #[test]
     fn already_sparse_group_is_untouched() {
         let group = [0i8, 1, 0, 1];
-        let out = flip_group(&group, 4, Encoding::SignMagnitude);
+        let out = flip_group(&group, 4, Encoding::SignMagnitude).unwrap();
         assert_eq!(out.flipped, group);
         assert_eq!(out.distance, 0.0);
     }
@@ -287,7 +297,7 @@ mod tests {
         // Fig. 4(c): targeting five zero columns tunes -3 to -4 at distance 1.
         // Build a group whose other elements already only use bit 2 and the sign.
         let group = [-3i8, 4, -4, 4];
-        let out = flip_group(&group, 6, Encoding::SignMagnitude);
+        let out = flip_group(&group, 6, Encoding::SignMagnitude).unwrap();
         assert_eq!(out.flipped, vec![-4, 4, -4, 4]);
         assert_eq!(out.distance, 1.0);
         assert!(out.achieved_zero_columns >= 6);
@@ -296,7 +306,7 @@ mod tests {
     #[test]
     fn target_eight_zero_columns_forces_all_zero() {
         let group = [13i8, -77, 3, 120];
-        let out = flip_group(&group, 8, Encoding::SignMagnitude);
+        let out = flip_group(&group, 8, Encoding::SignMagnitude).unwrap();
         assert!(out.flipped.iter().all(|&v| v == 0));
         assert_eq!(out.achieved_zero_columns, 8);
     }
@@ -304,7 +314,7 @@ mod tests {
     #[test]
     fn target_zero_never_changes_anything() {
         let group = [13i8, -77, 3, 120];
-        let out = flip_group(&group, 0, Encoding::SignMagnitude);
+        let out = flip_group(&group, 0, Encoding::SignMagnitude).unwrap();
         assert_eq!(out.flipped, group);
     }
 
@@ -312,7 +322,7 @@ mod tests {
     fn twos_complement_flipping_also_satisfies_constraint() {
         let group = [-3i8, 5, -7, 2, 9, -1, 0, 4];
         for target in 1..=6u32 {
-            let out = flip_group(&group, target, Encoding::TwosComplement);
+            let out = flip_group(&group, target, Encoding::TwosComplement).unwrap();
             assert!(
                 out.achieved_zero_columns >= target,
                 "target {target} not met: {:?}",
@@ -326,7 +336,7 @@ mod tests {
         let group = [33i8, -75, 14, -2, 91, -60, 7, 8];
         let mut last = 0.0;
         for target in 0..=8u32 {
-            let out = flip_group(&group, target, Encoding::SignMagnitude);
+            let out = flip_group(&group, target, Encoding::SignMagnitude).unwrap();
             assert!(
                 out.distance >= last - 1e-9,
                 "distance should not decrease with a stricter target"
@@ -338,7 +348,8 @@ mod tests {
     #[test]
     fn flip_slice_statistics() {
         let weights: Vec<i8> = (0..64).map(|i| ((i * 7) % 23 - 11) as i8).collect();
-        let (flipped, stats) = flip_slice(&weights, GroupSize::G8, 5, Encoding::SignMagnitude);
+        let (flipped, stats) =
+            flip_slice(&weights, GroupSize::G8, 5, Encoding::SignMagnitude).unwrap();
         assert_eq!(flipped.len(), weights.len());
         assert_eq!(stats.groups, 8);
         assert!(stats.mean_zero_columns >= 5.0);
@@ -351,11 +362,11 @@ mod tests {
         let gen = WeightGenerator::new(WeightDistribution::Gaussian { std: 0.05 }, 9);
         let w = gen.generate(Shape::conv_weight(4, 16, 3, 3));
         let q = quantize_per_tensor(&w, 8).unwrap();
-        let (flipped, stats) = flip_tensor(&q, GroupSize::G16, 4, Encoding::SignMagnitude);
+        let (flipped, stats) = flip_tensor(&q, GroupSize::G16, 4, Encoding::SignMagnitude).unwrap();
         assert_eq!(flipped.shape(), q.shape());
         assert!(stats.mean_zero_columns >= 4.0);
         // The flipped tensor must reach the column-sparsity target for every group.
-        let groups = extract_groups(&flipped, GroupSize::G16);
+        let groups = extract_groups(&flipped, GroupSize::G16).unwrap();
         for g in groups.iter() {
             assert!(zero_column_count(g, Encoding::SignMagnitude) >= 4);
         }
@@ -369,7 +380,7 @@ mod tests {
             QuantParams::symmetric(0.02, 8),
         )
         .unwrap();
-        let (flipped, _) = flip_tensor(&q, GroupSize::G8, 3, Encoding::SignMagnitude);
+        let (flipped, _) = flip_tensor(&q, GroupSize::G8, 3, Encoding::SignMagnitude).unwrap();
         assert_eq!(flipped.params(), q.params());
         assert_eq!(flipped.shape(), q.shape());
     }
@@ -382,7 +393,7 @@ mod tests {
             group in proptest::collection::vec(-127i8..=127, 1..=32),
             target in 0u32..=8,
         ) {
-            let out = flip_group(&group, target, Encoding::SignMagnitude);
+            let out = flip_group(&group, target, Encoding::SignMagnitude).unwrap();
             prop_assert!(out.achieved_zero_columns >= target.min(8));
             prop_assert_eq!(out.flipped.len(), group.len());
         }
@@ -392,8 +403,8 @@ mod tests {
             group in proptest::collection::vec(-127i8..=127, 1..=16),
             target in 0u32..=7,
         ) {
-            let once = flip_group(&group, target, Encoding::SignMagnitude);
-            let twice = flip_group(&once.flipped, target, Encoding::SignMagnitude);
+            let once = flip_group(&group, target, Encoding::SignMagnitude).unwrap();
+            let twice = flip_group(&once.flipped, target, Encoding::SignMagnitude).unwrap();
             prop_assert_eq!(&twice.flipped, &once.flipped);
             prop_assert_eq!(twice.distance, 0.0);
         }
@@ -405,7 +416,7 @@ mod tests {
         ) {
             // Zeroing the whole group always satisfies any target, so the optimal
             // distance can never exceed the norm of the group.
-            let out = flip_group(&group, target, Encoding::SignMagnitude);
+            let out = flip_group(&group, target, Encoding::SignMagnitude).unwrap();
             let norm = group.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt();
             prop_assert!(out.distance <= norm + 1e-9);
         }

@@ -9,8 +9,8 @@
 //!   significance), stored column-major so the hardware can stream one
 //!   column per cycle straight into the BCE array without decompression.
 
-use crate::group::{group_slice, GroupSize};
 use crate::compress::{CompressedTensor, WeightCodec};
+use crate::group::{group_slice, GroupSize};
 use bitwave_tensor::bits::{pack_column, Encoding, WORD_BITS};
 use serde::{Deserialize, Serialize};
 
@@ -132,7 +132,9 @@ pub(crate) fn decompress(
         let mut col_iter = group.columns.iter();
         for b in 0..WORD_BITS {
             if (group.index >> b) & 1 == 1 {
-                let word = *col_iter.next().expect("column count matches index popcount");
+                let word = *col_iter
+                    .next()
+                    .expect("column count matches index popcount");
                 for (i, byte) in bytes.iter_mut().enumerate() {
                     if (word >> i) & 1 == 1 {
                         *byte |= 1 << b;

@@ -85,7 +85,12 @@ impl CompressedTensor {
                 group_size,
                 encoding_sign_magnitude,
                 groups,
-            } => bcs::decompress(groups, *group_size, *encoding_sign_magnitude, self.original_len),
+            } => bcs::decompress(
+                groups,
+                *group_size,
+                *encoding_sign_magnitude,
+                self.original_len,
+            ),
             Format::Zre { symbols, .. } => zre::decompress(symbols, self.original_len),
             Format::Csr { row_len, rows } => csr::decompress(rows, *row_len, self.original_len),
         }
@@ -241,7 +246,9 @@ mod tests {
     #[test]
     fn ideal_ratio_of_incompressible_data_is_at_most_slightly_below_one() {
         // Alternating +127/-127 has no zero bits in sign-magnitude except none.
-        let w: Vec<i8> = (0..64).map(|i| if i % 2 == 0 { 127 } else { -127 }).collect();
+        let w: Vec<i8> = (0..64)
+            .map(|i| if i % 2 == 0 { 127 } else { -127 })
+            .collect();
         let c = BcsCodec::new(GroupSize::G8, Encoding::SignMagnitude).compress(&w);
         assert!(c.compression_ratio_with_index() <= 1.0);
         assert_eq!(c.decompress(), w);

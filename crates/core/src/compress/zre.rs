@@ -95,7 +95,13 @@ impl WeightCodec for ZreCodec {
         // Value bits are payload; run-length fields are indexing overhead.
         let payload_bits = symbols.len() * BITS_PER_WEIGHT;
         let index_bits = symbols.len() * self.run_bits as usize;
-        CompressedTensor::from_zre(weights.len(), self.run_bits, symbols, payload_bits, index_bits)
+        CompressedTensor::from_zre(
+            weights.len(),
+            self.run_bits,
+            symbols,
+            payload_bits,
+            index_bits,
+        )
     }
 }
 
@@ -103,7 +109,7 @@ impl WeightCodec for ZreCodec {
 pub(crate) fn decompress(symbols: &[ZreSymbol], original_len: usize) -> Vec<i8> {
     let mut out = Vec::with_capacity(original_len);
     for s in symbols {
-        out.extend(std::iter::repeat(0i8).take(s.zero_run as usize));
+        out.extend(std::iter::repeat_n(0i8, s.zero_run as usize));
         if s.value != 0 {
             out.push(s.value);
         }

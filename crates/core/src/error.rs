@@ -1,0 +1,89 @@
+//! Error type of the algorithmic core.
+//!
+//! Written by hand rather than with `thiserror` because the build
+//! environment is offline; the shape (one variant per failure mode,
+//! `Display` + `std::error::Error` + `From` impls) matches what
+//! `#[derive(Error)]` would generate.
+
+use bitwave_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by grouping, statistics, compression and Bit-Flip
+/// routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A weight tensor rank that cannot be grouped along an input-channel
+    /// axis (only ranks 1, 2 and 4 occur in the evaluated networks).
+    UnsupportedRank(
+        /// The rejected tensor rank.
+        usize,
+    ),
+    /// A weight group whose length the Bit-Flip search cannot handle (must
+    /// be `1..=64`).
+    InvalidGroupLength(
+        /// The rejected group length.
+        usize,
+    ),
+    /// An underlying tensor error.
+    Tensor(
+        /// The propagated tensor error.
+        TensorError,
+    ),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnsupportedRank(rank) => {
+                write!(
+                    f,
+                    "unsupported weight tensor rank {rank} for grouping (expected 1, 2 or 4)"
+                )
+            }
+            CoreError::InvalidGroupLength(len) => {
+                write!(
+                    f,
+                    "weight group length {len} outside the supported range 1..=64"
+                )
+            }
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::UnsupportedRank(3).to_string().contains("rank 3"));
+        assert!(CoreError::InvalidGroupLength(0).to_string().contains("0"));
+        let e = CoreError::from(TensorError::Empty);
+        assert!(e.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn source_chains_to_tensor_error() {
+        use std::error::Error;
+        let e = CoreError::from(TensorError::InvalidBitWidth(12));
+        assert!(e.source().is_some());
+        assert!(CoreError::UnsupportedRank(3).source().is_none());
+    }
+}

@@ -12,6 +12,7 @@
 //! `G` the trailing group is zero-padded, exactly as the hardware pads the
 //! last channel group.
 
+use crate::error::CoreError;
 use bitwave_tensor::{QuantTensor, Shape};
 use serde::{Deserialize, Serialize};
 
@@ -136,17 +137,17 @@ fn div_ceil(a: usize, b: usize) -> usize {
 /// Extracts weight groups from a quantised tensor along its input-channel
 /// axis (see module docs for the per-rank convention).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the tensor rank is not 1, 2 or 4 (rank-3 weights do not occur in
-/// the evaluated networks).
-pub fn extract_groups(tensor: &QuantTensor, group_size: GroupSize) -> Groups {
+/// Returns [`CoreError::UnsupportedRank`] if the tensor rank is not 1, 2 or 4
+/// (rank-3 weights do not occur in the evaluated networks).
+pub fn extract_groups(tensor: &QuantTensor, group_size: GroupSize) -> Result<Groups, CoreError> {
     let g = group_size.len();
     let shape = tensor.shape();
     let data = tensor.data();
     match shape.rank() {
-        1 => group_rows(data, shape.dim(0), 1, g),
-        2 => group_rows(data, shape.dim(1), shape.dim(0), g),
+        1 => Ok(group_rows(data, shape.dim(0), 1, g)),
+        2 => Ok(group_rows(data, shape.dim(1), shape.dim(0), g)),
         4 => {
             // [K, C, FY, FX]: the grouped axis is C, but it is not the
             // innermost axis, so gather per (k, fy, fx) first.
@@ -161,9 +162,9 @@ pub fn extract_groups(tensor: &QuantTensor, group_size: GroupSize) -> Groups {
                     }
                 }
             }
-            group_rows(&reordered, c, k * fy * fx, g)
+            Ok(group_rows(&reordered, c, k * fy * fx, g))
         }
-        rank => panic!("unsupported weight tensor rank {rank} for grouping"),
+        rank => Err(CoreError::UnsupportedRank(rank)),
     }
 }
 
@@ -189,17 +190,29 @@ fn group_rows(data: &[i8], axis_len: usize, rows: usize, g: usize) -> Groups {
 /// Writes grouped (possibly Bit-Flipped) values back into a tensor with the
 /// same shape as `original`, reversing [`extract_groups`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `groups` was not produced from a tensor of the same shape.
-pub fn reassemble_tensor(original: &QuantTensor, groups: &Groups) -> QuantTensor {
+/// Returns [`CoreError::UnsupportedRank`] for ungroupable ranks and
+/// [`CoreError::Tensor`] if `groups` was not produced from a tensor of the
+/// same shape.
+pub fn reassemble_tensor(
+    original: &QuantTensor,
+    groups: &Groups,
+) -> Result<QuantTensor, CoreError> {
     let shape = original.shape();
     let flat = groups.to_flat();
     let data = match shape.rank() {
         1 | 2 => flat,
         4 => {
             let (k, c, fy, fx) = (shape.dim(0), shape.dim(1), shape.dim(2), shape.dim(3));
-            assert_eq!(flat.len(), k * c * fy * fx, "group element count mismatch");
+            if flat.len() != k * c * fy * fx {
+                return Err(CoreError::Tensor(
+                    bitwave_tensor::TensorError::ShapeMismatch {
+                        expected: k * c * fy * fx,
+                        actual: flat.len(),
+                    },
+                ));
+            }
             let mut out = vec![0i8; flat.len()];
             let mut idx = 0usize;
             for ki in 0..k {
@@ -214,9 +227,9 @@ pub fn reassemble_tensor(original: &QuantTensor, groups: &Groups) -> QuantTensor
             }
             out
         }
-        rank => panic!("unsupported weight tensor rank {rank} for grouping"),
+        rank => return Err(CoreError::UnsupportedRank(rank)),
     };
-    QuantTensor::new(shape, data, original.params()).expect("shape preserved")
+    Ok(QuantTensor::new(shape, data, original.params())?)
 }
 
 /// Convenience: groups a plain slice (used by codecs operating on already
@@ -227,13 +240,17 @@ pub fn group_slice(data: &[i8], group_size: GroupSize) -> Groups {
 
 /// Returns the number of groups a tensor of `shape` produces at `group_size`
 /// without materialising them (used by the analytical models).
-pub fn group_count_for_shape(shape: Shape, group_size: GroupSize) -> usize {
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnsupportedRank`] for ungroupable ranks.
+pub fn group_count_for_shape(shape: Shape, group_size: GroupSize) -> Result<usize, CoreError> {
     let g = group_size.len();
     match shape.rank() {
-        1 => div_ceil(shape.dim(0), g),
-        2 => shape.dim(0) * div_ceil(shape.dim(1), g),
-        4 => shape.dim(0) * shape.dim(2) * shape.dim(3) * div_ceil(shape.dim(1), g),
-        rank => panic!("unsupported weight tensor rank {rank} for grouping"),
+        1 => Ok(div_ceil(shape.dim(0), g)),
+        2 => Ok(shape.dim(0) * div_ceil(shape.dim(1), g)),
+        4 => Ok(shape.dim(0) * shape.dim(2) * shape.dim(3) * div_ceil(shape.dim(1), g)),
+        rank => Err(CoreError::UnsupportedRank(rank)),
     }
 }
 
@@ -269,7 +286,7 @@ mod tests {
     #[test]
     fn conv_grouping_gathers_input_channels() {
         let t = conv_tensor();
-        let groups = extract_groups(&t, GroupSize::Custom(3));
+        let groups = extract_groups(&t, GroupSize::Custom(3)).unwrap();
         // One group per (k, fy, fx) position: 2*2*2 = 8 groups of C=3.
         assert_eq!(groups.num_groups(), 8);
         // First group: k=0, fy=0, fx=0, c=0..3 -> offsets 0, 4, 8 -> values 0,4,8.
@@ -280,7 +297,7 @@ mod tests {
     #[test]
     fn conv_grouping_pads_when_c_not_multiple_of_g() {
         let t = conv_tensor();
-        let groups = extract_groups(&t, GroupSize::Custom(4));
+        let groups = extract_groups(&t, GroupSize::Custom(4)).unwrap();
         assert_eq!(groups.group_size(), 4);
         assert_eq!(groups.num_groups(), 8);
         let first: Vec<i8> = groups.iter().next().unwrap().to_vec();
@@ -291,8 +308,8 @@ mod tests {
     fn roundtrip_through_reassemble() {
         let t = conv_tensor();
         for g in [1usize, 2, 3, 4, 8] {
-            let groups = extract_groups(&t, GroupSize::from_len(g));
-            let back = reassemble_tensor(&t, &groups);
+            let groups = extract_groups(&t, GroupSize::from_len(g)).unwrap();
+            let back = reassemble_tensor(&t, &groups).unwrap();
             assert_eq!(back.data(), t.data(), "roundtrip failed for G={g}");
         }
     }
@@ -302,13 +319,13 @@ mod tests {
         let shape = Shape::d2(2, 6);
         let data: Vec<i8> = (0..12).map(|i| i as i8).collect();
         let t = QuantTensor::new(shape, data, QuantParams::unit()).unwrap();
-        let groups = extract_groups(&t, GroupSize::Custom(4));
+        let groups = extract_groups(&t, GroupSize::Custom(4)).unwrap();
         assert_eq!(groups.num_groups(), 4);
         let all: Vec<Vec<i8>> = groups.iter().map(|s| s.to_vec()).collect();
         assert_eq!(all[0], vec![0, 1, 2, 3]);
         assert_eq!(all[1], vec![4, 5, 0, 0]);
         assert_eq!(all[2], vec![6, 7, 8, 9]);
-        let back = reassemble_tensor(&t, &groups);
+        let back = reassemble_tensor(&t, &groups).unwrap();
         assert_eq!(back.data(), t.data());
     }
 
@@ -318,8 +335,8 @@ mod tests {
         for g in [1usize, 2, 3, 4, 8, 16] {
             let gs = GroupSize::from_len(g);
             assert_eq!(
-                group_count_for_shape(t.shape(), gs),
-                extract_groups(&t, gs).num_groups(),
+                group_count_for_shape(t.shape(), gs).unwrap(),
+                extract_groups(&t, gs).unwrap().num_groups(),
                 "mismatch at G={g}"
             );
         }
@@ -336,13 +353,13 @@ mod tests {
     #[test]
     fn mutation_through_iter_mut_roundtrips() {
         let t = conv_tensor();
-        let mut groups = extract_groups(&t, GroupSize::Custom(3));
+        let mut groups = extract_groups(&t, GroupSize::Custom(3)).unwrap();
         for g in groups.iter_mut() {
             for v in g.iter_mut() {
                 *v = v.saturating_add(1);
             }
         }
-        let back = reassemble_tensor(&t, &groups);
+        let back = reassemble_tensor(&t, &groups).unwrap();
         for (a, b) in back.data().iter().zip(t.data()) {
             assert_eq!(*a, b + 1);
         }

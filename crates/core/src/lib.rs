@@ -45,12 +45,14 @@
 
 pub mod bitflip;
 pub mod compress;
+pub mod error;
 pub mod group;
 pub mod pareto;
 pub mod search;
 pub mod stats;
 
 pub use bitwave_tensor::bits::{zero_column_count, Encoding};
+pub use error::CoreError;
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use crate::compress::{
         BcsCodec, CompressedTensor, CompressionReport, CsrCodec, WeightCodec, ZreCodec,
     };
+    pub use crate::error::CoreError;
     pub use crate::group::{extract_groups, GroupSize, Groups};
     pub use crate::pareto::{pareto_front, ParetoPoint};
     pub use crate::search::{greedy_bitflip_search, FlipStrategy, SearchConfig, SearchOutcome};

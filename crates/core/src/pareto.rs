@@ -32,7 +32,8 @@ impl ParetoPoint {
     /// True when `self` dominates `other` (at least as good on both axes and
     /// strictly better on at least one).
     pub fn dominates(&self, other: &ParetoPoint) -> bool {
-        let ge = self.compression_ratio >= other.compression_ratio && self.accuracy >= other.accuracy;
+        let ge =
+            self.compression_ratio >= other.compression_ratio && self.accuracy >= other.accuracy;
         let gt = self.compression_ratio > other.compression_ratio || self.accuracy > other.accuracy;
         ge && gt
     }
@@ -100,7 +101,9 @@ mod tests {
         let labels: Vec<&str> = front.iter().map(|p| p.label.as_str()).collect();
         assert_eq!(labels, vec!["baseline", "a", "b", "c"]);
         // Sorted by compression ratio.
-        assert!(front.windows(2).all(|w| w[0].compression_ratio <= w[1].compression_ratio));
+        assert!(front
+            .windows(2)
+            .all(|w| w[0].compression_ratio <= w[1].compression_ratio));
     }
 
     #[test]

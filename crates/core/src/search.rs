@@ -11,6 +11,7 @@
 //! evaluation closure (in the reproduction, `bitwave-dnn`'s accuracy proxy;
 //! in the paper, dataset accuracy / F1 / PESQ).
 
+use crate::error::CoreError;
 use crate::group::GroupSize;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -133,22 +134,27 @@ pub struct SearchOutcome {
 /// `evaluate` receives a candidate strategy and returns the resulting model
 /// quality (higher is better); it is called once per `(layer, group size)`
 /// candidate per iteration, exactly as the pseudo-code's
-/// `Inference(BitFlip(M, Stmp), D)`.
+/// `Inference(BitFlip(M, Stmp), D)`.  Evaluator failures (e.g. an
+/// ungroupable tensor) abort the search and propagate.
+///
+/// # Errors
+///
+/// Propagates the first [`CoreError`] the evaluator returns.
 pub fn greedy_bitflip_search<F>(
     layers: &[String],
     initial: FlipStrategy,
     config: &SearchConfig,
     mut evaluate: F,
-) -> SearchOutcome
+) -> Result<SearchOutcome, CoreError>
 where
-    F: FnMut(&FlipStrategy) -> f64,
+    F: FnMut(&FlipStrategy) -> Result<f64, CoreError>,
 {
     let mut strategy = initial;
     let mut history = Vec::new();
     let mut evaluations = 0usize;
     let mut final_accuracy = {
         evaluations += 1;
-        evaluate(&strategy)
+        evaluate(&strategy)?
     };
 
     for _ in 0..config.max_iterations {
@@ -164,7 +170,7 @@ where
                 let mut candidate = strategy.clone();
                 candidate.set(layer, gs, current + 1);
                 evaluations += 1;
-                let accuracy = evaluate(&candidate);
+                let accuracy = evaluate(&candidate)?;
                 if accuracy > best_accuracy {
                     best_accuracy = accuracy;
                     next_move = Some((layer.clone(), gs, current + 1));
@@ -188,12 +194,12 @@ where
         });
     }
 
-    SearchOutcome {
+    Ok(SearchOutcome {
         strategy,
         final_accuracy,
         history,
         evaluations,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -207,7 +213,7 @@ mod tests {
     /// A toy quality model: each layer has a per-zero-column accuracy cost,
     /// "conv1" being the most sensitive (mirrors the paper's observation that
     /// early, weight-light layers are more sensitive).
-    fn toy_accuracy(strategy: &FlipStrategy) -> f64 {
+    fn toy_accuracy(strategy: &FlipStrategy) -> Result<f64, CoreError> {
         let mut acc = 100.0;
         for (layer, _g, z) in strategy.iter() {
             let cost = match layer {
@@ -217,7 +223,7 @@ mod tests {
             };
             acc -= cost * f64::from(z);
         }
-        acc
+        Ok(acc)
     }
 
     #[test]
@@ -227,10 +233,15 @@ mod tests {
             max_zero_columns: 7,
             ..SearchConfig::default()
         };
-        let outcome = greedy_bitflip_search(&layers(), FlipStrategy::new(), &config, toy_accuracy);
+        let outcome =
+            greedy_bitflip_search(&layers(), FlipStrategy::new(), &config, toy_accuracy).unwrap();
         assert!(outcome.final_accuracy >= 99.0);
         // The insensitive fc layer should be pushed harder than conv1.
-        let fc = outcome.strategy.best_for_layer("fc").map(|(_, z)| z).unwrap_or(0);
+        let fc = outcome
+            .strategy
+            .best_for_layer("fc")
+            .map(|(_, z)| z)
+            .unwrap_or(0);
         let conv1 = outcome
             .strategy
             .best_for_layer("conv1")
@@ -246,7 +257,8 @@ mod tests {
             min_accuracy: 99.9,
             ..SearchConfig::default()
         };
-        let outcome = greedy_bitflip_search(&layers(), FlipStrategy::new(), &config, toy_accuracy);
+        let outcome =
+            greedy_bitflip_search(&layers(), FlipStrategy::new(), &config, toy_accuracy).unwrap();
         assert!(outcome.final_accuracy >= 99.9);
         // With a 0.1 cost per column on fc only a couple of moves fit.
         assert!(outcome.history.len() <= 3);
@@ -260,7 +272,8 @@ mod tests {
             group_sizes: vec![GroupSize::G8],
             max_iterations: 1000,
         };
-        let outcome = greedy_bitflip_search(&layers(), FlipStrategy::new(), &config, toy_accuracy);
+        let outcome =
+            greedy_bitflip_search(&layers(), FlipStrategy::new(), &config, toy_accuracy).unwrap();
         for (_, _, z) in outcome.strategy.iter() {
             assert!(z <= 2);
         }
@@ -276,7 +289,7 @@ mod tests {
             min_accuracy: 99.0,
             ..SearchConfig::default()
         };
-        let outcome = greedy_bitflip_search(&layers(), initial, &config, toy_accuracy);
+        let outcome = greedy_bitflip_search(&layers(), initial, &config, toy_accuracy).unwrap();
         assert!(outcome.strategy.get("fc", GroupSize::G16) >= 4);
     }
 
@@ -302,8 +315,18 @@ mod tests {
             min_accuracy: 99.99,
             ..SearchConfig::default()
         };
-        let outcome = greedy_bitflip_search(&layers(), FlipStrategy::new(), &config, toy_accuracy);
+        let outcome =
+            greedy_bitflip_search(&layers(), FlipStrategy::new(), &config, toy_accuracy).unwrap();
         // 1 initial + at least one sweep over 3 layers x 3 group sizes.
         assert!(outcome.evaluations >= 10);
+    }
+
+    #[test]
+    fn evaluator_errors_propagate() {
+        let config = SearchConfig::default();
+        let result = greedy_bitflip_search(&layers(), FlipStrategy::new(), &config, |_| {
+            Err(CoreError::UnsupportedRank(3))
+        });
+        assert_eq!(result.unwrap_err(), CoreError::UnsupportedRank(3));
     }
 }

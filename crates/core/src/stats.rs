@@ -12,6 +12,7 @@
 //! Fig. 1 reports the ratio `SR = bit sparsity / value sparsity` as the
 //! potential computational speedup of bit-level over value-level skipping.
 
+use crate::error::CoreError;
 use crate::group::{extract_groups, GroupSize};
 use bitwave_tensor::bits::{nonzero_column_count, Encoding, WORD_BITS};
 use bitwave_tensor::sm;
@@ -41,7 +42,12 @@ pub struct LayerSparsityStats {
 
 impl LayerSparsityStats {
     /// Analyses a weight tensor at the given group size.
-    pub fn analyze(tensor: &QuantTensor, group_size: GroupSize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnsupportedRank`] for tensors that cannot be
+    /// grouped along an input-channel axis.
+    pub fn analyze(tensor: &QuantTensor, group_size: GroupSize) -> Result<Self, CoreError> {
         let data = tensor.data();
         let num_weights = data.len();
         let zeros = data.iter().filter(|&&v| v == 0).count();
@@ -53,13 +59,13 @@ impl LayerSparsityStats {
         let bit_sparsity_twos_complement = 1.0 - sm::bit_density_twos_complement(data);
         let bit_sparsity_sign_magnitude = 1.0 - sm::bit_density_sign_magnitude(data);
 
-        let groups = extract_groups(tensor, group_size);
+        let groups = extract_groups(tensor, group_size)?;
         let column_sparsity_twos_complement =
             column_sparsity_of_groups(groups.iter(), Encoding::TwosComplement);
         let column_sparsity_sign_magnitude =
             column_sparsity_of_groups(groups.iter(), Encoding::SignMagnitude);
 
-        Self {
+        Ok(Self {
             num_weights,
             value_sparsity,
             bit_sparsity_twos_complement,
@@ -67,7 +73,7 @@ impl LayerSparsityStats {
             column_sparsity_twos_complement,
             column_sparsity_sign_magnitude,
             group_size: group_size.len(),
-        }
+        })
     }
 
     /// Sparsity ratio `SR = bit sparsity / value sparsity` (two's complement),
@@ -218,7 +224,7 @@ mod tests {
     #[test]
     fn all_zero_tensor_is_fully_sparse() {
         let t = tensor_from(vec![0i8; 32]);
-        let s = LayerSparsityStats::analyze(&t, GroupSize::G8);
+        let s = LayerSparsityStats::analyze(&t, GroupSize::G8).unwrap();
         assert_eq!(s.value_sparsity, 1.0);
         assert_eq!(s.bit_sparsity_twos_complement, 1.0);
         assert_eq!(s.column_sparsity_sign_magnitude, 1.0);
@@ -228,7 +234,7 @@ mod tests {
     fn dense_tensor_has_low_bit_sparsity_in_twos_complement() {
         // -1 in two's complement is all ones.
         let t = tensor_from(vec![-1i8; 32]);
-        let s = LayerSparsityStats::analyze(&t, GroupSize::G8);
+        let s = LayerSparsityStats::analyze(&t, GroupSize::G8).unwrap();
         assert_eq!(s.value_sparsity, 0.0);
         assert_eq!(s.bit_sparsity_twos_complement, 0.0);
         // In sign-magnitude, -1 is 0b1000_0001: 6 of 8 bits are zero.
@@ -243,7 +249,7 @@ mod tests {
         let gen = WeightGenerator::new(WeightDistribution::Laplacian { scale: 0.02 }, 1);
         let w = gen.generate(Shape::conv_weight(32, 32, 3, 3));
         let q = quantize_per_tensor(&w, 8).unwrap();
-        let s = LayerSparsityStats::analyze(&q, GroupSize::G8);
+        let s = LayerSparsityStats::analyze(&q, GroupSize::G8).unwrap();
         let sr_tc = s.speedup_ratio_twos_complement();
         let sr_sm = s.speedup_ratio_sign_magnitude();
         assert!(sr_tc > 2.0, "SR (2's complement) too low: {sr_tc}");
@@ -259,7 +265,7 @@ mod tests {
         let gen = WeightGenerator::new(WeightDistribution::Laplacian { scale: 0.015 }, 7);
         let w = gen.generate(Shape::conv_weight(64, 64, 3, 3));
         let q = quantize_per_tensor(&w, 8).unwrap();
-        let s = LayerSparsityStats::analyze(&q, GroupSize::Custom(4));
+        let s = LayerSparsityStats::analyze(&q, GroupSize::Custom(4)).unwrap();
         assert!(
             s.column_sparsity_sign_magnitude > 2.0 * s.column_sparsity_twos_complement,
             "expected SM column sparsity ({}) to be well above TC ({})",
@@ -275,7 +281,7 @@ mod tests {
         let q = quantize_per_tensor(&w, 8).unwrap();
         let mut last = f64::INFINITY;
         for g in [1usize, 2, 4, 8, 16, 32, 64] {
-            let s = LayerSparsityStats::analyze(&q, GroupSize::from_len(g));
+            let s = LayerSparsityStats::analyze(&q, GroupSize::from_len(g)).unwrap();
             assert!(
                 s.column_sparsity_sign_magnitude <= last + 1e-9,
                 "column sparsity should not increase with G (G={g})"
@@ -295,8 +301,9 @@ mod tests {
 
     #[test]
     fn aggregation_weights_by_layer_size() {
-        let small = LayerSparsityStats::analyze(&tensor_from(vec![0i8; 8]), GroupSize::G8);
-        let large = LayerSparsityStats::analyze(&tensor_from(vec![-1i8; 24]), GroupSize::G8);
+        let small = LayerSparsityStats::analyze(&tensor_from(vec![0i8; 8]), GroupSize::G8).unwrap();
+        let large =
+            LayerSparsityStats::analyze(&tensor_from(vec![-1i8; 24]), GroupSize::G8).unwrap();
         let agg = SparsitySummary::aggregate([&small, &large]);
         assert_eq!(agg.num_weights, 32);
         assert!((agg.value_sparsity - 0.25).abs() < 1e-12);
@@ -324,6 +331,9 @@ mod tests {
             column_sparsity_of_groups(empty.clone().into_iter(), Encoding::SignMagnitude),
             0.0
         );
-        assert_eq!(mean_nonzero_columns(empty.into_iter(), Encoding::SignMagnitude), 0.0);
+        assert_eq!(
+            mean_nonzero_columns(empty.into_iter(), Encoding::SignMagnitude),
+            0.0
+        );
     }
 }

@@ -202,8 +202,10 @@ mod tests {
     fn accumulate_sums_counts_and_averages_throughput() {
         let net = resnet18();
         let mem = MemoryHierarchy::bitwave_default();
-        let a = ActivityCounts::analyze(net.layer("layer1.0.conv1").unwrap(), &bitwave_su::SU1, &mem);
-        let b = ActivityCounts::analyze(net.layer("layer1.0.conv2").unwrap(), &bitwave_su::SU1, &mem);
+        let a =
+            ActivityCounts::analyze(net.layer("layer1.0.conv1").unwrap(), &bitwave_su::SU1, &mem);
+        let b =
+            ActivityCounts::analyze(net.layer("layer1.0.conv2").unwrap(), &bitwave_su::SU1, &mem);
         let total = a.accumulate(&b);
         assert_eq!(total.macs, a.macs + b.macs);
         assert_eq!(total.dram_total(), a.dram_total() + b.dram_total());

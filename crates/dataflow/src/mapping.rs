@@ -31,7 +31,10 @@ pub struct MappingDecision {
 ///
 /// Panics if `set.options` is empty.
 pub fn select_spatial_unrolling(layer: &LayerSpec, set: &SuSet) -> MappingDecision {
-    assert!(!set.options.is_empty(), "SU set must contain at least one option");
+    assert!(
+        !set.options.is_empty(),
+        "SU set must contain at least one option"
+    );
     let mut best = set.options[0];
     let mut best_rate = f64::NEG_INFINITY;
     for &su in &set.options {
@@ -120,9 +123,8 @@ mod tests {
         let net = mobilenet_v2();
         let dynamic = map_network(&net.layers, &SuSet::bitwave());
         let dense = map_network(&net.layers, &SuSet::dense());
-        let mean_util = |d: &[MappingDecision]| {
-            d.iter().map(|x| x.utilization).sum::<f64>() / d.len() as f64
-        };
+        let mean_util =
+            |d: &[MappingDecision]| d.iter().map(|x| x.utilization).sum::<f64>() / d.len() as f64;
         let mean_rate = |d: &[MappingDecision]| {
             d.iter().map(|x| x.effective_macs_per_cycle).sum::<f64>() / d.len() as f64
         };

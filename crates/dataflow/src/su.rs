@@ -296,7 +296,12 @@ mod tests {
         // layers (Cu·OXu·Ku = 1024); the depthwise SU7 keeps 128 lanes busy.
         use bitwave_su::*;
         for su in [SU1, SU2, SU3] {
-            assert_eq!(su.parallelism(), 4096, "{} should use the full array", su.name);
+            assert_eq!(
+                su.parallelism(),
+                4096,
+                "{} should use the full array",
+                su.name
+            );
         }
         for su in [SU4, SU5, SU6] {
             assert_eq!(su.parallelism(), 1024, "{} parallelism", su.name);
@@ -360,7 +365,10 @@ mod tests {
         let dims = conv_dims(512, 512, 7);
         let ck = baseline_su::CK_4096.utilization(&dims);
         let xy = baseline_su::XY_4096.utilization(&dims);
-        assert!(ck > xy, "CK ({ck:.2}) should beat XY ({xy:.2}) on deep layers");
+        assert!(
+            ck > xy,
+            "CK ({ck:.2}) should beat XY ({xy:.2}) on deep layers"
+        );
         // BitWave's SU3 also fits this shape well.
         assert!(bitwave_su::SU3.utilization(&dims) > 0.8);
     }
@@ -379,7 +387,10 @@ mod tests {
         };
         let su1 = bitwave_su::SU1.utilization(&dims);
         let su7 = bitwave_su::SU7.utilization(&dims);
-        assert!(su7 > 5.0 * su1, "SU7 ({su7:.3}) must far exceed SU1 ({su1:.3})");
+        assert!(
+            su7 > 5.0 * su1,
+            "SU7 ({su7:.3}) must far exceed SU1 ({su1:.3})"
+        );
     }
 
     #[test]

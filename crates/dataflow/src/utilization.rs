@@ -117,18 +117,18 @@ mod tests {
             / cases.len() as f64;
 
         for su in bitwave_su::ALL {
-            let fixed_mean: f64 = cases
-                .iter()
-                .map(|l| su.utilization(&l.dims))
-                .sum::<f64>()
-                / cases.len() as f64;
+            let fixed_mean: f64 =
+                cases.iter().map(|l| su.utilization(&l.dims)).sum::<f64>() / cases.len() as f64;
             assert!(
                 dynamic_mean >= fixed_mean - 1e-12,
                 "dynamic ({dynamic_mean:.3}) must not lose to fixed {} ({fixed_mean:.3})",
                 su.name
             );
         }
-        assert!(dynamic_mean > 0.55, "dynamic mean utilisation {dynamic_mean:.3}");
+        assert!(
+            dynamic_mean > 0.55,
+            "dynamic mean utilisation {dynamic_mean:.3}"
+        );
     }
 
     #[test]
@@ -139,8 +139,16 @@ mod tests {
         let cases = [
             resnet.layer("conv1").unwrap(),
             resnet.layer("layer4.1.conv2").unwrap(),
-            mobile.layers.iter().find(|l| l.kind.is_depthwise()).unwrap(),
-            mobile.layers.iter().find(|l| l.name.ends_with("expand")).unwrap(),
+            mobile
+                .layers
+                .iter()
+                .find(|l| l.kind.is_depthwise())
+                .unwrap(),
+            mobile
+                .layers
+                .iter()
+                .find(|l| l.name.ends_with("expand"))
+                .unwrap(),
         ];
         let fixed_4096 = [
             baseline_su::XY_4096,

@@ -61,8 +61,7 @@ pub fn conv2d_int8(
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                let ival = idata
-                                    [ishape.offset(&[bi, ci, iy as usize, ix as usize])]
+                                let ival = idata[ishape.offset(&[bi, ci, iy as usize, ix as usize])]
                                     as i32;
                                 let wval = wdata[wshape.offset(&[ki, ci, fyi, fxi])] as i32;
                                 acc += ival * wval;
@@ -92,7 +91,10 @@ pub fn depthwise_conv2d_int8(
 ) -> Result<(Vec<i32>, Shape), TensorError> {
     let ishape = input.shape();
     let wshape = weight.shape();
-    if ishape.rank() != 4 || wshape.rank() != 4 || ishape.dim(1) != wshape.dim(0) || wshape.dim(1) != 1
+    if ishape.rank() != 4
+        || wshape.rank() != 4
+        || ishape.dim(1) != wshape.dim(0)
+        || wshape.dim(1) != 1
     {
         return Err(TensorError::IncompatibleShapes {
             left: ishape,
@@ -196,7 +198,10 @@ mod tests {
     #[test]
     fn conv_identity_kernel_copies_input() {
         // 1x1 kernel with weight 1 reproduces the input.
-        let input = qt(Shape::feature_map(1, 1, 3, 3), (1..=9).map(|v| v as i8).collect());
+        let input = qt(
+            Shape::feature_map(1, 1, 3, 3),
+            (1..=9).map(|v| v as i8).collect(),
+        );
         let weight = qt(Shape::conv_weight(1, 1, 1, 1), vec![1]);
         let (out, shape) = conv2d_int8(&input, &weight, 1, 0).unwrap();
         assert_eq!(shape, Shape::feature_map(1, 1, 3, 3));
@@ -233,11 +238,11 @@ mod tests {
 
     #[test]
     fn depthwise_processes_channels_independently() {
-        let input = qt(
-            Shape::feature_map(1, 2, 2, 2),
-            vec![1, 1, 1, 1, 2, 2, 2, 2],
+        let input = qt(Shape::feature_map(1, 2, 2, 2), vec![1, 1, 1, 1, 2, 2, 2, 2]);
+        let weight = qt(
+            Shape::conv_weight(2, 1, 2, 2),
+            vec![1, 1, 1, 1, -1, -1, -1, -1],
         );
-        let weight = qt(Shape::conv_weight(2, 1, 2, 2), vec![1, 1, 1, 1, -1, -1, -1, -1]);
         let (out, shape) = depthwise_conv2d_int8(&input, &weight, 1, 0).unwrap();
         assert_eq!(shape.dims(), &[1, 2, 1, 1]);
         assert_eq!(out, vec![4, -8]);
@@ -277,7 +282,8 @@ mod tests {
         // A 1x1 convolution over a 1x1 feature map is exactly a linear layer.
         let gen = WeightGenerator::new(WeightDistribution::Uniform { range: 1.0 }, 3);
         let w4 = quantize_per_tensor(&gen.generate(Shape::conv_weight(4, 6, 1, 1)), 8).unwrap();
-        let x4 = quantize_per_tensor(&gen.generate_salted(Shape::feature_map(1, 6, 1, 1), 9), 8).unwrap();
+        let x4 = quantize_per_tensor(&gen.generate_salted(Shape::feature_map(1, 6, 1, 1), 9), 8)
+            .unwrap();
         let (conv_out, _) = conv2d_int8(&x4, &w4, 1, 0).unwrap();
         let w2 = w4.reshaped(Shape::d2(4, 6)).unwrap();
         let x2 = x4.reshaped(Shape::d2(1, 6)).unwrap();

@@ -317,12 +317,9 @@ impl LayerSpec {
     /// The weight tensor shape of the layer.
     pub fn weight_shape(&self) -> Shape {
         match self.kind {
-            LayerKind::Conv2d { .. } | LayerKind::PointwiseConv2d => Shape::conv_weight(
-                self.dims.k,
-                self.dims.c,
-                self.dims.fy,
-                self.dims.fx,
-            ),
+            LayerKind::Conv2d { .. } | LayerKind::PointwiseConv2d => {
+                Shape::conv_weight(self.dims.k, self.dims.c, self.dims.fy, self.dims.fx)
+            }
             LayerKind::DepthwiseConv2d { .. } => {
                 Shape::conv_weight(self.dims.k, 1, self.dims.fy, self.dims.fx)
             }

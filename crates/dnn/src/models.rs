@@ -248,8 +248,17 @@ pub fn mobilenet_v2() -> NetworkSpec {
     };
 
     layers.push(
-        LayerSpec::conv2d("features.0.conv", 3, 32, 3, 2, 1, 224, next_sens(&mut layer_no))
-            .with_weight_profile(LayerWeightProfile::weight_light()),
+        LayerSpec::conv2d(
+            "features.0.conv",
+            3,
+            32,
+            3,
+            2,
+            1,
+            224,
+            next_sens(&mut layer_no),
+        )
+        .with_weight_profile(LayerWeightProfile::weight_light()),
     );
 
     let mut in_ch = 32usize;
@@ -343,7 +352,9 @@ pub fn cnn_lstm() -> NetworkSpec {
 
     // Two stacked LSTM layers dominate the weight budget (≈80 %).
     let lstm_input = 64 * 32; // 64 channels × 32 pooled frequency features
-    layers.push(LayerSpec::lstm_gates("lstm.0", lstm_input, 400, timesteps, 0.45));
+    layers.push(LayerSpec::lstm_gates(
+        "lstm.0", lstm_input, 400, timesteps, 0.45,
+    ));
     layers.push(LayerSpec::lstm_gates("lstm.1", 400, 400, timesteps, 0.4));
 
     // Mask-estimation head.
@@ -351,9 +362,10 @@ pub fn cnn_lstm() -> NetworkSpec {
         LayerSpec::linear("fc.1", 400, 2048, timesteps, 0.55)
             .with_activation(ActivationKind::Gaussianlike { std: 1.0 }),
     );
-    layers.push(LayerSpec::linear("fc.mask", 2048, freq_bins, timesteps, 0.6).with_activation(
-        ActivationKind::Gaussianlike { std: 1.0 },
-    ));
+    layers.push(
+        LayerSpec::linear("fc.mask", 2048, freq_bins, timesteps, 0.6)
+            .with_activation(ActivationKind::Gaussianlike { std: 1.0 }),
+    );
 
     NetworkSpec {
         name: "CNN-LSTM".to_string(),
@@ -521,9 +533,9 @@ mod tests {
         let covered: u64 = heavy.iter().map(|l| l.weight_count()).sum();
         assert!(covered as f64 >= 0.7 * net.total_weights() as f64);
         // The heaviest layers of ResNet18 live in layer4 and fc.
-        assert!(heavy
-            .iter()
-            .all(|l| l.name.starts_with("layer4") || l.name == "fc" || l.name.starts_with("layer3")));
+        assert!(heavy.iter().all(|l| l.name.starts_with("layer4")
+            || l.name == "fc"
+            || l.name.starts_with("layer3")));
     }
 
     #[test]
@@ -546,8 +558,7 @@ mod tests {
         let last_conv = net
             .layers
             .iter()
-            .filter(|l| !l.kind.is_matmul())
-            .next_back()
+            .rfind(|l| !l.kind.is_matmul())
             .unwrap()
             .sensitivity;
         assert!(first > last_conv);

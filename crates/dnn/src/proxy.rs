@@ -20,6 +20,7 @@
 
 use crate::models::{NetworkSpec, TaskKind};
 use crate::weights::NetworkWeights;
+use bitwave_core::error::CoreError;
 use bitwave_core::prelude::FlipStrategy;
 use serde::{Deserialize, Serialize};
 
@@ -141,9 +142,13 @@ impl AccuracyProxy {
 
     /// Estimated quality after applying a Bit-Flip strategy to the baseline
     /// weights — the `Inference(BitFlip(M, S), D)` step of Algorithm 1.
-    pub fn quality_of_strategy(&self, strategy: &FlipStrategy) -> f64 {
-        let flipped = self.baseline.apply_flip_strategy(strategy);
-        self.quality_of(&flipped)
+    ///
+    /// # Errors
+    ///
+    /// Propagates grouping/flip errors from the Bit-Flip kernel.
+    pub fn quality_of_strategy(&self, strategy: &FlipStrategy) -> Result<f64, CoreError> {
+        let flipped = self.baseline.apply_flip_strategy(strategy)?;
+        Ok(self.quality_of(&flipped))
     }
 
     /// Estimated quality after uniform PTQ of the given layers to `bits`
@@ -219,8 +224,14 @@ mod tests {
             QualityMetric::for_task(TaskKind::Classification),
             QualityMetric::TopOneAccuracy
         );
-        assert_eq!(QualityMetric::for_task(TaskKind::SpeechEnhancement), QualityMetric::Pesq);
-        assert_eq!(QualityMetric::for_task(TaskKind::QuestionAnswering), QualityMetric::F1);
+        assert_eq!(
+            QualityMetric::for_task(TaskKind::SpeechEnhancement),
+            QualityMetric::Pesq
+        );
+        assert_eq!(
+            QualityMetric::for_task(TaskKind::QuestionAnswering),
+            QualityMetric::F1
+        );
         assert_eq!(QualityMetric::Pesq.range(), 4.5);
         assert_eq!(QualityMetric::F1.range(), 100.0);
         assert_eq!(QualityMetric::TopOneAccuracy.name(), "top-1 accuracy");
@@ -243,10 +254,13 @@ mod tests {
         for layer in ["layer4.0.conv1", "layer4.1.conv1", "layer4.1.conv2", "fc"] {
             strategy.set(layer, GroupSize::G16, 5);
         }
-        let quality = proxy.quality_of_strategy(&strategy);
+        let quality = proxy.quality_of_strategy(&strategy).unwrap();
         let drop = proxy.baseline_quality() - quality;
         assert!(drop >= 0.0);
-        assert!(drop < 2.0, "flipping weight-heavy layers should cost <2 points, got {drop}");
+        assert!(
+            drop < 2.0,
+            "flipping weight-heavy layers should cost <2 points, got {drop}"
+        );
     }
 
     #[test]
@@ -260,8 +274,8 @@ mod tests {
         let mut late = FlipStrategy::new();
         late.set("layer4.1.conv2", GroupSize::G8, 6);
 
-        let drop_early = proxy.baseline_quality() - proxy.quality_of_strategy(&early);
-        let drop_late = proxy.baseline_quality() - proxy.quality_of_strategy(&late);
+        let drop_early = proxy.baseline_quality() - proxy.quality_of_strategy(&early).unwrap();
+        let drop_late = proxy.baseline_quality() - proxy.quality_of_strategy(&late).unwrap();
         // conv1 is tiny but very sensitive; per flipped weight it must cost more.
         let early_weights = spec.layer("conv1").unwrap().weight_count() as f64;
         let late_weights = spec.layer("layer4.1.conv2").unwrap().weight_count() as f64;
@@ -283,7 +297,7 @@ mod tests {
         for layer in spec.layer_names() {
             strategy.set(&layer, GroupSize::G16, 4);
         }
-        let q_flip = proxy.quality_of_strategy(&strategy);
+        let q_flip = proxy.quality_of_strategy(&strategy).unwrap();
         let q_ptq = proxy.quality_of_ptq(4, None);
         assert!(
             q_flip > q_ptq,
@@ -300,8 +314,11 @@ mod tests {
         for z in 0..=7u32 {
             let mut strategy = FlipStrategy::new();
             strategy.set("layer4.1.conv2", GroupSize::G16, z);
-            let q = proxy.quality_of_strategy(&strategy);
-            assert!(q <= last + 1e-9, "quality should not improve with more flips");
+            let q = proxy.quality_of_strategy(&strategy).unwrap();
+            assert!(
+                q <= last + 1e-9,
+                "quality should not improve with more flips"
+            );
             last = q;
         }
     }

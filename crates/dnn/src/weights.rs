@@ -10,8 +10,9 @@
 
 use crate::layer::LayerSpec;
 use crate::models::NetworkSpec;
-use bitwave_core::group::GroupSize;
 use bitwave_core::bitflip::flip_tensor;
+use bitwave_core::error::CoreError;
+use bitwave_core::group::GroupSize;
 use bitwave_core::prelude::FlipStrategy;
 use bitwave_core::stats::LayerSparsityStats;
 use bitwave_tensor::bits::Encoding;
@@ -145,10 +146,17 @@ impl NetworkWeights {
     }
 
     /// Per-layer sparsity statistics at the given group size.
-    pub fn sparsity_stats(&self, group_size: GroupSize) -> Vec<(String, LayerSparsityStats)> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates grouping errors from the statistics analysis.
+    pub fn sparsity_stats(
+        &self,
+        group_size: GroupSize,
+    ) -> Result<Vec<(String, LayerSparsityStats)>, CoreError> {
         self.layers
             .iter()
-            .map(|(name, t)| (name.clone(), LayerSparsityStats::analyze(t, group_size)))
+            .map(|(name, t)| Ok((name.clone(), LayerSparsityStats::analyze(t, group_size)?)))
             .collect()
     }
 
@@ -156,24 +164,31 @@ impl NetworkWeights {
     /// not mentioned by the strategy are left untouched.  For each layer the
     /// strategy's best (group size, zero columns) entry is applied, matching
     /// how the hardware ultimately configures one group size per layer.
-    pub fn apply_flip_strategy(&self, strategy: &FlipStrategy) -> NetworkWeights {
+    ///
+    /// # Errors
+    ///
+    /// Propagates grouping/flip errors from the Bit-Flip kernel.
+    pub fn apply_flip_strategy(
+        &self,
+        strategy: &FlipStrategy,
+    ) -> Result<NetworkWeights, CoreError> {
         let layers = self
             .layers
             .iter()
             .map(|(name, tensor)| {
                 let flipped = match strategy.best_for_layer(name) {
                     Some((group_size, zero_columns)) if zero_columns > 0 => {
-                        flip_tensor(tensor, group_size, zero_columns, Encoding::SignMagnitude).0
+                        flip_tensor(tensor, group_size, zero_columns, Encoding::SignMagnitude)?.0
                     }
                     _ => tensor.clone(),
                 };
-                (name.clone(), flipped)
+                Ok((name.clone(), flipped))
             })
-            .collect();
-        NetworkWeights {
+            .collect::<Result<_, CoreError>>()?;
+        Ok(NetworkWeights {
             network: self.network.clone(),
             layers,
-        }
+        })
     }
 
     /// Applies uniform post-training quantisation to `bits` bits on the given
@@ -210,8 +225,8 @@ impl NetworkWeights {
 mod tests {
     use super::*;
     use crate::models::{bert_base, resnet18};
-    use bitwave_core::prelude::zero_column_count;
     use bitwave_core::group::extract_groups;
+    use bitwave_core::prelude::zero_column_count;
 
     #[test]
     fn generation_is_deterministic_and_layer_dependent() {
@@ -239,7 +254,7 @@ mod tests {
         let spec = resnet18();
         let layer = spec.layer("layer1.0.conv1").unwrap();
         let w = generate_layer_sample(layer, 7, 40_000);
-        let stats = LayerSparsityStats::analyze(&w, GroupSize::Custom(4));
+        let stats = LayerSparsityStats::analyze(&w, GroupSize::Custom(4)).unwrap();
         assert!(
             stats.column_sparsity_sign_magnitude > 0.35,
             "SM column sparsity too low: {}",
@@ -256,7 +271,7 @@ mod tests {
         let spec = bert_base();
         let layer = spec.layer("bert.encoder.layer.0.attention.q").unwrap();
         let w = generate_layer_sample(layer, 7, 40_000);
-        let stats = LayerSparsityStats::analyze(&w, GroupSize::G8);
+        let stats = LayerSparsityStats::analyze(&w, GroupSize::G8).unwrap();
         assert!(
             stats.column_sparsity_sign_magnitude < 0.35,
             "BERT column sparsity should be limited, got {}",
@@ -283,14 +298,14 @@ mod tests {
         let weights = NetworkWeights::generate_sampled(&spec, 3, 5_000);
         let mut strategy = FlipStrategy::new();
         strategy.set("fc", GroupSize::G16, 5);
-        let flipped = weights.apply_flip_strategy(&strategy);
+        let flipped = weights.apply_flip_strategy(&strategy).unwrap();
         assert_eq!(
             weights.layer("conv1").unwrap().data(),
             flipped.layer("conv1").unwrap().data(),
             "unrelated layer must be untouched"
         );
         let fc = flipped.layer("fc").unwrap();
-        let groups = extract_groups(fc, GroupSize::G16);
+        let groups = extract_groups(fc, GroupSize::G16).unwrap();
         for g in groups.iter() {
             assert!(zero_column_count(g, Encoding::SignMagnitude) >= 5);
         }

@@ -189,7 +189,7 @@ mod tests {
 
     #[test]
     fn bce_matches_reference_dot_product_on_known_values() {
-        let weights = [3i8, -3, 0, 127, -128i8 as i8 + 1, 5, -64, 1];
+        let weights = [3i8, -3, 0, 127, -127, 5, -64, 1];
         let activations = [10i8, -20, 30, -1, 2, -3, 4, 100];
         let expected = dot_int8(&weights, &activations) as i64;
         assert_eq!(bce_dot(&weights, &activations), expected);

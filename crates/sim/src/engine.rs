@@ -20,6 +20,7 @@
 //!   the Int8 reference kernels.
 
 use crate::bce::BitColumnEngine;
+use crate::error::{check_reference, SimError};
 use crate::zcip::ZeroColumnIndexParser;
 use bitwave_core::compress::{BcsCodec, BcsGroup};
 use bitwave_core::group::{group_slice, GroupSize};
@@ -153,20 +154,20 @@ impl BitwaveEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::IncompatibleShapes`] if the inner dimensions of
-    /// `activations` and `weights` disagree or either tensor is not rank-2.
+    /// Returns [`SimError::Tensor`] if the inner dimensions of `activations`
+    /// and `weights` disagree or either tensor is not rank-2.
     pub fn run_matmul(
         &self,
         activations: &QuantTensor,
         weights: &QuantTensor,
-    ) -> Result<(Vec<i32>, SimStats), TensorError> {
+    ) -> Result<(Vec<i32>, SimStats), SimError> {
         let a_shape = activations.shape();
         let w_shape = weights.shape();
         if a_shape.rank() != 2 || w_shape.rank() != 2 || a_shape.dim(1) != w_shape.dim(1) {
-            return Err(TensorError::IncompatibleShapes {
+            return Err(SimError::Tensor(TensorError::IncompatibleShapes {
                 left: a_shape,
                 right: w_shape,
-            });
+            }));
         }
         let m = a_shape.dim(0);
         let c = a_shape.dim(1);
@@ -218,8 +219,9 @@ impl BitwaveEngine {
                     let set_end = (set_begin + self.config.sync_kernels).min(k_end);
                     let mut set_cycles = 0u64;
                     for cg in 0..c_groups {
-                        let max_cols = (set_begin..set_end)
-                            .map(|ki| u64::from(kernel_groups[ki][cg].index.count_ones()))
+                        let max_cols = kernel_groups[set_begin..set_end]
+                            .iter()
+                            .map(|groups| u64::from(groups[cg].index.count_ones()))
                             .max()
                             .unwrap_or(0);
                         set_cycles += max_cols;
@@ -259,20 +261,17 @@ impl BitwaveEngine {
     ///
     /// # Errors
     ///
-    /// Propagates shape errors from the matmul; panics only if the simulated
-    /// result disagrees with the reference (which would indicate a simulator
-    /// bug).
+    /// Propagates shape errors from the matmul and reports a
+    /// [`SimError::ReferenceMismatch`] if the simulated result disagrees with
+    /// the reference (which would indicate a simulator defect).
     pub fn run_linear_verified(
         &self,
         input: &QuantTensor,
         weights: &QuantTensor,
-    ) -> Result<(Vec<i32>, SimStats), TensorError> {
+    ) -> Result<(Vec<i32>, SimStats), SimError> {
         let (outputs, stats) = self.run_matmul(input, weights)?;
         let (reference, _) = bitwave_dnn::infer::linear_int8(input, weights)?;
-        assert_eq!(
-            outputs, reference,
-            "bit-column-serial result diverged from the Int8 reference"
-        );
+        check_reference(&outputs, &reference)?;
         Ok((outputs, stats))
     }
 
@@ -281,18 +280,26 @@ impl BitwaveEngine {
     ///
     /// # Errors
     ///
-    /// Returns shape errors for inconsistent operands.
+    /// Returns shape errors for inconsistent operands and a
+    /// [`SimError::ReferenceMismatch`] if the lowered result disagrees with
+    /// the reference convolution.
     pub fn run_conv_verified(
         &self,
         input: &QuantTensor,
         weights: &QuantTensor,
         stride: usize,
         padding: usize,
-    ) -> Result<(Vec<i32>, SimStats), TensorError> {
+    ) -> Result<(Vec<i32>, SimStats), SimError> {
         let (patches, k_weights, out_shape) = im2col(input, weights, stride, padding)?;
         let (outputs, stats) = self.run_matmul(&patches, &k_weights)?;
-        let (reference, ref_shape) = bitwave_dnn::infer::conv2d_int8(input, weights, stride, padding)?;
-        assert_eq!(ref_shape, out_shape);
+        let (reference, ref_shape) =
+            bitwave_dnn::infer::conv2d_int8(input, weights, stride, padding)?;
+        if ref_shape != out_shape {
+            return Err(SimError::Tensor(TensorError::IncompatibleShapes {
+                left: ref_shape,
+                right: out_shape,
+            }));
+        }
         // The matmul produces [position][k]; the reference is [b][k][oy][ox].
         let k = k_weights.shape().dim(0);
         let positions = patches.shape().dim(0);
@@ -307,10 +314,7 @@ impl BitwaveEngine {
             }
         }
         debug_assert_eq!(positions, b * oy * ox);
-        assert_eq!(
-            rearranged, reference,
-            "bit-column-serial convolution diverged from the reference"
-        );
+        check_reference(&rearranged, &reference)?;
         Ok((outputs, stats))
     }
 }
@@ -382,11 +386,7 @@ fn im2col(
             }
         }
     }
-    let patches = QuantTensor::new(
-        Shape::d2(positions, patch_len),
-        patches,
-        input.params(),
-    )?;
+    let patches = QuantTensor::new(Shape::d2(positions, patch_len), patches, input.params())?;
     let k_weights = weights.reshaped(Shape::d2(k, patch_len))?;
     let out_shape = Shape::feature_map(b, k, oy, ox);
     Ok((patches, k_weights, out_shape))
@@ -438,7 +438,11 @@ mod tests {
             (0..16 * 64).map(|i| ((i * 7) % 11) as i8 - 5).collect(),
         );
         let (_, stats) = engine.run_linear_verified(&a, &w).unwrap();
-        assert!(stats.column_skip_speedup() > 1.3, "{}", stats.column_skip_speedup());
+        assert!(
+            stats.column_skip_speedup() > 1.3,
+            "{}",
+            stats.column_skip_speedup()
+        );
         assert!(stats.weight_compression_ratio() > 1.2);
         assert!(stats.skipped_columns > 0);
     }
@@ -449,7 +453,9 @@ mod tests {
         let a = random_tensor(Shape::d2(2, 32), 5, 1.0);
         let w = tensor(
             Shape::d2(8, 32),
-            (0..256).map(|i| if i % 2 == 0 { 127 } else { -127 }).collect(),
+            (0..256)
+                .map(|i| if i % 2 == 0 { 127 } else { -127 })
+                .collect(),
         );
         let (_, stats) = engine.run_linear_verified(&a, &w).unwrap();
         assert!((stats.column_skip_speedup() - 1.0).abs() < 1e-9);

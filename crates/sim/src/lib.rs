@@ -29,11 +29,13 @@
 
 pub mod bce;
 pub mod engine;
+pub mod error;
 pub mod validate;
 pub mod zcip;
 
 pub use bce::BitColumnEngine;
 pub use engine::{BitwaveEngine, EngineConfig, SimStats};
+pub use error::SimError;
 pub use validate::{validate_layer, ValidationReport};
 pub use zcip::ZeroColumnIndexParser;
 
@@ -41,6 +43,7 @@ pub use zcip::ZeroColumnIndexParser;
 pub mod prelude {
     pub use crate::bce::BitColumnEngine;
     pub use crate::engine::{BitwaveEngine, EngineConfig, SimStats};
+    pub use crate::error::SimError;
     pub use crate::validate::{validate_layer, ValidationReport};
     pub use crate::zcip::ZeroColumnIndexParser;
 }

@@ -9,8 +9,9 @@
 //! the simulated array actually takes.
 
 use crate::engine::{BitwaveEngine, EngineConfig, SimStats};
+use crate::error::SimError;
 use bitwave_core::group::GroupSize;
-use bitwave_tensor::{QuantTensor, Shape, TensorError};
+use bitwave_tensor::{QuantTensor, Shape};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one validation run.
@@ -41,16 +42,17 @@ impl ValidationReport {
 ///
 /// # Errors
 ///
-/// Propagates shape errors from the engine.
+/// Propagates shape and grouping errors from the engine and the analytical
+/// model.
 pub fn validate_layer(
     input: &QuantTensor,
     weights: &QuantTensor,
     config: EngineConfig,
-) -> Result<ValidationReport, TensorError> {
+) -> Result<ValidationReport, SimError> {
     let engine = BitwaveEngine::new(config);
     let (_, stats) = engine.run_matmul(input, weights)?;
-    let model_cycles = analytical_compute_cycles(weights, input.shape(), config);
-    let model_cr = analytical_compression_ratio(weights, config);
+    let model_cycles = analytical_compute_cycles(weights, input.shape(), config)?;
+    let model_cr = analytical_compression_ratio(weights, config)?;
     Ok(report_from(&stats, model_cycles, model_cr))
 }
 
@@ -76,13 +78,14 @@ fn report_from(stats: &SimStats, model_cycles: f64, model_cr: f64) -> Validation
 
 /// The Eq. 2 analytical estimate specialised to the engine's SU1-style
 /// arrangement: `macs × synced-columns / (lanes × utilisation)`.
-fn analytical_compute_cycles(weights: &QuantTensor, input_shape: Shape, config: EngineConfig) -> f64 {
+fn analytical_compute_cycles(
+    weights: &QuantTensor,
+    input_shape: Shape,
+    config: EngineConfig,
+) -> Result<f64, SimError> {
     use bitwave_accel::sparsity::LayerSparsityProfile;
-    let profile = LayerSparsityProfile::from_weights(
-        weights,
-        0.0,
-        GroupSize::from_len(config.lanes),
-    );
+    let profile =
+        LayerSparsityProfile::from_weights(weights, 0.0, GroupSize::from_len(config.lanes))?;
     let m = input_shape.dim(0) as f64;
     let k = weights.shape().dim(0) as f64;
     let c = weights.shape().dim(1) as f64;
@@ -91,15 +94,20 @@ fn analytical_compute_cycles(weights: &QuantTensor, input_shape: Shape, config: 
     let util_m = m / ((m / config.mu as f64).ceil() * config.mu as f64);
     let util_c = c / ((c / config.lanes as f64).ceil() * config.lanes as f64);
     let lanes = (config.num_lanes() as f64) * util_k * util_m * util_c;
-    macs * profile.max_nonzero_columns_synced / lanes
+    Ok(macs * profile.max_nonzero_columns_synced / lanes)
 }
 
 /// The analytical BCS compression ratio of the weights at the engine's group
 /// size.
-fn analytical_compression_ratio(weights: &QuantTensor, config: EngineConfig) -> f64 {
+fn analytical_compression_ratio(
+    weights: &QuantTensor,
+    config: EngineConfig,
+) -> Result<f64, SimError> {
     use bitwave_accel::sparsity::LayerSparsityProfile;
-    LayerSparsityProfile::from_weights(weights, 0.0, GroupSize::from_len(config.lanes))
-        .bcs_compression_ratio
+    Ok(
+        LayerSparsityProfile::from_weights(weights, 0.0, GroupSize::from_len(config.lanes))?
+            .bcs_compression_ratio,
+    )
 }
 
 #[cfg(test)]

@@ -85,7 +85,9 @@ impl ZeroColumnIndexParser {
             let magnitude_bits = self.dense_precision - 1;
             return ParsedIndex {
                 sign_request: true,
-                ops: (0..magnitude_bits).map(|shift| ColumnOp { shift }).collect(),
+                ops: (0..magnitude_bits)
+                    .map(|shift| ColumnOp { shift })
+                    .collect(),
             };
         }
         let sign_request = index & 0x80 != 0;
@@ -114,7 +116,10 @@ mod tests {
         // Index: sign column set, magnitude columns 0 and 2 set.
         let parsed = parser.parse(0b1000_0101);
         assert!(parsed.sign_request);
-        assert_eq!(parsed.ops, vec![ColumnOp { shift: 0 }, ColumnOp { shift: 2 }]);
+        assert_eq!(
+            parsed.ops,
+            vec![ColumnOp { shift: 0 }, ColumnOp { shift: 2 }]
+        );
         assert_eq!(parsed.sync_cycles(), 2);
     }
 

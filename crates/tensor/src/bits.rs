@@ -165,7 +165,10 @@ mod tests {
         let group = [-1i8, -2, -3, -2];
         let zc_tc = zero_column_count(&group, Encoding::TwosComplement);
         let zc_sm = zero_column_count(&group, Encoding::SignMagnitude);
-        assert!(zc_sm > zc_tc, "SM should expose more zero columns ({zc_sm} vs {zc_tc})");
+        assert!(
+            zc_sm > zc_tc,
+            "SM should expose more zero columns ({zc_sm} vs {zc_tc})"
+        );
     }
 
     #[test]

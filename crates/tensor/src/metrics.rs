@@ -61,9 +61,21 @@ pub fn sqnr_db(reference: &[f32], test: &[f32]) -> f64 {
 /// when either vector is all-zero).
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "cosine_similarity requires equal lengths");
-    let dot: f64 = a.iter().zip(b).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum();
-    let na: f64 = a.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt();
-    let nb: f64 = b.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt();
+    let dot: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| f64::from(x) * f64::from(y))
+        .sum();
+    let na: f64 = a
+        .iter()
+        .map(|&x| f64::from(x) * f64::from(x))
+        .sum::<f64>()
+        .sqrt();
+    let nb: f64 = b
+        .iter()
+        .map(|&x| f64::from(x) * f64::from(x))
+        .sum::<f64>()
+        .sqrt();
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {
@@ -77,7 +89,11 @@ pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
 ///
 /// Panics if the shapes differ.
 pub fn tensor_rms_error(a: &FloatTensor, b: &FloatTensor) -> f64 {
-    assert_eq!(a.shape(), b.shape(), "tensor_rms_error requires equal shapes");
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "tensor_rms_error requires equal shapes"
+    );
     rms_error(a.data(), b.data())
 }
 
@@ -86,7 +102,11 @@ pub fn tensor_rms_error(a: &FloatTensor, b: &FloatTensor) -> f64 {
 /// (Section III-D: "minimise the Euclidean Distance between the modified and
 /// original weight vectors").
 pub fn euclidean_distance_i8(a: &[i8], b: &[i8]) -> f64 {
-    assert_eq!(a.len(), b.len(), "euclidean_distance_i8 requires equal lengths");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "euclidean_distance_i8 requires equal lengths"
+    );
     let sum: f64 = a
         .iter()
         .zip(b)

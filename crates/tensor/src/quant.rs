@@ -184,7 +184,7 @@ pub fn requantize_to_bits(tensor: &QuantTensor, bits: u8) -> Result<QuantTensor,
     check_bits(bits)?;
     let src = tensor.params();
     let shift = 8 - bits;
-    let q_max = ((1i32 << (bits - 1)) - 1) as i32;
+    let q_max = (1i32 << (bits - 1)) - 1;
     let new_scale = src.scale * (1i32 << shift) as f32;
     let data: Vec<i8> = tensor
         .data()
@@ -297,7 +297,8 @@ mod tests {
     #[test]
     fn per_channel_scales_differ() {
         // Channel 0 has max 1.0, channel 1 has max 0.1.
-        let t = FloatTensor::new(Shape::d2(2, 3), vec![1.0, -0.5, 0.25, 0.1, -0.05, 0.025]).unwrap();
+        let t =
+            FloatTensor::new(Shape::d2(2, 3), vec![1.0, -0.5, 0.25, 0.1, -0.05, 0.025]).unwrap();
         let (q, scales) = quantize_per_channel(&t, 8, 0).unwrap();
         assert_eq!(scales.len(), 2);
         assert!(scales[0] > scales[1]);
@@ -338,7 +339,8 @@ mod tests {
 
     #[test]
     fn expand_to_int8_grid_matches_shifted_values() {
-        let q = QuantTensor::new(Shape::d1(2), vec![6, -6], QuantParams::symmetric(0.16, 4)).unwrap();
+        let q =
+            QuantTensor::new(Shape::d1(2), vec![6, -6], QuantParams::symmetric(0.16, 4)).unwrap();
         let e = expand_to_int8_grid(&q);
         assert_eq!(e.data(), &[96, -96]);
         assert_eq!(e.params().bits, 8);

@@ -99,7 +99,11 @@ impl Shape {
     ///
     /// Panics if `axis >= self.rank()`.
     pub fn dim(&self, axis: usize) -> usize {
-        assert!(axis < self.rank, "axis {axis} out of range for rank {}", self.rank);
+        assert!(
+            axis < self.rank,
+            "axis {axis} out of range for rank {}",
+            self.rank
+        );
         self.dims[axis]
     }
 
@@ -189,7 +193,7 @@ mod tests {
     fn offset_matches_manual_computation() {
         let s = Shape::d3(2, 3, 4);
         assert_eq!(s.offset(&[0, 0, 0]), 0);
-        assert_eq!(s.offset(&[1, 2, 3]), 1 * 12 + 2 * 4 + 3);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 2 * 4 + 3);
         assert_eq!(s.offset(&[1, 0, 1]), 13);
     }
 

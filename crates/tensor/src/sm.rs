@@ -99,7 +99,10 @@ pub fn bit_density_twos_complement(values: &[i8]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    let ones: u64 = values.iter().map(|&v| u64::from(ones_twos_complement(v))).sum();
+    let ones: u64 = values
+        .iter()
+        .map(|&v| u64::from(ones_twos_complement(v)))
+        .sum();
     ones as f64 / (values.len() as f64 * 8.0)
 }
 
@@ -109,7 +112,10 @@ pub fn bit_density_sign_magnitude(values: &[i8]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    let ones: u64 = values.iter().map(|&v| u64::from(ones_sign_magnitude(v))).sum();
+    let ones: u64 = values
+        .iter()
+        .map(|&v| u64::from(ones_sign_magnitude(v)))
+        .sum();
     ones as f64 / (values.len() as f64 * 8.0)
 }
 

@@ -76,9 +76,7 @@ impl WeightGenerator {
     pub fn generate(&self, shape: Shape) -> FloatTensor {
         let mut hash = self.seed ^ 0x9E37_79B9_7F4A_7C15;
         for &d in shape.dims() {
-            hash = hash
-                .wrapping_mul(0x100_0000_01B3)
-                .wrapping_add(d as u64);
+            hash = hash.wrapping_mul(0x100_0000_01B3).wrapping_add(d as u64);
         }
         let mut rng = StdRng::seed_from_u64(hash);
         let data = (0..shape.num_elements())
@@ -252,10 +250,18 @@ mod tests {
         let g = WeightGenerator::new(WeightDistribution::Gaussian { std: 0.1 }, 3);
         let t = g.generate(Shape::d1(50_000));
         let mean = t.mean().unwrap();
-        let var: f32 =
-            t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.data().len() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.data().len() as f32;
         assert!(mean.abs() < 0.01, "mean {mean} too far from 0");
-        assert!((var.sqrt() - 0.1).abs() < 0.01, "std {} too far from 0.1", var.sqrt());
+        assert!(
+            (var.sqrt() - 0.1).abs() < 0.01,
+            "std {} too far from 0.1",
+            var.sqrt()
+        );
     }
 
     #[test]

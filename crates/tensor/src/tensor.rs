@@ -247,8 +247,12 @@ mod tests {
 
     #[test]
     fn reshape_preserves_data() {
-        let t = QuantTensor::new(Shape::d2(2, 4), (0..8).map(|v| v as i8).collect(), QuantParams::unit())
-            .unwrap();
+        let t = QuantTensor::new(
+            Shape::d2(2, 4),
+            (0..8).map(|v| v as i8).collect(),
+            QuantParams::unit(),
+        )
+        .unwrap();
         let r = t.reshaped(Shape::d4(2, 2, 2, 1)).unwrap();
         assert_eq!(r.data(), t.data());
         assert!(t.reshaped(Shape::d1(7)).is_err());

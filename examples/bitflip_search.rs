@@ -5,10 +5,12 @@
 //! Run with: `cargo run --release --example bitflip_search`
 
 use bitwave::context::ExperimentContext;
-use bitwave::experiments::bitflip::{fig06_layer_sensitivity, network_bcs_compression, run_greedy_search};
 use bitwave::dnn::models::resnet18;
+use bitwave::experiments::bitflip::{
+    fig06_layer_sensitivity, network_bcs_compression, run_greedy_search,
+};
 
-fn main() {
+fn main() -> Result<(), bitwave::BitwaveError> {
     let ctx = ExperimentContext::default().with_sample_cap(20_000);
     let net = resnet18();
 
@@ -21,7 +23,7 @@ fn main() {
         "layer4.1.conv2".to_string(),
         "fc".to_string(),
     ];
-    for row in fig06_layer_sensitivity(&ctx, &net, &probe_layers, 7) {
+    for row in fig06_layer_sensitivity(&ctx, &net, &probe_layers, 7)? {
         if row.zero_columns % 2 == 1 {
             continue; // print every other point to keep the table short
         }
@@ -40,7 +42,7 @@ fn main() {
         .map(|l| l.name.clone())
         .collect();
     let floor = net.baseline_quality - 0.5;
-    let outcome = run_greedy_search(&ctx, &net, &layers, floor, 40);
+    let outcome = run_greedy_search(&ctx, &net, &layers, floor, 40)?;
     println!(
         "{} accepted moves, {} evaluations, final accuracy {:.2}% (floor {:.2}%)",
         outcome.history.len(),
@@ -56,10 +58,13 @@ fn main() {
 
     // Step 3: the resulting weight compression ratio.
     let weights = ctx.weights(&net);
-    let flipped = weights.apply_flip_strategy(&outcome.strategy);
+    let flipped = weights
+        .apply_flip_strategy(&outcome.strategy)
+        .map_err(bitwave::BitwaveError::Core)?;
     println!(
         "\nnetwork-wide BCS compression: baseline {:.2}x -> after search {:.2}x",
-        network_bcs_compression(&ctx, &weights),
-        network_bcs_compression(&ctx, &flipped)
+        network_bcs_compression(&ctx, &net, &weights)?,
+        network_bcs_compression(&ctx, &net, &flipped)?
     );
+    Ok(())
 }

@@ -5,17 +5,17 @@
 //! Run with: `cargo run --release --example compression_study`
 
 use bitwave::context::ExperimentContext;
+use bitwave::dnn::models::all_networks;
 use bitwave::experiments::bitflip::{fig06_pareto, fig06_tradeoff};
 use bitwave::experiments::sparsity::{
     fig01_sparsity_survey, fig04_bcs_representation, fig05_compression_ratio,
 };
-use bitwave::dnn::models::all_networks;
 
-fn main() {
+fn main() -> Result<(), bitwave::BitwaveError> {
     let ctx = ExperimentContext::default().with_sample_cap(30_000);
 
     println!("== Fig. 1: value sparsity vs bit sparsity ==");
-    for row in fig01_sparsity_survey(&ctx) {
+    for row in fig01_sparsity_survey(&ctx)? {
         println!(
             "{:<12} value {:>5.1}%  bits(2C) {:>5.1}%  bits(SM) {:>5.1}%  SR(2C) {:>5.1}x  SR(SM) {:>5.1}x",
             row.network,
@@ -28,7 +28,7 @@ fn main() {
     }
 
     println!("\n== Fig. 4: bit-column sparsity, two's complement vs sign-magnitude (G=4) ==");
-    let fig4 = fig04_bcs_representation(&ctx);
+    let fig4 = fig04_bcs_representation(&ctx)?;
     println!(
         "{}: value {:.1}%  columns(2C) {:.1}%  columns(SM) {:.1}%  ({:.1}x improvement)",
         fig4.layer,
@@ -39,7 +39,7 @@ fn main() {
     );
 
     println!("\n== Fig. 5: compression ratio on ResNet18's last four conv layers ==");
-    for row in fig05_compression_ratio(&ctx) {
+    for row in fig05_compression_ratio(&ctx)? {
         println!(
             "{:<4} {:<6} ideal {:>5.2}x   with index {:>5.2}x",
             row.codec,
@@ -51,7 +51,7 @@ fn main() {
 
     println!("\n== Fig. 6(e-h): compression ratio vs quality ==");
     for net in all_networks() {
-        let rows = fig06_tradeoff(&ctx, &net);
+        let rows = fig06_tradeoff(&ctx, &net)?;
         println!("-- {} --", net.name);
         for row in &rows {
             println!(
@@ -62,4 +62,5 @@ fn main() {
         let front = fig06_pareto(&rows);
         println!("  Pareto front: {} points", front.len());
     }
+    Ok(())
 }

@@ -30,10 +30,12 @@ fn main() {
     let (_, stats) = engine
         .run_conv_verified(&input, &weights, 1, 1)
         .expect("simulate conv");
-    println!("small conv      : {:>8} cycles ({:.2}x column-skip speedup, CR {:.2}x)",
+    println!(
+        "small conv      : {:>8} cycles ({:.2}x column-skip speedup, CR {:.2}x)",
         stats.compute_cycles,
         stats.column_skip_speedup(),
-        stats.weight_compression_ratio());
+        stats.weight_compression_ratio()
+    );
 
     // A BERT-like projection (dense weights): little to skip, CR near 1.
     let acts = quantize_per_tensor(
@@ -51,14 +53,19 @@ fn main() {
         8,
     )
     .expect("quantise proj");
-    let (_, stats) = engine.run_linear_verified(&acts, &proj).expect("simulate projection");
-    println!("dense projection: {:>8} cycles ({:.2}x column-skip speedup, CR {:.2}x)",
+    let (_, stats) = engine
+        .run_linear_verified(&acts, &proj)
+        .expect("simulate projection");
+    println!(
+        "dense projection: {:>8} cycles ({:.2}x column-skip speedup, CR {:.2}x)",
         stats.compute_cycles,
         stats.column_skip_speedup(),
-        stats.weight_compression_ratio());
+        stats.weight_compression_ratio()
+    );
 
     // The analytical-model validation the evaluation relies on.
-    let report = validation_model_vs_simulator(&ExperimentContext::default());
+    let report =
+        validation_model_vs_simulator(&ExperimentContext::default()).expect("validation runs");
     println!(
         "model vs simulator: {} cycles simulated, {:.0} cycles predicted, deviation {:.2}% (paper bound: 6%)",
         report.simulated_cycles,

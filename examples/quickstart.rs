@@ -1,68 +1,65 @@
-//! Quickstart: compress a weight tensor with bit-column sparsity, flip it,
-//! and estimate the resulting speedup on the BitWave accelerator model.
+//! Quickstart: run one ResNet18 model through the unified pipeline
+//! (compress → bit-flip → map → simulate) and print one layer's full
+//! report as pretty JSON, then compare against the dense reference.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use bitwave::accel::model::evaluate_layer;
-use bitwave::accel::spec::{AcceleratorSpec, BitwaveOptimizations};
-use bitwave::accel::{EnergyModel, LayerSparsityProfile};
-use bitwave::core::bitflip::flip_tensor;
-use bitwave::core::compress::{BcsCodec, WeightCodec};
-use bitwave::core::group::GroupSize;
-use bitwave::core::prelude::Encoding;
-use bitwave::dataflow::MemoryHierarchy;
+use bitwave::accel::spec::AcceleratorSpec;
+use bitwave::context::ExperimentContext;
 use bitwave::dnn::models::resnet18;
-use bitwave::dnn::weights::generate_layer_sample;
+use bitwave::error::BitwaveError;
+use bitwave::pipeline::Pipeline;
 
-fn main() {
-    // 1. Take a real layer shape from ResNet18 and give it synthetic Int8
-    //    weights whose statistics match a trained layer.
+fn main() -> Result<(), BitwaveError> {
+    // 1. Configure the experiment: synthetic Int8 ResNet18 weights, sampled
+    //    to 100k elements per layer, grouped 16 channels at a time.
+    let ctx = ExperimentContext::default().with_sample_cap(100_000);
     let net = resnet18();
-    let layer = net.layer("layer4.0.conv1").expect("layer exists");
-    let weights = generate_layer_sample(layer, 42, 100_000);
-    println!("layer {:>18}: {} weights", layer.name, weights.data().len());
 
-    // 2. Lossless BCS compression in sign-magnitude form.
-    let codec = BcsCodec::new(GroupSize::G16, Encoding::SignMagnitude);
-    let compressed = codec.compress(weights.data());
-    println!(
-        "lossless BCS compression ratio (index included): {:.2}x",
-        compressed.compression_ratio_with_index()
-    );
-    assert_eq!(compressed.decompress(), weights.data());
+    // 2. One pipeline per accelerator configuration.  The BitWave pipeline
+    //    also applies the paper's default one-shot Bit-Flip strategy.
+    let bitwave = Pipeline::new(ctx.clone()).with_default_bitflip(&net);
+    let dense = Pipeline::new(ctx).with_accelerator(AcceleratorSpec::dense());
 
-    // 3. One-shot Bit-Flip to at least 5 zero columns per group of 16.
-    let (flipped, stats) = flip_tensor(&weights, GroupSize::G16, 5, Encoding::SignMagnitude);
-    let flipped_compressed = codec.compress(flipped.data());
+    // 3. Run the whole model across all cores; the parallel run is
+    //    bit-identical to `run_model`.
+    let report = bitwave.run_model_parallel(&net)?;
+    let dense_report = dense.run_model_parallel(&net)?;
+
+    // 4. Inspect one weight-heavy layer end to end: serde serialises the
+    //    full LayerReport (sparsity, compression, bit-flip, mapping and
+    //    simulation sections) straight to JSON.
+    let layer = report
+        .layers
+        .iter()
+        .find(|l| l.layer == "layer4.0.conv1")
+        .ok_or_else(|| BitwaveError::MissingLayer {
+            network: net.name.clone(),
+            layer: "layer4.0.conv1".to_string(),
+        })?;
+    println!("=== LayerReport for {} ===", layer.layer);
     println!(
-        "after Bit-Flip (z=5): {:.2}x compression, RMS perturbation {:.3} LSB",
-        flipped_compressed.compression_ratio_with_index(),
-        stats.rms_perturbation
+        "{}",
+        serde_json::to_string_pretty(layer).expect("layer report serialises")
     );
 
-    // 4. Estimate the layer's latency and energy on BitWave vs the dense
-    //    reference configuration.
-    let memory = MemoryHierarchy::bitwave_default();
-    let energy = EnergyModel::finfet_16nm();
-    let profile =
-        LayerSparsityProfile::from_weights(&flipped, layer.expected_activation_sparsity(), GroupSize::G16);
-    let dense = evaluate_layer(&AcceleratorSpec::dense(), layer, &profile, &memory, &energy);
-    let bitwave = evaluate_layer(
-        &AcceleratorSpec::bitwave(BitwaveOptimizations::all()),
-        layer,
-        &profile,
-        &memory,
-        &energy,
+    // 5. Whole-model summary: BitWave vs the dense reference.
+    println!();
+    println!("=== Whole-model summary ({}) ===", report.network);
+    println!(
+        "weight compression : {:.2}x (index included)",
+        report.weight_compression_ratio
     );
     println!(
-        "dense reference : {:>12.0} cycles, {:.3} mJ",
-        dense.total_cycles,
-        dense.energy.total_pj() / 1e9
+        "dense reference    : {:>14.0} cycles, {:.3} mJ",
+        dense_report.total_cycles,
+        dense_report.energy.total_mj()
     );
     println!(
-        "BitWave         : {:>12.0} cycles, {:.3} mJ  ({:.2}x faster)",
-        bitwave.total_cycles,
-        bitwave.energy.total_pj() / 1e9,
-        dense.total_cycles / bitwave.total_cycles
+        "BitWave (DF+SM+BF) : {:>14.0} cycles, {:.3} mJ  ({:.2}x faster)",
+        report.total_cycles,
+        report.energy.total_mj(),
+        report.speedup_over(&dense_report)
     );
+    Ok(())
 }

@@ -9,14 +9,17 @@ use bitwave::experiments::evaluation::{
     fig13_speedup_breakdown, fig14_15_17_sota_comparison, fig16_energy_breakdown,
 };
 
-fn main() {
+fn main() -> Result<(), bitwave::BitwaveError> {
     let ctx = ExperimentContext::default().with_sample_cap(20_000);
 
     println!("== Fig. 13: BitWave speedup breakdown (vs the Dense configuration) ==");
-    let mut rows = fig13_speedup_breakdown(&ctx);
+    let mut rows = fig13_speedup_breakdown(&ctx)?;
     rows.sort_by(|a, b| a.network.cmp(&b.network));
     for row in &rows {
-        println!("{:<12} {:<10} {:>6.2}x", row.network, row.step, row.speedup_vs_dense);
+        println!(
+            "{:<12} {:<10} {:>6.2}x",
+            row.network, row.step, row.speedup_vs_dense
+        );
     }
 
     println!("\n== Fig. 14 / 15 / 17: SotA comparison (normalised as in the paper) ==");
@@ -24,8 +27,8 @@ fn main() {
         "{:<12} {:<18} {:>14} {:>16} {:>18}",
         "network", "accelerator", "speedup/SCNN", "energy/BitWave", "efficiency/SCNN"
     );
-    let mut rows = fig14_15_17_sota_comparison(&ctx);
-    rows.sort_by(|a, b| (a.network.clone(), a.accelerator.clone()).cmp(&(b.network.clone(), b.accelerator.clone())));
+    let mut rows = fig14_15_17_sota_comparison(&ctx)?;
+    rows.sort_by_key(|r| (r.network.clone(), r.accelerator.clone()));
     for row in &rows {
         println!(
             "{:<12} {:<18} {:>13.2}x {:>15.2}x {:>17.2}x",
@@ -38,7 +41,7 @@ fn main() {
     }
 
     println!("\n== Fig. 16: BitWave energy breakdown (fractions of total) ==");
-    for row in fig16_energy_breakdown(&ctx) {
+    for row in fig16_energy_breakdown(&ctx)? {
         println!(
             "{:<12} compute {:>5.1}%  sram {:>5.1}%  reg {:>5.1}%  dram {:>5.1}%  (total {:.3} mJ)",
             row.network,
@@ -49,4 +52,5 @@ fn main() {
             row.total_mj
         );
     }
+    Ok(())
 }

@@ -1,2 +1,3 @@
 //! Reproduction harness root crate. See the `bitwave` facade crate for the API.
+#![forbid(unsafe_code)]
 pub use bitwave;

@@ -1,46 +1,89 @@
-//! Cross-crate integration tests: the full compress → flip → map → model →
-//! simulate pipeline on real layer shapes.
+//! Cross-crate integration tests: the full compress → bit-flip → map →
+//! simulate chain on real layer shapes, exercised through the unified
+//! `bitwave::pipeline` subsystem.
 
 use bitwave::context::ExperimentContext;
-use bitwave::core::compress::{BcsCodec, WeightCodec};
 use bitwave::core::group::GroupSize;
 use bitwave::core::prelude::zero_column_count;
 use bitwave::core::prelude::Encoding;
 use bitwave::dnn::models::{cnn_lstm, resnet18};
 use bitwave::dnn::weights::generate_layer_sample;
+use bitwave::pipeline::{BitFlipStage, CompressStage, Pipeline, PipelineStage};
 use bitwave::sim::engine::{BitwaveEngine, EngineConfig};
 use bitwave::tensor::prelude::*;
 
-/// Compress a real ResNet18 layer, check losslessness, flip it, and check
-/// that the flipped tensor both satisfies the zero-column constraint and
-/// compresses strictly better.
+/// Compress a real ResNet18 layer through the pipeline's compress stage,
+/// check losslessness of the underlying codec, run the bit-flip stage, and
+/// check that the flipped tensor both satisfies the zero-column constraint
+/// and compresses strictly better.
 #[test]
 fn compress_flip_compress_pipeline() {
     let ctx = ExperimentContext::default().with_sample_cap(20_000);
     let net = resnet18();
+    let pipeline = Pipeline::new(ctx.clone());
     let weights = ctx.weights(&net);
-    let tensor = weights.layer("layer4.0.conv2").unwrap();
+    let mut jobs = pipeline.jobs_with_weights(&net, &weights).unwrap();
+    jobs.retain(|j| j.layer.name == "layer4.0.conv2");
+    let mut job = jobs.into_iter().next().expect("layer planned");
+    job.zero_column_target = 5;
 
-    let codec = BcsCodec::new(GroupSize::G16, Encoding::SignMagnitude);
-    let baseline = codec.compress(tensor.data());
-    assert_eq!(baseline.decompress(), tensor.data());
-    let baseline_cr = baseline.compression_ratio_with_index();
-    assert!(baseline_cr > 1.0, "lossless BCS should already compress: {baseline_cr}");
+    // The stage's accounting must agree with the raw codec, which is lossless.
+    let codec = bitwave::core::compress::BcsCodec::new(GroupSize::G16, Encoding::SignMagnitude);
+    let raw = {
+        use bitwave::core::compress::WeightCodec;
+        codec.compress(job.weights.data())
+    };
+    assert_eq!(raw.decompress(), job.weights.data());
 
-    let (flipped, stats) =
-        bitwave::core::bitflip::flip_tensor(tensor, GroupSize::G16, 5, Encoding::SignMagnitude);
-    assert!(stats.mean_zero_columns >= 5.0);
-    let flipped_compressed = codec.compress(flipped.data());
-    assert_eq!(flipped_compressed.decompress(), flipped.data());
+    let compressed = CompressStage::new(Encoding::SignMagnitude)
+        .run(job)
+        .unwrap();
+    let baseline_cr = compressed.compression.cr_with_index;
     assert!(
-        flipped_compressed.compression_ratio_with_index() > baseline_cr,
+        baseline_cr > 1.0,
+        "lossless BCS should already compress: {baseline_cr}"
+    );
+
+    let flipped = BitFlipStage::new(Encoding::SignMagnitude)
+        .run(compressed)
+        .unwrap();
+    let flip = flipped.bitflip.expect("target 5 must flip");
+    assert!(flip.mean_zero_columns >= 5.0);
+    assert!(
+        flip.compression_after.cr_with_index > baseline_cr,
         "Bit-Flip must improve the compression ratio"
     );
 
     // Every group of the flipped tensor honours the constraint.
-    let groups = bitwave::core::group::extract_groups(&flipped, GroupSize::G16);
+    let groups =
+        bitwave::core::group::extract_groups(&flipped.job.weights, GroupSize::G16).unwrap();
     for g in groups.iter() {
         assert!(zero_column_count(g, Encoding::SignMagnitude) >= 5);
+    }
+}
+
+/// The parallel whole-model pipeline run is bit-identical to the sequential
+/// run, with and without Bit-Flip (the determinism contract of
+/// `run_model_parallel`).
+#[test]
+fn parallel_pipeline_is_bit_identical_to_sequential() {
+    let ctx = ExperimentContext::default().with_sample_cap(4_000);
+    let net = resnet18();
+    for with_flip in [false, true] {
+        let mut pipeline = Pipeline::new(ctx.clone());
+        if with_flip {
+            pipeline = pipeline.with_default_bitflip(&net);
+        }
+        let sequential = pipeline.run_model(&net).unwrap();
+        let parallel = pipeline.run_model_parallel(&net).unwrap();
+        assert_eq!(
+            sequential, parallel,
+            "parallel run diverged (bitflip: {with_flip})"
+        );
+        // And the reports serialise/deserialise losslessly.
+        let json = serde_json::to_string_pretty(&parallel).unwrap();
+        let back: bitwave::pipeline::ModelReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, parallel);
     }
 }
 
@@ -75,7 +118,7 @@ fn simulator_runs_real_layer_weights() {
 #[test]
 fn model_matches_simulator_for_validation_workload() {
     let ctx = ExperimentContext::default().with_sample_cap(8_000);
-    let report = bitwave::experiments::evaluation::validation_model_vs_simulator(&ctx);
+    let report = bitwave::experiments::evaluation::validation_model_vs_simulator(&ctx).unwrap();
     assert!(
         report.within_paper_bound(),
         "model/simulator deviation {:.3} exceeds the paper's 6% bound",

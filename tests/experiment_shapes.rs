@@ -4,6 +4,7 @@
 //! paper-vs-measured comparison.
 
 use bitwave::context::ExperimentContext;
+use bitwave::dnn::models::bert_base;
 use bitwave::experiments::bitflip::{fig06_pareto, fig06_tradeoff};
 use bitwave::experiments::evaluation::{fig13_speedup_breakdown, fig14_15_17_sota_comparison};
 use bitwave::experiments::hardware::{
@@ -11,7 +12,6 @@ use bitwave::experiments::hardware::{
     table03_sota_comparison, table04_pe_cost,
 };
 use bitwave::experiments::sparsity::{fig01_sparsity_survey, fig05_compression_ratio};
-use bitwave::dnn::models::bert_base;
 
 fn ctx() -> ExperimentContext {
     ExperimentContext::default().with_sample_cap(2_000)
@@ -19,7 +19,7 @@ fn ctx() -> ExperimentContext {
 
 #[test]
 fn fig01_bit_sparsity_dominates_value_sparsity_on_every_network() {
-    let rows = fig01_sparsity_survey(&ctx());
+    let rows = fig01_sparsity_survey(&ctx()).unwrap();
     assert_eq!(rows.len(), 4);
     for row in &rows {
         assert!(row.speedup_ratio_twos_complement > 1.0, "{}", row.network);
@@ -29,15 +29,22 @@ fn fig01_bit_sparsity_dominates_value_sparsity_on_every_network() {
 
 #[test]
 fn fig05_bcs_wins_at_hardware_group_sizes() {
-    let rows = fig05_compression_ratio(&ctx());
-    let zre = rows.iter().find(|r| r.codec == "ZRE").unwrap().cr_with_index;
+    let rows = fig05_compression_ratio(&ctx()).unwrap();
+    let zre = rows
+        .iter()
+        .find(|r| r.codec == "ZRE")
+        .unwrap()
+        .cr_with_index;
     let bcs16 = rows
         .iter()
         .find(|r| r.codec == "BCS" && r.group_size == Some(16))
         .unwrap()
         .cr_with_index;
     assert!(bcs16 > zre);
-    assert!(bcs16 > 1.2, "BCS at G=16 should compress ResNet18's late layers");
+    assert!(
+        bcs16 > 1.2,
+        "BCS at G=16 should compress ResNet18's late layers"
+    );
 }
 
 #[test]
@@ -45,7 +52,7 @@ fn fig06_bert_bitflip_reaches_paper_scale_compression() {
     // The paper: BERT reaches 1.46x CR with no drop and up to 2.47x with a
     // small drop.  Our proxy should land in the same regime.
     let ctx = ctx();
-    let rows = fig06_tradeoff(&ctx, &bert_base());
+    let rows = fig06_tradeoff(&ctx, &bert_base()).unwrap();
     let front = fig06_pareto(&rows);
     assert!(!front.is_empty());
     let best_bitflip = rows
@@ -61,7 +68,7 @@ fn fig06_bert_bitflip_reaches_paper_scale_compression() {
 
 #[test]
 fn fig13_total_speedups_are_in_paper_range() {
-    let rows = fig13_speedup_breakdown(&ctx());
+    let rows = fig13_speedup_breakdown(&ctx()).unwrap();
     for net in ["ResNet18", "MobileNetV2", "CNN-LSTM", "Bert-Base"] {
         let total = rows
             .iter()
@@ -79,7 +86,7 @@ fn fig13_total_speedups_are_in_paper_range() {
 
 #[test]
 fn fig14_17_bitwave_leads_and_gap_is_largest_on_low_sparsity_networks() {
-    let rows = fig14_15_17_sota_comparison(&ctx());
+    let rows = fig14_15_17_sota_comparison(&ctx()).unwrap();
     let bitwave_speedup = |net: &str| {
         rows.iter()
             .find(|r| r.network == net && r.accelerator == "BitWave+DF+SM+BF")

@@ -1,0 +1,194 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the subset the bench targets use: `Criterion::default()`,
+//! `sample_size`, `measurement_time`, `bench_function`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros (both the plain and
+//! the `name/config/targets` forms).
+//!
+//! Statistics are intentionally simple — min / mean / max of wall-clock
+//! samples — but reported in the same spirit so regressions remain visible.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark; sampling stops early once
+    /// the budget is exhausted (at least one sample is always taken).
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample, after one untimed warm-up call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std_black_box(routine());
+        let budget_start = Instant::now();
+        for done in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+            if done + 1 < self.sample_size && budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<55} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{id:<55} time: [{} {} {}]  ({} samples)",
+            format_duration(*min),
+            format_duration(mean),
+            format_duration(*max),
+            self.samples.len(),
+        );
+    }
+}
+
+/// Human-readable duration, criterion style.
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group; supports both criterion forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("test/trivial", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        // one warm-up + up to three samples
+        assert!(runs >= 2);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+
+    #[test]
+    fn measurement_time_stops_sampling_early() {
+        let mut c = Criterion::default()
+            .sample_size(1_000_000)
+            .measurement_time(Duration::from_millis(20));
+        let mut runs = 0u64;
+        c.bench_function("test/budget", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            })
+        });
+        assert!(runs < 100, "budget should stop sampling, ran {runs}");
+    }
+}

@@ -1,0 +1,384 @@
+//! Vendored, dependency-free stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the subset the test suites use: the `proptest!` macro (with an optional
+//! `#![proptest_config(...)]` inner attribute), `prop_assert!`/
+//! `prop_assert_eq!`, `any::<T>()`, `Just`, integer-range strategies,
+//! `prop_oneof!` (plain and weighted) and `proptest::collection::vec`.
+//!
+//! Inputs are drawn from a deterministic per-test RNG (seeded from the test
+//! name), so failures are reproducible.  Shrinking is not implemented — a
+//! failing case panics with the drawn values available via the assertion
+//! message, which is sufficient for the property tests in this workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Strategy trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy for "any value of T" (primitives).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    /// Creates an [`Any`] strategy for `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (lo as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    /// Weighted union of boxed strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union from `(weight, strategy)` pairs.
+        pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            assert!(options.iter().any(|(w, _)| *w > 0), "all weights are zero");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.next_u64() % total;
+            for (weight, strategy) in &self.options {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return strategy.sample(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`].
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty length range");
+            lo + (rng.next_u64() as usize) % (hi - lo + 1)
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element` and whose
+    /// length comes from `len`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Creates a [`VecStrategy`].
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic RNG and run configuration.
+
+    /// Per-test deterministic RNG (xoshiro256++ seeded from the test name).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Creates an RNG seeded from a test name.
+        pub fn from_name(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x100_0000_01b3);
+            }
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                state: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.state[0]
+                .wrapping_add(self.state[3])
+                .rotate_left(23)
+                .wrapping_add(self.state[0]);
+            let t = self.state[1] << 17;
+            self.state[2] ^= self.state[0];
+            self.state[3] ^= self.state[1];
+            self.state[1] ^= self.state[2];
+            self.state[0] ^= self.state[3];
+            self.state[2] ^= t;
+            self.state[3] = self.state[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Number of cases to run per property.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Cases drawn per property test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// The proptest prelude.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Builds a union strategy from alternatives (optionally weighted).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Declares property tests.  Each function's arguments are drawn from the
+/// given strategies; the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    (config = $config:expr;) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in -5i8..=5, w in 0usize..10) {
+            prop_assert!((-5..=5).contains(&v));
+            prop_assert!(w < 10);
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            a in crate::collection::vec(0u8..=255, 3),
+            b in crate::collection::vec(0u8..=255, 1..=4),
+        ) {
+            prop_assert_eq!(a.len(), 3);
+            prop_assert!((1..=4).contains(&b.len()));
+        }
+
+        #[test]
+        fn oneof_draws_from_all_options(
+            v in prop_oneof![Just(1i32), Just(2), 10i32..20],
+        ) {
+            prop_assert!(v == 1 || v == 2 || (10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

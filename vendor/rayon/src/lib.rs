@@ -1,0 +1,407 @@
+//! Vendored, dependency-free stand-in for `rayon`.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the `par_iter`/`par_iter_mut` subset the repository uses, built on
+//! `std::thread::scope`.  Unlike a sequential mock, this implementation
+//! genuinely fans work out across cores: the index space is split into one
+//! contiguous chunk per worker thread and results are concatenated in order,
+//! so `collect()` is deterministic and bit-identical to sequential
+//! evaluation regardless of thread count.
+//!
+//! Differences from upstream rayon: no work stealing (chunking is static),
+//! no global thread pool (threads are spawned per call — fine for the
+//! coarse-grained, per-layer work in this repository), and only the adapters
+//! actually used here (`map`, `flat_map`, `for_each`, `collect`).
+//! `RAYON_NUM_THREADS` is honoured like upstream.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Number of worker threads: `RAYON_NUM_THREADS` if set, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(var) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `0..len` into at most `workers` contiguous, near-equal ranges.
+fn partition(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.clamp(1, len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        if size == 0 {
+            break;
+        }
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// An order-preserving parallel iterator over an indexable source.
+///
+/// `eval_range` is the whole contract: evaluate the items of a contiguous
+/// index sub-range sequentially.  `drive` fans sub-ranges out across scoped
+/// threads and concatenates the per-chunk results in index order.
+pub trait ParallelIterator: Sized + Sync {
+    /// The item type produced by this iterator.
+    type Item: Send;
+
+    /// Number of *base* indices (items before any `flat_map` expansion).
+    fn len(&self) -> usize;
+
+    /// True if the base index space is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluates the given base-index sub-range sequentially, appending the
+    /// produced items to `out`.
+    fn eval_range(&self, range: Range<usize>, out: &mut Vec<Self::Item>);
+
+    /// Evaluates the whole iterator with worker threads, preserving order.
+    fn drive(self) -> Vec<Self::Item> {
+        let len = self.len();
+        let workers = current_num_threads();
+        if workers <= 1 || len <= 1 {
+            let mut out = Vec::with_capacity(len);
+            self.eval_range(0..len, &mut out);
+            return out;
+        }
+        let this = &self;
+        let chunks = partition(len, workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(range.len());
+                        this.eval_range(range, &mut out);
+                        out
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(len);
+            for handle in handles {
+                out.extend(handle.join().expect("rayon shim worker panicked"));
+            }
+            out
+        })
+    }
+
+    /// Maps every item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Maps every item to an iterable and flattens the results.
+    fn flat_map<F, I>(self, f: F) -> FlatMap<Self, F>
+    where
+        F: Fn(Self::Item) -> I + Sync + Send,
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Runs `f` on every item (in parallel, order of side effects unspecified).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.map(f).drive();
+    }
+
+    /// Collects all items, preserving the sequential order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.drive().into_iter().collect()
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct Iter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn eval_range(&self, range: Range<usize>, out: &mut Vec<Self::Item>) {
+        out.extend(self.slice[range].iter());
+    }
+}
+
+/// Map adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn eval_range(&self, range: Range<usize>, out: &mut Vec<Self::Item>) {
+        let mut inner = Vec::with_capacity(range.len());
+        self.base.eval_range(range, &mut inner);
+        out.extend(inner.into_iter().map(&self.f));
+    }
+}
+
+/// FlatMap adapter.
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, I> ParallelIterator for FlatMap<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> I + Sync + Send,
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn eval_range(&self, range: Range<usize>, out: &mut Vec<Self::Item>) {
+        let mut inner = Vec::with_capacity(range.len());
+        self.base.eval_range(range, &mut inner);
+        for item in inner {
+            out.extend((self.f)(item));
+        }
+    }
+}
+
+/// Types that offer `par_iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed item type.
+    type Item: Send + 'data;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Iter<'data, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Iter<'data, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data, const N: usize> IntoParallelRefIterator<'data> for [T; N] {
+    type Item = &'data T;
+    type Iter = Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Iter<'data, T> {
+        Iter { slice: self }
+    }
+}
+
+/// Mutably borrowing parallel iterator over a slice.  Kept separate from
+/// [`ParallelIterator`] because exclusive access cannot be expressed through
+/// `&self` chunk evaluation; only the `map(...).collect()` shape used in this
+/// repository is provided, plus `for_each`.
+pub struct IterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> IterMut<'a, T> {
+    /// Maps every `&mut` item through `f`.
+    pub fn map<F, R>(self, f: F) -> MapMut<'a, T, F>
+    where
+        F: Fn(&mut T) -> R + Sync + Send,
+        R: Send,
+    {
+        MapMut {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Runs `f` on every `&mut` item across worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync + Send,
+    {
+        self.map(|item| f(item)).drive();
+    }
+}
+
+/// Map adapter over a mutable slice.
+pub struct MapMut<'a, T, F> {
+    slice: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send, F, R> MapMut<'a, T, F>
+where
+    F: Fn(&mut T) -> R + Sync + Send,
+    R: Send,
+{
+    fn drive(self) -> Vec<R> {
+        let len = self.slice.len();
+        let workers = current_num_threads();
+        let f = &self.f;
+        if workers <= 1 || len <= 1 {
+            return self.slice.iter_mut().map(f).collect();
+        }
+        let chunk_size = len.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks_mut(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter_mut().map(f).collect::<Vec<R>>()))
+                .collect();
+            let mut out = Vec::with_capacity(len);
+            for handle in handles {
+                out.extend(handle.join().expect("rayon shim worker panicked"));
+            }
+            out
+        })
+    }
+
+    /// Collects the mapped results, preserving the sequential order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        self.drive().into_iter().collect()
+    }
+}
+
+/// Types that offer `par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The mutably borrowed element type.
+    type Elem: Send + 'data;
+
+    /// A parallel iterator over mutably borrowed items.
+    fn par_iter_mut(&'data mut self) -> IterMut<'data, Self::Elem>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Elem = T;
+
+    fn par_iter_mut(&'data mut self) -> IterMut<'data, T> {
+        IterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Elem = T;
+
+    fn par_iter_mut(&'data mut self) -> IterMut<'data, T> {
+        IterMut { slice: self }
+    }
+}
+
+/// The rayon prelude: the traits needed to call `par_iter`/`par_iter_mut`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&v| v * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_preserves_order() {
+        let input: Vec<usize> = (0..100).collect();
+        let expanded: Vec<usize> = input.par_iter().flat_map(|&v| vec![v, v]).collect();
+        let expected: Vec<usize> = (0..100).flat_map(|v| [v, v]).collect();
+        assert_eq!(expanded, expected);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_and_collects_in_order() {
+        let mut input: Vec<i32> = (0..257).collect();
+        let snapshot: Vec<i32> = input
+            .par_iter_mut()
+            .map(|v| {
+                *v += 1;
+                *v
+            })
+            .collect();
+        assert_eq!(snapshot, (1..258).collect::<Vec<_>>());
+        assert_eq!(input, (1..258).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.par_iter().map(|&v| v).collect();
+        assert!(out.is_empty());
+        let one = [7i32];
+        let out: Vec<i32> = one.par_iter().map(|&v| v * 3).collect();
+        assert_eq!(out, vec![21]);
+    }
+
+    #[test]
+    fn partition_covers_range_exactly() {
+        for len in [0usize, 1, 2, 7, 8, 9, 1000] {
+            for workers in [1usize, 2, 3, 8, 64] {
+                let parts = super::partition(len, workers);
+                let mut next = 0usize;
+                for r in &parts {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+}

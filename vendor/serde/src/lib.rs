@@ -1,0 +1,523 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace ships a
+//! minimal serde implementation.  Instead of serde's visitor-based zero-copy
+//! architecture, this shim uses a simple **value tree**: serialization
+//! produces a [`Value`], deserialization consumes one.  The derive macros in
+//! the vendored `serde_derive` crate generate impls of these simplified
+//! traits, and the vendored `serde_json` renders/parses the tree as JSON.
+//!
+//! The public surface mirrors the subset of serde this repository uses:
+//! `serde::Serialize` / `serde::Deserialize` as derive macros and trait
+//! bounds.  Code written against this shim (plain `#[derive]`s, no
+//! `#[serde(...)]` attributes) is source-compatible with real serde.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree: the common intermediate representation of the
+/// vendored serde shim.
+///
+/// Objects preserve insertion order (like `serde_json` with its
+/// `preserve_order` feature) so derived structs serialize their fields in
+/// declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value (`null`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map of string keys to values.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// True if this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The fields of an object value.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array value.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string slice of a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean of a bool value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64` (accepts integral floats).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::UInt(v) => i64::try_from(*v).ok(),
+            Value::Float(v) if v.fract() == 0.0 && v.abs() < 9.22e18 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64` (accepts non-negative integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(v) => u64::try_from(*v).ok(),
+            Value::UInt(v) => Some(*v),
+            Value::Float(v) if v.fract() == 0.0 && *v >= 0.0 && *v < 1.85e19 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::UInt(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Adds location context (used by the derive macro).
+    pub fn at(self, location: &str) -> Self {
+        Self {
+            message: format!("{location}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the shim's [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the shim's [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+const NULL: Value = Value::Null;
+
+/// Support function for the derive macro: looks up a field of an object,
+/// yielding `Null` for missing fields so `Option` fields default to `None`.
+pub fn __field<'a>(fields: &'a [(String, Value)], name: &str) -> &'a Value {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+/// Support function for the derive macro: splits an externally tagged enum
+/// value (a single-key object) into `(tag, inner)`.
+pub fn __variant_parts(value: &Value) -> Option<(&str, &Value)> {
+    let fields = value.as_object()?;
+    if fields.len() != 1 {
+        return None;
+    }
+    let (tag, inner) = &fields[0];
+    Some((tag.as_str(), inner))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+/// Map keys serializable as JSON object keys.
+pub trait MapKey: Ord {
+    /// Renders the key as an object key string.
+    fn to_key(&self) -> String;
+    /// Parses the key back from an object key string.
+    fn parse_key(key: &str) -> Result<Self, Error>
+    where
+        Self: Sized;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn parse_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn parse_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| Error::custom(format!("invalid integer map key `{key}`")))
+            }
+        }
+    )*};
+}
+int_map_key!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let v = value.as_i64().ok_or_else(|| {
+                    Error::custom(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(v).map_err(|_| {
+                    Error::custom(format!(concat!("integer {} out of range for ", stringify!($t)), v))
+                })
+            }
+        }
+    )*};
+}
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let v = value.as_u64().ok_or_else(|| {
+                    Error::custom(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(v).map_err(|_| {
+                    Error::custom(format!(concat!("integer {} out of range for ", stringify!($t)), v))
+                })
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom("expected boolean"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(value).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length changed during deserialization"))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?;
+        if items.len() != 2 {
+            return Err(Error::custom("expected 2-element array"));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?;
+        let mut out = BTreeMap::new();
+        for (k, v) in fields {
+            out.insert(K::parse_key(k)?, V::from_value(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

@@ -1,0 +1,408 @@
+//! Vendored, dependency-free stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal serde implementation under `vendor/`.  This crate provides the
+//! `#[derive(Serialize)]` and `#[derive(Deserialize)]` macros for the
+//! simplified value-tree data model defined in the vendored `serde` crate
+//! (`Serialize::to_value` / `Deserialize::from_value`).
+//!
+//! The parser is deliberately small: it supports non-generic structs (named,
+//! tuple and unit) and enums whose variants are unit, named-field or tuple
+//! variants — exactly the shapes used in this repository.  Generic types are
+//! rejected with a compile error.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shapes of a struct body or an enum variant body.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives `serde::Serialize` (the simplified `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (the simplified `from_value` form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error literal parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i)?;
+    let name = expect_ident(&tokens, &mut i)?;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            _ => Err(format!("enum `{name}` has no body")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Bracket {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Parses `name: Type, name: Type, ...` capturing only the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut i);
+        names.push(name);
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Skips a type, stopping at a top-level `,` (tracks `<...>` nesting; grouped
+/// delimiters arrive as single atomic tokens).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut i = 0usize;
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 && i + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip a possible explicit discriminant, then the separating comma.
+        skip_type(&tokens, &mut i);
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(names) => {
+                    let mut s = String::from(
+                        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                    );
+                    for f in names {
+                        s.push_str(&format!(
+                            "__fields.push((::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})));\n"
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(__fields)");
+                    s
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n{body}\n    }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (variant, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{variant} => ::serde::Value::String(::std::string::String::from({variant:?})),\n"
+                    )),
+                    Fields::Named(field_names) => {
+                        let bindings = field_names.join(", ");
+                        let mut inner = String::from(
+                            "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in field_names {
+                            inner.push_str(&format!(
+                                "__fields.push((::std::string::String::from({f:?}), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{variant} {{ {bindings} }} => {{\n{inner}\n::serde::Value::Object(vec![(::std::string::String::from({variant:?}), ::serde::Value::Object(__fields))])\n}}\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{variant}({}) => ::serde::Value::Object(vec![(::std::string::String::from({variant:?}), {inner})]),\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        match self {{\n{arms}        }}\n    }}\n}}\n"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_named_field_inits(type_label: &str, names: &[String], obj_var: &str) -> String {
+    let mut s = String::new();
+    for f in names {
+        s.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::__field({obj_var}, {f:?})).map_err(|e| e.at({}))?,\n",
+            format_args!("\"{type_label}.{f}\"")
+        ));
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "if value.is_null() {{ Ok({name}) }} else {{ Err(::serde::Error::custom(\"expected null for unit struct {name}\")) }}"
+                ),
+                Fields::Named(names) => {
+                    let inits = gen_named_field_inits(name, names, "__obj");
+                    format!(
+                        "let __obj = value.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\nOk(Self {{\n{inits}}})"
+                    )
+                }
+                Fields::Tuple(1) => {
+                    "Ok(Self(::serde::Deserialize::from_value(value)?))".to_string()
+                }
+                Fields::Tuple(n) => {
+                    let mut inits = String::new();
+                    for k in 0..*n {
+                        inits.push_str(&format!(
+                            "::serde::Deserialize::from_value(&__arr[{k}])?,\n"
+                        ));
+                    }
+                    format!(
+                        "let __arr = value.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\nif __arr.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\nOk(Self(\n{inits}))"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n    }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (variant, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("{variant:?} => return Ok({name}::{variant}),\n"));
+                        tagged_arms.push_str(&format!("{variant:?} => Ok({name}::{variant}),\n"));
+                    }
+                    Fields::Named(field_names) => {
+                        let inits =
+                            gen_named_field_inits(&format!("{name}::{variant}"), field_names, "__obj");
+                        tagged_arms.push_str(&format!(
+                            "{variant:?} => {{\nlet __obj = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object body for {name}::{variant}\"))?;\nOk({name}::{variant} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{variant:?} => Ok({name}::{variant}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut inits = String::new();
+                        for k in 0..*n {
+                            inits.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__arr[{k}])?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{variant:?} => {{\nlet __arr = __inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array body for {name}::{variant}\"))?;\nif __arr.len() != {n} {{ return Err(::serde::Error::custom(\"wrong arity for {name}::{variant}\")); }}\nOk({name}::{variant}(\n{inits}))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        if let Some(__s) = value.as_str() {{\n            match __s {{\n{unit_arms}                _ => return Err(::serde::Error::custom(\"unknown variant of {name}\")),\n            }}\n        }}\n        let (__tag, __inner) = ::serde::__variant_parts(value).ok_or_else(|| ::serde::Error::custom(\"expected externally tagged enum {name}\"))?;\n        match __tag {{\n{tagged_arms}            _ => Err(::serde::Error::custom(\"unknown variant of {name}\")),\n        }}\n    }}\n}}\n"
+            )
+        }
+    }
+}
