@@ -35,7 +35,7 @@ pub use energy::{EnergyBreakdown, EnergyModel};
 pub use model::{
     evaluate_layer, evaluate_layer_with_mapping, evaluate_network, LayerResult, NetworkResult,
 };
-pub use sparsity::LayerSparsityProfile;
+pub use sparsity::{LayerAnalysis, LayerSparsityProfile};
 pub use spec::{AcceleratorKind, AcceleratorSpec, BitwaveOptimizations};
 
 /// Convenience re-exports.
@@ -48,6 +48,6 @@ pub mod prelude {
     pub use crate::model::{
         evaluate_layer, evaluate_layer_with_mapping, evaluate_network, LayerResult, NetworkResult,
     };
-    pub use crate::sparsity::LayerSparsityProfile;
+    pub use crate::sparsity::{LayerAnalysis, LayerSparsityProfile};
     pub use crate::spec::{AcceleratorKind, AcceleratorSpec, BitwaveOptimizations};
 }

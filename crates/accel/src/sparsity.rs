@@ -9,13 +9,16 @@
 //! compute those maxima directly from the (synthetic) weight tensors instead
 //! of assuming a distribution.
 
+use crate::spec::AcceleratorSpec;
 use bitwave_core::compress::{BcsCodec, CsrCodec, WeightCodec, ZreCodec};
 use bitwave_core::error::CoreError;
-use bitwave_core::group::{extract_groups, GroupSize};
+use bitwave_core::group::{extract_groups, GroupSize, Groups};
 use bitwave_core::stats::LayerSparsityStats;
 use bitwave_tensor::bits::{nonzero_column_count, Encoding};
+use bitwave_tensor::handle::WeightHandle;
 use bitwave_tensor::QuantTensor;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Synchronisation width assumed for Pragmatic's bit-serial lanes.
 pub const PRAGMATIC_SYNC_LANES: usize = 16;
@@ -60,7 +63,11 @@ pub struct LayerSparsityProfile {
 
 impl LayerSparsityProfile {
     /// Analyses a weight tensor (plus the layer's expected activation value
-    /// sparsity) at the given group size.
+    /// sparsity) at the given group size, including the eager ZRE/CSR
+    /// value-codec passes.  The single-analysis pipeline path instead builds
+    /// the profile from already-extracted parts
+    /// ([`LayerSparsityProfile::from_shared_parts`]) and defers the
+    /// value-codec passes behind a [`LayerAnalysis`].
     ///
     /// # Errors
     ///
@@ -70,9 +77,40 @@ impl LayerSparsityProfile {
         activation_value_sparsity: f64,
         group_size: GroupSize,
     ) -> Result<Self, CoreError> {
-        let stats = LayerSparsityStats::analyze(weights, group_size)?;
         let groups = extract_groups(weights, group_size)?;
+        let stats = LayerSparsityStats::from_tensor_and_groups(weights, &groups);
+        // CR is measured against the real (unpadded) weight storage, matching
+        // the pipeline's CompressionSummary and the ZRE/CSR accounting; the
+        // stored payload/index still reflect the padded tail groups.
+        let bcs = BcsCodec::new(group_size, Encoding::SignMagnitude)
+            .compress_groups(groups.iter(), weights.data().len());
+        Ok(Self::from_shared_parts(
+            weights,
+            activation_value_sparsity,
+            &stats,
+            &groups,
+            bcs.compression_ratio_with_index(),
+        )
+        .with_value_codecs(weights))
+    }
 
+    /// Builds the profile from parts an earlier pass **already extracted** —
+    /// the statistics, groups and BCS compression ratio the pipeline's
+    /// compress stage produced — so nothing is re-derived per stage.  The
+    /// value-codec (ZRE/CSR) ratios are left at their dense placeholder of
+    /// `1.0`; resolve them with [`LayerSparsityProfile::with_value_codecs`]
+    /// or, lazily, through a [`LayerAnalysis`].
+    ///
+    /// `stats` and `groups` must come from the same `weights` tensor at the
+    /// same group size; given that, the non-placeholder fields are identical
+    /// to [`LayerSparsityProfile::from_weights`].
+    pub fn from_shared_parts(
+        weights: &QuantTensor,
+        activation_value_sparsity: f64,
+        stats: &LayerSparsityStats,
+        groups: &Groups,
+        bcs_compression_ratio: f64,
+    ) -> Self {
         // Non-zero columns per group, and the synced maximum over chunks of
         // BITWAVE_SYNC_GROUPS groups.
         let column_counts: Vec<u32> = groups
@@ -92,31 +130,30 @@ impl LayerSparsityProfile {
         let max_nonzero_bits_sync16 = mean_of_chunk_max(&bit_counts, PRAGMATIC_SYNC_LANES);
         let max_nonzero_bits_sync64 = mean_of_chunk_max(&bit_counts, BITLET_SYNC_LANES);
 
-        let data = weights.data();
-        // CR is measured against the real (unpadded) weight storage, matching
-        // the pipeline's CompressionSummary and the ZRE/CSR accounting below;
-        // the stored payload/index still reflect the padded tail groups.
-        let bcs = BcsCodec::new(group_size, Encoding::SignMagnitude)
-            .compress_groups(groups.iter(), data.len());
-        let zre = ZreCodec::default().compress(data);
-        let csr =
-            CsrCodec::new(weights.shape().dim(weights.shape().rank() - 1).max(2)).compress(data);
-
-        Ok(Self {
+        Self {
             weight_value_sparsity: stats.value_sparsity,
             activation_value_sparsity: activation_value_sparsity.clamp(0.0, 1.0),
             weight_bit_sparsity_tc: stats.bit_sparsity_twos_complement,
             weight_bit_sparsity_sm: stats.bit_sparsity_sign_magnitude,
-            group_size: group_size.len(),
+            group_size: groups.group_size(),
             mean_nonzero_columns,
             max_nonzero_columns_synced,
             mean_nonzero_bits_tc,
             max_nonzero_bits_sync16,
             max_nonzero_bits_sync64,
-            bcs_compression_ratio: bcs.compression_ratio_with_index(),
-            zre_compression_ratio: zre.compression_ratio_with_index(),
-            csr_compression_ratio: csr.compression_ratio_with_index(),
-        })
+            bcs_compression_ratio,
+            zre_compression_ratio: 1.0,
+            csr_compression_ratio: 1.0,
+        }
+    }
+
+    /// Resolves the ZRE/CSR value-codec compression ratios (the two passes
+    /// only the SCNN baseline consumes) from the weight tensor.
+    pub fn with_value_codecs(mut self, weights: &QuantTensor) -> Self {
+        let (zre, csr) = value_codec_ratios(weights);
+        self.zre_compression_ratio = zre;
+        self.csr_compression_ratio = csr;
+        self
     }
 
     /// A fully dense profile (no sparsity anywhere) — the behaviour every
@@ -137,6 +174,139 @@ impl LayerSparsityProfile {
             zre_compression_ratio: 1.0,
             csr_compression_ratio: 1.0,
         }
+    }
+}
+
+/// ZRE and CSR compression ratios (index included) of a weight tensor.
+///
+/// These are the per-tensor passes only the value-sparsity SotA baselines
+/// consume; the pipeline computes them lazily via [`LayerAnalysis`].
+pub fn value_codec_ratios(weights: &QuantTensor) -> (f64, f64) {
+    let data = weights.data();
+    let zre = ZreCodec::default().compress(data);
+    let csr = CsrCodec::new(weights.shape().dim(weights.shape().rank() - 1).max(2)).compress(data);
+    (
+        zre.compression_ratio_with_index(),
+        csr.compression_ratio_with_index(),
+    )
+}
+
+/// One layer's shared sparsity analysis: the eagerly-computed core profile
+/// (everything the BitWave configurations and the bit-serial baselines read)
+/// plus the weight handle needed to resolve the value-codec (ZRE/CSR) ratios
+/// **lazily** — they run only when a value-sparsity baseline (SCNN) actually
+/// evaluates the layer, and at most once per layer even when many
+/// accelerators share the analysis across threads.
+#[derive(Debug)]
+pub struct LayerAnalysis {
+    core: LayerSparsityProfile,
+    weights: WeightHandle,
+    full: OnceLock<LayerSparsityProfile>,
+}
+
+impl LayerAnalysis {
+    /// Builds the analysis from parts an earlier pass already extracted (see
+    /// [`LayerSparsityProfile::from_shared_parts`]); the weight handle is
+    /// shared, not copied.
+    pub fn from_shared_parts(
+        weights: WeightHandle,
+        activation_value_sparsity: f64,
+        stats: &LayerSparsityStats,
+        groups: &Groups,
+        bcs_compression_ratio: f64,
+    ) -> Self {
+        let core = LayerSparsityProfile::from_shared_parts(
+            &weights,
+            activation_value_sparsity,
+            stats,
+            groups,
+            bcs_compression_ratio,
+        );
+        Self {
+            core,
+            weights,
+            full: OnceLock::new(),
+        }
+    }
+
+    /// Builds the analysis directly from a weight handle, extracting groups
+    /// and statistics itself (used outside the pipeline's shared path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnsupportedRank`] for ungroupable weight tensors.
+    pub fn from_weights(
+        weights: WeightHandle,
+        activation_value_sparsity: f64,
+        group_size: GroupSize,
+    ) -> Result<Self, CoreError> {
+        let groups = extract_groups(&weights, group_size)?;
+        let stats = LayerSparsityStats::from_tensor_and_groups(&weights, &groups);
+        let bcs = BcsCodec::new(group_size, Encoding::SignMagnitude)
+            .compress_groups(groups.iter(), weights.data().len());
+        Ok(Self::from_shared_parts(
+            weights,
+            activation_value_sparsity,
+            &stats,
+            &groups,
+            bcs.compression_ratio_with_index(),
+        ))
+    }
+
+    /// The analysed weights.
+    pub fn weights(&self) -> &WeightHandle {
+        &self.weights
+    }
+
+    /// The eager core profile; its `zre_compression_ratio` /
+    /// `csr_compression_ratio` fields hold the dense placeholder `1.0`.
+    pub fn core_profile(&self) -> &LayerSparsityProfile {
+        &self.core
+    }
+
+    /// The full profile including the ZRE/CSR ratios, computing them on
+    /// first call (thread-safe, at most once).
+    pub fn full_profile(&self) -> &LayerSparsityProfile {
+        self.full
+            .get_or_init(|| self.core.with_value_codecs(&self.weights))
+    }
+
+    /// Whether the lazy value-codec passes have run (diagnostics/tests).
+    pub fn value_codecs_computed(&self) -> bool {
+        self.full.get().is_some()
+    }
+
+    /// The profile `spec`'s evaluation needs: the full profile for machines
+    /// that read value-codec ratios (SCNN), the cheap core profile otherwise.
+    pub fn profile_for(&self, spec: &AcceleratorSpec) -> &LayerSparsityProfile {
+        if spec.needs_value_codec_ratios() {
+            self.full_profile()
+        } else {
+            self.core_profile()
+        }
+    }
+}
+
+impl Clone for LayerAnalysis {
+    fn clone(&self) -> Self {
+        let full = OnceLock::new();
+        if let Some(profile) = self.full.get() {
+            let _ = full.set(*profile);
+        }
+        Self {
+            core: self.core,
+            weights: self.weights.clone(),
+            full,
+        }
+    }
+}
+
+impl PartialEq for LayerAnalysis {
+    /// Equality over the analysis *inputs and eager results* (core profile
+    /// and weights); whether the lazy codecs have been resolved yet is not an
+    /// observable difference.
+    fn eq(&self, other: &Self) -> bool {
+        self.core == other.core && self.weights == other.weights
     }
 }
 
@@ -234,6 +404,74 @@ mod tests {
         assert_eq!(mean_of_chunk_max(&[1, 5, 2, 2], 2), 3.5);
         // Chunk of 1 degenerates to the mean.
         assert_eq!(mean_of_chunk_max(&[1, 5, 2, 2], 1), 2.5);
+    }
+
+    #[test]
+    fn shared_parts_profile_equals_from_weights() {
+        // The single-pass path: stats/groups/BCS extracted once (as the
+        // pipeline's compress stage does) must yield exactly the profile the
+        // monolithic constructor computes on the same tensor.
+        let net = resnet18();
+        for (layer_name, g) in [("layer3.0.conv1", GroupSize::G8), ("fc", GroupSize::G16)] {
+            let layer = net.layer(layer_name).unwrap();
+            let w = generate_layer_sample(layer, 3, 20_000);
+            let act = layer.expected_activation_sparsity();
+            let eager = LayerSparsityProfile::from_weights(&w, act, g).unwrap();
+
+            let groups = bitwave_core::group::extract_groups(&w, g).unwrap();
+            let stats = LayerSparsityStats::from_tensor_and_groups(&w, &groups);
+            let bcs = BcsCodec::new(g, Encoding::SignMagnitude)
+                .compress_groups(groups.iter(), w.data().len());
+            let shared = LayerSparsityProfile::from_shared_parts(
+                &w,
+                act,
+                &stats,
+                &groups,
+                bcs.compression_ratio_with_index(),
+            );
+            // Core fields are bit-identical; value codecs are placeholders...
+            assert_eq!(shared.zre_compression_ratio, 1.0);
+            assert_eq!(shared.csr_compression_ratio, 1.0);
+            // ...until resolved, after which the whole profile matches.
+            assert_eq!(shared.with_value_codecs(&w), eager);
+        }
+    }
+
+    #[test]
+    fn layer_analysis_resolves_value_codecs_lazily_and_once() {
+        use crate::spec::{AcceleratorSpec, BitwaveOptimizations};
+        use bitwave_tensor::handle::WeightHandle;
+        let net = resnet18();
+        let layer = net.layer("layer3.0.conv1").unwrap();
+        let w = generate_layer_sample(layer, 3, 20_000);
+        let act = layer.expected_activation_sparsity();
+        let eager = LayerSparsityProfile::from_weights(&w, act, GroupSize::G8).unwrap();
+
+        let analysis =
+            LayerAnalysis::from_weights(WeightHandle::new(w), act, GroupSize::G8).unwrap();
+        assert!(!analysis.value_codecs_computed());
+
+        // BitWave and the bit-serial machines read the core profile only.
+        let bitwave = AcceleratorSpec::bitwave(BitwaveOptimizations::all());
+        assert!(!bitwave.needs_value_codec_ratios());
+        let core = analysis.profile_for(&bitwave);
+        assert_eq!(core.bcs_compression_ratio, eager.bcs_compression_ratio);
+        assert_eq!(core.zre_compression_ratio, 1.0);
+        assert!(!analysis.value_codecs_computed());
+
+        // SCNN triggers the lazy ZRE/CSR passes; the result matches the
+        // eager constructor exactly.
+        let scnn = AcceleratorSpec::scnn();
+        assert!(scnn.needs_value_codec_ratios());
+        let full = analysis.profile_for(&scnn);
+        assert_eq!(*full, eager);
+        assert!(analysis.value_codecs_computed());
+
+        // Clones preserve equality and the resolved state is carried over.
+        let clone = analysis.clone();
+        assert_eq!(clone, analysis);
+        assert!(clone.value_codecs_computed());
+        assert_eq!(*clone.full_profile(), eager);
     }
 
     #[test]

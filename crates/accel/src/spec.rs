@@ -161,6 +161,16 @@ pub const EQUIVALENT_BIT_PARALLEL_PES: usize = 512;
 pub const BIT_SERIAL_LANES: usize = 4096;
 
 impl AcceleratorSpec {
+    /// True when evaluating this machine reads the value-codec (ZRE/CSR)
+    /// compression ratios of a layer's sparsity profile.  Only the
+    /// ZRE-compressed SotA baseline (SCNN) does; every BitWave configuration
+    /// and the bit-serial baselines run off the eagerly-computed core
+    /// profile, so [`crate::sparsity::LayerAnalysis`] defers the value-codec
+    /// passes until a machine with this flag asks.
+    pub fn needs_value_codec_ratios(&self) -> bool {
+        self.compression == WeightCompression::Zre
+    }
+
     fn common(kind: AcceleratorKind, pe_style: PeStyle, su_set: SuSet) -> Self {
         Self {
             label: kind.name().to_string(),

@@ -76,8 +76,25 @@ impl ExperimentContext {
         weights: &'w NetworkWeights,
         layer: &str,
     ) -> Result<&'w bitwave_tensor::QuantTensor> {
+        Ok(self.layer_weight_handle(spec, weights, layer)?.tensor())
+    }
+
+    /// Looks up one layer's shared weight handle, converting absence into a
+    /// typed error.  Cloning the returned handle shares the tensor with the
+    /// weight set instead of copying it — the way experiment drivers build
+    /// ad-hoc [`crate::pipeline::LayerJob`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitwaveError::MissingLayer`] when the weights lack the layer.
+    pub fn layer_weight_handle<'w>(
+        &self,
+        spec: &NetworkSpec,
+        weights: &'w NetworkWeights,
+        layer: &str,
+    ) -> Result<&'w bitwave_tensor::WeightHandle> {
         weights
-            .layer(layer)
+            .layer_handle(layer)
             .ok_or_else(|| BitwaveError::MissingLayer {
                 network: spec.name.clone(),
                 layer: layer.to_string(),

@@ -91,7 +91,8 @@ pub fn fig04_bcs_representation(ctx: &ExperimentContext) -> Result<Fig04Result> 
     let job = crate::pipeline::LayerJob {
         network: net.name.clone(),
         layer: layer.clone(),
-        weights: ctx.layer_weights(&net, &weights, layer_name)?.clone(),
+        // Shares the generated tensor with the weight set (no deep copy).
+        weights: ctx.layer_weight_handle(&net, &weights, layer_name)?.clone(),
         group_size: GroupSize::Custom(4),
         zero_column_target: 0,
     };
@@ -143,8 +144,8 @@ pub fn fig05_compression_ratio(ctx: &ExperimentContext) -> Result<Vec<Fig05Row>>
     let mut concatenated: Vec<i8> = Vec::new();
     let mut target_jobs = Vec::new();
     for name in &target_layers {
-        let tensor = ctx.layer_weights(&net, &weights, name)?;
-        concatenated.extend_from_slice(tensor.data());
+        let handle = ctx.layer_weight_handle(&net, &weights, name)?;
+        concatenated.extend_from_slice(handle.data());
         let layer = net
             .layer(name)
             .ok_or_else(|| crate::error::BitwaveError::MissingLayer {
@@ -154,7 +155,8 @@ pub fn fig05_compression_ratio(ctx: &ExperimentContext) -> Result<Vec<Fig05Row>>
         target_jobs.push(crate::pipeline::LayerJob {
             network: net.name.clone(),
             layer: layer.clone(),
-            weights: tensor.clone(),
+            // Shares the generated tensor with the weight set (no deep copy).
+            weights: handle.clone(),
             group_size: GroupSize::G16, // overwritten per sweep point below
             zero_column_target: 0,
         });

@@ -7,19 +7,25 @@ use bitwave_core::prelude::FlipStrategy;
 use bitwave_dnn::layer::LayerSpec;
 use bitwave_dnn::models::NetworkSpec;
 use bitwave_dnn::weights::NetworkWeights;
-use bitwave_tensor::QuantTensor;
+use bitwave_tensor::handle::WeightHandle;
 
 /// One layer's worth of pipeline input: the layer specification, its
 /// (synthetic) Int8 weights, and the per-layer knobs sliced out of the
 /// experiment context — group size and Bit-Flip target.
+///
+/// The weights are carried by a shared [`WeightHandle`]: planning a job from
+/// a [`NetworkWeights`] set and cloning the job (as the parallel dispatcher
+/// does, once per rayon task) bump reference counts instead of deep-copying
+/// tensors.  Only the Bit-Flip stage replaces the handle, and then with a
+/// freshly constructed flipped tensor — never with a copy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerJob {
     /// Network the layer belongs to.
     pub network: String,
     /// The layer specification (loop nest, kind, sensitivity).
     pub layer: LayerSpec,
-    /// The layer's Int8 weights.
-    pub weights: QuantTensor,
+    /// Shared handle to the layer's Int8 weights.
+    pub weights: WeightHandle,
     /// BCS group size for compression/statistics.
     pub group_size: GroupSize,
     /// Zero-column target for the Bit-Flip stage (0 = lossless, no flip).
@@ -64,13 +70,12 @@ impl LayerJob {
         spec.layers
             .iter()
             .map(|layer| {
-                let tensor =
-                    weights
-                        .layer(&layer.name)
-                        .ok_or_else(|| BitwaveError::MissingLayer {
-                            network: spec.name.clone(),
-                            layer: layer.name.clone(),
-                        })?;
+                let handle = weights.layer_handle(&layer.name).ok_or_else(|| {
+                    BitwaveError::MissingLayer {
+                        network: spec.name.clone(),
+                        layer: layer.name.clone(),
+                    }
+                })?;
                 // A layer targeted by the strategy is grouped at the
                 // strategy's chosen group size (the hardware configures one
                 // group size per layer); untargeted layers use the context's
@@ -89,7 +94,8 @@ impl LayerJob {
                 Ok(LayerJob {
                     network: spec.name.clone(),
                     layer: layer.clone(),
-                    weights: tensor.clone(),
+                    // Shares the tensor with the weight set — no deep copy.
+                    weights: handle.clone(),
                     group_size,
                     zero_column_target,
                 })
@@ -119,6 +125,26 @@ mod tests {
             assert_eq!(job.network, "ResNet18");
             assert_eq!(job.zero_column_target, 0);
             assert!(job.weight_elements() > 0);
+        }
+    }
+
+    #[test]
+    fn planning_shares_weight_allocations_without_copies() {
+        let ctx = ExperimentContext::default().with_sample_cap(1_000);
+        let net = resnet18();
+        let weights = ctx.weights(&net);
+        let _guard = bitwave_tensor::copy_metrics::exclusive();
+        let counter = bitwave_tensor::copy_metrics::CopyCounter::snapshot();
+        let jobs = LayerJob::plan_with_weights(&ctx, &net, &weights, &FlipStrategy::new()).unwrap();
+        let cloned: Vec<LayerJob> = jobs.clone();
+        assert_eq!(
+            counter.delta(),
+            0,
+            "planning and job cloning must not deep-copy weight tensors"
+        );
+        for job in &cloned {
+            let source = weights.layer_handle(&job.layer.name).unwrap();
+            assert!(job.weights.shares_allocation_with(source));
         }
     }
 

@@ -15,6 +15,25 @@
 //! [`ModelReport`]s: jobs are independent and results are collected in layer
 //! order.
 //!
+//! # Zero-copy, single-analysis execution
+//!
+//! A [`LayerJob`] carries its weights behind a shared
+//! [`bitwave_tensor::handle::WeightHandle`]: planning jobs from a
+//! [`NetworkWeights`] set and cloning jobs for parallel dispatch bump
+//! reference counts instead of deep-copying tensors (`bench_pipeline` gates
+//! on a copy count of **zero** via [`bitwave_tensor::copy_metrics`]).  The
+//! expensive per-tensor analysis happens **once per layer**: the compress
+//! stage extracts the weight groups a single time and derives statistics and
+//! BCS accounting from them, the bit-flip stage reuses those parts to build
+//! the accelerator-facing [`bitwave_accel::LayerAnalysis`], and the ZRE/CSR
+//! value-codec passes that only the SCNN baseline reads stay **lazy** until
+//! a value-sparsity simulation asks for them.
+//!
+//! The refactor that introduced this is pinned by golden snapshots
+//! (`tests/golden/`, byte-compared in `tests/golden_reports.rs`; regenerate
+//! intentionally with `UPDATE_GOLDEN=1 cargo test -q --test golden_reports`)
+//! and by property tests (`tests/pipeline_properties.rs`).
+//!
 //! ```
 //! use bitwave::context::ExperimentContext;
 //! use bitwave::pipeline::Pipeline;
@@ -214,9 +233,10 @@ impl Pipeline {
 
     /// Runs the compress + bit-flip prefix over every layer of `spec` with an
     /// existing weight set, yielding accelerator-independent [`FlippedLayer`]s
-    /// (including each layer's sparsity profile).  Feed the result to
-    /// [`Pipeline::simulate_prepared`] once per accelerator to evaluate many
-    /// machines without re-analysing the same tensors.
+    /// (including each layer's shared sparsity analysis, whose ZRE/CSR codec
+    /// ratios stay lazy).  Feed the result to [`Pipeline::simulate_prepared`]
+    /// once per accelerator to evaluate many machines without re-analysing
+    /// the same tensors.
     ///
     /// # Errors
     ///
@@ -421,6 +441,123 @@ mod tests {
                 flip.compression_after.cr_with_index >= layer.compression.cr_with_index,
                 "{}: flip must not hurt compression",
                 layer.layer
+            );
+        }
+    }
+
+    #[test]
+    fn stage_analysis_matches_monolithic_profile_constructor() {
+        // The single-pass path (groups/stats/BCS extracted once in the
+        // compress stage, reused by the bit-flip stage) must agree exactly
+        // with `LayerSparsityProfile::from_weights` on the final weights —
+        // for both unflipped and flipped layers.
+        use bitwave_accel::LayerSparsityProfile;
+        let context = ctx();
+        let net = resnet18();
+        let weights = context.weights(&net);
+        let pipeline = Pipeline::new(context).with_default_bitflip(&net);
+        let prepared = pipeline.prepare_with_weights(&net, &weights).unwrap();
+        assert!(prepared.iter().any(|l| l.bitflip.is_some()));
+        assert!(prepared.iter().any(|l| l.bitflip.is_none()));
+        for layer in &prepared {
+            assert!(
+                !layer.analysis.value_codecs_computed(),
+                "{}: ZRE/CSR must stay lazy until a SotA simulation asks",
+                layer.job.layer.name
+            );
+            let monolithic = LayerSparsityProfile::from_weights(
+                &layer.job.weights,
+                layer.job.layer.expected_activation_sparsity(),
+                layer.job.group_size,
+            )
+            .unwrap();
+            assert_eq!(*layer.analysis.full_profile(), monolithic);
+        }
+    }
+
+    #[test]
+    fn bitwave_only_runs_never_trigger_value_codec_passes() {
+        // A BitWave (BCS) simulation reads only the core profile; the lazy
+        // ZRE/CSR passes must fire for SCNN and only for SCNN.
+        let context = ctx();
+        let net = resnet18();
+        let weights = context.weights(&net);
+        let pipeline = Pipeline::new(context);
+        let prepared = pipeline.prepare_with_weights(&net, &weights).unwrap();
+        pipeline.simulate_prepared(&net, &prepared).unwrap();
+        assert!(prepared.iter().all(|l| !l.analysis.value_codecs_computed()));
+        let scnn = pipeline
+            .clone()
+            .with_accelerator(AcceleratorSpec::scnn())
+            .simulate_prepared(&net, &prepared)
+            .unwrap();
+        assert!(prepared.iter().all(|l| l.analysis.value_codecs_computed()));
+        assert!(scnn.total_cycles > 0.0);
+    }
+
+    #[test]
+    fn flipped_compression_accounting_matches_a_fresh_compress_stage() {
+        // The bit-flip stage reuses its own encoding/compressor for the
+        // post-flip accounting; the numbers must equal what the compress
+        // stage itself reports on the flipped weights.
+        let context = ctx();
+        let net = resnet18();
+        let strategy = context.default_bitflip_strategy(&net);
+        let pipeline = Pipeline::new(context).with_strategy(strategy);
+        let compress = CompressStage::new(Encoding::SignMagnitude);
+        let flip = BitFlipStage::new(Encoding::SignMagnitude);
+        let mut flipped_seen = 0usize;
+        for job in pipeline.jobs(&net).unwrap() {
+            let flipped = flip.run(compress.run(job).unwrap()).unwrap();
+            let Some(summary) = &flipped.bitflip else {
+                continue;
+            };
+            flipped_seen += 1;
+            // Re-run the compress stage on the flipped job from scratch.
+            let recompressed = compress.run(flipped.job.clone()).unwrap();
+            assert_eq!(summary.compression_after, recompressed.compression);
+            assert_eq!(
+                summary.compression_after.cr_with_index,
+                flipped.analysis.core_profile().bcs_compression_ratio,
+                "analysis must reuse the post-flip BCS accounting"
+            );
+        }
+        assert!(flipped_seen > 0, "strategy must flip some layers");
+    }
+
+    #[test]
+    fn mixed_stage_encodings_still_yield_a_sign_magnitude_profile_ratio() {
+        // A two's-complement compress stage feeding a sign-magnitude
+        // bit-flip stage (or vice versa) must not mislabel the TC summary as
+        // the profile's SM BCS ratio: reuse is keyed on the encoding the
+        // summary was computed under.
+        use bitwave_accel::LayerSparsityProfile;
+        let pipeline = Pipeline::new(ctx());
+        let net = resnet18();
+        let job = pipeline
+            .jobs(&net)
+            .unwrap()
+            .into_iter()
+            .find(|j| j.layer.name == "layer3.0.conv1")
+            .unwrap();
+        let reference = LayerSparsityProfile::from_weights(
+            &job.weights,
+            job.layer.expected_activation_sparsity(),
+            job.group_size,
+        )
+        .unwrap();
+        for (compress_enc, flip_enc) in [
+            (Encoding::TwosComplement, Encoding::SignMagnitude),
+            (Encoding::SignMagnitude, Encoding::TwosComplement),
+            (Encoding::TwosComplement, Encoding::TwosComplement),
+        ] {
+            let compressed = CompressStage::new(compress_enc).run(job.clone()).unwrap();
+            assert_eq!(compressed.encoding, compress_enc);
+            let flipped = BitFlipStage::new(flip_enc).run(compressed).unwrap();
+            assert_eq!(
+                flipped.analysis.core_profile().bcs_compression_ratio,
+                reference.bcs_compression_ratio,
+                "profile BCS ratio must be sign-magnitude for ({compress_enc:?}, {flip_enc:?})"
             );
         }
     }

@@ -6,6 +6,14 @@
 //! and every intermediate is inspectable by experiment drivers that only
 //! need a prefix of the chain (e.g. the Fig. 5 compression sweeps stop after
 //! [`CompressStage`]).
+//!
+//! The chain performs its per-tensor analysis **once**: the compress stage
+//! extracts the weight groups a single time and derives statistics and BCS
+//! accounting from them, then hands the groups forward so the bit-flip stage
+//! can build the accelerator-facing [`bitwave_accel::LayerAnalysis`] without
+//! re-grouping, re-analysing or re-compressing the unflipped tensor.  The
+//! ZRE/CSR value-codec passes — needed only by the SCNN baseline — stay
+//! deferred inside the analysis until a simulation actually reads them.
 
 use crate::error::Result;
 use crate::pipeline::job::LayerJob;
@@ -13,15 +21,15 @@ use crate::pipeline::report::{
     BitFlipSummary, CompressionSummary, LayerReport, MappingSummary, SimulationSummary,
 };
 use bitwave_accel::model::evaluate_layer_with_mapping;
-use bitwave_accel::{AcceleratorSpec, EnergyModel, LayerSparsityProfile};
+use bitwave_accel::{AcceleratorSpec, EnergyModel, LayerAnalysis};
 use bitwave_core::bitflip::flip_tensor;
 use bitwave_core::compress::BcsCodec;
-use bitwave_core::group::{extract_groups, GroupSize};
+use bitwave_core::group::{extract_groups, GroupSize, Groups};
 use bitwave_core::stats::LayerSparsityStats;
 use bitwave_dataflow::mapping::{select_spatial_unrolling, MappingDecision};
 use bitwave_dataflow::MemoryHierarchy;
 use bitwave_tensor::bits::Encoding;
-use bitwave_tensor::QuantTensor;
+use bitwave_tensor::handle::WeightHandle;
 
 /// One typed stage of the pipeline.
 pub trait PipelineStage {
@@ -49,24 +57,57 @@ pub struct CompressStage {
     pub encoding: Encoding,
 }
 
+/// BCS size accounting of **already-extracted** groups under `encoding` —
+/// the single compressor both the compress and bit-flip stages use.
+/// `original_len` is the *unpadded* element count: compression ratios are
+/// measured against the real weight storage, while the stored payload/index
+/// bits still account for the hardware's zero-padded tail groups.
+fn bcs_summary(
+    encoding: Encoding,
+    groups: &Groups,
+    original_len: usize,
+    group_size: GroupSize,
+) -> CompressionSummary {
+    let compressed =
+        BcsCodec::new(group_size, encoding).compress_groups(groups.iter(), original_len);
+    CompressionSummary::from_compressed(&compressed, group_size.len())
+}
+
+/// The sign-magnitude BCS ratio the accelerator profile needs.  When
+/// `summary` was already computed in sign-magnitude (the hardware encoding
+/// and the default), its accounting is reused verbatim; only the
+/// Fig. 4-style two's-complement pipelines pay for a second pass.
+fn sm_bcs_ratio(
+    summary_encoding: Encoding,
+    summary: &CompressionSummary,
+    groups: &Groups,
+    original_len: usize,
+    group_size: GroupSize,
+) -> f64 {
+    if summary_encoding == Encoding::SignMagnitude {
+        summary.cr_with_index
+    } else {
+        BcsCodec::new(group_size, Encoding::SignMagnitude)
+            .compress_groups(groups.iter(), original_len)
+            .compression_ratio_with_index()
+    }
+}
+
 impl CompressStage {
     /// Creates the stage with the given encoding.
     pub fn new(encoding: Encoding) -> Self {
         Self { encoding }
     }
 
-    fn compress(&self, weights: &QuantTensor, group_size: GroupSize) -> Result<CompressionSummary> {
-        let groups = extract_groups(weights, group_size)?;
-        // `original_len` is the *unpadded* element count: compression ratios
-        // are measured against the real weight storage, while the stored
-        // payload/index bits still account for the hardware's zero-padded
-        // tail groups.
-        let compressed = BcsCodec::new(group_size, self.encoding)
-            .compress_groups(groups.iter(), weights.data().len());
-        Ok(CompressionSummary::from_compressed(
-            &compressed,
-            group_size.len(),
-        ))
+    /// BCS size accounting of already-extracted groups under this stage's
+    /// encoding (see [`CompressedLayer::compression`]).
+    pub fn summarize_groups(
+        &self,
+        groups: &Groups,
+        original_len: usize,
+        group_size: GroupSize,
+    ) -> CompressionSummary {
+        bcs_summary(self.encoding, groups, original_len, group_size)
     }
 }
 
@@ -79,6 +120,15 @@ pub struct CompressedLayer {
     pub sparsity: LayerSparsityStats,
     /// Lossless BCS size accounting.
     pub compression: CompressionSummary,
+    /// The encoding [`CompressedLayer::compression`] was computed under; the
+    /// bit-flip stage consults it before reusing the accounting, so mixing
+    /// stage encodings cannot silently mislabel a two's-complement summary
+    /// as the profile's sign-magnitude ratio.
+    pub encoding: Encoding,
+    /// The weight groups extracted (once) by the compress stage; the
+    /// bit-flip stage reuses them to build the accelerator analysis instead
+    /// of re-grouping the tensor.
+    pub groups: Groups,
 }
 
 impl PipelineStage for CompressStage {
@@ -90,12 +140,17 @@ impl PipelineStage for CompressStage {
     }
 
     fn run(&self, job: LayerJob) -> Result<CompressedLayer> {
-        let sparsity = LayerSparsityStats::analyze(&job.weights, job.group_size)?;
-        let compression = self.compress(&job.weights, job.group_size)?;
+        // The single group-extraction pass of the chain: statistics and BCS
+        // accounting both run off `groups`, and the groups travel downstream.
+        let groups = extract_groups(&job.weights, job.group_size)?;
+        let sparsity = LayerSparsityStats::from_tensor_and_groups(&job.weights, &groups);
+        let compression = self.summarize_groups(&groups, job.weights.data().len(), job.group_size);
         Ok(CompressedLayer {
             job,
             sparsity,
             compression,
+            encoding: self.encoding,
+            groups,
         })
     }
 }
@@ -127,10 +182,12 @@ pub struct FlippedLayer {
     pub compression: CompressionSummary,
     /// Flip outcome, `None` when the target was 0.
     pub bitflip: Option<BitFlipSummary>,
-    /// Sparsity profile of the *final* (possibly flipped) weights, computed
-    /// once here so the simulate stage can be re-run for many accelerators
-    /// without re-analysing the same tensor.
-    pub profile: LayerSparsityProfile,
+    /// Shared sparsity analysis of the *final* (possibly flipped) weights,
+    /// built once from the stages' own group extraction so the simulate
+    /// stage can be re-run for many accelerators without re-analysing the
+    /// same tensor; its ZRE/CSR value-codec ratios stay lazy until a
+    /// value-sparsity baseline reads them.
+    pub analysis: LayerAnalysis,
 }
 
 impl PipelineStage for BitFlipStage {
@@ -146,9 +203,30 @@ impl PipelineStage for BitFlipStage {
             mut job,
             sparsity,
             compression,
+            encoding: compression_encoding,
+            groups,
         } = input;
-        let bitflip = if job.zero_column_target == 0 {
-            None
+        let act = job.layer.expected_activation_sparsity();
+        let (bitflip, analysis) = if job.zero_column_target == 0 {
+            // Unflipped path: everything the analysis needs — statistics,
+            // groups, BCS accounting — was already computed by the compress
+            // stage, so nothing is re-derived here.  Reuse is keyed on the
+            // encoding *that summary* was computed under, not this stage's.
+            let bcs_ratio = sm_bcs_ratio(
+                compression_encoding,
+                &compression,
+                &groups,
+                job.weights.data().len(),
+                job.group_size,
+            );
+            let analysis = LayerAnalysis::from_shared_parts(
+                job.weights.clone(),
+                act,
+                &sparsity,
+                &groups,
+                bcs_ratio,
+            );
+            (None, analysis)
         } else {
             let (flipped, stats) = flip_tensor(
                 &job.weights,
@@ -156,29 +234,52 @@ impl PipelineStage for BitFlipStage {
                 job.zero_column_target,
                 self.encoding,
             )?;
-            let compression_after =
-                CompressStage::new(self.encoding).compress(&flipped, job.group_size)?;
-            job.weights = flipped;
-            Some(BitFlipSummary {
-                zero_column_target: job.zero_column_target,
-                groups: stats.groups,
-                groups_modified: stats.groups_modified,
-                rms_perturbation: stats.rms_perturbation,
-                mean_zero_columns: stats.mean_zero_columns,
-                compression_after,
-            })
+            // One group extraction of the flipped tensor feeds the post-flip
+            // accounting (under this stage's own encoding — no throwaway
+            // compress stage), statistics and accelerator analysis alike.
+            let flipped_groups = extract_groups(&flipped, job.group_size)?;
+            let compression_after = bcs_summary(
+                self.encoding,
+                &flipped_groups,
+                flipped.data().len(),
+                job.group_size,
+            );
+            let flipped_stats =
+                LayerSparsityStats::from_tensor_and_groups(&flipped, &flipped_groups);
+            let bcs_ratio = sm_bcs_ratio(
+                self.encoding,
+                &compression_after,
+                &flipped_groups,
+                flipped.data().len(),
+                job.group_size,
+            );
+            let handle = WeightHandle::new(flipped);
+            job.weights = handle.clone();
+            let analysis = LayerAnalysis::from_shared_parts(
+                handle,
+                act,
+                &flipped_stats,
+                &flipped_groups,
+                bcs_ratio,
+            );
+            (
+                Some(BitFlipSummary {
+                    zero_column_target: job.zero_column_target,
+                    groups: stats.groups,
+                    groups_modified: stats.groups_modified,
+                    rms_perturbation: stats.rms_perturbation,
+                    mean_zero_columns: stats.mean_zero_columns,
+                    compression_after,
+                }),
+                analysis,
+            )
         };
-        let profile = LayerSparsityProfile::from_weights(
-            &job.weights,
-            job.layer.expected_activation_sparsity(),
-            job.group_size,
-        )?;
         Ok(FlippedLayer {
             job,
             sparsity,
             compression,
             bitflip,
-            profile,
+            analysis,
         })
     }
 }
@@ -214,8 +315,9 @@ pub struct MappedLayer {
     pub compression: CompressionSummary,
     /// Flip outcome, `None` when the target was 0.
     pub bitflip: Option<BitFlipSummary>,
-    /// Sparsity profile of the final weights (from the bit-flip stage).
-    pub profile: LayerSparsityProfile,
+    /// Shared sparsity analysis of the final weights (from the bit-flip
+    /// stage).
+    pub analysis: LayerAnalysis,
     /// The full mapping decision, consumed by the simulate stage.
     pub decision: MappingDecision,
 }
@@ -235,7 +337,7 @@ impl PipelineStage for MapStage {
             sparsity: input.sparsity,
             compression: input.compression,
             bitflip: input.bitflip,
-            profile: input.profile,
+            analysis: input.analysis,
             decision,
         })
     }
@@ -265,14 +367,16 @@ impl SimulateStage {
 
     /// Evaluates a prepared layer under a mapping decision **by reference** —
     /// neither stage reads the weight tensor, so multi-accelerator sweeps can
-    /// share one prepared layer set without cloning tensors.
+    /// share one prepared layer set without cloning tensors.  The profile is
+    /// picked per accelerator: only value-sparsity machines (SCNN) trigger
+    /// the analysis' lazy ZRE/CSR passes.
     pub fn evaluate(&self, input: &FlippedLayer, decision: &MappingDecision) -> LayerReport {
         let job = &input.job;
         let result = evaluate_layer_with_mapping(
             &self.accelerator,
             &job.layer,
             decision,
-            &input.profile,
+            input.analysis.profile_for(&self.accelerator),
             &self.memory,
             &self.energy,
         );
@@ -315,7 +419,7 @@ impl PipelineStage for SimulateStage {
             sparsity,
             compression,
             bitflip,
-            profile,
+            analysis,
             decision,
         } = input;
         let view = FlippedLayer {
@@ -323,7 +427,7 @@ impl PipelineStage for SimulateStage {
             sparsity,
             compression,
             bitflip,
-            profile,
+            analysis,
         };
         Ok(self.evaluate(&view, &decision))
     }

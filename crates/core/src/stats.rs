@@ -48,6 +48,17 @@ impl LayerSparsityStats {
     /// Returns [`CoreError::UnsupportedRank`] for tensors that cannot be
     /// grouped along an input-channel axis.
     pub fn analyze(tensor: &QuantTensor, group_size: GroupSize) -> Result<Self, CoreError> {
+        let groups = extract_groups(tensor, group_size)?;
+        Ok(Self::from_tensor_and_groups(tensor, &groups))
+    }
+
+    /// Analyses a weight tensor whose groups were **already extracted** —
+    /// the single-pass path used by the pipeline, where one
+    /// [`extract_groups`] call feeds statistics, BCS compression and the
+    /// accelerator sparsity profile alike.  `groups` must come from
+    /// [`extract_groups`] on the same tensor; the result is identical to
+    /// [`LayerSparsityStats::analyze`].
+    pub fn from_tensor_and_groups(tensor: &QuantTensor, groups: &crate::group::Groups) -> Self {
         let data = tensor.data();
         let num_weights = data.len();
         let zeros = data.iter().filter(|&&v| v == 0).count();
@@ -59,21 +70,20 @@ impl LayerSparsityStats {
         let bit_sparsity_twos_complement = 1.0 - sm::bit_density_twos_complement(data);
         let bit_sparsity_sign_magnitude = 1.0 - sm::bit_density_sign_magnitude(data);
 
-        let groups = extract_groups(tensor, group_size)?;
         let column_sparsity_twos_complement =
             column_sparsity_of_groups(groups.iter(), Encoding::TwosComplement);
         let column_sparsity_sign_magnitude =
             column_sparsity_of_groups(groups.iter(), Encoding::SignMagnitude);
 
-        Ok(Self {
+        Self {
             num_weights,
             value_sparsity,
             bit_sparsity_twos_complement,
             bit_sparsity_sign_magnitude,
             column_sparsity_twos_complement,
             column_sparsity_sign_magnitude,
-            group_size: group_size.len(),
-        })
+            group_size: groups.group_size(),
+        }
     }
 
     /// Sparsity ratio `SR = bit sparsity / value sparsity` (two's complement),

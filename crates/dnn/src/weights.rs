@@ -86,10 +86,16 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// The full set of (synthetic) Int8 weights of one network.
+///
+/// Each layer's tensor is held behind a shared [`WeightHandle`], so cloning a
+/// weight set — and planning pipeline jobs from it — bumps reference counts
+/// instead of deep-copying tensors.  Transformations that leave a layer
+/// untouched ([`NetworkWeights::apply_flip_strategy`],
+/// [`NetworkWeights::apply_ptq`]) share the original handle for that layer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkWeights {
     network: String,
-    layers: BTreeMap<String, QuantTensor>,
+    layers: BTreeMap<String, WeightHandle>,
 }
 
 impl NetworkWeights {
@@ -112,7 +118,12 @@ impl NetworkWeights {
         let layers = spec
             .layers
             .iter()
-            .map(|l| (l.name.clone(), generate_layer_sample(l, seed, cap)))
+            .map(|l| {
+                (
+                    l.name.clone(),
+                    WeightHandle::new(generate_layer_sample(l, seed, cap)),
+                )
+            })
             .collect();
         Self {
             network: spec.name.clone(),
@@ -127,12 +138,19 @@ impl NetworkWeights {
 
     /// The weight tensor of a layer, if present.
     pub fn layer(&self, name: &str) -> Option<&QuantTensor> {
+        self.layers.get(name).map(WeightHandle::tensor)
+    }
+
+    /// The shared handle of a layer's weights, if present.  Cloning the
+    /// returned handle shares the tensor instead of copying it — the
+    /// zero-copy path pipeline job planning uses.
+    pub fn layer_handle(&self, name: &str) -> Option<&WeightHandle> {
         self.layers.get(name)
     }
 
     /// Iterates over `(layer name, weights)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &QuantTensor)> {
-        self.layers.iter().map(|(k, v)| (k.as_str(), v))
+        self.layers.iter().map(|(k, v)| (k.as_str(), v.tensor()))
     }
 
     /// Number of layers with weights.
@@ -175,12 +193,13 @@ impl NetworkWeights {
         let layers = self
             .layers
             .iter()
-            .map(|(name, tensor)| {
+            .map(|(name, handle)| {
                 let flipped = match strategy.best_for_layer(name) {
-                    Some((group_size, zero_columns)) if zero_columns > 0 => {
-                        flip_tensor(tensor, group_size, zero_columns, Encoding::SignMagnitude)?.0
-                    }
-                    _ => tensor.clone(),
+                    Some((group_size, zero_columns)) if zero_columns > 0 => WeightHandle::new(
+                        flip_tensor(handle, group_size, zero_columns, Encoding::SignMagnitude)?.0,
+                    ),
+                    // Untouched layers share the original tensor (no copy).
+                    _ => handle.clone(),
                 };
                 Ok((name.clone(), flipped))
             })
@@ -198,15 +217,16 @@ impl NetworkWeights {
         let layers = self
             .layers
             .iter()
-            .map(|(name, tensor)| {
+            .map(|(name, handle)| {
                 let selected = layer_filter.is_none_or(|f| f.iter().any(|l| l == name));
-                let new_tensor = if selected {
-                    let reduced = requantize_to_bits(tensor, bits).expect("bits validated");
-                    bitwave_tensor::quant::expand_to_int8_grid(&reduced)
+                let new_handle = if selected {
+                    let reduced = requantize_to_bits(handle, bits).expect("bits validated");
+                    WeightHandle::new(bitwave_tensor::quant::expand_to_int8_grid(&reduced))
                 } else {
-                    tensor.clone()
+                    // Unselected layers share the original tensor (no copy).
+                    handle.clone()
                 };
-                (name.clone(), new_tensor)
+                (name.clone(), new_handle)
             })
             .collect();
         NetworkWeights {
@@ -309,6 +329,35 @@ mod tests {
         for g in groups.iter() {
             assert!(zero_column_count(g, Encoding::SignMagnitude) >= 5);
         }
+    }
+
+    #[test]
+    fn untouched_layers_share_allocations_without_deep_copies() {
+        let spec = resnet18();
+        let weights = NetworkWeights::generate_sampled(&spec, 3, 5_000);
+        let mut strategy = FlipStrategy::new();
+        strategy.set("fc", GroupSize::G16, 5);
+
+        let _guard = bitwave_tensor::copy_metrics::exclusive();
+        let counter = bitwave_tensor::copy_metrics::CopyCounter::snapshot();
+        let flipped = weights.apply_flip_strategy(&strategy).unwrap();
+        let ptq = weights.apply_ptq(3, Some(&["fc".to_string()]));
+        let cloned = weights.clone();
+        assert_eq!(
+            counter.delta(),
+            0,
+            "flip/PTQ/clone must not deep-copy untouched tensors"
+        );
+
+        // Untouched layers are the *same allocation*, not merely equal.
+        let original = weights.layer_handle("conv1").unwrap();
+        assert!(original.shares_allocation_with(flipped.layer_handle("conv1").unwrap()));
+        assert!(original.shares_allocation_with(ptq.layer_handle("conv1").unwrap()));
+        assert!(original.shares_allocation_with(cloned.layer_handle("conv1").unwrap()));
+        // Transformed layers get fresh tensors.
+        let fc = weights.layer_handle("fc").unwrap();
+        assert!(!fc.shares_allocation_with(flipped.layer_handle("fc").unwrap()));
+        assert!(!fc.shares_allocation_with(ptq.layer_handle("fc").unwrap()));
     }
 
     #[test]

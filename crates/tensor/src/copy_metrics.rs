@@ -1,0 +1,80 @@
+//! Process-wide deep-copy accounting for quantised weight tensors.
+//!
+//! Every `QuantTensor::clone()` — the only way a weight payload is duplicated
+//! wholesale — bumps a global counter.  Benches and tests snapshot the counter
+//! around a code path to assert its copy behaviour; `bench_pipeline` gates on
+//! **zero** deep copies during pipeline job planning and parallel dispatch.
+//!
+//! Constructing fresh tensors (weight generation, Bit-Flip reassembly, PTQ
+//! re-quantisation) is *not* counted: those allocate genuinely new data and
+//! are the analysis work itself, not avoidable duplication.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+static DEEP_COPIES: AtomicU64 = AtomicU64::new(0);
+
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+/// Serialises tests/benches that assert **exact** counter deltas.
+///
+/// The counter is process-global, and `cargo test` runs a binary's tests on
+/// parallel threads: without mutual exclusion, a counted clone in one test
+/// can land between another test's snapshot and its assertion.  Hold the
+/// returned guard for the whole snapshot→assert window.
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    EXCLUSIVE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Total number of `QuantTensor` deep copies performed by this process.
+pub fn deep_copies() -> u64 {
+    DEEP_COPIES.load(Ordering::Relaxed)
+}
+
+/// Records one deep copy (called from `QuantTensor::clone`).
+pub(crate) fn record_deep_copy() {
+    DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the copy counter; [`CopyCounter::delta`] reports how many deep
+/// copies happened since the snapshot was taken.
+#[derive(Debug, Clone, Copy)]
+pub struct CopyCounter {
+    at: u64,
+}
+
+impl CopyCounter {
+    /// Takes a snapshot of the current counter.
+    pub fn snapshot() -> Self {
+        Self { at: deep_copies() }
+    }
+
+    /// Deep copies performed since this snapshot.
+    pub fn delta(&self) -> u64 {
+        deep_copies() - self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::QuantParams;
+    use crate::shape::Shape;
+    use crate::tensor::QuantTensor;
+
+    #[test]
+    fn clone_is_counted_and_construction_is_not() {
+        let _guard = exclusive();
+        let counter = CopyCounter::snapshot();
+        let t = QuantTensor::new(Shape::d1(8), vec![1i8; 8], QuantParams::unit()).unwrap();
+        let z = QuantTensor::zeros(Shape::d1(8));
+        assert_eq!(counter.delta(), 0, "construction must not count");
+        let _c = t.clone();
+        assert_eq!(counter.delta(), 1);
+        let _c2 = z.clone();
+        let _c3 = t.clone();
+        assert_eq!(counter.delta(), 3);
+    }
+}

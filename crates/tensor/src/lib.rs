@@ -22,6 +22,10 @@
 //!   substitution rationale).
 //! * [`metrics`] — RMS error, SQNR and cosine similarity used by the accuracy
 //!   proxy in `bitwave-dnn`.
+//! * [`handle::WeightHandle`] — `Arc`-backed shared weight handles, the
+//!   zero-copy ownership model of the pipeline; paired with
+//!   [`copy_metrics`], which counts every `QuantTensor` deep copy so benches
+//!   can gate on copy-free hot paths.
 //!
 //! # Example
 //!
@@ -45,7 +49,9 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod copy_metrics;
 pub mod error;
+pub mod handle;
 pub mod metrics;
 pub mod quant;
 pub mod shape;
@@ -54,6 +60,7 @@ pub mod synth;
 pub mod tensor;
 
 pub use error::TensorError;
+pub use handle::WeightHandle;
 pub use quant::{quantize_per_channel, quantize_per_tensor, QuantParams};
 pub use shape::Shape;
 pub use tensor::{FloatTensor, QuantTensor};
@@ -62,6 +69,7 @@ pub use tensor::{FloatTensor, QuantTensor};
 pub mod prelude {
     pub use crate::bits::{bit, bit_columns, magnitude_bits, MAGNITUDE_BITS, WORD_BITS};
     pub use crate::error::TensorError;
+    pub use crate::handle::WeightHandle;
     pub use crate::metrics::{cosine_similarity, rms_error, sqnr_db};
     pub use crate::quant::{
         dequantize, quantize_per_channel, quantize_per_tensor, requantize_to_bits, QuantParams,

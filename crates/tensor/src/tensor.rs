@@ -98,11 +98,26 @@ impl FloatTensor {
 /// `real ≈ scale * (q - zero_point)`.  The BitWave paper uses symmetric
 /// per-tensor quantisation for weights (zero_point = 0), which is also what
 /// [`crate::quant::quantize_per_tensor`] produces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Cloning duplicates the whole Int8 payload and is therefore **counted** in
+/// [`crate::copy_metrics`]; share read-only weights through a
+/// [`crate::handle::WeightHandle`] instead of cloning.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct QuantTensor {
     shape: Shape,
     data: Vec<i8>,
     params: QuantParams,
+}
+
+impl Clone for QuantTensor {
+    fn clone(&self) -> Self {
+        crate::copy_metrics::record_deep_copy();
+        Self {
+            shape: self.shape,
+            data: self.data.clone(),
+            params: self.params,
+        }
+    }
 }
 
 impl QuantTensor {

@@ -1,0 +1,138 @@
+//! Golden-report snapshot tests.
+//!
+//! One fixed synthetic network is run through the full pipeline for every
+//! codec/accelerator combination the evaluation exercises (no compression,
+//! BCS with Bit-Flip, ZRE, and both bit-serial baselines), and the resulting
+//! [`ModelReport`] JSON is compared **byte for byte** against the snapshots
+//! under `tests/golden/`.  These snapshots were captured before the
+//! zero-copy/single-pass pipeline refactor, so they pin the refactor to
+//! bit-identical numerical output.
+//!
+//! # Updating the snapshots
+//!
+//! When an *intentional* model change alters the reports, regenerate the
+//! snapshots and commit the diff:
+//!
+//! ```bash
+//! UPDATE_GOLDEN=1 cargo test -q --test golden_reports
+//! ```
+//!
+//! Never set `UPDATE_GOLDEN` to make an unexplained mismatch go away: a
+//! mismatch means the pipeline's numerical behaviour changed.
+
+use bitwave::accel::spec::{AcceleratorSpec, BitwaveOptimizations};
+use bitwave::context::ExperimentContext;
+use bitwave::dnn::layer::LayerSpec;
+use bitwave::dnn::models::{NetworkSpec, TaskKind};
+use bitwave::pipeline::Pipeline;
+use std::fs;
+use std::path::PathBuf;
+
+/// A small fixed network covering all weight-tensor ranks the grouping
+/// supports (4-D conv, 1×1 conv, 2-D linear) with both sensitive and
+/// insensitive layers, so the default Bit-Flip strategy targets a strict
+/// subset of the layers.
+fn golden_network() -> NetworkSpec {
+    NetworkSpec {
+        name: "GoldenNet".to_string(),
+        task: TaskKind::Classification,
+        baseline_quality: 71.0,
+        layers: vec![
+            LayerSpec::conv2d("stem", 3, 16, 3, 1, 1, 16, 0.9),
+            LayerSpec::conv2d("mid", 16, 32, 3, 2, 1, 16, 0.3),
+            LayerSpec::pointwise("proj", 32, 64, 8, 0.2),
+            LayerSpec::linear("head", 1024, 10, 1, 0.5),
+        ],
+    }
+}
+
+fn golden_context() -> ExperimentContext {
+    ExperimentContext::default()
+        .with_sample_cap(4_000)
+        .with_seed(7)
+}
+
+/// `(file slug, accelerator, apply the default Bit-Flip strategy)` — one case
+/// per codec/accelerator combination.
+fn golden_cases() -> Vec<(&'static str, AcceleratorSpec, bool)> {
+    vec![
+        ("dense", AcceleratorSpec::dense(), false),
+        (
+            "bitwave_bcs_lossless",
+            AcceleratorSpec::bitwave(BitwaveOptimizations::all()),
+            false,
+        ),
+        (
+            "bitwave_bcs_bitflip",
+            AcceleratorSpec::bitwave(BitwaveOptimizations::all()),
+            true,
+        ),
+        ("scnn_zre", AcceleratorSpec::scnn(), false),
+        ("pragmatic", AcceleratorSpec::pragmatic(), false),
+        ("bitlet", AcceleratorSpec::bitlet(), false),
+    ]
+}
+
+fn golden_path(slug: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{slug}.json"))
+}
+
+#[test]
+fn model_reports_match_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let net = golden_network();
+    for (slug, accelerator, bitflip) in golden_cases() {
+        let mut pipeline = Pipeline::new(golden_context()).with_accelerator(accelerator);
+        if bitflip {
+            pipeline = pipeline.with_default_bitflip(&net);
+        }
+        let report = pipeline.run_model(&net).expect("golden run succeeds");
+        let json = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
+        let path = golden_path(slug);
+        if update {
+            fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+            fs::write(&path, &json).expect("write golden snapshot");
+            continue;
+        }
+        let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {} ({e}); run `UPDATE_GOLDEN=1 cargo test -q --test \
+                 golden_reports` to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            json, golden,
+            "ModelReport for `{slug}` diverged from its golden snapshot; if the change is \
+             intentional, regenerate with `UPDATE_GOLDEN=1 cargo test -q --test golden_reports`"
+        );
+    }
+}
+
+#[test]
+fn golden_cases_cover_every_codec_and_pe_style() {
+    use bitwave::accel::spec::{PeStyle, WeightCompression};
+    let cases = golden_cases();
+    for compression in [
+        WeightCompression::None,
+        WeightCompression::Zre,
+        WeightCompression::Bcs,
+    ] {
+        assert!(
+            cases.iter().any(|(_, a, _)| a.compression == compression),
+            "no golden case covers {compression:?}"
+        );
+    }
+    for style in [
+        PeStyle::BitParallel,
+        PeStyle::BitSerial,
+        PeStyle::BitColumnSerial,
+    ] {
+        assert!(
+            cases.iter().any(|(_, a, _)| a.pe_style == style),
+            "no golden case covers {style:?}"
+        );
+    }
+}
