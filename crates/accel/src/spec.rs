@@ -153,6 +153,26 @@ pub struct AcceleratorSpec {
     pub bitwave_opts: BitwaveOptimizations,
 }
 
+/// An accelerator name that [`AcceleratorSpec::by_name`] could not resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAcceleratorError {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownAcceleratorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown accelerator `{}` (known accelerators: {})",
+            self.name,
+            AcceleratorSpec::REGISTRY_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownAcceleratorError {}
+
 /// Peak equivalent 8b×8b MAC throughput shared by every modelled accelerator
 /// (512 PEs, Section IV-C).
 pub const EQUIVALENT_BIT_PARALLEL_PES: usize = 512;
@@ -317,6 +337,57 @@ impl AcceleratorSpec {
         spec
     }
 
+    /// Canonical registry names resolvable by [`AcceleratorSpec::by_name`],
+    /// in the order `GET /v1/accelerators` lists them: the six comparison
+    /// machines plus the three incremental BitWave ablation steps.
+    pub const REGISTRY_NAMES: [&'static str; 9] = [
+        "dense",
+        "huaa",
+        "stripes",
+        "pragmatic",
+        "scnn",
+        "bitlet",
+        "bitwave",
+        "bitwave-df",
+        "bitwave-df-sm",
+    ];
+
+    /// Looks an accelerator configuration up by its canonical registry name.
+    ///
+    /// Matching is case-insensitive and treats `_`, `+` and `-` as
+    /// equivalent, so `BitWave+DF+SM`, `bitwave-df-sm` and `bitwave_df_sm`
+    /// all resolve.  `bitwave` is the fully optimised configuration
+    /// (`BitWave+DF+SM+BF`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownAcceleratorError`] (listing the known names) when
+    /// the name does not resolve.
+    pub fn by_name(name: &str) -> Result<AcceleratorSpec, UnknownAcceleratorError> {
+        let canonical: String = name
+            .trim()
+            .chars()
+            .map(|c| match c {
+                '_' | '+' => '-',
+                c => c.to_ascii_lowercase(),
+            })
+            .collect();
+        match canonical.as_str() {
+            "dense" => Ok(Self::dense()),
+            "huaa" => Ok(Self::huaa()),
+            "stripes" => Ok(Self::stripes()),
+            "pragmatic" => Ok(Self::pragmatic()),
+            "scnn" => Ok(Self::scnn()),
+            "bitlet" => Ok(Self::bitlet()),
+            "bitwave" | "bitwave-df-sm-bf" => Ok(Self::bitwave(BitwaveOptimizations::all())),
+            "bitwave-df" => Ok(Self::bitwave(BitwaveOptimizations::dataflow_only())),
+            "bitwave-df-sm" => Ok(Self::bitwave(BitwaveOptimizations::dataflow_sm())),
+            _ => Err(UnknownAcceleratorError {
+                name: name.to_string(),
+            }),
+        }
+    }
+
     /// The full comparison set of Fig. 14/15/17, in plotting order.
     pub fn sota_comparison_set() -> Vec<AcceleratorSpec> {
         vec![
@@ -425,6 +496,41 @@ mod tests {
             names,
             vec!["SCNN", "Stripes", "Pragmatic", "Bitlet", "HUAA", "BitWave"]
         );
+    }
+
+    #[test]
+    fn registry_resolves_every_canonical_name() {
+        for name in AcceleratorSpec::REGISTRY_NAMES {
+            assert!(
+                AcceleratorSpec::by_name(name).is_ok(),
+                "registry must resolve `{name}`"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_normalises_separators_and_case() {
+        assert_eq!(
+            AcceleratorSpec::by_name("BitWave+DF+SM").unwrap().label,
+            "BitWave+DF+SM"
+        );
+        assert_eq!(
+            AcceleratorSpec::by_name("bitwave_df").unwrap().label,
+            "BitWave+DF"
+        );
+        assert_eq!(
+            AcceleratorSpec::by_name("bitwave").unwrap().label,
+            "BitWave+DF+SM+BF"
+        );
+        assert_eq!(AcceleratorSpec::by_name("SCNN").unwrap().label, "SCNN");
+    }
+
+    #[test]
+    fn registry_rejects_unknown_names_with_the_known_list() {
+        let err = AcceleratorSpec::by_name("eyeriss").unwrap_err();
+        assert_eq!(err.name, "eyeriss");
+        let msg = err.to_string();
+        assert!(msg.contains("eyeriss") && msg.contains("bitwave-df-sm"));
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Load harness for the `bitwave-serve` evaluation service: N client
+//! threads hammer an in-process server over real sockets.
+//!
+//! Two invariants are **asserted** (not just timed) before the criterion
+//! loops, so `cargo bench --bench bench_serve` doubles as the CI gate:
+//!
+//! 1. serving K concurrent evaluations of one model performs **zero**
+//!    weight-tensor deep copies beyond the cold run (the shared
+//!    `Arc<NetworkWeights>` store + `WeightHandle` planning path);
+//! 2. cache-hit request throughput is ≥ 10× cold-path request throughput —
+//!    replaying stored bytes must be an order of magnitude cheaper than
+//!    running the pipeline.
+
+use bitwave_bench::print_header;
+use bitwave_serve::client::Client;
+use bitwave_serve::server::{start, ServeConfig, ServerHandle};
+use bitwave_tensor::copy_metrics::CopyCounter;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SAMPLE_CAP: usize = 1_500;
+const CLIENT_THREADS: usize = 4;
+
+fn bench_server() -> ServerHandle {
+    start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    })
+    .expect("bench server starts")
+}
+
+fn evaluate_body(seed: u64) -> String {
+    format!(
+        r#"{{"model":"resnet18","accelerator":"bitwave","sample_cap":{SAMPLE_CAP},"seed":{seed}}}"#
+    )
+}
+
+/// Gate 1: K concurrent evaluations of one model — distinct accelerators,
+/// one shared weight set — must deep-copy **zero** tensors beyond the cold
+/// run that populated the store.
+fn assert_zero_copy_concurrent_serving(handle: &ServerHandle) {
+    print_header(
+        "serve_zero_copy",
+        "K concurrent evaluations of one model share weights (copy-count gate)",
+    );
+    let addr = handle.local_addr();
+    // Cold run generates the weight set for (resnet18, seed 1, cap).
+    let mut client = Client::new(addr);
+    let cold = client
+        .post_json("/v1/evaluate", &evaluate_body(1))
+        .expect("cold evaluate");
+    assert_eq!(cold.status, 200, "cold run: {:?}", cold.text());
+
+    let counter = CopyCounter::snapshot();
+    let accelerators = ["dense", "scnn", "stripes", "pragmatic", "bitlet", "huaa"];
+    let threads: Vec<_> = accelerators
+        .into_iter()
+        .map(|accelerator| {
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                let body = format!(
+                    r#"{{"model":"resnet18","accelerator":"{accelerator}","sample_cap":{SAMPLE_CAP},"seed":1}}"#
+                );
+                let response = client.post_json("/v1/evaluate", &body).expect("evaluate");
+                assert_eq!(response.status, 200, "{accelerator}: {:?}", response.text());
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("client thread");
+    }
+    let copies = counter.delta();
+    println!(
+        "concurrent evaluations: {}   weight generations: {}   tensor deep copies: {copies}",
+        accelerators.len(),
+        handle.state().store.generations(),
+    );
+    assert_eq!(
+        handle.state().store.generations(),
+        1,
+        "all accelerator evaluations must share the one generated weight set"
+    );
+    assert_eq!(
+        copies, 0,
+        "serving concurrent evaluations must not deep-copy weight tensors"
+    );
+}
+
+/// Requests-per-second of `n_requests` POSTs spread over [`CLIENT_THREADS`]
+/// keep-alive clients, each thread issuing its share sequentially.
+fn measure_rps(addr: std::net::SocketAddr, bodies: &[String]) -> f64 {
+    let bodies = Arc::new(bodies.to_vec());
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..CLIENT_THREADS)
+        .map(|t| {
+            let bodies = Arc::clone(&bodies);
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                for body in bodies.iter().skip(t).step_by(CLIENT_THREADS) {
+                    let response = client.post_json("/v1/evaluate", body).expect("evaluate");
+                    assert_eq!(response.status, 200, "{body}: {:?}", response.text());
+                    black_box(response.body.len());
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("load thread");
+    }
+    bodies.len() as f64 / t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE)
+}
+
+/// Gate 2: cache-hit throughput ≥ 10× cold-path throughput.
+fn assert_hit_throughput_gate(handle: &ServerHandle) {
+    const TARGET: f64 = 10.0;
+    print_header(
+        "serve_throughput",
+        "cache-hit vs cold-path request throughput (>=10x gate)",
+    );
+    let addr = handle.local_addr();
+
+    // Cold path: 8 never-seen digests (distinct seeds → fresh weights +
+    // fresh pipeline runs), hammered by the client pool.
+    let cold_bodies: Vec<String> = (100..108).map(evaluate_body).collect();
+    let cold_rps = measure_rps(addr, &cold_bodies);
+
+    // Hit path: the same 8 digests again, many times over — every request
+    // replays stored bytes.
+    let hit_bodies: Vec<String> = (0..400)
+        .map(|i| evaluate_body(100 + (i % 8) as u64))
+        .collect();
+    let hit_rps = measure_rps(addr, &hit_bodies);
+
+    let ratio = hit_rps / cold_rps.max(f64::MIN_POSITIVE);
+    let stats = handle.state().cache.stats();
+    println!(
+        "cold: {cold_rps:.1} req/s   hits: {hit_rps:.1} req/s   ratio: {ratio:.1}x   \
+         (target: >={TARGET}x; cache hits {} misses {})",
+        stats.hits(),
+        stats.misses(),
+    );
+    assert!(
+        stats.hits() >= 400,
+        "hit phase must actually hit the cache (hits: {})",
+        stats.hits()
+    );
+    assert!(
+        ratio >= TARGET,
+        "cache-hit throughput {hit_rps:.1} req/s is below {TARGET}x the cold path ({cold_rps:.1} req/s)"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let handle = bench_server();
+    assert_zero_copy_concurrent_serving(&handle);
+    assert_hit_throughput_gate(&handle);
+
+    // Steady-state criterion loops over the warm server.
+    let addr = handle.local_addr();
+    let mut client = Client::new(addr);
+    let warm_body = evaluate_body(100);
+    c.bench_function("serve/evaluate_cache_hit", |b| {
+        b.iter(|| {
+            let response = client
+                .post_json("/v1/evaluate", black_box(&warm_body))
+                .expect("hit");
+            assert_eq!(response.status, 200);
+            black_box(response.body.len())
+        })
+    });
+    let digest = client
+        .post_json("/v1/evaluate", &warm_body)
+        .expect("warm")
+        .header("x-bitwave-digest")
+        .expect("digest header")
+        .to_string();
+    let report_path = format!("/v1/reports/{digest}");
+    c.bench_function("serve/report_replay", |b| {
+        b.iter(|| {
+            let response = client.get(black_box(&report_path)).expect("replay");
+            assert_eq!(response.status, 200);
+            black_box(response.body.len())
+        })
+    });
+    c.bench_function("serve/healthz", |b| {
+        b.iter(|| {
+            let response = client.get(black_box("/healthz")).expect("healthz");
+            assert_eq!(response.status, 200);
+            black_box(response.body.len())
+        })
+    });
+
+    drop(client);
+    handle.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

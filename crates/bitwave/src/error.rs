@@ -43,6 +43,23 @@ pub enum BitwaveError {
         /// The offending network name.
         network: String,
     },
+    /// A model name did not resolve against the
+    /// [`bitwave_dnn::models::by_name`] registry.
+    UnknownModel(
+        /// The propagated registry error (carries the known names).
+        bitwave_dnn::models::UnknownModelError,
+    ),
+    /// An accelerator name did not resolve against the
+    /// [`bitwave_accel::spec::AcceleratorSpec::by_name`] registry.
+    UnknownAccelerator(
+        /// The propagated registry error (carries the known names).
+        bitwave_accel::spec::UnknownAcceleratorError,
+    ),
+    /// A report or request failed to (de)serialize.
+    Serialization {
+        /// Human-readable serializer error.
+        message: String,
+    },
 }
 
 impl fmt::Display for BitwaveError {
@@ -60,6 +77,11 @@ impl fmt::Display for BitwaveError {
                     "network `{network}` has no layers to run through the pipeline"
                 )
             }
+            BitwaveError::UnknownModel(e) => write!(f, "{e}"),
+            BitwaveError::UnknownAccelerator(e) => write!(f, "{e}"),
+            BitwaveError::Serialization { message } => {
+                write!(f, "serialization error: {message}")
+            }
         }
     }
 }
@@ -70,6 +92,8 @@ impl std::error::Error for BitwaveError {
             BitwaveError::Tensor(e) => Some(e),
             BitwaveError::Core(e) => Some(e),
             BitwaveError::Sim(e) => Some(e),
+            BitwaveError::UnknownModel(e) => Some(e),
+            BitwaveError::UnknownAccelerator(e) => Some(e),
             _ => None,
         }
     }
@@ -90,6 +114,26 @@ impl From<CoreError> for BitwaveError {
 impl From<SimError> for BitwaveError {
     fn from(e: SimError) -> Self {
         BitwaveError::Sim(e)
+    }
+}
+
+impl From<bitwave_dnn::models::UnknownModelError> for BitwaveError {
+    fn from(e: bitwave_dnn::models::UnknownModelError) -> Self {
+        BitwaveError::UnknownModel(e)
+    }
+}
+
+impl From<bitwave_accel::spec::UnknownAcceleratorError> for BitwaveError {
+    fn from(e: bitwave_accel::spec::UnknownAcceleratorError) -> Self {
+        BitwaveError::UnknownAccelerator(e)
+    }
+}
+
+impl From<serde_json::Error> for BitwaveError {
+    fn from(e: serde_json::Error) -> Self {
+        BitwaveError::Serialization {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -120,5 +164,22 @@ mod tests {
             network: "X".to_string(),
         };
         assert!(e.to_string().contains("no layers"));
+    }
+
+    #[test]
+    fn registry_and_serialization_conversions() {
+        use std::error::Error;
+        let e: BitwaveError = bitwave_dnn::models::by_name("nope").unwrap_err().into();
+        assert!(e.to_string().contains("unknown model"));
+        assert!(e.source().is_some());
+        let e: BitwaveError = bitwave_accel::spec::AcceleratorSpec::by_name("nope")
+            .unwrap_err()
+            .into();
+        assert!(e.to_string().contains("unknown accelerator"));
+        assert!(e.source().is_some());
+        let json_err = serde_json::from_str::<serde_json::Value>("{").unwrap_err();
+        let e: BitwaveError = json_err.into();
+        assert!(e.to_string().contains("serialization error"));
+        assert!(e.source().is_none());
     }
 }

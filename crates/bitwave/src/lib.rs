@@ -10,6 +10,7 @@
 //! | module | contents |
 //! |--------|----------|
 //! | [`context`] | shared experiment configuration (seed, sampling cap, group size, memory, energy model) |
+//! | [`digest`] | stable FNV-1a/128 content digests over canonical JSON (request/report addressing for `bitwave-serve`) |
 //! | [`pipeline`] | the typed compress → bit-flip → map → simulate layer pipeline, sequential and rayon-parallel |
 //! | [`error`] | [`BitwaveError`], the unified error propagated across all crate boundaries |
 //! | [`experiments::sparsity`] | Fig. 1, Fig. 4, Fig. 5 — sparsity survey, representation study, compression-ratio sweep |
@@ -37,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod context;
+pub mod digest;
 pub mod error;
 pub mod experiments;
 pub mod pipeline;

@@ -184,6 +184,19 @@ impl ModelReport {
         }
     }
 
+    /// Stable content digest of this report: FNV-1a/128 over its canonical
+    /// compact JSON (see [`crate::digest`]).  Two reports digest equal iff
+    /// their serialized forms are byte-identical — the property the
+    /// evaluation service's content-addressed cache relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BitwaveError::Serialization`] when the report fails
+    /// to serialize.
+    pub fn content_digest(&self) -> crate::error::Result<crate::digest::Digest> {
+        crate::digest::Digest::of_value(self)
+    }
+
     /// Speedup of `self` relative to `baseline` (higher is better).
     pub fn speedup_over(&self, baseline: &ModelReport) -> f64 {
         baseline.total_cycles / self.total_cycles

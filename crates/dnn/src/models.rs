@@ -12,6 +12,7 @@
 use crate::layer::{LayerKind, LayerSpec};
 use bitwave_tensor::synth::{ActivationKind, LayerWeightProfile, WeightDistribution};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// The kind of task a network solves, which determines the quality metric
 /// the proxy reports (Fig. 6 uses accuracy, PESQ and F1).
@@ -453,6 +454,60 @@ pub fn all_networks() -> Vec<NetworkSpec> {
     vec![resnet18(), mobilenet_v2(), cnn_lstm(), bert_base()]
 }
 
+/// Canonical registry names of the benchmark networks, in the order the
+/// paper's figures use.  These are the identifiers [`by_name`] resolves and
+/// the evaluation service exposes under `GET /v1/models`.
+pub const MODEL_NAMES: [&str; 4] = ["resnet18", "mobilenet-v2", "cnn-lstm", "bert-base"];
+
+/// A model name that [`by_name`] could not resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownModelError {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown model `{}` (known models: {})",
+            self.name,
+            MODEL_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownModelError {}
+
+/// Looks a benchmark network up by its canonical registry name.
+///
+/// Matching is case-insensitive and treats `_` and `-` as equivalent, so
+/// `ResNet18`, `resnet18`, `mobilenet_v2` and `mobilenet-v2` all resolve.
+///
+/// # Errors
+///
+/// Returns [`UnknownModelError`] (listing the known names) when the name
+/// does not resolve.
+pub fn by_name(name: &str) -> Result<NetworkSpec, UnknownModelError> {
+    let canonical: String = name
+        .trim()
+        .chars()
+        .map(|c| match c {
+            '_' => '-',
+            c => c.to_ascii_lowercase(),
+        })
+        .collect();
+    match canonical.as_str() {
+        "resnet18" => Ok(resnet18()),
+        "mobilenet-v2" | "mobilenetv2" => Ok(mobilenet_v2()),
+        "cnn-lstm" | "cnnlstm" => Ok(cnn_lstm()),
+        "bert-base" | "bertbase" | "bert" => Ok(bert_base()),
+        _ => Err(UnknownModelError {
+            name: name.to_string(),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,6 +631,30 @@ mod tests {
             .unwrap()
             .sensitivity;
         assert!(layer1 > layer10);
+    }
+
+    #[test]
+    fn registry_resolves_every_canonical_name() {
+        for name in MODEL_NAMES {
+            assert!(by_name(name).is_ok(), "registry must resolve `{name}`");
+        }
+        assert_eq!(MODEL_NAMES.len(), all_networks().len());
+    }
+
+    #[test]
+    fn registry_is_case_and_separator_insensitive() {
+        assert_eq!(by_name("ResNet18").unwrap().name, "ResNet18");
+        assert_eq!(by_name("mobilenet_v2").unwrap().name, "MobileNetV2");
+        assert_eq!(by_name("CNN-LSTM").unwrap().name, "CNN-LSTM");
+        assert_eq!(by_name("bert").unwrap().name, "Bert-Base");
+    }
+
+    #[test]
+    fn registry_rejects_unknown_names_with_the_known_list() {
+        let err = by_name("alexnet").unwrap_err();
+        assert_eq!(err.name, "alexnet");
+        let msg = err.to_string();
+        assert!(msg.contains("alexnet") && msg.contains("resnet18"));
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! The `serve` binary: runs the BitWave evaluation service.
+//!
+//! ```bash
+//! cargo run --release --bin serve -- --addr 127.0.0.1:8787 --workers 4
+//! ```
+//!
+//! The first stdout line is always `listening on http://<addr>` (with the
+//! resolved port when `--addr` used port 0), so scripts can scrape the
+//! address of an ephemeral-port instance.
+
+use bitwave_serve::server::{start, ServeConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--workers N] \
+                     [--queue-capacity N] [--cache-capacity N] [--store-capacity N]\n\
+                     \n\
+                     Serves the BitWave evaluation API (see crates/serve).  \
+                     --addr defaults to 127.0.0.1:0 (ephemeral port; the bound \
+                     address is printed on the first stdout line).";
+
+fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::default();
+    let mut i = 0usize;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for {flag}\n{USAGE}"))?;
+        let parse_usize = || {
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("{flag} expects a positive integer, got `{value}`"))
+        };
+        match flag {
+            "--addr" => config.addr = value.clone(),
+            "--workers" => config.workers = parse_usize()?.max(1),
+            "--queue-capacity" => config.queue_capacity = parse_usize()?.max(1),
+            "--cache-capacity" => config.cache_capacity = parse_usize()?.max(1),
+            "--store-capacity" => config.store_capacity = parse_usize()?.max(1),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+        i += 2;
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workers = config.workers;
+    let handle = match start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on http://{}", handle.local_addr());
+    println!(
+        "workers: {workers}   endpoints: POST /v1/evaluate, GET /v1/reports/{{digest}}, \
+         GET /v1/models, GET /v1/accelerators, GET /healthz, GET /metrics"
+    );
+    // Serve until killed; the acceptor/worker threads do all the work.
+    loop {
+        std::thread::park();
+    }
+}

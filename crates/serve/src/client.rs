@@ -1,0 +1,173 @@
+//! A minimal blocking HTTP/1.1 client for the service's own tests, the CI
+//! smoke script and the `bench_serve` load harness.
+//!
+//! Reuses one keep-alive connection per [`Client`]; if the server closed the
+//! idle connection, the next request transparently reconnects once.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        crate::http::find_header(&self.headers, name)
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] when the body is not valid UTF-8.
+    pub fn text(&self) -> io::Result<&str> {
+        std::str::from_utf8(&self.body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// A blocking keep-alive client bound to one server address.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    connection: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// Creates a client for `addr` (connects lazily).
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            connection: None,
+        }
+    }
+
+    /// Sends a GET request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and framing errors.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends a POST request with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and framing errors.
+    pub fn post_json(&mut self, path: &str, body: &str) -> io::Result<ClientResponse> {
+        self.request("POST", path, Some(body.as_bytes()))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        match self.try_request(method, path, body) {
+            Ok(response) => Ok(response),
+            Err(_) => {
+                // The server may have closed the idle keep-alive connection;
+                // reconnect once before giving up.
+                self.connection = None;
+                self.try_request(method, path, body)
+            }
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        if self.connection.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            self.connection = Some(BufReader::new(stream));
+        }
+        let reader = self.connection.as_mut().expect("connection just ensured");
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: bitwave-serve\r\n");
+        if body.is_some() {
+            head.push_str("content-type: application/json\r\n");
+        }
+        head.push_str(&format!(
+            "content-length: {}\r\n\r\n",
+            body.map_or(0, <[u8]>::len)
+        ));
+        // One write for head + body (avoids Nagle + delayed-ACK stalls).
+        let mut message = head.into_bytes();
+        if let Some(body) = body {
+            message.extend_from_slice(body);
+        }
+        let stream = reader.get_mut();
+        stream.write_all(&message)?;
+        stream.flush()?;
+
+        let response = Self::read_response(reader)?;
+        let closing = response
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        if closing {
+            self.connection = None;
+        }
+        Ok(response)
+    }
+
+    fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<ClientResponse> {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line `{}`", line.trim()),
+                )
+            })?;
+        let mut headers = Vec::new();
+        loop {
+            let mut header_line = String::new();
+            if reader.read_line(&mut header_line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-headers",
+                ));
+            }
+            let trimmed = header_line.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some(header) = crate::http::parse_header(trimmed) {
+                headers.push(header);
+            }
+        }
+        let content_length = crate::http::find_header(&headers, "content-length")
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

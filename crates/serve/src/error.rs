@@ -1,0 +1,84 @@
+//! Service error type, mapped onto HTTP statuses.
+
+use std::fmt;
+
+/// Errors the service maps onto HTTP responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Client error → 400.
+    BadRequest(
+        /// Message echoed to the client.
+        String,
+    ),
+    /// Unknown resource → 404.
+    NotFound(
+        /// Message echoed to the client.
+        String,
+    ),
+    /// Evaluation or serialization failure → 500.
+    Internal(
+        /// Message echoed to the client.
+        String,
+    ),
+    /// Job queue full → 503.
+    Overloaded,
+}
+
+impl ServeError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound(_) => 404,
+            ServeError::Internal(_) => 500,
+            ServeError::Overloaded => 503,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(msg) => write!(f, "{msg}"),
+            ServeError::NotFound(msg) => write!(f, "{msg}"),
+            ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
+            ServeError::Overloaded => {
+                write!(f, "job queue full; retry with backoff")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<bitwave::BitwaveError> for ServeError {
+    fn from(e: bitwave::BitwaveError) -> Self {
+        match e {
+            bitwave::BitwaveError::UnknownModel(_)
+            | bitwave::BitwaveError::UnknownAccelerator(_) => ServeError::BadRequest(e.to_string()),
+            other => ServeError::Internal(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_and_messages() {
+        assert_eq!(ServeError::BadRequest("x".into()).status(), 400);
+        assert_eq!(ServeError::NotFound("x".into()).status(), 404);
+        assert_eq!(ServeError::Internal("x".into()).status(), 500);
+        assert_eq!(ServeError::Overloaded.status(), 503);
+        assert!(ServeError::Overloaded.to_string().contains("queue"));
+        let e: ServeError = bitwave::BitwaveError::EmptyModel {
+            network: "X".to_string(),
+        }
+        .into();
+        assert_eq!(e.status(), 500);
+        let e: ServeError =
+            bitwave::BitwaveError::from(bitwave_dnn::models::by_name("nope").unwrap_err()).into();
+        assert_eq!(e.status(), 400);
+    }
+}

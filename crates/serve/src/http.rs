@@ -1,0 +1,390 @@
+//! Minimal HTTP/1.1 message framing over [`std::net::TcpStream`].
+//!
+//! The build environment is offline, so the service speaks HTTP through a
+//! small vendored-shim-style implementation instead of a framework: request
+//! parsing (request line, headers, `Content-Length` body), response writing,
+//! and persistent connections (HTTP/1.1 keep-alive, honoured unless either
+//! side sends `Connection: close`).  Only what the service and its clients
+//! need is implemented — no chunked transfer encoding, no trailers, no
+//! `Expect: 100-continue`.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers) in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// Query string after `?`, if any (not URL-decoded).
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// First value of a header, by lowercase name — shared by the server parser
+/// and [`crate::client`] so framing rules cannot drift between them.
+pub fn find_header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Splits one header line (already stripped of CR/LF) into its lowercased
+/// name and trimmed value — shared by the server parser and
+/// [`crate::client`].
+pub fn parse_header(trimmed: &str) -> Option<(String, String)> {
+    let (name, value) = trimmed.split_once(':')?;
+    Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        find_header(&self.headers, name)
+    }
+
+    /// True when the client asked to close the connection after this
+    /// request.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Errors produced while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a request line.
+    ConnectionClosed,
+    /// An I/O error on the socket.
+    Io(io::Error),
+    /// The request was malformed; the message is safe to echo to the peer.
+    BadRequest(String),
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    PayloadTooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HttpError::PayloadTooLarge => write!(f, "request body too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one head line, charging its bytes against `budget`.  The read is
+/// bounded *while it happens* (`Read::take`), so a malicious endless line
+/// with no newline cannot buffer unbounded memory — it errors as soon as the
+/// budget is exhausted.  Returns an empty string on EOF.
+fn read_head_line(
+    reader: &mut BufReader<TcpStream>,
+    budget: &mut usize,
+) -> Result<String, HttpError> {
+    let mut line = String::new();
+    let mut limited = Read::take(Read::by_ref(reader), (*budget as u64) + 1);
+    let n = limited.read_line(&mut line)?;
+    if n > *budget {
+        return Err(HttpError::BadRequest("request head too large".to_string()));
+    }
+    *budget -= n;
+    Ok(line)
+}
+
+/// Reads one request from a buffered stream.
+///
+/// # Errors
+///
+/// [`HttpError::ConnectionClosed`] on clean EOF before the request line,
+/// [`HttpError::BadRequest`]/[`HttpError::PayloadTooLarge`] on malformed
+/// input, [`HttpError::Io`] on socket failure.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
+    let mut head_budget = MAX_HEAD_BYTES;
+    let line = read_head_line(reader, &mut head_budget)?;
+    if line.is_empty() {
+        return Err(HttpError::ConnectionClosed);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing method".to_string()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".to_string()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let header_line = read_head_line(reader, &mut head_budget)?;
+        if header_line.is_empty() {
+            return Err(HttpError::BadRequest(
+                "connection closed mid-headers".to_string(),
+            ));
+        }
+        let trimmed = header_line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some(header) = parse_header(trimmed) else {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header `{trimmed}`"
+            )));
+        };
+        headers.push(header);
+    }
+
+    // Only Content-Length framing is supported; a chunked body we cannot
+    // frame would desync the keep-alive stream into phantom requests, so it
+    // must be rejected (the 400 path closes the connection).
+    if find_header(&headers, "transfer-encoding").is_some() {
+        return Err(HttpError::BadRequest(
+            "transfer-encoding is not supported; send a content-length body".to_string(),
+        ));
+    }
+    let content_length = find_header(&headers, "content-length")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::PayloadTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target, None),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Extra `(name, value)` headers.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error body `{"error": …}` with the given status.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = serde_json::to_string(&serde::Value::Object(vec![(
+            "error".to_string(),
+            serde::Value::String(message.to_string()),
+        )]))
+        .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
+        Self::json(status, body)
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// The standard reason phrase for the status codes the service emits.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Writes the response; `close` controls the `Connection` header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to(&self, stream: &mut TcpStream, close: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        // One write for head + body: a split write interacts with Nagle's
+        // algorithm + delayed ACK to add ~40 ms per response.
+        let mut message = head.into_bytes();
+        message.extend_from_slice(&self.body);
+        stream.write_all(&message)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &str) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw.as_bytes()).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        read_request(&mut BufReader::new(server_side))
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let req = roundtrip(
+            "POST /v1/evaluate?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/evaluate");
+        assert_eq!(req.query.as_deref(), Some("verbose=1"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{}");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn connection_close_is_detected() {
+        let req = roundtrip("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+        assert_eq!(req.query, None);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(
+            roundtrip("NONSENSE\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            roundtrip("GET / SPDY/3\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            roundtrip("GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(roundtrip(""), Err(HttpError::ConnectionClosed)));
+        // Chunked framing is unsupported and must be rejected outright —
+        // reading it as an empty body would desync the keep-alive stream.
+        assert!(matches!(
+            roundtrip("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\n{}\r\n0\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_an_endless_head_line_without_buffering_it() {
+        // A request line with no newline must fail as soon as it exceeds the
+        // head budget — not buffer until the peer stops sending.
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(roundtrip(&raw), Err(HttpError::BadRequest(_))));
+        // Same for a single endless header line.
+        let raw = format!(
+            "GET / HTTP/1.1\r\nx-junk: {}\r\n\r\n",
+            "b".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(roundtrip(&raw), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(roundtrip(&raw), Err(HttpError::PayloadTooLarge)));
+    }
+
+    #[test]
+    fn response_formats_status_line_and_headers() {
+        let r = Response::json(200, "{}").with_header("x-test", "1");
+        assert_eq!(r.reason(), "OK");
+        assert_eq!(Response::error(404, "nope").reason(), "Not Found");
+        assert_eq!(r.headers.len(), 1);
+        let err = Response::error(400, "bad \"quote\"");
+        let body = String::from_utf8(err.body).unwrap();
+        assert!(
+            body.contains("\\\"quote\\\""),
+            "quotes must be escaped: {body}"
+        );
+    }
+}

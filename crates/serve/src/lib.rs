@@ -1,0 +1,94 @@
+//! # bitwave-serve
+//!
+//! A concurrent HTTP/1.1 evaluation service over the BitWave pipeline, with
+//! content-addressed report caching — the repository's "reachable" tier: the
+//! zero-copy compress → bit-flip → map → simulate chain of
+//! [`bitwave::pipeline`], exposed as a JSON API that batches, deduplicates
+//! and replays the repeated analytical sweeps accelerator-comparison studies
+//! run.
+//!
+//! Built entirely on [`std::net`] — the build environment is offline, so
+//! like the `vendor/` shims the service carries its own minimal HTTP framing
+//! ([`http`]) and client ([`client`]) instead of a framework.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!             TcpListener (acceptor thread)
+//!                  │  bounded job queue (overflow → 503)
+//!        ┌─────────┼─────────┐
+//!   worker 0   worker 1 …  worker N-1        (keep-alive connections)
+//!        │         │         │
+//!        ▼         ▼         ▼
+//!   route() ── POST /v1/evaluate ─▶ digest(EvaluationKey)
+//!                  │                    │
+//!                  │          ReportCache (single-flight LRU)
+//!                  │   hit ◀── replay stored bytes (byte-identical)
+//!                  │  miss ──▶ ModelStore (shared Arc<NetworkWeights>)
+//!                  │               │ zero tensor deep copies
+//!                  │               ▼
+//!                  │        Pipeline::run_model_weights_parallel
+//!                  └──▶ response: {digest, key, report} + X-Bitwave-Cache
+//! ```
+//!
+//! ## Endpoints
+//!
+//! | endpoint | contents |
+//! |----------|----------|
+//! | `POST /v1/evaluate` | run (or replay) one model × accelerator evaluation; body: `{"model", "accelerator?", "bitflip?", "seed?", "sample_cap?", "group_size?"}` |
+//! | `GET /v1/reports/{digest}` | replay a cached report by content digest, no recomputation |
+//! | `GET /v1/models` | the model registry (`bitwave_dnn::models::by_name` names) |
+//! | `GET /v1/accelerators` | the accelerator registry (`AcceleratorSpec::by_name` names) |
+//! | `GET /healthz` | liveness probe |
+//! | `GET /metrics` | Prometheus-style text counters, incl. the tensor deep-copy count |
+//!
+//! ## Caching semantics
+//!
+//! A request is normalised (registry names canonicalised, defaults applied)
+//! into an [`api::EvaluationKey`], whose stable FNV-1a/128 digest
+//! ([`bitwave::digest`]) addresses the serialized response **bytes** in a
+//! bounded LRU cache.  A hit replays exactly the bytes the cold run
+//! produced; concurrent identical requests are coalesced onto one
+//! computation (single-flight), so a thundering herd of the same request
+//! performs one evaluation and zero extra tensor copies.  The
+//! `X-Bitwave-Cache` response header reports `hit`, `miss` or `coalesced`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bitwave_serve::client::Client;
+//! use bitwave_serve::server::{start, ServeConfig};
+//!
+//! let handle = start(ServeConfig {
+//!     workers: 2,
+//!     ..ServeConfig::default()
+//! })
+//! .unwrap();
+//! let mut client = Client::new(handle.local_addr());
+//! let health = client.get("/healthz").unwrap();
+//! assert_eq!(health.status, 200);
+//! let body = r#"{"model":"resnet18","sample_cap":2000}"#;
+//! let cold = client.post_json("/v1/evaluate", body).unwrap();
+//! let warm = client.post_json("/v1/evaluate", body).unwrap();
+//! assert_eq!(cold.header("x-bitwave-cache"), Some("miss"));
+//! assert_eq!(warm.header("x-bitwave-cache"), Some("hit"));
+//! assert_eq!(cold.body, warm.body, "cache hits replay byte-identical JSON");
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod store;
+
+pub use api::{EvaluateRequest, EvaluateResponse, EvaluationKey};
+pub use cache::{CacheOutcome, ReportCache};
+pub use error::ServeError;
+pub use server::{start, ServeConfig, ServerHandle};

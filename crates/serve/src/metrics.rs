@@ -1,0 +1,134 @@
+//! Service counters and the `GET /metrics` text rendering.
+//!
+//! The format follows the Prometheus exposition conventions (`# TYPE` lines,
+//! `name value` samples) so standard scrapers can read it, including the
+//! process-wide tensor deep-copy counter from
+//! [`bitwave_tensor::copy_metrics`] — the observable half of the zero-copy
+//! invariant `bench_serve` gates on.
+
+use crate::cache::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic service-level counters.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// HTTP requests parsed (any endpoint, any status).
+    pub http_requests: AtomicU64,
+    /// Responses with a non-2xx status.
+    pub http_errors: AtomicU64,
+    /// Cold pipeline evaluations executed.
+    pub evaluations: AtomicU64,
+    /// Connections rejected because the job queue was full.
+    pub queue_rejections: AtomicU64,
+    /// Report replays served from `GET /v1/reports/{digest}`.
+    pub report_replays: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// Increments a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders all counters (service, cache, tensor) as Prometheus text.
+    pub fn render(&self, cache: &CacheStats, cache_len: usize, weight_generations: u64) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            "bitwave_serve_http_requests_total",
+            "HTTP requests parsed.",
+            self.http_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_serve_http_errors_total",
+            "Non-2xx responses.",
+            self.http_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_serve_evaluations_total",
+            "Cold pipeline evaluations executed.",
+            self.evaluations.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_serve_queue_rejections_total",
+            "Connections rejected because the job queue was full.",
+            self.queue_rejections.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_serve_report_replays_total",
+            "Reports replayed from GET /v1/reports/{digest}.",
+            self.report_replays.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_serve_cache_hits_total",
+            "Report-cache hits.",
+            cache.hits(),
+        );
+        counter(
+            "bitwave_serve_cache_misses_total",
+            "Report-cache misses (computations).",
+            cache.misses(),
+        );
+        counter(
+            "bitwave_serve_cache_coalesced_total",
+            "Requests coalesced onto an in-flight identical computation.",
+            cache.coalesced(),
+        );
+        counter(
+            "bitwave_serve_cache_evictions_total",
+            "Report-cache LRU evictions.",
+            cache.evictions(),
+        );
+        counter(
+            "bitwave_serve_weight_generations_total",
+            "Synthetic weight-set generations (model-store misses).",
+            weight_generations,
+        );
+        counter(
+            "bitwave_tensor_deep_copies_total",
+            "Process-wide QuantTensor deep copies (the zero-copy invariant).",
+            bitwave_tensor::copy_metrics::deep_copies(),
+        );
+        out.push_str(&format!(
+            "# HELP bitwave_serve_cache_entries Ready entries in the report cache.\n\
+             # TYPE bitwave_serve_cache_entries gauge\n\
+             bitwave_serve_cache_entries {cache_len}\n"
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_emits_every_counter_family() {
+        let metrics = ServiceMetrics::default();
+        ServiceMetrics::bump(&metrics.http_requests);
+        ServiceMetrics::bump(&metrics.evaluations);
+        let cache = CacheStats::default();
+        let text = metrics.render(&cache, 3, 2);
+        for family in [
+            "bitwave_serve_http_requests_total 1",
+            "bitwave_serve_http_errors_total 0",
+            "bitwave_serve_evaluations_total 1",
+            "bitwave_serve_queue_rejections_total 0",
+            "bitwave_serve_report_replays_total 0",
+            "bitwave_serve_cache_hits_total 0",
+            "bitwave_serve_cache_misses_total 0",
+            "bitwave_serve_cache_coalesced_total 0",
+            "bitwave_serve_cache_evictions_total 0",
+            "bitwave_serve_weight_generations_total 2",
+            "bitwave_serve_cache_entries 3",
+            "bitwave_tensor_deep_copies_total",
+        ] {
+            assert!(text.contains(family), "missing `{family}` in:\n{text}");
+        }
+        assert!(text.contains("# TYPE bitwave_serve_cache_entries gauge"));
+    }
+}

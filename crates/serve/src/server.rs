@@ -1,0 +1,370 @@
+//! The service runtime: TCP acceptor, bounded job queue, worker pool and
+//! request routing.
+//!
+//! One acceptor thread pushes connections onto a bounded queue; `workers`
+//! threads pop connections and serve them (keep-alive: a worker handles a
+//! connection's requests back to back until the peer closes or asks to).
+//! When the queue is full the acceptor answers `503` inline and drops the
+//! connection — predictable backpressure instead of unbounded memory growth.
+//!
+//! Evaluations dispatch onto
+//! [`bitwave::pipeline::Pipeline::run_model_weights_parallel`], sharing
+//! per-model weight sets through the [`ModelStore`] so concurrent requests
+//! for one model touch the same `Arc`-backed tensors (zero deep copies), and
+//! results land in the single-flight LRU [`ReportCache`] keyed by the
+//! request digest.
+
+use crate::api::{list_accelerators, list_models, EvaluateRequest};
+use crate::cache::ReportCache;
+use crate::error::ServeError;
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::metrics::ServiceMetrics;
+use crate::store::ModelStore;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bounded connection-queue capacity (overflow → 503).
+    pub queue_capacity: usize,
+    /// Report-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Weight-store capacity in generated weight sets.
+    pub store_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map_or(2, |n| n.get())
+                .clamp(2, 8),
+            queue_capacity: 128,
+            cache_capacity: 256,
+            store_capacity: 8,
+        }
+    }
+}
+
+/// Shared state of one running service.
+#[derive(Debug)]
+pub struct ServiceState {
+    /// The resolved configuration.
+    pub config: ServeConfig,
+    /// Content-addressed report cache.
+    pub cache: ReportCache,
+    /// Shared weight store.
+    pub store: ModelStore,
+    /// Service counters.
+    pub metrics: ServiceMetrics,
+    shutdown: AtomicBool,
+    queue: JobQueue,
+}
+
+/// Bounded MPMC queue of accepted connections.
+#[derive(Debug)]
+struct JobQueue {
+    jobs: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueues a connection; hands it back when the queue is full.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut jobs = self.lock();
+        if jobs.len() >= self.capacity {
+            return Err(stream);
+        }
+        jobs.push_back(stream);
+        drop(jobs);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once shut down and drained.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut jobs = self.lock();
+        loop {
+            if let Some(stream) = jobs.pop_front() {
+                return Some(stream);
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            jobs = self
+                .available
+                .wait(jobs)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn notify_all(&self) {
+        self.available.notify_all();
+    }
+}
+
+/// Handle to a running service; dropping it does **not** stop the service —
+/// call [`ServerHandle::shutdown`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    state: Arc<ServiceState>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared service state (cache/store/metrics introspection).
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Stops accepting, drains queued connections, joins all threads.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        // Unblock the acceptor with a wake-up connection; it re-checks the
+        // flag per accepted connection.
+        let _ = TcpStream::connect(self.local_addr);
+        self.state.queue.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            self.state.queue.notify_all();
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Binds, spawns the acceptor + worker pool, and returns the handle.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Internal`] when the listener cannot bind.
+pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| ServeError::Internal(format!("bind {}: {e}", config.addr)))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| ServeError::Internal(format!("local_addr: {e}")))?;
+    let workers = config.workers.max(1);
+    let state = Arc::new(ServiceState {
+        cache: ReportCache::new(config.cache_capacity),
+        store: ModelStore::new(config.store_capacity),
+        metrics: ServiceMetrics::default(),
+        shutdown: AtomicBool::new(false),
+        queue: JobQueue::new(config.queue_capacity),
+        config,
+    });
+
+    let acceptor_state = Arc::clone(&state);
+    let acceptor = std::thread::Builder::new()
+        .name("serve-acceptor".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if acceptor_state.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if let Err(rejected) = acceptor_state.queue.push(stream) {
+                    ServiceMetrics::bump(&acceptor_state.metrics.queue_rejections);
+                    let mut rejected = rejected;
+                    let _ = error_response(&ServeError::Overloaded)
+                        .with_header("retry-after", "1")
+                        .write_to(&mut rejected, true);
+                }
+            }
+        })
+        .map_err(|e| ServeError::Internal(format!("spawn acceptor: {e}")))?;
+
+    let worker_handles = (0..workers)
+        .map(|i| {
+            let worker_state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || {
+                    while let Some(stream) = worker_state.queue.pop(&worker_state.shutdown) {
+                        serve_connection(stream, &worker_state);
+                    }
+                })
+                .map_err(|e| ServeError::Internal(format!("spawn worker: {e}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(ServerHandle {
+        local_addr,
+        state,
+        acceptor: Some(acceptor),
+        workers: worker_handles,
+    })
+}
+
+/// Idle keep-alive timeout: a connection with no request for this long is
+/// closed so a quiet client cannot pin a worker forever (clients reconnect
+/// transparently).
+const KEEP_ALIVE_IDLE: std::time::Duration = std::time::Duration::from_secs(5);
+
+/// Serves one connection until close (keep-alive loop).
+fn serve_connection(stream: TcpStream, state: &ServiceState) {
+    // Both directions are bounded: a quiet client cannot pin a worker on
+    // read, and a client that stops *reading* its response cannot pin one
+    // on write once the kernel send buffer fills.
+    let _ = stream.set_read_timeout(Some(KEEP_ALIVE_IDLE));
+    let _ = stream.set_write_timeout(Some(KEEP_ALIVE_IDLE));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(HttpError::ConnectionClosed) => return,
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::PayloadTooLarge) => {
+                ServiceMetrics::bump(&state.metrics.http_requests);
+                ServiceMetrics::bump(&state.metrics.http_errors);
+                let _ =
+                    Response::error(413, "request body too large").write_to(&mut write_half, true);
+                return;
+            }
+            Err(HttpError::BadRequest(msg)) => {
+                ServiceMetrics::bump(&state.metrics.http_requests);
+                ServiceMetrics::bump(&state.metrics.http_errors);
+                let _ = Response::error(400, &msg).write_to(&mut write_half, true);
+                return;
+            }
+        };
+        ServiceMetrics::bump(&state.metrics.http_requests);
+        let close = request.wants_close() || state.shutdown.load(Ordering::Acquire);
+        let response = route(&request, state);
+        if response.status >= 300 {
+            ServiceMetrics::bump(&state.metrics.http_errors);
+        }
+        if response.write_to(&mut write_half, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request to its endpoint handler.
+pub fn route(request: &Request, state: &ServiceState) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, r#"{"status":"ok"}"#),
+        ("GET", "/metrics") => Response::text(
+            200,
+            state.metrics.render(
+                state.cache.stats(),
+                state.cache.len(),
+                state.store.generations(),
+            ),
+        ),
+        ("GET", "/v1/models") => json_or_500(&list_models()),
+        ("GET", "/v1/accelerators") => json_or_500(&list_accelerators()),
+        ("POST", "/v1/evaluate") => evaluate(request, state),
+        ("GET", path) if path.starts_with("/v1/reports/") => replay_report(path, state),
+        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/accelerators" | "/v1/evaluate") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn json_or_500<T: serde::Serialize>(value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::json(200, body),
+        Err(e) => Response::error(500, &format!("serialization failed: {e}")),
+    }
+}
+
+/// `POST /v1/evaluate`: normalise → digest → single-flight cache → pipeline.
+fn evaluate(request: &Request, state: &ServiceState) -> Response {
+    let normalized = match EvaluateRequest::from_json(&request.body).and_then(|r| r.normalize()) {
+        Ok(normalized) => normalized,
+        Err(e) => return error_response(&e),
+    };
+    let digest = match normalized.key.digest() {
+        Ok(digest) => digest,
+        Err(e) => return error_response(&e),
+    };
+    let hex = digest.to_hex();
+    let computed = state.cache.get_or_compute(&hex, || {
+        ServiceMetrics::bump(&state.metrics.evaluations);
+        let weights = state.store.weights(
+            &normalized.spec,
+            normalized.key.knobs.seed,
+            normalized.key.knobs.sample_cap,
+        );
+        let report = normalized
+            .evaluate(&weights)
+            .map_err(|e| ServeError::from(e).to_string())?;
+        normalized
+            .envelope(&digest, &report)
+            .map_err(|e| e.to_string())
+    });
+    match computed {
+        Ok((body, outcome)) => Response::json(200, body.as_bytes().to_vec())
+            .with_header("x-bitwave-cache", outcome.as_str())
+            .with_header("x-bitwave-digest", hex),
+        Err(message) => error_response(&ServeError::Internal(message)),
+    }
+}
+
+/// `GET /v1/reports/{digest}`: replay a cached report without recomputation.
+fn replay_report(path: &str, state: &ServiceState) -> Response {
+    let raw = path.trim_start_matches("/v1/reports/");
+    let Some(parsed) = bitwave::digest::Digest::parse(raw) else {
+        return error_response(&ServeError::BadRequest(format!(
+            "`{raw}` is not a 32-hex-char digest"
+        )));
+    };
+    // Cache keys are the canonical lowercase form; accept any case.
+    let hex = parsed.to_hex();
+    let hex = hex.as_str();
+    match state.cache.replay(hex) {
+        Some(body) => {
+            ServiceMetrics::bump(&state.metrics.report_replays);
+            Response::json(200, body.as_bytes().to_vec())
+                .with_header("x-bitwave-cache", "hit")
+                .with_header("x-bitwave-digest", hex.to_string())
+        }
+        None => error_response(&ServeError::NotFound(format!(
+            "no cached report for digest `{hex}`"
+        ))),
+    }
+}
+
+fn error_response(error: &ServeError) -> Response {
+    Response::error(error.status(), &error.to_string())
+}

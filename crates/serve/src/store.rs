@@ -1,0 +1,158 @@
+//! Shared model-weight store.
+//!
+//! Synthetic weight generation is the most expensive part of a cold
+//! evaluation after the pipeline itself, and its output — a
+//! [`NetworkWeights`] set of `Arc`-backed
+//! [`bitwave_tensor::WeightHandle`]s — is immutable.  The store memoises one
+//! weight set per `(model, seed, sample_cap)` and hands out `Arc` clones, so
+//! every in-flight request evaluating the same model shares the same tensor
+//! allocations with **zero deep copies** (`bitwave_tensor::copy_metrics`
+//! counts none for planning + dispatch; `bench_serve` gates on it).
+//!
+//! Like the report cache, the store is bounded LRU: evicting a weight set
+//! only drops the store's reference — requests still holding the `Arc` keep
+//! the tensors alive.
+
+use bitwave_dnn::models::NetworkSpec;
+use bitwave_dnn::weights::NetworkWeights;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Key of one generated weight set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct WeightsKey {
+    model: String,
+    seed: u64,
+    sample_cap: usize,
+}
+
+/// Bounded LRU store of shared, immutable weight sets.
+#[derive(Debug)]
+pub struct ModelStore {
+    inner: Mutex<StoreInner>,
+    capacity: usize,
+    generations: AtomicU64,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    map: HashMap<WeightsKey, Arc<NetworkWeights>>,
+    order: Vec<WeightsKey>,
+}
+
+impl ModelStore {
+    /// Creates a store bounded to `capacity` weight sets (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(StoreInner {
+                map: HashMap::new(),
+                order: Vec::new(),
+            }),
+            capacity: capacity.max(1),
+            generations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of weight-set generations performed (i.e. store misses).
+    pub fn generations(&self) -> u64 {
+        self.generations.load(Ordering::Relaxed)
+    }
+
+    /// Number of weight sets currently held.
+    pub fn len(&self) -> usize {
+        self.lock().order.len()
+    }
+
+    /// True when the store holds no weight sets.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The shared weight set for `(spec, seed, sample_cap)`, generating it on
+    /// first use.  Generation happens outside the store lock, so a large
+    /// model being generated does not block other lookups; two racers may
+    /// both generate, in which case the first insert wins and the loser's
+    /// set is dropped (both are bit-identical by construction).
+    pub fn weights(&self, spec: &NetworkSpec, seed: u64, sample_cap: usize) -> Arc<NetworkWeights> {
+        let key = WeightsKey {
+            model: spec.name.clone(),
+            seed,
+            sample_cap,
+        };
+        {
+            let mut inner = self.lock();
+            if let Some(weights) = inner.map.get(&key) {
+                let weights = Arc::clone(weights);
+                Self::touch(&mut inner, &key);
+                return weights;
+            }
+        }
+        let generated = Arc::new(NetworkWeights::generate_sampled(spec, seed, sample_cap));
+        self.generations.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.lock();
+        if let Some(existing) = inner.map.get(&key) {
+            return Arc::clone(existing);
+        }
+        inner.map.insert(key.clone(), Arc::clone(&generated));
+        inner.order.push(key);
+        while inner.order.len() > self.capacity {
+            let victim = inner.order.remove(0);
+            inner.map.remove(&victim);
+        }
+        generated
+    }
+
+    fn touch(inner: &mut StoreInner, key: &WeightsKey) {
+        if let Some(pos) = inner.order.iter().position(|k| k == key) {
+            let k = inner.order.remove(pos);
+            inner.order.push(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitwave_dnn::models::resnet18;
+    use bitwave_tensor::copy_metrics::{exclusive, CopyCounter};
+
+    #[test]
+    fn repeated_lookups_share_one_generation_and_allocation() {
+        let store = ModelStore::new(4);
+        let net = resnet18();
+        let a = store.weights(&net, 42, 2_000);
+        let _guard = exclusive();
+        let counter = CopyCounter::snapshot();
+        let b = store.weights(&net, 42, 2_000);
+        assert_eq!(counter.delta(), 0, "store hit must not copy tensors");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.generations(), 1);
+        // A different knob generates a distinct set.
+        let c = store.weights(&net, 43, 2_000);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(store.generations(), 2);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn eviction_bounds_the_store_but_outstanding_arcs_survive() {
+        let store = ModelStore::new(1);
+        let net = resnet18();
+        let first = store.weights(&net, 1, 1_000);
+        let _second = store.weights(&net, 2, 1_000);
+        assert_eq!(store.len(), 1, "capacity 1 must evict the older set");
+        // The evicted set is still usable through the outstanding Arc.
+        assert!(first.layer("conv1").is_some());
+        // Re-requesting the evicted key regenerates.
+        let again = store.weights(&net, 1, 1_000);
+        assert_eq!(store.generations(), 3);
+        assert_eq!(*again, *first, "regeneration is deterministic");
+    }
+}

@@ -1,0 +1,180 @@
+//! End-to-end API tests over a real socket: endpoint coverage, cache
+//! semantics (digest-stable, byte-identical replay), error mapping and
+//! metrics.
+
+use bitwave_serve::client::Client;
+use bitwave_serve::server::{start, ServeConfig, ServerHandle};
+use bitwave_serve::EvaluateResponse;
+
+fn test_server() -> ServerHandle {
+    start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("server starts")
+}
+
+const RESNET_SMALL: &str = r#"{"model":"resnet18","sample_cap":2000}"#;
+
+#[test]
+fn health_models_accelerators_and_metrics_respond() {
+    let handle = test_server();
+    let mut client = Client::new(handle.local_addr());
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.text().unwrap(), r#"{"status":"ok"}"#);
+
+    let models = client.get("/v1/models").unwrap();
+    assert_eq!(models.status, 200);
+    let listed: Vec<bitwave_serve::api::ModelListing> =
+        serde_json::from_str(models.text().unwrap()).unwrap();
+    assert_eq!(listed.len(), 4);
+    assert!(listed.iter().any(|m| m.name == "bert-base"));
+
+    let accels = client.get("/v1/accelerators").unwrap();
+    assert_eq!(accels.status, 200);
+    let listed: Vec<bitwave_serve::api::AcceleratorListing> =
+        serde_json::from_str(accels.text().unwrap()).unwrap();
+    assert_eq!(listed.len(), 9);
+
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text().unwrap();
+    assert!(text.contains("bitwave_serve_http_requests_total"));
+    assert!(text.contains("bitwave_tensor_deep_copies_total"));
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn evaluate_twice_is_digest_stable_and_byte_identical() {
+    let handle = test_server();
+    let mut client = Client::new(handle.local_addr());
+
+    let cold = client.post_json("/v1/evaluate", RESNET_SMALL).unwrap();
+    assert_eq!(cold.status, 200, "cold: {:?}", cold.text());
+    assert_eq!(cold.header("x-bitwave-cache"), Some("miss"));
+    let warm = client.post_json("/v1/evaluate", RESNET_SMALL).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-bitwave-cache"), Some("hit"));
+    assert_eq!(cold.body, warm.body, "hit must replay byte-identical JSON");
+    assert_eq!(
+        cold.header("x-bitwave-digest"),
+        warm.header("x-bitwave-digest")
+    );
+
+    // A logically identical request with explicit defaults and a different
+    // name spelling lands on the same cache entry.
+    let spelled = client
+        .post_json(
+            "/v1/evaluate",
+            r#"{"model":"ResNet18","accelerator":"bitwave","bitflip":false,"sample_cap":2000,"seed":42,"group_size":16}"#,
+        )
+        .unwrap();
+    assert_eq!(spelled.header("x-bitwave-cache"), Some("hit"));
+    assert_eq!(spelled.body, cold.body);
+
+    let parsed: EvaluateResponse = serde_json::from_str(cold.text().unwrap()).unwrap();
+    assert_eq!(parsed.key.model, "ResNet18");
+    assert_eq!(parsed.report.layers.len(), 21);
+    assert_eq!(
+        Some(parsed.digest.as_str()),
+        cold.header("x-bitwave-digest")
+    );
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn reports_endpoint_replays_without_recomputation() {
+    let handle = test_server();
+    let mut client = Client::new(handle.local_addr());
+
+    let cold = client.post_json("/v1/evaluate", RESNET_SMALL).unwrap();
+    let digest = cold.header("x-bitwave-digest").unwrap().to_string();
+    let evaluations_before = handle.state().store.generations();
+
+    let replay = client.get(&format!("/v1/reports/{digest}")).unwrap();
+    assert_eq!(replay.status, 200);
+    assert_eq!(replay.body, cold.body);
+    assert_eq!(
+        handle.state().store.generations(),
+        evaluations_before,
+        "replay must not regenerate weights"
+    );
+
+    // Digest lookup is case-insensitive (keys are canonical lowercase).
+    let upper = client
+        .get(&format!("/v1/reports/{}", digest.to_uppercase()))
+        .unwrap();
+    assert_eq!(upper.status, 200);
+    assert_eq!(upper.body, cold.body);
+
+    let missing = client
+        .get("/v1/reports/00000000000000000000000000000000")
+        .unwrap();
+    assert_eq!(missing.status, 404);
+    let malformed = client.get("/v1/reports/not-a-digest").unwrap();
+    assert_eq!(malformed.status, 400);
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn error_statuses_are_mapped() {
+    let handle = test_server();
+    let mut client = Client::new(handle.local_addr());
+
+    let bad_json = client.post_json("/v1/evaluate", "not json").unwrap();
+    assert_eq!(bad_json.status, 400);
+    assert!(bad_json.text().unwrap().contains("error"));
+
+    let unknown_model = client
+        .post_json("/v1/evaluate", r#"{"model":"alexnet"}"#)
+        .unwrap();
+    assert_eq!(unknown_model.status, 400);
+    assert!(unknown_model.text().unwrap().contains("resnet18"));
+
+    let unknown_path = client.get("/v2/evaluate").unwrap();
+    assert_eq!(unknown_path.status, 404);
+
+    let wrong_method = client.get("/v1/evaluate").unwrap();
+    assert_eq!(wrong_method.status, 405);
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_track_cache_and_evaluation_counters() {
+    let handle = test_server();
+    let mut client = Client::new(handle.local_addr());
+
+    client.post_json("/v1/evaluate", RESNET_SMALL).unwrap();
+    client.post_json("/v1/evaluate", RESNET_SMALL).unwrap();
+    let metrics = client.get("/metrics").unwrap();
+    let text = metrics.text().unwrap().to_string();
+    assert!(
+        text.contains("bitwave_serve_evaluations_total 1"),
+        "exactly one cold evaluation:\n{text}"
+    );
+    assert!(
+        text.contains("bitwave_serve_cache_hits_total 1"),
+        "one hit:\n{text}"
+    );
+    assert!(
+        text.contains("bitwave_serve_cache_misses_total 1"),
+        "one miss:\n{text}"
+    );
+    assert!(
+        text.contains("bitwave_serve_weight_generations_total 1"),
+        "one weight generation:\n{text}"
+    );
+
+    drop(client);
+    handle.shutdown();
+}

@@ -1,0 +1,166 @@
+//! Concurrency property test (the PR's correctness gate for the service):
+//! N client threads submitting the same request set receive responses
+//! **byte-identical** to a sequential single-client run — on a cold cache
+//! and on a warm one — and concurrent identical requests coalesce onto a
+//! single evaluation.
+
+use bitwave_serve::client::Client;
+use bitwave_serve::server::{start, ServeConfig, ServerHandle};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn test_server(workers: usize) -> ServerHandle {
+    start(ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    })
+    .expect("server starts")
+}
+
+/// The request set: distinct models × accelerators × knobs, all cheap.
+fn request_set() -> Vec<String> {
+    let mut requests = Vec::new();
+    for (model, cap) in [("resnet18", 1_500), ("mobilenet-v2", 1_500)] {
+        for accelerator in ["bitwave", "dense", "scnn"] {
+            requests.push(format!(
+                r#"{{"model":"{model}","accelerator":"{accelerator}","sample_cap":{cap}}}"#
+            ));
+        }
+    }
+    requests.push(
+        r#"{"model":"resnet18","accelerator":"bitwave","bitflip":true,"sample_cap":1500}"#
+            .to_string(),
+    );
+    requests
+}
+
+/// Runs the whole request set once on one client, returning body-by-request.
+fn run_set(addr: std::net::SocketAddr, requests: &[String]) -> BTreeMap<String, Vec<u8>> {
+    let mut client = Client::new(addr);
+    requests
+        .iter()
+        .map(|body| {
+            let response = client.post_json("/v1/evaluate", body).unwrap();
+            assert_eq!(response.status, 200, "{body}: {:?}", response.text());
+            (body.clone(), response.body)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_match_a_sequential_run_cold_and_cached() {
+    let requests = Arc::new(request_set());
+
+    // Reference: a sequential single-client run against its own server.
+    let sequential_server = test_server(2);
+    let reference = Arc::new(run_set(sequential_server.local_addr(), &requests));
+    sequential_server.shutdown();
+
+    // Property: N threads against a fresh (cold) server, each submitting the
+    // full set in a different rotation, must reproduce the reference bytes.
+    let concurrent_server = test_server(4);
+    let addr = concurrent_server.local_addr();
+    let n_threads = 4;
+    let handles: Vec<_> = (0..n_threads)
+        .map(|rotation| {
+            let requests = Arc::clone(&requests);
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                let mut rotated: Vec<String> = requests.to_vec();
+                rotated.rotate_left(rotation % requests.len());
+                for (body, response) in run_set(addr, &rotated) {
+                    assert_eq!(
+                        Some(&response),
+                        reference.get(&body),
+                        "cold concurrent response for `{body}` diverged from sequential run"
+                    );
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("cold client thread");
+    }
+
+    // Every request was evaluated exactly once despite 4×: the rest were
+    // hits or coalesced onto the in-flight computation.
+    let stats = concurrent_server.state().cache.stats();
+    assert_eq!(stats.misses(), requests.len() as u64, "one cold run each");
+    assert_eq!(
+        stats.misses() + stats.hits() + stats.coalesced(),
+        (requests.len() * n_threads) as u64
+    );
+
+    // Warm pass: same property against the now-fully-cached server.
+    let handles: Vec<_> = (0..n_threads)
+        .map(|_| {
+            let requests = Arc::clone(&requests);
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                for (body, response) in run_set(addr, &requests) {
+                    assert_eq!(
+                        Some(&response),
+                        reference.get(&body),
+                        "cached response for `{body}` diverged from sequential run"
+                    );
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("warm client thread");
+    }
+    assert_eq!(
+        concurrent_server.state().cache.stats().misses(),
+        requests.len() as u64,
+        "warm pass must not recompute anything"
+    );
+
+    concurrent_server.shutdown();
+}
+
+#[test]
+fn concurrent_evaluations_of_one_model_share_weights_with_zero_copies() {
+    let server = test_server(4);
+    let addr = server.local_addr();
+    // Cold run: generate weights + evaluate once.
+    let body = r#"{"model":"resnet18","accelerator":"bitwave","sample_cap":1500,"seed":9}"#;
+    let mut client = Client::new(addr);
+    let cold = client.post_json("/v1/evaluate", body).unwrap();
+    assert_eq!(cold.status, 200);
+
+    // Distinct accelerators over the SAME model/seed/cap share one weight
+    // set; nothing may deep-copy a tensor beyond that cold generation.
+    let guard = bitwave_tensor::copy_metrics::exclusive();
+    let counter = bitwave_tensor::copy_metrics::CopyCounter::snapshot();
+    let handles: Vec<_> = ["dense", "scnn", "stripes", "bitwave-df"]
+        .into_iter()
+        .map(|accelerator| {
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                let body = format!(
+                    r#"{{"model":"resnet18","accelerator":"{accelerator}","sample_cap":1500,"seed":9}}"#
+                );
+                let response = client.post_json("/v1/evaluate", &body).unwrap();
+                assert_eq!(response.status, 200);
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+    assert_eq!(
+        counter.delta(),
+        0,
+        "concurrent evaluations of one model must not deep-copy weight tensors"
+    );
+    drop(guard);
+    assert_eq!(
+        server.state().store.generations(),
+        1,
+        "all accelerators share the one generated weight set"
+    );
+
+    drop(client);
+    server.shutdown();
+}

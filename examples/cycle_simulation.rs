@@ -6,11 +6,12 @@
 //! Run with: `cargo run --release --example cycle_simulation`
 
 use bitwave::context::ExperimentContext;
+use bitwave::error::BitwaveError;
 use bitwave::experiments::evaluation::validation_model_vs_simulator;
 use bitwave::sim::engine::{BitwaveEngine, EngineConfig};
 use bitwave::tensor::prelude::*;
 
-fn main() {
+fn main() -> Result<(), BitwaveError> {
     let engine = BitwaveEngine::new(EngineConfig::su1());
 
     // A small convolution, lowered to im2col and executed from compressed
@@ -19,17 +20,13 @@ fn main() {
         &ActivationGenerator::new(bitwave::tensor::synth::ActivationKind::Relu { std: 1.0 }, 3)
             .generate(Shape::feature_map(1, 16, 14, 14)),
         8,
-    )
-    .expect("quantise input");
+    )?;
     let weights = quantize_per_tensor(
         &WeightGenerator::new(WeightDistribution::Laplacian { scale: 0.02 }, 4)
             .generate(Shape::conv_weight(32, 16, 3, 3)),
         8,
-    )
-    .expect("quantise weights");
-    let (_, stats) = engine
-        .run_conv_verified(&input, &weights, 1, 1)
-        .expect("simulate conv");
+    )?;
+    let (_, stats) = engine.run_conv_verified(&input, &weights, 1, 1)?;
     println!(
         "small conv      : {:>8} cycles ({:.2}x column-skip speedup, CR {:.2}x)",
         stats.compute_cycles,
@@ -45,17 +42,13 @@ fn main() {
         )
         .generate(Shape::d2(4, 768)),
         8,
-    )
-    .expect("quantise acts");
+    )?;
     let proj = quantize_per_tensor(
         &WeightGenerator::new(WeightDistribution::Gaussian { std: 0.03 }, 6)
             .generate(Shape::d2(64, 768)),
         8,
-    )
-    .expect("quantise proj");
-    let (_, stats) = engine
-        .run_linear_verified(&acts, &proj)
-        .expect("simulate projection");
+    )?;
+    let (_, stats) = engine.run_linear_verified(&acts, &proj)?;
     println!(
         "dense projection: {:>8} cycles ({:.2}x column-skip speedup, CR {:.2}x)",
         stats.compute_cycles,
@@ -64,12 +57,12 @@ fn main() {
     );
 
     // The analytical-model validation the evaluation relies on.
-    let report =
-        validation_model_vs_simulator(&ExperimentContext::default()).expect("validation runs");
+    let report = validation_model_vs_simulator(&ExperimentContext::default())?;
     println!(
         "model vs simulator: {} cycles simulated, {:.0} cycles predicted, deviation {:.2}% (paper bound: 6%)",
         report.simulated_cycles,
         report.model_cycles,
         100.0 * report.deviation
     );
+    Ok(())
 }

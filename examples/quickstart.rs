@@ -38,10 +38,7 @@ fn main() -> Result<(), BitwaveError> {
             layer: "layer4.0.conv1".to_string(),
         })?;
     println!("=== LayerReport for {} ===", layer.layer);
-    println!(
-        "{}",
-        serde_json::to_string_pretty(layer).expect("layer report serialises")
-    );
+    println!("{}", serde_json::to_string_pretty(layer)?);
 
     // 5. Whole-model summary: BitWave vs the dense reference.
     println!();

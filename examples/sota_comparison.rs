@@ -3,14 +3,85 @@
 //! networks.
 //!
 //! Run with: `cargo run --release --example sota_comparison`
+//!
+//! Passing model names runs a focused comparison for just those models,
+//! resolved through the `bitwave_dnn::models::by_name` registry (unknown
+//! names exit non-zero and list the known ones):
+//!
+//! ```bash
+//! cargo run --release --example sota_comparison -- resnet18 bert-base
+//! ```
 
+use bitwave::accel::spec::AcceleratorSpec;
 use bitwave::context::ExperimentContext;
+use bitwave::dnn::models::by_name;
 use bitwave::experiments::evaluation::{
     fig13_speedup_breakdown, fig14_15_17_sota_comparison, fig16_energy_breakdown,
 };
+use bitwave::pipeline::Pipeline;
+
+/// Focused mode: evaluate the named models on every registry accelerator,
+/// preparing the compress/bit-flip prefix once per model and re-running only
+/// the map + simulate suffix per machine.  As in the paper's comparison
+/// (and `evaluate_all_accelerators`), only the full `BitWave+DF+SM+BF`
+/// configuration sees bit-flipped weights; the dense reference, the SotA
+/// baselines and the BitWave ablation steps evaluate the lossless weights.
+fn compare_selected(
+    ctx: &ExperimentContext,
+    names: &[String],
+) -> Result<(), bitwave::BitwaveError> {
+    for name in names {
+        let spec = by_name(name)?;
+        let weights = ctx.weights(&spec);
+        let lossless = Pipeline::new(ctx.clone()).prepare_with_weights(&spec, &weights)?;
+        let flipped = Pipeline::new(ctx.clone())
+            .with_default_bitflip(&spec)
+            .prepare_with_weights(&spec, &weights)?;
+        let dense = Pipeline::new(ctx.clone())
+            .with_accelerator(AcceleratorSpec::by_name("dense")?)
+            .simulate_prepared(&spec, &lossless)?;
+        println!(
+            "== {} ({} layers, {:.2} GFLOPs) — speedup vs Dense ==",
+            spec.name,
+            spec.layers.len(),
+            spec.gflops()
+        );
+        for accel_name in AcceleratorSpec::REGISTRY_NAMES {
+            let accelerator = AcceleratorSpec::by_name(accel_name)?;
+            let prepared = if accelerator.bitwave_opts.bit_flip {
+                &flipped
+            } else {
+                &lossless
+            };
+            let report = Pipeline::new(ctx.clone())
+                .with_accelerator(accelerator)
+                .simulate_prepared(&spec, prepared)?;
+            println!(
+                "{:<16} {:<18} {:>6.2}x   CR {:>5.2}x   {:>8.3} mJ",
+                accel_name,
+                report.accelerator,
+                report.speedup_over(&dense),
+                report.weight_compression_ratio,
+                report.energy.total_mj()
+            );
+        }
+        println!();
+    }
+    Ok(())
+}
 
 fn main() -> Result<(), bitwave::BitwaveError> {
     let ctx = ExperimentContext::default().with_sample_cap(20_000);
+
+    let models: Vec<String> = std::env::args().skip(1).collect();
+    if !models.is_empty() {
+        return compare_selected(&ctx, &models).map_err(|e| {
+            // Surface the registry's message (it lists the known names)
+            // before the generic Debug dump of the propagated error.
+            eprintln!("{e}");
+            e
+        });
+    }
 
     println!("== Fig. 13: BitWave speedup breakdown (vs the Dense configuration) ==");
     let mut rows = fig13_speedup_breakdown(&ctx)?;

@@ -22,9 +22,9 @@
 
 use bitwave::accel::spec::{AcceleratorSpec, BitwaveOptimizations};
 use bitwave::context::ExperimentContext;
-use bitwave::dnn::layer::LayerSpec;
+use bitwave::dnn::layer::{LayerKind, LayerSpec};
 use bitwave::dnn::models::{NetworkSpec, TaskKind};
-use bitwave::pipeline::Pipeline;
+use bitwave::pipeline::{ModelReport, Pipeline};
 use std::fs;
 use std::path::PathBuf;
 
@@ -73,15 +73,92 @@ fn golden_cases() -> Vec<(&'static str, AcceleratorSpec, bool)> {
     ]
 }
 
+/// A small fixed network with a **non-CNN layer mix** — attention
+/// projections, feed-forward blocks, an LSTM gate bundle and a linear head —
+/// so the snapshots also pin the matmul/LSTM code paths (dense weight
+/// profiles, low column sparsity) that `golden_network` cannot reach.  The
+/// layer-1 projections are marked sensitive like BERT's (Fig. 6d), so the
+/// default Bit-Flip strategy differentiates targets.
+fn golden_bert_network() -> NetworkSpec {
+    let mut layers = Vec::new();
+    for (layer_no, sensitivity) in [(0usize, 0.35f64), (1, 1.0)] {
+        for proj in ["q", "output"] {
+            layers.push(LayerSpec::transformer(
+                format!("encoder.{layer_no}.attention.{proj}"),
+                LayerKind::AttentionProjection,
+                192,
+                192,
+                4,
+                sensitivity,
+            ));
+        }
+        layers.push(LayerSpec::transformer(
+            format!("encoder.{layer_no}.intermediate"),
+            LayerKind::FeedForward,
+            192,
+            768,
+            4,
+            sensitivity * 0.8,
+        ));
+        layers.push(LayerSpec::transformer(
+            format!("encoder.{layer_no}.ffn_output"),
+            LayerKind::FeedForward,
+            768,
+            192,
+            4,
+            sensitivity * 0.8,
+        ));
+    }
+    layers.push(LayerSpec::lstm_gates("lstm.0", 192, 96, 16, 0.45));
+    layers.push(LayerSpec::transformer(
+        "qa_outputs",
+        LayerKind::Linear,
+        192,
+        2,
+        4,
+        0.3,
+    ));
+    NetworkSpec {
+        name: "GoldenBert".to_string(),
+        task: TaskKind::QuestionAnswering,
+        baseline_quality: 88.0,
+        layers,
+    }
+}
+
 fn golden_path(slug: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
         .join(format!("{slug}.json"))
 }
 
+/// Byte-compares `report` against `tests/golden/{slug}.json`, or rewrites
+/// the snapshot when `UPDATE_GOLDEN` is set.
+fn assert_matches_golden(slug: &str, report: &ModelReport) {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let json = serde_json::to_string_pretty(report).expect("report serializes") + "\n";
+    let path = golden_path(slug);
+    if update {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        fs::write(&path, &json).expect("write golden snapshot");
+        return;
+    }
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run `UPDATE_GOLDEN=1 cargo test -q --test \
+             golden_reports` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json, golden,
+        "ModelReport for `{slug}` diverged from its golden snapshot; if the change is \
+         intentional, regenerate with `UPDATE_GOLDEN=1 cargo test -q --test golden_reports`"
+    );
+}
+
 #[test]
 fn model_reports_match_golden_snapshots() {
-    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
     let net = golden_network();
     for (slug, accelerator, bitflip) in golden_cases() {
         let mut pipeline = Pipeline::new(golden_context()).with_accelerator(accelerator);
@@ -89,26 +166,26 @@ fn model_reports_match_golden_snapshots() {
             pipeline = pipeline.with_default_bitflip(&net);
         }
         let report = pipeline.run_model(&net).expect("golden run succeeds");
-        let json = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
-        let path = golden_path(slug);
-        if update {
-            fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
-            fs::write(&path, &json).expect("write golden snapshot");
-            continue;
-        }
-        let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
-            panic!(
-                "missing golden snapshot {} ({e}); run `UPDATE_GOLDEN=1 cargo test -q --test \
-                 golden_reports` to create it",
-                path.display()
-            )
-        });
-        assert_eq!(
-            json, golden,
-            "ModelReport for `{slug}` diverged from its golden snapshot; if the change is \
-             intentional, regenerate with `UPDATE_GOLDEN=1 cargo test -q --test golden_reports`"
-        );
+        assert_matches_golden(slug, &report);
     }
+}
+
+#[test]
+fn bert_style_model_report_matches_golden_snapshot() {
+    // The non-CNN mix runs the full BitWave configuration with the default
+    // Bit-Flip strategy, which must target only the insensitive encoder-0
+    // blocks (BERT-style sensitivity split).
+    let net = golden_bert_network();
+    let report = Pipeline::new(golden_context())
+        .with_accelerator(AcceleratorSpec::bitwave(BitwaveOptimizations::all()))
+        .with_default_bitflip(&net)
+        .run_model(&net)
+        .expect("golden bert run succeeds");
+    assert!(
+        report.layers.iter().any(|l| l.bitflip.is_some()),
+        "the default strategy must flip some weight-heavy layer"
+    );
+    assert_matches_golden("bert_style", &report);
 }
 
 #[test]
