@@ -19,7 +19,7 @@
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::sparsity::LayerSparsityProfile;
 use crate::spec::{AcceleratorSpec, PeStyle, WeightCompression};
-use bitwave_dataflow::mapping::select_spatial_unrolling;
+use bitwave_dataflow::mapping::{select_spatial_unrolling, MappingError};
 use bitwave_dataflow::{ActivityCounts, MemoryHierarchy};
 use bitwave_dnn::layer::LayerSpec;
 use bitwave_dnn::models::NetworkSpec;
@@ -90,21 +90,36 @@ impl NetworkResult {
 }
 
 /// Evaluates one layer on one accelerator (Eqs. 1–5), selecting the spatial
-/// unrolling from the accelerator's SU set.
+/// unrolling from the accelerator's SU set with the Fig. 9 heuristic.
+///
+/// # Errors
+///
+/// Propagates [`MappingError`] when the SU set is empty or the layer has a
+/// zero-sized loop dimension.
 pub fn evaluate_layer(
     spec: &AcceleratorSpec,
     layer: &LayerSpec,
     profile: &LayerSparsityProfile,
     memory: &MemoryHierarchy,
     energy_model: &EnergyModel,
-) -> LayerResult {
-    let decision = select_spatial_unrolling(layer, &spec.su_set);
-    evaluate_layer_with_mapping(spec, layer, &decision, profile, memory, energy_model)
+) -> Result<LayerResult, MappingError> {
+    let decision = select_spatial_unrolling(layer, &spec.su_set)?;
+    Ok(evaluate_layer_with_mapping(
+        spec,
+        layer,
+        &decision,
+        profile,
+        memory,
+        energy_model,
+    ))
 }
 
 /// Evaluates one layer on one accelerator (Eqs. 1–5) under an already chosen
-/// mapping decision — the entry point of the pipeline's simulate stage, which
-/// receives the decision from the map stage instead of re-deriving it.
+/// mapping decision — the entry point of the pipeline's simulate stage and
+/// the DSE cost model, which receive the decision instead of re-deriving it.
+/// When the decision carries an explicit [`bitwave_dataflow::TemporalMapping`]
+/// (a searched loop order + tiling), the activity counts honour it; otherwise
+/// the model's automatic cheapest-order choice applies.
 pub fn evaluate_layer_with_mapping(
     spec: &AcceleratorSpec,
     layer: &LayerSpec,
@@ -113,7 +128,10 @@ pub fn evaluate_layer_with_mapping(
     memory: &MemoryHierarchy,
     energy_model: &EnergyModel,
 ) -> LayerResult {
-    let activity = ActivityCounts::analyze(layer, &decision.su, memory);
+    let activity = match decision.temporal {
+        Some(temporal) => ActivityCounts::analyze_with(layer, &decision.su, memory, temporal),
+        None => ActivityCounts::analyze(layer, &decision.su, memory),
+    };
 
     // Eq. 1: value-sparsity skipping (only machines that support it).
     let keep_w = if spec.sparsity.weight_value {
@@ -236,7 +254,7 @@ pub fn evaluate_layer_with_mapping(
 
     LayerResult {
         layer: layer.name.clone(),
-        su: decision.su.name.to_string(),
+        su: decision.label.clone(),
         utilization: decision.utilization,
         effective_macs,
         compute_cycles,
@@ -254,6 +272,10 @@ pub fn evaluate_layer_with_mapping(
 /// Evaluates a whole network on one accelerator.  `profiles` must be aligned
 /// with `network.layers` (one sparsity profile per layer, in order).
 ///
+/// # Errors
+///
+/// Propagates [`MappingError`] from the per-layer SU selection.
+///
 /// # Panics
 ///
 /// Panics if `profiles.len() != network.layers.len()`.
@@ -263,7 +285,7 @@ pub fn evaluate_network(
     profiles: &[LayerSparsityProfile],
     memory: &MemoryHierarchy,
     energy_model: &EnergyModel,
-) -> NetworkResult {
+) -> Result<NetworkResult, MappingError> {
     assert_eq!(
         profiles.len(),
         network.layers.len(),
@@ -274,13 +296,13 @@ pub fn evaluate_network(
     let mut energy = EnergyBreakdown::default();
     let mut effective_macs = 0.0f64;
     for (layer, profile) in network.layers.iter().zip(profiles) {
-        let result = evaluate_layer(spec, layer, profile, memory, energy_model);
+        let result = evaluate_layer(spec, layer, profile, memory, energy_model)?;
         total_cycles += result.total_cycles;
         energy = energy.accumulate(&result.energy);
         effective_macs += result.effective_macs;
         layers.push(result);
     }
-    NetworkResult {
+    Ok(NetworkResult {
         accelerator: spec.label.clone(),
         network: network.name.clone(),
         layers,
@@ -288,7 +310,7 @@ pub fn evaluate_network(
         energy,
         effective_macs,
         total_macs: network.total_macs(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -316,14 +338,16 @@ mod tests {
         let profile = layer_profile(layer);
         let mem = MemoryHierarchy::bitwave_default();
         let energy = EnergyModel::finfet_16nm();
-        let dense = evaluate_layer(&AcceleratorSpec::dense(), layer, &profile, &mem, &energy);
+        let dense =
+            evaluate_layer(&AcceleratorSpec::dense(), layer, &profile, &mem, &energy).unwrap();
         let bitwave = evaluate_layer(
             &AcceleratorSpec::bitwave(BitwaveOptimizations::all()),
             layer,
             &profile,
             &mem,
             &energy,
-        );
+        )
+        .unwrap();
         assert!(bitwave.total_cycles < dense.total_cycles);
         assert!(bitwave.energy.total_pj() < dense.energy.total_pj());
     }
@@ -341,14 +365,16 @@ mod tests {
             &dense_profile,
             &mem,
             &energy,
-        );
+        )
+        .unwrap();
         let pragmatic = evaluate_layer(
             &AcceleratorSpec::pragmatic(),
             layer,
             &dense_profile,
             &mem,
             &energy,
-        );
+        )
+        .unwrap();
         // With zero bit sparsity Pragmatic degenerates to Stripes.
         assert!((stripes.compute_cycles - pragmatic.compute_cycles).abs() < 1e-6);
     }
@@ -365,7 +391,8 @@ mod tests {
             &profiles,
             &mem,
             &energy,
-        );
+        )
+        .unwrap();
         assert_eq!(result.layers.len(), net.layers.len());
         let sum: f64 = result.layers.iter().map(|l| l.total_cycles).sum();
         assert!((sum - result.total_cycles).abs() / sum < 1e-9);
@@ -381,21 +408,24 @@ mod tests {
         let profiles = resnet_profiles(&net);
         let mem = MemoryHierarchy::bitwave_default();
         let energy = EnergyModel::finfet_16nm();
-        let dense = evaluate_network(&AcceleratorSpec::dense(), &net, &profiles, &mem, &energy);
+        let dense =
+            evaluate_network(&AcceleratorSpec::dense(), &net, &profiles, &mem, &energy).unwrap();
         let df = evaluate_network(
             &AcceleratorSpec::bitwave(BitwaveOptimizations::dataflow_only()),
             &net,
             &profiles,
             &mem,
             &energy,
-        );
+        )
+        .unwrap();
         let df_sm = evaluate_network(
             &AcceleratorSpec::bitwave(BitwaveOptimizations::dataflow_sm()),
             &net,
             &profiles,
             &mem,
             &energy,
-        );
+        )
+        .unwrap();
         assert!(df.speedup_over(&dense) >= 1.0);
         assert!(df_sm.speedup_over(&dense) > df.speedup_over(&dense));
         assert!(df_sm.speedup_over(&dense) > 1.2);
@@ -409,7 +439,7 @@ mod tests {
         let energy = EnergyModel::finfet_16nm();
         let results: Vec<NetworkResult> = AcceleratorSpec::sota_comparison_set()
             .iter()
-            .map(|spec| evaluate_network(spec, &net, &profiles, &mem, &energy))
+            .map(|spec| evaluate_network(spec, &net, &profiles, &mem, &energy).unwrap())
             .collect();
         let bitwave = results.last().unwrap();
         assert_eq!(bitwave.accelerator, "BitWave+DF+SM+BF");
@@ -435,14 +465,15 @@ mod tests {
         let profiles = resnet_profiles(&net);
         let mem = MemoryHierarchy::bitwave_default();
         let energy = EnergyModel::finfet_16nm();
-        let a = evaluate_network(&AcceleratorSpec::scnn(), &net, &profiles, &mem, &energy);
+        let a = evaluate_network(&AcceleratorSpec::scnn(), &net, &profiles, &mem, &energy).unwrap();
         let b = evaluate_network(
             &AcceleratorSpec::bitwave(BitwaveOptimizations::all()),
             &net,
             &profiles,
             &mem,
             &energy,
-        );
+        )
+        .unwrap();
         let s = b.speedup_over(&a);
         assert!((a.speedup_over(&b) - 1.0 / s).abs() < 1e-12);
         assert!(b.relative_energy(&a) <= 1.0);
@@ -453,7 +484,7 @@ mod tests {
     #[should_panic(expected = "one sparsity profile per layer")]
     fn mismatched_profile_count_panics() {
         let net = resnet18();
-        evaluate_network(
+        let _ = evaluate_network(
             &AcceleratorSpec::dense(),
             &net,
             &[],

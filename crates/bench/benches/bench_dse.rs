@@ -1,0 +1,175 @@
+//! Harness for the `bitwave-dse` dataflow design-space exploration engine.
+//!
+//! Two invariants are **asserted** (not just timed) before the criterion
+//! loops, so `cargo bench --bench bench_dse` doubles as the CI gate:
+//!
+//! 1. the searched mapping policy beats (or at worst ties) the Fig. 9
+//!    heuristic on end-to-end EDP for the ResNet-style model on the BitWave
+//!    accelerator — measured on full pipeline reports, not the search's own
+//!    cost estimates;
+//! 2. a memoized re-search of an already-seen network is ≥ 10× faster than
+//!    the cold search that populated the cache, and returns exactly the
+//!    same result.
+
+use bitwave::context::ExperimentContext;
+use bitwave::dataflow::mapping::MappingPolicy;
+use bitwave::dse::DseEngine;
+use bitwave::pipeline::{ModelReport, Pipeline};
+use bitwave_accel::spec::{AcceleratorSpec, BitwaveOptimizations};
+use bitwave_accel::LayerSparsityProfile;
+use bitwave_bench::print_header;
+use bitwave_dnn::models::resnet18;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SAMPLE_CAP: usize = 4_000;
+
+fn ctx() -> ExperimentContext {
+    ExperimentContext::default().with_sample_cap(SAMPLE_CAP)
+}
+
+fn edp(report: &ModelReport) -> f64 {
+    report.total_cycles * report.energy.total_pj()
+}
+
+/// Gate 1: `MappingPolicy::Searched` must not lose to the heuristic on EDP
+/// for ResNet18 on the fully optimised BitWave configuration.
+fn assert_searched_beats_heuristic_edp() {
+    print_header(
+        "dse_edp",
+        "searched vs heuristic mapping EDP on ResNet18/BitWave (gate: searched <= heuristic)",
+    );
+    let net = resnet18();
+    let heuristic = Pipeline::new(ctx()).run_model(&net).expect("heuristic run");
+    let searched = Pipeline::new(ctx().with_mapping_policy(MappingPolicy::Searched))
+        .run_model(&net)
+        .expect("searched run");
+    let (h, s) = (edp(&heuristic), edp(&searched));
+    println!(
+        "heuristic EDP: {h:.4e}   searched EDP: {s:.4e}   gain: {:.3}x   \
+         (cycles {:.4e} -> {:.4e}, energy {:.4e} -> {:.4e} pJ)",
+        h / s,
+        heuristic.total_cycles,
+        searched.total_cycles,
+        heuristic.energy.total_pj(),
+        searched.energy.total_pj(),
+    );
+    assert!(
+        s <= h,
+        "searched EDP {s:.4e} must not exceed heuristic EDP {h:.4e}"
+    );
+}
+
+/// Gate 2: re-searching an already-seen network must be ≥ 10× faster than
+/// the cold search, with bit-identical results.
+fn assert_memoized_research_speedup() {
+    const TARGET: f64 = 10.0;
+    print_header(
+        "dse_memo",
+        "cold vs memoized network search (gate: warm >= 10x faster, identical results)",
+    );
+    let context = ctx();
+    let net = resnet18();
+    let weights = context.weights(&net);
+    let accel = AcceleratorSpec::bitwave(BitwaveOptimizations::all());
+    let pipeline = Pipeline::new(context.clone());
+    let prepared = pipeline
+        .prepare_with_weights(&net, &weights)
+        .expect("prepared layers");
+    let profiles: Vec<LayerSparsityProfile> = prepared
+        .iter()
+        .map(|layer| *layer.analysis.profile_for(&accel))
+        .collect();
+
+    // A private cache so the cold path is genuinely cold.
+    let engine = DseEngine::new(context.memory, context.energy);
+    let t0 = Instant::now();
+    let cold = engine
+        .search_network(&accel, &net, &profiles)
+        .expect("cold search");
+    let cold_time = t0.elapsed();
+    let t1 = Instant::now();
+    let warm = engine
+        .search_network(&accel, &net, &profiles)
+        .expect("warm search");
+    let warm_time = t1.elapsed();
+    assert_eq!(cold, warm, "memoized results must equal cold results");
+
+    let ratio = cold_time.as_secs_f64() / warm_time.as_secs_f64().max(f64::MIN_POSITIVE);
+    let stats = engine.cache().stats();
+    println!(
+        "cold: {:.1} ms   warm: {:.3} ms   speedup: {ratio:.1}x   \
+         (target: >={TARGET}x; memo hits {} misses {})",
+        cold_time.as_secs_f64() * 1e3,
+        warm_time.as_secs_f64() * 1e3,
+        stats.hits(),
+        stats.misses(),
+    );
+    assert!(
+        stats.hits() >= net.layers.len() as u64,
+        "the warm sweep must hit the memo for every layer (hits: {})",
+        stats.hits()
+    );
+    assert!(
+        ratio >= TARGET,
+        "memoized re-search speedup {ratio:.1}x is below the {TARGET}x gate"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    assert_searched_beats_heuristic_edp();
+    assert_memoized_research_speedup();
+
+    // Steady-state criterion loops.
+    let context = ctx();
+    let net = resnet18();
+    let accel = AcceleratorSpec::bitwave(BitwaveOptimizations::all());
+    let weights = context.weights(&net);
+    let pipeline = Pipeline::new(context.clone());
+    let prepared = pipeline
+        .prepare_with_weights(&net, &weights)
+        .expect("prepare");
+    let profiles: Vec<LayerSparsityProfile> = prepared
+        .iter()
+        .map(|layer| *layer.analysis.profile_for(&accel))
+        .collect();
+
+    let cold_engine_layer = net.layers[10].clone();
+    c.bench_function("dse/search_one_layer_cold", |b| {
+        b.iter(|| {
+            // A fresh private cache per iteration keeps this the cold path.
+            let engine = DseEngine::new(context.memory, context.energy);
+            black_box(
+                engine
+                    .search_layer(
+                        black_box(&accel),
+                        black_box(&cold_engine_layer),
+                        black_box(&profiles[10]),
+                    )
+                    .expect("search"),
+            )
+        })
+    });
+
+    let warm_engine = DseEngine::new(context.memory, context.energy);
+    warm_engine
+        .search_network(&accel, &net, &profiles)
+        .expect("warm-up");
+    c.bench_function("dse/search_resnet18_memoized", |b| {
+        b.iter(|| {
+            black_box(
+                warm_engine
+                    .search_network(black_box(&accel), black_box(&net), black_box(&profiles))
+                    .expect("memoized search"),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

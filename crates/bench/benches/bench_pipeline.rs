@@ -145,7 +145,8 @@ fn legacy_model_pass(
             ctx.group_size,
         )
         .expect("profile");
-        let result = evaluate_layer(pipeline.accelerator(), layer, &profile, &memory, &energy);
+        let result = evaluate_layer(pipeline.accelerator(), layer, &profile, &memory, &energy)
+            .expect("mapping");
         checksum += result.total_cycles;
     }
     checksum

@@ -6,6 +6,7 @@ use bitwave_accel::LayerSparsityProfile;
 use bitwave_core::group::GroupSize;
 use bitwave_core::prelude::FlipStrategy;
 use bitwave_core::stats::LayerSparsityStats;
+use bitwave_dataflow::mapping::MappingPolicy;
 use bitwave_dataflow::MemoryHierarchy;
 use bitwave_dnn::models::NetworkSpec;
 use bitwave_dnn::weights::NetworkWeights;
@@ -27,6 +28,10 @@ pub struct ExperimentContext {
     pub memory: MemoryHierarchy,
     /// Unit-energy model.
     pub energy: EnergyModel,
+    /// How the map stage picks each layer's spatial unrolling: the Fig. 9
+    /// heuristic (default, the paper's reported configuration) or the
+    /// `bitwave-dse` per-layer design-space search.
+    pub mapping_policy: MappingPolicy,
 }
 
 impl Default for ExperimentContext {
@@ -37,6 +42,7 @@ impl Default for ExperimentContext {
             group_size: GroupSize::G16,
             memory: MemoryHierarchy::bitwave_default(),
             energy: EnergyModel::finfet_16nm(),
+            mapping_policy: MappingPolicy::Heuristic,
         }
     }
 }
@@ -57,6 +63,13 @@ impl ExperimentContext {
     /// Overrides the BCS group size (builder style).
     pub fn with_group_size(mut self, group_size: GroupSize) -> Self {
         self.group_size = group_size;
+        self
+    }
+
+    /// Overrides the mapping policy (builder style).  `Searched` routes the
+    /// map stage through the memoized `bitwave-dse` design-space search.
+    pub fn with_mapping_policy(mut self, policy: MappingPolicy) -> Self {
+        self.mapping_policy = policy;
         self
     }
 
@@ -192,10 +205,17 @@ mod tests {
         let ctx = ExperimentContext::default()
             .with_sample_cap(100)
             .with_seed(7)
-            .with_group_size(GroupSize::G8);
+            .with_group_size(GroupSize::G8)
+            .with_mapping_policy(MappingPolicy::Searched);
         assert_eq!(ctx.sample_cap, 100);
         assert_eq!(ctx.seed, 7);
         assert_eq!(ctx.group_size, GroupSize::G8);
+        assert_eq!(ctx.mapping_policy, MappingPolicy::Searched);
+        assert_eq!(
+            ExperimentContext::default().mapping_policy,
+            MappingPolicy::Heuristic,
+            "the heuristic stays the default (goldens depend on it)"
+        );
     }
 
     #[test]

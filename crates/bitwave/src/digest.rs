@@ -1,87 +1,32 @@
 //! Stable content digests over serializable values.
 //!
-//! The evaluation service (`bitwave-serve`) addresses cached
-//! [`crate::pipeline::ModelReport`]s by a digest of the request that produced
-//! them: the model id, the accelerator name and the
-//! [`crate::context::ExperimentContext`] knobs.  The digest must be **stable**
-//! — the same logical request always hashes to the same value, across
-//! processes and runs — so it cannot use [`std::hash::Hash`] (whose hasher is
-//! randomised and whose byte layout is unspecified).  Instead a value is
-//! first rendered to canonical compact JSON (the vendored serde preserves
-//! struct-field declaration order, so the rendering is deterministic) and the
-//! JSON bytes are hashed with FNV-1a/128.
+//! The digest primitives — [`Digest`], [`fnv1a128`] — live in
+//! [`bitwave_core::digest`] so that substrate crates (notably the
+//! `bitwave-dse` memoization cache) can address content without depending on
+//! this facade; they are re-exported here unchanged.  The evaluation service
+//! (`bitwave-serve`) addresses cached [`crate::pipeline::ModelReport`]s by a
+//! digest of the request that produced them: the model id, the accelerator
+//! name and the [`crate::context::ExperimentContext`] knobs captured by
+//! [`ContextKnobs`].
 //!
 //! Digests are formatted as 32 lowercase hex characters, e.g.
 //! `"5e1b40b4a3fe5bd0a35b1a2f2f9e5a6c"`.
 
-use crate::error::Result;
-use serde::Serialize;
-use std::fmt;
+pub use bitwave_core::digest::{fnv1a128, Digest};
 
-/// Version stamp mixed into every [`EvaluationKey`] digest.  Bump when the
+use bitwave_dataflow::mapping::MappingPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Version stamp mixed into every `EvaluationKey` digest.  Bump when the
 /// meaning of a key field changes so stale cache entries can never alias new
-/// requests.
-pub const DIGEST_SCHEMA_VERSION: u32 = 1;
-
-const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
-
-/// FNV-1a/128 over a byte slice.
-pub fn fnv1a128(bytes: &[u8]) -> u128 {
-    let mut hash = FNV128_OFFSET;
-    for &b in bytes {
-        hash ^= u128::from(b);
-        hash = hash.wrapping_mul(FNV128_PRIME);
-    }
-    hash
-}
-
-/// A stable 128-bit content digest, displayed as 32 lowercase hex chars.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Digest(u128);
-
-impl Digest {
-    /// Digest of raw bytes.
-    pub fn of_bytes(bytes: &[u8]) -> Self {
-        Digest(fnv1a128(bytes))
-    }
-
-    /// Digest of a serializable value via its canonical compact JSON.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`crate::BitwaveError::Serialization`] when the value fails to
-    /// serialize.
-    pub fn of_value<T: Serialize + ?Sized>(value: &T) -> Result<Self> {
-        Ok(Self::of_bytes(serde_json::to_string(value)?.as_bytes()))
-    }
-
-    /// Parses the 32-hex-char form back into a digest.  Returns `None` for
-    /// anything that is not exactly 32 lowercase/uppercase hex characters.
-    pub fn parse(text: &str) -> Option<Self> {
-        if text.len() != 32 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
-            return None;
-        }
-        u128::from_str_radix(text, 16).ok().map(Digest)
-    }
-
-    /// The 32-lowercase-hex-char string form.
-    pub fn to_hex(self) -> String {
-        format!("{:032x}", self.0)
-    }
-}
-
-impl fmt::Display for Digest {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:032x}", self.0)
-    }
-}
+/// requests.  Version 2: [`ContextKnobs`] gained the `mapping` policy knob.
+pub const DIGEST_SCHEMA_VERSION: u32 = 2;
 
 /// The digestible knobs of an [`crate::context::ExperimentContext`]: the
 /// subset of the context that influences a pipeline evaluation and can be set
 /// per request.  The memory hierarchy and unit-energy model are fixed
 /// paper-default tables and are covered by [`DIGEST_SCHEMA_VERSION`] instead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ContextKnobs {
     /// RNG seed for the synthetic weights.
     pub seed: u64,
@@ -89,6 +34,8 @@ pub struct ContextKnobs {
     pub sample_cap: usize,
     /// BCS group size (weights per group).
     pub group_size: usize,
+    /// How the map stage picks each layer's spatial unrolling.
+    pub mapping: MappingPolicy,
 }
 
 impl ContextKnobs {
@@ -98,6 +45,7 @@ impl ContextKnobs {
             seed: ctx.seed,
             sample_cap: ctx.sample_cap,
             group_size: ctx.group_size.len(),
+            mapping: ctx.mapping_policy,
         }
     }
 
@@ -107,6 +55,7 @@ impl ContextKnobs {
             .with_seed(self.seed)
             .with_sample_cap(self.sample_cap)
             .with_group_size(bitwave_core::group::GroupSize::from_len(self.group_size))
+            .with_mapping_policy(self.mapping)
     }
 }
 
@@ -116,47 +65,29 @@ mod tests {
     use crate::context::ExperimentContext;
     use bitwave_core::group::GroupSize;
 
-    #[test]
-    fn digests_are_stable_across_calls_and_formats() {
-        let a = Digest::of_bytes(b"bitwave");
-        let b = Digest::of_bytes(b"bitwave");
-        assert_eq!(a, b);
-        assert_ne!(a, Digest::of_bytes(b"bitwavf"));
-        let hex = a.to_hex();
-        assert_eq!(hex.len(), 32);
-        assert_eq!(Digest::parse(&hex), Some(a));
-        assert_eq!(hex, a.to_string());
-    }
-
-    #[test]
-    fn known_fnv_vector() {
-        // FNV-1a/128 of the empty input is the offset basis.
-        assert_eq!(fnv1a128(b""), FNV128_OFFSET);
-        // One-byte avalanche: 'a' XORed into the basis then multiplied once.
-        let expected = (FNV128_OFFSET ^ u128::from(b'a')).wrapping_mul(FNV128_PRIME);
-        assert_eq!(fnv1a128(b"a"), expected);
-    }
-
-    #[test]
-    fn parse_rejects_malformed_digests() {
-        assert!(Digest::parse("").is_none());
-        assert!(Digest::parse("xyz").is_none());
-        assert!(Digest::parse(&"0".repeat(31)).is_none());
-        assert!(Digest::parse(&"g".repeat(32)).is_none());
-        assert!(Digest::parse(&"0".repeat(33)).is_none());
+    fn knobs() -> ContextKnobs {
+        ContextKnobs {
+            seed: 42,
+            sample_cap: 1000,
+            group_size: 16,
+            mapping: MappingPolicy::Heuristic,
+        }
     }
 
     #[test]
     fn value_digest_tracks_field_changes() {
-        let a = ContextKnobs {
-            seed: 42,
-            sample_cap: 1000,
-            group_size: 16,
-        };
+        let a = knobs();
         let mut b = a;
         assert_eq!(Digest::of_value(&a).unwrap(), Digest::of_value(&b).unwrap());
         b.seed = 43;
         assert_ne!(Digest::of_value(&a).unwrap(), Digest::of_value(&b).unwrap());
+        let mut c = a;
+        c.mapping = MappingPolicy::Searched;
+        assert_ne!(
+            Digest::of_value(&a).unwrap(),
+            Digest::of_value(&c).unwrap(),
+            "the mapping policy must be digest-relevant"
+        );
     }
 
     #[test]
@@ -164,14 +95,25 @@ mod tests {
         let ctx = ExperimentContext::default()
             .with_seed(7)
             .with_sample_cap(2_000)
-            .with_group_size(GroupSize::G8);
+            .with_group_size(GroupSize::G8)
+            .with_mapping_policy(MappingPolicy::Searched);
         let knobs = ContextKnobs::of(&ctx);
         assert_eq!(knobs.seed, 7);
         assert_eq!(knobs.sample_cap, 2_000);
         assert_eq!(knobs.group_size, 8);
+        assert_eq!(knobs.mapping, MappingPolicy::Searched);
         let rebuilt = knobs.to_context();
         assert_eq!(rebuilt.seed, ctx.seed);
         assert_eq!(rebuilt.sample_cap, ctx.sample_cap);
         assert_eq!(rebuilt.group_size, ctx.group_size);
+        assert_eq!(rebuilt.mapping_policy, ctx.mapping_policy);
+    }
+
+    #[test]
+    fn knobs_deserialize_from_canonical_json() {
+        let json = serde_json::to_string(&knobs()).unwrap();
+        assert!(json.contains("\"Heuristic\""));
+        let parsed: ContextKnobs = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, knobs());
     }
 }

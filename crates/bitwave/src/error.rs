@@ -7,6 +7,8 @@
 //! offline; the shape matches what `#[derive(Error)]` would generate.
 
 use bitwave_core::error::CoreError;
+use bitwave_dataflow::mapping::MappingError;
+use bitwave_dse::DseError;
 use bitwave_sim::error::SimError;
 use bitwave_tensor::TensorError;
 use std::fmt;
@@ -60,6 +62,18 @@ pub enum BitwaveError {
         /// Human-readable serializer error.
         message: String,
     },
+    /// The map stage could not select a spatial unrolling (empty SU set,
+    /// degenerate layer).
+    Mapping(
+        /// The propagated mapping error.
+        MappingError,
+    ),
+    /// The design-space exploration of a `MappingPolicy::Searched` map stage
+    /// failed.
+    Dse(
+        /// The propagated DSE error.
+        DseError,
+    ),
 }
 
 impl fmt::Display for BitwaveError {
@@ -82,6 +96,8 @@ impl fmt::Display for BitwaveError {
             BitwaveError::Serialization { message } => {
                 write!(f, "serialization error: {message}")
             }
+            BitwaveError::Mapping(e) => write!(f, "mapping error: {e}"),
+            BitwaveError::Dse(e) => write!(f, "dataflow search error: {e}"),
         }
     }
 }
@@ -94,6 +110,8 @@ impl std::error::Error for BitwaveError {
             BitwaveError::Sim(e) => Some(e),
             BitwaveError::UnknownModel(e) => Some(e),
             BitwaveError::UnknownAccelerator(e) => Some(e),
+            BitwaveError::Mapping(e) => Some(e),
+            BitwaveError::Dse(e) => Some(e),
             _ => None,
         }
     }
@@ -134,6 +152,18 @@ impl From<serde_json::Error> for BitwaveError {
         BitwaveError::Serialization {
             message: e.to_string(),
         }
+    }
+}
+
+impl From<MappingError> for BitwaveError {
+    fn from(e: MappingError) -> Self {
+        BitwaveError::Mapping(e)
+    }
+}
+
+impl From<DseError> for BitwaveError {
+    fn from(e: DseError) -> Self {
+        BitwaveError::Dse(e)
     }
 }
 
@@ -181,5 +211,24 @@ mod tests {
         let e: BitwaveError = json_err.into();
         assert!(e.to_string().contains("serialization error"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn mapping_and_dse_conversions() {
+        use std::error::Error;
+        let e: BitwaveError = MappingError::EmptySuSet {
+            set: "Hollow".to_string(),
+        }
+        .into();
+        assert!(e.to_string().contains("mapping error"));
+        assert!(e.to_string().contains("Hollow"));
+        assert!(e.source().is_some());
+        let e: BitwaveError = DseError::EmptySpace {
+            layer: "conv1".to_string(),
+        }
+        .into();
+        assert!(e.to_string().contains("dataflow search error"));
+        assert!(e.to_string().contains("conv1"));
+        assert!(e.source().is_some());
     }
 }

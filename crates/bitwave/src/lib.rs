@@ -47,6 +47,7 @@ pub use bitwave_accel as accel;
 pub use bitwave_core as core;
 pub use bitwave_dataflow as dataflow;
 pub use bitwave_dnn as dnn;
+pub use bitwave_dse as dse;
 pub use bitwave_sim as sim;
 pub use bitwave_tensor as tensor;
 

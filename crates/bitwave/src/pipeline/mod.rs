@@ -15,6 +15,14 @@
 //! [`ModelReport`]s: jobs are independent and results are collected in layer
 //! order.
 //!
+//! The map stage honours the context's
+//! [`bitwave_dataflow::mapping::MappingPolicy`]: `Heuristic` (default)
+//! reproduces the paper's one-shot Fig. 9 selection over the accelerator's
+//! SU set, `Searched` routes every layer through the memoized `bitwave-dse`
+//! design-space exploration ([`Pipeline::search_model_weights`] exposes the
+//! full per-layer comparison).  All goldens are pinned to the default
+//! policy.
+//!
 //! # Zero-copy, single-analysis execution
 //!
 //! A [`LayerJob`] carries its weights behind a shared
@@ -147,6 +155,15 @@ impl Pipeline {
         LayerJob::plan_with_weights(&self.ctx, spec, weights, &self.strategy)
     }
 
+    /// The map stage configured from this pipeline's context: the heuristic
+    /// by default, the memoized DSE search under
+    /// [`bitwave_dataflow::mapping::MappingPolicy::Searched`].
+    fn map_stage(&self) -> MapStage {
+        MapStage::new(self.accelerator.clone())
+            .with_policy(self.ctx.mapping_policy)
+            .with_cost_tables(self.ctx.memory, self.ctx.energy)
+    }
+
     /// Runs one job through all four stages.
     ///
     /// # Errors
@@ -155,7 +172,7 @@ impl Pipeline {
     pub fn run_job(&self, job: LayerJob) -> Result<LayerReport> {
         let compressed = CompressStage::new(self.encoding).run(job)?;
         let flipped = BitFlipStage::new(self.encoding).run(compressed)?;
-        let mapped = MapStage::new(self.accelerator.clone()).run(flipped)?;
+        let mapped = self.map_stage().run(flipped)?;
         SimulateStage::new(self.accelerator.clone(), self.ctx.memory, self.ctx.energy).run(mapped)
     }
 
@@ -204,31 +221,32 @@ impl Pipeline {
     }
 
     /// Runs the map stage for every layer of `spec` (the Fig. 9 view of the
-    /// dynamic dataflow choice).  SU selection depends only on the loop nest,
-    /// so no weights are generated and no compression runs.
+    /// dynamic dataflow choice).  The heuristic needs only the loop nest, so
+    /// no weights are generated and no compression runs; under the searched
+    /// policy a dense (sparsity-free) profile drives the search.
     ///
     /// # Errors
     ///
-    /// Returns [`crate::BitwaveError::EmptyModel`] for a layerless network.
+    /// Returns [`crate::BitwaveError::EmptyModel`] for a layerless network
+    /// and propagates mapping/search errors.
     pub fn map_model(&self, spec: &NetworkSpec) -> Result<Vec<MappingSummary>> {
         if spec.layers.is_empty() {
             return Err(crate::error::BitwaveError::EmptyModel {
                 network: spec.name.clone(),
             });
         }
-        let map = MapStage::new(self.accelerator.clone());
-        Ok(spec
-            .layers
+        let map = self.map_stage();
+        spec.layers
             .iter()
             .map(|layer| {
-                let decision = map.decide(layer);
-                MappingSummary {
-                    su: decision.su.name.to_string(),
+                let decision = map.decide(layer)?;
+                Ok(MappingSummary {
+                    su: decision.label.clone(),
                     utilization: decision.utilization,
                     effective_macs_per_cycle: decision.effective_macs_per_cycle,
-                }
+                })
             })
-            .collect())
+            .collect()
     }
 
     /// Runs the compress + bit-flip prefix over every layer of `spec` with an
@@ -265,16 +283,46 @@ impl Pipeline {
         spec: &NetworkSpec,
         prepared: &[FlippedLayer],
     ) -> Result<ModelReport> {
-        let map = MapStage::new(self.accelerator.clone());
+        let map = self.map_stage();
         let simulate =
             SimulateStage::new(self.accelerator.clone(), self.ctx.memory, self.ctx.energy);
         // By-reference evaluation: the map/simulate suffix never reads the
         // weight tensors, so nothing is cloned per accelerator.
         let layers: Vec<LayerReport> = prepared
             .iter()
-            .map(|layer| simulate.evaluate(layer, &map.decide(&layer.job.layer)))
-            .collect();
+            .map(|layer| {
+                let decision = map.decide_with_profile(
+                    &layer.job.layer,
+                    layer.analysis.profile_for(&self.accelerator),
+                )?;
+                Ok(simulate.evaluate(layer, &decision))
+            })
+            .collect::<Result<_>>()?;
         Ok(self.aggregate(spec, layers))
+    }
+
+    /// Runs the compress + bit-flip prefix over `spec` and then the full
+    /// memoized design-space exploration per layer, returning the per-layer
+    /// heuristic-vs-searched comparison with Pareto fronts — the payload of
+    /// `bitwave-serve`'s `POST /v1/search`.  Independent of the pipeline's
+    /// own [`bitwave_dataflow::mapping::MappingPolicy`]: the comparison
+    /// always evaluates both policies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning, stage and search errors.
+    pub fn search_model_weights(
+        &self,
+        spec: &NetworkSpec,
+        weights: &NetworkWeights,
+    ) -> Result<bitwave_dse::NetworkSearch> {
+        let prepared = self.prepare_with_weights(spec, weights)?;
+        let profiles: Vec<bitwave_accel::LayerSparsityProfile> = prepared
+            .iter()
+            .map(|layer| *layer.analysis.profile_for(&self.accelerator))
+            .collect();
+        let engine = bitwave_dse::DseEngine::shared(self.ctx.memory, self.ctx.energy);
+        Ok(engine.search_network(&self.accelerator, spec, &profiles)?)
     }
 
     /// Runs the full chain over every layer sequentially.
@@ -586,6 +634,72 @@ mod tests {
         assert!(bitwave.total_cycles < dense.total_cycles);
         assert!(bitwave.speedup_over(&dense) > 1.0);
         assert!(dense.speedup_over(&dense) == 1.0);
+    }
+
+    #[test]
+    fn searched_policy_never_loses_to_the_heuristic_on_edp() {
+        use bitwave_dataflow::mapping::MappingPolicy;
+        let net = resnet18();
+        let heuristic = Pipeline::new(ctx()).run_model(&net).unwrap();
+        let searched = Pipeline::new(ctx().with_mapping_policy(MappingPolicy::Searched))
+            .run_model(&net)
+            .unwrap();
+        let edp = |r: &ModelReport| r.total_cycles * r.energy.total_pj();
+        assert!(
+            edp(&searched) <= edp(&heuristic),
+            "searched EDP {:.3e} must not exceed heuristic EDP {:.3e}",
+            edp(&searched),
+            edp(&heuristic)
+        );
+        // Searched reports surface the mapping descriptors.
+        assert!(searched
+            .layers
+            .iter()
+            .all(|l| !l.mapping.su.is_empty() && l.mapping.utilization > 0.0));
+    }
+
+    #[test]
+    fn searched_policy_keeps_sequential_parallel_bit_identity() {
+        use bitwave_dataflow::mapping::MappingPolicy;
+        let pipeline = Pipeline::new(ctx().with_mapping_policy(MappingPolicy::Searched));
+        let net = mobilenet_v2();
+        let sequential = pipeline.run_model(&net).unwrap();
+        let parallel = pipeline.run_model_parallel(&net).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn searched_prepared_suffix_matches_full_runs() {
+        use bitwave_dataflow::mapping::MappingPolicy;
+        let context = ctx().with_mapping_policy(MappingPolicy::Searched);
+        let net = resnet18();
+        let weights = context.weights(&net);
+        let pipeline = Pipeline::new(context).with_default_bitflip(&net);
+        let prepared = pipeline.prepare_with_weights(&net, &weights).unwrap();
+        let via_suffix = pipeline.simulate_prepared(&net, &prepared).unwrap();
+        let full = pipeline.run_model_weights(&net, &weights).unwrap();
+        assert_eq!(via_suffix, full);
+    }
+
+    #[test]
+    fn search_model_weights_reports_per_layer_fronts() {
+        let context = ctx();
+        let net = resnet18();
+        let weights = context.weights(&net);
+        let pipeline = Pipeline::new(context);
+        let search = pipeline.search_model_weights(&net, &weights).unwrap();
+        assert_eq!(search.layers.len(), net.layers.len());
+        assert_eq!(search.accelerator, "BitWave+DF+SM+BF");
+        assert!(search.edp_gain() >= 1.0);
+        for layer in &search.layers {
+            assert!(!layer.search.front.is_empty());
+            assert!(layer.search.candidates > 0);
+            assert!(
+                layer.search.winner.cost.edp <= layer.heuristic.cost.edp,
+                "{}: the space seeds the heuristic choice",
+                layer.layer
+            );
+        }
     }
 
     #[test]

@@ -194,7 +194,7 @@ impl ModelReport {
     /// Returns [`crate::BitwaveError::Serialization`] when the report fails
     /// to serialize.
     pub fn content_digest(&self) -> crate::error::Result<crate::digest::Digest> {
-        crate::digest::Digest::of_value(self)
+        Ok(crate::digest::Digest::of_value(self)?)
     }
 
     /// Speedup of `self` relative to `baseline` (higher is better).

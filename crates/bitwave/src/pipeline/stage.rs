@@ -26,8 +26,9 @@ use bitwave_core::bitflip::flip_tensor;
 use bitwave_core::compress::BcsCodec;
 use bitwave_core::group::{extract_groups, GroupSize, Groups};
 use bitwave_core::stats::LayerSparsityStats;
-use bitwave_dataflow::mapping::{select_spatial_unrolling, MappingDecision};
+use bitwave_dataflow::mapping::{select_spatial_unrolling, MappingDecision, MappingPolicy};
 use bitwave_dataflow::MemoryHierarchy;
+use bitwave_dse::DseEngine;
 use bitwave_tensor::bits::Encoding;
 use bitwave_tensor::handle::WeightHandle;
 
@@ -284,23 +285,94 @@ impl PipelineStage for BitFlipStage {
     }
 }
 
-/// Selects the spatial unrolling for the layer from the accelerator's SU set.
+/// Selects the spatial unrolling for the layer: the Fig. 9 heuristic over
+/// the accelerator's SU set ([`MappingPolicy::Heuristic`], the default) or
+/// the memoized `bitwave-dse` design-space search
+/// ([`MappingPolicy::Searched`]), which enumerates SU factorizations, loop
+/// orders and tile sizes and picks the minimum-EDP mapping for the layer's
+/// sparsity profile.
 #[derive(Debug, Clone)]
 pub struct MapStage {
-    /// The accelerator whose SU set is searched.
+    /// The accelerator whose SU set / lane budget is searched.
     pub accelerator: AcceleratorSpec,
+    /// The selection policy.
+    pub policy: MappingPolicy,
+    /// Memory hierarchy the searched cost model evaluates against.
+    pub memory: MemoryHierarchy,
+    /// Unit-energy model the searched cost model evaluates against.
+    pub energy: EnergyModel,
 }
 
 impl MapStage {
-    /// Creates the stage for an accelerator.
+    /// Creates the stage for an accelerator with the heuristic policy and
+    /// the paper-default cost tables.
     pub fn new(accelerator: AcceleratorSpec) -> Self {
-        Self { accelerator }
+        Self {
+            accelerator,
+            policy: MappingPolicy::default(),
+            memory: MemoryHierarchy::bitwave_default(),
+            energy: EnergyModel::finfet_16nm(),
+        }
     }
 
-    /// The mapping decision for one layer — usable without weights, since
-    /// SU selection depends only on the loop nest.
-    pub fn decide(&self, layer: &bitwave_dnn::layer::LayerSpec) -> MappingDecision {
-        select_spatial_unrolling(layer, &self.accelerator.su_set)
+    /// Overrides the selection policy (builder style).
+    pub fn with_policy(mut self, policy: MappingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the cost tables the searched policy evaluates against
+    /// (builder style).
+    pub fn with_cost_tables(mut self, memory: MemoryHierarchy, energy: EnergyModel) -> Self {
+        self.memory = memory;
+        self.energy = energy;
+        self
+    }
+
+    /// The DSE engine backing [`MappingPolicy::Searched`] decisions: shares
+    /// the process-wide memo cache, so identical layers are searched once
+    /// across models, runs and served requests.
+    fn dse_engine(&self) -> DseEngine {
+        DseEngine::shared(self.memory, self.energy)
+    }
+
+    /// The mapping decision for one layer given its sparsity profile — the
+    /// searched policy is sparsity-adaptive, so the profile steers the
+    /// winner.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::BitwaveError::Mapping`] for an empty SU set or degenerate
+    /// layer, [`crate::BitwaveError::Dse`] when the search itself fails.
+    pub fn decide_with_profile(
+        &self,
+        layer: &bitwave_dnn::layer::LayerSpec,
+        profile: &bitwave_accel::LayerSparsityProfile,
+    ) -> Result<MappingDecision> {
+        match self.policy {
+            MappingPolicy::Heuristic => {
+                Ok(select_spatial_unrolling(layer, &self.accelerator.su_set)?)
+            }
+            MappingPolicy::Searched => {
+                let result = self
+                    .dse_engine()
+                    .search_layer(&self.accelerator, layer, profile)?;
+                Ok(result.winner.to_decision(&layer.name))
+            }
+        }
+    }
+
+    /// The mapping decision for one layer without weights.  The heuristic
+    /// needs only the loop nest; the searched policy falls back to a dense
+    /// (sparsity-free) profile, so weight-free mapping sweeps stay possible.
+    ///
+    /// # Errors
+    ///
+    /// See [`MapStage::decide_with_profile`].
+    pub fn decide(&self, layer: &bitwave_dnn::layer::LayerSpec) -> Result<MappingDecision> {
+        // The heuristic ignores the profile, so one delegation covers both
+        // policies.
+        self.decide_with_profile(layer, &bitwave_accel::LayerSparsityProfile::dense(8))
     }
 }
 
@@ -331,7 +403,10 @@ impl PipelineStage for MapStage {
     }
 
     fn run(&self, input: FlippedLayer) -> Result<MappedLayer> {
-        let decision = self.decide(&input.job.layer);
+        let decision = self.decide_with_profile(
+            &input.job.layer,
+            input.analysis.profile_for(&self.accelerator),
+        )?;
         Ok(MappedLayer {
             job: input.job,
             sparsity: input.sparsity,
@@ -389,7 +464,7 @@ impl SimulateStage {
             compression: input.compression,
             bitflip: input.bitflip,
             mapping: MappingSummary {
-                su: decision.su.name.to_string(),
+                su: decision.label.clone(),
                 utilization: decision.utilization,
                 effective_macs_per_cycle: decision.effective_macs_per_cycle,
             },

@@ -30,6 +30,12 @@ pub enum CoreError {
         /// The propagated tensor error.
         TensorError,
     ),
+    /// A value failed to serialize while computing a content digest
+    /// ([`crate::digest::Digest::of_value`]).
+    Serialization {
+        /// Human-readable serializer error.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -48,6 +54,9 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Serialization { message } => {
+                write!(f, "serialization error: {message}")
+            }
         }
     }
 }
@@ -77,6 +86,10 @@ mod tests {
         assert!(CoreError::InvalidGroupLength(0).to_string().contains("0"));
         let e = CoreError::from(TensorError::Empty);
         assert!(e.to_string().contains("tensor error"));
+        let e = CoreError::Serialization {
+            message: "boom".to_string(),
+        };
+        assert!(e.to_string().contains("serialization error: boom"));
     }
 
     #[test]

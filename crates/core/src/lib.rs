@@ -15,7 +15,11 @@
 //!   perturbation that forces a target number of zero columns per group while
 //!   minimising the Euclidean distance to the original group (Fig. 4c).
 //! * [`search`] — the greedy layer-wise search of Algorithm 1.
-//! * [`pareto`] — the compression-ratio/accuracy Pareto front (Fig. 6).
+//! * [`pareto`] — multi-objective Pareto fronts: the compression-ratio/
+//!   accuracy front of Fig. 6 plus the N-objective generalisation the
+//!   dataflow design-space explorer prunes with.
+//! * [`digest`] — stable FNV-1a/128 content digests over canonical JSON
+//!   (cache/memo addressing for `bitwave-serve` and `bitwave-dse`).
 //!
 //! The crate deliberately knows nothing about networks, dataflows or
 //! hardware; those live in `bitwave-dnn`, `bitwave-dataflow`,
@@ -45,6 +49,7 @@
 
 pub mod bitflip;
 pub mod compress;
+pub mod digest;
 pub mod error;
 pub mod group;
 pub mod pareto;
@@ -60,9 +65,12 @@ pub mod prelude {
     pub use crate::compress::{
         BcsCodec, CompressedTensor, CompressionReport, CsrCodec, WeightCodec, ZreCodec,
     };
+    pub use crate::digest::{fnv1a128, Digest};
     pub use crate::error::CoreError;
     pub use crate::group::{extract_groups, GroupSize, Groups};
-    pub use crate::pareto::{pareto_front, ParetoPoint};
+    pub use crate::pareto::{
+        pareto_front, pareto_front_indices, pareto_front_n, Direction, ParetoPoint, ParetoPointN,
+    };
     pub use crate::search::{greedy_bitflip_search, FlipStrategy, SearchConfig, SearchOutcome};
     pub use crate::stats::{LayerSparsityStats, SparsitySummary};
     pub use bitwave_tensor::bits::{nonzero_column_count, zero_column_count, Encoding};

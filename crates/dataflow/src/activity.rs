@@ -22,6 +22,54 @@ use crate::su::SpatialUnrolling;
 use bitwave_dnn::layer::LayerSpec;
 use serde::{Deserialize, Serialize};
 
+/// Which operand stays resident in its SRAM tile by tile while the other is
+/// re-streamed from DRAM — the temporal loop order of the mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TilingOrder {
+    /// Weights are resident tile by tile; activations are re-read once per
+    /// weight tile.
+    WeightOuter,
+    /// Activations are resident tile by tile; weights are re-read once per
+    /// activation tile.
+    ActivationOuter,
+}
+
+impl TilingOrder {
+    /// Short display tag (`wo` / `ao`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            TilingOrder::WeightOuter => "wo",
+            TilingOrder::ActivationOuter => "ao",
+        }
+    }
+}
+
+/// An explicit temporal mapping: the tiling (loop) order plus a tile-count
+/// multiplier on top of the minimum the SRAM capacity forces.  A design-space
+/// search enumerates these alongside spatial unrollings; `tile_factor = 1`
+/// with the cheaper order reproduces what [`ActivityCounts::analyze`] picks
+/// automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TemporalMapping {
+    /// The tiling order.
+    pub order: TilingOrder,
+    /// Multiplier on the capacity-forced tile count of the resident operand
+    /// (1 = the natural tiling; larger factors cut tiles finer and re-stream
+    /// the other operand more often).
+    pub tile_factor: usize,
+}
+
+impl TemporalMapping {
+    /// The natural tiling under the given order (capacity-forced tile count,
+    /// no extra subdivision).
+    pub fn natural(order: TilingOrder) -> Self {
+        Self {
+            order,
+            tile_factor: 1,
+        }
+    }
+}
+
 /// Dense (sparsity-unaware) activity counts of one layer on one accelerator
 /// configuration — the reproduction of Table II.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,8 +101,38 @@ pub struct ActivityCounts {
 }
 
 impl ActivityCounts {
-    /// Analyses one layer under one spatial unrolling and memory hierarchy.
+    /// Analyses one layer under one spatial unrolling and memory hierarchy,
+    /// letting the model pick the cheaper tiling order (the decision
+    /// ZigZag's temporal-mapping search would make).
     pub fn analyze(layer: &LayerSpec, su: &SpatialUnrolling, memory: &MemoryHierarchy) -> Self {
+        let a = Self::analyze_with(
+            layer,
+            su,
+            memory,
+            TemporalMapping::natural(TilingOrder::WeightOuter),
+        );
+        let b = Self::analyze_with(
+            layer,
+            su,
+            memory,
+            TemporalMapping::natural(TilingOrder::ActivationOuter),
+        );
+        if a.dram_read_weight + a.dram_read_act <= b.dram_read_weight + b.dram_read_act {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Analyses one layer under an **explicit** temporal mapping instead of
+    /// the automatic cheapest-order choice — the entry point the dataflow
+    /// design-space exploration enumerates loop orders and tile sizes with.
+    pub fn analyze_with(
+        layer: &LayerSpec,
+        su: &SpatialUnrolling,
+        memory: &MemoryHierarchy,
+        temporal: TemporalMapping,
+    ) -> Self {
         let dims = &layer.dims;
         let macs = dims.macs();
         let utilization = su.utilization(dims);
@@ -63,20 +141,21 @@ impl ActivityCounts {
         let weight_bytes = dims.weight_count() as usize;
         let input_bytes = dims.input_count() as usize;
         let output_bytes = dims.output_count() as usize;
+        let factor = temporal.tile_factor.max(1) as u64;
 
-        // Tiling order A: weights resident tile by tile, activations
-        // re-streamed once per weight tile.
-        let weight_tiles = memory.weight_tiles(weight_bytes) as u64;
-        let dram_a = dims.weight_count() + dims.input_count() * weight_tiles;
-        // Tiling order B: activations resident tile by tile, weights
-        // re-streamed once per activation tile.
-        let act_tiles = memory.activation_tiles(input_bytes + output_bytes) as u64;
-        let dram_b = dims.weight_count() * act_tiles + dims.input_count();
-
-        let (dram_read_weight, dram_read_act) = if dram_a <= dram_b {
-            (dims.weight_count(), dims.input_count() * weight_tiles)
-        } else {
-            (dims.weight_count() * act_tiles, dims.input_count())
+        let (dram_read_weight, dram_read_act) = match temporal.order {
+            // Weights resident tile by tile, activations re-streamed once
+            // per weight tile.
+            TilingOrder::WeightOuter => {
+                let weight_tiles = memory.weight_tiles(weight_bytes) as u64 * factor;
+                (dims.weight_count(), dims.input_count() * weight_tiles)
+            }
+            // Activations resident tile by tile, weights re-streamed once
+            // per activation tile.
+            TilingOrder::ActivationOuter => {
+                let act_tiles = memory.activation_tiles(input_bytes + output_bytes) as u64 * factor;
+                (dims.weight_count() * act_tiles, dims.input_count())
+            }
         };
         let dram_write_act = dims.output_count();
 
@@ -211,6 +290,64 @@ mod tests {
         assert_eq!(total.dram_total(), a.dram_total() + b.dram_total());
         let expected_cycles = a.dense_compute_cycles() + b.dense_compute_cycles();
         assert!((total.dense_compute_cycles() - expected_cycles).abs() / expected_cycles < 1e-9);
+    }
+
+    #[test]
+    fn analyze_picks_the_cheaper_explicit_order() {
+        let net = bert_base();
+        let mem = MemoryHierarchy::bitwave_default();
+        for layer in &net.layers {
+            let auto = ActivityCounts::analyze(layer, &bitwave_su::SU6, &mem);
+            let wo = ActivityCounts::analyze_with(
+                layer,
+                &bitwave_su::SU6,
+                &mem,
+                TemporalMapping::natural(TilingOrder::WeightOuter),
+            );
+            let ao = ActivityCounts::analyze_with(
+                layer,
+                &bitwave_su::SU6,
+                &mem,
+                TemporalMapping::natural(TilingOrder::ActivationOuter),
+            );
+            let cheaper = if wo.dram_read_weight + wo.dram_read_act
+                <= ao.dram_read_weight + ao.dram_read_act
+            {
+                wo
+            } else {
+                ao
+            };
+            assert_eq!(auto, cheaper, "{}", layer.name);
+        }
+    }
+
+    #[test]
+    fn extra_tile_factors_only_add_dram_traffic() {
+        let net = bert_base();
+        let layer = net.layer("bert.encoder.layer.0.intermediate").unwrap();
+        let mem = MemoryHierarchy::bitwave_default();
+        for order in [TilingOrder::WeightOuter, TilingOrder::ActivationOuter] {
+            let natural = ActivityCounts::analyze_with(
+                layer,
+                &bitwave_su::SU6,
+                &mem,
+                TemporalMapping::natural(order),
+            );
+            let finer = ActivityCounts::analyze_with(
+                layer,
+                &bitwave_su::SU6,
+                &mem,
+                TemporalMapping {
+                    order,
+                    tile_factor: 4,
+                },
+            );
+            assert!(finer.dram_total() >= natural.dram_total());
+            assert!(finer.dram_total() > natural.dram_total() || layer.dims.weight_count() == 0);
+            assert_eq!(finer.macs, natural.macs);
+        }
+        assert_eq!(TilingOrder::WeightOuter.tag(), "wo");
+        assert_eq!(TilingOrder::ActivationOuter.tag(), "ao");
     }
 
     #[test]

@@ -26,16 +26,20 @@ pub mod memory;
 pub mod su;
 pub mod utilization;
 
-pub use activity::ActivityCounts;
-pub use mapping::{select_spatial_unrolling, MappingDecision};
+pub use activity::{ActivityCounts, TemporalMapping, TilingOrder};
+pub use mapping::{
+    map_network, select_spatial_unrolling, MappingDecision, MappingError, MappingPolicy,
+};
 pub use memory::MemoryHierarchy;
 pub use su::{SpatialUnrolling, SuSet};
 pub use utilization::{effective_macs_per_cycle, spatial_utilization};
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::activity::ActivityCounts;
-    pub use crate::mapping::{select_spatial_unrolling, MappingDecision};
+    pub use crate::activity::{ActivityCounts, TemporalMapping, TilingOrder};
+    pub use crate::mapping::{
+        map_network, select_spatial_unrolling, MappingDecision, MappingError, MappingPolicy,
+    };
     pub use crate::memory::MemoryHierarchy;
     pub use crate::su::{SpatialUnrolling, SuSet};
     pub use crate::utilization::{effective_macs_per_cycle, spatial_utilization};

@@ -2,15 +2,124 @@
 //!
 //! BitWave (and HUAA) choose a spatial unrolling per layer offline with the
 //! ZigZag design-space exploration and store the decision in the instruction
-//! memory (Section IV-C).  The selection criterion reproduced here is the
-//! one the paper motivates with Fig. 9: maximise the effective MAC lanes per
-//! cycle (array parallelism × utilisation), and among equally-fast options
-//! prefer the one with the lower weight bandwidth demand (smaller `Cu·Ku`),
-//! which reduces SRAM pressure.
+//! memory (Section IV-C).  Two selection modes exist:
+//!
+//! * [`MappingPolicy::Heuristic`] — the one-shot criterion the paper
+//!   motivates with Fig. 9, implemented by [`select_spatial_unrolling`]:
+//!   maximise the effective MAC lanes per cycle (array parallelism ×
+//!   utilisation), and among equally-fast options prefer the one with the
+//!   lower weight bandwidth demand (smaller `Cu·Ku`), which reduces SRAM
+//!   pressure.
+//! * [`MappingPolicy::Searched`] — a full per-layer design-space search over
+//!   enumerated SU factorizations, loop orders and tile sizes, implemented
+//!   by the `bitwave-dse` crate on top of this module's types.
+//!
+//! Selection is fallible: an empty SU set or a degenerate (zero-dimension)
+//! layer is a configuration error surfaced as a typed [`MappingError`]
+//! instead of a panic or a silent fallback.
 
+use crate::activity::TemporalMapping;
 use crate::su::{SpatialUnrolling, SuSet};
 use bitwave_dnn::layer::LayerSpec;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the map stage picks a layer's spatial unrolling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MappingPolicy {
+    /// The one-shot Fig. 9 heuristic over the accelerator's fixed SU set
+    /// (the default; reproduces the paper's reported configuration).
+    #[default]
+    Heuristic,
+    /// Per-layer design-space exploration (`bitwave-dse`): enumerate SU
+    /// factorizations / loop orders / tile sizes within the PE-array bounds,
+    /// evaluate each on the analytical cost model and pick the minimum-EDP
+    /// mapping.
+    Searched,
+}
+
+impl MappingPolicy {
+    /// Parses a case-insensitive policy name (`"heuristic"` / `"searched"`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "heuristic" => Some(MappingPolicy::Heuristic),
+            "searched" => Some(MappingPolicy::Searched),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MappingPolicy::Heuristic => "heuristic",
+            MappingPolicy::Searched => "searched",
+        }
+    }
+}
+
+/// A mapping request that cannot be satisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MappingError {
+    /// The accelerator's SU set has no options to choose from.
+    EmptySuSet {
+        /// Name of the offending SU set.
+        set: String,
+    },
+    /// A layer has a zero-sized loop dimension, so no spatial unrolling can
+    /// do useful work on it.
+    DegenerateLayer {
+        /// The offending layer name.
+        layer: String,
+        /// The zero-sized loop dimension.
+        dim: &'static str,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::EmptySuSet { set } => {
+                write!(f, "SU set `{set}` has no spatial unrollings to select from")
+            }
+            MappingError::DegenerateLayer { layer, dim } => {
+                write!(
+                    f,
+                    "layer `{layer}` has a zero-sized `{dim}` loop dimension and cannot be mapped"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// Validates that every loop dimension of `layer` is non-zero.
+///
+/// # Errors
+///
+/// Returns [`MappingError::DegenerateLayer`] naming the first zero dimension.
+pub fn validate_layer_dims(layer: &LayerSpec) -> Result<(), MappingError> {
+    let dims = &layer.dims;
+    let axes: [(&'static str, usize); 7] = [
+        ("b", dims.b),
+        ("k", dims.k),
+        ("c", dims.c),
+        ("oy", dims.oy),
+        ("ox", dims.ox),
+        ("fy", dims.fy),
+        ("fx", dims.fx),
+    ];
+    for (dim, size) in axes {
+        if size == 0 {
+            return Err(MappingError::DegenerateLayer {
+                layer: layer.name.clone(),
+                dim,
+            });
+        }
+    }
+    Ok(())
+}
 
 /// The mapping decision for one layer.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -19,23 +128,37 @@ pub struct MappingDecision {
     pub layer: String,
     /// The chosen spatial unrolling.
     pub su: SpatialUnrolling,
+    /// Display label of the choice: the SU's own name for set members,
+    /// a generated `DSE[..]` descriptor for searched factorizations.
+    pub label: String,
+    /// Explicit temporal mapping (loop order + tile factor) chosen by a
+    /// design-space search; `None` lets the activity model pick its default
+    /// (cheapest) tiling order.
+    pub temporal: Option<TemporalMapping>,
     /// PE-array utilisation achieved by the choice.
     pub utilization: f64,
     /// Effective MAC lanes per cycle (`parallelism × utilisation`).
     pub effective_macs_per_cycle: f64,
 }
 
-/// Selects the best SU of `set` for `layer`.
+/// Selects the best SU of `set` for `layer` under the Fig. 9 heuristic.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `set.options` is empty.
-pub fn select_spatial_unrolling(layer: &LayerSpec, set: &SuSet) -> MappingDecision {
-    assert!(
-        !set.options.is_empty(),
-        "SU set must contain at least one option"
-    );
-    let mut best = set.options[0];
+/// Returns [`MappingError::EmptySuSet`] when `set.options` is empty and
+/// [`MappingError::DegenerateLayer`] when a loop dimension of `layer` is
+/// zero.
+pub fn select_spatial_unrolling(
+    layer: &LayerSpec,
+    set: &SuSet,
+) -> Result<MappingDecision, MappingError> {
+    validate_layer_dims(layer)?;
+    let Some(&first) = set.options.first() else {
+        return Err(MappingError::EmptySuSet {
+            set: set.name.clone(),
+        });
+    };
+    let mut best = first;
     let mut best_rate = f64::NEG_INFINITY;
     for &su in &set.options {
         let rate = su.parallelism() as f64 * su.utilization_for(layer);
@@ -47,17 +170,26 @@ pub fn select_spatial_unrolling(layer: &LayerSpec, set: &SuSet) -> MappingDecisi
             best_rate = rate;
         }
     }
-    MappingDecision {
+    Ok(MappingDecision {
         layer: layer.name.clone(),
         su: best,
+        label: best.name.to_string(),
+        temporal: None,
         utilization: best.utilization_for(layer),
         effective_macs_per_cycle: best_rate,
-    }
+    })
 }
 
 /// Maps every layer of a network onto the SU set, returning one decision per
 /// layer in execution order.
-pub fn map_network(layers: &[LayerSpec], set: &SuSet) -> Vec<MappingDecision> {
+///
+/// # Errors
+///
+/// Propagates the first [`MappingError`] (empty SU set or degenerate layer).
+pub fn map_network(
+    layers: &[LayerSpec],
+    set: &SuSet,
+) -> Result<Vec<MappingDecision>, MappingError> {
     layers
         .iter()
         .map(|layer| select_spatial_unrolling(layer, set))
@@ -76,7 +208,7 @@ mod tests {
         // must never pick anything slower than it for a depthwise layer.
         let net = mobilenet_v2();
         let dw = net.layers.iter().find(|l| l.kind.is_depthwise()).unwrap();
-        let decision = select_spatial_unrolling(dw, &SuSet::bitwave());
+        let decision = select_spatial_unrolling(dw, &SuSet::bitwave()).unwrap();
         let su7_rate = bitwave_su::SU7.parallelism() as f64 * bitwave_su::SU7.utilization_for(dw);
         assert!(decision.effective_macs_per_cycle >= su7_rate - 1e-9);
         // A depthwise layer still cannot come close to filling the array.
@@ -87,7 +219,7 @@ mod tests {
     fn deep_layers_select_channel_parallel_su() {
         let net = resnet18();
         let late = net.layer("layer4.1.conv2").unwrap();
-        let decision = select_spatial_unrolling(late, &SuSet::bitwave());
+        let decision = select_spatial_unrolling(late, &SuSet::bitwave()).unwrap();
         assert!(decision.utilization > 0.8, "got {}", decision.utilization);
         assert!(
             decision.su.c >= 8 && decision.su.k >= 32,
@@ -101,15 +233,17 @@ mod tests {
         let net = resnet18();
         let set = SuSet::dense();
         for layer in &net.layers {
-            let d = select_spatial_unrolling(layer, &set);
+            let d = select_spatial_unrolling(layer, &set).unwrap();
             assert_eq!(d.su.name, "Dense64x64");
+            assert_eq!(d.label, "Dense64x64");
+            assert_eq!(d.temporal, None, "heuristic decisions use auto tiling");
         }
     }
 
     #[test]
     fn mapping_covers_every_layer_in_order() {
         let net = resnet18();
-        let decisions = map_network(&net.layers, &SuSet::bitwave());
+        let decisions = map_network(&net.layers, &SuSet::bitwave()).unwrap();
         assert_eq!(decisions.len(), net.layers.len());
         for (d, l) in decisions.iter().zip(&net.layers) {
             assert_eq!(d.layer, l.name);
@@ -121,8 +255,8 @@ mod tests {
     #[test]
     fn dynamic_mapping_improves_mean_utilization_over_dense() {
         let net = mobilenet_v2();
-        let dynamic = map_network(&net.layers, &SuSet::bitwave());
-        let dense = map_network(&net.layers, &SuSet::dense());
+        let dynamic = map_network(&net.layers, &SuSet::bitwave()).unwrap();
+        let dense = map_network(&net.layers, &SuSet::dense()).unwrap();
         let mean_util =
             |d: &[MappingDecision]| d.iter().map(|x| x.utilization).sum::<f64>() / d.len() as f64;
         let mean_rate = |d: &[MappingDecision]| {
@@ -155,7 +289,7 @@ mod tests {
             .iter()
             .find(|l| l.name.ends_with("project") && l.dims.k >= 32)
             .unwrap();
-        let decision = select_spatial_unrolling(pw, &SuSet::bitwave());
+        let decision = select_spatial_unrolling(pw, &SuSet::bitwave()).unwrap();
         let best_bw = decision.su.weight_elements_per_cycle();
         for su in bitwave_su::ALL {
             let rate = su.parallelism() as f64 * su.utilization_for(pw);
@@ -163,5 +297,56 @@ mod tests {
                 assert!(best_bw <= su.weight_elements_per_cycle());
             }
         }
+    }
+
+    #[test]
+    fn empty_su_set_is_a_typed_error() {
+        let net = resnet18();
+        let empty = SuSet {
+            name: "Hollow".to_string(),
+            options: Vec::new(),
+        };
+        let err = select_spatial_unrolling(&net.layers[0], &empty).unwrap_err();
+        assert_eq!(
+            err,
+            MappingError::EmptySuSet {
+                set: "Hollow".to_string()
+            }
+        );
+        assert!(err.to_string().contains("Hollow"));
+        let err = map_network(&net.layers, &empty).unwrap_err();
+        assert!(matches!(err, MappingError::EmptySuSet { .. }));
+    }
+
+    #[test]
+    fn zero_dimension_layer_is_a_typed_error() {
+        let net = resnet18();
+        let mut layer = net.layers[0].clone();
+        layer.dims.c = 0;
+        let err = select_spatial_unrolling(&layer, &SuSet::bitwave()).unwrap_err();
+        assert_eq!(
+            err,
+            MappingError::DegenerateLayer {
+                layer: layer.name.clone(),
+                dim: "c"
+            }
+        );
+        assert!(err.to_string().contains("zero-sized"));
+        assert!(validate_layer_dims(&net.layers[0]).is_ok());
+    }
+
+    #[test]
+    fn policy_parses_case_insensitively() {
+        assert_eq!(
+            MappingPolicy::parse("Heuristic"),
+            Some(MappingPolicy::Heuristic)
+        );
+        assert_eq!(
+            MappingPolicy::parse(" SEARCHED "),
+            Some(MappingPolicy::Searched)
+        );
+        assert_eq!(MappingPolicy::parse("random"), None);
+        assert_eq!(MappingPolicy::default(), MappingPolicy::Heuristic);
+        assert_eq!(MappingPolicy::Searched.as_str(), "searched");
     }
 }

@@ -1,0 +1,225 @@
+//! Candidate evaluation on the existing analytical cost stack.
+//!
+//! Each candidate is costed end to end with the same models the pipeline's
+//! simulate stage uses: `bitwave-dataflow` utilisation and activity counts
+//! (honouring the candidate's explicit temporal mapping), and the
+//! `bitwave-accel` Eq. 1–5 performance/energy model with the layer's
+//! sparsity profile.  Because the search and the pipeline share one cost
+//! function, a searched winner's predicted cost is exactly what a
+//! `MappingPolicy::Searched` pipeline run will report.
+
+use crate::space::Candidate;
+use bitwave_accel::model::evaluate_layer_with_mapping;
+use bitwave_accel::spec::AcceleratorSpec;
+use bitwave_accel::{EnergyModel, LayerSparsityProfile};
+use bitwave_dataflow::activity::TemporalMapping;
+use bitwave_dataflow::mapping::MappingDecision;
+use bitwave_dataflow::su::SpatialUnrolling;
+use bitwave_dataflow::MemoryHierarchy;
+use serde::Serialize;
+
+/// The multi-objective cost of one candidate mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MappingCost {
+    /// Compute cycles (Eq. 2).
+    pub compute_cycles: f64,
+    /// Non-hideable DRAM cycles.
+    pub dram_cycles: f64,
+    /// Total latency in cycles (Eq. 5).
+    pub total_cycles: f64,
+    /// Total energy in picojoules (Eq. 4).
+    pub energy_pj: f64,
+    /// Energy-delay product (`total_cycles × energy_pj`) — the primary
+    /// selection objective.
+    pub edp: f64,
+}
+
+/// A candidate mapping together with its evaluated cost.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EvaluatedMapping {
+    /// Human-readable shape descriptor.
+    pub label: String,
+    /// The spatial unrolling.
+    pub su: SpatialUnrolling,
+    /// The explicit temporal mapping; `None` means the activity model's
+    /// automatic cheapest-order choice (heuristic decisions).
+    pub temporal: Option<TemporalMapping>,
+    /// PE-array utilisation (layer-kind aware).
+    pub utilization: f64,
+    /// Effective MAC lanes per cycle.
+    pub effective_macs_per_cycle: f64,
+    /// The evaluated cost.
+    pub cost: MappingCost,
+}
+
+impl EvaluatedMapping {
+    /// Materialises the pipeline-facing [`MappingDecision`] for a layer.
+    pub fn to_decision(&self, layer: &str) -> MappingDecision {
+        MappingDecision {
+            layer: layer.to_string(),
+            su: self.su,
+            label: self.label.clone(),
+            temporal: self.temporal,
+            utilization: self.utilization,
+            effective_macs_per_cycle: self.effective_macs_per_cycle,
+        }
+    }
+
+    /// The four pruning objectives in [`crate::search`] order:
+    /// `[total_cycles, energy_pj, edp, utilization]`.
+    pub fn objectives(&self) -> [f64; 4] {
+        [
+            self.cost.total_cycles,
+            self.cost.energy_pj,
+            self.cost.edp,
+            self.utilization,
+        ]
+    }
+}
+
+/// Evaluates one mapping decision for `layer` on `accel` and wraps the
+/// result.  Shared by the candidate loop and the heuristic baseline.
+pub fn evaluate_decision(
+    accel: &AcceleratorSpec,
+    layer: &bitwave_dnn::layer::LayerSpec,
+    profile: &LayerSparsityProfile,
+    memory: &MemoryHierarchy,
+    energy: &EnergyModel,
+    decision: &MappingDecision,
+) -> EvaluatedMapping {
+    let result = evaluate_layer_with_mapping(accel, layer, decision, profile, memory, energy);
+    let energy_pj = result.energy.total_pj();
+    EvaluatedMapping {
+        label: decision.label.clone(),
+        su: decision.su,
+        temporal: decision.temporal,
+        utilization: decision.utilization,
+        effective_macs_per_cycle: decision.effective_macs_per_cycle,
+        cost: MappingCost {
+            compute_cycles: result.compute_cycles,
+            dram_cycles: result.dram_cycles,
+            total_cycles: result.total_cycles,
+            energy_pj,
+            edp: result.total_cycles * energy_pj,
+        },
+    }
+}
+
+/// Evaluates one enumerated candidate.
+pub fn evaluate_candidate(
+    accel: &AcceleratorSpec,
+    layer: &bitwave_dnn::layer::LayerSpec,
+    profile: &LayerSparsityProfile,
+    memory: &MemoryHierarchy,
+    energy: &EnergyModel,
+    candidate: &Candidate,
+) -> EvaluatedMapping {
+    let utilization = candidate.su.utilization_for(layer);
+    let effective = candidate.su.parallelism() as f64 * utilization;
+    let decision = MappingDecision {
+        // The memoized result is shared across identically shaped layers of
+        // different names; the caller fills the name in via `to_decision`.
+        layer: String::new(),
+        su: candidate.su,
+        label: candidate.label.clone(),
+        temporal: Some(candidate.temporal),
+        utilization,
+        effective_macs_per_cycle: effective,
+    };
+    evaluate_decision(accel, layer, profile, memory, energy, &decision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitwave_accel::spec::BitwaveOptimizations;
+    use bitwave_core::group::GroupSize;
+    use bitwave_dataflow::activity::TilingOrder;
+    use bitwave_dataflow::mapping::select_spatial_unrolling;
+    use bitwave_dnn::models::resnet18;
+    use bitwave_dnn::weights::generate_layer_sample;
+
+    fn profile_for(layer: &bitwave_dnn::layer::LayerSpec) -> LayerSparsityProfile {
+        let w = generate_layer_sample(layer, 7, 8_000);
+        LayerSparsityProfile::from_weights(&w, layer.expected_activation_sparsity(), GroupSize::G16)
+            .unwrap()
+    }
+
+    #[test]
+    fn explicit_natural_tiling_matches_the_auto_choice() {
+        // Evaluating the heuristic SU with both explicit natural tilings
+        // must bracket the automatic choice: the better of the two explicit
+        // orders equals the auto-tiled cost.
+        let net = resnet18();
+        let accel = AcceleratorSpec::bitwave(BitwaveOptimizations::all());
+        let memory = MemoryHierarchy::bitwave_default();
+        let energy = EnergyModel::finfet_16nm();
+        for layer in net.layers.iter().take(6) {
+            let profile = profile_for(layer);
+            let auto = {
+                let d = select_spatial_unrolling(layer, &accel.su_set).unwrap();
+                evaluate_decision(&accel, layer, &profile, &memory, &energy, &d)
+            };
+            let explicit: Vec<EvaluatedMapping> =
+                [TilingOrder::WeightOuter, TilingOrder::ActivationOuter]
+                    .into_iter()
+                    .map(|order| {
+                        let candidate = Candidate {
+                            su: auto.su,
+                            label: auto.label.clone(),
+                            temporal: TemporalMapping {
+                                order,
+                                tile_factor: 1,
+                            },
+                        };
+                        evaluate_candidate(&accel, layer, &profile, &memory, &energy, &candidate)
+                    })
+                    .collect();
+            let best = explicit
+                .iter()
+                .map(|e| e.cost.total_cycles)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (best - auto.cost.total_cycles).abs() <= 1e-9 * auto.cost.total_cycles,
+                "{}: explicit best {best} vs auto {}",
+                layer.name,
+                auto.cost.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn decision_roundtrip_keeps_shape_and_temporal() {
+        let net = resnet18();
+        let layer = &net.layers[0];
+        let accel = AcceleratorSpec::bitwave(BitwaveOptimizations::all());
+        let profile = profile_for(layer);
+        let candidate = Candidate {
+            su: bitwave_dataflow::su::bitwave_su::SU2,
+            label: "SU2".to_string(),
+            temporal: TemporalMapping {
+                order: TilingOrder::ActivationOuter,
+                tile_factor: 2,
+            },
+        };
+        let evaluated = evaluate_candidate(
+            &accel,
+            layer,
+            &profile,
+            &MemoryHierarchy::bitwave_default(),
+            &EnergyModel::finfet_16nm(),
+            &candidate,
+        );
+        assert!(evaluated.cost.edp > 0.0);
+        assert_eq!(
+            evaluated.cost.edp,
+            evaluated.cost.total_cycles * evaluated.cost.energy_pj
+        );
+        let decision = evaluated.to_decision("layer0");
+        assert_eq!(decision.layer, "layer0");
+        assert_eq!(decision.su, candidate.su);
+        assert_eq!(decision.temporal, Some(candidate.temporal));
+        assert_eq!(decision.label, "SU2");
+        assert_eq!(evaluated.objectives()[2], evaluated.cost.edp);
+    }
+}

@@ -1,0 +1,84 @@
+//! # bitwave-dse
+//!
+//! Layer-adaptive dataflow **design-space exploration** for the BitWave
+//! (HPCA 2024) reproduction.
+//!
+//! BitWave's reported gains rest on more than Bit-Column-Serial compression:
+//! the paper selects a spatial unrolling *per layer* with an offline
+//! ZigZag-style search (Section IV-C).  The repository's map stage
+//! historically approximated that search with the one-shot Fig. 9 heuristic
+//! over the fixed Table I menu; this crate implements the search itself:
+//!
+//! * [`space`] — deterministic enumeration of candidate mappings: power-of-
+//!   two `Cu × OXu × Ku` factorizations within the PE-array lane budget
+//!   (plus `Gu × OXu` shapes for depthwise layers), crossed with tiling loop
+//!   orders and tile-size factors, seeded with the accelerator's own SU set
+//!   so the search can never lose to the heuristic.
+//! * [`cost`] — candidate evaluation on the **existing** cost stack:
+//!   `bitwave-dataflow` utilisation + activity counts and the
+//!   `bitwave-accel` Eq. 1–5 performance/energy model driven by the layer's
+//!   sparsity profile.  Searched winners therefore predict exactly what a
+//!   `MappingPolicy::Searched` pipeline run reports.
+//! * [`search`] — the engine: minimum-EDP winner selection, a generalised
+//!   cycles/energy/EDP/utilisation Pareto front (`bitwave_core::pareto`),
+//!   and deterministic rayon fan-out (parallel ≡ sequential, bit-identical).
+//! * [`memo`] — content-addressed memoization keyed by a
+//!   `bitwave_core::digest::Digest` over (accelerator spec, layer shape,
+//!   sparsity-profile digest, cost tables, search space), shared process-
+//!   wide so identical layers across models and sweeps are searched once.
+//! * [`refine`] — cycle-level cross-validation of searched mappings on the
+//!   `bitwave-sim` BCE array.
+//!
+//! # Example
+//!
+//! ```
+//! use bitwave_accel::spec::{AcceleratorSpec, BitwaveOptimizations};
+//! use bitwave_accel::{EnergyModel, LayerSparsityProfile};
+//! use bitwave_core::group::GroupSize;
+//! use bitwave_dataflow::MemoryHierarchy;
+//! use bitwave_dse::DseEngine;
+//!
+//! let net = bitwave_dnn::models::resnet18();
+//! let layer = net.layer("conv1").unwrap();
+//! let weights = bitwave_dnn::weights::generate_layer_sample(layer, 42, 4_000);
+//! let profile = LayerSparsityProfile::from_weights(
+//!     &weights,
+//!     layer.expected_activation_sparsity(),
+//!     GroupSize::G16,
+//! )
+//! .unwrap();
+//!
+//! let engine = DseEngine::new(MemoryHierarchy::bitwave_default(), EnergyModel::finfet_16nm());
+//! let accel = AcceleratorSpec::bitwave(BitwaveOptimizations::all());
+//! let heuristic = engine.heuristic_mapping(&accel, layer, &profile).unwrap();
+//! let searched = engine.search_layer(&accel, layer, &profile).unwrap();
+//! // The enumerated space includes the heuristic's choice, so the searched
+//! // winner can only match or beat it on EDP.
+//! assert!(searched.winner.cost.edp <= heuristic.cost.edp);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod error;
+pub mod memo;
+pub mod refine;
+pub mod search;
+pub mod space;
+
+pub use cost::{EvaluatedMapping, MappingCost};
+pub use error::{DseError, Result};
+pub use memo::{global_cache, MemoStats, SearchCache};
+pub use refine::{engine_config_for, validate_mapping};
+pub use search::{DseEngine, LayerSearchResult, NetworkSearch, SearchedLayer, DSE_SCHEMA_VERSION};
+pub use space::{Candidate, SearchSpace};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::cost::{EvaluatedMapping, MappingCost};
+    pub use crate::error::DseError;
+    pub use crate::memo::{global_cache, SearchCache};
+    pub use crate::search::{DseEngine, LayerSearchResult, NetworkSearch, SearchedLayer};
+    pub use crate::space::SearchSpace;
+}

@@ -1,0 +1,181 @@
+//! Digest-keyed memoization of per-layer search results.
+//!
+//! A layer's search outcome depends only on (accelerator spec, layer shape,
+//! sparsity profile, cost tables, search space) — not on the layer's name or
+//! the model it came from.  Results are therefore memoized under a
+//! [`Digest`] of exactly those inputs, so identical layers across models and
+//! repeated sweeps are searched **once**: the 9 shape-identical ResNet
+//! residual convolutions cost one search, and re-searching an already-seen
+//! network is a pure hash-map walk (gated ≥10× faster than cold in
+//! `bench_dse`).
+//!
+//! A process-wide [`global_cache`] backs the pipeline's
+//! `MappingPolicy::Searched` map stage; engines built for tests or benches
+//! can use private caches instead.
+
+use crate::error::Result;
+use crate::search::LayerSearchResult;
+use bitwave_core::digest::Digest;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonic hit/miss counters.
+#[derive(Debug, Default)]
+pub struct MemoStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoStats {
+    /// Lookups satisfied from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran a search.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// A digest-keyed map of completed layer searches.
+#[derive(Debug, Default)]
+pub struct SearchCache {
+    entries: Mutex<HashMap<Digest, Arc<LayerSearchResult>>>,
+    stats: MemoStats,
+}
+
+impl SearchCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The hit/miss counters.
+    pub fn stats(&self) -> &MemoStats {
+        &self.stats
+    }
+
+    /// Number of memoized layer searches.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized entry (the counters keep counting).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Digest, Arc<LayerSearchResult>>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Returns the memoized result for `key`, running `compute` on a miss.
+    ///
+    /// Concurrent misses for one key may both compute; the search is
+    /// deterministic, so their results are identical and the first insert
+    /// wins — every caller observes the same `Arc`d value afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the computation's error; nothing is cached on failure.
+    pub fn get_or_compute<F>(&self, key: Digest, compute: F) -> Result<Arc<LayerSearchResult>>
+    where
+        F: FnOnce() -> Result<LayerSearchResult>,
+    {
+        if let Some(hit) = self.lock().get(&key) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = Arc::new(compute()?);
+        let mut entries = self.lock();
+        Ok(Arc::clone(entries.entry(key).or_insert(computed)))
+    }
+}
+
+/// The process-wide cache used by `MappingPolicy::Searched` pipelines, so
+/// identical layers are searched once across models, requests and sweeps.
+pub fn global_cache() -> &'static Arc<SearchCache> {
+    static GLOBAL: OnceLock<Arc<SearchCache>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(SearchCache::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{EvaluatedMapping, MappingCost};
+    use bitwave_dataflow::su::bitwave_su;
+
+    fn result(tag: &str) -> LayerSearchResult {
+        let mapping = EvaluatedMapping {
+            label: tag.to_string(),
+            su: bitwave_su::SU1,
+            temporal: None,
+            utilization: 1.0,
+            effective_macs_per_cycle: 4096.0,
+            cost: MappingCost {
+                compute_cycles: 1.0,
+                dram_cycles: 1.0,
+                total_cycles: 2.0,
+                energy_pj: 3.0,
+                edp: 6.0,
+            },
+        };
+        LayerSearchResult {
+            key: "k".to_string(),
+            candidates: 1,
+            winner: mapping.clone(),
+            front: vec![mapping],
+            front_total: 1,
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_arc() {
+        let cache = SearchCache::new();
+        let key = Digest::of_bytes(b"layer");
+        let a = cache.get_or_compute(key, || Ok(result("a"))).unwrap();
+        let b = cache
+            .get_or_compute(key, || panic!("must not recompute"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hits(), 1);
+        assert_eq!(cache.stats().misses(), 1);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn failed_computation_is_not_cached() {
+        let cache = SearchCache::new();
+        let key = Digest::of_bytes(b"bad");
+        let err = cache
+            .get_or_compute(key, || {
+                Err(crate::error::DseError::EmptySpace {
+                    layer: "x".to_string(),
+                })
+            })
+            .unwrap_err();
+        assert!(matches!(err, crate::error::DseError::EmptySpace { .. }));
+        assert!(cache.is_empty());
+        let ok = cache
+            .get_or_compute(key, || Ok(result("recovered")))
+            .unwrap();
+        assert_eq!(ok.winner.label, "recovered");
+    }
+
+    #[test]
+    fn global_cache_is_shared() {
+        assert!(Arc::ptr_eq(global_cache(), global_cache()));
+    }
+}

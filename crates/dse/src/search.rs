@@ -1,0 +1,552 @@
+//! The per-layer search: enumerate → evaluate → Pareto-prune → memoize.
+
+use crate::cost::{evaluate_candidate, evaluate_decision, EvaluatedMapping};
+use crate::error::{DseError, Result};
+use crate::memo::{global_cache, SearchCache};
+use crate::space::SearchSpace;
+use bitwave_accel::spec::AcceleratorSpec;
+use bitwave_accel::{EnergyModel, LayerSparsityProfile};
+use bitwave_core::digest::Digest;
+use bitwave_core::pareto::{pareto_front_indices, Direction};
+use bitwave_dataflow::mapping::{select_spatial_unrolling, validate_layer_dims};
+use bitwave_dataflow::MemoryHierarchy;
+use bitwave_dnn::layer::{LayerKind, LayerSpec, LoopDims};
+use bitwave_dnn::models::NetworkSpec;
+use rayon::prelude::*;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Version stamp mixed into every memoization key.  Bump when the meaning of
+/// a key field or the search semantics change, so stale memo entries can
+/// never alias new searches.
+pub const DSE_SCHEMA_VERSION: u32 = 1;
+
+/// The four pruning objectives: minimise cycles, energy and EDP, maximise
+/// utilisation.
+const OBJECTIVES: [Direction; 4] = [
+    Direction::Minimize,
+    Direction::Minimize,
+    Direction::Minimize,
+    Direction::Maximize,
+];
+
+/// Everything a layer's search outcome depends on — and nothing it does not
+/// (notably not the layer's *name*, so identically shaped layers share one
+/// memo entry across models).  Owned fields because the vendored serde
+/// derive does not handle lifetime-generic types.
+#[derive(Serialize)]
+struct SearchKey {
+    schema: u32,
+    accelerator: AcceleratorSpec,
+    dims: LoopDims,
+    kind: LayerKind,
+    /// Digest of the layer's sparsity profile (the profile itself is large).
+    profile: String,
+    memory: MemoryHierarchy,
+    energy: EnergyModel,
+    space: SearchSpace,
+}
+
+/// Outcome of one layer's design-space search.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LayerSearchResult {
+    /// Hex digest of the memoization key that addresses this result.
+    pub key: String,
+    /// Number of candidate mappings evaluated.
+    pub candidates: usize,
+    /// The minimum-EDP mapping (ties broken towards higher utilisation,
+    /// then enumeration order — SU-set seeds first, so a tie keeps the
+    /// hardware's own named SU).
+    pub winner: EvaluatedMapping,
+    /// The multi-objective Pareto front (cycles/energy/EDP/utilisation),
+    /// sorted by ascending EDP, deduplicated on exact objective ties and
+    /// capped at the space's `max_front`.
+    pub front: Vec<EvaluatedMapping>,
+    /// Full front size before deduplication and capping.
+    pub front_total: usize,
+}
+
+/// One layer of a network-level search.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SearchedLayer {
+    /// Layer name.
+    pub layer: String,
+    /// The Fig. 9 heuristic baseline, evaluated on the same cost stack.
+    pub heuristic: EvaluatedMapping,
+    /// The search outcome.
+    pub search: LayerSearchResult,
+}
+
+/// Aggregated outcome of searching every layer of a network.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NetworkSearch {
+    /// Accelerator label.
+    pub accelerator: String,
+    /// Per-layer outcomes in execution order.
+    pub layers: Vec<SearchedLayer>,
+    /// Σ total cycles under the heuristic mappings.
+    pub heuristic_total_cycles: f64,
+    /// Σ energy (pJ) under the heuristic mappings.
+    pub heuristic_energy_pj: f64,
+    /// Network EDP under the heuristic mappings.
+    pub heuristic_edp: f64,
+    /// Σ total cycles under the searched winners.
+    pub searched_total_cycles: f64,
+    /// Σ energy (pJ) under the searched winners.
+    pub searched_energy_pj: f64,
+    /// Network EDP under the searched winners.
+    pub searched_edp: f64,
+}
+
+impl NetworkSearch {
+    /// Heuristic EDP over searched EDP (≥ 1 when the search wins).
+    ///
+    /// Network EDP is the product `(Σ cycles) × (Σ energy)`.  Per-layer
+    /// winner selection guarantees every *layer's* EDP is ≤ its heuristic
+    /// counterpart, which bounds the per-layer EDP *sum* but not this
+    /// product in full generality (a cycles↔energy trade on one layer can
+    /// inflate it).  On the benchmark models the gain is comfortably > 1
+    /// and `bench_dse` gates it; treat it as an empirical metric, not an
+    /// invariant, on arbitrary networks.
+    pub fn edp_gain(&self) -> f64 {
+        if self.searched_edp > 0.0 {
+            self.heuristic_edp / self.searched_edp
+        } else {
+            1.0
+        }
+    }
+
+    fn aggregate(accelerator: String, layers: Vec<SearchedLayer>) -> Self {
+        let mut h_cycles = 0.0;
+        let mut h_energy = 0.0;
+        let mut s_cycles = 0.0;
+        let mut s_energy = 0.0;
+        for layer in &layers {
+            h_cycles += layer.heuristic.cost.total_cycles;
+            h_energy += layer.heuristic.cost.energy_pj;
+            s_cycles += layer.search.winner.cost.total_cycles;
+            s_energy += layer.search.winner.cost.energy_pj;
+        }
+        Self {
+            accelerator,
+            layers,
+            heuristic_total_cycles: h_cycles,
+            heuristic_energy_pj: h_energy,
+            heuristic_edp: h_cycles * h_energy,
+            searched_total_cycles: s_cycles,
+            searched_energy_pj: s_energy,
+            searched_edp: s_cycles * s_energy,
+        }
+    }
+}
+
+/// The design-space exploration engine: a search space, the cost tables,
+/// and a memoization cache.
+#[derive(Debug, Clone)]
+pub struct DseEngine {
+    space: SearchSpace,
+    memory: MemoryHierarchy,
+    energy: EnergyModel,
+    cache: Arc<SearchCache>,
+}
+
+impl DseEngine {
+    /// Creates an engine with the default search space and a **private**
+    /// cache (tests and benches that must observe cold searches).
+    pub fn new(memory: MemoryHierarchy, energy: EnergyModel) -> Self {
+        Self {
+            space: SearchSpace::default(),
+            memory,
+            energy,
+            cache: Arc::new(SearchCache::new()),
+        }
+    }
+
+    /// Creates an engine sharing the process-wide [`global_cache`] — the
+    /// configuration `MappingPolicy::Searched` pipelines use, so identical
+    /// layers are searched once across models and requests.
+    pub fn shared(memory: MemoryHierarchy, energy: EnergyModel) -> Self {
+        Self::new(memory, energy).with_cache(Arc::clone(global_cache()))
+    }
+
+    /// Overrides the search space (builder style).
+    pub fn with_space(mut self, space: SearchSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Shares an explicit cache (builder style).
+    pub fn with_cache(mut self, cache: Arc<SearchCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The engine's search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// The engine's memoization cache.
+    pub fn cache(&self) -> &SearchCache {
+        &self.cache
+    }
+
+    /// Evaluates the Fig. 9 heuristic choice for `layer` on the same cost
+    /// stack the search uses (the baseline the ROADMAP gates compare
+    /// against).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DseError::Mapping`] for an empty SU set or degenerate
+    /// layer.
+    pub fn heuristic_mapping(
+        &self,
+        accel: &AcceleratorSpec,
+        layer: &LayerSpec,
+        profile: &LayerSparsityProfile,
+    ) -> Result<EvaluatedMapping> {
+        let decision = select_spatial_unrolling(layer, &accel.su_set)?;
+        Ok(evaluate_decision(
+            accel,
+            layer,
+            profile,
+            &self.memory,
+            &self.energy,
+            &decision,
+        ))
+    }
+
+    /// Searches one layer's mapping space, memoized.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Mapping`] for degenerate layers, [`DseError::Core`] when
+    /// the memo key fails to digest, [`DseError::EmptySpace`] when nothing
+    /// can be enumerated.
+    pub fn search_layer(
+        &self,
+        accel: &AcceleratorSpec,
+        layer: &LayerSpec,
+        profile: &LayerSparsityProfile,
+    ) -> Result<Arc<LayerSearchResult>> {
+        validate_layer_dims(layer)?;
+        let key = Digest::of_value(&SearchKey {
+            schema: DSE_SCHEMA_VERSION,
+            accelerator: accel.clone(),
+            dims: layer.dims,
+            kind: layer.kind,
+            profile: Digest::of_value(profile)?.to_hex(),
+            memory: self.memory,
+            energy: self.energy,
+            space: self.space.clone(),
+        })?;
+        self.cache
+            .get_or_compute(key, || self.search_uncached(accel, layer, profile, key))
+    }
+
+    /// The cold path: enumerate every candidate, evaluate each on the cost
+    /// stack, pick the minimum-EDP winner and extract the Pareto front.
+    /// Candidates are evaluated sequentially — layer-level parallelism comes
+    /// from [`DseEngine::search_network`] (and the pipeline's per-layer
+    /// rayon fan-out), which keeps the two levels from oversubscribing.
+    fn search_uncached(
+        &self,
+        accel: &AcceleratorSpec,
+        layer: &LayerSpec,
+        profile: &LayerSparsityProfile,
+        key: Digest,
+    ) -> Result<LayerSearchResult> {
+        let candidates = self.space.enumerate(accel, layer);
+        if candidates.is_empty() {
+            return Err(DseError::EmptySpace {
+                layer: layer.name.clone(),
+            });
+        }
+        let evaluated: Vec<EvaluatedMapping> = candidates
+            .iter()
+            .map(|c| evaluate_candidate(accel, layer, profile, &self.memory, &self.energy, c))
+            .collect();
+
+        // Winner: minimum EDP, ties towards higher utilisation, then the
+        // earlier candidate (SU-set seeds precede generated shapes).
+        let mut winner = 0usize;
+        for (i, m) in evaluated.iter().enumerate().skip(1) {
+            let best = &evaluated[winner];
+            let better = m.cost.edp < best.cost.edp
+                || (m.cost.edp == best.cost.edp && m.utilization > best.utilization);
+            if better {
+                winner = i;
+            }
+        }
+
+        // Multi-objective Pareto front, EDP-sorted, deduplicated, capped.
+        let objectives: Vec<[f64; 4]> =
+            evaluated.iter().map(EvaluatedMapping::objectives).collect();
+        let mut front_idx = pareto_front_indices(&objectives, &OBJECTIVES);
+        let front_total = front_idx.len();
+        front_idx.sort_by(|&a, &b| {
+            objectives[a][2]
+                .partial_cmp(&objectives[b][2])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        front_idx.dedup_by_key(|i| objectives[*i]);
+        front_idx.truncate(self.space.max_front.max(1));
+        let front: Vec<EvaluatedMapping> = front_idx
+            .into_iter()
+            .map(|i| evaluated[i].clone())
+            .collect();
+
+        Ok(LayerSearchResult {
+            key: key.to_hex(),
+            candidates: evaluated.len(),
+            winner: evaluated[winner].clone(),
+            front,
+            front_total,
+        })
+    }
+
+    /// Searches every layer of a network with one rayon task per layer.
+    /// Deterministic: the vendored rayon preserves index order and each
+    /// layer's search is order-independent, so the result is bit-identical
+    /// to [`DseEngine::search_network_sequential`].
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::MisalignedProfiles`] unless `profiles` aligns with
+    /// `spec.layers`; otherwise the first per-layer error.
+    pub fn search_network(
+        &self,
+        accel: &AcceleratorSpec,
+        spec: &NetworkSpec,
+        profiles: &[LayerSparsityProfile],
+    ) -> Result<NetworkSearch> {
+        self.check_alignment(spec, profiles)?;
+        let items: Vec<(&LayerSpec, &LayerSparsityProfile)> =
+            spec.layers.iter().zip(profiles).collect();
+        let layers: Vec<SearchedLayer> = items
+            .par_iter()
+            .map(|&(layer, profile)| self.search_one(accel, layer, profile))
+            .collect::<Result<_>>()?;
+        Ok(NetworkSearch::aggregate(accel.label.clone(), layers))
+    }
+
+    /// Sequential reference of [`DseEngine::search_network`] (property tests
+    /// assert bit-identity between the two).
+    ///
+    /// # Errors
+    ///
+    /// See [`DseEngine::search_network`].
+    pub fn search_network_sequential(
+        &self,
+        accel: &AcceleratorSpec,
+        spec: &NetworkSpec,
+        profiles: &[LayerSparsityProfile],
+    ) -> Result<NetworkSearch> {
+        self.check_alignment(spec, profiles)?;
+        let layers: Vec<SearchedLayer> = spec
+            .layers
+            .iter()
+            .zip(profiles)
+            .map(|(layer, profile)| self.search_one(accel, layer, profile))
+            .collect::<Result<_>>()?;
+        Ok(NetworkSearch::aggregate(accel.label.clone(), layers))
+    }
+
+    fn search_one(
+        &self,
+        accel: &AcceleratorSpec,
+        layer: &LayerSpec,
+        profile: &LayerSparsityProfile,
+    ) -> Result<SearchedLayer> {
+        let heuristic = self.heuristic_mapping(accel, layer, profile)?;
+        let search = self.search_layer(accel, layer, profile)?;
+        Ok(SearchedLayer {
+            layer: layer.name.clone(),
+            heuristic,
+            search: (*search).clone(),
+        })
+    }
+
+    fn check_alignment(&self, spec: &NetworkSpec, profiles: &[LayerSparsityProfile]) -> Result<()> {
+        if spec.layers.len() != profiles.len() {
+            return Err(DseError::MisalignedProfiles {
+                layers: spec.layers.len(),
+                profiles: profiles.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitwave_accel::spec::BitwaveOptimizations;
+    use bitwave_core::group::GroupSize;
+    use bitwave_dnn::models::{mobilenet_v2, resnet18};
+    use bitwave_dnn::weights::generate_layer_sample;
+
+    fn bitwave() -> AcceleratorSpec {
+        AcceleratorSpec::bitwave(BitwaveOptimizations::all())
+    }
+
+    fn engine() -> DseEngine {
+        DseEngine::new(
+            MemoryHierarchy::bitwave_default(),
+            EnergyModel::finfet_16nm(),
+        )
+    }
+
+    fn profiles_for(net: &NetworkSpec) -> Vec<LayerSparsityProfile> {
+        net.layers
+            .iter()
+            .map(|l| {
+                let w = generate_layer_sample(l, 11, 4_000);
+                LayerSparsityProfile::from_weights(
+                    &w,
+                    l.expected_activation_sparsity(),
+                    GroupSize::G16,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn searched_winner_never_loses_to_the_heuristic() {
+        let net = resnet18();
+        let profiles = profiles_for(&net);
+        let engine = engine();
+        let accel = bitwave();
+        for (layer, profile) in net.layers.iter().zip(&profiles) {
+            let heuristic = engine.heuristic_mapping(&accel, layer, profile).unwrap();
+            let searched = engine.search_layer(&accel, layer, profile).unwrap();
+            assert!(
+                searched.winner.cost.edp <= heuristic.cost.edp * (1.0 + 1e-12),
+                "{}: searched {} vs heuristic {}",
+                layer.name,
+                searched.winner.cost.edp,
+                heuristic.cost.edp
+            );
+        }
+    }
+
+    #[test]
+    fn front_is_mutually_non_dominating_and_contains_the_winner_cost() {
+        use bitwave_core::pareto::ParetoPointN;
+        let net = mobilenet_v2();
+        let profiles = profiles_for(&net);
+        let engine = engine();
+        let accel = bitwave();
+        let dw = net
+            .layers
+            .iter()
+            .position(|l| l.kind.is_depthwise())
+            .unwrap();
+        let result = engine
+            .search_layer(&accel, &net.layers[dw], &profiles[dw])
+            .unwrap();
+        assert!(!result.front.is_empty());
+        assert!(result.front_total >= result.front.len());
+        assert!(result.candidates > result.front.len());
+        let points: Vec<ParetoPointN<4>> = result
+            .front
+            .iter()
+            .map(|m| ParetoPointN::new(m.objectives(), m.label.clone()))
+            .collect();
+        for a in &points {
+            for b in &points {
+                assert!(!a.dominates(b, &OBJECTIVES));
+            }
+        }
+        // The winner's EDP is the front's best EDP.
+        assert_eq!(result.front[0].cost.edp, result.winner.cost.edp);
+        // The front is EDP-sorted.
+        assert!(result
+            .front
+            .windows(2)
+            .all(|w| w[0].cost.edp <= w[1].cost.edp));
+    }
+
+    #[test]
+    fn identical_layers_share_one_memo_entry_across_names_and_models() {
+        // The memo key covers the layer *shape* and profile, not the name or
+        // the owning model: a renamed but otherwise identical layer must hit.
+        let net = resnet18();
+        let profiles = profiles_for(&net);
+        let engine = engine();
+        let accel = bitwave();
+        let original = engine
+            .search_layer(&accel, &net.layers[5], &profiles[5])
+            .unwrap();
+        let mut renamed = net.layers[5].clone();
+        renamed.name = "other_model.some_layer".to_string();
+        let aliased = engine.search_layer(&accel, &renamed, &profiles[5]).unwrap();
+        assert!(Arc::ptr_eq(&original, &aliased));
+        assert_eq!(engine.cache().len(), 1);
+        assert_eq!(engine.cache().stats().hits(), 1);
+        assert_eq!(engine.cache().stats().misses(), 1);
+    }
+
+    #[test]
+    fn re_searching_a_network_is_fully_memoized() {
+        let net = resnet18();
+        let profiles = profiles_for(&net);
+        let engine = engine();
+        let accel = bitwave();
+        let cold = engine
+            .search_network_sequential(&accel, &net, &profiles)
+            .unwrap();
+        let misses_after_cold = engine.cache().stats().misses();
+        let warm = engine
+            .search_network_sequential(&accel, &net, &profiles)
+            .unwrap();
+        assert_eq!(cold, warm, "memoized results must equal cold results");
+        assert_eq!(
+            engine.cache().stats().misses(),
+            misses_after_cold,
+            "the warm sweep must not run a single cold search"
+        );
+        assert!(engine.cache().stats().hits() >= net.layers.len() as u64);
+    }
+
+    #[test]
+    fn parallel_and_sequential_network_searches_are_identical() {
+        let net = resnet18();
+        let profiles = profiles_for(&net);
+        let engine = engine();
+        let accel = bitwave();
+        let parallel = engine.search_network(&accel, &net, &profiles).unwrap();
+        let sequential = engine
+            .search_network_sequential(&accel, &net, &profiles)
+            .unwrap();
+        assert_eq!(parallel, sequential);
+        let a = serde_json::to_string(&parallel).unwrap();
+        let b = serde_json::to_string(&sequential).unwrap();
+        assert_eq!(a, b, "serialized forms must be byte-identical");
+        assert!(parallel.edp_gain() >= 1.0);
+    }
+
+    #[test]
+    fn misaligned_profiles_are_a_typed_error() {
+        let net = resnet18();
+        let engine = engine();
+        let err = engine
+            .search_network_sequential(&bitwave(), &net, &[])
+            .unwrap_err();
+        assert!(matches!(err, DseError::MisalignedProfiles { .. }));
+    }
+
+    #[test]
+    fn degenerate_layers_surface_the_mapping_error() {
+        let net = resnet18();
+        let profiles = profiles_for(&net);
+        let mut layer = net.layers[0].clone();
+        layer.dims.k = 0;
+        let err = engine()
+            .search_layer(&bitwave(), &layer, &profiles[0])
+            .unwrap_err();
+        assert!(matches!(err, DseError::Mapping(_)));
+    }
+}

@@ -1,0 +1,270 @@
+//! Candidate enumeration: the mapping space searched per layer.
+//!
+//! A candidate is a **spatial unrolling** (a factorization of the layer's
+//! loop dimensions over the PE array, within the accelerator's lane budget)
+//! combined with a **temporal mapping** (a tiling loop order and a tile-size
+//! factor).  The enumeration covers:
+//!
+//! * every `Cu × OXu × Ku` power-of-two factorization whose parallelism
+//!   lands within `[budget / min_fill, budget]` of the accelerator's peak
+//!   lane count — the shape class of Table I's SU1–SU6 at a much finer
+//!   granularity than the hardware's fixed menu;
+//! * for depthwise layers, `Gu × OXu` channel-parallel factorizations (the
+//!   shape class of the dedicated SU7);
+//! * the accelerator's own SU set (so the search can never do worse than
+//!   the Fig. 9 heuristic that picks from it);
+//! * both tiling orders and every configured tile-size factor for each
+//!   spatial shape.  Dominated tilings are evaluated and rejected by the
+//!   Pareto prune rather than skipped a priori.
+
+use bitwave_accel::spec::AcceleratorSpec;
+use bitwave_dataflow::activity::{TemporalMapping, TilingOrder};
+use bitwave_dataflow::su::SpatialUnrolling;
+use bitwave_dnn::layer::LayerSpec;
+use serde::Serialize;
+
+/// Placeholder `SpatialUnrolling::name` of generated candidates; the
+/// human-readable shape lives in [`Candidate::label`].
+pub const GENERATED_SU_NAME: &str = "DSE";
+
+/// Configuration of the enumerated space.  Part of the memoization key: two
+/// searches agree only if they explored the same space.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SearchSpace {
+    /// Lowest admitted parallelism as a fraction of the accelerator's peak
+    /// lane count (shapes below it waste the array and only widen the
+    /// space).
+    pub min_fill: f64,
+    /// Tile-size factors enumerated per spatial shape (1 = the natural,
+    /// capacity-forced tiling).
+    pub tile_factors: Vec<usize>,
+    /// Also enumerate the accelerator's own SU set (guarantees the searched
+    /// winner is never worse than the heuristic pick).
+    pub include_su_set: bool,
+    /// Cap on the number of Pareto-front entries retained per layer (the
+    /// full front size is still reported).
+    pub max_front: usize,
+    /// Overrides the lane budget (defaults to the SU set's peak
+    /// parallelism).
+    pub max_parallelism: Option<usize>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        Self {
+            min_fill: 0.125,
+            tile_factors: vec![1, 2, 4],
+            include_su_set: true,
+            max_front: 16,
+            max_parallelism: None,
+        }
+    }
+}
+
+/// One enumerated mapping candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The spatial unrolling.
+    pub su: SpatialUnrolling,
+    /// Human-readable shape descriptor (`"SU1"` for set members,
+    /// `"DSE[C8 X16 K32]"` for generated factorizations).
+    pub label: String,
+    /// The explicit temporal mapping.
+    pub temporal: TemporalMapping,
+}
+
+/// Power-of-two values `1, 2, 4, … ≤ cap`.
+fn powers_of_two(cap: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut v = 1usize;
+    while v <= cap {
+        out.push(v);
+        match v.checked_mul(2) {
+            Some(next) => v = next,
+            None => break,
+        }
+    }
+    out
+}
+
+impl SearchSpace {
+    /// The lane budget for an accelerator.
+    pub fn budget(&self, accel: &AcceleratorSpec) -> usize {
+        self.max_parallelism
+            .unwrap_or_else(|| accel.su_set.peak_parallelism())
+    }
+
+    /// Enumerates the candidate mappings for `layer` on `accel`, in a
+    /// deterministic order: SU-set seeds first, then generated `C×OX×K`
+    /// factorizations (ascending `Cu`, `OXu`, `Ku`), then — for depthwise
+    /// layers — generated `G×OX` factorizations; each spatial shape is
+    /// crossed with both tiling orders and every tile factor.
+    pub fn enumerate(&self, accel: &AcceleratorSpec, layer: &LayerSpec) -> Vec<Candidate> {
+        let budget = self.budget(accel);
+        let mut spatial: Vec<(SpatialUnrolling, String)> = Vec::new();
+        if self.include_su_set {
+            for su in &accel.su_set.options {
+                spatial.push((*su, su.name.to_string()));
+            }
+        }
+        if budget > 0 {
+            let floor = ((budget as f64 * self.min_fill).ceil() as usize).max(1);
+            let options = powers_of_two(budget);
+            for &c in &options {
+                for &ox in &options {
+                    if c * ox > budget {
+                        break;
+                    }
+                    for &k in &options {
+                        let lanes = c * ox * k;
+                        if lanes > budget {
+                            break;
+                        }
+                        if lanes < floor {
+                            continue;
+                        }
+                        spatial.push((
+                            SpatialUnrolling {
+                                name: GENERATED_SU_NAME,
+                                c,
+                                k,
+                                ox,
+                                oy: 1,
+                                fx: 1,
+                                fy: 1,
+                                g: 1,
+                            },
+                            format!("DSE[C{c} X{ox} K{k}]"),
+                        ));
+                    }
+                }
+            }
+            if layer.kind.is_depthwise() {
+                for &g in &options {
+                    if g < 2 {
+                        continue;
+                    }
+                    for &ox in &options {
+                        let lanes = g * ox;
+                        if lanes > budget {
+                            break;
+                        }
+                        if lanes < floor {
+                            continue;
+                        }
+                        spatial.push((
+                            SpatialUnrolling {
+                                name: GENERATED_SU_NAME,
+                                c: 1,
+                                k: 1,
+                                ox,
+                                oy: 1,
+                                fx: 1,
+                                fy: 1,
+                                g,
+                            },
+                            format!("DSE[G{g} X{ox}]"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        let factors: Vec<usize> = if self.tile_factors.is_empty() {
+            vec![1]
+        } else {
+            self.tile_factors.clone()
+        };
+        let mut out = Vec::with_capacity(spatial.len() * 2 * factors.len());
+        for (su, label) in spatial {
+            for order in [TilingOrder::WeightOuter, TilingOrder::ActivationOuter] {
+                for &tile_factor in &factors {
+                    out.push(Candidate {
+                        su,
+                        label: label.clone(),
+                        temporal: TemporalMapping {
+                            order,
+                            tile_factor: tile_factor.max(1),
+                        },
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitwave_accel::spec::BitwaveOptimizations;
+    use bitwave_dnn::models::{mobilenet_v2, resnet18};
+
+    fn bitwave() -> AcceleratorSpec {
+        AcceleratorSpec::bitwave(BitwaveOptimizations::all())
+    }
+
+    #[test]
+    fn powers_enumerate_up_to_cap() {
+        assert_eq!(powers_of_two(8), vec![1, 2, 4, 8]);
+        assert_eq!(powers_of_two(7), vec![1, 2, 4]);
+        assert!(powers_of_two(0).is_empty());
+    }
+
+    #[test]
+    fn candidates_respect_the_lane_budget_and_floor() {
+        let space = SearchSpace::default();
+        let net = resnet18();
+        let accel = bitwave();
+        let budget = space.budget(&accel);
+        assert_eq!(budget, 4096);
+        let candidates = space.enumerate(&accel, &net.layers[0]);
+        assert!(!candidates.is_empty());
+        let floor = (budget as f64 * space.min_fill).ceil() as usize;
+        for cand in &candidates {
+            assert!(cand.su.parallelism() <= budget, "{}", cand.label);
+            if cand.su.name == GENERATED_SU_NAME {
+                assert!(cand.su.parallelism() >= floor, "{}", cand.label);
+            }
+        }
+        // The accelerator's own SUs seed the space (both orders, all tiles).
+        let su1_seeds = candidates.iter().filter(|c| c.label == "SU1").count();
+        assert_eq!(su1_seeds, 2 * space.tile_factors.len());
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let space = SearchSpace::default();
+        let net = resnet18();
+        let accel = bitwave();
+        let a = space.enumerate(&accel, &net.layers[0]);
+        let b = space.enumerate(&accel, &net.layers[0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn depthwise_layers_get_group_parallel_candidates() {
+        let space = SearchSpace::default();
+        let net = mobilenet_v2();
+        let accel = bitwave();
+        let dw = net.layers.iter().find(|l| l.kind.is_depthwise()).unwrap();
+        let conv = net.layers.iter().find(|l| !l.kind.is_depthwise()).unwrap();
+        let dw_cands = space.enumerate(&accel, dw);
+        assert!(dw_cands.iter().any(|c| c.su.g > 1));
+        let conv_cands = space.enumerate(&accel, conv);
+        assert!(conv_cands
+            .iter()
+            .all(|c| c.su.g <= 1 || c.su.name != GENERATED_SU_NAME));
+    }
+
+    #[test]
+    fn empty_tile_factors_fall_back_to_natural_tiling() {
+        let space = SearchSpace {
+            tile_factors: Vec::new(),
+            ..SearchSpace::default()
+        };
+        let net = resnet18();
+        let candidates = space.enumerate(&bitwave(), &net.layers[0]);
+        assert!(candidates.iter().all(|c| c.temporal.tile_factor == 1));
+    }
+}

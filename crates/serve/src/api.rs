@@ -9,7 +9,9 @@
 
 use crate::error::ServeError;
 use bitwave::context::ExperimentContext;
+use bitwave::dataflow::mapping::MappingPolicy;
 use bitwave::digest::{ContextKnobs, Digest, DIGEST_SCHEMA_VERSION};
+use bitwave::dse::NetworkSearch;
 use bitwave::pipeline::{ModelReport, Pipeline};
 use bitwave::BitwaveError;
 use bitwave_accel::spec::AcceleratorSpec;
@@ -45,6 +47,9 @@ pub struct EvaluateRequest {
     pub sample_cap: Option<usize>,
     /// BCS group size in weights (default 16, max [`MAX_GROUP_SIZE`]).
     pub group_size: Option<usize>,
+    /// Mapping policy: `"heuristic"` (default) or `"searched"` (per-layer
+    /// DSE; winners come from the memoized search).
+    pub mapping: Option<String>,
 }
 
 impl EvaluateRequest {
@@ -88,10 +93,19 @@ impl EvaluateRequest {
         let accelerator = AcceleratorSpec::by_name(accel_name)
             .map_err(|e| ServeError::BadRequest(e.to_string()))?;
         let defaults = ExperimentContext::default();
+        let mapping = match self.mapping.as_deref() {
+            None => defaults.mapping_policy,
+            Some(name) => MappingPolicy::parse(name).ok_or_else(|| {
+                ServeError::BadRequest(format!(
+                    "unknown mapping policy `{name}` (expected `heuristic` or `searched`)"
+                ))
+            })?,
+        };
         let knobs = ContextKnobs {
             seed: self.seed.unwrap_or(defaults.seed),
             sample_cap: self.sample_cap.unwrap_or(defaults.sample_cap),
             group_size: self.group_size.unwrap_or(defaults.group_size.len()),
+            mapping,
         };
         if knobs.sample_cap == 0 || knobs.sample_cap > MAX_SAMPLE_CAP {
             return Err(ServeError::BadRequest(format!(
@@ -115,6 +129,39 @@ impl EvaluateRequest {
             },
             spec,
             accelerator,
+        })
+    }
+
+    /// Normalises the request for `POST /v1/search`.  The endpoint *is* the
+    /// search, so the `mapping` knob is rejected and the key's policy is
+    /// pinned to `searched` — logically identical search requests share one
+    /// digest with no way to alias an evaluation digest (the key carries an
+    /// `op` discriminator).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`EvaluateRequest::normalize`] rejects, plus an explicit
+    /// `mapping` field.
+    pub fn normalize_search(&self) -> Result<NormalizedSearch, ServeError> {
+        if self.mapping.is_some() {
+            return Err(ServeError::BadRequest(
+                "`mapping` is not a /v1/search knob; the endpoint always searches".to_string(),
+            ));
+        }
+        let normalized = self.normalize()?;
+        let mut knobs = normalized.key.knobs;
+        knobs.mapping = MappingPolicy::Searched;
+        Ok(NormalizedSearch {
+            key: SearchKey {
+                schema: DIGEST_SCHEMA_VERSION,
+                op: "search".to_string(),
+                model: normalized.key.model,
+                accelerator: normalized.key.accelerator,
+                bitflip: normalized.key.bitflip,
+                knobs,
+            },
+            spec: normalized.spec,
+            accelerator: normalized.accelerator,
         })
     }
 }
@@ -192,6 +239,93 @@ impl NormalizedRequest {
         };
         serde_json::to_string(&envelope).map_err(|e| ServeError::Internal(e.to_string()))
     }
+}
+
+/// The canonical, digestible identity of one dataflow search: the
+/// [`EvaluationKey`] fields plus an `op` discriminator so a search digest can
+/// never alias an evaluation digest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchKey {
+    /// [`DIGEST_SCHEMA_VERSION`] stamp.
+    pub schema: u32,
+    /// Operation discriminator; always `"search"`.
+    pub op: String,
+    /// Canonical model name.
+    pub model: String,
+    /// Canonical accelerator label.
+    pub accelerator: String,
+    /// Whether the default Bit-Flip strategy is applied before profiling.
+    pub bitflip: bool,
+    /// Context knobs; `mapping` is pinned to `searched`.
+    pub knobs: ContextKnobs,
+}
+
+impl SearchKey {
+    /// The stable content digest addressing this search's response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failure as [`ServeError::Internal`].
+    pub fn digest(&self) -> Result<Digest, ServeError> {
+        Digest::of_value(self).map_err(|e| ServeError::Internal(e.to_string()))
+    }
+}
+
+/// A fully resolved search request, ready to run.
+#[derive(Debug, Clone)]
+pub struct NormalizedSearch {
+    /// The digestible identity (also echoed in the response envelope).
+    pub key: SearchKey,
+    /// The resolved network specification.
+    pub spec: NetworkSpec,
+    /// The resolved accelerator configuration.
+    pub accelerator: AcceleratorSpec,
+}
+
+impl NormalizedSearch {
+    /// Runs the per-layer design-space search on shared `weights`.  Layer
+    /// searches land in the process-wide `bitwave-dse` memo cache, so
+    /// repeated searches of identical layers — across requests and models —
+    /// are hash-map walks even when the response cache missed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline planning/stage and search errors.
+    pub fn run(&self, weights: &NetworkWeights) -> Result<NetworkSearch, BitwaveError> {
+        let mut pipeline =
+            Pipeline::new(self.key.knobs.to_context()).with_accelerator(self.accelerator.clone());
+        if self.key.bitflip {
+            pipeline = pipeline.with_default_bitflip(&self.spec);
+        }
+        pipeline.search_model_weights(&self.spec, weights)
+    }
+
+    /// Serializes the response envelope exactly as the cache stores and
+    /// replays it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failure as [`ServeError::Internal`].
+    pub fn envelope(&self, digest: &Digest, search: &NetworkSearch) -> Result<String, ServeError> {
+        let envelope = SearchResponse {
+            digest: digest.to_hex(),
+            key: self.key.clone(),
+            search: search.clone(),
+        };
+        serde_json::to_string(&envelope).map_err(|e| ServeError::Internal(e.to_string()))
+    }
+}
+
+/// The body of a `POST /v1/search` response: per-layer winning mappings,
+/// Pareto fronts and the heuristic-vs-searched comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchResponse {
+    /// Request digest addressing this search in the cache.
+    pub digest: String,
+    /// The normalised search key the digest covers.
+    pub key: SearchKey,
+    /// The full network search outcome.
+    pub search: NetworkSearch,
 }
 
 /// The body of a `POST /v1/evaluate` / `GET /v1/reports/{digest}` response.
@@ -340,6 +474,83 @@ mod tests {
             };
             assert!(msg.contains(needle), "`{msg}` should mention `{needle}`");
         }
+    }
+
+    #[test]
+    fn mapping_knob_is_parsed_and_digest_relevant() {
+        let heuristic = request(r#"{"model":"resnet18","sample_cap":4000}"#)
+            .normalize()
+            .unwrap();
+        assert_eq!(heuristic.key.knobs.mapping, MappingPolicy::Heuristic);
+        let explicit = request(r#"{"model":"resnet18","sample_cap":4000,"mapping":"Heuristic"}"#)
+            .normalize()
+            .unwrap();
+        assert_eq!(
+            heuristic.key.digest().unwrap(),
+            explicit.key.digest().unwrap(),
+            "explicit default must alias the implicit default"
+        );
+        let searched = request(r#"{"model":"resnet18","sample_cap":4000,"mapping":"searched"}"#)
+            .normalize()
+            .unwrap();
+        assert_eq!(searched.key.knobs.mapping, MappingPolicy::Searched);
+        assert_ne!(
+            heuristic.key.digest().unwrap(),
+            searched.key.digest().unwrap()
+        );
+        let err = request(r#"{"model":"resnet18","mapping":"random"}"#)
+            .normalize()
+            .unwrap_err();
+        let ServeError::BadRequest(msg) = err else {
+            panic!("expected BadRequest");
+        };
+        assert!(msg.contains("mapping policy"));
+    }
+
+    #[test]
+    fn search_requests_normalize_with_their_own_namespace() {
+        let body = r#"{"model":"ResNet18","sample_cap":4000}"#;
+        let search = request(body).normalize_search().unwrap();
+        assert_eq!(search.key.op, "search");
+        assert_eq!(search.key.model, "ResNet18");
+        assert_eq!(search.key.knobs.mapping, MappingPolicy::Searched);
+        let evaluate = request(body).normalize().unwrap();
+        assert_ne!(
+            search.key.digest().unwrap(),
+            evaluate.key.digest().unwrap(),
+            "search digests must never alias evaluation digests"
+        );
+        // Logically identical search requests share one digest.
+        let aliased = request(r#"{"model":"resnet18","sample_cap":4000,"bitflip":false}"#)
+            .normalize_search()
+            .unwrap();
+        assert_eq!(search.key.digest().unwrap(), aliased.key.digest().unwrap());
+        // The mapping knob is meaningless on the search endpoint.
+        let err = request(r#"{"model":"resnet18","mapping":"searched"}"#)
+            .normalize_search()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)));
+    }
+
+    #[test]
+    fn search_runs_and_envelope_replays_deterministically() {
+        let normalized = request(r#"{"model":"resnet18","sample_cap":1500}"#)
+            .normalize_search()
+            .unwrap();
+        let weights = normalized.key.knobs.to_context().weights(&normalized.spec);
+        let search = normalized.run(&weights).unwrap();
+        assert_eq!(search.layers.len(), normalized.spec.layers.len());
+        assert!(search.edp_gain() >= 1.0);
+        let digest = normalized.key.digest().unwrap();
+        let a = normalized.envelope(&digest, &search).unwrap();
+        let b = normalized.envelope(&digest, &search).unwrap();
+        assert_eq!(a, b, "envelope serialization must be deterministic");
+        let value: Value = serde_json::from_str(&a).unwrap();
+        assert_eq!(
+            value.get("digest").and_then(Value::as_str),
+            Some(digest.to_hex().as_str())
+        );
+        assert!(value.get("search").is_some());
     }
 
     #[test]

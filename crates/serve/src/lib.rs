@@ -35,7 +35,8 @@
 //!
 //! | endpoint | contents |
 //! |----------|----------|
-//! | `POST /v1/evaluate` | run (or replay) one model × accelerator evaluation; body: `{"model", "accelerator?", "bitflip?", "seed?", "sample_cap?", "group_size?"}` |
+//! | `POST /v1/evaluate` | run (or replay) one model × accelerator evaluation; body: `{"model", "accelerator?", "bitflip?", "seed?", "sample_cap?", "group_size?", "mapping?"}` |
+//! | `POST /v1/search` | run (or replay) the per-layer dataflow design-space search (`bitwave-dse`): winning mappings, Pareto fronts, heuristic-vs-searched EDP; same body minus `mapping` |
 //! | `GET /v1/reports/{digest}` | replay a cached report by content digest, no recomputation |
 //! | `GET /v1/models` | the model registry (`bitwave_dnn::models::by_name` names) |
 //! | `GET /v1/accelerators` | the accelerator registry (`AcceleratorSpec::by_name` names) |
@@ -88,7 +89,7 @@ pub mod metrics;
 pub mod server;
 pub mod store;
 
-pub use api::{EvaluateRequest, EvaluateResponse, EvaluationKey};
+pub use api::{EvaluateRequest, EvaluateResponse, EvaluationKey, SearchKey, SearchResponse};
 pub use cache::{CacheOutcome, ReportCache};
 pub use error::ServeError;
 pub use server::{start, ServeConfig, ServerHandle};

@@ -22,6 +22,8 @@ pub struct ServiceMetrics {
     pub queue_rejections: AtomicU64,
     /// Report replays served from `GET /v1/reports/{digest}`.
     pub report_replays: AtomicU64,
+    /// Cold dataflow searches executed (`POST /v1/search` misses).
+    pub searches: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -62,6 +64,11 @@ impl ServiceMetrics {
             "bitwave_serve_report_replays_total",
             "Reports replayed from GET /v1/reports/{digest}.",
             self.report_replays.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_serve_searches_total",
+            "Cold dataflow design-space searches executed.",
+            self.searches.load(Ordering::Relaxed),
         );
         counter(
             "bitwave_serve_cache_hits_total",
@@ -119,6 +126,7 @@ mod tests {
             "bitwave_serve_evaluations_total 1",
             "bitwave_serve_queue_rejections_total 0",
             "bitwave_serve_report_replays_total 0",
+            "bitwave_serve_searches_total 0",
             "bitwave_serve_cache_hits_total 0",
             "bitwave_serve_cache_misses_total 0",
             "bitwave_serve_cache_coalesced_total 0",

@@ -293,10 +293,13 @@ pub fn route(request: &Request, state: &ServiceState) -> Response {
         ("GET", "/v1/models") => json_or_500(&list_models()),
         ("GET", "/v1/accelerators") => json_or_500(&list_accelerators()),
         ("POST", "/v1/evaluate") => evaluate(request, state),
+        ("POST", "/v1/search") => search(request, state),
         ("GET", path) if path.starts_with("/v1/reports/") => replay_report(path, state),
-        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/accelerators" | "/v1/evaluate") => {
-            Response::error(405, "method not allowed")
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/models" | "/v1/accelerators" | "/v1/evaluate"
+            | "/v1/search",
+        ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
 }
@@ -331,6 +334,45 @@ fn evaluate(request: &Request, state: &ServiceState) -> Response {
             .map_err(|e| ServeError::from(e).to_string())?;
         normalized
             .envelope(&digest, &report)
+            .map_err(|e| e.to_string())
+    });
+    match computed {
+        Ok((body, outcome)) => Response::json(200, body.as_bytes().to_vec())
+            .with_header("x-bitwave-cache", outcome.as_str())
+            .with_header("x-bitwave-digest", hex),
+        Err(message) => error_response(&ServeError::Internal(message)),
+    }
+}
+
+/// `POST /v1/search`: normalise → digest → single-flight cache → per-layer
+/// dataflow design-space exploration.  Responses live in the same
+/// content-addressed cache as evaluations (the key's `op` discriminator keeps
+/// the namespaces apart), so a repeated search replays byte-identical JSON
+/// with `X-Bitwave-Cache: hit`; even on a response-cache miss, the
+/// `bitwave-dse` memo cache makes already-seen layers cheap.
+fn search(request: &Request, state: &ServiceState) -> Response {
+    let normalized =
+        match EvaluateRequest::from_json(&request.body).and_then(|r| r.normalize_search()) {
+            Ok(normalized) => normalized,
+            Err(e) => return error_response(&e),
+        };
+    let digest = match normalized.key.digest() {
+        Ok(digest) => digest,
+        Err(e) => return error_response(&e),
+    };
+    let hex = digest.to_hex();
+    let computed = state.cache.get_or_compute(&hex, || {
+        ServiceMetrics::bump(&state.metrics.searches);
+        let weights = state.store.weights(
+            &normalized.spec,
+            normalized.key.knobs.seed,
+            normalized.key.knobs.sample_cap,
+        );
+        let search = normalized
+            .run(&weights)
+            .map_err(|e| ServeError::from(e).to_string())?;
+        normalized
+            .envelope(&digest, &search)
             .map_err(|e| e.to_string())
     });
     match computed {

@@ -178,3 +178,108 @@ fn metrics_track_cache_and_evaluation_counters() {
     drop(client);
     handle.shutdown();
 }
+
+#[test]
+fn search_endpoint_misses_then_replays_byte_identical() {
+    let handle = test_server();
+    let mut client = Client::new(handle.local_addr());
+    let body = r#"{"model":"resnet18","sample_cap":1500}"#;
+
+    let cold = client.post_json("/v1/search", body).unwrap();
+    assert_eq!(cold.status, 200, "cold: {:?}", cold.text());
+    assert_eq!(cold.header("x-bitwave-cache"), Some("miss"));
+    let cold_digest = cold.header("x-bitwave-digest").unwrap().to_string();
+    let cold_body = cold.text().unwrap().to_string();
+
+    let warm = client.post_json("/v1/search", body).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-bitwave-cache"), Some("hit"));
+    assert_eq!(warm.header("x-bitwave-digest"), Some(cold_digest.as_str()));
+    assert_eq!(
+        warm.text().unwrap(),
+        cold_body,
+        "cache hits must replay byte-identical search responses"
+    );
+
+    // The response carries per-layer winners, fronts and the comparison.
+    let value: serde_json::Value = serde_json::from_str(&cold_body).unwrap();
+    assert_eq!(
+        value.get("digest").and_then(serde_json::Value::as_str),
+        Some(cold_digest.as_str())
+    );
+    let search = value.get("search").expect("search payload");
+    let layers = search
+        .get("layers")
+        .and_then(serde_json::Value::as_array)
+        .unwrap();
+    assert_eq!(layers.len(), 21, "one row per ResNet18 layer");
+    for layer in layers {
+        assert!(layer.get("heuristic").is_some());
+        let winner = layer.get("search").and_then(|s| s.get("winner")).unwrap();
+        assert!(winner.get("cost").and_then(|c| c.get("edp")).is_some());
+        assert!(layer
+            .get("search")
+            .and_then(|s| s.get("front"))
+            .and_then(serde_json::Value::as_array)
+            .is_some_and(|front| !front.is_empty()));
+    }
+    let heuristic_edp = search
+        .get("heuristic_edp")
+        .and_then(serde_json::Value::as_f64)
+        .unwrap();
+    let searched_edp = search
+        .get("searched_edp")
+        .and_then(serde_json::Value::as_f64)
+        .unwrap();
+    assert!(searched_edp <= heuristic_edp);
+
+    // Search digests live in the same replay namespace as reports.
+    let replay = client.get(&format!("/v1/reports/{cold_digest}")).unwrap();
+    assert_eq!(replay.status, 200);
+    assert_eq!(replay.text().unwrap(), cold_body);
+
+    // Searches count their own metric, not evaluations.
+    let metrics = client.get("/metrics").unwrap();
+    let text = metrics.text().unwrap().to_string();
+    assert!(text.contains("bitwave_serve_searches_total 1"), "{text}");
+    assert!(text.contains("bitwave_serve_evaluations_total 0"), "{text}");
+
+    // Method and knob errors are mapped.
+    let wrong_method = client.get("/v1/search").unwrap();
+    assert_eq!(wrong_method.status, 405);
+    let bad_knob = client
+        .post_json("/v1/search", r#"{"model":"resnet18","mapping":"searched"}"#)
+        .unwrap();
+    assert_eq!(bad_knob.status, 400);
+
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn searched_evaluations_are_cached_separately_from_heuristic_ones() {
+    let handle = test_server();
+    let mut client = Client::new(handle.local_addr());
+    let heuristic = client.post_json("/v1/evaluate", RESNET_SMALL).unwrap();
+    assert_eq!(heuristic.status, 200);
+    let searched = client
+        .post_json(
+            "/v1/evaluate",
+            r#"{"model":"resnet18","sample_cap":2000,"mapping":"searched"}"#,
+        )
+        .unwrap();
+    assert_eq!(searched.status, 200, "searched: {:?}", searched.text());
+    assert_eq!(searched.header("x-bitwave-cache"), Some("miss"));
+    assert_ne!(
+        heuristic.header("x-bitwave-digest"),
+        searched.header("x-bitwave-digest"),
+        "the mapping policy must be part of the cache address"
+    );
+    let h: EvaluateResponse = serde_json::from_str(heuristic.text().unwrap()).unwrap();
+    let s: EvaluateResponse = serde_json::from_str(searched.text().unwrap()).unwrap();
+    let edp = |r: &EvaluateResponse| r.report.total_cycles * r.report.energy.total_pj();
+    assert!(edp(&s) <= edp(&h), "searched EDP must not exceed heuristic");
+
+    drop(client);
+    handle.shutdown();
+}

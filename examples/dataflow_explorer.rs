@@ -36,7 +36,7 @@ fn main() {
 
     println!("\n== Per-layer SU selection (dynamic dataflow) ==");
     for net in all_networks() {
-        let decisions = map_network(&net.layers, &SuSet::bitwave());
+        let decisions = map_network(&net.layers, &SuSet::bitwave()).expect("mappable network");
         let mut histogram: BTreeMap<&str, usize> = BTreeMap::new();
         for d in &decisions {
             *histogram.entry(d.su.name).or_default() += 1;

@@ -1,0 +1,60 @@
+//! Per-layer heuristic-vs-searched mapping comparison.
+//!
+//! Runs the `bitwave-dse` design-space exploration over two registry models
+//! on the fully optimised BitWave accelerator and prints, for every layer,
+//! the Fig. 9 heuristic's pick next to the searched winner with their EDPs —
+//! the per-layer view behind `bench_dse`'s end-to-end gate and the
+//! `POST /v1/search` endpoint.
+//!
+//! Run with: `cargo run --release --example dse_sweep`
+
+use bitwave::context::ExperimentContext;
+use bitwave::dnn::models::by_name;
+use bitwave::pipeline::Pipeline;
+use bitwave::BitwaveError;
+
+fn main() -> Result<(), BitwaveError> {
+    let ctx = ExperimentContext::default().with_sample_cap(8_000);
+    for model in ["resnet18", "mobilenet-v2"] {
+        let spec = by_name(model)?;
+        let weights = ctx.weights(&spec);
+        let pipeline = Pipeline::new(ctx.clone());
+        let search = pipeline.search_model_weights(&spec, &weights)?;
+
+        println!("== {model} on {} ==", search.accelerator);
+        println!(
+            "{:<34} {:>14} {:>12} {:>14} {:>12} {:>7}",
+            "layer", "heuristic SU", "EDP", "searched SU", "EDP", "gain"
+        );
+        for layer in &search.layers {
+            let h = &layer.heuristic;
+            let s = &layer.search.winner;
+            println!(
+                "{:<34} {:>14} {:>12.4e} {:>14} {:>12.4e} {:>6.2}x",
+                layer.layer,
+                h.label,
+                h.cost.edp,
+                s.label,
+                s.cost.edp,
+                h.cost.edp / s.cost.edp,
+            );
+        }
+        println!(
+            "{:<34} {:>14} {:>12.4e} {:>14} {:>12.4e} {:>6.2}x   \
+             ({} candidate evaluations, {} memoized layer searches)\n",
+            "TOTAL (network)",
+            "",
+            search.heuristic_edp,
+            "",
+            search.searched_edp,
+            search.edp_gain(),
+            search
+                .layers
+                .iter()
+                .map(|l| l.search.candidates)
+                .sum::<usize>(),
+            search.layers.len(),
+        );
+    }
+    Ok(())
+}
