@@ -134,7 +134,7 @@ fn assert_hit_throughput_gate(handle: &ServerHandle) {
     let hit_rps = measure_rps(addr, &hit_bodies);
 
     let ratio = hit_rps / cold_rps.max(f64::MIN_POSITIVE);
-    let stats = handle.state().cache.stats();
+    let stats = handle.state().cache.stats(bitwave_serve::CacheOp::Evaluate);
     println!(
         "cold: {cold_rps:.1} req/s   hits: {hit_rps:.1} req/s   ratio: {ratio:.1}x   \
          (target: >={TARGET}x; cache hits {} misses {})",

@@ -1,0 +1,189 @@
+//! Gates for the tiered persistent store (`bitwave-store`): a warm restart
+//! must amortize the pipeline, and the memory tier must amortize the disk.
+//!
+//! Two invariants are **asserted** (not just timed) before the criterion
+//! loops, so `cargo bench --bench bench_store` doubles as the CI gate:
+//!
+//! 1. restarting the evaluation service against the same `--store-root` and
+//!    re-issuing an evaluation is ≥ 10× faster than the cold run — the
+//!    response replays from the disk tier (`X-Bitwave-Cache: disk`) with
+//!    byte-identical JSON and zero weight regenerations;
+//! 2. a memory-tier hit is ≥ 10× faster than a disk-tier hit on a
+//!    report-sized entry — promoting an entry into memory must matter.
+
+use bitwave::digest::Digest;
+use bitwave_bench::print_header;
+use bitwave_serve::client::Client;
+use bitwave_serve::server::{start, ServeConfig, ServerHandle};
+use bitwave_store::{StoreConfig, StoreOutcome, StringCodec, TieredStore};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const EVALUATE_BODY: &str = r#"{"model":"resnet18","accelerator":"bitwave","sample_cap":8000}"#;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root =
+        std::env::temp_dir().join(format!("bitwave-bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn persistent_server(root: &std::path::Path) -> ServerHandle {
+    start(ServeConfig {
+        workers: 2,
+        store_root: Some(root.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    })
+    .expect("persistent server starts")
+}
+
+/// Gate 1: warm-restart evaluate ≥ 10× faster than cold, byte-identical,
+/// served from the disk tier.
+fn assert_warm_restart_gate(root: &std::path::Path) {
+    const TARGET: f64 = 10.0;
+    print_header(
+        "store_warm_restart",
+        "evaluate after a service restart replays from disk (>=10x gate)",
+    );
+
+    let first = persistent_server(root);
+    let mut client = Client::new(first.local_addr());
+    let t0 = Instant::now();
+    let cold = client
+        .post_json("/v1/evaluate", EVALUATE_BODY)
+        .expect("cold evaluate");
+    let cold_elapsed = t0.elapsed();
+    assert_eq!(cold.status, 200, "cold: {:?}", cold.text());
+    assert_eq!(cold.header("x-bitwave-cache"), Some("miss"));
+    let cold_body = cold.body.clone();
+    drop(client);
+    first.shutdown();
+
+    // A fresh process over the same root: nothing in memory, everything on
+    // disk.
+    let second = persistent_server(root);
+    let mut client = Client::new(second.local_addr());
+    let t1 = Instant::now();
+    let warm = client
+        .post_json("/v1/evaluate", EVALUATE_BODY)
+        .expect("warm evaluate");
+    let warm_elapsed = t1.elapsed();
+    assert_eq!(warm.status, 200);
+    assert_eq!(
+        warm.header("x-bitwave-cache"),
+        Some("disk"),
+        "the restarted service must serve the evaluation from its disk tier"
+    );
+    assert_eq!(warm.body, cold_body, "disk replay must be byte-identical");
+    assert_eq!(
+        second.state().store.generations(),
+        0,
+        "a disk replay must not regenerate weights"
+    );
+    drop(client);
+    second.shutdown();
+
+    let ratio = cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "cold evaluate: {cold_elapsed:?}   warm-restart evaluate: {warm_elapsed:?}   \
+         ratio: {ratio:.1}x   (target: >={TARGET}x)"
+    );
+    assert!(
+        ratio >= TARGET,
+        "warm-restart evaluate ({warm_elapsed:?}) must be >={TARGET}x faster than cold ({cold_elapsed:?})"
+    );
+}
+
+/// Gate 2: memory-tier hit ≥ 10× faster than disk-tier hit on a
+/// report-sized entry.
+fn assert_memory_vs_disk_gate(root: &std::path::Path) -> (TieredStore<StringCodec>, Digest) {
+    const TARGET: f64 = 10.0;
+    const ROUNDS: u32 = 200;
+    print_header(
+        "store_tier_latency",
+        "memory-tier hit vs disk-tier hit on a ~256 KiB entry (>=10x gate)",
+    );
+    let config = StoreConfig::default().with_root(root).with_mem_entries(16);
+    let store = TieredStore::<StringCodec>::new("bench", &config).expect("store opens");
+    let key = Digest::of_bytes(b"tier-latency-entry");
+    // A report-sized payload (~256 KiB of JSON-looking text).
+    let payload: String = "{\"layer\":\"conv1\",\"edp\":1234.5678}".repeat(8192);
+    store
+        .get_or_compute(key, || Ok::<_, String>(payload.clone()), |e| e)
+        .expect("seed entry");
+
+    // Disk path: drop the memory tier before every read.
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        store.clear_memory();
+        let (body, outcome) = store
+            .get_or_compute(key, || panic!("on disk"), |e: String| e)
+            .expect("disk hit");
+        assert_eq!(outcome, StoreOutcome::Disk);
+        black_box(body.len());
+    }
+    let disk_per_hit = t0.elapsed() / ROUNDS;
+
+    // Memory path: the entry stays promoted.
+    let t1 = Instant::now();
+    for _ in 0..ROUNDS {
+        let (body, outcome) = store
+            .get_or_compute(key, || panic!("in memory"), |e: String| e)
+            .expect("memory hit");
+        assert_eq!(outcome, StoreOutcome::Hit);
+        black_box(body.len());
+    }
+    let mem_per_hit = t1.elapsed() / ROUNDS;
+
+    let ratio = disk_per_hit.as_secs_f64() / mem_per_hit.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "disk hit: {disk_per_hit:?}   memory hit: {mem_per_hit:?}   ratio: {ratio:.1}x   \
+         (target: >={TARGET}x; disk hits {} mem hits {})",
+        store.stats().disk_hits(),
+        store.stats().hits(),
+    );
+    assert!(
+        ratio >= TARGET,
+        "memory hits ({mem_per_hit:?}) must be >={TARGET}x faster than disk hits ({disk_per_hit:?})"
+    );
+    (store, key)
+}
+
+fn bench(c: &mut Criterion) {
+    let restart_root = temp_root("restart");
+    assert_warm_restart_gate(&restart_root);
+    let _ = std::fs::remove_dir_all(&restart_root);
+
+    let tier_root = temp_root("tiers");
+    let (store, key) = assert_memory_vs_disk_gate(&tier_root);
+
+    c.bench_function("store/memory_hit", |b| {
+        b.iter(|| {
+            let (body, _) = store
+                .get_or_compute(black_box(key), || panic!("hit"), |e: String| e)
+                .expect("hit");
+            black_box(body.len())
+        })
+    });
+    c.bench_function("store/disk_hit", |b| {
+        b.iter(|| {
+            store.clear_memory();
+            let (body, _) = store
+                .get_or_compute(black_box(key), || panic!("disk"), |e: String| e)
+                .expect("disk");
+            black_box(body.len())
+        })
+    });
+
+    drop(store);
+    let _ = std::fs::remove_dir_all(&tier_root);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

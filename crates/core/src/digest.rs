@@ -70,6 +70,12 @@ impl Digest {
     pub fn to_hex(self) -> String {
         format!("{:032x}", self.0)
     }
+
+    /// The raw 128-bit value (e.g. for shard selection in content-addressed
+    /// stores).
+    pub fn raw(self) -> u128 {
+        self.0
+    }
 }
 
 impl fmt::Display for Digest {

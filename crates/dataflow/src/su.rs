@@ -11,7 +11,7 @@
 //! machine's SU product counts full 8×8 multipliers.
 
 use bitwave_dnn::layer::{LayerSpec, LoopDims};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One spatial-unrolling configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -118,6 +118,57 @@ impl SpatialUnrolling {
             * dim_utilization(dims.fx.max(1), self.fx)
             * dim_utilization(dims.fy.max(1), self.fy)
             * group_utilization(dims, self.g)
+    }
+}
+
+/// `SpatialUnrolling::name` is a `&'static str` (the named configurations
+/// are compile-time constants), so deserialization — needed when persisted
+/// DSE search results are read back from a `bitwave-store` disk tier —
+/// resolves names through a small process-wide intern pool.  Each distinct
+/// name is leaked once; the pool is capped as a guard against pathological
+/// inputs, beyond which unknown names collapse to the generated-candidate
+/// placeholder `"DSE"` (named SUs are a fixed, tiny vocabulary in practice).
+fn intern_su_name(name: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    const POOL_CAP: usize = 1024;
+    static POOL: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pool = pool
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(existing) = pool.iter().find(|n| ***n == *name) {
+        return existing;
+    }
+    if pool.len() >= POOL_CAP {
+        return "DSE";
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    pool.push(leaked);
+    leaked
+}
+
+impl Deserialize for SpatialUnrolling {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let dim = |field: &str| -> Result<usize, serde::Error> {
+            let v = value
+                .get(field)
+                .ok_or_else(|| serde::Error::custom("missing field").at(field))?;
+            usize::from_value(v).map_err(|e| e.at(field))
+        };
+        let name = value
+            .get("name")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| serde::Error::custom("expected string").at("name"))?;
+        Ok(Self {
+            name: intern_su_name(name),
+            c: dim("c")?,
+            k: dim("k")?,
+            ox: dim("ox")?,
+            oy: dim("oy")?,
+            fx: dim("fx")?,
+            fy: dim("fy")?,
+            g: dim("g")?,
+        })
     }
 }
 
@@ -327,6 +378,39 @@ mod tests {
         assert_eq!(SU6.activation_bits_per_cycle(), 256);
         assert_eq!(SU7.weight_bits_per_cycle_bit_serial(), 64);
         assert_eq!(SU7.activation_bits_per_cycle(), 1024);
+    }
+
+    #[test]
+    fn spatial_unrollings_roundtrip_through_json_byte_identically() {
+        // Persistence of DSE results depends on SUs deserializing (the name
+        // is interned back to a `&'static str`) and re-serializing to the
+        // exact bytes the original produced.
+        let named = bitwave_su::SU7;
+        let generated = SpatialUnrolling {
+            name: "DSE",
+            c: 8,
+            k: 32,
+            ox: 16,
+            oy: 1,
+            fx: 1,
+            fy: 1,
+            g: 1,
+        };
+        for su in [named, generated, baseline_su::XY_4096] {
+            let json = serde_json::to_string(&su).unwrap();
+            let back: SpatialUnrolling = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, su);
+            assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        }
+        // Interning maps repeated names onto one static allocation.
+        let a: SpatialUnrolling =
+            serde_json::from_str(&serde_json::to_string(&named).unwrap()).unwrap();
+        let b: SpatialUnrolling =
+            serde_json::from_str(&serde_json::to_string(&named).unwrap()).unwrap();
+        assert!(std::ptr::eq(a.name, b.name));
+        // Malformed values are rejected, not panicked on.
+        assert!(serde_json::from_str::<SpatialUnrolling>("{\"name\":\"X\"}").is_err());
+        assert!(serde_json::from_str::<SpatialUnrolling>("[1,2]").is_err());
     }
 
     #[test]

@@ -16,10 +16,10 @@ use bitwave_dataflow::activity::TemporalMapping;
 use bitwave_dataflow::mapping::MappingDecision;
 use bitwave_dataflow::su::SpatialUnrolling;
 use bitwave_dataflow::MemoryHierarchy;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// The multi-objective cost of one candidate mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MappingCost {
     /// Compute cycles (Eq. 2).
     pub compute_cycles: f64,
@@ -34,8 +34,9 @@ pub struct MappingCost {
     pub edp: f64,
 }
 
-/// A candidate mapping together with its evaluated cost.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// A candidate mapping together with its evaluated cost.  `Deserialize`
+/// lets memoized results replay from a `bitwave-store` disk tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvaluatedMapping {
     /// Human-readable shape descriptor.
     pub label: String,

@@ -26,6 +26,11 @@
 //!   `bitwave_core::digest::Digest` over (accelerator spec, layer shape,
 //!   sparsity-profile digest, cost tables, search space), shared process-
 //!   wide so identical layers across models and sweeps are searched once.
+//!   Backed by the tiered `bitwave-store` substrate: bounded (sharded LRU
+//!   with byte accounting, single-flight) and optionally **persistent** —
+//!   [`memo::persist_global_cache`] attaches a disk tier so searched
+//!   mappings survive restarts and are shared with the serve tier's store
+//!   root.
 //! * [`refine`] — cycle-level cross-validation of searched mappings on the
 //!   `bitwave-sim` BCE array.
 //!
@@ -69,7 +74,7 @@ pub mod space;
 
 pub use cost::{EvaluatedMapping, MappingCost};
 pub use error::{DseError, Result};
-pub use memo::{global_cache, MemoStats, SearchCache};
+pub use memo::{global_cache, persist_global_cache, SearchCache, DEFAULT_MEMO_ENTRIES};
 pub use refine::{engine_config_for, validate_mapping};
 pub use search::{DseEngine, LayerSearchResult, NetworkSearch, SearchedLayer, DSE_SCHEMA_VERSION};
 pub use space::{Candidate, SearchSpace};

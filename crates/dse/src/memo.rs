@@ -1,4 +1,5 @@
-//! Digest-keyed memoization of per-layer search results.
+//! Digest-keyed memoization of per-layer search results, on the shared
+//! [`bitwave_store::TieredStore`] substrate.
 //!
 //! A layer's search outcome depends only on (accelerator spec, layer shape,
 //! sparsity profile, cost tables, search space) — not on the layer's name or
@@ -6,99 +7,143 @@
 //! [`Digest`] of exactly those inputs, so identical layers across models and
 //! repeated sweeps are searched **once**: the 9 shape-identical ResNet
 //! residual convolutions cost one search, and re-searching an already-seen
-//! network is a pure hash-map walk (gated ≥10× faster than cold in
+//! network is a pure cache walk (gated ≥10× faster than cold in
 //! `bench_dse`).
+//!
+//! Unlike its hand-rolled predecessor the cache is **bounded** (sharded LRU
+//! with byte accounting, [`DEFAULT_MEMO_ENTRIES`] entries by default) and
+//! optionally **persistent**: attach a store root with
+//! [`SearchCache::persist`] / [`persist_global_cache`] and searched mappings
+//! survive restarts under `<root>/dse/<digest>`, shared with the serve
+//! tier's store root.  Concurrent misses for one key now coalesce onto a
+//! single search (single-flight) instead of computing twice.
 //!
 //! A process-wide [`global_cache`] backs the pipeline's
 //! `MappingPolicy::Searched` map stage; engines built for tests or benches
 //! can use private caches instead.
 
-use crate::error::Result;
+use crate::error::{DseError, Result};
 use crate::search::LayerSearchResult;
 use bitwave_core::digest::Digest;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use bitwave_store::{JsonCodec, StoreConfig, StoreStats, TieredStore};
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
-/// Monotonic hit/miss counters.
-#[derive(Debug, Default)]
-pub struct MemoStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
+/// Default memory-tier entry bound of a [`SearchCache`].  The old
+/// process-wide map grew without bound; a long-running serve process
+/// sweeping many models now evicts least-recently-searched layers instead.
+pub const DEFAULT_MEMO_ENTRIES: usize = 4096;
 
-impl MemoStats {
-    /// Lookups satisfied from the cache.
-    pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
+/// The disk-tier op namespace (`<root>/dse/<digest>`).
+pub const MEMO_OP: &str = "dse";
 
-    /// Lookups that ran a search.
-    pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
-    }
-}
-
-/// A digest-keyed map of completed layer searches.
-#[derive(Debug, Default)]
+/// A digest-keyed, bounded, optionally persistent cache of completed layer
+/// searches.
+#[derive(Debug)]
 pub struct SearchCache {
-    entries: Mutex<HashMap<Digest, Arc<LayerSearchResult>>>,
-    stats: MemoStats,
+    store: TieredStore<JsonCodec<LayerSearchResult>>,
+}
+
+impl Default for SearchCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SearchCache {
-    /// Creates an empty cache.
+    /// Creates a memory-only cache bounded to [`DEFAULT_MEMO_ENTRIES`].
     pub fn new() -> Self {
-        Self::default()
+        Self::bounded(DEFAULT_MEMO_ENTRIES)
     }
 
-    /// The hit/miss counters.
-    pub fn stats(&self) -> &MemoStats {
-        &self.stats
+    /// Creates a memory-only cache bounded to `max_entries`.
+    pub fn bounded(max_entries: usize) -> Self {
+        Self {
+            store: TieredStore::memory_only(MEMO_OP, max_entries),
+        }
     }
 
-    /// Number of memoized layer searches.
+    /// Creates a cache from a full [`StoreConfig`] (persistent when the
+    /// config has a root).
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk-tier directory creation/scan failures.
+    pub fn with_config(config: &StoreConfig) -> io::Result<Self> {
+        Ok(Self {
+            store: TieredStore::new(MEMO_OP, config)?,
+        })
+    }
+
+    /// Attaches (or re-roots) a disk tier under `<root>/dse`, so searched
+    /// mappings persist across restarts and can be shared with the serve
+    /// tier's store root.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation/scan failures.
+    pub fn persist(&self, root: &Path) -> io::Result<()> {
+        self.store.persist(root)
+    }
+
+    /// True when a disk tier is attached.
+    pub fn persistent(&self) -> bool {
+        self.store.persistent()
+    }
+
+    /// The hit/miss/coalesced/eviction counters.
+    pub fn stats(&self) -> &StoreStats {
+        self.store.stats()
+    }
+
+    /// The underlying tiered store (metrics export).
+    pub fn store(&self) -> &TieredStore<JsonCodec<LayerSearchResult>> {
+        &self.store
+    }
+
+    /// Number of memoized layer searches in the memory tier.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.store.mem_entries()
     }
 
-    /// True when nothing is memoized yet.
+    /// True when nothing is memoized in the memory tier.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drops every memoized entry (the counters keep counting).
-    pub fn clear(&self) {
-        self.lock().clear();
+    /// Accounted bytes of the memory tier (each entry weighs its encoded
+    /// JSON size).
+    pub fn mem_bytes(&self) -> u64 {
+        self.store.mem_bytes()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Digest, Arc<LayerSearchResult>>> {
-        self.entries
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Drops every memoized entry from the **memory** tier; a disk tier (if
+    /// attached) is untouched, so the next lookups replay from disk exactly
+    /// as a restarted process would.  The counters keep counting.
+    pub fn clear(&self) {
+        self.store.clear_memory();
     }
 
     /// Returns the memoized result for `key`, running `compute` on a miss.
     ///
-    /// Concurrent misses for one key may both compute; the search is
-    /// deterministic, so their results are identical and the first insert
-    /// wins — every caller observes the same `Arc`d value afterwards.
+    /// Lookup order is memory → disk (verified, quarantining corrupt
+    /// entries as misses) → `compute`.  Concurrent misses for one key
+    /// coalesce onto a single search; every caller observes the same
+    /// `Arc`d value afterwards.
     ///
     /// # Errors
     ///
     /// Propagates the computation's error; nothing is cached on failure.
+    /// A coalesced waiter that observes the failure receives
+    /// [`DseError::Memo`] with the computing caller's message.
     pub fn get_or_compute<F>(&self, key: Digest, compute: F) -> Result<Arc<LayerSearchResult>>
     where
         F: FnOnce() -> Result<LayerSearchResult>,
     {
-        if let Some(hit) = self.lock().get(&key) {
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
-        }
-        self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        let computed = Arc::new(compute()?);
-        let mut entries = self.lock();
-        Ok(Arc::clone(entries.entry(key).or_insert(computed)))
+        self.store
+            .get_or_compute(key, compute, |message| DseError::Memo { message })
+            .map(|(result, _)| result)
     }
 }
 
@@ -109,11 +154,25 @@ pub fn global_cache() -> &'static Arc<SearchCache> {
     GLOBAL.get_or_init(|| Arc::new(SearchCache::new()))
 }
 
+/// Attaches a disk tier to the [`global_cache`] under `<root>/dse`.  The
+/// serve tier calls this with its own store root at startup, so the memo
+/// cache and the report cache share one persistence root and searched
+/// mappings warm-start across process restarts.
+///
+/// # Errors
+///
+/// Propagates directory creation/scan failures; the global cache stays on
+/// its previous configuration when opening fails.
+pub fn persist_global_cache(root: &Path) -> io::Result<()> {
+    global_cache().persist(root)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cost::{EvaluatedMapping, MappingCost};
     use bitwave_dataflow::su::bitwave_su;
+    use std::path::PathBuf;
 
     fn result(tag: &str) -> LayerSearchResult {
         let mapping = EvaluatedMapping {
@@ -137,6 +196,13 @@ mod tests {
             front: vec![mapping],
             front_total: 1,
         }
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("bitwave-dse-memo-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
     }
 
     #[test]
@@ -172,6 +238,70 @@ mod tests {
             .get_or_compute(key, || Ok(result("recovered")))
             .unwrap();
         assert_eq!(ok.winner.label, "recovered");
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_stable_byte_accounting() {
+        // Regression: the process-wide memo cache used to grow without
+        // bound.  Inserting past capacity must evict (LRU) and keep the
+        // memory-tier byte count equal to the retained entries' encoded
+        // sizes — stable across re-insertions of the same keys.
+        let cache = SearchCache::bounded(4);
+        let entry_bytes = serde_json::to_string(&result("entry-0")).unwrap().len() as u64;
+        for i in 0..10 {
+            let key = Digest::of_bytes(format!("layer-{i}").as_bytes());
+            cache
+                .get_or_compute(key, || Ok(result(&format!("entry-{i}"))))
+                .unwrap();
+        }
+        assert!(
+            cache.len() <= 4,
+            "capacity must bound the cache: {}",
+            cache.len()
+        );
+        assert!(cache.stats().evictions() >= 6);
+        assert_eq!(
+            cache.mem_bytes(),
+            entry_bytes * cache.len() as u64,
+            "byte accounting must equal the retained entries' encoded sizes"
+        );
+        // Hitting the surviving keys must not change the accounting.
+        let before = cache.mem_bytes();
+        for i in 0..10 {
+            let key = Digest::of_bytes(format!("layer-{i}").as_bytes());
+            let _ = cache.get_or_compute(key, || Ok(result(&format!("entry-{i}"))));
+        }
+        assert!(cache.len() <= 4);
+        assert_eq!(cache.mem_bytes(), before, "byte count must stay stable");
+    }
+
+    #[test]
+    fn persisted_results_replay_across_cache_instances() {
+        let root = temp_root("replay");
+        let config = StoreConfig::default().with_root(&root);
+        let key = Digest::of_bytes(b"persistent-layer");
+        let cold = {
+            let cache = SearchCache::with_config(&config).unwrap();
+            assert!(cache.persistent());
+            cache.get_or_compute(key, || Ok(result("cold"))).unwrap()
+        };
+        // A fresh cache over the same root = a restarted process.
+        let warm_cache = SearchCache::with_config(&config).unwrap();
+        let warm = warm_cache
+            .get_or_compute(key, || panic!("must replay from disk"))
+            .unwrap();
+        assert_eq!(
+            *warm, *cold,
+            "disk replay must reproduce the result exactly"
+        );
+        assert_eq!(warm_cache.stats().disk_hits(), 1);
+        assert_eq!(warm_cache.stats().misses(), 0);
+        assert_eq!(
+            serde_json::to_string(&*warm).unwrap(),
+            serde_json::to_string(&*cold).unwrap(),
+            "replayed results must re-serialize byte-identically"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use bitwave_dataflow::MemoryHierarchy;
 use bitwave_dnn::layer::{LayerKind, LayerSpec, LoopDims};
 use bitwave_dnn::models::NetworkSpec;
 use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Version stamp mixed into every memoization key.  Bump when the meaning of
@@ -47,8 +47,10 @@ struct SearchKey {
     space: SearchSpace,
 }
 
-/// Outcome of one layer's design-space search.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// Outcome of one layer's design-space search.  `Deserialize` lets results
+/// persist in (and replay byte-identically from) a `bitwave-store` disk
+/// tier across process restarts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerSearchResult {
     /// Hex digest of the memoization key that addresses this result.
     pub key: String,

@@ -12,14 +12,25 @@ use bitwave_serve::server::{start, ServeConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: serve [--addr HOST:PORT] [--workers N] \
-                     [--queue-capacity N] [--cache-capacity N] [--store-capacity N]\n\
+                     [--queue-capacity N] [--cache-capacity N] [--store-capacity N] \
+                     [--store-root DIR]\n\
                      \n\
                      Serves the BitWave evaluation API (see crates/serve).  \
                      --addr defaults to 127.0.0.1:0 (ephemeral port; the bound \
-                     address is printed on the first stdout line).";
+                     address is printed on the first stdout line).  --store-root \
+                     (or the BITWAVE_STORE_ROOT environment variable) enables the \
+                     persistent tiered cache: evaluate/search responses and DSE \
+                     layer searches survive restarts under DIR and replay \
+                     byte-identically with X-Bitwave-Cache: disk.";
 
 fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
     let mut config = ServeConfig::default();
+    // The flag (below) overrides the environment.
+    if let Ok(root) = std::env::var("BITWAVE_STORE_ROOT") {
+        if !root.trim().is_empty() {
+            config.store_root = Some(root);
+        }
+    }
     let mut i = 0usize;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -40,6 +51,7 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
             "--queue-capacity" => config.queue_capacity = parse_usize()?.max(1),
             "--cache-capacity" => config.cache_capacity = parse_usize()?.max(1),
             "--store-capacity" => config.store_capacity = parse_usize()?.max(1),
+            "--store-root" => config.store_root = Some(value.clone()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
         i += 2;
@@ -57,6 +69,7 @@ fn main() -> ExitCode {
         }
     };
     let workers = config.workers;
+    let store_root = config.store_root.clone();
     let handle = match start(config) {
         Ok(handle) => handle,
         Err(e) => {
@@ -66,8 +79,10 @@ fn main() -> ExitCode {
     };
     println!("listening on http://{}", handle.local_addr());
     println!(
-        "workers: {workers}   endpoints: POST /v1/evaluate, GET /v1/reports/{{digest}}, \
-         GET /v1/models, GET /v1/accelerators, GET /healthz, GET /metrics"
+        "workers: {workers}   store: {}   endpoints: POST /v1/evaluate, POST /v1/search, \
+         GET /v1/reports/{{digest}}, GET /v1/models, GET /v1/accelerators, GET /healthz, \
+         GET /metrics",
+        store_root.as_deref().unwrap_or("memory-only")
     );
     // Serve until killed; the acceptor/worker threads do all the work.
     loop {

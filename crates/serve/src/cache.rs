@@ -1,185 +1,133 @@
-//! Content-addressed report cache: LRU over digest → serialized-report
-//! entries, with single-flight computation.
+//! Content-addressed report cache: a thin wrapper over two
+//! [`bitwave_store::TieredStore`] op namespaces (`evaluate`, `search`),
+//! storing **serialized** response bodies under request digests.
 //!
-//! Entries are keyed by the request digest (see [`crate::api`]) and store the
-//! **serialized** response body, so a cache hit replays bytes identical to
-//! the cold run that populated it.  Concurrent requests for the same digest
-//! are deduplicated: the first request computes while the rest block on the
-//! pending entry and reuse its result ("single-flight"), so a thundering
-//! herd of identical requests performs exactly one evaluation.
-//!
-//! Eviction is least-recently-used over *ready* entries only — an in-flight
-//! computation is never evicted from under its waiters.  Hit/miss/
-//! coalesced/eviction counters feed `GET /metrics`.
+//! The store substrate supplies everything the old hand-rolled cache
+//! implemented itself: sharded LRU with byte accounting, single-flight
+//! computation coalescing, and — when a store root is configured — a
+//! checksummed disk tier, so cached responses survive restarts.  A hit from
+//! either tier replays bytes identical to the cold run that populated it;
+//! the `X-Bitwave-Cache` header distinguishes `hit` (memory), `disk`
+//! (promoted from the disk tier), `miss` and `coalesced`.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use bitwave::digest::Digest;
+use bitwave_store::{StoreConfig, StoreStats, StringCodec, TieredStore};
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
 
-/// How a [`ReportCache::get_or_compute`] call was satisfied.
+/// Re-export: how a cache lookup was satisfied (`hit` / `disk` / `miss` /
+/// `coalesced`, the `X-Bitwave-Cache` values).
+pub use bitwave_store::StoreOutcome as CacheOutcome;
+
+/// The two cached operations; each gets its own op namespace in the store
+/// (and on disk: `<root>/evaluate/<digest>`, `<root>/search/<digest>`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CacheOutcome {
-    /// The digest was already cached; stored bytes were replayed.
-    Hit,
-    /// The digest was absent; this call ran the computation.
-    Miss,
-    /// Another in-flight call was computing the digest; this call waited and
-    /// shared its result.
-    Coalesced,
+pub enum CacheOp {
+    /// `POST /v1/evaluate` responses.
+    Evaluate,
+    /// `POST /v1/search` responses.
+    Search,
 }
 
-impl CacheOutcome {
-    /// Header value for `X-Bitwave-Cache`.
+impl CacheOp {
+    /// The op namespace string (directory name and metrics label).
     pub fn as_str(self) -> &'static str {
         match self {
-            CacheOutcome::Hit => "hit",
-            CacheOutcome::Miss => "miss",
-            CacheOutcome::Coalesced => "coalesced",
+            CacheOp::Evaluate => "evaluate",
+            CacheOp::Search => "search",
         }
     }
 }
 
-/// Monotonic cache counters (exposed by `GET /metrics`).
-#[derive(Debug, Default)]
-pub struct CacheStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
-    evictions: AtomicU64,
-}
-
-impl CacheStats {
-    /// Cache hits (ready entry replayed).
-    pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    /// Cache misses (computation ran).
-    pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
-    }
-
-    /// Requests that waited on another request's in-flight computation.
-    pub fn coalesced(&self) -> u64 {
-        self.coalesced.load(Ordering::Relaxed)
-    }
-
-    /// Entries evicted by the LRU policy.
-    pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
-    }
-}
-
-/// One in-flight computation; waiters block on the condvar until `done`.
-struct Pending {
-    done: Mutex<Option<Result<Arc<str>, String>>>,
-    cv: Condvar,
-}
-
-enum Slot {
-    Ready {
-        body: Arc<str>,
-        /// Access stamp keying this entry in [`Inner::by_stamp`].
-        stamp: u64,
-    },
-    Pending(Arc<Pending>),
-}
-
-struct Inner {
-    map: HashMap<String, Slot>,
-    /// Ready digests keyed by a monotonic access stamp: the first entry is
-    /// the least recently used.  Touch and evict are O(log n) — this sits
-    /// under the cache mutex on the hit path, so no linear scans.
-    by_stamp: std::collections::BTreeMap<u64, String>,
-    next_stamp: u64,
-}
-
-impl Inner {
-    /// Stamps a ready digest as most-recently-used.
-    fn touch(&mut self, digest: &str) {
-        let stamp = self.next_stamp;
-        self.next_stamp += 1;
-        if let Some(Slot::Ready { stamp: old, .. }) = self.map.get_mut(digest) {
-            self.by_stamp.remove(old);
-            *old = stamp;
-            self.by_stamp.insert(stamp, digest.to_string());
-        }
-    }
-}
-
-/// The content-addressed, bounded, single-flight report cache.
+/// The content-addressed, bounded, single-flight, optionally persistent
+/// report cache.
+#[derive(Debug)]
 pub struct ReportCache {
-    inner: Mutex<Inner>,
-    capacity: usize,
-    stats: CacheStats,
-}
-
-impl std::fmt::Debug for ReportCache {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ReportCache")
-            .field("capacity", &self.capacity)
-            .field("len", &self.len())
-            .finish()
-    }
+    evaluate: TieredStore<StringCodec>,
+    search: TieredStore<StringCodec>,
 }
 
 impl ReportCache {
-    /// Creates a cache bounded to `capacity` ready entries (min 1).
+    /// Creates a memory-only cache bounding each op to `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                by_stamp: std::collections::BTreeMap::new(),
-                next_stamp: 0,
-            }),
-            capacity: capacity.max(1),
-            stats: CacheStats::default(),
+            evaluate: TieredStore::memory_only(CacheOp::Evaluate.as_str(), capacity),
+            search: TieredStore::memory_only(CacheOp::Search.as_str(), capacity),
         }
     }
 
-    /// The monotonic counters.
-    pub fn stats(&self) -> &CacheStats {
-        &self.stats
+    /// Creates a cache from a full [`StoreConfig`]; with a root configured,
+    /// both ops persist under it and replay across restarts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk-tier directory creation/scan failures.
+    pub fn with_config(config: &StoreConfig) -> io::Result<Self> {
+        Ok(Self {
+            evaluate: TieredStore::new(CacheOp::Evaluate.as_str(), config)?,
+            search: TieredStore::new(CacheOp::Search.as_str(), config)?,
+        })
     }
 
-    /// Number of ready (replayable) entries.
+    /// Attaches (or re-roots) the disk tier of both ops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation/scan failures.
+    pub fn persist(&self, root: &Path) -> io::Result<()> {
+        self.evaluate.persist(root)?;
+        self.search.persist(root)
+    }
+
+    /// The tiered store behind one op (metrics and gauges).
+    pub fn store(&self, op: CacheOp) -> &TieredStore<StringCodec> {
+        match op {
+            CacheOp::Evaluate => &self.evaluate,
+            CacheOp::Search => &self.search,
+        }
+    }
+
+    /// One op's counters.
+    pub fn stats(&self, op: CacheOp) -> &StoreStats {
+        self.store(op).stats()
+    }
+
+    /// Ready memory-tier entries across both ops.
     pub fn len(&self) -> usize {
-        self.lock().by_stamp.len()
+        self.evaluate.mem_entries() + self.search.mem_entries()
     }
 
-    /// True when no ready entry is cached.
+    /// True when no ready entry is cached in memory.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Drops both ops' memory tiers (disk tiers untouched) — the next
+    /// lookups behave exactly like a restarted process.
+    pub fn clear_memory(&self) {
+        self.evaluate.clear_memory();
+        self.search.clear_memory();
     }
 
-    /// Replays a ready entry without counting a hit or miss — the
-    /// `GET /v1/reports/{digest}` path.  A pending digest blocks until its
-    /// computation finishes (and returns `None` if it failed).
-    pub fn replay(&self, digest: &str) -> Option<Arc<str>> {
-        let pending = {
-            let mut inner = self.lock();
-            match inner.map.get(digest) {
-                Some(Slot::Ready { body, .. }) => {
-                    let body = Arc::clone(body);
-                    inner.touch(digest);
-                    return Some(body);
-                }
-                Some(Slot::Pending(p)) => Arc::clone(p),
-                None => return None,
-            }
-        };
-        Self::wait(&pending).ok()
+    /// Replays a cached body by digest without counting a hit or miss — the
+    /// `GET /v1/reports/{digest}` path.  Consults the memory tier, then the
+    /// disk tier, of the evaluate op first and the search op second (the
+    /// digest's op discriminator keeps the namespaces disjoint, so at most
+    /// one can match).  The returned outcome says which tier answered
+    /// (`Hit` = memory, `Disk` = promoted from disk).  A pending digest
+    /// blocks until its computation finishes (and returns `None` if it
+    /// failed).
+    pub fn replay(&self, digest: Digest) -> Option<(Arc<String>, CacheOutcome)> {
+        self.evaluate
+            .get(digest)
+            .or_else(|| self.search.get(digest))
     }
 
-    /// Looks `digest` up; on a miss, runs `compute` (outside the cache lock)
-    /// and stores its result.  Concurrent calls for the same digest are
-    /// coalesced onto the first caller's computation.
+    /// Looks `digest` up in `op`'s store; on a full miss, runs `compute`
+    /// (outside the cache locks) and stores its result in memory and — when
+    /// persistent — on disk.  Concurrent calls for the same digest are
+    /// coalesced onto one computation.
     ///
     /// # Errors
     ///
@@ -187,221 +135,99 @@ impl ReportCache {
     /// of it and nothing is cached.
     pub fn get_or_compute<F>(
         &self,
-        digest: &str,
+        op: CacheOp,
+        digest: Digest,
         compute: F,
-    ) -> Result<(Arc<str>, CacheOutcome), String>
+    ) -> Result<(Arc<String>, CacheOutcome), String>
     where
         F: FnOnce() -> Result<String, String>,
     {
-        let pending = {
-            let mut inner = self.lock();
-            match inner.map.get(digest) {
-                Some(Slot::Ready { body, .. }) => {
-                    let body = Arc::clone(body);
-                    inner.touch(digest);
-                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok((body, CacheOutcome::Hit));
-                }
-                Some(Slot::Pending(p)) => Arc::clone(p),
-                None => {
-                    let pending = Arc::new(Pending {
-                        done: Mutex::new(None),
-                        cv: Condvar::new(),
-                    });
-                    inner
-                        .map
-                        .insert(digest.to_string(), Slot::Pending(Arc::clone(&pending)));
-                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                    drop(inner);
-                    return self.run_compute(digest, pending, compute);
-                }
-            }
-        };
-        self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
-        Self::wait(&pending).map(|body| (body, CacheOutcome::Coalesced))
-    }
-
-    fn run_compute<F>(
-        &self,
-        digest: &str,
-        pending: Arc<Pending>,
-        compute: F,
-    ) -> Result<(Arc<str>, CacheOutcome), String>
-    where
-        F: FnOnce() -> Result<String, String>,
-    {
-        // If `compute` panics, the unwind must not leave the pending slot in
-        // the map (every later request for the digest would block forever on
-        // a condvar nobody will signal).  The guard runs on unwind only —
-        // the normal path disarms it.
-        struct PendingGuard<'a> {
-            cache: &'a ReportCache,
-            digest: &'a str,
-            pending: &'a Pending,
-            armed: bool,
-        }
-        impl Drop for PendingGuard<'_> {
-            fn drop(&mut self) {
-                if !self.armed {
-                    return;
-                }
-                let mut inner = self.cache.lock();
-                inner.map.remove(self.digest);
-                drop(inner);
-                let mut done = self
-                    .pending
-                    .done
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                if done.is_none() {
-                    *done = Some(Err("evaluation panicked".to_string()));
-                }
-                self.pending.cv.notify_all();
-            }
-        }
-        let mut guard = PendingGuard {
-            cache: self,
-            digest,
-            pending: &pending,
-            armed: true,
-        };
-        let result: Result<Arc<str>, String> = compute().map(Arc::from);
-        guard.armed = false;
-        drop(guard);
-        {
-            let mut inner = self.lock();
-            match &result {
-                Ok(body) => {
-                    let stamp = inner.next_stamp;
-                    inner.next_stamp += 1;
-                    inner.map.insert(
-                        digest.to_string(),
-                        Slot::Ready {
-                            body: Arc::clone(body),
-                            stamp,
-                        },
-                    );
-                    inner.by_stamp.insert(stamp, digest.to_string());
-                    while inner.by_stamp.len() > self.capacity {
-                        let Some((_, victim)) = inner.by_stamp.pop_first() else {
-                            break;
-                        };
-                        inner.map.remove(&victim);
-                        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                Err(_) => {
-                    inner.map.remove(digest);
-                }
-            }
-        }
-        let mut done = pending
-            .done
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        *done = Some(result.clone());
-        pending.cv.notify_all();
-        drop(done);
-        result.map(|body| (body, CacheOutcome::Miss))
-    }
-
-    fn wait(pending: &Pending) -> Result<Arc<str>, String> {
-        let mut done = pending
-            .done
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        loop {
-            if let Some(result) = done.as_ref() {
-                return result.clone();
-            }
-            done = pending
-                .cv
-                .wait(done)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
+        self.store(op).get_or_compute(digest, compute, |e| e)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn digest(tag: &str) -> Digest {
+        Digest::of_bytes(tag.as_bytes())
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("bitwave-serve-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
 
     #[test]
     fn miss_then_hit_replays_identical_bytes() {
         let cache = ReportCache::new(4);
         let (a, outcome) = cache
-            .get_or_compute("d1", || Ok("body-1".to_string()))
+            .get_or_compute(CacheOp::Evaluate, digest("d1"), || Ok("body-1".to_string()))
             .unwrap();
         assert_eq!(outcome, CacheOutcome::Miss);
         let (b, outcome) = cache
-            .get_or_compute("d1", || panic!("must not recompute"))
+            .get_or_compute(CacheOp::Evaluate, digest("d1"), || {
+                panic!("must not recompute")
+            })
             .unwrap();
         assert_eq!(outcome, CacheOutcome::Hit);
         assert_eq!(a, b);
-        assert_eq!(cache.stats().hits(), 1);
-        assert_eq!(cache.stats().misses(), 1);
+        assert_eq!(cache.stats(CacheOp::Evaluate).hits(), 1);
+        assert_eq!(cache.stats(CacheOp::Evaluate).misses(), 1);
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.replay("d1").as_deref(), Some("body-1"));
-        assert_eq!(cache.replay("absent"), None);
+        assert_eq!(
+            cache.replay(digest("d1")).map(|(body, _)| body.to_string()),
+            Some("body-1".to_string())
+        );
+        assert!(cache.replay(digest("absent")).is_none());
     }
 
     #[test]
-    fn lru_evicts_the_least_recently_used_entry() {
-        let cache = ReportCache::new(2);
-        cache.get_or_compute("a", || Ok("A".into())).unwrap();
-        cache.get_or_compute("b", || Ok("B".into())).unwrap();
-        // Touch `a` so `b` becomes the LRU victim.
-        cache.get_or_compute("a", || unreachable!()).unwrap();
-        cache.get_or_compute("c", || Ok("C".into())).unwrap();
-        assert_eq!(cache.stats().evictions(), 1);
-        assert!(cache.replay("b").is_none(), "b must have been evicted");
-        assert!(cache.replay("a").is_some());
-        assert!(cache.replay("c").is_some());
-        assert_eq!(cache.len(), 2);
+    fn ops_are_disjoint_namespaces_but_share_replay() {
+        let cache = ReportCache::new(4);
+        cache
+            .get_or_compute(CacheOp::Evaluate, digest("e"), || Ok("EV".to_string()))
+            .unwrap();
+        cache
+            .get_or_compute(CacheOp::Search, digest("s"), || Ok("SE".to_string()))
+            .unwrap();
+        // Same digest in the other op is a miss (ops never alias in
+        // practice: the request keys carry an op discriminator).
+        let (_, outcome) = cache
+            .get_or_compute(CacheOp::Search, digest("e"), || Ok("other".to_string()))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        // Replay finds both ops' bodies.
+        assert_eq!(
+            cache.replay(digest("s")).map(|(body, _)| body.to_string()),
+            Some("SE".to_string())
+        );
+        assert_eq!(
+            cache.replay(digest("e")).map(|(body, _)| body.to_string()),
+            Some("EV".to_string())
+        );
     }
 
     #[test]
     fn failed_computation_is_not_cached() {
         let cache = ReportCache::new(2);
         let err = cache
-            .get_or_compute("bad", || Err("boom".to_string()))
+            .get_or_compute(CacheOp::Evaluate, digest("bad"), || Err("boom".to_string()))
             .unwrap_err();
         assert_eq!(err, "boom");
         assert_eq!(cache.len(), 0);
-        // A retry recomputes (and may now succeed).
         let (_, outcome) = cache
-            .get_or_compute("bad", || Ok("recovered".into()))
-            .unwrap();
-        assert_eq!(outcome, CacheOutcome::Miss);
-        assert_eq!(cache.stats().misses(), 2);
-    }
-
-    #[test]
-    fn panicking_computation_unblocks_waiters_and_allows_retry() {
-        let cache = Arc::new(ReportCache::new(4));
-        let panicker = {
-            let cache = Arc::clone(&cache);
-            std::thread::spawn(move || {
-                let _ = cache.get_or_compute("doomed", || {
-                    std::thread::sleep(std::time::Duration::from_millis(50));
-                    panic!("evaluation bug");
-                });
+            .get_or_compute(CacheOp::Evaluate, digest("bad"), || {
+                Ok("recovered".to_string())
             })
-        };
-        // Give the panicker time to install its pending slot, then wait on it.
-        std::thread::sleep(std::time::Duration::from_millis(10));
-        let err = cache
-            .get_or_compute("doomed", || Ok("unused".to_string()))
-            .unwrap_err();
-        assert!(err.contains("panicked"), "waiter must be unblocked: {err}");
-        assert!(panicker.join().is_err(), "computation did panic");
-        // The slot is cleaned up: a retry recomputes and succeeds.
-        let (body, outcome) = cache
-            .get_or_compute("doomed", || Ok("recovered".to_string()))
             .unwrap();
         assert_eq!(outcome, CacheOutcome::Miss);
-        assert_eq!(&*body, "recovered");
+        assert_eq!(cache.stats(CacheOp::Evaluate).misses(), 2);
     }
 
     #[test]
@@ -414,29 +240,50 @@ mod tests {
             let computations = Arc::clone(&computations);
             handles.push(std::thread::spawn(move || {
                 cache
-                    .get_or_compute("shared", || {
+                    .get_or_compute(CacheOp::Evaluate, digest("shared"), || {
                         computations.fetch_add(1, Ordering::SeqCst);
-                        // Widen the race window so other threads coalesce.
                         std::thread::sleep(std::time::Duration::from_millis(50));
                         Ok("shared-body".to_string())
                     })
                     .unwrap()
             }));
         }
-        let results: Vec<(Arc<str>, CacheOutcome)> =
+        let results: Vec<(Arc<String>, CacheOutcome)> =
             handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(computations.load(Ordering::SeqCst), 1, "single-flight");
-        assert!(results.iter().all(|(body, _)| &**body == "shared-body"));
-        let misses = results
-            .iter()
-            .filter(|(_, o)| *o == CacheOutcome::Miss)
-            .count();
-        assert_eq!(misses, 1);
-        // Everyone else either coalesced onto the in-flight computation or
-        // hit the already-stored entry, depending on scheduling.
-        assert_eq!(
-            cache.stats().misses() + cache.stats().coalesced() + cache.stats().hits(),
-            8
-        );
+        assert!(results.iter().all(|(body, _)| &***body == "shared-body"));
+        let stats = cache.stats(CacheOp::Evaluate);
+        assert_eq!(stats.misses() + stats.coalesced() + stats.hits(), 8);
+    }
+
+    #[test]
+    fn persistent_cache_replays_across_instances_byte_identically() {
+        let root = temp_root("restart");
+        let config = StoreConfig::default().with_root(&root).with_mem_entries(8);
+        let cold_body = {
+            let cache = ReportCache::with_config(&config).unwrap();
+            let (body, outcome) = cache
+                .get_or_compute(CacheOp::Evaluate, digest("r"), || {
+                    Ok("{\"report\":42}".to_string())
+                })
+                .unwrap();
+            assert_eq!(outcome, CacheOutcome::Miss);
+            body.to_string()
+        };
+        // A fresh cache over the same root = a restarted process.
+        let cache = ReportCache::with_config(&config).unwrap();
+        let (warm, outcome) = cache
+            .get_or_compute(CacheOp::Evaluate, digest("r"), || {
+                panic!("must replay from disk")
+            })
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Disk);
+        assert_eq!(*warm, cold_body, "disk hits replay byte-identical JSON");
+        // Replay (GET /v1/reports/{digest}) also reaches the disk tier.
+        cache.clear_memory();
+        let (body, outcome) = cache.replay(digest("r")).expect("disk replay");
+        assert_eq!(*body, cold_body);
+        assert_eq!(outcome, CacheOutcome::Disk, "replay must report its tier");
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -48,11 +48,16 @@
 //! A request is normalised (registry names canonicalised, defaults applied)
 //! into an [`api::EvaluationKey`], whose stable FNV-1a/128 digest
 //! ([`bitwave::digest`]) addresses the serialized response **bytes** in a
-//! bounded LRU cache.  A hit replays exactly the bytes the cold run
-//! produced; concurrent identical requests are coalesced onto one
-//! computation (single-flight), so a thundering herd of the same request
-//! performs one evaluation and zero extra tensor copies.  The
-//! `X-Bitwave-Cache` response header reports `hit`, `miss` or `coalesced`.
+//! tiered `bitwave-store` (bounded sharded-LRU memory tier; optional
+//! checksummed disk tier under [`ServeConfig::store_root`]).  A hit replays
+//! exactly the bytes the cold run produced; concurrent identical requests
+//! are coalesced onto one computation (single-flight), so a thundering herd
+//! of the same request performs one evaluation and zero extra tensor
+//! copies.  The `X-Bitwave-Cache` response header reports `hit` (memory),
+//! `disk` (replayed from the disk tier, e.g. after a restart), `miss` or
+//! `coalesced`.  With a store root configured the process-wide DSE memo
+//! cache persists under the same root, so `POST /v1/search` warm-starts
+//! across restarts even on a response-cache miss.
 //!
 //! ## Quickstart
 //!
@@ -90,6 +95,6 @@ pub mod server;
 pub mod store;
 
 pub use api::{EvaluateRequest, EvaluateResponse, EvaluationKey, SearchKey, SearchResponse};
-pub use cache::{CacheOutcome, ReportCache};
+pub use cache::{CacheOp, CacheOutcome, ReportCache};
 pub use error::ServeError;
 pub use server::{start, ServeConfig, ServerHandle};

@@ -5,8 +5,18 @@
 //! process-wide tensor deep-copy counter from
 //! [`bitwave_tensor::copy_metrics`] — the observable half of the zero-copy
 //! invariant `bench_serve` gates on.
+//!
+//! Store metrics come in two granularities: the original aggregate
+//! `bitwave_serve_cache_*` counter families (summed across the evaluate and
+//! search ops, for dashboard continuity) and labelled per-op families from
+//! the `bitwave-store` substrate — `bitwave_store_{hits,disk_hits,misses,
+//! coalesced,evictions,quarantined}_total{op="…"}` counters plus
+//! `bitwave_store_{mem,disk}_{entries,bytes}{op="…"}` gauges for the
+//! `evaluate`, `search`, `weights` and (process-wide) `dse` ops.
 
-use crate::cache::CacheStats;
+use crate::cache::{CacheOp, ReportCache};
+use crate::store::ModelStore;
+use bitwave_store::StoreStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic service-level counters.
@@ -26,15 +36,26 @@ pub struct ServiceMetrics {
     pub searches: AtomicU64,
 }
 
+/// Per-tier gauges and per-op counters of one store op, snapshotted for
+/// rendering.
+struct OpSample<'a> {
+    op: &'a str,
+    stats: &'a StoreStats,
+    mem_entries: u64,
+    mem_bytes: u64,
+    disk_entries: u64,
+    disk_bytes: u64,
+}
+
 impl ServiceMetrics {
     /// Increments a counter by one.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Renders all counters (service, cache, tensor) as Prometheus text.
-    pub fn render(&self, cache: &CacheStats, cache_len: usize, weight_generations: u64) -> String {
-        let mut out = String::with_capacity(1024);
+    /// Renders all counters (service, store, tensor) as Prometheus text.
+    pub fn render(&self, cache: &ReportCache, store: &ModelStore) -> String {
+        let mut out = String::with_capacity(4096);
         let mut counter = |name: &str, help: &str, value: u64| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
@@ -70,30 +91,37 @@ impl ServiceMetrics {
             "Cold dataflow design-space searches executed.",
             self.searches.load(Ordering::Relaxed),
         );
+
+        // Aggregate cache families (evaluate + search), for continuity with
+        // pre-store dashboards.  A memory hit and a disk hit both replayed
+        // stored bytes, so both count as "hits" here; the per-op families
+        // below split them.
+        let evaluate = cache.stats(CacheOp::Evaluate);
+        let search = cache.stats(CacheOp::Search);
         counter(
             "bitwave_serve_cache_hits_total",
-            "Report-cache hits.",
-            cache.hits(),
+            "Report-cache hits (memory or disk).",
+            evaluate.hits() + evaluate.disk_hits() + search.hits() + search.disk_hits(),
         );
         counter(
             "bitwave_serve_cache_misses_total",
             "Report-cache misses (computations).",
-            cache.misses(),
+            evaluate.misses() + search.misses(),
         );
         counter(
             "bitwave_serve_cache_coalesced_total",
             "Requests coalesced onto an in-flight identical computation.",
-            cache.coalesced(),
+            evaluate.coalesced() + search.coalesced(),
         );
         counter(
             "bitwave_serve_cache_evictions_total",
             "Report-cache LRU evictions.",
-            cache.evictions(),
+            evaluate.evictions() + search.evictions(),
         );
         counter(
             "bitwave_serve_weight_generations_total",
             "Synthetic weight-set generations (model-store misses).",
-            weight_generations,
+            store.generations(),
         );
         counter(
             "bitwave_tensor_deep_copies_total",
@@ -103,8 +131,125 @@ impl ServiceMetrics {
         out.push_str(&format!(
             "# HELP bitwave_serve_cache_entries Ready entries in the report cache.\n\
              # TYPE bitwave_serve_cache_entries gauge\n\
-             bitwave_serve_cache_entries {cache_len}\n"
+             bitwave_serve_cache_entries {}\n",
+            cache.len()
         ));
+
+        // Per-op, per-tier store families.
+        let dse = bitwave::dse::memo::global_cache();
+        let dse_store = dse.store();
+        let evaluate_store = cache.store(CacheOp::Evaluate);
+        let search_store = cache.store(CacheOp::Search);
+        let samples = [
+            OpSample {
+                op: CacheOp::Evaluate.as_str(),
+                stats: evaluate_store.stats(),
+                mem_entries: evaluate_store.mem_entries() as u64,
+                mem_bytes: evaluate_store.mem_bytes(),
+                disk_entries: evaluate_store.disk_entries(),
+                disk_bytes: evaluate_store.disk_bytes(),
+            },
+            OpSample {
+                op: CacheOp::Search.as_str(),
+                stats: search_store.stats(),
+                mem_entries: search_store.mem_entries() as u64,
+                mem_bytes: search_store.mem_bytes(),
+                disk_entries: search_store.disk_entries(),
+                disk_bytes: search_store.disk_bytes(),
+            },
+            OpSample {
+                op: "weights",
+                stats: store.stats(),
+                mem_entries: store.len() as u64,
+                mem_bytes: store.bytes(),
+                disk_entries: 0,
+                disk_bytes: 0,
+            },
+            OpSample {
+                op: "dse",
+                stats: dse.stats(),
+                mem_entries: dse.len() as u64,
+                mem_bytes: dse.mem_bytes(),
+                disk_entries: dse_store.disk_entries(),
+                disk_bytes: dse_store.disk_bytes(),
+            },
+        ];
+        let mut family = |name: &str, help: &str, kind: &str, values: &dyn Fn(&OpSample) -> u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+            for sample in &samples {
+                out.push_str(&format!(
+                    "{name}{{op=\"{}\"}} {}\n",
+                    sample.op,
+                    values(sample)
+                ));
+            }
+        };
+        family(
+            "bitwave_store_hits_total",
+            "Memory-tier hits per store op.",
+            "counter",
+            &|s| s.stats.hits(),
+        );
+        family(
+            "bitwave_store_disk_hits_total",
+            "Disk-tier hits (verified, promoted to memory) per store op.",
+            "counter",
+            &|s| s.stats.disk_hits(),
+        );
+        family(
+            "bitwave_store_misses_total",
+            "Full misses (computations) per store op.",
+            "counter",
+            &|s| s.stats.misses(),
+        );
+        family(
+            "bitwave_store_coalesced_total",
+            "Calls coalesced onto an in-flight computation per store op.",
+            "counter",
+            &|s| s.stats.coalesced(),
+        );
+        family(
+            "bitwave_store_evictions_total",
+            "Memory-tier LRU evictions per store op.",
+            "counter",
+            &|s| s.stats.evictions(),
+        );
+        family(
+            "bitwave_store_quarantined_total",
+            "Disk entries quarantined (corrupt/truncated/version-mismatched) per store op.",
+            "counter",
+            &|s| s.stats.quarantined(),
+        );
+        family(
+            "bitwave_store_disk_write_errors_total",
+            "Failed best-effort disk writes per store op (persistence silently degraded).",
+            "counter",
+            &|s| s.stats.disk_write_errors(),
+        );
+        family(
+            "bitwave_store_mem_entries",
+            "Ready memory-tier entries per store op.",
+            "gauge",
+            &|s| s.mem_entries,
+        );
+        family(
+            "bitwave_store_mem_bytes",
+            "Accounted memory-tier bytes per store op.",
+            "gauge",
+            &|s| s.mem_bytes,
+        );
+        family(
+            "bitwave_store_disk_entries",
+            "Disk-tier entries per store op.",
+            "gauge",
+            &|s| s.disk_entries,
+        );
+        family(
+            "bitwave_store_disk_bytes",
+            "Disk-tier bytes (headers included) per store op.",
+            "gauge",
+            &|s| s.disk_bytes,
+        );
         out
     }
 }
@@ -118,8 +263,16 @@ mod tests {
         let metrics = ServiceMetrics::default();
         ServiceMetrics::bump(&metrics.http_requests);
         ServiceMetrics::bump(&metrics.evaluations);
-        let cache = CacheStats::default();
-        let text = metrics.render(&cache, 3, 2);
+        let cache = ReportCache::new(4);
+        cache
+            .get_or_compute(
+                crate::cache::CacheOp::Evaluate,
+                bitwave::digest::Digest::of_bytes(b"m"),
+                || Ok("{}".to_string()),
+            )
+            .unwrap();
+        let store = ModelStore::new(2);
+        let text = metrics.render(&cache, &store);
         for family in [
             "bitwave_serve_http_requests_total 1",
             "bitwave_serve_http_errors_total 0",
@@ -128,15 +281,28 @@ mod tests {
             "bitwave_serve_report_replays_total 0",
             "bitwave_serve_searches_total 0",
             "bitwave_serve_cache_hits_total 0",
-            "bitwave_serve_cache_misses_total 0",
+            "bitwave_serve_cache_misses_total 1",
             "bitwave_serve_cache_coalesced_total 0",
             "bitwave_serve_cache_evictions_total 0",
-            "bitwave_serve_weight_generations_total 2",
-            "bitwave_serve_cache_entries 3",
+            "bitwave_serve_weight_generations_total 0",
+            "bitwave_serve_cache_entries 1",
             "bitwave_tensor_deep_copies_total",
+            "bitwave_store_hits_total{op=\"evaluate\"} 0",
+            "bitwave_store_disk_hits_total{op=\"search\"} 0",
+            "bitwave_store_misses_total{op=\"evaluate\"} 1",
+            "bitwave_store_coalesced_total{op=\"weights\"} 0",
+            "bitwave_store_quarantined_total{op=\"dse\"}",
+            "bitwave_store_disk_write_errors_total{op=\"evaluate\"} 0",
+            "bitwave_store_mem_entries{op=\"evaluate\"} 1",
+            "bitwave_store_mem_bytes{op=\"evaluate\"} 2",
+            "bitwave_store_disk_entries{op=\"evaluate\"} 0",
+            "bitwave_store_disk_bytes{op=\"search\"} 0",
+            "bitwave_store_mem_entries{op=\"weights\"} 0",
         ] {
             assert!(text.contains(family), "missing `{family}` in:\n{text}");
         }
         assert!(text.contains("# TYPE bitwave_serve_cache_entries gauge"));
+        assert!(text.contains("# TYPE bitwave_store_mem_bytes gauge"));
+        assert!(text.contains("# TYPE bitwave_store_hits_total counter"));
     }
 }

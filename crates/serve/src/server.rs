@@ -11,15 +11,18 @@
 //! [`bitwave::pipeline::Pipeline::run_model_weights_parallel`], sharing
 //! per-model weight sets through the [`ModelStore`] so concurrent requests
 //! for one model touch the same `Arc`-backed tensors (zero deep copies), and
-//! results land in the single-flight LRU [`ReportCache`] keyed by the
-//! request digest.
+//! results land in the single-flight [`ReportCache`] keyed by the request
+//! digest — a tiered `bitwave-store` under the hood, so configuring
+//! [`ServeConfig::store_root`] makes cached responses (and the DSE memo
+//! cache) survive restarts and replay byte-identically from disk.
 
 use crate::api::{list_accelerators, list_models, EvaluateRequest};
-use crate::cache::ReportCache;
+use crate::cache::{CacheOp, ReportCache};
 use crate::error::ServeError;
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::metrics::ServiceMetrics;
 use crate::store::ModelStore;
+use bitwave_store::StoreConfig;
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -36,10 +39,24 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bounded connection-queue capacity (overflow → 503).
     pub queue_capacity: usize,
-    /// Report-cache capacity in entries.
+    /// Report-cache capacity in entries (per op: evaluate and search each
+    /// get this many).
     pub cache_capacity: usize,
     /// Weight-store capacity in generated weight sets.
     pub store_capacity: usize,
+    /// Root directory of the persistent store; `None` (default) keeps this
+    /// service's report cache memory-only.  With a root, evaluate/search
+    /// responses and DSE layer searches persist under
+    /// `<root>/{evaluate,search,dse}/<digest>` and replay byte-identically
+    /// across restarts.
+    ///
+    /// Note: the DSE memo cache is process-wide, and attaching it to a root
+    /// lasts for the process lifetime (a later memory-only `start()` in the
+    /// same process does not detach it).  That is safe — memo entries are
+    /// content-addressed by the full search inputs, so any replay is correct
+    /// — but processes that juggle several roots share one `dse/` tier, the
+    /// most recently attached.
+    pub store_root: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +69,7 @@ impl Default for ServeConfig {
             queue_capacity: 128,
             cache_capacity: 256,
             store_capacity: 8,
+            store_root: None,
         }
     }
 }
@@ -178,8 +196,22 @@ pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         .local_addr()
         .map_err(|e| ServeError::Internal(format!("local_addr: {e}")))?;
     let workers = config.workers.max(1);
+    let mut store_config = StoreConfig::default().with_mem_entries(config.cache_capacity);
+    if let Some(root) = &config.store_root {
+        store_config = store_config.with_root(root);
+        // The process-wide DSE memo cache joins the same root, so searched
+        // mappings warm-start across restarts alongside the response cache.
+        bitwave::dse::memo::persist_global_cache(std::path::Path::new(root))
+            .map_err(|e| ServeError::Internal(format!("store root {root}: {e}")))?;
+    }
+    let cache = ReportCache::with_config(&store_config).map_err(|e| {
+        ServeError::Internal(format!(
+            "store root {}: {e}",
+            config.store_root.as_deref().unwrap_or("<memory>")
+        ))
+    })?;
     let state = Arc::new(ServiceState {
-        cache: ReportCache::new(config.cache_capacity),
+        cache,
         store: ModelStore::new(config.store_capacity),
         metrics: ServiceMetrics::default(),
         shutdown: AtomicBool::new(false),
@@ -282,14 +314,9 @@ fn serve_connection(stream: TcpStream, state: &ServiceState) {
 pub fn route(request: &Request, state: &ServiceState) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, r#"{"status":"ok"}"#),
-        ("GET", "/metrics") => Response::text(
-            200,
-            state.metrics.render(
-                state.cache.stats(),
-                state.cache.len(),
-                state.store.generations(),
-            ),
-        ),
+        ("GET", "/metrics") => {
+            Response::text(200, state.metrics.render(&state.cache, &state.store))
+        }
         ("GET", "/v1/models") => json_or_500(&list_models()),
         ("GET", "/v1/accelerators") => json_or_500(&list_accelerators()),
         ("POST", "/v1/evaluate") => evaluate(request, state),
@@ -322,7 +349,7 @@ fn evaluate(request: &Request, state: &ServiceState) -> Response {
         Err(e) => return error_response(&e),
     };
     let hex = digest.to_hex();
-    let computed = state.cache.get_or_compute(&hex, || {
+    let computed = state.cache.get_or_compute(CacheOp::Evaluate, digest, || {
         ServiceMetrics::bump(&state.metrics.evaluations);
         let weights = state.store.weights(
             &normalized.spec,
@@ -361,7 +388,7 @@ fn search(request: &Request, state: &ServiceState) -> Response {
         Err(e) => return error_response(&e),
     };
     let hex = digest.to_hex();
-    let computed = state.cache.get_or_compute(&hex, || {
+    let computed = state.cache.get_or_compute(CacheOp::Search, digest, || {
         ServiceMetrics::bump(&state.metrics.searches);
         let weights = state.store.weights(
             &normalized.spec,
@@ -384,6 +411,9 @@ fn search(request: &Request, state: &ServiceState) -> Response {
 }
 
 /// `GET /v1/reports/{digest}`: replay a cached report without recomputation.
+/// Consults the memory tier first and then — when a store root is
+/// configured — the disk tier, so reports written before a restart stay
+/// addressable by digest.
 fn replay_report(path: &str, state: &ServiceState) -> Response {
     let raw = path.trim_start_matches("/v1/reports/");
     let Some(parsed) = bitwave::digest::Digest::parse(raw) else {
@@ -391,14 +421,14 @@ fn replay_report(path: &str, state: &ServiceState) -> Response {
             "`{raw}` is not a 32-hex-char digest"
         )));
     };
-    // Cache keys are the canonical lowercase form; accept any case.
+    // Digest parsing canonicalises case; lookups accept any spelling.
     let hex = parsed.to_hex();
     let hex = hex.as_str();
-    match state.cache.replay(hex) {
-        Some(body) => {
+    match state.cache.replay(parsed) {
+        Some((body, outcome)) => {
             ServiceMetrics::bump(&state.metrics.report_replays);
             Response::json(200, body.as_bytes().to_vec())
-                .with_header("x-bitwave-cache", "hit")
+                .with_header("x-bitwave-cache", outcome.as_str())
                 .with_header("x-bitwave-digest", hex.to_string())
         }
         None => error_response(&ServeError::NotFound(format!(

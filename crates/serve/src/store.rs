@@ -1,118 +1,105 @@
-//! Shared model-weight store.
+//! Shared model-weight store, on the `bitwave-store` memory tier.
 //!
 //! Synthetic weight generation is the most expensive part of a cold
 //! evaluation after the pipeline itself, and its output — a
 //! [`NetworkWeights`] set of `Arc`-backed
 //! [`bitwave_tensor::WeightHandle`]s — is immutable.  The store memoises one
-//! weight set per `(model, seed, sample_cap)` and hands out `Arc` clones, so
-//! every in-flight request evaluating the same model shares the same tensor
-//! allocations with **zero deep copies** (`bitwave_tensor::copy_metrics`
-//! counts none for planning + dispatch; `bench_serve` gates on it).
+//! weight set per `(model, seed, sample_cap)` digest and hands out `Arc`
+//! clones, so every in-flight request evaluating the same model shares the
+//! same tensor allocations with **zero deep copies**
+//! (`bitwave_tensor::copy_metrics` counts none for planning + dispatch;
+//! `bench_serve` gates on it).
 //!
-//! Like the report cache, the store is bounded LRU: evicting a weight set
-//! only drops the store's reference — requests still holding the `Arc` keep
-//! the tensors alive.
+//! This tier is deliberately **memory-only**: weights are cheap to
+//! regenerate deterministically and large on disk, so persistence buys
+//! nothing.  The [`MemoryTier`] substrate still upgrades the old
+//! hand-rolled LRU: lookups are single-flight (two concurrent requests for
+//! one model run **one** generation instead of racing), eviction is
+//! LRU with byte accounting, and evicting a weight set only drops the
+//! store's reference — requests still holding the `Arc` keep the tensors
+//! alive.
 
+use bitwave::digest::Digest;
 use bitwave_dnn::models::NetworkSpec;
 use bitwave_dnn::weights::NetworkWeights;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use bitwave_store::{FillOrigin, MemoryTier, MemoryTierConfig, StoreStats};
+use serde::Serialize;
+use std::sync::Arc;
 
-/// Key of one generated weight set.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Key of one generated weight set (digested for the tier).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 struct WeightsKey {
     model: String,
     seed: u64,
     sample_cap: usize,
 }
 
-/// Bounded LRU store of shared, immutable weight sets.
+/// Bounded single-flight LRU store of shared, immutable weight sets.
 #[derive(Debug)]
 pub struct ModelStore {
-    inner: Mutex<StoreInner>,
-    capacity: usize,
-    generations: AtomicU64,
-}
-
-#[derive(Debug)]
-struct StoreInner {
-    map: HashMap<WeightsKey, Arc<NetworkWeights>>,
-    order: Vec<WeightsKey>,
+    tier: MemoryTier<NetworkWeights>,
 }
 
 impl ModelStore {
     /// Creates a store bounded to `capacity` weight sets (min 1).
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Mutex::new(StoreInner {
-                map: HashMap::new(),
-                order: Vec::new(),
-            }),
-            capacity: capacity.max(1),
-            generations: AtomicU64::new(0),
+            tier: MemoryTier::new(MemoryTierConfig::entries(capacity)),
         }
     }
 
     /// Number of weight-set generations performed (i.e. store misses).
     pub fn generations(&self) -> u64 {
-        self.generations.load(Ordering::Relaxed)
+        self.tier.stats().misses()
+    }
+
+    /// The tier's counters (hits/misses/coalesced/evictions).
+    pub fn stats(&self) -> &StoreStats {
+        self.tier.stats()
     }
 
     /// Number of weight sets currently held.
     pub fn len(&self) -> usize {
-        self.lock().order.len()
+        self.tier.len()
     }
 
     /// True when the store holds no weight sets.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.tier.is_empty()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Accounted bytes of the held weight sets (one byte per Int8 weight
+    /// element — the tensor payload, not allocator overhead).
+    pub fn bytes(&self) -> u64 {
+        self.tier.bytes()
     }
 
-    /// The shared weight set for `(spec, seed, sample_cap)`, generating it on
-    /// first use.  Generation happens outside the store lock, so a large
-    /// model being generated does not block other lookups; two racers may
-    /// both generate, in which case the first insert wins and the loser's
-    /// set is dropped (both are bit-identical by construction).
+    /// The shared weight set for `(spec, seed, sample_cap)`, generating it
+    /// on first use.  Generation happens outside the store locks and is
+    /// single-flight: concurrent requests for the same key wait for one
+    /// generation and share its `Arc`.
     pub fn weights(&self, spec: &NetworkSpec, seed: u64, sample_cap: usize) -> Arc<NetworkWeights> {
         let key = WeightsKey {
             model: spec.name.clone(),
             seed,
             sample_cap,
         };
-        {
-            let mut inner = self.lock();
-            if let Some(weights) = inner.map.get(&key) {
-                let weights = Arc::clone(weights);
-                Self::touch(&mut inner, &key);
-                return weights;
-            }
-        }
-        let generated = Arc::new(NetworkWeights::generate_sampled(spec, seed, sample_cap));
-        self.generations.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.lock();
-        if let Some(existing) = inner.map.get(&key) {
-            return Arc::clone(existing);
-        }
-        inner.map.insert(key.clone(), Arc::clone(&generated));
-        inner.order.push(key);
-        while inner.order.len() > self.capacity {
-            let victim = inner.order.remove(0);
-            inner.map.remove(&victim);
-        }
-        generated
-    }
-
-    fn touch(inner: &mut StoreInner, key: &WeightsKey) {
-        if let Some(pos) = inner.order.iter().position(|k| k == key) {
-            let k = inner.order.remove(pos);
-            inner.order.push(k);
+        let digest = Digest::of_value(&key)
+            .unwrap_or_else(|_| Digest::of_bytes(format!("{key:?}").as_bytes()));
+        let generated = self.tier.get_or_fill(
+            digest,
+            || {
+                let weights = NetworkWeights::generate_sampled(spec, seed, sample_cap);
+                let bytes = weights.total_elements() as u64;
+                Ok::<_, String>((weights, bytes, FillOrigin::Computed))
+            },
+            |e| e,
+        );
+        match generated {
+            Ok((weights, _)) => weights,
+            // Only reachable when the generating caller panicked; fall back
+            // to an inline generation (deterministic, so bit-identical).
+            Err(_) => Arc::new(NetworkWeights::generate_sampled(spec, seed, sample_cap)),
         }
     }
 }
@@ -139,6 +126,7 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(store.generations(), 2);
         assert_eq!(store.len(), 2);
+        assert!(store.bytes() > 0, "weight sets must account their bytes");
     }
 
     #[test]
@@ -154,5 +142,26 @@ mod tests {
         let again = store.weights(&net, 1, 1_000);
         assert_eq!(store.generations(), 3);
         assert_eq!(*again, *first, "regeneration is deterministic");
+    }
+
+    #[test]
+    fn concurrent_lookups_of_one_model_generate_once() {
+        let store = Arc::new(ModelStore::new(4));
+        let net = Arc::new(resnet18());
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let net = Arc::clone(&net);
+                std::thread::spawn(move || store.weights(&net, 7, 1_500))
+            })
+            .collect();
+        let sets: Vec<Arc<NetworkWeights>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            store.generations(),
+            1,
+            "single-flight: concurrent misses must share one generation"
+        );
+        assert!(sets.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
     }
 }

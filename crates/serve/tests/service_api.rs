@@ -5,6 +5,7 @@
 use bitwave_serve::client::Client;
 use bitwave_serve::server::{start, ServeConfig, ServerHandle};
 use bitwave_serve::EvaluateResponse;
+use std::path::PathBuf;
 
 fn test_server() -> ServerHandle {
     start(ServeConfig {
@@ -122,6 +123,99 @@ fn reports_endpoint_replays_without_recomputation() {
 
     drop(client);
     handle.shutdown();
+}
+
+fn temp_store_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("bitwave-serve-api-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn persistent_server(root: &std::path::Path) -> ServerHandle {
+    start(ServeConfig {
+        workers: 2,
+        store_root: Some(root.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    })
+    .expect("persistent server starts")
+}
+
+#[test]
+fn persistent_store_replays_across_restarts_byte_identically() {
+    let root = temp_store_root("restart");
+
+    // First process lifetime: a cold evaluation lands on disk.
+    let first = persistent_server(&root);
+    let mut client = Client::new(first.local_addr());
+    let cold = client.post_json("/v1/evaluate", RESNET_SMALL).unwrap();
+    assert_eq!(cold.status, 200, "cold: {:?}", cold.text());
+    assert_eq!(cold.header("x-bitwave-cache"), Some("miss"));
+    let cold_body = cold.body.clone();
+    drop(client);
+    first.shutdown();
+
+    // Second lifetime over the same root: the evaluation replays from the
+    // disk tier — no recomputation, byte-identical bytes, `disk` source.
+    let second = persistent_server(&root);
+    let mut client = Client::new(second.local_addr());
+    let warm = client.post_json("/v1/evaluate", RESNET_SMALL).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-bitwave-cache"), Some("disk"));
+    assert_eq!(warm.body, cold_body, "disk hits replay byte-identical JSON");
+    assert_eq!(
+        second.state().store.generations(),
+        0,
+        "a disk replay must not regenerate weights"
+    );
+
+    // Once promoted, the next lookup is a plain memory hit.
+    let warmest = client.post_json("/v1/evaluate", RESNET_SMALL).unwrap();
+    assert_eq!(warmest.header("x-bitwave-cache"), Some("hit"));
+    assert_eq!(warmest.body, cold_body);
+
+    // The metrics surface the per-op disk activity.
+    let metrics = client.get("/metrics").unwrap();
+    let text = metrics.text().unwrap();
+    assert!(
+        text.contains("bitwave_store_disk_hits_total{op=\"evaluate\"} 1"),
+        "disk hit must be counted:\n{text}"
+    );
+    assert!(text.contains("bitwave_store_disk_entries{op=\"evaluate\"} 1"));
+
+    drop(client);
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn reports_endpoint_hits_the_disk_tier_after_a_restart() {
+    let root = temp_store_root("reports");
+
+    let first = persistent_server(&root);
+    let mut client = Client::new(first.local_addr());
+    let cold = client.post_json("/v1/evaluate", RESNET_SMALL).unwrap();
+    assert_eq!(cold.status, 200);
+    let digest = cold.header("x-bitwave-digest").unwrap().to_string();
+    let cold_body = cold.body.clone();
+    drop(client);
+    first.shutdown();
+
+    // GET /v1/reports/{digest} on a fresh process must reach the disk tier
+    // directly — no POST has warmed the memory tier.
+    let second = persistent_server(&root);
+    let mut client = Client::new(second.local_addr());
+    let replay = client.get(&format!("/v1/reports/{digest}")).unwrap();
+    assert_eq!(replay.status, 200, "replay: {:?}", replay.text());
+    assert_eq!(replay.body, cold_body, "replay must be byte-identical");
+    assert_eq!(
+        second.state().store.generations(),
+        0,
+        "replay must not evaluate anything"
+    );
+
+    drop(client);
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]

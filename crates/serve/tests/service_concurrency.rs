@@ -6,6 +6,7 @@
 
 use bitwave_serve::client::Client;
 use bitwave_serve::server::{start, ServeConfig, ServerHandle};
+use bitwave_serve::CacheOp;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -84,7 +85,7 @@ fn concurrent_clients_match_a_sequential_run_cold_and_cached() {
 
     // Every request was evaluated exactly once despite 4×: the rest were
     // hits or coalesced onto the in-flight computation.
-    let stats = concurrent_server.state().cache.stats();
+    let stats = concurrent_server.state().cache.stats(CacheOp::Evaluate);
     assert_eq!(stats.misses(), requests.len() as u64, "one cold run each");
     assert_eq!(
         stats.misses() + stats.hits() + stats.coalesced(),
@@ -111,7 +112,11 @@ fn concurrent_clients_match_a_sequential_run_cold_and_cached() {
         handle.join().expect("warm client thread");
     }
     assert_eq!(
-        concurrent_server.state().cache.stats().misses(),
+        concurrent_server
+            .state()
+            .cache
+            .stats(CacheOp::Evaluate)
+            .misses(),
         requests.len() as u64,
         "warm pass must not recompute anything"
     );

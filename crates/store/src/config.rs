@@ -1,0 +1,99 @@
+//! Store configuration.
+
+use std::path::PathBuf;
+
+/// Configuration of a [`crate::TieredStore`]: memory-tier capacities and the
+/// optional disk tier.
+///
+/// Persistence is **off by default** (`root: None`): a default-configured
+/// store behaves exactly like the bounded in-memory caches it replaced, so
+/// golden snapshots and byte-identical-replay guarantees are untouched
+/// unless a root directory is opted into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Root directory of the disk tier; `None` disables persistence.
+    /// Entries live at `<root>/<op>/<digest>`.
+    pub root: Option<PathBuf>,
+    /// Memory-tier capacity in entries (across all shards, min 1).
+    pub mem_entries: usize,
+    /// Memory-tier capacity in encoded bytes; `0` means unbounded (the
+    /// entry cap still applies).
+    pub mem_bytes: u64,
+    /// Disk-tier capacity in payload bytes per op; `0` means unbounded.
+    /// When a write would exceed it, the oldest entries (by modification
+    /// time) are deleted first.
+    pub disk_bytes: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            root: None,
+            mem_entries: 256,
+            mem_bytes: 0,
+            disk_bytes: 0,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Enables the disk tier under `root` (builder style).
+    pub fn with_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.root = Some(root.into());
+        self
+    }
+
+    /// Overrides the memory-tier entry capacity (builder style).
+    pub fn with_mem_entries(mut self, entries: usize) -> Self {
+        self.mem_entries = entries;
+        self
+    }
+
+    /// Overrides the memory-tier byte capacity (builder style).
+    pub fn with_mem_bytes(mut self, bytes: u64) -> Self {
+        self.mem_bytes = bytes;
+        self
+    }
+
+    /// Overrides the disk-tier byte capacity (builder style).
+    pub fn with_disk_bytes(mut self, bytes: u64) -> Self {
+        self.disk_bytes = bytes;
+        self
+    }
+
+    /// True when a disk tier is configured.
+    pub fn persistent(&self) -> bool {
+        self.root.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_memory_only() {
+        let config = StoreConfig::default();
+        assert!(!config.persistent());
+        assert_eq!(config.mem_entries, 256);
+        assert_eq!(config.mem_bytes, 0);
+        assert_eq!(config.disk_bytes, 0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let config = StoreConfig::default()
+            .with_root("/tmp/store")
+            .with_mem_entries(16)
+            .with_mem_bytes(1 << 20)
+            .with_disk_bytes(1 << 30);
+        assert!(config.persistent());
+        assert_eq!(
+            config.root.as_deref(),
+            Some(std::path::Path::new("/tmp/store"))
+        );
+        assert_eq!(config.mem_entries, 16);
+        assert_eq!(config.mem_bytes, 1 << 20);
+        assert_eq!(config.disk_bytes, 1 << 30);
+    }
+}

@@ -1,0 +1,112 @@
+//! Store outcomes and monotonic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a [`crate::TieredStore::get_or_compute`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The memory tier held a ready entry; stored bytes were replayed.
+    Hit,
+    /// The memory tier missed but the disk tier held a verified entry; it
+    /// was promoted into the memory tier and replayed.
+    Disk,
+    /// Both tiers missed; this call ran the computation.
+    Miss,
+    /// Another in-flight call was computing the key; this call waited and
+    /// shared its result.
+    Coalesced,
+}
+
+impl StoreOutcome {
+    /// Header-friendly form (the serve tier's `X-Bitwave-Cache` values).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StoreOutcome::Hit => "hit",
+            StoreOutcome::Disk => "disk",
+            StoreOutcome::Miss => "miss",
+            StoreOutcome::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Monotonic per-store counters (exported by the serve tier's `/metrics`).
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    pub(crate) hits: AtomicU64,
+    pub(crate) disk_hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+    pub(crate) coalesced: AtomicU64,
+    pub(crate) evictions: AtomicU64,
+    pub(crate) quarantined: AtomicU64,
+    pub(crate) disk_write_errors: AtomicU64,
+}
+
+impl StoreStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Memory-tier hits (ready entry replayed).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Disk-tier hits (verified entry promoted into memory and replayed).
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses (the computation ran).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Calls that waited on another caller's in-flight computation.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Memory-tier entries evicted by the LRU policy.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Disk entries quarantined (corrupt, truncated, version-mismatched or
+    /// undecodable — each treated as a miss, never an error).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Disk writes that failed (best-effort persistence; the value is still
+    /// served from memory).
+    pub fn disk_write_errors(&self) -> u64 {
+        self.disk_write_errors.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_render_their_header_values() {
+        assert_eq!(StoreOutcome::Hit.as_str(), "hit");
+        assert_eq!(StoreOutcome::Disk.as_str(), "disk");
+        assert_eq!(StoreOutcome::Miss.as_str(), "miss");
+        assert_eq!(StoreOutcome::Coalesced.as_str(), "coalesced");
+    }
+
+    #[test]
+    fn counters_start_at_zero_and_bump() {
+        let stats = StoreStats::default();
+        assert_eq!(stats.hits(), 0);
+        assert_eq!(stats.disk_hits(), 0);
+        assert_eq!(stats.misses(), 0);
+        assert_eq!(stats.coalesced(), 0);
+        assert_eq!(stats.evictions(), 0);
+        assert_eq!(stats.quarantined(), 0);
+        assert_eq!(stats.disk_write_errors(), 0);
+        StoreStats::bump(&stats.hits);
+        assert_eq!(stats.hits(), 1);
+    }
+}

@@ -1,0 +1,425 @@
+//! The tiered content-addressed store: memory over optional disk.
+
+use crate::codec::StoreCodec;
+use crate::config::StoreConfig;
+use crate::disk::{DiskMiss, DiskTier};
+use crate::memory::{FillOrigin, MemoryTier, MemoryTierConfig};
+use crate::stats::{StoreOutcome, StoreStats};
+use bitwave_core::digest::Digest;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// A content-addressed store with a sharded single-flight LRU memory tier
+/// and an optional checksummed disk tier.
+///
+/// Values are addressed by [`Digest`] keys under one `op` namespace (the
+/// disk layout is `<root>/<op>/<digest>`).  The codec `C` serializes each
+/// value once on the cold path — the encoded bytes drive memory byte
+/// accounting, the disk payload, and byte-identical replay.
+///
+/// Lookup order: memory (hit) → disk (verified read, promoted into memory)
+/// → compute (encoded, cached in memory, written to disk best-effort).
+/// Concurrent lookups of one key coalesce onto a single computation.  Disk
+/// problems are **never errors**: corrupt, truncated or version-mismatched
+/// entries are quarantined and treated as misses, and a failed write leaves
+/// the value served from memory.
+pub struct TieredStore<C: StoreCodec> {
+    op: String,
+    memory: MemoryTier<C::Value>,
+    disk: RwLock<Option<DiskTier>>,
+    disk_bytes_cap: u64,
+    stats: Arc<StoreStats>,
+}
+
+impl<C: StoreCodec> fmt::Debug for TieredStore<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TieredStore")
+            .field("op", &self.op)
+            .field("mem_entries", &self.memory.len())
+            .field("persistent", &self.persistent())
+            .finish()
+    }
+}
+
+impl<C: StoreCodec> TieredStore<C> {
+    /// Creates the store for `op` under `config`, opening the disk tier
+    /// when a root is configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk-tier directory creation/scan failures.
+    pub fn new(op: &str, config: &StoreConfig) -> io::Result<Self> {
+        let stats = Arc::new(StoreStats::default());
+        let memory = MemoryTier::with_stats(
+            MemoryTierConfig {
+                max_entries: config.mem_entries,
+                max_bytes: config.mem_bytes,
+                shards: 0,
+            },
+            Arc::clone(&stats),
+        );
+        let disk = match &config.root {
+            Some(root) => Some(DiskTier::open(root, op, config.disk_bytes)?),
+            None => None,
+        };
+        Ok(Self {
+            op: op.to_string(),
+            memory,
+            disk: RwLock::new(disk),
+            disk_bytes_cap: config.disk_bytes,
+            stats,
+        })
+    }
+
+    /// A memory-only store bounded to `max_entries`.
+    pub fn memory_only(op: &str, max_entries: usize) -> Self {
+        match Self::new(
+            op,
+            &StoreConfig {
+                root: None,
+                mem_entries: max_entries,
+                ..StoreConfig::default()
+            },
+        ) {
+            Ok(store) => store,
+            Err(_) => unreachable!("memory-only stores cannot fail to open"),
+        }
+    }
+
+    /// Attaches (or re-roots) a disk tier after construction — how the
+    /// process-wide DSE memo cache joins the serve tier's store root.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation/scan failures; the store stays on its
+    /// previous tier (or memory-only) when opening fails.
+    pub fn persist(&self, root: &Path) -> io::Result<()> {
+        let tier = DiskTier::open(root, &self.op, self.disk_bytes_cap)?;
+        *self.disk_lock_mut() = Some(tier);
+        Ok(())
+    }
+
+    /// The op namespace.
+    pub fn op(&self) -> &str {
+        &self.op
+    }
+
+    /// True when a disk tier is attached.
+    pub fn persistent(&self) -> bool {
+        self.disk_lock().is_some()
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Ready entries in the memory tier.
+    pub fn mem_entries(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Accounted bytes in the memory tier.
+    pub fn mem_bytes(&self) -> u64 {
+        self.memory.bytes()
+    }
+
+    /// Entry-count gauge of the disk tier (0 without one).
+    pub fn disk_entries(&self) -> u64 {
+        self.disk_lock().as_ref().map_or(0, DiskTier::entries)
+    }
+
+    /// Byte gauge of the disk tier (0 without one).
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_lock().as_ref().map_or(0, DiskTier::bytes)
+    }
+
+    /// Drops every memory-tier entry, keeping the disk tier — after this,
+    /// lookups replay from disk exactly as a restarted process would.
+    pub fn clear_memory(&self) {
+        self.memory.clear();
+    }
+
+    fn disk_lock(&self) -> std::sync::RwLockReadGuard<'_, Option<DiskTier>> {
+        self.disk
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn disk_lock_mut(&self) -> std::sync::RwLockWriteGuard<'_, Option<DiskTier>> {
+        self.disk
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Reads and decodes `key` from the disk tier; verification or decode
+    /// failures quarantine the entry and report a miss.
+    fn disk_read(&self, key: Digest) -> Option<(C::Value, u64)> {
+        let guard = self.disk_lock();
+        let disk = guard.as_ref()?;
+        match disk.read(key) {
+            Ok(payload) => match C::decode(&payload) {
+                Ok(value) => Some((value, payload.len() as u64)),
+                Err(_) => {
+                    disk.quarantine(key);
+                    StoreStats::bump(&self.stats.quarantined);
+                    None
+                }
+            },
+            Err(DiskMiss::Absent) => None,
+            Err(DiskMiss::Quarantined) => {
+                StoreStats::bump(&self.stats.quarantined);
+                None
+            }
+        }
+    }
+
+    fn disk_write(&self, key: Digest, payload: &[u8]) {
+        let guard = self.disk_lock();
+        if let Some(disk) = guard.as_ref() {
+            if !disk.write(key, payload) {
+                StoreStats::bump(&self.stats.disk_write_errors);
+            }
+        }
+    }
+
+    /// Looks `key` up through both tiers; on a full miss runs `compute`,
+    /// encodes the value once, caches it in memory and persists it
+    /// best-effort.  Concurrent calls for one key coalesce onto the first
+    /// caller; a coalesced waiter that observes a failure receives
+    /// `waiter_err` of the failure message.
+    ///
+    /// # Errors
+    ///
+    /// The computing caller's error is propagated as-is; nothing is cached.
+    pub fn get_or_compute<E, F>(
+        &self,
+        key: Digest,
+        compute: F,
+        waiter_err: impl FnOnce(String) -> E,
+    ) -> Result<(Arc<C::Value>, StoreOutcome), E>
+    where
+        F: FnOnce() -> Result<C::Value, E>,
+        E: fmt::Display,
+    {
+        self.memory.get_or_fill(
+            key,
+            || {
+                if let Some((value, bytes)) = self.disk_read(key) {
+                    return Ok((value, bytes, FillOrigin::Disk));
+                }
+                let value = compute()?;
+                if !self.persistent() {
+                    // Memory-only: weigh the value without materializing
+                    // the encoded form.
+                    let weight = C::byte_weight(&value);
+                    return Ok((value, weight, FillOrigin::Computed));
+                }
+                match C::encode(&value) {
+                    Ok(encoded) => {
+                        self.disk_write(key, &encoded);
+                        Ok((value, encoded.len() as u64, FillOrigin::Computed))
+                    }
+                    // An unencodable value is still served and cached in
+                    // memory (weight 0); it just cannot persist.
+                    Err(_) => {
+                        StoreStats::bump(&self.stats.disk_write_errors);
+                        Ok((value, 0, FillOrigin::Computed))
+                    }
+                }
+            },
+            waiter_err,
+        )
+    }
+
+    /// Replays `key` without computing: memory first, then the disk tier
+    /// (promoting a verified entry into memory).  Uncounted in hit/miss
+    /// stats, mirroring the serve tier's replay endpoint semantics; the
+    /// returned [`StoreOutcome`] says which tier answered (`Hit` or
+    /// `Disk`).
+    pub fn get(&self, key: Digest) -> Option<(Arc<C::Value>, StoreOutcome)> {
+        if let Some(value) = self.memory.peek(key) {
+            return Some((value, StoreOutcome::Hit));
+        }
+        let (value, bytes) = self.disk_read(key)?;
+        let value = Arc::new(value);
+        self.memory.insert(key, Arc::clone(&value), bytes);
+        Some((value, StoreOutcome::Disk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::StringCodec;
+    use std::path::PathBuf;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("bitwave-store-tiered-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    fn key(tag: &str) -> Digest {
+        Digest::of_bytes(tag.as_bytes())
+    }
+
+    #[test]
+    fn memory_only_stores_behave_like_a_single_flight_lru() {
+        let store = TieredStore::<StringCodec>::memory_only("test", 4);
+        assert!(!store.persistent());
+        let (a, outcome) = store
+            .get_or_compute(key("d"), || Ok::<_, String>("body".to_string()), |e| e)
+            .unwrap();
+        assert_eq!(outcome, StoreOutcome::Miss);
+        let (b, outcome) = store
+            .get_or_compute(key("d"), || unreachable!(), |e: String| e)
+            .unwrap();
+        assert_eq!(outcome, StoreOutcome::Hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.mem_entries(), 1);
+        assert_eq!(store.mem_bytes(), 4);
+        assert_eq!(store.disk_entries(), 0);
+    }
+
+    #[test]
+    fn a_reopened_store_serves_disk_hits_byte_identically() {
+        let root = temp_root("reopen");
+        let config = StoreConfig::default().with_root(&root).with_mem_entries(8);
+        let first = TieredStore::<StringCodec>::new("evaluate", &config).unwrap();
+        let (cold, outcome) = first
+            .get_or_compute(
+                key("r"),
+                || Ok::<_, String>("report-json".to_string()),
+                |e| e,
+            )
+            .unwrap();
+        assert_eq!(outcome, StoreOutcome::Miss);
+        drop(first);
+
+        // A fresh store over the same root = a restarted process.
+        let second = TieredStore::<StringCodec>::new("evaluate", &config).unwrap();
+        assert_eq!(second.disk_entries(), 1);
+        let (warm, outcome) = second
+            .get_or_compute(key("r"), || panic!("must not recompute"), |e: String| e)
+            .unwrap();
+        assert_eq!(outcome, StoreOutcome::Disk);
+        assert_eq!(*warm, *cold, "disk hits must replay byte-identically");
+        assert_eq!(second.stats().disk_hits(), 1);
+        assert_eq!(second.stats().misses(), 0);
+        // Now promoted: the next lookup is a memory hit.
+        let (_, outcome) = second
+            .get_or_compute(key("r"), || panic!("still cached"), |e: String| e)
+            .unwrap();
+        assert_eq!(outcome, StoreOutcome::Hit);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn clear_memory_forces_the_disk_path() {
+        let root = temp_root("clear");
+        let config = StoreConfig::default().with_root(&root);
+        let store = TieredStore::<StringCodec>::new("op", &config).unwrap();
+        store
+            .get_or_compute(key("x"), || Ok::<_, String>("value".to_string()), |e| e)
+            .unwrap();
+        store.clear_memory();
+        assert_eq!(store.mem_entries(), 0);
+        let (_, outcome) = store
+            .get_or_compute(key("x"), || panic!("disk has it"), |e: String| e)
+            .unwrap();
+        assert_eq!(outcome, StoreOutcome::Disk);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn replay_get_consults_disk_and_promotes() {
+        let root = temp_root("replay");
+        let config = StoreConfig::default().with_root(&root);
+        let store = TieredStore::<StringCodec>::new("op", &config).unwrap();
+        assert!(store.get(key("absent")).is_none());
+        store
+            .get_or_compute(key("y"), || Ok::<_, String>("yy".to_string()), |e| e)
+            .unwrap();
+        store.clear_memory();
+        let (replayed, outcome) = store.get(key("y")).expect("disk replay");
+        assert_eq!(*replayed, "yy");
+        assert_eq!(outcome, StoreOutcome::Disk);
+        assert_eq!(store.mem_entries(), 1, "replay promotes into memory");
+        let (_, outcome) = store.get(key("y")).expect("memory replay");
+        assert_eq!(
+            outcome,
+            StoreOutcome::Hit,
+            "promoted replays answer from memory"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn persist_attaches_a_disk_tier_to_a_live_store() {
+        let root = temp_root("attach");
+        let store = TieredStore::<StringCodec>::memory_only("op", 8);
+        store
+            .get_or_compute(key("pre"), || Ok::<_, String>("early".to_string()), |e| e)
+            .unwrap();
+        store.persist(&root).unwrap();
+        assert!(store.persistent());
+        // New computations persist; the pre-attach entry stays memory-only
+        // until recomputed.
+        store
+            .get_or_compute(key("post"), || Ok::<_, String>("late".to_string()), |e| e)
+            .unwrap();
+        assert_eq!(store.disk_entries(), 1);
+        store.clear_memory();
+        let (_, outcome) = store
+            .get_or_compute(key("post"), || panic!("on disk"), |e: String| e)
+            .unwrap();
+        assert_eq!(outcome, StoreOutcome::Disk);
+        let (_, outcome) = store
+            .get_or_compute(key("pre"), || Ok::<_, String>("early".to_string()), |e| e)
+            .unwrap();
+        assert_eq!(
+            outcome,
+            StoreOutcome::Miss,
+            "pre-attach entry was memory-only"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_recompute_without_errors() {
+        let root = temp_root("corrupt");
+        let config = StoreConfig::default().with_root(&root);
+        let store = TieredStore::<StringCodec>::new("op", &config).unwrap();
+        store
+            .get_or_compute(key("z"), || Ok::<_, String>("good".to_string()), |e| e)
+            .unwrap();
+        // Corrupt the file behind the store's back, then drop memory.
+        let path = root.join("op").join(key("z").to_hex());
+        let mut raw = std::fs::read(&path).unwrap();
+        let flip_at = 60 % raw.len();
+        raw[flip_at] ^= 0x55;
+        std::fs::write(&path, &raw).unwrap();
+        store.clear_memory();
+        let (value, outcome) = store
+            .get_or_compute(key("z"), || Ok::<_, String>("good".to_string()), |e| e)
+            .unwrap();
+        assert_eq!(
+            outcome,
+            StoreOutcome::Miss,
+            "corruption is a miss, not an error"
+        );
+        assert_eq!(*value, "good");
+        assert_eq!(store.stats().quarantined(), 1);
+        // The recompute rewrote a valid entry.
+        store.clear_memory();
+        let (_, outcome) = store
+            .get_or_compute(key("z"), || panic!("rewritten"), |e: String| e)
+            .unwrap();
+        assert_eq!(outcome, StoreOutcome::Disk);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

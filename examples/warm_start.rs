@@ -1,0 +1,67 @@
+//! Cold vs. warm `search_model_weights` against one persistent store root.
+//!
+//! The per-layer design-space search memoizes results in the process-wide
+//! DSE cache.  Attaching a store root makes those results **persistent**:
+//! a restarted process (simulated here by dropping the cache's memory tier)
+//! replays every layer's search from the checksummed disk tier instead of
+//! re-enumerating thousands of candidate mappings.
+//!
+//! ```bash
+//! cargo run --release --example warm_start
+//! ```
+
+use bitwave::context::ExperimentContext;
+use bitwave::dnn::models::resnet18;
+use bitwave::dse::memo::{global_cache, persist_global_cache};
+use bitwave::pipeline::Pipeline;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = std::env::temp_dir().join(format!("bitwave-warm-start-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    persist_global_cache(&root)?;
+    println!("store root: {}", root.display());
+
+    let ctx = ExperimentContext::default().with_sample_cap(8_000);
+    let net = resnet18();
+    let weights = ctx.weights(&net);
+    let pipeline = Pipeline::new(ctx);
+
+    // Cold: every layer's mapping space is enumerated and evaluated, and
+    // each winning result is written to `<root>/dse/<digest>`.
+    let t0 = Instant::now();
+    let cold = pipeline.search_model_weights(&net, &weights)?;
+    let cold_elapsed = t0.elapsed();
+    let cache = global_cache();
+    println!(
+        "cold search:  {cold_elapsed:>10.2?}   ({} layers, {} cold searches, {} on disk)",
+        cold.layers.len(),
+        cache.stats().misses(),
+        cache.store().disk_entries(),
+    );
+
+    // Simulate a process restart: drop the memory tier, keep the disk tier.
+    cache.clear();
+    let misses_before_warm = cache.stats().misses();
+
+    // Warm: every layer search replays from disk — no candidate is
+    // re-evaluated, and the result is identical.
+    let t1 = Instant::now();
+    let warm = pipeline.search_model_weights(&net, &weights)?;
+    let warm_elapsed = t1.elapsed();
+    println!(
+        "warm restart: {warm_elapsed:>10.2?}   ({} disk replays, {} re-searches)",
+        cache.stats().disk_hits(),
+        cache.stats().misses() - misses_before_warm,
+    );
+
+    assert_eq!(cold, warm, "disk replay must reproduce the search exactly");
+    let ratio = cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "speedup: {ratio:.1}x   (searched EDP gain over the heuristic: {:.3}x)",
+        warm.edp_gain()
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(())
+}
