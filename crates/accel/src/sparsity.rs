@@ -12,9 +12,10 @@
 use crate::spec::AcceleratorSpec;
 use bitwave_core::compress::{BcsCodec, CsrCodec, WeightCodec, ZreCodec};
 use bitwave_core::error::CoreError;
-use bitwave_core::group::{extract_groups, GroupSize, Groups};
+use bitwave_core::group::{extract_groups, GroupSize};
 use bitwave_core::stats::LayerSparsityStats;
-use bitwave_tensor::bits::{nonzero_column_count, Encoding};
+use bitwave_tensor::bitplane::BitplaneTensor;
+use bitwave_tensor::bits::Encoding;
 use bitwave_tensor::handle::WeightHandle;
 use bitwave_tensor::QuantTensor;
 use serde::{Deserialize, Serialize};
@@ -78,45 +79,44 @@ impl LayerSparsityProfile {
         group_size: GroupSize,
     ) -> Result<Self, CoreError> {
         let groups = extract_groups(weights, group_size)?;
-        let stats = LayerSparsityStats::from_tensor_and_groups(weights, &groups);
+        let planes = groups.to_bitplanes();
+        let stats = LayerSparsityStats::from_tensor_and_planes(weights, &planes);
         // CR is measured against the real (unpadded) weight storage, matching
         // the pipeline's CompressionSummary and the ZRE/CSR accounting; the
-        // stored payload/index still reflect the padded tail groups.
+        // measured payload/index still reflect the padded tail groups.
         let bcs = BcsCodec::new(group_size, Encoding::SignMagnitude)
-            .compress_groups(groups.iter(), weights.data().len());
+            .measure_packed(&planes, weights.data().len());
         Ok(Self::from_shared_parts(
             weights,
             activation_value_sparsity,
             &stats,
-            &groups,
+            &planes,
             bcs.compression_ratio_with_index(),
         )
         .with_value_codecs(weights))
     }
 
     /// Builds the profile from parts an earlier pass **already extracted** —
-    /// the statistics, groups and BCS compression ratio the pipeline's
-    /// compress stage produced — so nothing is re-derived per stage.  The
-    /// value-codec (ZRE/CSR) ratios are left at their dense placeholder of
-    /// `1.0`; resolve them with [`LayerSparsityProfile::with_value_codecs`]
-    /// or, lazily, through a [`LayerAnalysis`].
+    /// the statistics, bitplane-packed groups and BCS compression ratio the
+    /// pipeline's compress stage produced — so nothing is re-derived per
+    /// stage.  The value-codec (ZRE/CSR) ratios are left at their dense
+    /// placeholder of `1.0`; resolve them with
+    /// [`LayerSparsityProfile::with_value_codecs`] or, lazily, through a
+    /// [`LayerAnalysis`].
     ///
-    /// `stats` and `groups` must come from the same `weights` tensor at the
+    /// `stats` and `planes` must come from the same `weights` tensor at the
     /// same group size; given that, the non-placeholder fields are identical
     /// to [`LayerSparsityProfile::from_weights`].
     pub fn from_shared_parts(
         weights: &QuantTensor,
         activation_value_sparsity: f64,
         stats: &LayerSparsityStats,
-        groups: &Groups,
+        planes: &BitplaneTensor,
         bcs_compression_ratio: f64,
     ) -> Self {
-        // Non-zero columns per group, and the synced maximum over chunks of
-        // BITWAVE_SYNC_GROUPS groups.
-        let column_counts: Vec<u32> = groups
-            .iter()
-            .map(|g| nonzero_column_count(g, Encoding::SignMagnitude))
-            .collect();
+        // Non-zero columns per group (word-parallel indicator sums), and the
+        // synced maximum over chunks of BITWAVE_SYNC_GROUPS groups.
+        let column_counts = planes.group_nonzero_column_counts(Encoding::SignMagnitude);
         let mean_nonzero_columns = mean_u32(&column_counts);
         let max_nonzero_columns_synced = mean_of_chunk_max(&column_counts, BITWAVE_SYNC_GROUPS);
 
@@ -135,7 +135,7 @@ impl LayerSparsityProfile {
             activation_value_sparsity: activation_value_sparsity.clamp(0.0, 1.0),
             weight_bit_sparsity_tc: stats.bit_sparsity_twos_complement,
             weight_bit_sparsity_sm: stats.bit_sparsity_sign_magnitude,
-            group_size: groups.group_size(),
+            group_size: planes.group_size(),
             mean_nonzero_columns,
             max_nonzero_columns_synced,
             mean_nonzero_bits_tc,
@@ -212,14 +212,14 @@ impl LayerAnalysis {
         weights: WeightHandle,
         activation_value_sparsity: f64,
         stats: &LayerSparsityStats,
-        groups: &Groups,
+        planes: &BitplaneTensor,
         bcs_compression_ratio: f64,
     ) -> Self {
         let core = LayerSparsityProfile::from_shared_parts(
             &weights,
             activation_value_sparsity,
             stats,
-            groups,
+            planes,
             bcs_compression_ratio,
         );
         Self {
@@ -241,14 +241,15 @@ impl LayerAnalysis {
         group_size: GroupSize,
     ) -> Result<Self, CoreError> {
         let groups = extract_groups(&weights, group_size)?;
-        let stats = LayerSparsityStats::from_tensor_and_groups(&weights, &groups);
+        let planes = groups.to_bitplanes();
+        let stats = LayerSparsityStats::from_tensor_and_planes(&weights, &planes);
         let bcs = BcsCodec::new(group_size, Encoding::SignMagnitude)
-            .compress_groups(groups.iter(), weights.data().len());
+            .measure_packed(&planes, weights.data().len());
         Ok(Self::from_shared_parts(
             weights,
             activation_value_sparsity,
             &stats,
-            &groups,
+            &planes,
             bcs.compression_ratio_with_index(),
         ))
     }
@@ -419,6 +420,7 @@ mod tests {
             let eager = LayerSparsityProfile::from_weights(&w, act, g).unwrap();
 
             let groups = bitwave_core::group::extract_groups(&w, g).unwrap();
+            let planes = groups.to_bitplanes();
             let stats = LayerSparsityStats::from_tensor_and_groups(&w, &groups);
             let bcs = BcsCodec::new(g, Encoding::SignMagnitude)
                 .compress_groups(groups.iter(), w.data().len());
@@ -426,7 +428,7 @@ mod tests {
                 &w,
                 act,
                 &stats,
-                &groups,
+                &planes,
                 bcs.compression_ratio_with_index(),
             );
             // Core fields are bit-identical; value codecs are placeholders...

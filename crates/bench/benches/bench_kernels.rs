@@ -2,8 +2,15 @@
 //! figure): sign-magnitude encoding, zero-column index parsing, the BCE
 //! bit-column-serial inner loop, ZRE/CSR baselines and the Int8 reference
 //! convolution used as the golden model.
+//!
+//! Before the criterion loops, the target **guards** the bitplane kernels
+//! against regressions: it re-measures the machine-portable kernel ratios
+//! (kernel min-time over a fixed scalar calibration kernel's min-time) and
+//! fails if any ratio is more than 10 % above the committed
+//! `BENCH_sparsity.json` baseline.  The guard is skipped — with a notice —
+//! when no baseline file has been committed yet.
 
-use bitwave_bench::print_header;
+use bitwave_bench::{measure_sparsity_kernel_ratios, print_header, workspace_file};
 use bitwave_core::compress::{CsrCodec, WeightCodec, ZreCodec};
 use bitwave_dnn::infer::conv2d_int8;
 use bitwave_sim::bce::BitColumnEngine;
@@ -14,7 +21,52 @@ use bitwave_tensor::sm;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+/// Allowed relative regression of a kernel ratio vs the committed baseline.
+const RATIO_TOLERANCE: f64 = 1.10;
+
+/// Fails the bench run if the bitplane kernel ratios regressed by more than
+/// 10 % against the committed `BENCH_sparsity.json` baseline.
+fn guard_kernel_ratios() {
+    print_header(
+        "kernel_ratio_guard",
+        "bitplane kernels vs committed BENCH_sparsity.json baseline (<=10% drift)",
+    );
+    let path = workspace_file("BENCH_sparsity.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        println!(
+            "no committed baseline at {} — guard skipped (run bench_sparsity to create one)",
+            path.display()
+        );
+        return;
+    };
+    let baseline: serde::Value = serde_json::from_str(&text).expect("BENCH_sparsity.json parses");
+    let baseline_ratio = |kernel: &str| -> f64 {
+        baseline
+            .get("kernel_ratios")
+            .and_then(|r| r.get(kernel))
+            .and_then(serde::Value::as_f64)
+            .expect("baseline kernel ratio present")
+    };
+    let current = measure_sparsity_kernel_ratios();
+    for (kernel, measured) in [
+        ("packed_analysis", current.packed_analysis),
+        ("packed_compress", current.packed_compress),
+    ] {
+        let committed = baseline_ratio(kernel);
+        let limit = committed * RATIO_TOLERANCE;
+        println!(
+            "{kernel}: baseline ratio {committed:.4}   measured {measured:.4}   limit {limit:.4}"
+        );
+        assert!(
+            measured <= limit,
+            "{kernel} kernel ratio {measured:.4} regressed more than 10% over the \
+             committed baseline {committed:.4}"
+        );
+    }
+}
+
 fn bench(c: &mut Criterion) {
+    guard_kernel_ratios();
     print_header(
         "kernel microbenchmarks",
         "hot loops of the reproduction itself",

@@ -11,14 +11,36 @@
 //!    replaying stored bytes must be an order of magnitude cheaper than
 //!    running the pipeline.
 
-use bitwave_bench::print_header;
+use bitwave_bench::{print_header, write_bench_json};
 use bitwave_serve::client::Client;
 use bitwave_serve::server::{start, ServeConfig, ServerHandle};
 use bitwave_tensor::copy_metrics::CopyCounter;
 use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The machine-readable record `bench_serve` writes to the workspace root:
+/// the cold-path `/v1/evaluate` numbers and the cache-hit ratio the 10×
+/// gate just asserted.
+#[derive(Debug, Serialize)]
+struct ServeBenchReport {
+    /// Wall time of the very first (cold) `/v1/evaluate`, milliseconds.
+    cold_evaluate_ms: f64,
+    /// Cold-path throughput (8 never-seen digests), requests/second.
+    cold_rps: f64,
+    /// Cache-hit throughput (same digests replayed), requests/second.
+    hit_rps: f64,
+    /// `hit_rps / cold_rps`.
+    hit_over_cold: f64,
+    /// The gate the ratio passed.
+    hit_over_cold_gate: f64,
+    /// Client threads used for the throughput runs.
+    client_threads: usize,
+    /// Per-request sample cap of the evaluated model.
+    sample_cap: usize,
+}
 
 const SAMPLE_CAP: usize = 1_500;
 const CLIENT_THREADS: usize = 4;
@@ -40,18 +62,22 @@ fn evaluate_body(seed: u64) -> String {
 /// Gate 1: K concurrent evaluations of one model — distinct accelerators,
 /// one shared weight set — must deep-copy **zero** tensors beyond the cold
 /// run that populated the store.
-fn assert_zero_copy_concurrent_serving(handle: &ServerHandle) {
+fn assert_zero_copy_concurrent_serving(handle: &ServerHandle) -> f64 {
     print_header(
         "serve_zero_copy",
         "K concurrent evaluations of one model share weights (copy-count gate)",
     );
     let addr = handle.local_addr();
-    // Cold run generates the weight set for (resnet18, seed 1, cap).
+    // Cold run generates the weight set for (resnet18, seed 1, cap); its
+    // wall time is the cold-evaluate latency recorded in BENCH_serve.json.
     let mut client = Client::new(addr);
+    let t0 = Instant::now();
     let cold = client
         .post_json("/v1/evaluate", &evaluate_body(1))
         .expect("cold evaluate");
+    let cold_evaluate_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(cold.status, 200, "cold run: {:?}", cold.text());
+    println!("cold /v1/evaluate: {cold_evaluate_ms:.1} ms");
 
     let counter = CopyCounter::snapshot();
     let accelerators = ["dense", "scnn", "stripes", "pragmatic", "bitlet", "huaa"];
@@ -86,6 +112,7 @@ fn assert_zero_copy_concurrent_serving(handle: &ServerHandle) {
         copies, 0,
         "serving concurrent evaluations must not deep-copy weight tensors"
     );
+    cold_evaluate_ms
 }
 
 /// Requests-per-second of `n_requests` POSTs spread over [`CLIENT_THREADS`]
@@ -112,8 +139,9 @@ fn measure_rps(addr: std::net::SocketAddr, bodies: &[String]) -> f64 {
     bodies.len() as f64 / t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE)
 }
 
-/// Gate 2: cache-hit throughput ≥ 10× cold-path throughput.
-fn assert_hit_throughput_gate(handle: &ServerHandle) {
+/// Gate 2: cache-hit throughput ≥ 10× cold-path throughput.  Returns
+/// `(cold_rps, hit_rps, gate)` for the bench report.
+fn assert_hit_throughput_gate(handle: &ServerHandle) -> (f64, f64, f64) {
     const TARGET: f64 = 10.0;
     print_header(
         "serve_throughput",
@@ -150,12 +178,25 @@ fn assert_hit_throughput_gate(handle: &ServerHandle) {
         ratio >= TARGET,
         "cache-hit throughput {hit_rps:.1} req/s is below {TARGET}x the cold path ({cold_rps:.1} req/s)"
     );
+    (cold_rps, hit_rps, TARGET)
 }
 
 fn bench(c: &mut Criterion) {
     let handle = bench_server();
-    assert_zero_copy_concurrent_serving(&handle);
-    assert_hit_throughput_gate(&handle);
+    let cold_evaluate_ms = assert_zero_copy_concurrent_serving(&handle);
+    let (cold_rps, hit_rps, gate) = assert_hit_throughput_gate(&handle);
+    write_bench_json(
+        "BENCH_serve.json",
+        &ServeBenchReport {
+            cold_evaluate_ms,
+            cold_rps,
+            hit_rps,
+            hit_over_cold: hit_rps / cold_rps.max(f64::MIN_POSITIVE),
+            hit_over_cold_gate: gate,
+            client_threads: CLIENT_THREADS,
+            sample_cap: SAMPLE_CAP,
+        },
+    );
 
     // Steady-state criterion loops over the warm server.
     let addr = handle.local_addr();

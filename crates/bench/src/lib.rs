@@ -4,10 +4,35 @@
 //! (printing the rows exactly once, before timing) and then benchmarks the
 //! computational kernel behind that experiment so regressions in the
 //! reproduction's own performance are visible.
+//!
+//! Two targets additionally persist machine-readable results into the
+//! workspace root:
+//!
+//! * `bench_sparsity` writes `BENCH_sparsity.json` — the scalar-vs-bitplane
+//!   analysis speedup (gated at ≥ 4×) plus **machine-portable kernel
+//!   ratios** (each kernel's min-time divided by a fixed calibration
+//!   kernel's min-time on the same machine, so the committed baseline is
+//!   comparable across hosts);
+//! * `bench_serve` writes `BENCH_serve.json` — cold vs cache-hit request
+//!   throughput and the cold `/v1/evaluate` latency.
+//!
+//! `bench_kernels` reads the committed `BENCH_sparsity.json` back and fails
+//! if the re-measured kernel ratios regressed by more than 10 %.
 
 #![forbid(unsafe_code)]
 
 use bitwave::context::ExperimentContext;
+use bitwave_core::compress::BcsCodec;
+use bitwave_core::group::{extract_groups, GroupSize};
+use bitwave_core::stats::LayerSparsityStats;
+use bitwave_dnn::models::resnet18;
+use bitwave_dnn::weights::generate_layer_sample;
+use bitwave_tensor::bits::Encoding;
+use bitwave_tensor::QuantTensor;
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// The experiment context used by all bench targets: the default
 /// configuration with a moderate sampling cap so that a full `cargo bench`
@@ -23,4 +48,97 @@ pub fn print_header(experiment: &str, paper_reference: &str) {
     println!("================================================================");
     println!("{experiment}  —  reproduces {paper_reference}");
     println!("================================================================");
+}
+
+/// Absolute path of a file in the workspace root (two levels above the
+/// bench crate's manifest), where the committed `BENCH_*.json` files live.
+pub fn workspace_file(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name)
+}
+
+/// Serializes `value` as pretty JSON into `BENCH_<name>.json` in the
+/// workspace root and prints the destination.
+pub fn write_bench_json<T: Serialize>(name: &str, value: &T) {
+    let path = workspace_file(name);
+    let json = serde_json::to_string_pretty(value).expect("bench report serializes");
+    std::fs::write(&path, json + "\n").expect("bench report is writable");
+    println!("wrote {}", path.display());
+}
+
+/// Minimum wall-clock seconds of one call to `f` over `samples` runs — the
+/// low-noise point estimate both the speedup gate and the kernel-ratio
+/// guard time with.
+pub fn min_sample_seconds(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The ResNet18-sized layer set the sparsity kernels are gated on: one
+/// sampled weight tensor per conv/fc layer, ~60k weights apiece.
+pub fn sparsity_layer_set() -> Vec<QuantTensor> {
+    let net = resnet18();
+    net.layers
+        .iter()
+        .filter(|layer| layer.weight_shape().num_elements() > 0)
+        .map(|layer| generate_layer_sample(layer, 42, 60_000))
+        .collect()
+}
+
+/// Machine-portable ratios of the sparsity kernels: each kernel's min-time
+/// divided by the same machine's calibration-kernel min-time (scalar
+/// sign-magnitude group analysis of one fixed tensor).  Ratios cancel the
+/// host's absolute speed, so a committed baseline is meaningful on other
+/// machines; they regress only when the *kernel* gets slower relative to
+/// straight-line scalar code.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SparsityKernelRatios {
+    /// Packed (bitplane) full-layer analysis over the calibration kernel.
+    pub packed_analysis: f64,
+    /// Packed (size-only) BCS accounting over the calibration kernel.
+    pub packed_compress: f64,
+}
+
+const RATIO_SAMPLES: usize = 15;
+
+/// Measures [`SparsityKernelRatios`] on this machine.  Shared by
+/// `bench_sparsity` (which writes the baseline) and `bench_kernels` (which
+/// guards against regressions), so both sides time exactly the same code.
+pub fn measure_sparsity_kernel_ratios() -> SparsityKernelRatios {
+    let net = resnet18();
+    let layer = net.layer("layer4.0.conv2").expect("resnet18 layer exists");
+    let weights = generate_layer_sample(layer, 42, 60_000);
+    let group_size = GroupSize::G16;
+    let groups = extract_groups(&weights, group_size).expect("groups extract");
+    let codec = BcsCodec::new(group_size, Encoding::SignMagnitude);
+
+    let calibration = min_sample_seconds(RATIO_SAMPLES, || {
+        black_box(LayerSparsityStats::from_tensor_and_groups_scalar(
+            black_box(&weights),
+            black_box(&groups),
+        ));
+    });
+    let packed_analysis = min_sample_seconds(RATIO_SAMPLES, || {
+        let planes = black_box(&groups).to_bitplanes();
+        black_box(LayerSparsityStats::from_tensor_and_planes(
+            black_box(&weights),
+            &planes,
+        ));
+    });
+    let packed_compress = min_sample_seconds(RATIO_SAMPLES, || {
+        let planes = black_box(&groups).to_bitplanes();
+        black_box(codec.measure_packed(&planes, weights.data().len()));
+    });
+
+    let calibration = calibration.max(f64::MIN_POSITIVE);
+    SparsityKernelRatios {
+        packed_analysis: packed_analysis / calibration,
+        packed_compress: packed_compress / calibration,
+    }
 }

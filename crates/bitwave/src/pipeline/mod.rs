@@ -31,8 +31,10 @@
 //! reference counts instead of deep-copying tensors (`bench_pipeline` gates
 //! on a copy count of **zero** via [`bitwave_tensor::copy_metrics`]).  The
 //! expensive per-tensor analysis happens **once per layer**: the compress
-//! stage extracts the weight groups a single time and derives statistics and
-//! BCS accounting from them, the bit-flip stage reuses those parts to build
+//! stage extracts the weight groups a single time, packs them into a
+//! word-parallel [`bitwave_tensor::bitplane::BitplaneTensor`] and derives
+//! statistics and BCS accounting from the packed planes, the bit-flip stage
+//! reuses those parts to build
 //! the accelerator-facing [`bitwave_accel::LayerAnalysis`], and the ZRE/CSR
 //! value-codec passes that only the SCNN baseline reads stay **lazy** until
 //! a value-sparsity simulation asks for them.

@@ -1,7 +1,7 @@
 //! Serializable reports produced by the pipeline stages.
 
 use bitwave_accel::EnergyBreakdown;
-use bitwave_core::compress::CompressedTensor;
+use bitwave_core::compress::{BcsSizes, CompressedTensor};
 use bitwave_core::stats::LayerSparsityStats;
 use serde::{Deserialize, Serialize};
 
@@ -32,6 +32,21 @@ impl CompressionSummary {
             index_bits: compressed.index_bits,
             cr_ideal: compressed.compression_ratio_ideal(),
             cr_with_index: compressed.compression_ratio_with_index(),
+        }
+    }
+
+    /// Builds a summary from size-only BCS accounting (no payload
+    /// materialisation). The ratio math is shared with
+    /// [`CompressedTensor`], so the numbers are bit-identical to
+    /// [`CompressionSummary::from_compressed`] on the same weights.
+    pub fn from_sizes(sizes: &BcsSizes, group_size: usize) -> Self {
+        Self {
+            group_size,
+            original_bits: sizes.original_bits(),
+            payload_bits: sizes.payload_bits,
+            index_bits: sizes.index_bits,
+            cr_ideal: sizes.compression_ratio_ideal(),
+            cr_with_index: sizes.compression_ratio_with_index(),
         }
     }
 

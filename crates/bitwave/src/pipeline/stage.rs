@@ -8,10 +8,11 @@
 //! [`CompressStage`]).
 //!
 //! The chain performs its per-tensor analysis **once**: the compress stage
-//! extracts the weight groups a single time and derives statistics and BCS
-//! accounting from them, then hands the groups forward so the bit-flip stage
+//! extracts the weight groups a single time, packs them into a
+//! [`BitplaneTensor`] and derives statistics and BCS accounting from the
+//! word-parallel planes, then hands the planes forward so the bit-flip stage
 //! can build the accelerator-facing [`bitwave_accel::LayerAnalysis`] without
-//! re-grouping, re-analysing or re-compressing the unflipped tensor.  The
+//! re-grouping, re-packing or re-compressing the unflipped tensor.  The
 //! ZRE/CSR value-codec passes — needed only by the SCNN baseline — stay
 //! deferred inside the analysis until a simulation actually reads them.
 
@@ -24,11 +25,12 @@ use bitwave_accel::model::evaluate_layer_with_mapping;
 use bitwave_accel::{AcceleratorSpec, EnergyModel, LayerAnalysis};
 use bitwave_core::bitflip::flip_tensor;
 use bitwave_core::compress::BcsCodec;
-use bitwave_core::group::{extract_groups, GroupSize, Groups};
+use bitwave_core::group::{extract_groups, GroupSize};
 use bitwave_core::stats::LayerSparsityStats;
 use bitwave_dataflow::mapping::{select_spatial_unrolling, MappingDecision, MappingPolicy};
 use bitwave_dataflow::MemoryHierarchy;
 use bitwave_dse::DseEngine;
+use bitwave_tensor::bitplane::BitplaneTensor;
 use bitwave_tensor::bits::Encoding;
 use bitwave_tensor::handle::WeightHandle;
 
@@ -58,20 +60,22 @@ pub struct CompressStage {
     pub encoding: Encoding,
 }
 
-/// BCS size accounting of **already-extracted** groups under `encoding` —
-/// the single compressor both the compress and bit-flip stages use.
-/// `original_len` is the *unpadded* element count: compression ratios are
-/// measured against the real weight storage, while the stored payload/index
-/// bits still account for the hardware's zero-padded tail groups.
+/// BCS size accounting of **already-packed** bitplanes under `encoding` —
+/// the single compressor both the compress and bit-flip stages use.  The
+/// payload never materialises: [`BcsCodec::measure_packed`] counts stored
+/// columns straight off the planes.  `original_len` is the *unpadded*
+/// element count: compression ratios are measured against the real weight
+/// storage, while the stored payload/index bits still account for the
+/// hardware's zero-padded tail groups (the planes are packed from the
+/// padded group data).
 fn bcs_summary(
     encoding: Encoding,
-    groups: &Groups,
+    planes: &BitplaneTensor,
     original_len: usize,
     group_size: GroupSize,
 ) -> CompressionSummary {
-    let compressed =
-        BcsCodec::new(group_size, encoding).compress_groups(groups.iter(), original_len);
-    CompressionSummary::from_compressed(&compressed, group_size.len())
+    let sizes = BcsCodec::new(group_size, encoding).measure_packed(planes, original_len);
+    CompressionSummary::from_sizes(&sizes, group_size.len())
 }
 
 /// The sign-magnitude BCS ratio the accelerator profile needs.  When
@@ -81,7 +85,7 @@ fn bcs_summary(
 fn sm_bcs_ratio(
     summary_encoding: Encoding,
     summary: &CompressionSummary,
-    groups: &Groups,
+    planes: &BitplaneTensor,
     original_len: usize,
     group_size: GroupSize,
 ) -> f64 {
@@ -89,7 +93,7 @@ fn sm_bcs_ratio(
         summary.cr_with_index
     } else {
         BcsCodec::new(group_size, Encoding::SignMagnitude)
-            .compress_groups(groups.iter(), original_len)
+            .measure_packed(planes, original_len)
             .compression_ratio_with_index()
     }
 }
@@ -100,15 +104,15 @@ impl CompressStage {
         Self { encoding }
     }
 
-    /// BCS size accounting of already-extracted groups under this stage's
+    /// BCS size accounting of already-packed bitplanes under this stage's
     /// encoding (see [`CompressedLayer::compression`]).
-    pub fn summarize_groups(
+    pub fn summarize_planes(
         &self,
-        groups: &Groups,
+        planes: &BitplaneTensor,
         original_len: usize,
         group_size: GroupSize,
     ) -> CompressionSummary {
-        bcs_summary(self.encoding, groups, original_len, group_size)
+        bcs_summary(self.encoding, planes, original_len, group_size)
     }
 }
 
@@ -126,10 +130,10 @@ pub struct CompressedLayer {
     /// stage encodings cannot silently mislabel a two's-complement summary
     /// as the profile's sign-magnitude ratio.
     pub encoding: Encoding,
-    /// The weight groups extracted (once) by the compress stage; the
-    /// bit-flip stage reuses them to build the accelerator analysis instead
-    /// of re-grouping the tensor.
-    pub groups: Groups,
+    /// The bitplane-packed weight groups, packed (once) by the compress
+    /// stage; the bit-flip stage reuses them to build the accelerator
+    /// analysis instead of re-grouping or re-packing the tensor.
+    pub planes: BitplaneTensor,
 }
 
 impl PipelineStage for CompressStage {
@@ -141,17 +145,19 @@ impl PipelineStage for CompressStage {
     }
 
     fn run(&self, job: LayerJob) -> Result<CompressedLayer> {
-        // The single group-extraction pass of the chain: statistics and BCS
-        // accounting both run off `groups`, and the groups travel downstream.
+        // The single group-extraction and bitplane-packing pass of the
+        // chain: statistics and BCS accounting both run word-parallel off
+        // `planes`, and the planes travel downstream.
         let groups = extract_groups(&job.weights, job.group_size)?;
-        let sparsity = LayerSparsityStats::from_tensor_and_groups(&job.weights, &groups);
-        let compression = self.summarize_groups(&groups, job.weights.data().len(), job.group_size);
+        let planes = groups.to_bitplanes();
+        let sparsity = LayerSparsityStats::from_tensor_and_planes(&job.weights, &planes);
+        let compression = self.summarize_planes(&planes, job.weights.data().len(), job.group_size);
         Ok(CompressedLayer {
             job,
             sparsity,
             compression,
             encoding: self.encoding,
-            groups,
+            planes,
         })
     }
 }
@@ -205,18 +211,18 @@ impl PipelineStage for BitFlipStage {
             sparsity,
             compression,
             encoding: compression_encoding,
-            groups,
+            planes,
         } = input;
         let act = job.layer.expected_activation_sparsity();
         let (bitflip, analysis) = if job.zero_column_target == 0 {
             // Unflipped path: everything the analysis needs — statistics,
-            // groups, BCS accounting — was already computed by the compress
+            // planes, BCS accounting — was already computed by the compress
             // stage, so nothing is re-derived here.  Reuse is keyed on the
             // encoding *that summary* was computed under, not this stage's.
             let bcs_ratio = sm_bcs_ratio(
                 compression_encoding,
                 &compression,
-                &groups,
+                &planes,
                 job.weights.data().len(),
                 job.group_size,
             );
@@ -224,7 +230,7 @@ impl PipelineStage for BitFlipStage {
                 job.weights.clone(),
                 act,
                 &sparsity,
-                &groups,
+                &planes,
                 bcs_ratio,
             );
             (None, analysis)
@@ -235,22 +241,23 @@ impl PipelineStage for BitFlipStage {
                 job.zero_column_target,
                 self.encoding,
             )?;
-            // One group extraction of the flipped tensor feeds the post-flip
-            // accounting (under this stage's own encoding — no throwaway
-            // compress stage), statistics and accelerator analysis alike.
-            let flipped_groups = extract_groups(&flipped, job.group_size)?;
+            // One group extraction + bitplane packing of the flipped tensor
+            // feeds the post-flip accounting (under this stage's own
+            // encoding — no throwaway compress stage), statistics and
+            // accelerator analysis alike.
+            let flipped_planes = extract_groups(&flipped, job.group_size)?.to_bitplanes();
             let compression_after = bcs_summary(
                 self.encoding,
-                &flipped_groups,
+                &flipped_planes,
                 flipped.data().len(),
                 job.group_size,
             );
             let flipped_stats =
-                LayerSparsityStats::from_tensor_and_groups(&flipped, &flipped_groups);
+                LayerSparsityStats::from_tensor_and_planes(&flipped, &flipped_planes);
             let bcs_ratio = sm_bcs_ratio(
                 self.encoding,
                 &compression_after,
-                &flipped_groups,
+                &flipped_planes,
                 flipped.data().len(),
                 job.group_size,
             );
@@ -260,7 +267,7 @@ impl PipelineStage for BitFlipStage {
                 handle,
                 act,
                 &flipped_stats,
-                &flipped_groups,
+                &flipped_planes,
                 bcs_ratio,
             );
             (

@@ -12,6 +12,7 @@
 
 use crate::error::CoreError;
 use crate::group::{extract_groups, reassemble_tensor, GroupSize};
+use bitwave_tensor::bitplane::GroupPlanes;
 use bitwave_tensor::bits::{zero_column_count, Encoding, WORD_BITS};
 use bitwave_tensor::metrics::euclidean_distance_i8;
 use bitwave_tensor::QuantTensor;
@@ -49,11 +50,97 @@ pub struct FlipStats {
 /// `target_zero_columns` is clamped to `0..=8`.  A target of 8 forces the
 /// whole group to zero.
 ///
+/// The search runs on the group's packed bitplanes: for each candidate
+/// column mask, the OR of the *disallowed* planes flags exactly the
+/// elements a projection must modify (every flagged element moves by at
+/// least 1, every clean element projects to itself).  That word gives a
+/// free lower bound — `popcount(dirty)` — used to skip dominated masks
+/// without building their projections, and restricts the per-element work
+/// of surviving masks to the flagged elements.  The selected mask, the
+/// flipped group and the distance are identical to the exhaustive scalar
+/// search ([`flip_group_scalar`]): masks are enumerated in the same order,
+/// a candidate replaces the incumbent only on strictly smaller cost, and
+/// costs are exact integers.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidGroupLength`] if `group` is empty or longer
 /// than 64 elements (the hardware group sizes are 8/16/32).
 pub fn flip_group(
+    group: &[i8],
+    target_zero_columns: u32,
+    encoding: Encoding,
+) -> Result<FlipOutcome, CoreError> {
+    if group.is_empty() || group.len() > 64 {
+        return Err(CoreError::InvalidGroupLength(group.len()));
+    }
+    let target = target_zero_columns.min(WORD_BITS as u32);
+    let planes = GroupPlanes::pack(group, encoding);
+    let current = (!planes.nonzero_column_mask()).count_ones();
+    if current >= target {
+        return Ok(FlipOutcome {
+            flipped: group.to_vec(),
+            distance: 0.0,
+            achieved_zero_columns: current,
+        });
+    }
+
+    let allowed_nonzero = WORD_BITS as u32 - target;
+    let mut best: Option<(Vec<i8>, u64)> = None;
+    // Enumerate all 8-bit masks with exactly `allowed_nonzero` allowed
+    // columns.  Larger allowed sets dominate smaller ones, so only the
+    // maximal popcount needs to be searched.
+    for mask in 0u16..=0xFF {
+        let mask = mask as u8;
+        if mask.count_ones() != allowed_nonzero {
+            continue;
+        }
+        let budget = best.as_ref().map_or(u64::MAX, |&(_, cost)| cost);
+        let dirty = planes.outside_mask(mask);
+        if u64::from(dirty.count_ones()) >= budget {
+            continue;
+        }
+        let projection = ColumnProjection::new(mask, encoding);
+        let mut candidate = group.to_vec();
+        let mut cost = 0u64;
+        let mut remaining = dirty;
+        while remaining != 0 {
+            let i = remaining.trailing_zeros() as usize;
+            remaining &= remaining - 1;
+            let replacement = projection.nearest(candidate[i]);
+            let d = i64::from(candidate[i]) - i64::from(replacement);
+            cost += (d * d) as u64;
+            if cost >= budget {
+                break;
+            }
+            candidate[i] = replacement;
+        }
+        if cost < budget {
+            best = Some((candidate, cost));
+        }
+    }
+    let (flipped, cost) =
+        best.expect("at least one mask with the requested popcount always exists");
+    let achieved = (!GroupPlanes::pack(&flipped, encoding).nonzero_column_mask()).count_ones();
+    debug_assert!(achieved >= target);
+    Ok(FlipOutcome {
+        // Squared distances are sums of at most 64 squares of |d| <= 254,
+        // far below 2^53: the u64 cost converts to f64 exactly.
+        distance: (cost as f64).sqrt(),
+        achieved_zero_columns: achieved,
+        flipped,
+    })
+}
+
+/// The pre-bitplane exhaustive search, kept as the reference implementation
+/// for the scalar≡bitplane equivalence tests and the `bench_bitflip`
+/// comparison; behaviourally identical to [`flip_group`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidGroupLength`] if `group` is empty or longer
+/// than 64 elements.
+pub fn flip_group_scalar(
     group: &[i8],
     target_zero_columns: u32,
     encoding: Encoding,
@@ -73,9 +160,6 @@ pub fn flip_group(
 
     let allowed_nonzero = WORD_BITS as u32 - target;
     let mut best: Option<(Vec<i8>, f64)> = None;
-    // Enumerate all 8-bit masks with exactly `allowed_nonzero` allowed
-    // columns.  Larger allowed sets dominate smaller ones, so only the
-    // maximal popcount needs to be searched.
     for mask in 0u16..=0xFF {
         let mask = mask as u8;
         if mask.count_ones() != allowed_nonzero {
@@ -97,6 +181,47 @@ pub fn flip_group(
         achieved_zero_columns: achieved,
         flipped,
     })
+}
+
+/// Per-mask projection tables: the values reachable using only the allowed
+/// columns, pre-computed once per candidate mask instead of once per
+/// element.
+enum ColumnProjection {
+    /// Sign-magnitude: sorted representable magnitudes plus whether the sign
+    /// column is allowed.
+    SignMagnitude {
+        magnitudes: Vec<u8>,
+        sign_allowed: bool,
+    },
+    /// Two's complement: sorted representable values.
+    TwosComplement { values: Vec<i8> },
+}
+
+impl ColumnProjection {
+    fn new(mask: u8, encoding: Encoding) -> Self {
+        match encoding {
+            Encoding::SignMagnitude => ColumnProjection::SignMagnitude {
+                magnitudes: representable_magnitudes(mask & 0x7F),
+                sign_allowed: mask & 0x80 != 0,
+            },
+            Encoding::TwosComplement => ColumnProjection::TwosComplement {
+                values: representable_twos_complement(mask),
+            },
+        }
+    }
+
+    /// Nearest representable value — the same selection (including
+    /// tie-breaking) as [`project_group`] applies per element.
+    #[inline]
+    fn nearest(&self, value: i8) -> i8 {
+        match self {
+            ColumnProjection::SignMagnitude {
+                magnitudes,
+                sign_allowed,
+            } => nearest_sign_magnitude(value, magnitudes, *sign_allowed),
+            ColumnProjection::TwosComplement { values } => nearest_value(value, values),
+        }
+    }
 }
 
 /// Projects every weight of `group` onto the nearest value whose encoding
@@ -419,6 +544,22 @@ mod tests {
             let out = flip_group(&group, target, Encoding::SignMagnitude).unwrap();
             let norm = group.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt();
             prop_assert!(out.distance <= norm + 1e-9);
+        }
+
+        #[test]
+        fn bitplane_flip_equals_scalar(
+            group in proptest::collection::vec(-127i8..=127, 1..=32),
+            target in 0u32..=8,
+        ) {
+            // The word-parallel search must reproduce the exhaustive scalar
+            // search bit for bit: same flipped values, same (exact) distance.
+            for encoding in [Encoding::TwosComplement, Encoding::SignMagnitude] {
+                let fast = flip_group(&group, target, encoding).unwrap();
+                let scalar = flip_group_scalar(&group, target, encoding).unwrap();
+                prop_assert_eq!(&fast.flipped, &scalar.flipped);
+                prop_assert_eq!(fast.distance, scalar.distance);
+                prop_assert_eq!(fast.achieved_zero_columns, scalar.achieved_zero_columns);
+            }
         }
     }
 }

@@ -9,8 +9,9 @@
 //!   significance), stored column-major so the hardware can stream one
 //!   column per cycle straight into the BCE array without decompression.
 
-use crate::compress::{CompressedTensor, WeightCodec};
+use crate::compress::{safe_ratio, CompressedTensor, WeightCodec, BITS_PER_WEIGHT};
 use crate::group::{group_slice, GroupSize};
+use bitwave_tensor::bitplane::{BitplaneTensor, WORD_LEN};
 use bitwave_tensor::bits::{pack_column, Encoding, WORD_BITS};
 use serde::{Deserialize, Serialize};
 
@@ -68,7 +69,114 @@ impl BcsCodec {
 
     /// Compresses an explicit list of groups (used when the caller has
     /// already grouped along the input-channel axis of a 4-D weight).
+    ///
+    /// Groups shorter than the configured size are zero-padded, exactly as
+    /// [`crate::group::extract_groups`] pads trailing groups; the padding
+    /// never adds payload columns.  Internally the groups are bitplane-packed
+    /// and routed through [`BcsCodec::compress_packed`] whenever the group
+    /// size fits a plane word.
     pub fn compress_groups<'a, I>(&self, groups: I, original_len: usize) -> CompressedTensor
+    where
+        I: Iterator<Item = &'a [i8]>,
+    {
+        let g = self.group_size.len();
+        if g > WORD_LEN {
+            return self.compress_groups_scalar(groups, original_len);
+        }
+        let mut padded = Vec::new();
+        for group in groups {
+            assert!(group.len() <= g, "group longer than configured group size");
+            padded.extend_from_slice(group);
+            padded.resize(padded.len() + (g - group.len()), 0);
+        }
+        let planes = BitplaneTensor::from_slice(&padded, g);
+        self.compress_packed(&planes, original_len)
+    }
+
+    /// Compresses an **already bitplane-packed** tensor — the zero-copy
+    /// pipeline path, where one packing feeds statistics, compression and the
+    /// accelerator profile alike.
+    ///
+    /// Per group, the zero-column index is eight window tests and each stored
+    /// column is one window extraction; a fixed scratch buffer keeps the only
+    /// per-group allocation the `columns` vector the output format requires
+    /// (all-zero groups allocate nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` was packed at a different group size.
+    pub fn compress_packed(
+        &self,
+        planes: &BitplaneTensor,
+        original_len: usize,
+    ) -> CompressedTensor {
+        let g = self.group_size.len();
+        assert_eq!(
+            planes.group_size(),
+            g,
+            "bitplanes were packed at a different group size"
+        );
+        let num_groups = planes.num_groups();
+        let mut out_groups = Vec::with_capacity(num_groups);
+        let mut payload_bits = 0usize;
+        let mut scratch = [0u64; WORD_BITS];
+        for gi in 0..num_groups {
+            let group = planes.group_planes(self.encoding, gi);
+            let index = group.nonzero_column_mask();
+            let mut stored = 0usize;
+            for b in 0..WORD_BITS {
+                if (index >> b) & 1 == 1 {
+                    scratch[stored] = group.plane(b);
+                    stored += 1;
+                }
+            }
+            payload_bits += stored * g;
+            out_groups.push(BcsGroup {
+                index,
+                columns: scratch[..stored].to_vec(),
+            });
+        }
+        let index_bits = num_groups * WORD_BITS;
+        CompressedTensor::from_bcs(
+            original_len,
+            g,
+            self.encoding == Encoding::SignMagnitude,
+            out_groups,
+            payload_bits,
+            index_bits,
+        )
+    }
+
+    /// Size accounting of the BCS compression, straight from plane popcounts:
+    /// no [`BcsGroup`] payload is ever materialised.  This is what the
+    /// pipeline's compression summaries use — they only need bit counts and
+    /// ratios, not the compressed stream itself.
+    ///
+    /// The counts are identical to `compress_packed(planes, original_len)`
+    /// followed by reading `payload_bits`/`index_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` was packed at a different group size.
+    pub fn measure_packed(&self, planes: &BitplaneTensor, original_len: usize) -> BcsSizes {
+        let g = self.group_size.len();
+        assert_eq!(
+            planes.group_size(),
+            g,
+            "bitplanes were packed at a different group size"
+        );
+        BcsSizes {
+            original_len,
+            group_size: g,
+            payload_bits: planes.total_nonzero_columns(self.encoding) as usize * g,
+            index_bits: planes.num_groups() * WORD_BITS,
+        }
+    }
+
+    /// The pre-bitplane scalar compressor, kept as the reference
+    /// implementation for the scalar≡bitplane equivalence tests and the
+    /// `bench_sparsity` speedup gate.
+    pub fn compress_groups_scalar<'a, I>(&self, groups: I, original_len: usize) -> CompressedTensor
     where
         I: Iterator<Item = &'a [i8]>,
     {
@@ -102,6 +210,44 @@ impl BcsCodec {
     }
 }
 
+/// BCS size accounting without the compressed stream (see
+/// [`BcsCodec::measure_packed`]).  The ratio methods mirror
+/// [`CompressedTensor`]'s exactly, so summaries built from either source are
+/// bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BcsSizes {
+    /// Number of Int8 weights in the original (unpadded) tensor.
+    pub original_len: usize,
+    /// Group size the sizes were measured at.
+    pub group_size: usize,
+    /// Total payload bits (non-zero columns × group size).
+    pub payload_bits: usize,
+    /// Total index bits (groups × 8).
+    pub index_bits: usize,
+}
+
+impl BcsSizes {
+    /// Original size in bits.
+    pub fn original_bits(&self) -> usize {
+        self.original_len * BITS_PER_WEIGHT
+    }
+
+    /// Total compressed size in bits, including index overhead.
+    pub fn total_bits(&self) -> usize {
+        self.payload_bits + self.index_bits
+    }
+
+    /// Compression ratio ignoring index overhead (Fig. 5's "ideal" bars).
+    pub fn compression_ratio_ideal(&self) -> f64 {
+        safe_ratio(self.original_bits(), self.payload_bits)
+    }
+
+    /// Compression ratio including index overhead (Fig. 5's "real" bars).
+    pub fn compression_ratio_with_index(&self) -> f64 {
+        safe_ratio(self.original_bits(), self.total_bits())
+    }
+}
+
 impl WeightCodec for BcsCodec {
     fn name(&self) -> &'static str {
         "BCS"
@@ -127,8 +273,9 @@ pub(crate) fn decompress(
         Encoding::TwosComplement
     };
     let mut out = Vec::with_capacity(groups.len() * group_size);
+    let mut bytes = vec![0u8; group_size];
     for group in groups {
-        let mut bytes = vec![0u8; group_size];
+        bytes.fill(0);
         let mut col_iter = group.columns.iter();
         for b in 0..WORD_BITS {
             if (group.index >> b) & 1 == 1 {
@@ -142,7 +289,7 @@ pub(crate) fn decompress(
                 }
             }
         }
-        out.extend(bytes.into_iter().map(|b| encoding.decode(b)));
+        out.extend(bytes.iter().map(|&b| encoding.decode(b)));
     }
     out.truncate(original_len);
     out
@@ -241,6 +388,34 @@ mod tests {
             let groups = group_slice(&weights, GroupSize::G8);
             let c = codec.compress_groups(groups.iter(), weights.len());
             prop_assert_eq!(c.decompress(), weights);
+        }
+
+        #[test]
+        fn packed_compression_equals_scalar(
+            weights in proptest::collection::vec(-127i8..=127, 1..400),
+            g in prop_oneof![Just(8usize), Just(16), Just(32), 1usize..=64],
+        ) {
+            for encoding in [Encoding::TwosComplement, Encoding::SignMagnitude] {
+                let codec = BcsCodec::new(GroupSize::from_len(g), encoding);
+                let groups = group_slice(&weights, GroupSize::from_len(g));
+                let scalar = codec.compress_groups_scalar(groups.iter(), weights.len());
+                let planes = groups.to_bitplanes();
+                let packed = codec.compress_packed(&planes, weights.len());
+                prop_assert_eq!(&packed, &scalar);
+                let sizes = codec.measure_packed(&planes, weights.len());
+                prop_assert_eq!(sizes.payload_bits, scalar.payload_bits);
+                prop_assert_eq!(sizes.index_bits, scalar.index_bits);
+                prop_assert_eq!(sizes.original_bits(), scalar.original_bits());
+                prop_assert_eq!(sizes.total_bits(), scalar.total_bits());
+                prop_assert_eq!(
+                    sizes.compression_ratio_ideal(),
+                    scalar.compression_ratio_ideal()
+                );
+                prop_assert_eq!(
+                    sizes.compression_ratio_with_index(),
+                    scalar.compression_ratio_with_index()
+                );
+            }
         }
     }
 }

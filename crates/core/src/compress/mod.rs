@@ -12,7 +12,7 @@ mod bcs;
 mod csr;
 mod zre;
 
-pub use bcs::{BcsCodec, BcsGroup};
+pub use bcs::{BcsCodec, BcsGroup, BcsSizes};
 pub use csr::CsrCodec;
 pub use zre::ZreCodec;
 
@@ -150,7 +150,7 @@ impl CompressedTensor {
     }
 }
 
-fn safe_ratio(numerator: usize, denominator: usize) -> f64 {
+pub(crate) fn safe_ratio(numerator: usize, denominator: usize) -> f64 {
     if denominator == 0 {
         f64::INFINITY
     } else {

@@ -13,6 +13,7 @@
 //! last channel group.
 
 use crate::error::CoreError;
+use bitwave_tensor::bitplane::BitplaneTensor;
 use bitwave_tensor::{QuantTensor, Shape};
 use serde::{Deserialize, Serialize};
 
@@ -113,6 +114,21 @@ impl Groups {
     /// Total number of stored (padded) elements.
     pub fn padded_len(&self) -> usize {
         self.data.len()
+    }
+
+    /// Packs the (padded) group data into a [`BitplaneTensor`] whose group
+    /// windows coincide with these groups: window `i` of every plane holds
+    /// bit column `b` of group `i`.  This is the one packing step the
+    /// pipeline performs per layer; statistics, BCS sizing, the accelerator
+    /// profile and Bit-Flip all share the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group size exceeds 64 (a group window must fit one
+    /// plane word); callers sweeping arbitrary custom sizes must keep to the
+    /// scalar kernels above that limit.
+    pub fn to_bitplanes(&self) -> BitplaneTensor {
+        BitplaneTensor::from_slice(&self.data, self.group_size)
     }
 
     /// Reassembles the original tensor layout (dropping the padding) into a

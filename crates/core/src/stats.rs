@@ -14,6 +14,7 @@
 
 use crate::error::CoreError;
 use crate::group::{extract_groups, GroupSize};
+use bitwave_tensor::bitplane::{BitplaneTensor, WORD_LEN};
 use bitwave_tensor::bits::{nonzero_column_count, Encoding, WORD_BITS};
 use bitwave_tensor::sm;
 use bitwave_tensor::QuantTensor;
@@ -58,7 +59,81 @@ impl LayerSparsityStats {
     /// accelerator sparsity profile alike.  `groups` must come from
     /// [`extract_groups`] on the same tensor; the result is identical to
     /// [`LayerSparsityStats::analyze`].
+    ///
+    /// Group sizes fitting a 64-bit plane word run on the bitplane kernels;
+    /// larger custom sweep sizes fall back to
+    /// [`LayerSparsityStats::from_tensor_and_groups_scalar`].
     pub fn from_tensor_and_groups(tensor: &QuantTensor, groups: &crate::group::Groups) -> Self {
+        if groups.group_size() <= WORD_LEN {
+            Self::from_tensor_and_planes(tensor, &groups.to_bitplanes())
+        } else {
+            Self::from_tensor_and_groups_scalar(tensor, groups)
+        }
+    }
+
+    /// Analyses a weight tensor from its **bitplane-packed** representation:
+    /// every density is a plane popcount and every column statistic a window
+    /// mask, with no per-element bit walking.  `planes` must be packed from
+    /// the extracted groups of the same tensor
+    /// ([`crate::group::Groups::to_bitplanes`]); the padding a group
+    /// extraction appends is all-zero and therefore invisible to every count.
+    ///
+    /// The result is bit-identical to the scalar analysis: all counts are
+    /// exact integers, and the final divisions are performed in the same
+    /// order on the same values.
+    pub fn from_tensor_and_planes(tensor: &QuantTensor, planes: &BitplaneTensor) -> Self {
+        let num_weights = tensor.data().len();
+        let zeros = num_weights - planes.nonzero_elements() as usize;
+        let value_sparsity = if num_weights == 0 {
+            0.0
+        } else {
+            zeros as f64 / num_weights as f64
+        };
+        // Mirrors `1.0 - sm::bit_density_*`: identical integer counts,
+        // identical operation order.
+        let bit_density = |ones: u64| {
+            if num_weights == 0 {
+                0.0
+            } else {
+                ones as f64 / (num_weights as f64 * 8.0)
+            }
+        };
+        let bit_sparsity_twos_complement =
+            1.0 - bit_density(planes.count_ones(Encoding::TwosComplement));
+        let bit_sparsity_sign_magnitude =
+            1.0 - bit_density(planes.count_ones(Encoding::SignMagnitude));
+
+        // Mirrors `column_sparsity_of_groups`.
+        let column_sparsity = |encoding: Encoding| {
+            let total_columns = planes.num_groups() * WORD_BITS;
+            if total_columns == 0 {
+                0.0
+            } else {
+                let nonzero = planes.total_nonzero_columns(encoding) as usize;
+                1.0 - nonzero as f64 / total_columns as f64
+            }
+        };
+        let column_sparsity_twos_complement = column_sparsity(Encoding::TwosComplement);
+        let column_sparsity_sign_magnitude = column_sparsity(Encoding::SignMagnitude);
+
+        Self {
+            num_weights,
+            value_sparsity,
+            bit_sparsity_twos_complement,
+            bit_sparsity_sign_magnitude,
+            column_sparsity_twos_complement,
+            column_sparsity_sign_magnitude,
+            group_size: planes.group_size(),
+        }
+    }
+
+    /// The pre-bitplane scalar analysis, kept as the reference
+    /// implementation for the equivalence tests, the `bench_sparsity`
+    /// speedup gate, and group sizes beyond a plane word.
+    pub fn from_tensor_and_groups_scalar(
+        tensor: &QuantTensor,
+        groups: &crate::group::Groups,
+    ) -> Self {
         let data = tensor.data();
         let num_weights = data.len();
         let zeros = data.iter().filter(|&&v| v == 0).count();

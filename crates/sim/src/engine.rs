@@ -24,6 +24,7 @@ use crate::error::{check_reference, SimError};
 use crate::zcip::ZeroColumnIndexParser;
 use bitwave_core::compress::{BcsCodec, BcsGroup};
 use bitwave_core::group::{group_slice, GroupSize};
+use bitwave_tensor::bitplane::BitplaneTensor;
 use bitwave_tensor::bits::Encoding;
 use bitwave_tensor::{QuantTensor, Shape, TensorError};
 use serde::{Deserialize, Serialize};
@@ -184,10 +185,14 @@ impl BitwaveEngine {
         for ki in 0..k {
             let row = &wdata[ki * c..(ki + 1) * c];
             let grouped = group_slice(row, GroupSize::from_len(lanes));
-            let compressed = codec.compress_groups(grouped.iter(), grouped.padded_len());
-            stats.weight_payload_bits += compressed.payload_bits as u64;
-            stats.weight_index_bits += compressed.index_bits as u64;
-            let groups = rebuild_groups(row, lanes);
+            // One bitplane packing per kernel row feeds both the size
+            // accounting (word-parallel, no payload materialisation) and the
+            // streamed BCS groups.
+            let planes = grouped.to_bitplanes();
+            let sizes = codec.measure_packed(&planes, grouped.padded_len());
+            stats.weight_payload_bits += sizes.payload_bits as u64;
+            stats.weight_index_bits += sizes.index_bits as u64;
+            let groups = rebuild_groups(&planes);
             debug_assert_eq!(groups.len(), c_groups);
             kernel_groups.push(groups);
         }
@@ -320,18 +325,17 @@ impl BitwaveEngine {
 }
 
 /// Rebuilds the per-kernel BCS groups (index + packed columns) for one weight
-/// row; used by the engine to stream columns without re-deriving offsets from
-/// the flattened compressed tensor.
-fn rebuild_groups(row: &[i8], lanes: usize) -> Vec<BcsGroup> {
-    use bitwave_tensor::bits::{nonzero_column_mask, pack_column};
-    let grouped = group_slice(row, GroupSize::from_len(lanes));
-    grouped
-        .iter()
-        .map(|g| {
-            let index = nonzero_column_mask(g, Encoding::SignMagnitude);
+/// row from its bitplane packing; used by the engine to stream columns
+/// without re-deriving offsets from the flattened compressed tensor.  Each
+/// group's index and stored columns are read straight off the packed planes.
+fn rebuild_groups(planes: &BitplaneTensor) -> Vec<BcsGroup> {
+    (0..planes.num_groups())
+        .map(|gi| {
+            let group = planes.group_planes(Encoding::SignMagnitude, gi);
+            let index = group.nonzero_column_mask();
             let columns = (0..8)
                 .filter(|&b| (index >> b) & 1 == 1)
-                .map(|b| pack_column(g, b, Encoding::SignMagnitude))
+                .map(|b| group.plane(b))
                 .collect();
             BcsGroup { index, columns }
         })

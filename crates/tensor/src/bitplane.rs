@@ -1,0 +1,732 @@
+//! Bitplane-packed weight representation — word-parallel sparsity kernels.
+//!
+//! The BitWave hardware never looks at weights value-by-value: its memory
+//! words are 64-bit packed segments of *same-significance* bits (Fig. 10),
+//! so a single word read delivers bit-column `b` of 64 consecutive weights.
+//! This module applies the same layout to the simulator's analysis kernels.
+//! A [`BitplaneTensor`] stores, for **both** encodings (two's complement and
+//! sign-magnitude), eight `Vec<u64>` planes:
+//!
+//! ```text
+//!            element index →  63 62 61 ............ 2  1  0
+//! plane[7] (sign/MSB)  word0  s  s  s  ............ s  s  s
+//! plane[6]             word0  m6 m6 m6 ............ m6 m6 m6
+//!   ⋮                           ⋮
+//! plane[0] (LSB)       word0  m0 m0 m0 ............ m0 m0 m0
+//! ```
+//!
+//! Bit `i` of `plane[b][w]` is bit `b` of element `64*w + i` — identical to
+//! the order [`crate::bits::pack_column`] produces.  With this layout every
+//! analysis the paper performs collapses to word operations:
+//!
+//! * **bit sparsity** — `count_ones` over a plane;
+//! * **value sparsity** — `count_ones` of the OR of all eight planes;
+//! * **zero-column index** of a group — is the group's window of plane `b`
+//!   zero?  (8 window tests instead of `G` encode+OR steps);
+//! * **per-group non-zero column counts** — an OR-fold turns each aligned
+//!   `G`-bit lane into a 0/1 indicator at the lane LSB, and adding the eight
+//!   indicator words sums the counts of 16 (for `G = 4`) or more groups at
+//!   once with plain `u64` addition (lane counts ≤ 8 never carry).
+//!
+//! **Tail masking.** A tensor whose length is not a multiple of 64 occupies
+//! `len.div_ceil(64)` words; the bits of the final word at positions
+//! `len % 64` and above are **always zero**.  Zero tail bits contribute
+//! nothing to any popcount, OR-mask or indicator sum, so no kernel needs a
+//! special tail path — the invariant is established once at packing time.
+//!
+//! Packing itself runs at word speed too: eight encoded bytes are loaded as
+//! one `u64` and transposed with the classic 8×8 bit-matrix transpose
+//! ([`transpose8`]), producing one byte of each of the eight planes per
+//! step.  Only the two's-complement planes are transposed from bytes — the
+//! sign-magnitude planes are then *derived* from them with a word-parallel
+//! ripple-carry negation (64 encodes per plane word collapse to ~20 word
+//! ops).
+//!
+//! In the pipeline, packing happens **once per layer** inside the compress
+//! stage ([`Groups`]`::to_bitplanes` in `bitwave-core`); the resulting
+//! [`BitplaneTensor`] is then shared by statistics, BCS size accounting, the
+//! accelerator sparsity profile and the Bit-Flip search, exactly as the
+//! extracted groups are shared today.
+//!
+//! [`Groups`]: ../../bitwave_core/group/struct.Groups.html
+
+use crate::bits::{Encoding, WORD_BITS};
+
+/// Number of elements packed into one plane word.
+pub const WORD_LEN: usize = 64;
+
+/// Transposes a `u64` viewed as an 8×8 bit matrix (Hacker's Delight 7-3).
+///
+/// When `x` is built with [`u64::from_le_bytes`] from 8 encoded weight
+/// bytes, byte `b` of the little-endian result holds bit `b` of each of the
+/// 8 weights (LSB = first weight) — i.e. one byte of each bitplane.
+#[inline]
+pub fn transpose8(mut x: u64) -> u64 {
+    let mut t = (x ^ (x >> 7)) & 0x00AA_00AA_00AA_00AA;
+    x ^= t ^ (t << 7);
+    t = (x ^ (x >> 14)) & 0x0000_CCCC_0000_CCCC;
+    x ^= t ^ (t << 14);
+    t = (x ^ (x >> 28)) & 0x0000_0000_F0F0_F0F0;
+    x ^= t ^ (t << 28);
+    x
+}
+
+/// Transposes up to 64 encoded bytes into the 8 plane words they
+/// contribute, accumulated in registers (one store per plane, not one
+/// read-modify-write per 8-byte block).
+#[inline]
+fn transpose_block(bytes: &[u8; WORD_LEN]) -> [u64; WORD_BITS] {
+    let mut acc = [0u64; WORD_BITS];
+    for block in 0..WORD_LEN / WORD_BITS {
+        let x = u64::from_le_bytes(
+            bytes[block * 8..block * 8 + 8]
+                .try_into()
+                .expect("8-byte block"),
+        );
+        if x == 0 {
+            continue;
+        }
+        let col_bytes = transpose8(x).to_le_bytes();
+        for (b, lane) in acc.iter_mut().enumerate() {
+            *lane |= u64::from(col_bytes[b]) << (block * 8);
+        }
+    }
+    acc
+}
+
+/// Derives the sign-magnitude planes of 64 elements from their
+/// two's-complement planes, entirely word-parallel — 64 encodes collapse to
+/// a 7-step ripple-carry over the planes.
+///
+/// Per lane: non-negative values encode identically; a negative value `v`
+/// becomes sign bit + magnitude `-v = !v + 1`, computed bitwise with the
+/// sign plane doubling as both the lane-complement mask and the injected
+/// `+1` carry.  The carry that survives bit 6 is set exactly for `v = -128`
+/// lanes (every complemented magnitude bit was 1), which sign-magnitude
+/// saturates to magnitude 127 — matching [`crate::sm::to_sign_magnitude`].
+#[inline]
+fn sm_planes_from_tc(tc: &[u64; WORD_BITS]) -> [u64; WORD_BITS] {
+    let neg = tc[7];
+    let mut sm = [0u64; WORD_BITS];
+    let mut carry = neg;
+    for b in 0..7 {
+        let inverted = tc[b] ^ neg;
+        sm[b] = inverted ^ carry;
+        carry &= inverted;
+    }
+    for plane in &mut sm[..7] {
+        *plane |= carry;
+    }
+    sm[7] = neg;
+    sm
+}
+
+/// Extracts `width` bits of `plane` starting at absolute bit `start`,
+/// right-aligned.  `start + width` must not exceed the packed bit length.
+#[inline]
+fn window(plane: &[u64], start: usize, width: usize) -> u64 {
+    debug_assert!((1..=WORD_LEN).contains(&width));
+    let word = start / WORD_LEN;
+    let offset = start % WORD_LEN;
+    let mut bits = plane[word] >> offset;
+    let available = WORD_LEN - offset;
+    if width > available {
+        bits |= plane[word + 1] << available;
+    }
+    if width < WORD_LEN {
+        bits &= (1u64 << width) - 1;
+    }
+    bits
+}
+
+/// Mask selecting the least-significant bit of every `segment`-bit lane of a
+/// `u64`.  `segment` must divide 64 (i.e. be a power of two ≤ 64).
+#[inline]
+fn segment_lsb_mask(segment: usize) -> u64 {
+    match segment {
+        1 => u64::MAX,
+        2 => 0x5555_5555_5555_5555,
+        4 => 0x1111_1111_1111_1111,
+        8 => 0x0101_0101_0101_0101,
+        16 => 0x0001_0001_0001_0001,
+        32 => 0x0000_0001_0000_0001,
+        64 => 1,
+        _ => unreachable!("segment width must divide 64"),
+    }
+}
+
+/// OR-folds each aligned `segment`-bit lane of `word` into its lane LSB: the
+/// result has the lane LSB set iff the lane held any `1` bit.  Exact for
+/// every lane because the shift subset-sums cover `1..segment` and never
+/// reach `segment`, so no bit crosses a lane boundary into a *lower* lane's
+/// LSB position.
+#[inline]
+fn nonzero_segments(word: u64, segment: usize) -> u64 {
+    let mut x = word;
+    let mut shift = segment / 2;
+    while shift > 0 {
+        x |= x >> shift;
+        shift /= 2;
+    }
+    x & segment_lsb_mask(segment)
+}
+
+/// Bitplanes of a single weight group (≤ 64 elements): one `u64` per bit
+/// column, both a standalone fast kernel (Bit-Flip candidate screening) and
+/// the unit [`BitplaneTensor`] windows decompose into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupPlanes {
+    planes: [u64; WORD_BITS],
+    len: usize,
+}
+
+impl GroupPlanes {
+    /// Packs a group of at most 64 values under `encoding`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group.len() > 64` — a group must fit one plane word (the
+    /// same limit as [`crate::bits::pack_column`]).
+    pub fn pack(group: &[i8], encoding: Encoding) -> Self {
+        assert!(
+            group.len() <= WORD_LEN,
+            "a packed group holds at most 64 weights"
+        );
+        let mut bytes = [0u8; WORD_LEN];
+        for (slot, &value) in bytes.iter_mut().zip(group) {
+            *slot = encoding.encode(value);
+        }
+        let mut planes = [0u64; WORD_BITS];
+        for block in 0..group.len().div_ceil(WORD_BITS) {
+            let x = u64::from_le_bytes(
+                bytes[block * 8..block * 8 + 8]
+                    .try_into()
+                    .expect("8-byte block"),
+            );
+            if x == 0 {
+                continue;
+            }
+            let col_bytes = transpose8(x).to_le_bytes();
+            for (b, plane) in planes.iter_mut().enumerate() {
+                *plane |= u64::from(col_bytes[b]) << (block * 8);
+            }
+        }
+        Self {
+            planes,
+            len: group.len(),
+        }
+    }
+
+    /// Builds group planes directly from already-windowed plane words.
+    #[inline]
+    fn from_words(planes: [u64; WORD_BITS], len: usize) -> Self {
+        Self { planes, len }
+    }
+
+    /// Number of elements in the packed group.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the group holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed bit-column `bit` (LSB of the word = first element) —
+    /// identical to [`crate::bits::pack_column`] on the original group.
+    #[inline]
+    pub fn plane(&self, bit: usize) -> u64 {
+        self.planes[bit]
+    }
+
+    /// All eight packed bit-columns, LSB plane first.
+    #[inline]
+    pub fn planes(&self) -> &[u64; WORD_BITS] {
+        &self.planes
+    }
+
+    /// The zero-column index of the group: bit `b` set iff column `b` is
+    /// non-zero — identical to [`crate::bits::nonzero_column_mask`].
+    #[inline]
+    pub fn nonzero_column_mask(&self) -> u8 {
+        let mut mask = 0u8;
+        for (b, &plane) in self.planes.iter().enumerate() {
+            if plane != 0 {
+                mask |= 1 << b;
+            }
+        }
+        mask
+    }
+
+    /// Number of elements whose bit `bit` is set (the column population).
+    #[inline]
+    pub fn population(&self, bit: usize) -> u32 {
+        self.planes[bit].count_ones()
+    }
+
+    /// OR of the planes **outside** `allowed`: bit `i` of the result is set
+    /// iff element `i` has at least one bit in a column the mask disallows.
+    /// These are exactly the elements a Bit-Flip projection onto `allowed`
+    /// must modify; all other elements project to themselves.
+    #[inline]
+    pub fn outside_mask(&self, allowed: u8) -> u64 {
+        let mut dirty = 0u64;
+        for (b, &plane) in self.planes.iter().enumerate() {
+            if (allowed >> b) & 1 == 0 {
+                dirty |= plane;
+            }
+        }
+        dirty
+    }
+}
+
+/// A whole tensor's worth of bitplanes under **both** encodings, packed once
+/// and shared by every analysis kernel (see the module docs for the layout
+/// and the tail-masking invariant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitplaneTensor {
+    len: usize,
+    group_size: usize,
+    tc: [Vec<u64>; WORD_BITS],
+    sm: [Vec<u64>; WORD_BITS],
+}
+
+impl BitplaneTensor {
+    /// Packs `data` into bitplanes with group windows of `group_size`
+    /// elements.
+    ///
+    /// `data` is normally the padded backing store of an extracted `Groups`
+    /// (every group zero-padded to `group_size`), so that group `i` occupies
+    /// bits `i*group_size..(i+1)*group_size` of every plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= group_size <= 64`: a group window must fit one
+    /// plane word, the same limit the scalar `pack_column` enforces.
+    pub fn from_slice(data: &[i8], group_size: usize) -> Self {
+        assert!(
+            (1..=WORD_LEN).contains(&group_size),
+            "bitplane group windows hold at most 64 weights (got {group_size})"
+        );
+        let words = data.len().div_ceil(WORD_LEN);
+        let mut tc: [Vec<u64>; WORD_BITS] = std::array::from_fn(|_| vec![0u64; words]);
+        let mut sm: [Vec<u64>; WORD_BITS] = std::array::from_fn(|_| vec![0u64; words]);
+        let mut tc_bytes = [0u8; WORD_LEN];
+        for (word, chunk) in data.chunks(WORD_LEN).enumerate() {
+            if chunk.len() < WORD_LEN {
+                // Masked tail: unused byte slots must encode zero so the
+                // plane bits beyond `len` stay clear.
+                tc_bytes = [0u8; WORD_LEN];
+            }
+            for (slot, &value) in tc_bytes.iter_mut().zip(chunk) {
+                *slot = value as u8;
+            }
+            // Only the two's-complement bytes are transposed; the
+            // sign-magnitude planes are derived from them word-parallel.
+            let tc_word = transpose_block(&tc_bytes);
+            let sm_word = sm_planes_from_tc(&tc_word);
+            for b in 0..WORD_BITS {
+                tc[b][word] = tc_word[b];
+                sm[b][word] = sm_word[b];
+            }
+        }
+        Self {
+            len: data.len(),
+            group_size,
+            tc,
+            sm,
+        }
+    }
+
+    /// Number of packed elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no elements are packed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The group-window size the tensor was packed for.
+    #[inline]
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of group windows (`len.div_ceil(group_size)`).
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.len.div_ceil(self.group_size)
+    }
+
+    /// Number of 64-bit words per plane.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.len.div_ceil(WORD_LEN)
+    }
+
+    #[inline]
+    fn encoded(&self, encoding: Encoding) -> &[Vec<u64>; WORD_BITS] {
+        match encoding {
+            Encoding::TwosComplement => &self.tc,
+            Encoding::SignMagnitude => &self.sm,
+        }
+    }
+
+    /// Bitplane `bit` under `encoding` (bit `i` of word `w` = bit `bit` of
+    /// element `64*w + i`).
+    #[inline]
+    pub fn plane(&self, encoding: Encoding, bit: usize) -> &[u64] {
+        &self.encoded(encoding)[bit]
+    }
+
+    /// Total number of `1` bits across all eight planes — the tensor's
+    /// set-bit count under `encoding`, at one popcount per plane word.
+    pub fn count_ones(&self, encoding: Encoding) -> u64 {
+        self.encoded(encoding)
+            .iter()
+            .flat_map(|plane| plane.iter())
+            .map(|&word| u64::from(word.count_ones()))
+            .sum()
+    }
+
+    /// Number of non-zero elements (an element is zero iff every
+    /// two's-complement bit is zero, which holds iff its sign-magnitude
+    /// encoding is zero too).
+    pub fn nonzero_elements(&self) -> u64 {
+        let mut total = 0u64;
+        for word in 0..self.num_words() {
+            let mut any = 0u64;
+            for plane in &self.tc {
+                any |= plane[word];
+            }
+            total += u64::from(any.count_ones());
+        }
+        total
+    }
+
+    /// Number of elements in group window `group` (only the final window can
+    /// be short).
+    #[inline]
+    fn group_width(&self, group: usize) -> usize {
+        (self.len - group * self.group_size).min(self.group_size)
+    }
+
+    /// The bits of column `bit` inside group window `group`, right-aligned
+    /// (LSB = first element of the group) — identical to
+    /// [`crate::bits::pack_column`] on the group's elements.
+    #[inline]
+    pub fn group_column(&self, encoding: Encoding, group: usize, bit: usize) -> u64 {
+        window(
+            &self.encoded(encoding)[bit],
+            group * self.group_size,
+            self.group_width(group),
+        )
+    }
+
+    /// The zero-column index of group window `group`: bit `b` set iff
+    /// column `b` is non-zero — identical to
+    /// [`crate::bits::nonzero_column_mask`] on the group's elements.
+    #[inline]
+    pub fn group_mask(&self, encoding: Encoding, group: usize) -> u8 {
+        let planes = self.encoded(encoding);
+        let start = group * self.group_size;
+        let width = self.group_width(group);
+        let mut mask = 0u8;
+        for (b, plane) in planes.iter().enumerate() {
+            if window(plane, start, width) != 0 {
+                mask |= 1 << b;
+            }
+        }
+        mask
+    }
+
+    /// All eight columns of group window `group` as [`GroupPlanes`].
+    #[inline]
+    pub fn group_planes(&self, encoding: Encoding, group: usize) -> GroupPlanes {
+        let planes = self.encoded(encoding);
+        let start = group * self.group_size;
+        let width = self.group_width(group);
+        let mut words = [0u64; WORD_BITS];
+        for (b, plane) in planes.iter().enumerate() {
+            words[b] = window(plane, start, width);
+        }
+        GroupPlanes::from_words(words, width)
+    }
+
+    /// Total number of non-zero bit columns over all group windows — the
+    /// quantity BCS payload sizing and column-sparsity statistics need.
+    ///
+    /// For group sizes dividing 64 this runs entirely on whole plane words
+    /// (OR-fold each word's lanes into indicators, popcount); otherwise it
+    /// falls back to per-group masks.
+    pub fn total_nonzero_columns(&self, encoding: Encoding) -> u64 {
+        let g = self.group_size;
+        if WORD_LEN % g == 0 {
+            let mut total = 0u64;
+            for plane in self.encoded(encoding) {
+                for &word in plane {
+                    if word != 0 {
+                        total += u64::from(nonzero_segments(word, g).count_ones());
+                    }
+                }
+            }
+            total
+        } else {
+            (0..self.num_groups())
+                .map(|i| u64::from(self.group_mask(encoding, i).count_ones()))
+                .sum()
+        }
+    }
+
+    /// Per-group non-zero column counts (0..=8 each), in group order —
+    /// the per-group cycle costs of the BCE array.
+    ///
+    /// For group sizes ≥ 4 that divide 64, the eight per-plane indicator
+    /// words of each plane word are summed with a single `u64` addition per
+    /// plane: every `g`-bit lane accumulates its group's count (≤ 8, so
+    /// lanes of ≥ 4 bits never carry into a neighbour).
+    pub fn group_nonzero_column_counts(&self, encoding: Encoding) -> Vec<u32> {
+        let g = self.group_size;
+        let n = self.num_groups();
+        let mut counts = Vec::with_capacity(n);
+        if WORD_LEN % g == 0 && g >= 4 {
+            let planes = self.encoded(encoding);
+            let lane = if g == WORD_LEN {
+                u64::MAX
+            } else {
+                (1u64 << g) - 1
+            };
+            for word in 0..self.num_words() {
+                let mut acc = 0u64;
+                for plane in planes {
+                    acc += nonzero_segments(plane[word], g);
+                }
+                for segment in 0..WORD_LEN / g {
+                    if counts.len() == n {
+                        break;
+                    }
+                    counts.push(((acc >> (segment * g)) & lane) as u32);
+                }
+            }
+        } else {
+            for i in 0..n {
+                counts.push(self.group_mask(encoding, i).count_ones());
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ENCODINGS: [Encoding; 2] = [Encoding::TwosComplement, Encoding::SignMagnitude];
+
+    /// Bit-by-bit reference for the 8×8 transpose.
+    fn transpose8_naive(x: u64) -> u64 {
+        let mut out = 0u64;
+        for row in 0..8 {
+            for col in 0..8 {
+                if (x >> (row * 8 + col)) & 1 == 1 {
+                    out |= 1 << (col * 8 + row);
+                }
+            }
+        }
+        out
+    }
+
+    /// Scalar reference for a packed column (no GroupPlanes involvement —
+    /// `bits::pack_column` is itself a wrapper over the packed path now).
+    fn naive_column(data: &[i8], start: usize, width: usize, enc: Encoding, bit: usize) -> u64 {
+        let mut word = 0u64;
+        for i in 0..width {
+            if (enc.encode(data[start + i]) >> bit) & 1 == 1 {
+                word |= 1 << i;
+            }
+        }
+        word
+    }
+
+    /// Scalar reference for the zero-column index (independent of the packed
+    /// kernels).
+    fn naive_mask(group: &[i8], enc: Encoding) -> u8 {
+        group.iter().fold(0u8, |mask, &v| mask | enc.encode(v))
+    }
+
+    #[test]
+    fn transpose8_matches_naive_on_structured_patterns() {
+        for x in [
+            0u64,
+            u64::MAX,
+            0x0123_4567_89AB_CDEF,
+            0x8040_2010_0804_0201,
+            0xFF00_FF00_FF00_FF00,
+            0x8000_0000_0000_0001,
+        ] {
+            assert_eq!(transpose8(x), transpose8_naive(x), "x={x:#018x}");
+        }
+    }
+
+    #[test]
+    fn group_planes_match_naive_columns() {
+        let group: Vec<i8> = (-32..32).collect();
+        for enc in ENCODINGS {
+            let packed = GroupPlanes::pack(&group, enc);
+            for b in 0..WORD_BITS {
+                assert_eq!(
+                    packed.plane(b),
+                    naive_column(&group, 0, group.len(), enc, b),
+                    "bit {b}"
+                );
+            }
+            assert_eq!(packed.nonzero_column_mask(), naive_mask(&group, enc));
+        }
+    }
+
+    #[test]
+    fn outside_mask_flags_exactly_the_disallowed_elements() {
+        let group = [3i8, 0, -4, 8, 0, 1];
+        let packed = GroupPlanes::pack(&group, Encoding::SignMagnitude);
+        // Allow only columns 0 and 1: elements with any bit >= 2 are dirty.
+        let dirty = packed.outside_mask(0b0000_0011);
+        for (i, &v) in group.iter().enumerate() {
+            let enc = Encoding::SignMagnitude.encode(v);
+            let expect = enc & !0b0000_0011 != 0;
+            assert_eq!((dirty >> i) & 1 == 1, expect, "element {i} ({v})");
+        }
+    }
+
+    #[test]
+    fn tail_bits_beyond_len_are_zero() {
+        let data = vec![-1i8; 70]; // all bits set in TC; 70 % 64 = 6
+        let planes = BitplaneTensor::from_slice(&data, 8);
+        assert_eq!(planes.num_words(), 2);
+        for b in 0..WORD_BITS {
+            let tail = planes.plane(Encoding::TwosComplement, b)[1];
+            assert_eq!(tail, (1u64 << 6) - 1, "bit {b} tail must be masked");
+        }
+        assert_eq!(planes.count_ones(Encoding::TwosComplement), 70 * 8);
+        assert_eq!(planes.nonzero_elements(), 70);
+    }
+
+    #[test]
+    fn derived_sign_magnitude_planes_match_encode_for_every_value() {
+        // Exhaustive over i8, exercising the ripple-carry negation and the
+        // -128 saturation lane fix-up.
+        let data: Vec<i8> = (i8::MIN..=i8::MAX).collect();
+        let planes = BitplaneTensor::from_slice(&data, 8);
+        for (i, &v) in data.iter().enumerate() {
+            for enc in ENCODINGS {
+                let byte = enc.encode(v);
+                for b in 0..WORD_BITS {
+                    let bit = (planes.plane(enc, b)[i / WORD_LEN] >> (i % WORD_LEN)) & 1;
+                    assert_eq!(bit == 1, (byte >> b) & 1 == 1, "v={v} bit={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_windows_straddle_word_boundaries() {
+        // Group size 24 does not divide 64: group 2 spans bits 48..72,
+        // straddling the word boundary.
+        let data: Vec<i8> = (0..96).map(|i| (i % 17) as i8 - 8).collect();
+        let planes = BitplaneTensor::from_slice(&data, 24);
+        for enc in ENCODINGS {
+            for g in 0..planes.num_groups() {
+                let start = g * 24;
+                let width = (data.len() - start).min(24);
+                for b in 0..WORD_BITS {
+                    assert_eq!(
+                        planes.group_column(enc, g, b),
+                        naive_column(&data, start, width, enc, b),
+                        "group {g} bit {b}"
+                    );
+                }
+                assert_eq!(
+                    planes.group_mask(enc, g),
+                    naive_mask(&data[start..start + width], enc),
+                    "group {g} mask"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn transpose8_matches_naive(x in any::<u64>()) {
+            prop_assert_eq!(transpose8(x), transpose8_naive(x));
+        }
+
+        #[test]
+        fn transpose8_is_an_involution(x in any::<u64>()) {
+            prop_assert_eq!(transpose8(transpose8(x)), x);
+        }
+
+        #[test]
+        fn planes_match_scalar_columns(
+            data in proptest::collection::vec(-128i8..=127, 0..200),
+            g in 1usize..=64,
+        ) {
+            let planes = BitplaneTensor::from_slice(&data, g);
+            prop_assert_eq!(planes.num_groups(), data.len().div_ceil(g));
+            for enc in ENCODINGS {
+                let mut total_nonzero = 0u64;
+                let mut counts = Vec::new();
+                for gi in 0..planes.num_groups() {
+                    let start = gi * g;
+                    let width = (data.len() - start).min(g);
+                    let group = &data[start..start + width];
+                    let mask = naive_mask(group, enc);
+                    prop_assert_eq!(planes.group_mask(enc, gi), mask);
+                    for b in 0..WORD_BITS {
+                        prop_assert_eq!(
+                            planes.group_column(enc, gi, b),
+                            naive_column(&data, start, width, enc, b)
+                        );
+                    }
+                    let gp = planes.group_planes(enc, gi);
+                    prop_assert_eq!(gp.len(), width);
+                    prop_assert_eq!(gp.nonzero_column_mask(), mask);
+                    total_nonzero += u64::from(mask.count_ones());
+                    counts.push(mask.count_ones());
+                }
+                prop_assert_eq!(planes.total_nonzero_columns(enc), total_nonzero);
+                prop_assert_eq!(planes.group_nonzero_column_counts(enc), counts);
+                let scalar_ones: u64 = data
+                    .iter()
+                    .map(|&v| u64::from(enc.encode(v).count_ones()))
+                    .sum();
+                prop_assert_eq!(planes.count_ones(enc), scalar_ones);
+            }
+            let nonzero = data.iter().filter(|&&v| v != 0).count() as u64;
+            prop_assert_eq!(planes.nonzero_elements(), nonzero);
+        }
+
+        #[test]
+        fn group_planes_equal_tensor_windows(
+            data in proptest::collection::vec(-128i8..=127, 1..130),
+        ) {
+            for g in [8usize, 16, 32] {
+                let planes = BitplaneTensor::from_slice(&data, g);
+                for enc in ENCODINGS {
+                    for gi in 0..planes.num_groups() {
+                        let start = gi * g;
+                        let width = (data.len() - start).min(g);
+                        let direct = GroupPlanes::pack(&data[start..start + width], enc);
+                        prop_assert_eq!(planes.group_planes(enc, gi), direct);
+                    }
+                }
+            }
+        }
+    }
+}

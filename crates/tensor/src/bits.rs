@@ -5,7 +5,14 @@
 //! across a group of G weights (Fig. 4).  These helpers extract individual
 //! bits and whole bit columns from Int8 data in either two's-complement or
 //! sign-magnitude encoding.
+//!
+//! Since the bitplane rewrite, the column helpers here are thin **compat
+//! wrappers** over the packed kernels in [`crate::bitplane`]: callers that
+//! analyse more than one column per group should pack a
+//! [`crate::bitplane::GroupPlanes`] (or a whole
+//! [`crate::bitplane::BitplaneTensor`]) once and query it directly instead.
 
+use crate::bitplane::GroupPlanes;
 use crate::sm;
 
 /// Number of bits in an Int8 word.
@@ -78,10 +85,11 @@ pub fn bit_columns(group: &[i8], encoding: Encoding) -> [Vec<bool>; WORD_BITS] {
     for col in columns.iter_mut() {
         col.reserve(group.len());
     }
-    for &value in group {
-        let byte = encoding.encode(value);
+    for chunk in group.chunks(64) {
+        let packed = GroupPlanes::pack(chunk, encoding);
         for (b, col) in columns.iter_mut().enumerate() {
-            col.push(bit(byte, b));
+            let word = packed.plane(b);
+            col.extend((0..chunk.len()).map(|i| (word >> i) & 1 == 1));
         }
     }
     columns
@@ -93,20 +101,21 @@ pub fn bit_columns(group: &[i8], encoding: Encoding) -> [Vec<bool>; WORD_BITS] {
 /// This is exactly the "zero-column index" the BitWave hardware stores next
 /// to the compressed weights (Section III-C / Fig. 4b): bit = 1 means the
 /// column is present in the compressed stream, bit = 0 means it was skipped.
+#[inline]
 pub fn nonzero_column_mask(group: &[i8], encoding: Encoding) -> u8 {
-    let mut mask = 0u8;
-    for &value in group {
-        mask |= encoding.encode(value);
-    }
-    mask
+    group.chunks(64).fold(0u8, |mask, chunk| {
+        mask | GroupPlanes::pack(chunk, encoding).nonzero_column_mask()
+    })
 }
 
 /// Number of zero bit-columns in `group` under `encoding` (0..=8).
+#[inline]
 pub fn zero_column_count(group: &[i8], encoding: Encoding) -> u32 {
     (!nonzero_column_mask(group, encoding)).count_ones()
 }
 
 /// Number of non-zero bit-columns in `group` under `encoding` (0..=8).
+#[inline]
 pub fn nonzero_column_count(group: &[i8], encoding: Encoding) -> u32 {
     nonzero_column_mask(group, encoding).count_ones()
 }
@@ -122,13 +131,7 @@ pub fn nonzero_column_count(group: &[i8], encoding: Encoding) -> u32 {
 pub fn pack_column(group: &[i8], column: usize, encoding: Encoding) -> u64 {
     assert!(group.len() <= 64, "a packed column holds at most 64 bits");
     assert!(column < WORD_BITS, "bit column index out of range");
-    let mut word = 0u64;
-    for (i, &value) in group.iter().enumerate() {
-        if bit(encoding.encode(value), column) {
-            word |= 1u64 << i;
-        }
-    }
-    word
+    GroupPlanes::pack(group, encoding).plane(column)
 }
 
 #[cfg(test)]

@@ -16,6 +16,11 @@
 //! * [`sm`] — sign-magnitude ⇄ two's-complement codecs and bit-plane helpers,
 //!   the representation change at the heart of bit-column sparsity
 //!   (Section III-B of the paper).
+//! * [`bitplane`] — bitplane-packed weight representation
+//!   ([`bitplane::BitplaneTensor`]): one `u64` word = 64 weights' bit-`k`
+//!   column, the hardware's own memory layout (Fig. 10) applied to the
+//!   analysis kernels so sparsity statistics, BCS sizing and Bit-Flip
+//!   screening run on word-parallel `count_ones`/mask ops.
 //! * [`synth`] — synthetic weight/activation generators whose distributions
 //!   are calibrated so that the *sparsity statistics* of the generated
 //!   tensors match the ranges the paper reports (see `DESIGN.md` §2 for the
@@ -48,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitplane;
 pub mod bits;
 pub mod copy_metrics;
 pub mod error;
@@ -67,6 +73,7 @@ pub use tensor::{FloatTensor, QuantTensor};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
+    pub use crate::bitplane::{BitplaneTensor, GroupPlanes};
     pub use crate::bits::{bit, bit_columns, magnitude_bits, MAGNITUDE_BITS, WORD_BITS};
     pub use crate::error::TensorError;
     pub use crate::handle::WeightHandle;
