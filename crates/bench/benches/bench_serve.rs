@@ -1,7 +1,7 @@
 //! Load harness for the `bitwave-serve` evaluation service: N client
 //! threads hammer an in-process server over real sockets.
 //!
-//! Two invariants are **asserted** (not just timed) before the criterion
+//! Four invariants are **asserted** (not just timed) before the criterion
 //! loops, so `cargo bench --bench bench_serve` doubles as the CI gate:
 //!
 //! 1. serving K concurrent evaluations of one model performs **zero**
@@ -9,7 +9,13 @@
 //!    `Arc<NetworkWeights>` store + `WeightHandle` planning path);
 //! 2. cache-hit request throughput is ≥ 10× cold-path request throughput —
 //!    replaying stored bytes must be an order of magnitude cheaper than
-//!    running the pipeline.
+//!    running the pipeline;
+//! 3. the poll-driven loop holds ≥ 10× more open connections than the
+//!    compute-worker pool at a bounded request p99 (the old
+//!    thread-per-connection pool capped connections at the worker count);
+//! 4. cross-request batching: a burst of compatible evaluations achieves
+//!    ≥ 2× the goodput of the same burst in slot-per-request
+//!    (`--no-batching`) mode under the same `max_inflight` budget.
 
 use bitwave_bench::{print_header, write_bench_json};
 use bitwave_serve::client::Client;
@@ -18,8 +24,10 @@ use bitwave_tensor::copy_metrics::CopyCounter;
 use criterion::{criterion_group, criterion_main, Criterion};
 use serde::Serialize;
 use std::hint::black_box;
-use std::sync::Arc;
-use std::time::Instant;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 /// The machine-readable record `bench_serve` writes to the workspace root:
 /// the cold-path `/v1/evaluate` numbers and the cache-hit ratio the 10×
@@ -40,14 +48,29 @@ struct ServeBenchReport {
     client_threads: usize,
     /// Per-request sample cap of the evaluated model.
     sample_cap: usize,
+    /// Open connections held during the p99 gate (parked + active).
+    open_connections: usize,
+    /// `/healthz` p99 with only the active clients connected, milliseconds.
+    p99_baseline_ms: f64,
+    /// `/healthz` p99 with [`Self::open_connections`] open, milliseconds.
+    p99_loaded_ms: f64,
+    /// Goodput of the compatible burst with batching on, requests/second.
+    batched_rps: f64,
+    /// Goodput of the identical burst in slot-per-request mode.
+    unbatched_rps: f64,
+    /// `batched_rps / unbatched_rps`.
+    batched_over_unbatched: f64,
+    /// The gate the batching ratio passed.
+    batched_over_unbatched_gate: f64,
 }
 
 const SAMPLE_CAP: usize = 1_500;
 const CLIENT_THREADS: usize = 4;
+const BENCH_WORKERS: usize = 4;
 
 fn bench_server() -> ServerHandle {
     start(ServeConfig {
-        workers: 4,
+        workers: BENCH_WORKERS,
         ..ServeConfig::default()
     })
     .expect("bench server starts")
@@ -181,10 +204,176 @@ fn assert_hit_throughput_gate(handle: &ServerHandle) -> (f64, f64, f64) {
     (cold_rps, hit_rps, TARGET)
 }
 
+/// Idle keep-alive connections parked on the loop during the p99 gate.
+const PARKED_CONNS: usize = 92;
+/// `/healthz` samples per active client when measuring p99.
+const HEALTH_SAMPLES: usize = 100;
+
+fn percentile_ms(mut samples: Vec<f64>, pct: f64) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let rank = ((samples.len() as f64) * pct).ceil() as usize;
+    samples[rank.saturating_sub(1).min(samples.len() - 1)]
+}
+
+/// p99 of `/healthz` round-trips over [`CLIENT_THREADS`] keep-alive clients.
+fn measure_healthz_p99(addr: std::net::SocketAddr) -> f64 {
+    let threads: Vec<_> = (0..CLIENT_THREADS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                (0..HEALTH_SAMPLES)
+                    .map(|_| {
+                        let t0 = Instant::now();
+                        let response = client.get("/healthz").expect("healthz");
+                        assert_eq!(response.status, 200);
+                        t0.elapsed().as_secs_f64() * 1e3
+                    })
+                    .collect::<Vec<f64>>()
+            })
+        })
+        .collect();
+    let samples: Vec<f64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("latency client"))
+        .collect();
+    percentile_ms(samples, 0.99)
+}
+
+/// Gate 3: with 10× more connections open than the compute-worker pool,
+/// request p99 must stay bounded.  The pre-event-loop server dedicated a
+/// pool thread to each connection, so its concurrency ceiling *was* the
+/// worker count.
+fn assert_connection_scaling_gate(handle: &ServerHandle) -> (usize, f64, f64) {
+    print_header(
+        "serve_connections",
+        "10x worker-count open connections at bounded /healthz p99",
+    );
+    let addr = handle.local_addr();
+    let p99_baseline = measure_healthz_p99(addr);
+
+    let parked: Vec<TcpStream> = (0..PARKED_CONNS)
+        .map(|_| TcpStream::connect(addr).expect("parked connection"))
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    let open = handle
+        .state()
+        .metrics
+        .connections_open
+        .load(Ordering::Relaxed) as usize;
+    let p99_loaded = measure_healthz_p99(addr);
+    let total = PARKED_CONNS + CLIENT_THREADS;
+    println!(
+        "open connections: {open} (gate: >={PARKED_CONNS})   p99 base: {p99_baseline:.3} ms   \
+         p99 @{total} conns: {p99_loaded:.3} ms"
+    );
+    assert!(
+        open >= PARKED_CONNS,
+        "the loop must hold all parked connections open concurrently (open: {open})"
+    );
+    assert!(
+        total >= 10 * BENCH_WORKERS,
+        "gate misconfigured: {total} connections is not 10x the {BENCH_WORKERS}-worker pool"
+    );
+    let bound = (3.0 * p99_baseline).max(5.0);
+    assert!(
+        p99_loaded <= bound,
+        "p99 with {total} open connections ({p99_loaded:.3} ms) exceeds {bound:.3} ms"
+    );
+    drop(parked);
+    (total, p99_baseline, p99_loaded)
+}
+
+/// Accelerators × duplicates making up the compatible burst: six distinct
+/// digests, all sharing one `(model, seed, sample_cap)` weight set.
+const BATCH_ACCELERATORS: [&str; 6] = ["dense", "scnn", "stripes", "pragmatic", "bitlet", "huaa"];
+const BATCH_DUPLICATES: usize = 16;
+/// Heavy enough that in-flight slots stay occupied for the whole burst.
+const BATCH_SAMPLE_CAP: usize = 30_000;
+const BATCH_MAX_INFLIGHT: usize = 8;
+
+/// Fires the compatible burst at a fresh server and returns
+/// `(goodput_rps, served_200, shed_503)`.
+fn burst_goodput(batching: bool) -> (f64, usize, usize) {
+    let handle = start(ServeConfig {
+        workers: BENCH_WORKERS,
+        max_inflight: BATCH_MAX_INFLIGHT,
+        batching,
+        ..ServeConfig::default()
+    })
+    .expect("burst server starts");
+    let addr = handle.local_addr();
+    let total = BATCH_ACCELERATORS.len() * BATCH_DUPLICATES;
+    let barrier = Arc::new(Barrier::new(total + 1));
+    let threads: Vec<_> = (0..total)
+        .map(|i| {
+            let accelerator = BATCH_ACCELERATORS[i / BATCH_DUPLICATES];
+            let body = format!(
+                r#"{{"model":"resnet18","accelerator":"{accelerator}","sample_cap":{BATCH_SAMPLE_CAP},"seed":9}}"#
+            );
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                barrier.wait();
+                client.post_json("/v1/evaluate", &body).expect("evaluate").status
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    let statuses: Vec<u16> = threads
+        .into_iter()
+        .map(|t| t.join().expect("burst client"))
+        .collect();
+    let elapsed = t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    handle.shutdown();
+    let served = statuses.iter().filter(|s| **s == 200).count();
+    let shed = statuses.iter().filter(|s| **s == 503).count();
+    (served as f64 / elapsed, served, shed)
+}
+
+/// Gate 4: the same compatible burst, batched vs slot-per-request, under
+/// one `max_inflight` budget — coalescing must at least double goodput.
+fn assert_batching_goodput_gate() -> (f64, f64, f64) {
+    const TARGET: f64 = 2.0;
+    print_header(
+        "serve_batching",
+        "compatible-burst goodput, batched vs slot-per-request (>=2x gate)",
+    );
+    let total = BATCH_ACCELERATORS.len() * BATCH_DUPLICATES;
+    let (unbatched_rps, unbatched_served, unbatched_shed) = burst_goodput(false);
+    let (batched_rps, batched_served, batched_shed) = burst_goodput(true);
+    let ratio = batched_rps / unbatched_rps.max(f64::MIN_POSITIVE);
+    println!(
+        "batched: {batched_rps:.1} ok/s ({batched_served}/{total} served, {batched_shed} shed)   \
+         unbatched: {unbatched_rps:.1} ok/s ({unbatched_served}/{total} served, {unbatched_shed} shed)   \
+         ratio: {ratio:.1}x (target: >={TARGET}x)"
+    );
+    assert_eq!(
+        batched_served, total,
+        "batching must serve the entire compatible burst without shedding"
+    );
+    assert_eq!(
+        batched_shed, 0,
+        "no compatible request may be shed when batching"
+    );
+    assert!(
+        unbatched_shed > 0,
+        "slot-per-request mode must shed under the same burst, or the gate is vacuous"
+    );
+    assert!(
+        ratio >= TARGET,
+        "batched goodput {batched_rps:.1} ok/s is below {TARGET}x unbatched ({unbatched_rps:.1} ok/s)"
+    );
+    (unbatched_rps, batched_rps, TARGET)
+}
+
 fn bench(c: &mut Criterion) {
     let handle = bench_server();
     let cold_evaluate_ms = assert_zero_copy_concurrent_serving(&handle);
     let (cold_rps, hit_rps, gate) = assert_hit_throughput_gate(&handle);
+    let (open_connections, p99_baseline_ms, p99_loaded_ms) =
+        assert_connection_scaling_gate(&handle);
+    let (unbatched_rps, batched_rps, batched_gate) = assert_batching_goodput_gate();
     write_bench_json(
         "BENCH_serve.json",
         &ServeBenchReport {
@@ -195,6 +384,13 @@ fn bench(c: &mut Criterion) {
             hit_over_cold_gate: gate,
             client_threads: CLIENT_THREADS,
             sample_cap: SAMPLE_CAP,
+            open_connections,
+            p99_baseline_ms,
+            p99_loaded_ms,
+            batched_rps,
+            unbatched_rps,
+            batched_over_unbatched: batched_rps / unbatched_rps.max(f64::MIN_POSITIVE),
+            batched_over_unbatched_gate: batched_gate,
         },
     );
 

@@ -1,0 +1,163 @@
+//! Per-client admission control: a token bucket keyed by peer address.
+//!
+//! Each client address holds up to `rate` tokens (a one-second burst) that
+//! refill continuously at `rate` tokens per second.  A request spends one
+//! token; an empty bucket means the client is over its limit and the event
+//! loop answers `429 Too Many Requests` with a `Retry-After` hint instead
+//! of admitting the request.  Buckets are pruned once they refill, so the
+//! map stays proportional to the set of *currently throttled-or-active*
+//! clients, not every address ever seen.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::time::Instant;
+
+/// How many buckets may accumulate before a prune pass runs.
+const PRUNE_THRESHOLD: usize = 1024;
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refreshed: Instant,
+}
+
+/// Token-bucket rate limiter keyed by client IP.
+#[derive(Debug)]
+pub(crate) struct RateLimiter {
+    /// Tokens per second, also the burst capacity.
+    rate: f64,
+    buckets: HashMap<IpAddr, Bucket>,
+}
+
+impl RateLimiter {
+    /// `rate` requests per second per client; a zero rate admits nothing.
+    pub(crate) fn new(rate: u32) -> Self {
+        Self {
+            rate: f64::from(rate),
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Spends one token for `ip` at time `now`; `false` means throttled.
+    pub(crate) fn allow(&mut self, ip: IpAddr, now: Instant) -> bool {
+        if self.rate <= 0.0 {
+            return false;
+        }
+        if self.buckets.len() >= PRUNE_THRESHOLD {
+            self.prune(now);
+        }
+        let bucket = self.buckets.entry(ip).or_insert(Bucket {
+            tokens: self.rate,
+            refreshed: now,
+        });
+        let elapsed = now
+            .saturating_duration_since(bucket.refreshed)
+            .as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.rate).min(self.rate);
+        bucket.refreshed = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Seconds until `ip` has a token again, rounded up for `Retry-After`.
+    pub(crate) fn retry_after_secs(&self, ip: IpAddr, now: Instant) -> u64 {
+        if self.rate <= 0.0 {
+            return 1;
+        }
+        let Some(bucket) = self.buckets.get(&ip) else {
+            return 1;
+        };
+        let elapsed = now
+            .saturating_duration_since(bucket.refreshed)
+            .as_secs_f64();
+        let tokens = (bucket.tokens + elapsed * self.rate).min(self.rate);
+        if tokens >= 1.0 {
+            return 1;
+        }
+        ((1.0 - tokens) / self.rate).ceil().max(1.0) as u64
+    }
+
+    fn prune(&mut self, now: Instant) {
+        let rate = self.rate;
+        self.buckets.retain(|_, bucket| {
+            let elapsed = now
+                .saturating_duration_since(bucket.refreshed)
+                .as_secs_f64();
+            bucket.tokens + elapsed * rate < rate
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use std::time::Duration;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, last))
+    }
+
+    #[test]
+    fn burst_up_to_rate_then_throttles() {
+        let mut rl = RateLimiter::new(3);
+        let now = Instant::now();
+        assert!(rl.allow(ip(1), now));
+        assert!(rl.allow(ip(1), now));
+        assert!(rl.allow(ip(1), now));
+        assert!(!rl.allow(ip(1), now), "fourth request in the burst window");
+        assert!(rl.retry_after_secs(ip(1), now) >= 1);
+    }
+
+    #[test]
+    fn tokens_refill_continuously() {
+        let mut rl = RateLimiter::new(2);
+        let t0 = Instant::now();
+        assert!(rl.allow(ip(1), t0));
+        assert!(rl.allow(ip(1), t0));
+        assert!(!rl.allow(ip(1), t0));
+        // 2 tokens/s: half a second buys one token back.
+        assert!(rl.allow(ip(1), t0 + Duration::from_millis(600)));
+        assert!(!rl.allow(ip(1), t0 + Duration::from_millis(600)));
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let mut rl = RateLimiter::new(1);
+        let now = Instant::now();
+        assert!(rl.allow(ip(1), now));
+        assert!(!rl.allow(ip(1), now));
+        assert!(
+            rl.allow(ip(2), now),
+            "a noisy neighbour must not starve others"
+        );
+    }
+
+    #[test]
+    fn zero_rate_admits_nothing() {
+        let mut rl = RateLimiter::new(0);
+        let now = Instant::now();
+        assert!(!rl.allow(ip(1), now));
+        assert_eq!(rl.retry_after_secs(ip(1), now), 1);
+    }
+
+    #[test]
+    fn full_buckets_are_pruned() {
+        let mut rl = RateLimiter::new(4);
+        let t0 = Instant::now();
+        for i in 0..=255u8 {
+            for hi in 0..4u8 {
+                let addr = IpAddr::V4(Ipv4Addr::new(10, 9, hi, i));
+                rl.allow(addr, t0);
+            }
+        }
+        assert_eq!(rl.buckets.len(), 1024);
+        // Everyone refilled by +2s; the next insert prunes them all first.
+        assert!(rl.allow(ip(7), t0 + Duration::from_secs(2)));
+        assert!(rl.buckets.len() < 8);
+    }
+}

@@ -13,7 +13,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: serve [--addr HOST:PORT] [--workers N] \
                      [--queue-capacity N] [--cache-capacity N] [--store-capacity N] \
-                     [--store-root DIR]\n\
+                     [--store-root DIR] [--max-inflight N] [--rate-limit N] \
+                     [--no-batching]\n\
                      \n\
                      Serves the BitWave evaluation API (see crates/serve).  \
                      --addr defaults to 127.0.0.1:0 (ephemeral port; the bound \
@@ -21,7 +22,13 @@ const USAGE: &str = "usage: serve [--addr HOST:PORT] [--workers N] \
                      (or the BITWAVE_STORE_ROOT environment variable) enables the \
                      persistent tiered cache: evaluate/search responses and DSE \
                      layer searches survive restarts under DIR and replay \
-                     byte-identically with X-Bitwave-Cache: disk.";
+                     byte-identically with X-Bitwave-Cache: disk.  \
+                     --queue-capacity caps open connections (overflow → 503), \
+                     --max-inflight caps dispatched computations (excess → 503 + \
+                     Retry-After), --rate-limit sets a per-client token-bucket \
+                     budget in compute requests/second (over-budget → 429 + \
+                     Retry-After; off by default), and --no-batching disables \
+                     cross-request batching of compatible in-flight requests.";
 
 fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
     let mut config = ServeConfig::default();
@@ -36,6 +43,11 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
         let flag = args[i].as_str();
         if flag == "--help" || flag == "-h" {
             return Err(USAGE.to_string());
+        }
+        if flag == "--no-batching" {
+            config.batching = false;
+            i += 1;
+            continue;
         }
         let value = args
             .get(i + 1)
@@ -52,6 +64,13 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
             "--cache-capacity" => config.cache_capacity = parse_usize()?.max(1),
             "--store-capacity" => config.store_capacity = parse_usize()?.max(1),
             "--store-root" => config.store_root = Some(value.clone()),
+            "--max-inflight" => config.max_inflight = parse_usize()?.max(1),
+            "--rate-limit" => {
+                let rate = value
+                    .parse::<u32>()
+                    .map_err(|_| format!("{flag} expects a positive integer, got `{value}`"))?;
+                config.rate_limit = Some(rate.max(1));
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
         i += 2;

@@ -124,6 +124,23 @@ impl ReportCache {
             .or_else(|| self.search.get(digest))
     }
 
+    /// Non-blocking counted lookup — the event-loop fast path.  Answers from
+    /// the memory tier (counting a hit) or the disk tier (counting a disk
+    /// hit and promoting); returns `None` on a miss **or** while the digest
+    /// is pending, without ever blocking on an in-flight computation.
+    pub fn probe(&self, op: CacheOp, digest: Digest) -> Option<(Arc<String>, CacheOutcome)> {
+        self.store(op).probe(digest)
+    }
+
+    /// Non-blocking, uncounted [`ReportCache::replay`]: consults both ops'
+    /// tiers but reports a pending digest as absent instead of waiting for
+    /// its computation — `GET /v1/reports/{digest}` inside the event loop.
+    pub fn try_replay(&self, digest: Digest) -> Option<(Arc<String>, CacheOutcome)> {
+        self.evaluate
+            .try_get(digest)
+            .or_else(|| self.search.try_get(digest))
+    }
+
     /// Looks `digest` up in `op`'s store; on a full miss, runs `compute`
     /// (outside the cache locks) and stores its result in memory and — when
     /// persistent — on disk.  Concurrent calls for the same digest are

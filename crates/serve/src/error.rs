@@ -22,6 +22,8 @@ pub enum ServeError {
     ),
     /// Job queue full → 503.
     Overloaded,
+    /// Per-client rate limit exceeded → 429.
+    RateLimited,
 }
 
 impl ServeError {
@@ -32,6 +34,7 @@ impl ServeError {
             ServeError::NotFound(_) => 404,
             ServeError::Internal(_) => 500,
             ServeError::Overloaded => 503,
+            ServeError::RateLimited => 429,
         }
     }
 }
@@ -44,6 +47,9 @@ impl fmt::Display for ServeError {
             ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
             ServeError::Overloaded => {
                 write!(f, "job queue full; retry with backoff")
+            }
+            ServeError::RateLimited => {
+                write!(f, "per-client rate limit exceeded; slow down")
             }
         }
     }
@@ -72,6 +78,8 @@ mod tests {
         assert_eq!(ServeError::Internal("x".into()).status(), 500);
         assert_eq!(ServeError::Overloaded.status(), 503);
         assert!(ServeError::Overloaded.to_string().contains("queue"));
+        assert_eq!(ServeError::RateLimited.status(), 429);
+        assert!(ServeError::RateLimited.to_string().contains("rate limit"));
         let e: ServeError = bitwave::BitwaveError::EmptyModel {
             network: "X".to_string(),
         }

@@ -1,14 +1,30 @@
-//! Minimal HTTP/1.1 message framing over [`std::net::TcpStream`].
+//! Minimal HTTP/1.x message framing.
 //!
 //! The build environment is offline, so the service speaks HTTP through a
 //! small vendored-shim-style implementation instead of a framework: request
 //! parsing (request line, headers, `Content-Length` body), response writing,
-//! and persistent connections (HTTP/1.1 keep-alive, honoured unless either
-//! side sends `Connection: close`).  Only what the service and its clients
-//! need is implemented — no chunked transfer encoding, no trailers, no
+//! and persistent connections.  Only what the service and its clients need
+//! is implemented — no chunked transfer encoding, no trailers, no
 //! `Expect: 100-continue`.
+//!
+//! Two parsers share one set of framing rules:
+//!
+//! * [`parse_request`] — the **incremental** parser the event loop feeds
+//!   from a per-connection read buffer.  It is stateless: each call rescans
+//!   the buffer and either returns a complete request plus the byte count
+//!   it consumed, or [`ParseStatus::Partial`] meaning "read more".
+//! * [`read_request`] — the **blocking** parser retained for the keep-alive
+//!   [`crate::client`] and as the equivalence oracle for the incremental
+//!   parser's proptest.
+//!
+//! Close semantics follow RFC 7230 §6.3: HTTP/1.1 defaults to keep-alive
+//! unless a `Connection` header lists `close`; HTTP/1.0 defaults to close
+//! unless one lists `keep-alive` — and `close` always wins, even in a
+//! combined `keep-alive, close` token list.  Conflicting duplicate
+//! `Content-Length` headers are rejected outright (the classic
+//! request-smuggling desync shape); identical duplicates are tolerated.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, Read, Write};
 use std::net::TcpStream;
 
 /// Upper bound on the request head (request line + headers) in bytes.
@@ -16,6 +32,18 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// Upper bound on a request body in bytes.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// The HTTP/1.x protocol version of a request — it decides the keep-alive
+/// default (1.1: keep open; 1.0: close).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0`: connections close after the response unless the client
+    /// sent `Connection: keep-alive`.
+    Http10,
+    /// `HTTP/1.1` (and any other `HTTP/1.x`): connections persist unless
+    /// either side sends `Connection: close`.
+    Http11,
+}
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -26,6 +54,8 @@ pub struct Request {
     pub path: String,
     /// Query string after `?`, if any (not URL-decoded).
     pub query: Option<String>,
+    /// Protocol version from the request line.
+    pub version: Version,
     /// Header `(name, value)` pairs; names are lowercased.
     pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length` was sent).
@@ -49,17 +79,69 @@ pub fn parse_header(trimmed: &str) -> Option<(String, String)> {
     Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
 }
 
+/// The body length declared by `Content-Length`, across *all* such headers.
+/// Mismatched duplicates are a request-smuggling/desync shape and are
+/// rejected; identical duplicates (including comma-joined repeats of one
+/// value) are tolerated per RFC 7230 §3.3.2.
+///
+/// # Errors
+///
+/// [`HttpError::BadRequest`] on an unparsable value or conflicting
+/// duplicates.
+pub fn content_length_of(headers: &[(String, String)]) -> Result<usize, HttpError> {
+    let mut declared: Option<usize> = None;
+    for (name, value) in headers {
+        if name != "content-length" {
+            continue;
+        }
+        for token in value.split(',') {
+            let token = token.trim();
+            let n = token
+                .parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length `{token}`")))?;
+            match declared {
+                Some(prev) if prev != n => {
+                    return Err(HttpError::BadRequest(format!(
+                        "conflicting content-length headers ({prev} vs {n})"
+                    )));
+                }
+                _ => declared = Some(n),
+            }
+        }
+    }
+    Ok(declared.unwrap_or(0))
+}
+
 impl Request {
     /// First value of a header, by lowercase name.
     pub fn header(&self, name: &str) -> Option<&str> {
         find_header(&self.headers, name)
     }
 
-    /// True when the client asked to close the connection after this
-    /// request.
+    /// True when the connection must close after this request.  `Connection`
+    /// headers are parsed as comma-separated token lists and `close` wins
+    /// over `keep-alive`; absent a decisive token, HTTP/1.1 keeps the
+    /// connection open and HTTP/1.0 closes it.
     pub fn wants_close(&self) -> bool {
-        self.header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        let mut keep_alive = false;
+        for (name, value) in &self.headers {
+            if name != "connection" {
+                continue;
+            }
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    return true;
+                }
+                if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
+        match self.version {
+            Version::Http11 => false,
+            Version::Http10 => !keep_alive,
+        }
     }
 }
 
@@ -95,37 +177,8 @@ impl From<io::Error> for HttpError {
     }
 }
 
-/// Reads one head line, charging its bytes against `budget`.  The read is
-/// bounded *while it happens* (`Read::take`), so a malicious endless line
-/// with no newline cannot buffer unbounded memory — it errors as soon as the
-/// budget is exhausted.  Returns an empty string on EOF.
-fn read_head_line(
-    reader: &mut BufReader<TcpStream>,
-    budget: &mut usize,
-) -> Result<String, HttpError> {
-    let mut line = String::new();
-    let mut limited = Read::take(Read::by_ref(reader), (*budget as u64) + 1);
-    let n = limited.read_line(&mut line)?;
-    if n > *budget {
-        return Err(HttpError::BadRequest("request head too large".to_string()));
-    }
-    *budget -= n;
-    Ok(line)
-}
-
-/// Reads one request from a buffered stream.
-///
-/// # Errors
-///
-/// [`HttpError::ConnectionClosed`] on clean EOF before the request line,
-/// [`HttpError::BadRequest`]/[`HttpError::PayloadTooLarge`] on malformed
-/// input, [`HttpError::Io`] on socket failure.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
-    let mut head_budget = MAX_HEAD_BYTES;
-    let line = read_head_line(reader, &mut head_budget)?;
-    if line.is_empty() {
-        return Err(HttpError::ConnectionClosed);
-    }
+/// Parses `METHOD target HTTP/1.x` into its parts.
+fn parse_request_line(line: &str) -> Result<(String, String, Version), HttpError> {
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -143,6 +196,84 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpEr
             "unsupported version `{version}`"
         )));
     }
+    let version = if version == "HTTP/1.0" {
+        Version::Http10
+    } else {
+        Version::Http11
+    };
+    Ok((method, target, version))
+}
+
+/// Assembles the final [`Request`] once framing is settled — shared by both
+/// parsers so target splitting cannot drift.
+fn build_request(
+    method: String,
+    target: String,
+    version: Version,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+) -> Request {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target, None),
+    };
+    Request {
+        method,
+        path,
+        query,
+        version,
+        headers,
+        body,
+    }
+}
+
+/// Validates headers that affect body framing and returns the declared
+/// body length.
+fn framed_body_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
+    // Only Content-Length framing is supported; a chunked body we cannot
+    // frame would desync the keep-alive stream into phantom requests, so it
+    // must be rejected (the 400 path closes the connection).
+    if find_header(headers, "transfer-encoding").is_some() {
+        return Err(HttpError::BadRequest(
+            "transfer-encoding is not supported; send a content-length body".to_string(),
+        ));
+    }
+    let content_length = content_length_of(headers)?;
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::PayloadTooLarge);
+    }
+    Ok(content_length)
+}
+
+/// Reads one head line, charging its bytes against `budget`.  The read is
+/// bounded *while it happens* (`Read::take`), so a malicious endless line
+/// with no newline cannot buffer unbounded memory — it errors as soon as the
+/// budget is exhausted.  Returns an empty string on EOF.
+fn read_head_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<String, HttpError> {
+    let mut line = String::new();
+    let mut limited = Read::take(Read::by_ref(reader), (*budget as u64) + 1);
+    let n = limited.read_line(&mut line)?;
+    if n > *budget {
+        return Err(HttpError::BadRequest("request head too large".to_string()));
+    }
+    *budget -= n;
+    Ok(line)
+}
+
+/// Reads one request from a buffered stream, blocking until it is complete.
+///
+/// # Errors
+///
+/// [`HttpError::ConnectionClosed`] on clean EOF before the request line,
+/// [`HttpError::BadRequest`]/[`HttpError::PayloadTooLarge`] on malformed
+/// input, [`HttpError::Io`] on socket failure.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    let mut head_budget = MAX_HEAD_BYTES;
+    let line = read_head_line(reader, &mut head_budget)?;
+    if line.is_empty() {
+        return Err(HttpError::ConnectionClosed);
+    }
+    let (method, target, version) = parse_request_line(&line)?;
 
     let mut headers = Vec::new();
     loop {
@@ -164,37 +295,97 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpEr
         headers.push(header);
     }
 
-    // Only Content-Length framing is supported; a chunked body we cannot
-    // frame would desync the keep-alive stream into phantom requests, so it
-    // must be rejected (the 400 path closes the connection).
-    if find_header(&headers, "transfer-encoding").is_some() {
-        return Err(HttpError::BadRequest(
-            "transfer-encoding is not supported; send a content-length body".to_string(),
-        ));
-    }
-    let content_length = find_header(&headers, "content-length")
-        .map(|v| {
-            v.parse::<usize>()
-                .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))
-        })
-        .transpose()?
-        .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(HttpError::PayloadTooLarge);
-    }
+    let content_length = framed_body_length(&headers)?;
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
 
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), Some(q.to_string())),
-        None => (target, None),
+    Ok(build_request(method, target, version, headers, body))
+}
+
+/// What [`parse_request`] found in the buffer.
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// A complete request; the first `consumed` buffer bytes belong to it
+    /// (drain them before re-parsing — pipelined requests may follow).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request occupied (head + body).
+        consumed: usize,
+    },
+    /// The buffer holds only a prefix of a request; read more bytes.
+    Partial,
+}
+
+/// Incremental, stateless request parser over a connection's read buffer.
+/// Rescans `buf` from the start on every call: returns
+/// [`ParseStatus::Partial`] until a full head (terminated by a blank line)
+/// and its declared body have arrived, then the parsed request plus the
+/// byte count to drain.  Framing rules are identical to [`read_request`]
+/// (pinned by a proptest).
+///
+/// # Errors
+///
+/// [`HttpError::BadRequest`] on malformed input or a head exceeding
+/// [`MAX_HEAD_BYTES`]; [`HttpError::PayloadTooLarge`] on an oversized
+/// declared body.
+pub fn parse_request(buf: &[u8]) -> Result<ParseStatus, HttpError> {
+    // Locate the end of the head: the first empty line.  Lines end at `\n`
+    // with an optional `\r` before it, matching the blocking parser's
+    // `read_line` + trim behaviour.
+    let mut lines: Vec<&[u8]> = Vec::new();
+    let mut cursor = 0;
+    let mut head_end = None;
+    while let Some(nl) = buf[cursor..].iter().position(|&b| b == b'\n') {
+        let mut line = &buf[cursor..cursor + nl];
+        if let [head @ .., b'\r'] = line {
+            line = head;
+        }
+        cursor += nl + 1;
+        if line.is_empty() {
+            head_end = Some(cursor);
+            break;
+        }
+        lines.push(line);
+        if cursor > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest("request head too large".to_string()));
+        }
+    }
+    let Some(head_end) = head_end else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest("request head too large".to_string()));
+        }
+        return Ok(ParseStatus::Partial);
     };
-    Ok(Request {
-        method,
-        path,
-        query,
-        headers,
-        body,
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::BadRequest("request head too large".to_string()));
+    }
+
+    let mut lines = lines.into_iter().map(|line| {
+        std::str::from_utf8(line)
+            .map_err(|_| HttpError::BadRequest("non-UTF-8 request head".to_string()))
+    });
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing method".to_string()))??;
+    let (method, target, version) = parse_request_line(request_line)?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let line = line?;
+        let Some(header) = parse_header(line) else {
+            return Err(HttpError::BadRequest(format!("malformed header `{line}`")));
+        };
+        headers.push(header);
+    }
+
+    let content_length = framed_body_length(&headers)?;
+    if buf.len() - head_end < content_length {
+        return Ok(ParseStatus::Partial);
+    }
+    let body = buf[head_end..head_end + content_length].to_vec();
+    Ok(ParseStatus::Complete {
+        request: build_request(method, target, version, headers, body),
+        consumed: head_end + content_length,
     })
 }
 
@@ -255,19 +446,19 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
 
-    /// Writes the response; `close` controls the `Connection` header.
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket write errors.
-    pub fn write_to(&self, stream: &mut TcpStream, close: bool) -> io::Result<()> {
+    /// The full wire form (status line, headers, body) as one byte vector —
+    /// what the event loop appends to a connection's write buffer.  `close`
+    /// controls the `Connection` header.
+    pub fn serialize(&self, close: bool) -> Vec<u8> {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
@@ -283,11 +474,20 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        // One write for head + body: a split write interacts with Nagle's
+        // One buffer for head + body: a split write interacts with Nagle's
         // algorithm + delayed ACK to add ~40 ms per response.
         let mut message = head.into_bytes();
         message.extend_from_slice(&self.body);
-        stream.write_all(&message)?;
+        message
+    }
+
+    /// Writes the response; `close` controls the `Connection` header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to(&self, stream: &mut TcpStream, close: bool) -> io::Result<()> {
+        stream.write_all(&self.serialize(close))?;
         stream.flush()
     }
 }
@@ -295,30 +495,33 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::{TcpListener, TcpStream};
+    use std::io::{BufReader, Cursor};
 
     fn roundtrip(raw: &str) -> Result<Request, HttpError> {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let mut client = TcpStream::connect(addr).unwrap();
-        client.write_all(raw.as_bytes()).unwrap();
-        client.shutdown(std::net::Shutdown::Write).unwrap();
-        let (server_side, _) = listener.accept().unwrap();
-        read_request(&mut BufReader::new(server_side))
+        read_request(&mut BufReader::new(Cursor::new(raw.as_bytes().to_vec())))
+    }
+
+    fn parse_complete(raw: &str) -> Result<(Request, usize), HttpError> {
+        match parse_request(raw.as_bytes())? {
+            ParseStatus::Complete { request, consumed } => Ok((request, consumed)),
+            ParseStatus::Partial => panic!("expected a complete request: {raw:?}"),
+        }
     }
 
     #[test]
     fn parses_a_post_with_body_and_query() {
-        let req = roundtrip(
-            "POST /v1/evaluate?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}",
-        )
-        .unwrap();
+        let raw = "POST /v1/evaluate?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}";
+        let req = roundtrip(raw).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/evaluate");
         assert_eq!(req.query.as_deref(), Some("verbose=1"));
+        assert_eq!(req.version, Version::Http11);
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, b"{}");
         assert!(!req.wants_close());
+        let (incr, consumed) = parse_complete(raw).unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(incr.body, b"{}");
     }
 
     #[test]
@@ -326,6 +529,51 @@ mod tests {
         let req = roundtrip("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
         assert!(req.wants_close());
         assert_eq!(req.query, None);
+    }
+
+    #[test]
+    fn connection_token_lists_let_close_win() {
+        // `keep-alive, close` must read as close — the old substring
+        // comparison misread the whole list as keep-alive.
+        let req = roundtrip("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").unwrap();
+        assert!(req.wants_close(), "close wins in a token list");
+        let req = roundtrip("GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close_unless_keep_alive() {
+        // An HTTP/1.0 client without `Connection: keep-alive` expects the
+        // response to be terminated by EOF; keeping the socket open hangs
+        // it until the idle timeout.
+        let req = roundtrip("GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req.version, Version::Http10);
+        assert!(req.wants_close(), "HTTP/1.0 defaults to close");
+        let req = roundtrip("GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!req.wants_close(), "explicit keep-alive persists 1.0");
+        let req =
+            roundtrip("GET /healthz HTTP/1.0\r\nConnection: keep-alive, close\r\n\r\n").unwrap();
+        assert!(req.wants_close(), "close still wins on 1.0");
+    }
+
+    #[test]
+    fn conflicting_content_length_headers_are_rejected() {
+        // Two mismatched Content-Length headers are the classic
+        // request-smuggling desync; the old parser silently took the first.
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\n{}123";
+        assert!(matches!(roundtrip(raw), Err(HttpError::BadRequest(_))));
+        assert!(matches!(
+            parse_request(raw.as_bytes()),
+            Err(HttpError::BadRequest(_))
+        ));
+        // A comma-joined conflicting pair is equally rejected.
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 2, 5\r\n\r\n{}123";
+        assert!(matches!(roundtrip(raw), Err(HttpError::BadRequest(_))));
+        // Identical duplicates are tolerated (RFC 7230 §3.3.2).
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}";
+        assert_eq!(roundtrip(raw).unwrap().body, b"{}");
+        let (req, _) = parse_complete(raw).unwrap();
+        assert_eq!(req.body, b"{}");
     }
 
     #[test]
@@ -357,12 +605,27 @@ mod tests {
         // head budget — not buffer until the peer stops sending.
         let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
         assert!(matches!(roundtrip(&raw), Err(HttpError::BadRequest(_))));
+        assert!(matches!(
+            parse_request(raw.as_bytes()),
+            Err(HttpError::BadRequest(_))
+        ));
         // Same for a single endless header line.
         let raw = format!(
             "GET / HTTP/1.1\r\nx-junk: {}\r\n\r\n",
             "b".repeat(MAX_HEAD_BYTES)
         );
         assert!(matches!(roundtrip(&raw), Err(HttpError::BadRequest(_))));
+        assert!(matches!(
+            parse_request(raw.as_bytes()),
+            Err(HttpError::BadRequest(_))
+        ));
+        // And an unterminated head must error once past the budget even
+        // with no newline at all in the buffer.
+        let endless = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(
+            parse_request(&endless),
+            Err(HttpError::BadRequest(_))
+        ));
     }
 
     #[test]
@@ -372,6 +635,42 @@ mod tests {
             MAX_BODY_BYTES + 1
         );
         assert!(matches!(roundtrip(&raw), Err(HttpError::PayloadTooLarge)));
+        assert!(matches!(
+            parse_request(raw.as_bytes()),
+            Err(HttpError::PayloadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn incremental_parser_reports_partial_until_complete() {
+        let raw = b"POST /v1/evaluate HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(parse_request(&raw[..cut]), Ok(ParseStatus::Partial)),
+                "prefix of {cut} bytes must be partial"
+            );
+        }
+        let (req, consumed) = parse_complete(std::str::from_utf8(raw).unwrap()).unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn incremental_parser_consumes_only_the_first_pipelined_request() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let ParseStatus::Complete { request, consumed } = parse_request(raw).unwrap() else {
+            panic!("first request is complete");
+        };
+        assert_eq!(request.path, "/a");
+        let ParseStatus::Complete {
+            request,
+            consumed: rest,
+        } = parse_request(&raw[consumed..]).unwrap()
+        else {
+            panic!("second request is complete");
+        };
+        assert_eq!(request.path, "/b");
+        assert_eq!(consumed + rest, raw.len());
     }
 
     #[test]
@@ -386,5 +685,27 @@ mod tests {
             body.contains("\\\"quote\\\""),
             "quotes must be escaped: {body}"
         );
+    }
+
+    #[test]
+    fn reason_covers_admission_control_statuses() {
+        assert_eq!(
+            Response::error(429, "slow down").reason(),
+            "Too Many Requests"
+        );
+        assert_eq!(Response::error(408, "too slow").reason(), "Request Timeout");
+        assert_eq!(Response::error(503, "full").reason(), "Service Unavailable");
+    }
+
+    #[test]
+    fn serialize_matches_write_to_framing() {
+        let r = Response::json(200, "{\"ok\":true}").with_header("x-bitwave-batch", "3");
+        let wire = String::from_utf8(r.serialize(false)).unwrap();
+        assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(wire.contains("connection: keep-alive\r\n"));
+        assert!(wire.contains("x-bitwave-batch: 3\r\n"));
+        assert!(wire.ends_with("\r\n\r\n{\"ok\":true}"));
+        let closed = String::from_utf8(r.serialize(true)).unwrap();
+        assert!(closed.contains("connection: close\r\n"));
     }
 }

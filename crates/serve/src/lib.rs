@@ -14,21 +14,26 @@
 //! ## Architecture
 //!
 //! ```text
-//!             TcpListener (acceptor thread)
-//!                  │  bounded job queue (overflow → 503)
-//!        ┌─────────┼─────────┐
-//!   worker 0   worker 1 …  worker N-1        (keep-alive connections)
-//!        │         │         │
-//!        ▼         ▼         ▼
-//!   route() ── POST /v1/evaluate ─▶ digest(EvaluationKey)
-//!                  │                    │
-//!                  │          ReportCache (single-flight LRU)
-//!                  │   hit ◀── replay stored bytes (byte-identical)
-//!                  │  miss ──▶ ModelStore (shared Arc<NetworkWeights>)
-//!                  │               │ zero tensor deep copies
-//!                  │               ▼
-//!                  │        Pipeline::run_model_weights_parallel
-//!                  └──▶ response: {digest, key, report} + X-Bitwave-Cache
+//!   TcpListener ──▶ serve-loop thread (epoll/poll readiness, non-blocking)
+//!     conn cap → 503   │  per-conn read/parse/write buffers + deadlines
+//!                      │  (idle 5 s · partial request 10 s → 408 · write 5 s)
+//!                      ├─ cheap endpoints + cache hits answered inline
+//!                      ├─ rate limit (token bucket per peer IP) → 429
+//!                      ├─ max-inflight cap → 503 + Retry-After
+//!                      ▼
+//!            Dispatcher (cross-request batching)
+//!     identical digest → rider (free)   same (model,seed,cap) → gathered
+//!                      │ job queue
+//!        ┌─────────────┼─────────────┐
+//!   worker 0      worker 1 …    worker N-1      (pipeline compute only)
+//!        │             │             │
+//!        ▼             ▼             ▼
+//!   ReportCache (single-flight LRU) ─ miss ─▶ ModelStore (Arc weights)
+//!        │                                        │ zero tensor deep copies
+//!        │                                        ▼
+//!        │                         Pipeline::run_model_weights_parallel
+//!        └─▶ completion ─▶ loop fans out to every waiter:
+//!            {digest, key, report} + X-Bitwave-Cache + X-Bitwave-Batch
 //! ```
 //!
 //! ## Endpoints
@@ -82,15 +87,19 @@
 //! handle.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 pub mod api;
+mod batch;
 pub mod cache;
 pub mod client;
 pub mod error;
+mod event_loop;
 pub mod http;
 pub mod metrics;
+pub mod poller;
 pub mod server;
 pub mod store;
 

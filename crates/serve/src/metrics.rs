@@ -34,6 +34,24 @@ pub struct ServiceMetrics {
     pub report_replays: AtomicU64,
     /// Cold dataflow searches executed (`POST /v1/search` misses).
     pub searches: AtomicU64,
+    /// Compute requests shed with 503 because `max_inflight` digests were
+    /// already dispatched.
+    pub sheds: AtomicU64,
+    /// Requests answered 429 by the per-client token-bucket rate limiter.
+    pub rate_limited: AtomicU64,
+    /// Jobs pushed to the compute queue (initial dispatches + gathered
+    /// follow-ups).
+    pub batch_dispatches: AtomicU64,
+    /// Requests that rode an in-flight identical dispatch instead of paying
+    /// for their own (the cross-request batching win).
+    pub batch_coalesced: AtomicU64,
+    /// Requests answered through a dispatch fan-out (triggers + riders).
+    pub batch_requests: AtomicU64,
+    /// Currently open client connections (event-loop gauge).
+    pub connections_open: AtomicU64,
+    /// Distinct digests currently dispatched or gathering (event-loop
+    /// gauge).
+    pub inflight_depth: AtomicU64,
 }
 
 /// Per-tier gauges and per-op counters of one store op, snapshotted for
@@ -91,6 +109,31 @@ impl ServiceMetrics {
             "Cold dataflow design-space searches executed.",
             self.searches.load(Ordering::Relaxed),
         );
+        counter(
+            "bitwave_serve_sheds_total",
+            "Compute requests shed with 503 at the max-inflight cap.",
+            self.sheds.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_serve_rate_limited_total",
+            "Requests answered 429 by the per-client rate limiter.",
+            self.rate_limited.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_serve_batch_dispatches_total",
+            "Jobs dispatched to the compute queue.",
+            self.batch_dispatches.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_serve_batch_coalesced_total",
+            "Requests that rode an in-flight identical dispatch.",
+            self.batch_coalesced.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_serve_batch_requests_total",
+            "Requests answered through dispatch fan-outs.",
+            self.batch_requests.load(Ordering::Relaxed),
+        );
 
         // Aggregate cache families (evaluate + search), for continuity with
         // pre-store dashboards.  A memory hit and a disk hit both replayed
@@ -133,6 +176,18 @@ impl ServiceMetrics {
              # TYPE bitwave_serve_cache_entries gauge\n\
              bitwave_serve_cache_entries {}\n",
             cache.len()
+        ));
+        out.push_str(&format!(
+            "# HELP bitwave_serve_connections_open Currently open client connections.\n\
+             # TYPE bitwave_serve_connections_open gauge\n\
+             bitwave_serve_connections_open {}\n",
+            self.connections_open.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "# HELP bitwave_serve_inflight_depth Distinct digests dispatched or gathering.\n\
+             # TYPE bitwave_serve_inflight_depth gauge\n\
+             bitwave_serve_inflight_depth {}\n",
+            self.inflight_depth.load(Ordering::Relaxed)
         ));
 
         // Per-op, per-tier store families.
@@ -280,6 +335,13 @@ mod tests {
             "bitwave_serve_queue_rejections_total 0",
             "bitwave_serve_report_replays_total 0",
             "bitwave_serve_searches_total 0",
+            "bitwave_serve_sheds_total 0",
+            "bitwave_serve_rate_limited_total 0",
+            "bitwave_serve_batch_dispatches_total 0",
+            "bitwave_serve_batch_coalesced_total 0",
+            "bitwave_serve_batch_requests_total 0",
+            "bitwave_serve_connections_open 0",
+            "bitwave_serve_inflight_depth 0",
             "bitwave_serve_cache_hits_total 0",
             "bitwave_serve_cache_misses_total 1",
             "bitwave_serve_cache_coalesced_total 0",
@@ -302,6 +364,8 @@ mod tests {
             assert!(text.contains(family), "missing `{family}` in:\n{text}");
         }
         assert!(text.contains("# TYPE bitwave_serve_cache_entries gauge"));
+        assert!(text.contains("# TYPE bitwave_serve_connections_open gauge"));
+        assert!(text.contains("# TYPE bitwave_serve_inflight_depth gauge"));
         assert!(text.contains("# TYPE bitwave_store_mem_bytes gauge"));
         assert!(text.contains("# TYPE bitwave_store_hits_total counter"));
     }

@@ -1,0 +1,631 @@
+//! Dependency-free readiness polling for the event loop.
+//!
+//! Two interchangeable backends behind one [`Poller`] API:
+//!
+//! * **epoll** (Linux, the default there): one `epoll_create1` instance;
+//!   `register`/`modify`/`deregister` map to `EPOLL_CTL_{ADD,MOD,DEL}` and
+//!   `wait` to `epoll_wait`.  O(ready) per wake-up.
+//! * **poll(2)** (POSIX fallback, also selectable on Linux so both backends
+//!   stay tested): registrations live in a `Vec` and `wait` rebuilds the
+//!   `pollfd` array each call.  O(registered) per wake-up — fine for the
+//!   fallback.
+//!
+//! The raw syscall declarations live in the `sys` module, the only place in
+//! the crate allowed to use `unsafe` (the crate denies it everywhere else).
+//! File descriptors are borrowed as [`RawFd`]s; callers keep ownership and
+//! must deregister (or close) before dropping the resource.
+//!
+//! [`Waker`] is the cross-thread wake-up primitive: a nonblocking
+//! `UnixStream` pair whose read end is registered like any socket.  Workers
+//! call [`Waker::wake`] after publishing completions; the loop drains the
+//! stream on readiness.
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Which readiness directions a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake on readable (or peer hang-up).
+    pub read: bool,
+    /// Wake on writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Self = Self {
+        read: true,
+        write: false,
+    };
+
+    /// Read + write interest.
+    pub const READ_WRITE: Self = Self {
+        read: true,
+        write: true,
+    };
+
+    /// Write-only interest.
+    pub const WRITE: Self = Self {
+        read: false,
+        write: true,
+    };
+}
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the file descriptor was registered under.
+    pub token: usize,
+    /// The descriptor is readable (or has buffered unread data).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+    /// Error or hang-up condition; the connection should be torn down
+    /// after draining what remains readable.
+    pub hangup: bool,
+}
+
+/// The raw syscall surface — the one `unsafe` island of the crate.
+#[allow(unsafe_code)]
+mod sys {
+    use std::ffi::{c_int, c_short, c_ulong};
+    use std::io;
+    use std::os::fd::RawFd;
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// `poll(2)` over a mutable pollfd slice; returns the ready count.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd structs for the duration of the call, and
+        // `nfds` matches its length.
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+
+    #[cfg(target_os = "linux")]
+    pub use epoll::*;
+
+    #[cfg(target_os = "linux")]
+    mod epoll {
+        use std::ffi::c_int;
+        use std::io;
+        use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+
+        const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+        // The kernel ABI packs epoll_event on x86 so the 64-bit data field
+        // sits at offset 4; other architectures use natural alignment.
+        #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+        #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        extern "C" {
+            fn epoll_create1(flags: c_int) -> c_int;
+            fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+        }
+
+        /// Creates a close-on-exec epoll instance.
+        pub fn create() -> io::Result<OwnedFd> {
+            // SAFETY: epoll_create1 takes no pointers; a non-negative
+            // return is a freshly created fd this process owns.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: `fd` was just returned by epoll_create1 and is owned
+            // by nobody else; OwnedFd closes it exactly once.
+            Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+        }
+
+        /// One `epoll_ctl` operation; `event` may be None for DEL.
+        pub fn ctl(epfd: RawFd, op: c_int, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+            let mut event = event;
+            let ptr = event
+                .as_mut()
+                .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+            // SAFETY: `ptr` is null (DEL) or points at a live EpollEvent on
+            // this stack frame for the duration of the call.
+            if unsafe { epoll_ctl(epfd, op, fd, ptr) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// `epoll_wait` into `buf`; returns the ready count.
+        pub fn wait(epfd: RawFd, buf: &mut [EpollEvent], timeout_ms: c_int) -> io::Result<usize> {
+            // SAFETY: `buf` is a valid exclusively borrowed slice and
+            // `maxevents` matches its length.
+            let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms) };
+            if n < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(n as usize)
+        }
+    }
+
+    /// `pollfd` event mask for an [`super::Interest`].
+    pub fn poll_events(read: bool, write: bool) -> c_short {
+        let mut events = 0;
+        if read {
+            events |= POLLIN;
+        }
+        if write {
+            events |= POLLOUT;
+        }
+        events
+    }
+
+    /// A registration row of the poll(2) backend.
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollRegistration {
+        pub fd: RawFd,
+        pub token: usize,
+        pub events: c_short,
+    }
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll {
+        epfd: std::os::fd::OwnedFd,
+        buf: Vec<sys::EpollEvent>,
+    },
+    Poll {
+        registrations: Vec<sys::PollRegistration>,
+    },
+}
+
+/// Readiness poller over raw file descriptors, keyed by caller tokens.
+pub struct Poller {
+    backend: Backend,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { .. } => "epoll",
+            Backend::Poll { .. } => "poll",
+        };
+        f.debug_struct("Poller").field("backend", &name).finish()
+    }
+}
+
+/// Milliseconds for the backend timeout argument: `None` blocks forever.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        // Round up so a 100 µs deadline does not busy-spin at 0 ms.
+        Some(t) => {
+            let mut ms = t.as_millis();
+            if u128::from(t.subsec_nanos()) % 1_000_000 != 0 {
+                ms += 1;
+            }
+            ms.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+impl Poller {
+    /// The platform-preferred backend: epoll on Linux, poll(2) elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure (the poll backend cannot fail to
+    /// construct).
+    pub fn new() -> io::Result<Self> {
+        #[cfg(target_os = "linux")]
+        {
+            Ok(Self {
+                backend: Backend::Epoll {
+                    epfd: sys::create()?,
+                    buf: vec![sys::EpollEvent { events: 0, data: 0 }; 256],
+                },
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Ok(Self::poll_backend())
+        }
+    }
+
+    /// The portable poll(2) backend, selectable on any platform (tests run
+    /// it on Linux so the fallback cannot rot).
+    pub fn poll_backend() -> Self {
+        Self {
+            backend: Backend::Poll {
+                registrations: Vec::new(),
+            },
+        }
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure (e.g. double registration).
+    pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, .. } => sys::ctl(
+                epfd.as_raw_fd(),
+                sys::EPOLL_CTL_ADD,
+                fd,
+                Some(sys::EpollEvent {
+                    events: epoll_mask(interest),
+                    data: token as u64,
+                }),
+            ),
+            Backend::Poll { registrations } => {
+                registrations.push(sys::PollRegistration {
+                    fd,
+                    token,
+                    events: sys::poll_events(interest.read, interest.write),
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Updates the interest (and token) of a registered descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure; the poll backend errors only when
+    /// `fd` was never registered.
+    pub fn modify(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, .. } => sys::ctl(
+                epfd.as_raw_fd(),
+                sys::EPOLL_CTL_MOD,
+                fd,
+                Some(sys::EpollEvent {
+                    events: epoll_mask(interest),
+                    data: token as u64,
+                }),
+            ),
+            Backend::Poll { registrations } => {
+                let row = registrations
+                    .iter_mut()
+                    .find(|r| r.fd == fd)
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+                row.token = token;
+                row.events = sys::poll_events(interest.read, interest.write);
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes a registration.  Best-effort on the epoll backend: a
+    /// descriptor already closed by the kernel is not an error.
+    pub fn deregister(&mut self, fd: RawFd) {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, .. } => {
+                let _ = sys::ctl(epfd.as_raw_fd(), sys::EPOLL_CTL_DEL, fd, None);
+            }
+            Backend::Poll { registrations } => {
+                registrations.retain(|r| r.fd != fd);
+            }
+        }
+    }
+
+    /// Blocks until readiness or `timeout`, appending events to `events`
+    /// (cleared first).  A timeout expiry returns with no events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures; `EINTR` is swallowed (returns empty).
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let ms = timeout_ms(timeout);
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, buf } => {
+                let n = match sys::wait(epfd.as_raw_fd(), buf, ms) {
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                    Err(e) => return Err(e),
+                };
+                for raw in &buf[..n] {
+                    let mask = raw.events;
+                    events.push(Event {
+                        token: raw.data as usize,
+                        readable: mask & sys::EPOLLIN != 0,
+                        writable: mask & sys::EPOLLOUT != 0,
+                        hangup: mask & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                    });
+                }
+                Ok(())
+            }
+            Backend::Poll { registrations } => {
+                let mut fds: Vec<sys::PollFd> = registrations
+                    .iter()
+                    .map(|r| sys::PollFd {
+                        fd: r.fd,
+                        events: r.events,
+                        revents: 0,
+                    })
+                    .collect();
+                let n = match sys::poll_fds(&mut fds, ms) {
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                    Err(e) => return Err(e),
+                };
+                if n > 0 {
+                    for (row, polled) in registrations.iter().zip(&fds) {
+                        let revents = polled.revents;
+                        if revents == 0 {
+                            continue;
+                        }
+                        events.push(Event {
+                            token: row.token,
+                            readable: revents & sys::POLLIN != 0,
+                            writable: revents & sys::POLLOUT != 0,
+                            hangup: revents & (sys::POLLERR | sys::POLLHUP) != 0,
+                        });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_mask(interest: Interest) -> u32 {
+    let mut mask = 0;
+    if interest.read {
+        mask |= sys::EPOLLIN;
+    }
+    if interest.write {
+        mask |= sys::EPOLLOUT;
+    }
+    mask
+}
+
+/// Write end of the loop's wake-up channel; clone one per worker thread.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+}
+
+impl Waker {
+    /// Creates the wake-up pair: the [`Waker`] for producer threads and the
+    /// read end the event loop registers with its poller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socketpair creation failure.
+    pub fn pair() -> io::Result<(Self, WakeReader)> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((Self { tx }, WakeReader { rx }))
+    }
+
+    /// Signals the loop.  A full pipe means a wake-up is already queued, so
+    /// `WouldBlock` (like every other failure here) is ignorable.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.tx).write(&[1]);
+    }
+
+    /// A second handle to the same channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor duplication failure.
+    pub fn try_clone(&self) -> io::Result<Self> {
+        Ok(Self {
+            tx: self.tx.try_clone()?,
+        })
+    }
+}
+
+/// Read end of the wake-up channel; lives inside the event loop.
+#[derive(Debug)]
+pub struct WakeReader {
+    rx: UnixStream,
+}
+
+impl WakeReader {
+    /// The descriptor to register with the poller (read interest).
+    pub fn raw_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Consumes all queued wake-up bytes so the next poll blocks again.
+    pub fn drain(&mut self) {
+        use std::io::Read;
+        let mut sink = [0u8; 64];
+        while matches!((&self.rx).read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn backends() -> Vec<Poller> {
+        let mut backends = vec![Poller::poll_backend()];
+        if cfg!(target_os = "linux") {
+            backends.push(Poller::new().expect("epoll backend"));
+        }
+        backends
+    }
+
+    #[test]
+    fn readiness_round_trip_on_every_backend() {
+        for mut poller in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            listener.set_nonblocking(true).unwrap();
+            poller
+                .register(listener.as_raw_fd(), 1, Interest::READ)
+                .unwrap();
+
+            let mut events = Vec::new();
+            // Nothing pending: a short wait times out empty.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{poller:?} must time out empty");
+
+            let mut client = TcpStream::connect(addr).unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .unwrap();
+            assert!(
+                events.iter().any(|e| e.token == 1 && e.readable),
+                "{poller:?} must report the listener readable: {events:?}"
+            );
+            let (server_side, _) = listener.accept().unwrap();
+            server_side.set_nonblocking(true).unwrap();
+            poller
+                .register(server_side.as_raw_fd(), 2, Interest::READ_WRITE)
+                .unwrap();
+            client.write_all(b"ping").unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .unwrap();
+            let event = events
+                .iter()
+                .find(|e| e.token == 2)
+                .unwrap_or_else(|| panic!("{poller:?} must report the connection: {events:?}"));
+            assert!(event.readable && event.writable);
+
+            // Narrow interest to write-only: pending bytes no longer wake
+            // the read side.
+            poller
+                .modify(server_side.as_raw_fd(), 2, Interest::WRITE)
+                .unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            let event = events.iter().find(|e| e.token == 2).unwrap();
+            assert!(event.writable && !event.readable, "{poller:?}: {events:?}");
+
+            let mut buf = [0u8; 4];
+            let mut server_side_ref = &server_side;
+            server_side_ref.read_exact(&mut buf).unwrap();
+            assert_eq!(&buf, b"ping");
+            poller.deregister(server_side.as_raw_fd());
+            poller.deregister(listener.as_raw_fd());
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{poller:?} deregister must silence");
+        }
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        for mut poller in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let client = TcpStream::connect(addr).unwrap();
+            let (server_side, _) = listener.accept().unwrap();
+            server_side.set_nonblocking(true).unwrap();
+            poller
+                .register(server_side.as_raw_fd(), 7, Interest::READ)
+                .unwrap();
+            drop(client);
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .unwrap();
+            let event = events
+                .iter()
+                .find(|e| e.token == 7)
+                .unwrap_or_else(|| panic!("{poller:?} must report the closed peer"));
+            // A clean TCP FIN surfaces as readable-EOF; an abortive close
+            // as hangup.  Either wakes the loop, which then reads 0 bytes.
+            assert!(event.readable || event.hangup, "{poller:?}: {events:?}");
+            poller.deregister(server_side.as_raw_fd());
+        }
+    }
+
+    #[test]
+    fn waker_wakes_a_registered_poller_across_threads() {
+        for mut poller in backends() {
+            let (waker, mut reader) = Waker::pair().unwrap();
+            poller.register(reader.raw_fd(), 0, Interest::READ).unwrap();
+            let remote = waker.try_clone().unwrap();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                remote.wake();
+            });
+            let mut events = Vec::new();
+            let t0 = std::time::Instant::now();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(
+                events.iter().any(|e| e.token == 0 && e.readable),
+                "{poller:?} must wake on the waker: {events:?}"
+            );
+            assert!(t0.elapsed() < Duration::from_secs(2));
+            reader.drain();
+            handle.join().unwrap();
+            // Drained: the next wait times out quietly.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{poller:?} drain must clear the wake");
+        }
+    }
+
+    #[test]
+    fn timeout_rounding_never_spins_at_zero() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(100))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(250))), 250);
+        assert_eq!(timeout_ms(Some(Duration::from_secs(100_000_000))), i32::MAX);
+    }
+}

@@ -1,33 +1,44 @@
-//! The service runtime: TCP acceptor, bounded job queue, worker pool and
+//! The service runtime: poll-driven event loop, compute worker pool and
 //! request routing.
 //!
-//! One acceptor thread pushes connections onto a bounded queue; `workers`
-//! threads pop connections and serve them (keep-alive: a worker handles a
-//! connection's requests back to back until the peer closes or asks to).
-//! When the queue is full the acceptor answers `503` inline and drops the
-//! connection — predictable backpressure instead of unbounded memory growth.
+//! One `serve-loop` thread owns the listener and every client socket
+//! (non-blocking, registered with [`crate::poller::Poller`] — epoll on
+//! Linux, `poll(2)` elsewhere) and runs the readiness state machine in
+//! [`crate::event_loop`]: incremental parsing, inline answers for cheap
+//! endpoints and cache hits, and centrally-enforced idle/read/write
+//! deadlines, so thousands of mostly-idle keep-alive connections cost
+//! buffers instead of threads.  Admission control lives on the same thread:
+//! a connection cap (overflow → best-effort non-blocking `503`), an optional
+//! per-client token-bucket rate limit (`429` + `Retry-After`) and a
+//! `max_inflight` cap on dispatched computations (`503` + `Retry-After`).
 //!
-//! Evaluations dispatch onto
-//! [`bitwave::pipeline::Pipeline::run_model_weights_parallel`], sharing
-//! per-model weight sets through the [`ModelStore`] so concurrent requests
-//! for one model touch the same `Arc`-backed tensors (zero deep copies), and
-//! results land in the single-flight [`ReportCache`] keyed by the request
-//! digest — a tiered `bitwave-store` under the hood, so configuring
+//! Cache-missing evaluate/search requests become [`crate::batch`] jobs on a
+//! queue drained by `workers` compute threads.  In-flight identical digests
+//! coalesce (riders), and distinct requests over one `(model, seed,
+//! sample_cap)` weight set gather behind the executing batch and dispatch
+//! together, sharing the [`ModelStore`]'s `Arc`-backed tensors — the
+//! `X-Bitwave-Batch` response header carries each dispatch's fan-out size.
+//! Results land in the single-flight [`ReportCache`] keyed by request
+//! digest — a tiered `bitwave-store`, so configuring
 //! [`ServeConfig::store_root`] makes cached responses (and the DSE memo
 //! cache) survive restarts and replay byte-identically from disk.
 
-use crate::api::{list_accelerators, list_models, EvaluateRequest};
+use crate::api::{
+    list_accelerators, list_models, EvaluateRequest, NormalizedRequest, NormalizedSearch,
+};
+use crate::batch::{Completions, EntryDone, JobDone, JobEntry, JobKind, JobQueue};
 use crate::cache::{CacheOp, ReportCache};
 use crate::error::ServeError;
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::event_loop::EventLoop;
+use crate::http::{Request, Response};
 use crate::metrics::ServiceMetrics;
+use crate::poller::Waker;
 use crate::store::ModelStore;
+use bitwave::digest::Digest;
 use bitwave_store::StoreConfig;
-use std::collections::VecDeque;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Service configuration.
@@ -35,9 +46,9 @@ use std::thread::JoinHandle;
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads serving connections.
+    /// Compute worker threads (pipeline evaluations and searches).
     pub workers: usize,
-    /// Bounded connection-queue capacity (overflow → 503).
+    /// Maximum open client connections (overflow → best-effort `503`).
     pub queue_capacity: usize,
     /// Report-cache capacity in entries (per op: evaluate and search each
     /// get this many).
@@ -57,6 +68,20 @@ pub struct ServeConfig {
     /// — but processes that juggle several roots share one `dse/` tier, the
     /// most recently attached.
     pub store_root: Option<String>,
+    /// Maximum distinct cache-missing computations dispatched or gathering
+    /// at once; further compute requests shed with `503` + `Retry-After`.
+    /// Riders on an in-flight identical request are always admitted.
+    pub max_inflight: usize,
+    /// Per-client (peer IP) request budget in compute requests per second,
+    /// enforced as a token bucket with a one-second burst; `None` (default)
+    /// disables rate limiting.  Over-budget requests answer `429` with
+    /// `Retry-After`.
+    pub rate_limit: Option<u32>,
+    /// Cross-request batching: identical in-flight digests coalesce, and
+    /// distinct requests over one `(model, seed, sample_cap)` weight set
+    /// dispatch as one job.  `false` reproduces the slot-per-request cost
+    /// model (the `bench_serve` unbatched baseline).
+    pub batching: bool,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +95,9 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             store_capacity: 8,
             store_root: None,
+            max_inflight: 64,
+            rate_limit: None,
+            batching: true,
         }
     }
 }
@@ -85,65 +113,10 @@ pub struct ServiceState {
     pub store: ModelStore,
     /// Service counters.
     pub metrics: ServiceMetrics,
-    shutdown: AtomicBool,
-    queue: JobQueue,
-}
-
-/// Bounded MPMC queue of accepted connections.
-#[derive(Debug)]
-struct JobQueue {
-    jobs: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
-    capacity: usize,
-}
-
-impl JobQueue {
-    fn new(capacity: usize) -> Self {
-        Self {
-            jobs: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
-            capacity: capacity.max(1),
-        }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
-        self.jobs
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    /// Enqueues a connection; hands it back when the queue is full.
-    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut jobs = self.lock();
-        if jobs.len() >= self.capacity {
-            return Err(stream);
-        }
-        jobs.push_back(stream);
-        drop(jobs);
-        self.available.notify_one();
-        Ok(())
-    }
-
-    /// Blocks for the next connection; `None` once shut down and drained.
-    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
-        let mut jobs = self.lock();
-        loop {
-            if let Some(stream) = jobs.pop_front() {
-                return Some(stream);
-            }
-            if shutdown.load(Ordering::Acquire) {
-                return None;
-            }
-            jobs = self
-                .available
-                .wait(jobs)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-    }
-
-    fn notify_all(&self) {
-        self.available.notify_all();
-    }
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) jobs: JobQueue,
+    pub(crate) completions: Completions,
+    pub(crate) waker: Waker,
 }
 
 /// Handle to a running service; dropping it does **not** stop the service —
@@ -152,7 +125,7 @@ impl JobQueue {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     state: Arc<ServiceState>,
-    acceptor: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -167,28 +140,29 @@ impl ServerHandle {
         &self.state
     }
 
-    /// Stops accepting, drains queued connections, joins all threads.
+    /// Stops the event loop and workers and joins them.  The waker unblocks
+    /// the loop immediately — no network round-trip, no timeout wait — so
+    /// shutdown completes in milliseconds even with idle connections open.
     pub fn shutdown(mut self) {
         self.state.shutdown.store(true, Ordering::Release);
-        // Unblock the acceptor with a wake-up connection; it re-checks the
-        // flag per accepted connection.
-        let _ = TcpStream::connect(self.local_addr);
-        self.state.queue.notify_all();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.state.waker.wake();
+        self.state.jobs.notify_all();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
         for worker in self.workers.drain(..) {
-            self.state.queue.notify_all();
+            self.state.jobs.notify_all();
             let _ = worker.join();
         }
     }
 }
 
-/// Binds, spawns the acceptor + worker pool, and returns the handle.
+/// Binds, spawns the event loop + compute workers, and returns the handle.
 ///
 /// # Errors
 ///
-/// Returns [`ServeError::Internal`] when the listener cannot bind.
+/// Returns [`ServeError::Internal`] when the listener cannot bind or the
+/// poller/waker cannot be created.
 pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     let listener = TcpListener::bind(&config.addr)
         .map_err(|e| ServeError::Internal(format!("bind {}: {e}", config.addr)))?;
@@ -210,45 +184,32 @@ pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
             config.store_root.as_deref().unwrap_or("<memory>")
         ))
     })?;
+    let (waker, wake_reader) =
+        Waker::pair().map_err(|e| ServeError::Internal(format!("waker: {e}")))?;
     let state = Arc::new(ServiceState {
         cache,
         store: ModelStore::new(config.store_capacity),
         metrics: ServiceMetrics::default(),
         shutdown: AtomicBool::new(false),
-        queue: JobQueue::new(config.queue_capacity),
+        jobs: JobQueue::default(),
+        completions: Completions::default(),
+        waker,
         config,
     });
 
-    let acceptor_state = Arc::clone(&state);
-    let acceptor = std::thread::Builder::new()
-        .name("serve-acceptor".to_string())
-        .spawn(move || {
-            for stream in listener.incoming() {
-                if acceptor_state.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                if let Err(rejected) = acceptor_state.queue.push(stream) {
-                    ServiceMetrics::bump(&acceptor_state.metrics.queue_rejections);
-                    let mut rejected = rejected;
-                    let _ = error_response(&ServeError::Overloaded)
-                        .with_header("retry-after", "1")
-                        .write_to(&mut rejected, true);
-                }
-            }
-        })
-        .map_err(|e| ServeError::Internal(format!("spawn acceptor: {e}")))?;
+    let event_loop = EventLoop::new(Arc::clone(&state), listener, wake_reader)
+        .map_err(|e| ServeError::Internal(format!("event loop: {e}")))?;
+    let loop_handle = std::thread::Builder::new()
+        .name("serve-loop".to_string())
+        .spawn(move || event_loop.run())
+        .map_err(|e| ServeError::Internal(format!("spawn event loop: {e}")))?;
 
     let worker_handles = (0..workers)
         .map(|i| {
             let worker_state = Arc::clone(&state);
             std::thread::Builder::new()
                 .name(format!("serve-worker-{i}"))
-                .spawn(move || {
-                    while let Some(stream) = worker_state.queue.pop(&worker_state.shutdown) {
-                        serve_connection(stream, &worker_state);
-                    }
-                })
+                .spawn(move || worker_main(&worker_state))
                 .map_err(|e| ServeError::Internal(format!("spawn worker: {e}")))
         })
         .collect::<Result<Vec<_>, _>>()?;
@@ -256,61 +217,88 @@ pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     Ok(ServerHandle {
         local_addr,
         state,
-        acceptor: Some(acceptor),
+        event_loop: Some(loop_handle),
         workers: worker_handles,
     })
 }
 
-/// Idle keep-alive timeout: a connection with no request for this long is
-/// closed so a quiet client cannot pin a worker forever (clients reconnect
-/// transparently).
-const KEEP_ALIVE_IDLE: std::time::Duration = std::time::Duration::from_secs(5);
-
-/// Serves one connection until close (keep-alive loop).
-fn serve_connection(stream: TcpStream, state: &ServiceState) {
-    // Both directions are bounded: a quiet client cannot pin a worker on
-    // read, and a client that stops *reading* its response cannot pin one
-    // on write once the kernel send buffer fills.
-    let _ = stream.set_read_timeout(Some(KEEP_ALIVE_IDLE));
-    let _ = stream.set_write_timeout(Some(KEEP_ALIVE_IDLE));
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut write_half = write_half;
-    let mut reader = BufReader::new(stream);
-    loop {
-        let request = match read_request(&mut reader) {
-            Ok(request) => request,
-            Err(HttpError::ConnectionClosed) => return,
-            Err(HttpError::Io(_)) => return,
-            Err(HttpError::PayloadTooLarge) => {
-                ServiceMetrics::bump(&state.metrics.http_requests);
-                ServiceMetrics::bump(&state.metrics.http_errors);
-                let _ =
-                    Response::error(413, "request body too large").write_to(&mut write_half, true);
-                return;
-            }
-            Err(HttpError::BadRequest(msg)) => {
-                ServiceMetrics::bump(&state.metrics.http_requests);
-                ServiceMetrics::bump(&state.metrics.http_errors);
-                let _ = Response::error(400, &msg).write_to(&mut write_half, true);
-                return;
-            }
-        };
-        ServiceMetrics::bump(&state.metrics.http_requests);
-        let close = request.wants_close() || state.shutdown.load(Ordering::Acquire);
-        let response = route(&request, state);
-        if response.status >= 300 {
-            ServiceMetrics::bump(&state.metrics.http_errors);
-        }
-        if response.write_to(&mut write_half, close).is_err() || close {
-            return;
-        }
+/// A compute worker: pops jobs, runs every entry through the single-flight
+/// cache (a multi-entry job keeps its shared weight set hot in the
+/// [`ModelStore`] across entries), publishes the completion and wakes the
+/// loop.
+fn worker_main(state: &ServiceState) {
+    while let Some(job) = state.jobs.pop(&state.shutdown) {
+        let results: Vec<EntryDone> = job
+            .entries
+            .iter()
+            .map(|entry| run_entry(state, entry))
+            .collect();
+        state.completions.push(JobDone {
+            id: job.id,
+            results,
+        });
+        state.waker.wake();
     }
 }
 
-/// Dispatches one request to its endpoint handler.
+/// Computes (or replays) one job entry through the report cache.
+fn run_entry(state: &ServiceState, entry: &JobEntry) -> EntryDone {
+    let digest = entry.digest;
+    let result = state
+        .cache
+        .get_or_compute(entry.kind.op(), digest, || match &entry.kind {
+            JobKind::Evaluate(normalized) => compute_evaluate(state, normalized, &digest),
+            JobKind::Search(normalized) => compute_search(state, normalized, &digest),
+        });
+    EntryDone { digest, result }
+}
+
+/// The cold evaluate computation (shared by workers and the blocking
+/// [`route`] path).
+fn compute_evaluate(
+    state: &ServiceState,
+    normalized: &NormalizedRequest,
+    digest: &Digest,
+) -> Result<String, String> {
+    ServiceMetrics::bump(&state.metrics.evaluations);
+    let weights = state.store.weights(
+        &normalized.spec,
+        normalized.key.knobs.seed,
+        normalized.key.knobs.sample_cap,
+    );
+    let report = normalized
+        .evaluate(&weights)
+        .map_err(|e| ServeError::from(e).to_string())?;
+    normalized
+        .envelope(digest, &report)
+        .map_err(|e| e.to_string())
+}
+
+/// The cold search computation (shared by workers and the blocking
+/// [`route`] path).
+fn compute_search(
+    state: &ServiceState,
+    normalized: &NormalizedSearch,
+    digest: &Digest,
+) -> Result<String, String> {
+    ServiceMetrics::bump(&state.metrics.searches);
+    let weights = state.store.weights(
+        &normalized.spec,
+        normalized.key.knobs.seed,
+        normalized.key.knobs.sample_cap,
+    );
+    let search = normalized
+        .run(&weights)
+        .map_err(|e| ServeError::from(e).to_string())?;
+    normalized
+        .envelope(digest, &search)
+        .map_err(|e| e.to_string())
+}
+
+/// Dispatches one request to its endpoint handler, synchronously — the
+/// event loop uses this for cheap endpoints and tests use it directly; the
+/// evaluate/search arms block on the cache (in-process callers), whereas
+/// the event loop routes those two through the dispatcher instead.
 pub fn route(request: &Request, state: &ServiceState) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, r#"{"status":"ok"}"#),
@@ -350,18 +338,7 @@ fn evaluate(request: &Request, state: &ServiceState) -> Response {
     };
     let hex = digest.to_hex();
     let computed = state.cache.get_or_compute(CacheOp::Evaluate, digest, || {
-        ServiceMetrics::bump(&state.metrics.evaluations);
-        let weights = state.store.weights(
-            &normalized.spec,
-            normalized.key.knobs.seed,
-            normalized.key.knobs.sample_cap,
-        );
-        let report = normalized
-            .evaluate(&weights)
-            .map_err(|e| ServeError::from(e).to_string())?;
-        normalized
-            .envelope(&digest, &report)
-            .map_err(|e| e.to_string())
+        compute_evaluate(state, &normalized, &digest)
     });
     match computed {
         Ok((body, outcome)) => Response::json(200, body.as_bytes().to_vec())
@@ -389,18 +366,7 @@ fn search(request: &Request, state: &ServiceState) -> Response {
     };
     let hex = digest.to_hex();
     let computed = state.cache.get_or_compute(CacheOp::Search, digest, || {
-        ServiceMetrics::bump(&state.metrics.searches);
-        let weights = state.store.weights(
-            &normalized.spec,
-            normalized.key.knobs.seed,
-            normalized.key.knobs.sample_cap,
-        );
-        let search = normalized
-            .run(&weights)
-            .map_err(|e| ServeError::from(e).to_string())?;
-        normalized
-            .envelope(&digest, &search)
-            .map_err(|e| e.to_string())
+        compute_search(state, &normalized, &digest)
     });
     match computed {
         Ok((body, outcome)) => Response::json(200, body.as_bytes().to_vec())
@@ -437,6 +403,6 @@ fn replay_report(path: &str, state: &ServiceState) -> Response {
     }
 }
 
-fn error_response(error: &ServeError) -> Response {
+pub(crate) fn error_response(error: &ServeError) -> Response {
     Response::error(error.status(), &error.to_string())
 }

@@ -1,0 +1,59 @@
+//! Raw-socket helpers shared by the wire-level integration tests: a tiny
+//! response reader that makes no assumptions the server-side parser under
+//! test could hide behind.
+
+use std::io::{BufRead, BufReader, Read};
+use std::net::TcpStream;
+
+/// One parsed HTTP response off the wire.
+#[derive(Debug)]
+pub struct RawResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    // Not every test binary that includes this module reads every field.
+    #[allow(dead_code)]
+    pub body: Vec<u8>,
+}
+
+impl RawResponse {
+    #[allow(dead_code)]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads exactly one response; `None` on a clean EOF before the status line.
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> Option<RawResponse> {
+    let mut line = String::new();
+    if reader.read_line(&mut line).ok()? == 0 {
+        return None;
+    }
+    let status = line.split_whitespace().nth(1)?.parse::<u16>().ok()?;
+    let mut headers = Vec::new();
+    loop {
+        let mut header_line = String::new();
+        reader.read_line(&mut header_line).ok()?;
+        let trimmed = header_line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.trim().to_lowercase(), value.trim().to_string()));
+        }
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some(RawResponse {
+        status,
+        headers,
+        body,
+    })
+}

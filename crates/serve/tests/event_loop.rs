@@ -1,0 +1,298 @@
+//! Event-loop behaviour tests: admission control under overload, fast
+//! shutdown, per-client rate limiting, and cross-request batching fan-out.
+
+mod common;
+
+use bitwave_serve::client::Client;
+use bitwave_serve::server::{start, ServeConfig};
+use common::read_response;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Connections over the cap get a best-effort `503` + `Retry-After` and the
+/// loop stays responsive — even when the rejected (and the parked) clients
+/// never read a byte.  The old acceptor blocked inside its inline `503`
+/// write; this pins the fix with a latency bound.
+#[test]
+fn overload_rejects_with_503_and_accepts_stay_fast() {
+    let handle = start(ServeConfig {
+        workers: 2,
+        queue_capacity: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // Fill the connection table with idle clients that never read or write.
+    let parked: Vec<TcpStream> = (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A burst over the cap: every extra connection must be answered 503
+    // promptly, without wedging the loop on any one client's socket.
+    let burst_started = Instant::now();
+    let mut rejected = Vec::new();
+    for _ in 0..12 {
+        rejected.push(TcpStream::connect(addr).unwrap());
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let mut saw_503 = 0;
+    for stream in rejected {
+        let mut reader = BufReader::new(stream);
+        if let Some(response) = read_response(&mut reader) {
+            assert_eq!(response.status, 503);
+            assert_eq!(response.header("retry-after"), Some("1"));
+            assert_eq!(response.header("connection"), Some("close"));
+            saw_503 += 1;
+        }
+    }
+    assert!(
+        saw_503 >= 8,
+        "overflow connections must be told to back off"
+    );
+    assert!(
+        burst_started.elapsed() < Duration::from_secs(3),
+        "rejecting a burst must not stall the loop"
+    );
+    let state = Arc::clone(handle.state());
+    assert!(state.metrics.queue_rejections.load(Ordering::Relaxed) >= 8);
+    assert_eq!(
+        state.metrics.http_errors.load(Ordering::Relaxed),
+        0,
+        "overflow 503s never reset an admitted connection"
+    );
+
+    // Freeing capacity restores service promptly.
+    drop(parked);
+    std::thread::sleep(Duration::from_millis(100));
+    let recovery = Instant::now();
+    let mut client = Client::new(addr);
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(
+        recovery.elapsed() < Duration::from_secs(1),
+        "accept latency after overload must be bounded, got {:?}",
+        recovery.elapsed()
+    );
+    handle.shutdown();
+}
+
+/// Shutdown must complete quickly even with idle keep-alive connections
+/// parked on the server — the old implementation relied on a wake-up
+/// connection racing a 5 s accept timeout.
+#[test]
+fn shutdown_with_idle_connections_completes_quickly() {
+    let handle = start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+    let mut client = Client::new(addr);
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    // Park two more idle keep-alive connections.
+    let _idle_a = TcpStream::connect(addr).unwrap();
+    let _idle_b = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let begun = Instant::now();
+    handle.shutdown();
+    assert!(
+        begun.elapsed() < Duration::from_millis(500),
+        "shutdown must join in well under 500ms, took {:?}",
+        begun.elapsed()
+    );
+}
+
+/// The per-client token bucket answers `429 Too Many Requests` with a
+/// `Retry-After` hint once the one-second burst budget is spent, and
+/// refills over time.
+#[test]
+fn rate_limited_clients_get_429_with_retry_after() {
+    let handle = start(ServeConfig {
+        workers: 2,
+        rate_limit: Some(2),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::new(handle.local_addr());
+    let body = r#"{"model":"resnet18","sample_cap":400}"#;
+    let first = client.post_json("/v1/evaluate", body).unwrap();
+    assert_eq!(first.status, 200);
+    let second = client.post_json("/v1/evaluate", body).unwrap();
+    assert_eq!(second.status, 200, "the burst budget covers two requests");
+    let third = client.post_json("/v1/evaluate", body).unwrap();
+    assert_eq!(
+        third.status, 429,
+        "the third request in a burst is over budget"
+    );
+    let retry_after = third
+        .header("retry-after")
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("429 must carry Retry-After");
+    assert!(retry_after >= 1);
+    assert!(String::from_utf8_lossy(&third.body).contains("rate limit"));
+    let state = Arc::clone(handle.state());
+    assert!(state.metrics.rate_limited.load(Ordering::Relaxed) >= 1);
+
+    // Waiting refills the bucket.
+    std::thread::sleep(Duration::from_millis(700));
+    let refilled = client.post_json("/v1/evaluate", body).unwrap();
+    assert_eq!(refilled.status, 200);
+    // Cheap endpoints never spend compute tokens.
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    handle.shutdown();
+}
+
+/// Concurrent identical cache-missing requests coalesce onto one dispatch:
+/// one evaluation runs, every waiter gets byte-identical bytes, riders
+/// report `coalesced`, and the `X-Bitwave-Batch` header carries the
+/// fan-out size.
+#[test]
+fn identical_concurrent_requests_share_one_dispatch() {
+    const RIDERS_PLUS_TRIGGER: usize = 6;
+    let handle = start(ServeConfig {
+        workers: 1, // a single worker serialises jobs behind the plug
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+    let state = Arc::clone(handle.state());
+
+    // Occupy the only worker with an expensive unrelated evaluation so the
+    // identical burst piles up behind it deterministically.
+    let plug = std::thread::spawn(move || {
+        let mut client = Client::new(addr);
+        client
+            .post_json(
+                "/v1/evaluate",
+                r#"{"model":"resnet18","seed":99,"sample_cap":60000}"#,
+            )
+            .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(60));
+
+    let barrier = Arc::new(Barrier::new(RIDERS_PLUS_TRIGGER));
+    let burst: Vec<_> = (0..RIDERS_PLUS_TRIGGER)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                barrier.wait();
+                client
+                    .post_json(
+                        "/v1/evaluate",
+                        r#"{"model":"resnet18","seed":7,"sample_cap":800}"#,
+                    )
+                    .unwrap()
+            })
+        })
+        .collect();
+    let responses: Vec<_> = burst.into_iter().map(|t| t.join().unwrap()).collect();
+    assert_eq!(plug.join().unwrap().status, 200);
+
+    let bodies: Vec<&[u8]> = responses.iter().map(|r| r.body.as_slice()).collect();
+    assert!(responses.iter().all(|r| r.status == 200));
+    assert!(
+        bodies.iter().all(|b| *b == bodies[0]),
+        "every waiter must receive byte-identical bytes"
+    );
+    let misses = responses
+        .iter()
+        .filter(|r| r.header("x-bitwave-cache") == Some("miss"))
+        .count();
+    let coalesced = responses
+        .iter()
+        .filter(|r| r.header("x-bitwave-cache") == Some("coalesced"))
+        .count();
+    assert_eq!(misses, 1, "exactly one trigger pays the computation");
+    assert_eq!(
+        coalesced,
+        RIDERS_PLUS_TRIGGER - 1,
+        "everyone else rides the in-flight dispatch"
+    );
+    for response in &responses {
+        assert_eq!(
+            response.header("x-bitwave-batch"),
+            Some(RIDERS_PLUS_TRIGGER.to_string().as_str()),
+            "the batch header carries the dispatch's total fan-out"
+        );
+    }
+    assert_eq!(
+        state.metrics.evaluations.load(Ordering::Relaxed),
+        2,
+        "the plug plus exactly one evaluation for the whole burst"
+    );
+    assert_eq!(
+        state.metrics.batch_coalesced.load(Ordering::Relaxed) as usize,
+        RIDERS_PLUS_TRIGGER - 1
+    );
+    assert!(state.metrics.batch_dispatches.load(Ordering::Relaxed) >= 2);
+    handle.shutdown();
+}
+
+/// Distinct requests sharing one `(model, seed, sample_cap)` weight set
+/// gather behind the executing batch and dispatch as a single follow-up
+/// job instead of racing for workers.
+#[test]
+fn same_weight_set_requests_gather_into_one_follow_up_job() {
+    let handle = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+    let state = Arc::clone(handle.state());
+
+    // First request for the weight set dispatches immediately and holds the
+    // single worker; two different accelerators over the same weights must
+    // gather and then ship as one job.
+    let first = std::thread::spawn(move || {
+        let mut client = Client::new(addr);
+        client
+            .post_json(
+                "/v1/evaluate",
+                r#"{"model":"resnet18","seed":3,"sample_cap":60000,"accelerator":"bitwave"}"#,
+            )
+            .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(60));
+    let followers: Vec<_> = ["stripes", "bitlet"]
+        .into_iter()
+        .map(|accelerator| {
+            let body = format!(
+                r#"{{"model":"resnet18","seed":3,"sample_cap":60000,"accelerator":"{accelerator}"}}"#
+            );
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                client.post_json("/v1/evaluate", &body).unwrap()
+            })
+        })
+        .collect();
+    let first = first.join().unwrap();
+    let followers: Vec<_> = followers.into_iter().map(|t| t.join().unwrap()).collect();
+    assert_eq!(first.status, 200);
+    assert!(followers.iter().all(|r| r.status == 200));
+    assert!(
+        followers
+            .iter()
+            .all(|r| r.header("x-bitwave-cache") == Some("miss")),
+        "distinct digests each compute, but inside a shared dispatch"
+    );
+    let batch_sizes: Vec<_> = followers
+        .iter()
+        .map(|r| r.header("x-bitwave-batch").map(str::to_string))
+        .collect();
+    assert!(
+        batch_sizes.iter().all(|s| s.as_deref() == Some("2")),
+        "both followers must share one follow-up dispatch, got {batch_sizes:?}"
+    );
+    assert_eq!(
+        state.store.generations(),
+        1,
+        "one weight set serves the whole gathered batch"
+    );
+    handle.shutdown();
+}

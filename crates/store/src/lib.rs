@@ -60,6 +60,6 @@ pub mod tiered;
 pub use codec::{CodecError, JsonCodec, StoreCodec, StringCodec};
 pub use config::StoreConfig;
 pub use disk::{DiskTier, FORMAT_VERSION, QUARANTINE_DIR};
-pub use memory::{FillOrigin, MemoryTier, MemoryTierConfig};
+pub use memory::{FillOrigin, MemoryTier, MemoryTierConfig, TryPeek};
 pub use stats::{StoreOutcome, StoreStats};
 pub use tiered::TieredStore;

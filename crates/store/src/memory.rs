@@ -22,6 +22,19 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
+/// What a non-blocking [`MemoryTier::try_peek`] found for a key.
+#[derive(Debug, Clone)]
+pub enum TryPeek<V> {
+    /// A ready entry; replay its shared value.
+    Ready(Arc<V>),
+    /// A computation is in flight; the caller can wait elsewhere (e.g. the
+    /// serve tier's event loop attaches the request as a batch rider)
+    /// instead of blocking this thread on the store's condvar.
+    Pending,
+    /// Nothing is cached or in flight for the key.
+    Absent,
+}
+
 /// Where a fill came from, reported by the fill closure of
 /// [`MemoryTier::get_or_fill`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -256,6 +269,24 @@ impl<V: Send + Sync + 'static> MemoryTier<V> {
             }
         };
         Self::wait(&pending).ok()
+    }
+
+    /// Non-blocking variant of [`peek`](Self::peek): never waits on an
+    /// in-flight computation, reporting it as [`TryPeek::Pending`] instead.
+    /// A ready entry is touched in the LRU, exactly like `peek`.  Uncounted
+    /// — callers that want hit accounting layer it on top (see
+    /// `TieredStore::probe`).
+    pub fn try_peek(&self, key: Digest) -> TryPeek<V> {
+        let mut shard = Self::lock(self.shard_for(key));
+        match shard.map.get(&key.raw()) {
+            Some(Slot::Ready { value, .. }) => {
+                let value = Arc::clone(value);
+                shard.touch(key.raw());
+                TryPeek::Ready(value)
+            }
+            Some(Slot::Pending(_)) => TryPeek::Pending,
+            None => TryPeek::Absent,
+        }
     }
 
     /// Inserts a ready entry directly (the disk-promotion path of replay

@@ -46,6 +46,16 @@ impl StoreStats {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts a request that shared another in-flight computation's result
+    /// without itself entering the store — how the serve tier's
+    /// cross-request batching keeps the per-op accounting invariant
+    /// (`hits + misses + coalesced + disk_hits == requests`) when a rider
+    /// is satisfied by the event loop's fan-out rather than by blocking on
+    /// the store's condvar.
+    pub fn note_coalesced(&self) {
+        Self::bump(&self.coalesced);
+    }
+
     /// Memory-tier hits (ready entry replayed).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)

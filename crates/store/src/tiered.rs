@@ -3,7 +3,7 @@
 use crate::codec::StoreCodec;
 use crate::config::StoreConfig;
 use crate::disk::{DiskMiss, DiskTier};
-use crate::memory::{FillOrigin, MemoryTier, MemoryTierConfig};
+use crate::memory::{FillOrigin, MemoryTier, MemoryTierConfig, TryPeek};
 use crate::stats::{StoreOutcome, StoreStats};
 use bitwave_core::digest::Digest;
 use std::fmt;
@@ -248,6 +248,38 @@ impl<C: StoreCodec> TieredStore<C> {
         self.memory.insert(key, Arc::clone(&value), bytes);
         Some((value, StoreOutcome::Disk))
     }
+
+    /// Non-blocking replay: like [`get`](Self::get) but never waits on an
+    /// in-flight computation — a pending key reports `None` and the caller
+    /// decides how to wait (the serve tier's event loop must not block).
+    /// Uncounted, mirroring `get`.
+    pub fn try_get(&self, key: Digest) -> Option<(Arc<C::Value>, StoreOutcome)> {
+        match self.memory.try_peek(key) {
+            TryPeek::Ready(value) => Some((value, StoreOutcome::Hit)),
+            TryPeek::Pending => None,
+            TryPeek::Absent => {
+                let (value, bytes) = self.disk_read(key)?;
+                let value = Arc::new(value);
+                self.memory.insert(key, Arc::clone(&value), bytes);
+                Some((value, StoreOutcome::Disk))
+            }
+        }
+    }
+
+    /// Non-blocking **counted** lookup for admission paths: a memory hit
+    /// bumps `hits`, a disk promotion bumps `disk_hits`, and a miss or
+    /// in-flight key counts nothing here — the eventual
+    /// [`get_or_compute`](Self::get_or_compute) (or the event loop's rider
+    /// accounting via [`StoreStats::note_coalesced`]) records it.
+    pub fn probe(&self, key: Digest) -> Option<(Arc<C::Value>, StoreOutcome)> {
+        let (value, outcome) = self.try_get(key)?;
+        match outcome {
+            StoreOutcome::Hit => StoreStats::bump(&self.stats.hits),
+            StoreOutcome::Disk => StoreStats::bump(&self.stats.disk_hits),
+            StoreOutcome::Miss | StoreOutcome::Coalesced => {}
+        }
+        Some((value, outcome))
+    }
 }
 
 #[cfg(test)]
@@ -356,6 +388,74 @@ mod tests {
             "promoted replays answer from memory"
         );
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn try_get_never_blocks_on_a_pending_key_and_probe_counts() {
+        let store = Arc::new(TieredStore::<StringCodec>::memory_only("op", 8));
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let filler = {
+            let store = Arc::clone(&store);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                store
+                    .get_or_compute(
+                        key("slow"),
+                        || {
+                            gate.wait();
+                            std::thread::sleep(std::time::Duration::from_millis(100));
+                            Ok::<_, String>("slow-body".to_string())
+                        },
+                        |e| e,
+                    )
+                    .unwrap()
+            })
+        };
+        gate.wait();
+        // The computation is in flight: both non-blocking lookups must
+        // return immediately with None instead of waiting ~100 ms.
+        let t0 = std::time::Instant::now();
+        assert!(store.try_get(key("slow")).is_none());
+        assert!(store.probe(key("slow")).is_none());
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(50),
+            "try_get/probe must not block on a pending slot"
+        );
+        filler.join().unwrap();
+        // Ready now: try_get is uncounted, probe bumps hits.
+        let hits_before = store.stats().hits();
+        let (value, outcome) = store.try_get(key("slow")).expect("ready");
+        assert_eq!((&**value, outcome), ("slow-body", StoreOutcome::Hit));
+        assert_eq!(store.stats().hits(), hits_before, "try_get is uncounted");
+        let (_, outcome) = store.probe(key("slow")).expect("ready");
+        assert_eq!(outcome, StoreOutcome::Hit);
+        assert_eq!(store.stats().hits(), hits_before + 1, "probe counts hits");
+    }
+
+    #[test]
+    fn probe_promotes_from_disk_and_counts_a_disk_hit() {
+        let root = temp_root("probe-disk");
+        let config = StoreConfig::default().with_root(&root);
+        let store = TieredStore::<StringCodec>::new("op", &config).unwrap();
+        store
+            .get_or_compute(key("p"), || Ok::<_, String>("pp".to_string()), |e| e)
+            .unwrap();
+        store.clear_memory();
+        assert!(store.probe(key("absent")).is_none());
+        let (value, outcome) = store.probe(key("p")).expect("disk probe");
+        assert_eq!((&**value, outcome), ("pp", StoreOutcome::Disk));
+        assert_eq!(store.stats().disk_hits(), 1);
+        assert_eq!(store.mem_entries(), 1, "probe promotes into memory");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn note_coalesced_feeds_the_shared_counters() {
+        let store = TieredStore::<StringCodec>::memory_only("op", 4);
+        assert_eq!(store.stats().coalesced(), 0);
+        store.stats().note_coalesced();
+        store.stats().note_coalesced();
+        assert_eq!(store.stats().coalesced(), 2);
     }
 
     #[test]
