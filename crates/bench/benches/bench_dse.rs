@@ -17,13 +17,28 @@ use bitwave::dse::DseEngine;
 use bitwave::pipeline::{ModelReport, Pipeline};
 use bitwave_accel::spec::{AcceleratorSpec, BitwaveOptimizations};
 use bitwave_accel::LayerSparsityProfile;
-use bitwave_bench::print_header;
+use bitwave_bench::{print_header, write_bench_json};
 use bitwave_dnn::models::resnet18;
 use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
 
 const SAMPLE_CAP: usize = 4_000;
+
+/// The `BENCH_dse.json` trajectory record, matching the
+/// `BENCH_serve.json`/`BENCH_sparsity.json` convention.
+#[derive(Serialize)]
+struct DseBenchReport {
+    sample_cap: usize,
+    heuristic_edp: f64,
+    searched_edp: f64,
+    searched_over_heuristic_gain: f64,
+    memo_cold_ms: f64,
+    memo_warm_ms: f64,
+    memo_speedup: f64,
+    memo_speedup_gate: f64,
+}
 
 fn ctx() -> ExperimentContext {
     ExperimentContext::default().with_sample_cap(SAMPLE_CAP)
@@ -34,8 +49,9 @@ fn edp(report: &ModelReport) -> f64 {
 }
 
 /// Gate 1: `MappingPolicy::Searched` must not lose to the heuristic on EDP
-/// for ResNet18 on the fully optimised BitWave configuration.
-fn assert_searched_beats_heuristic_edp() {
+/// for ResNet18 on the fully optimised BitWave configuration.  Returns
+/// `(heuristic_edp, searched_edp)` for the trajectory record.
+fn assert_searched_beats_heuristic_edp() -> (f64, f64) {
     print_header(
         "dse_edp",
         "searched vs heuristic mapping EDP on ResNet18/BitWave (gate: searched <= heuristic)",
@@ -59,11 +75,13 @@ fn assert_searched_beats_heuristic_edp() {
         s <= h,
         "searched EDP {s:.4e} must not exceed heuristic EDP {h:.4e}"
     );
+    (h, s)
 }
 
 /// Gate 2: re-searching an already-seen network must be ≥ 10× faster than
-/// the cold search, with bit-identical results.
-fn assert_memoized_research_speedup() {
+/// the cold search, with bit-identical results.  Returns
+/// `(cold_ms, warm_ms, target)` for the trajectory record.
+fn assert_memoized_research_speedup() -> (f64, f64, f64) {
     const TARGET: f64 = 10.0;
     print_header(
         "dse_memo",
@@ -115,11 +133,29 @@ fn assert_memoized_research_speedup() {
         ratio >= TARGET,
         "memoized re-search speedup {ratio:.1}x is below the {TARGET}x gate"
     );
+    (
+        cold_time.as_secs_f64() * 1e3,
+        warm_time.as_secs_f64() * 1e3,
+        TARGET,
+    )
 }
 
 fn bench(c: &mut Criterion) {
-    assert_searched_beats_heuristic_edp();
-    assert_memoized_research_speedup();
+    let (heuristic_edp, searched_edp) = assert_searched_beats_heuristic_edp();
+    let (memo_cold_ms, memo_warm_ms, memo_speedup_gate) = assert_memoized_research_speedup();
+    write_bench_json(
+        "BENCH_dse.json",
+        &DseBenchReport {
+            sample_cap: SAMPLE_CAP,
+            heuristic_edp,
+            searched_edp,
+            searched_over_heuristic_gain: heuristic_edp / searched_edp.max(f64::MIN_POSITIVE),
+            memo_cold_ms,
+            memo_warm_ms,
+            memo_speedup: memo_cold_ms / memo_warm_ms.max(f64::MIN_POSITIVE),
+            memo_speedup_gate,
+        },
+    );
 
     // Steady-state criterion loops.
     let context = ctx();

@@ -117,6 +117,77 @@ pub fn pareto_front_n<const N: usize>(
     front
 }
 
+/// An incrementally maintained non-dominated set over `N` objectives.
+///
+/// The sharded hardware sweep streams partial Pareto fronts as worker
+/// results land, so it cannot afford to re-run [`pareto_front_indices`]
+/// over the full result set on every arrival.  The accumulator keeps only
+/// the currently non-dominated points: an [`insert`](Self::insert) either
+/// rejects a dominated newcomer or admits it and evicts everything it
+/// dominates.
+///
+/// Dominance is order-independent, so after inserting every point of a set
+/// (in **any** order, each tagged with its identifying index) the surviving
+/// index set equals `pareto_front_indices` over the whole set — exact
+/// metric duplicates all survive, matching the batch function.
+#[derive(Debug, Clone)]
+pub struct FrontAccumulator<const N: usize> {
+    directions: [Direction; N],
+    entries: Vec<([f64; N], usize)>,
+}
+
+impl<const N: usize> FrontAccumulator<N> {
+    /// Creates an empty accumulator with one [`Direction`] per axis.
+    pub fn new(directions: [Direction; N]) -> Self {
+        Self {
+            directions,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Offers a point (its metrics plus a caller-meaningful index).  Returns
+    /// `true` when the point joins the front, `false` when an existing
+    /// member dominates it.  Admission may evict existing members.
+    pub fn insert(&mut self, metrics: [f64; N], index: usize) -> bool {
+        if self
+            .entries
+            .iter()
+            .any(|(m, _)| dominates(m, &metrics, &self.directions))
+        {
+            return false;
+        }
+        self.entries
+            .retain(|(m, _)| !dominates(&metrics, m, &self.directions));
+        self.entries.push((metrics, index));
+        true
+    }
+
+    /// The surviving indices, ascending — a canonical order independent of
+    /// insertion history.
+    pub fn indices(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.entries.iter().map(|&(_, i)| i).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The surviving `(metrics, index)` pairs, ascending by index.
+    pub fn entries(&self) -> Vec<([f64; N], usize)> {
+        let mut out = self.entries.clone();
+        out.sort_unstable_by_key(|&(_, i)| i);
+        out
+    }
+
+    /// Number of points currently on the front.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// One candidate operating point of the Bit-Flip trade-off (both axes
 /// maximised) — the original two-metric API, now a thin wrapper over
 /// [`ParetoPointN<2>`].
@@ -275,6 +346,20 @@ mod tests {
         assert_eq!(pareto_front_indices(&metrics, &dirs), vec![0, 1, 2]);
     }
 
+    #[test]
+    fn accumulator_admits_evicts_and_rejects() {
+        let mut acc = FrontAccumulator::new([Direction::Minimize, Direction::Minimize]);
+        assert!(acc.is_empty());
+        assert!(acc.insert([2.0, 2.0], 0));
+        assert!(acc.insert([1.0, 3.0], 1), "trade-off joins the front");
+        assert!(!acc.insert([3.0, 3.0], 2), "dominated newcomer is rejected");
+        assert!(acc.insert([1.0, 1.0], 3), "dominator evicts both members");
+        assert_eq!(acc.indices(), vec![3]);
+        assert!(acc.insert([1.0, 1.0], 4), "exact duplicates all survive");
+        assert_eq!(acc.indices(), vec![3, 4]);
+        assert_eq!(acc.len(), 2);
+    }
+
     /// Random-point strategies for the property tests: small integer-derived
     /// metrics maximise the chance of ties and duplicates.
     fn metric(raw: u8) -> f64 {
@@ -336,6 +421,31 @@ mod tests {
                 pareto_front_n(pts, &dirs).iter().map(|p| p.metrics).collect()
             };
             prop_assert_eq!(front(&points), front(&rotated));
+        }
+
+        /// The accumulator reproduces the batch front regardless of the
+        /// order points arrive in — the invariant the sharded sweep's
+        /// streamed partial fronts rely on.
+        #[test]
+        fn accumulator_matches_batch_front_under_any_arrival_order(
+            raw in proptest::collection::vec(proptest::strategy::any::<u8>(), 0..60),
+            rot in proptest::strategy::any::<usize>(),
+        ) {
+            let dirs = [Direction::Minimize, Direction::Minimize, Direction::Maximize];
+            let metrics: Vec<[f64; 3]> = raw
+                .chunks_exact(3)
+                .map(|c| [metric(c[0]), metric(c[1]), metric(c[2])])
+                .collect();
+            let mut order: Vec<usize> = (0..metrics.len()).collect();
+            if !order.is_empty() {
+                let mid = rot % order.len();
+                order.rotate_left(mid);
+            }
+            let mut acc = FrontAccumulator::new(dirs);
+            for &i in &order {
+                acc.insert(metrics[i], i);
+            }
+            prop_assert_eq!(acc.indices(), pareto_front_indices(&metrics, &dirs));
         }
 
         /// The classic two-metric wrapper agrees with the generalised front.

@@ -21,7 +21,7 @@ use bitwave_accel::spec::AcceleratorSpec;
 use bitwave_dataflow::activity::{TemporalMapping, TilingOrder};
 use bitwave_dataflow::su::SpatialUnrolling;
 use bitwave_dnn::layer::LayerSpec;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Placeholder `SpatialUnrolling::name` of generated candidates; the
 /// human-readable shape lives in [`Candidate::label`].
@@ -29,7 +29,7 @@ pub const GENERATED_SU_NAME: &str = "DSE";
 
 /// Configuration of the enumerated space.  Part of the memoization key: two
 /// searches agree only if they explored the same space.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchSpace {
     /// Lowest admitted parallelism as a fraction of the accelerator's peak
     /// lane count (shapes below it waste the array and only widen the

@@ -24,8 +24,11 @@
 use crate::admission::RateLimiter;
 use crate::batch::{Dispatcher, JobKind, Placement};
 use crate::cache::{CacheOp, CacheOutcome};
+use crate::design::{DesignEvent, DesignHub};
 use crate::error::ServeError;
-use crate::http::{parse_request, HttpError, ParseStatus, Request, Response};
+use crate::http::{
+    chunk_frame, parse_request, HttpError, ParseStatus, Request, Response, LAST_CHUNK,
+};
 use crate::metrics::ServiceMetrics;
 use crate::poller::{Event, Interest, Poller, WakeReader};
 use crate::server::{error_response, route, ServiceState};
@@ -38,13 +41,23 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Keep-alive connections with no traffic close after this long.
+/// Default for [`crate::ServeConfig::keep_alive_idle`]: keep-alive
+/// connections with no traffic close after this long.
 pub const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
-/// A started-but-incomplete request must finish within this, else `408`.
+/// Default for [`crate::ServeConfig::read_timeout`]: a
+/// started-but-incomplete request must finish within this, else `408`.
 pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
-/// A connection whose peer accepts no response byte for this long is
-/// dropped.
+/// Default for [`crate::ServeConfig::write_timeout`]: a connection whose
+/// peer accepts no response byte for this long is dropped.
 pub const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The three connection deadlines, resolved from [`crate::ServeConfig`].
+#[derive(Debug, Clone, Copy)]
+struct Deadlines {
+    idle: Duration,
+    read: Duration,
+    write: Duration,
+}
 
 /// Soft cap on buffered unparsed request bytes per connection; reading
 /// pauses (level-triggered readiness resumes it) once reached.
@@ -89,15 +102,15 @@ impl Conn {
         self.written < self.write_buf.len()
     }
 
-    fn deadline(&self) -> Option<Instant> {
+    fn deadline(&self, deadlines: &Deadlines) -> Option<Instant> {
         if self.write_pending() {
-            Some(self.last_progress + WRITE_TIMEOUT)
+            Some(self.last_progress + deadlines.write)
         } else if self.processing {
             None
         } else if let Some(start) = self.request_start {
-            Some(start + READ_TIMEOUT)
+            Some(start + deadlines.read)
         } else {
-            Some(self.last_progress + KEEP_ALIVE_IDLE)
+            Some(self.last_progress + deadlines.idle)
         }
     }
 }
@@ -114,6 +127,10 @@ pub(crate) struct EventLoop {
     dispatcher: Dispatcher<ConnWaiter>,
     limiter: Option<RateLimiter>,
     max_conns: usize,
+    deadlines: Deadlines,
+    /// Design-stream subscribers: sweep digest hex → connection tokens
+    /// receiving that sweep's chunked NDJSON frames.
+    design_subs: HashMap<String, Vec<usize>>,
 }
 
 impl EventLoop {
@@ -129,6 +146,11 @@ impl EventLoop {
         let dispatcher = Dispatcher::new(state.config.batching, state.config.max_inflight);
         let limiter = state.config.rate_limit.map(RateLimiter::new);
         let max_conns = state.config.queue_capacity.max(1);
+        let deadlines = Deadlines {
+            idle: state.config.keep_alive_idle,
+            read: state.config.read_timeout,
+            write: state.config.write_timeout,
+        };
         Ok(Self {
             state,
             poller,
@@ -139,6 +161,8 @@ impl EventLoop {
             dispatcher,
             limiter,
             max_conns,
+            deadlines,
+            design_subs: HashMap::new(),
         })
     }
 
@@ -156,6 +180,7 @@ impl EventLoop {
                     WAKER_TOKEN => {
                         self.wake_reader.drain();
                         self.drain_completions();
+                        self.drain_design_events();
                     }
                     LISTENER_TOKEN => self.accept_ready(),
                     token => {
@@ -188,7 +213,11 @@ impl EventLoop {
 
     /// Nearest per-connection deadline, as a wait timeout.
     fn next_timeout(&self) -> Option<Duration> {
-        let nearest = self.conns.values().filter_map(Conn::deadline).min()?;
+        let nearest = self
+            .conns
+            .values()
+            .filter_map(|conn| conn.deadline(&self.deadlines))
+            .min()?;
         Some(nearest.saturating_duration_since(Instant::now()))
     }
 
@@ -369,6 +398,7 @@ impl EventLoop {
                 self.handle_compute(conn, request, close, CacheOp::Evaluate)
             }
             ("POST", "/v1/search") => self.handle_compute(conn, request, close, CacheOp::Search),
+            ("POST", "/v1/design") => self.handle_design(conn, request),
             ("GET", path) if path.starts_with("/v1/reports/") => {
                 let response = self.replay_nonblocking(path);
                 self.queue_response(conn, response, close);
@@ -464,6 +494,91 @@ impl EventLoop {
             .metrics
             .inflight_depth
             .store(self.dispatcher.inflight() as u64, Ordering::Relaxed);
+    }
+
+    /// `POST /v1/design`: a completed sweep replays from the store as one
+    /// final NDJSON line; otherwise the connection subscribes to the (new
+    /// or already-running) sweep's stream of partial-front frames.  Either
+    /// way the response is chunked, `connection: close`, and tagged with
+    /// the sweep digest.
+    fn handle_design(&mut self, conn: &mut Conn, request: &Request) {
+        let config = match crate::design::parse_design(&request.body) {
+            Ok(config) => config,
+            Err(e) => {
+                self.queue_response(conn, error_response(&e), true);
+                return;
+            }
+        };
+        let sweep = config.digest().to_hex();
+        let mut head = Response::json(200, Vec::new()).with_header("x-bitwave-sweep", &*sweep);
+        head.content_type = "application/x-ndjson";
+        if let Some(line) = self.state.design.replay(&sweep) {
+            conn.write_buf
+                .extend_from_slice(&head.serialize_chunked_head(true));
+            conn.write_buf
+                .extend_from_slice(&chunk_frame(format!("{line}\n").as_bytes()));
+            conn.write_buf.extend_from_slice(LAST_CHUNK);
+            conn.pending_close = true;
+            return;
+        }
+        DesignHub::ensure_running(&self.state, config, sweep.clone());
+        conn.write_buf
+            .extend_from_slice(&head.serialize_chunked_head(true));
+        // `processing` pauses request parsing and suspends the idle/read
+        // deadlines for the lifetime of the stream; the write deadline
+        // still drops a subscriber that stops draining frames.
+        conn.processing = true;
+        self.design_subs.entry(sweep).or_default().push(conn.token);
+    }
+
+    /// Fans queued design-sweep events out to their subscriber streams.
+    fn drain_design_events(&mut self) {
+        for event in self.state.design.drain_events() {
+            match event {
+                DesignEvent::Frame { sweep, line } => {
+                    let Some(tokens) = self.design_subs.get(&sweep).cloned() else {
+                        continue; // no subscribers (all died); sweep persists anyway
+                    };
+                    let frame = chunk_frame(format!("{line}\n").as_bytes());
+                    let alive: Vec<usize> = tokens
+                        .into_iter()
+                        .filter(|&token| self.push_stream_bytes(token, &frame, false))
+                        .collect();
+                    if alive.is_empty() {
+                        self.design_subs.remove(&sweep);
+                    } else {
+                        self.design_subs.insert(sweep, alive);
+                    }
+                }
+                DesignEvent::Final { sweep, line } => {
+                    let Some(tokens) = self.design_subs.remove(&sweep) else {
+                        continue;
+                    };
+                    let mut bytes = chunk_frame(format!("{line}\n").as_bytes());
+                    bytes.extend_from_slice(LAST_CHUNK);
+                    for token in tokens {
+                        self.push_stream_bytes(token, &bytes, true);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Appends stream bytes to one subscriber and flushes; `finalize` ends
+    /// the stream (the connection closes once the buffer drains).  Returns
+    /// whether the connection is still alive and subscribed.
+    fn push_stream_bytes(&mut self, token: usize, bytes: &[u8], finalize: bool) -> bool {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return false;
+        };
+        conn.write_buf.extend_from_slice(bytes);
+        if finalize {
+            conn.processing = false;
+            conn.pending_close = true;
+        }
+        let keep = self.flush(&mut conn);
+        self.settle(conn, keep);
+        keep && !finalize
     }
 
     fn queue_response(&self, conn: &mut Conn, response: Response, close: bool) {
@@ -569,16 +684,22 @@ impl EventLoop {
         let mut timeout_tokens = Vec::new();
         for (&token, conn) in &self.conns {
             if conn.write_pending() {
-                if now >= conn.last_progress + WRITE_TIMEOUT {
+                if now >= conn.last_progress + self.deadlines.write {
+                    ServiceMetrics::bump(&self.state.metrics.stalled_writer_dropped);
                     drop_tokens.push(token);
                 }
             } else if conn.processing {
                 // The response is coming; no deadline of its own.
             } else if let Some(start) = conn.request_start {
-                if now >= start + READ_TIMEOUT {
+                if now >= start + self.deadlines.read {
                     timeout_tokens.push(token);
                 }
-            } else if conn.pending_close || now >= conn.last_progress + KEEP_ALIVE_IDLE {
+            } else if conn.pending_close {
+                // Response drained with close pending: a normal completion,
+                // not an idle expiry.
+                drop_tokens.push(token);
+            } else if now >= conn.last_progress + self.deadlines.idle {
+                ServiceMetrics::bump(&self.state.metrics.idle_closed);
                 drop_tokens.push(token);
             }
         }
@@ -589,6 +710,7 @@ impl EventLoop {
             let Some(mut conn) = self.conns.remove(&token) else {
                 continue;
             };
+            ServiceMetrics::bump(&self.state.metrics.request_timeout_408);
             conn.read_buf.clear();
             conn.request_start = None;
             self.queue_response(

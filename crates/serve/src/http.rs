@@ -4,7 +4,10 @@
 //! small vendored-shim-style implementation instead of a framework: request
 //! parsing (request line, headers, `Content-Length` body), response writing,
 //! and persistent connections.  Only what the service and its clients need
-//! is implemented — no chunked transfer encoding, no trailers, no
+//! is implemented — chunked transfer encoding exists on the **response**
+//! side only (the streaming `/v1/design` endpoint, via
+//! [`Response::serialize_chunked_head`] + [`chunk_frame`]); chunked
+//! *requests* are still rejected, and there are no trailers and no
 //! `Expect: 100-continue`.
 //!
 //! Two parsers share one set of framing rules:
@@ -490,6 +493,43 @@ impl Response {
         stream.write_all(&self.serialize(close))?;
         stream.flush()
     }
+
+    /// The wire form of a `Transfer-Encoding: chunked` response **head**
+    /// (status line + headers, no body) — what a streaming endpoint writes
+    /// before its first [`chunk_frame`].  `self.body` is ignored; the
+    /// stream must be finished with [`LAST_CHUNK`].
+    pub fn serialize_chunked_head(&self, close: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            if close { "close" } else { "keep-alive" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        head.into_bytes()
+    }
+}
+
+/// The terminating frame of a chunked response body.
+pub const LAST_CHUNK: &[u8] = b"0\r\n\r\n";
+
+/// One chunked-encoding frame: hex length line, payload, CRLF.  Empty
+/// payloads are skipped (an empty chunk would terminate the stream).
+pub fn chunk_frame(payload: &[u8]) -> Vec<u8> {
+    if payload.is_empty() {
+        return Vec::new();
+    }
+    let mut frame = format!("{:x}\r\n", payload.len()).into_bytes();
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(b"\r\n");
+    frame
 }
 
 #[cfg(test)]
@@ -707,5 +747,29 @@ mod tests {
         assert!(wire.ends_with("\r\n\r\n{\"ok\":true}"));
         let closed = String::from_utf8(r.serialize(true)).unwrap();
         assert!(closed.contains("connection: close\r\n"));
+    }
+
+    #[test]
+    fn chunked_head_replaces_content_length_framing() {
+        let r = Response::json(200, "ignored").with_header("x-bitwave-sweep", "abc");
+        let head = String::from_utf8(r.serialize_chunked_head(true)).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(head.contains("transfer-encoding: chunked\r\n"));
+        assert!(head.contains("connection: close\r\n"));
+        assert!(head.contains("x-bitwave-sweep: abc\r\n"));
+        assert!(!head.contains("content-length"), "chunked framing only");
+        assert!(head.ends_with("\r\n\r\n"), "head carries no body bytes");
+    }
+
+    #[test]
+    fn chunk_frames_carry_hex_lengths_and_crlf_delimiters() {
+        assert_eq!(chunk_frame(b"hello\n"), b"6\r\nhello\n\r\n");
+        let long = vec![b'x'; 0x1a];
+        let frame = chunk_frame(&long);
+        assert!(frame.starts_with(b"1a\r\n"));
+        assert!(frame.ends_with(b"\r\n"));
+        assert_eq!(frame.len(), 4 + 0x1a + 2);
+        assert!(chunk_frame(b"").is_empty(), "empty chunk would end stream");
+        assert_eq!(LAST_CHUNK, b"0\r\n\r\n");
     }
 }

@@ -42,6 +42,7 @@
 //! |----------|----------|
 //! | `POST /v1/evaluate` | run (or replay) one model × accelerator evaluation; body: `{"model", "accelerator?", "bitflip?", "seed?", "sample_cap?", "group_size?", "mapping?"}` |
 //! | `POST /v1/search` | run (or replay) the per-layer dataflow design-space search (`bitwave-dse`): winning mappings, Pareto fronts, heuristic-vs-searched EDP; same body minus `mapping` |
+//! | `POST /v1/design` | launch (or attach to) a `bitwave-sweep` hardware design sweep; streams partial Pareto fronts as chunked NDJSON lines, final [`bitwave_sweep::FrontReport`] last; completed sweeps replay byte-identically from the store |
 //! | `GET /v1/reports/{digest}` | replay a cached report by content digest, no recomputation |
 //! | `GET /v1/models` | the model registry (`bitwave_dnn::models::by_name` names) |
 //! | `GET /v1/accelerators` | the accelerator registry (`AcceleratorSpec::by_name` names) |
@@ -95,6 +96,7 @@ pub mod api;
 mod batch;
 pub mod cache;
 pub mod client;
+pub mod design;
 pub mod error;
 mod event_loop;
 pub mod http;

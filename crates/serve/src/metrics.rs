@@ -47,6 +47,14 @@ pub struct ServiceMetrics {
     pub batch_coalesced: AtomicU64,
     /// Requests answered through a dispatch fan-out (triggers + riders).
     pub batch_requests: AtomicU64,
+    /// Keep-alive connections closed by the idle deadline.
+    pub idle_closed: AtomicU64,
+    /// Connections answered 408 because a partial request outlived the read
+    /// deadline.
+    pub request_timeout_408: AtomicU64,
+    /// Connections dropped because the client stopped draining a pending
+    /// response past the write deadline.
+    pub stalled_writer_dropped: AtomicU64,
     /// Currently open client connections (event-loop gauge).
     pub connections_open: AtomicU64,
     /// Distinct digests currently dispatched or gathering (event-loop
@@ -133,6 +141,21 @@ impl ServiceMetrics {
             "bitwave_serve_batch_requests_total",
             "Requests answered through dispatch fan-outs.",
             self.batch_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_serve_idle_closed_total",
+            "Keep-alive connections closed by the idle deadline.",
+            self.idle_closed.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_serve_request_timeout_408_total",
+            "Partial requests answered 408 at the read deadline.",
+            self.request_timeout_408.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_serve_stalled_writer_dropped_total",
+            "Connections dropped for not draining a response by the write deadline.",
+            self.stalled_writer_dropped.load(Ordering::Relaxed),
         );
 
         // Aggregate cache families (evaluate + search), for continuity with
@@ -340,6 +363,9 @@ mod tests {
             "bitwave_serve_batch_dispatches_total 0",
             "bitwave_serve_batch_coalesced_total 0",
             "bitwave_serve_batch_requests_total 0",
+            "bitwave_serve_idle_closed_total 0",
+            "bitwave_serve_request_timeout_408_total 0",
+            "bitwave_serve_stalled_writer_dropped_total 0",
             "bitwave_serve_connections_open 0",
             "bitwave_serve_inflight_depth 0",
             "bitwave_serve_cache_hits_total 0",

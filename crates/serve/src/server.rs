@@ -82,6 +82,14 @@ pub struct ServeConfig {
     /// dispatch as one job.  `false` reproduces the slot-per-request cost
     /// model (the `bench_serve` unbatched baseline).
     pub batching: bool,
+    /// Idle keep-alive connections close after this long (counted in
+    /// `bitwave_serve_idle_closed_total`).
+    pub keep_alive_idle: std::time::Duration,
+    /// A started-but-incomplete request must finish within this, else the
+    /// connection is answered `408` and closed.
+    pub read_timeout: std::time::Duration,
+    /// A peer that accepts no response byte for this long is dropped.
+    pub write_timeout: std::time::Duration,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +106,9 @@ impl Default for ServeConfig {
             max_inflight: 64,
             rate_limit: None,
             batching: true,
+            keep_alive_idle: crate::event_loop::KEEP_ALIVE_IDLE,
+            read_timeout: crate::event_loop::READ_TIMEOUT,
+            write_timeout: crate::event_loop::WRITE_TIMEOUT,
         }
     }
 }
@@ -117,6 +128,7 @@ pub struct ServiceState {
     pub(crate) jobs: JobQueue,
     pub(crate) completions: Completions,
     pub(crate) waker: Waker,
+    pub(crate) design: crate::design::DesignHub,
 }
 
 /// Handle to a running service; dropping it does **not** stop the service —
@@ -186,8 +198,16 @@ pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     })?;
     let (waker, wake_reader) =
         Waker::pair().map_err(|e| ServeError::Internal(format!("waker: {e}")))?;
+    let design = crate::design::DesignHub::new(&store_config, config.store_root.as_deref())
+        .map_err(|e| {
+            ServeError::Internal(format!(
+                "design store {}: {e}",
+                config.store_root.as_deref().unwrap_or("<memory>")
+            ))
+        })?;
     let state = Arc::new(ServiceState {
         cache,
+        design,
         store: ModelStore::new(config.store_capacity),
         metrics: ServiceMetrics::default(),
         shutdown: AtomicBool::new(false),
@@ -309,11 +329,15 @@ pub fn route(request: &Request, state: &ServiceState) -> Response {
         ("GET", "/v1/accelerators") => json_or_500(&list_accelerators()),
         ("POST", "/v1/evaluate") => evaluate(request, state),
         ("POST", "/v1/search") => search(request, state),
+        // Over the network the event loop intercepts this arm to stream
+        // partial fronts; the synchronous path can only replay a completed
+        // sweep from the store.
+        ("POST", "/v1/design") => design_replay(request, state),
         ("GET", path) if path.starts_with("/v1/reports/") => replay_report(path, state),
         (
             _,
             "/healthz" | "/metrics" | "/v1/models" | "/v1/accelerators" | "/v1/evaluate"
-            | "/v1/search",
+            | "/v1/search" | "/v1/design",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
@@ -373,6 +397,26 @@ fn search(request: &Request, state: &ServiceState) -> Response {
             .with_header("x-bitwave-cache", outcome.as_str())
             .with_header("x-bitwave-digest", hex),
         Err(message) => error_response(&ServeError::Internal(message)),
+    }
+}
+
+/// The synchronous `POST /v1/design` arm: replays a **completed** sweep's
+/// final [`bitwave_sweep::FrontReport`] from the design store.  Streaming a
+/// live sweep needs a network connection (the event loop intercepts the
+/// route before this arm and answers with chunked NDJSON instead).
+fn design_replay(request: &Request, state: &ServiceState) -> Response {
+    let config = match crate::design::parse_design(&request.body) {
+        Ok(config) => config,
+        Err(e) => return error_response(&e),
+    };
+    let sweep = config.digest().to_hex();
+    match state.design.replay(&sweep) {
+        Some(line) => Response::json(200, line.as_bytes().to_vec())
+            .with_header("x-bitwave-sweep", sweep)
+            .with_header("x-bitwave-cache", "hit"),
+        None => error_response(&ServeError::NotFound(format!(
+            "sweep `{sweep}` has no completed report; POST over HTTP to stream it"
+        ))),
     }
 }
 

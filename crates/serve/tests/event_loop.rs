@@ -233,6 +233,115 @@ fn identical_concurrent_requests_share_one_dispatch() {
     handle.shutdown();
 }
 
+/// An idle keep-alive connection is closed at the configured idle deadline
+/// and counted in `bitwave_serve_idle_closed_total` — while an active
+/// client on the same server keeps its connection.
+#[test]
+fn idle_keep_alive_connections_close_and_are_counted() {
+    let handle = start(ServeConfig {
+        workers: 2,
+        keep_alive_idle: Duration::from_millis(200),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+    let state = Arc::clone(handle.state());
+
+    // Park a connection that never sends a request.
+    let idle = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    assert_eq!(
+        state.metrics.idle_closed.load(Ordering::Relaxed),
+        1,
+        "the parked connection must be closed as idle"
+    );
+    // The server closed its end: reading yields EOF, not a hang.
+    let mut reader = BufReader::new(idle);
+    assert!(
+        read_response(&mut reader).is_none(),
+        "an idle-closed connection carries no response"
+    );
+
+    // An active client is not an idle victim, and a request completing
+    // normally does not bump the counter.
+    let mut client = Client::new(addr);
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    assert_eq!(state.metrics.idle_closed.load(Ordering::Relaxed), 1);
+    handle.shutdown();
+}
+
+/// A connection that starts a request but never finishes it is answered
+/// `408 Request Timeout` at the configured read deadline and counted in
+/// `bitwave_serve_request_timeout_408_total`.
+#[test]
+fn partial_requests_get_408_at_the_read_deadline_and_are_counted() {
+    let handle = start(ServeConfig {
+        workers: 2,
+        read_timeout: Duration::from_millis(200),
+        keep_alive_idle: Duration::from_secs(30),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+    let state = Arc::clone(handle.state());
+
+    // Send an incomplete request head and stall.
+    let mut slow = TcpStream::connect(addr).unwrap();
+    std::io::Write::write_all(&mut slow, b"GET /healthz HTTP/1.1\r\nhost: x").unwrap();
+    let mut reader = BufReader::new(slow);
+    let response = read_response(&mut reader).expect("the server must answer before closing");
+    assert_eq!(response.status, 408);
+    assert_eq!(response.header("connection"), Some("close"));
+    assert_eq!(
+        state.metrics.request_timeout_408.load(Ordering::Relaxed),
+        1,
+        "the stalled request must be counted"
+    );
+    handle.shutdown();
+}
+
+/// A peer that stops draining its response is dropped at the configured
+/// write deadline and counted in
+/// `bitwave_serve_stalled_writer_dropped_total`.
+#[test]
+fn stalled_writers_are_dropped_at_the_write_deadline_and_counted() {
+    let handle = start(ServeConfig {
+        workers: 2,
+        write_timeout: Duration::from_millis(250),
+        keep_alive_idle: Duration::from_secs(30),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.local_addr();
+    let state = Arc::clone(handle.state());
+
+    // Pipeline many /metrics requests without ever reading a byte: the
+    // responses overrun the socket's send buffer, the write stalls, and the
+    // deadline must fire.
+    let mut greedy = TcpStream::connect(addr).unwrap();
+    let request = b"GET /metrics HTTP/1.1\r\nhost: x\r\n\r\n";
+    for _ in 0..2000 {
+        if std::io::Write::write_all(&mut greedy, request).is_err() {
+            break; // server already dropped us — also fine
+        }
+    }
+    let waited = Instant::now();
+    while state.metrics.stalled_writer_dropped.load(Ordering::Relaxed) == 0
+        && waited.elapsed() < Duration::from_secs(5)
+    {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(
+        state.metrics.stalled_writer_dropped.load(Ordering::Relaxed),
+        1,
+        "the never-reading client must be dropped and counted"
+    );
+    // The loop stayed healthy for everyone else.
+    let mut client = Client::new(addr);
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    handle.shutdown();
+}
+
 /// Distinct requests sharing one `(model, seed, sample_cap)` weight set
 /// gather behind the executing batch and dispatch as a single follow-up
 /// job instead of racing for workers.

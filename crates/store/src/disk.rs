@@ -53,8 +53,20 @@ pub struct DiskTier {
     max_bytes: u64,
     entries: AtomicU64,
     bytes: AtomicU64,
-    tmp_counter: AtomicU64,
 }
+
+/// Temp-file sequence shared by every tier handle in the process.  Two
+/// handles opened on the *same* directory (e.g. sweep workers sharing one
+/// store root) would otherwise generate colliding `.tmp-<pid>-<n>` names,
+/// truncate each other's in-flight temp files and publish one key's
+/// filename with another key's payload.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Orphaned temp files younger than this are left alone at open: they may
+/// be a live writer's in-flight entry in a directory shared across handles
+/// or processes.  Real orphans (crashed writers) age past it and get swept
+/// by the next open.
+const TMP_SWEEP_MIN_AGE: std::time::Duration = std::time::Duration::from_secs(60);
 
 impl DiskTier {
     /// Opens (creating if needed) the tier at `<root>/<op>` and scans it to
@@ -73,13 +85,23 @@ impl DiskTier {
             let entry = entry?;
             // Sweep temp files orphaned by a crash mid-write — they were
             // never published (the rename didn't happen), so they are dead
-            // weight no gauge or cap would otherwise see.
+            // weight no gauge or cap would otherwise see.  Only aged ones:
+            // a young temp may belong to a live writer in a directory
+            // shared with other handles or processes.
             if entry
                 .file_name()
                 .to_str()
                 .is_some_and(|n| n.starts_with(".tmp-"))
             {
-                let _ = fs::remove_file(entry.path());
+                let aged = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|mtime| mtime.elapsed().ok())
+                    .is_some_and(|age| age >= TMP_SWEEP_MIN_AGE);
+                if aged {
+                    let _ = fs::remove_file(entry.path());
+                }
                 continue;
             }
             if !Self::is_entry_name(&entry.file_name()) {
@@ -97,7 +119,6 @@ impl DiskTier {
             max_bytes,
             entries: AtomicU64::new(entries),
             bytes: AtomicU64::new(bytes),
-            tmp_counter: AtomicU64::new(0),
         })
     }
 
@@ -191,7 +212,7 @@ impl DiskTier {
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
-            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
         let written = (|| -> io::Result<()> {
             let mut file = fs::File::create(&tmp)?;
@@ -374,6 +395,48 @@ mod tests {
         .unwrap();
         assert_eq!(tier.read(other), Err(DiskMiss::Quarantined));
         assert_eq!(tier.read(key).unwrap(), b"data");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    /// Two handles on the *same* directory (sweep workers sharing a store
+    /// root) must never truncate each other's in-flight temp files: every
+    /// published entry reads back valid under its own key and nothing is
+    /// quarantined.  Before the process-wide temp counter, both handles
+    /// named temps `.tmp-<pid>-0`, `.tmp-<pid>-1`, … and concurrent writes
+    /// aliased one key's filename with another key's payload.
+    #[test]
+    fn concurrent_handles_on_one_directory_never_alias_entries() {
+        let root = temp_root("shared-handles");
+        let writers: Vec<_> = (0..2)
+            .map(|handle| {
+                let root = root.clone();
+                std::thread::spawn(move || {
+                    let tier = DiskTier::open(&root, "op", 0).unwrap();
+                    for i in 0..200 {
+                        let key = Digest::of_bytes(format!("h{handle}-k{i}").as_bytes());
+                        assert!(tier.write(key, format!("h{handle}-payload-{i}").as_bytes()));
+                    }
+                })
+            })
+            .collect();
+        for writer in writers {
+            writer.join().unwrap();
+        }
+        let tier = DiskTier::open(&root, "op", 0).unwrap();
+        for handle in 0..2 {
+            for i in 0..200 {
+                let key = Digest::of_bytes(format!("h{handle}-k{i}").as_bytes());
+                assert_eq!(
+                    tier.read(key).unwrap(),
+                    format!("h{handle}-payload-{i}").as_bytes(),
+                    "entry h{handle}-k{i} must read back under its own key"
+                );
+            }
+        }
+        assert!(
+            !tier.dir().join(QUARANTINE_DIR).exists(),
+            "no cross-written entries may be quarantined"
+        );
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -21,6 +21,9 @@
 //! * [`config::StoreConfig`] — root directory and per-tier capacities;
 //!   persistence is **off by default**, so a default-configured store is
 //!   indistinguishable from the bounded in-memory caches it replaced.
+//! * [`claim::ClaimLedger`] — a TTL-expiring cross-process work-claim
+//!   ledger (`create_new` claim files) that turns a shared store root into
+//!   a work-stealing queue for sharded sweeps.
 //!
 //! ```
 //! use bitwave_core::digest::Digest;
@@ -50,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod claim;
 pub mod codec;
 pub mod config;
 pub mod disk;
@@ -57,6 +61,7 @@ pub mod memory;
 pub mod stats;
 pub mod tiered;
 
+pub use claim::{ClaimLedger, ClaimOutcome};
 pub use codec::{CodecError, JsonCodec, StoreCodec, StringCodec};
 pub use config::StoreConfig;
 pub use disk::{DiskTier, FORMAT_VERSION, QUARANTINE_DIR};

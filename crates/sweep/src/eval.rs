@@ -1,0 +1,193 @@
+//! Candidate evaluation: one hardware point against the whole workload
+//! portfolio, through the existing per-layer design-space search and the
+//! Eq. 1–5 cost stack.
+
+use crate::config::SweepConfig;
+use crate::menu::{menu_rows, MenuRow};
+use crate::space::CandidatePoint;
+use bitwave::context::ExperimentContext;
+use bitwave_accel::sparsity::LayerSparsityProfile;
+use bitwave_dataflow::MemoryHierarchy;
+use bitwave_dnn::models::{by_name, NetworkSpec};
+use bitwave_dse::DseEngine;
+use serde::{Deserialize, Serialize};
+
+/// The pre-computed, hardware-independent inputs of one portfolio model:
+/// the network shape and its per-layer sparsity profiles.  Profiles depend
+/// only on (model, seed, sample cap), so one portfolio serves every
+/// candidate a worker evaluates.
+#[derive(Debug)]
+pub struct PortfolioModel {
+    /// The network.
+    pub network: NetworkSpec,
+    /// Per-layer sparsity profiles aligned with `network.layers`.
+    pub profiles: Vec<LayerSparsityProfile>,
+}
+
+/// Builds the portfolio (generating synthetic weights and profiling each
+/// layer once per model).
+///
+/// # Errors
+///
+/// Returns a message naming the unknown model or the profiling failure.
+pub fn build_portfolio(config: &SweepConfig) -> Result<Vec<PortfolioModel>, String> {
+    let ctx = ExperimentContext::default()
+        .with_seed(config.seed)
+        .with_sample_cap(config.sample_cap);
+    config
+        .portfolio
+        .iter()
+        .map(|name| {
+            let network =
+                by_name(name).map_err(|e| format!("unknown portfolio model `{name}`: {e}"))?;
+            let weights = ctx.weights(&network);
+            let profiles = ctx
+                .profiles(&network, &weights)
+                .map_err(|e| format!("profiling {name}: {e}"))?;
+            Ok(PortfolioModel { network, profiles })
+        })
+        .collect()
+}
+
+/// One model's outcome on one candidate (searched mappings).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelOutcome {
+    /// Model name.
+    pub model: String,
+    /// Σ total cycles under the searched mappings.
+    pub cycles: f64,
+    /// Σ energy (pJ) under the searched mappings.
+    pub energy_pj: f64,
+    /// Network EDP (`cycles × energy`).
+    pub edp: f64,
+}
+
+/// The persisted result of evaluating one candidate point — the store
+/// entry the sharded sweep coordinates on, so it carries everything the
+/// final report needs (no re-evaluation on assembly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointResult {
+    /// Enumeration index within the sweep.
+    pub index: usize,
+    /// Candidate label.
+    pub label: String,
+    /// The hardware point.
+    pub point: CandidatePoint,
+    /// Extrapolated area (mm²).
+    pub area_mm2: f64,
+    /// Whether every portfolio model mapped onto this hardware.  An
+    /// infeasible point records its first error and stays off the front.
+    pub feasible: bool,
+    /// First mapping error for infeasible points.
+    pub error: Option<String>,
+    /// Per-model outcomes in portfolio order (empty when infeasible).
+    pub models: Vec<ModelOutcome>,
+    /// Σ cycles across the portfolio.
+    pub total_cycles: f64,
+    /// Σ energy across the portfolio (pJ).
+    pub total_energy_pj: f64,
+    /// Portfolio EDP: Σ per-model EDP (each model runs as its own
+    /// workload, so EDPs add rather than multiply).
+    pub edp: f64,
+    /// Table-I-style instruction-memory menu of this candidate.
+    pub menu: Vec<MenuRow>,
+}
+
+impl PointResult {
+    /// The sweep's objective vector: `[EDP, energy, cycles, area]`, all
+    /// minimised.
+    pub fn objectives(&self) -> [f64; 4] {
+        [
+            self.edp,
+            self.total_energy_pj,
+            self.total_cycles,
+            self.area_mm2,
+        ]
+    }
+}
+
+/// Evaluates one candidate against the portfolio.  Deterministic: same
+/// point + same config ⇒ identical result, on any worker.
+pub fn evaluate_point(
+    point: &CandidatePoint,
+    config: &SweepConfig,
+    portfolio: &[PortfolioModel],
+) -> PointResult {
+    let spec = point.spec();
+    let memory = MemoryHierarchy {
+        weight_sram_bytes: point.weight_sram_kb * 1024,
+        activation_sram_bytes: point.activation_sram_kb * 1024,
+        ..MemoryHierarchy::bitwave_default()
+    };
+    let engine = DseEngine::new(memory, bitwave_accel::EnergyModel::finfet_16nm())
+        .with_space(config.space.clone());
+
+    let mut models = Vec::with_capacity(portfolio.len());
+    let mut error = None;
+    for model in portfolio {
+        match engine.search_network_sequential(&spec, &model.network, &model.profiles) {
+            Ok(search) => models.push(ModelOutcome {
+                model: model.network.name.clone(),
+                cycles: search.searched_total_cycles,
+                energy_pj: search.searched_energy_pj,
+                edp: search.searched_edp,
+            }),
+            Err(e) => {
+                error = Some(format!("{}: {e}", model.network.name));
+                break;
+            }
+        }
+    }
+    let feasible = error.is_none();
+    if !feasible {
+        models.clear();
+    }
+    let total_cycles: f64 = models.iter().map(|m| m.cycles).sum();
+    let total_energy_pj: f64 = models.iter().map(|m| m.energy_pj).sum();
+    let edp: f64 = models.iter().map(|m| m.edp).sum();
+    PointResult {
+        index: point.index,
+        label: point.label(),
+        point: *point,
+        area_mm2: point.area_mm2(),
+        feasible,
+        error,
+        models,
+        total_cycles,
+        total_energy_pj,
+        edp,
+        menu: menu_rows(&spec.su_set),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::enumerate;
+
+    #[test]
+    fn unknown_models_fail_portfolio_construction() {
+        let mut config = SweepConfig::tiny();
+        config.portfolio = vec!["not-a-model".to_string()];
+        let err = build_portfolio(&config).unwrap_err();
+        assert!(err.contains("not-a-model"));
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_feasible_on_the_tiny_space() {
+        let config = SweepConfig::tiny();
+        let portfolio = build_portfolio(&config).unwrap();
+        let point = enumerate(&config)[0];
+        let a = evaluate_point(&point, &config, &portfolio);
+        let b = evaluate_point(&point, &config, &portfolio);
+        assert_eq!(a, b);
+        assert!(a.feasible, "paper-scale point must map: {:?}", a.error);
+        assert_eq!(a.models.len(), config.portfolio.len());
+        assert!(a.edp > 0.0);
+        assert_eq!(a.menu.len(), 7);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: PointResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

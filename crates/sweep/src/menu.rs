@@ -1,0 +1,64 @@
+//! Table-I-style instruction-memory menu export.
+//!
+//! Each Pareto-optimal candidate ships the SU menu its runtime dispatcher
+//! would hold in instruction memory: one row per SU with the unrolling
+//! dimensions and the weight/activation bandwidth columns of the paper's
+//! Table I.
+
+use bitwave_dataflow::su::SuSet;
+use serde::{Deserialize, Serialize};
+
+/// One instruction-memory menu row (one selectable SU).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MenuRow {
+    /// SU name (`"SU1"`, `"BS3@8192"`, …).
+    pub name: String,
+    /// Parallel input channels (`Cu`).
+    pub c: usize,
+    /// Parallel output channels (`Ku`).
+    pub k: usize,
+    /// Parallel output columns (`OXu`).
+    pub ox: usize,
+    /// Parallel channel groups (`Gu`, depthwise shapes).
+    pub g: usize,
+    /// Total parallel lanes.
+    pub parallelism: usize,
+    /// Weight bandwidth (bit/cycle, bit-serial streaming) — Table I "W BW".
+    pub weight_bw_bits: usize,
+    /// Activation bandwidth (bit/cycle, 8-bit operands) — Table I "Act BW".
+    pub act_bw_bits: usize,
+}
+
+/// Renders an SU set as menu rows, in the set's (instruction-memory) order.
+pub fn menu_rows(set: &SuSet) -> Vec<MenuRow> {
+    set.options
+        .iter()
+        .map(|su| MenuRow {
+            name: su.name.to_string(),
+            c: su.c,
+            k: su.k,
+            ox: su.ox,
+            g: su.g,
+            parallelism: su.parallelism(),
+            weight_bw_bits: su.weight_bits_per_cycle_bit_serial(),
+            act_bw_bits: su.activation_bits_per_cycle(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_menu_reproduces_the_paper_columns() {
+        let rows = menu_rows(&SuSet::bitwave());
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].name, "SU1");
+        assert_eq!(rows[0].weight_bw_bits, 256);
+        assert_eq!(rows[0].act_bw_bits, 1024);
+        assert_eq!(rows[3].weight_bw_bits, 1024);
+        assert_eq!(rows[3].act_bw_bits, 64);
+        assert_eq!(rows[6].parallelism, 128);
+    }
+}
