@@ -20,13 +20,13 @@ use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::sparsity::LayerSparsityProfile;
 use crate::spec::{AcceleratorSpec, PeStyle, WeightCompression};
 use bitwave_dataflow::mapping::{select_spatial_unrolling, MappingError};
-use bitwave_dataflow::{ActivityCounts, MemoryHierarchy};
+use bitwave_dataflow::{ActivityCounts, MemoryBoundedness, MemoryHierarchy};
 use bitwave_dnn::layer::LayerSpec;
 use bitwave_dnn::models::NetworkSpec;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// Performance and energy of one layer on one accelerator.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LayerResult {
     /// Layer name.
     pub layer: String,
@@ -39,12 +39,40 @@ pub struct LayerResult {
     /// Compute cycles (Eq. 2, including bit-serial cycle expansion and
     /// bit/column skipping).
     pub compute_cycles: f64,
-    /// Cycles spent on DRAM traffic (not hideable behind compute in Eq. 5).
+    /// Cycles spent on DRAM traffic: burst-quantised roofline cycles under a
+    /// constrained DRAM tier, the legacy additive Eq. 5 term otherwise.
     pub dram_cycles: f64,
-    /// Total latency in cycles (Eq. 5).
+    /// Total latency in cycles (Eq. 5, or `max(compute, dram)` under a
+    /// constrained DRAM tier).
     pub total_cycles: f64,
     /// Energy breakdown (Eq. 4).
     pub energy: EnergyBreakdown,
+    /// Compute-vs-memory verdict; present only under a constrained DRAM
+    /// tier (the unconstrained default reports `None` and serializes
+    /// without the field, keeping existing outputs byte-identical).
+    pub boundedness: Option<MemoryBoundedness>,
+}
+
+/// Hand-written so the `boundedness` field is omitted (not `null`) while
+/// the DRAM tier is unconstrained — figure/table exports of existing
+/// configurations keep their exact bytes.
+impl Serialize for LayerResult {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("layer".to_string(), self.layer.to_value()),
+            ("su".to_string(), self.su.to_value()),
+            ("utilization".to_string(), self.utilization.to_value()),
+            ("effective_macs".to_string(), self.effective_macs.to_value()),
+            ("compute_cycles".to_string(), self.compute_cycles.to_value()),
+            ("dram_cycles".to_string(), self.dram_cycles.to_value()),
+            ("total_cycles".to_string(), self.total_cycles.to_value()),
+            ("energy".to_string(), self.energy.to_value()),
+        ];
+        if let Some(boundedness) = &self.boundedness {
+            fields.push(("boundedness".to_string(), boundedness.to_value()));
+        }
+        Value::Object(fields)
+    }
 }
 
 /// Aggregated performance and energy of a whole network on one accelerator.
@@ -222,21 +250,53 @@ pub fn evaluate_layer_with_mapping(
     let reg_write_e = activity.reg_write as f64 * keep_w * keep_a;
 
     // Eq. 5: latency.  On-chip reads and register traffic overlap with
-    // compute; DRAM traffic and the final output write-back do not.
+    // compute; the output write-back does not.  DRAM traffic is additive at
+    // the unconstrained default (the legacy behaviour), and under a
+    // constrained DRAM tier becomes the second side of the per-layer
+    // roofline `max(cycle_compute, cycle_dram)` — DRAM transfers overlap
+    // with compute through double buffering, so the slower side sets the
+    // layer latency.
     let dram_bytes =
         activity.dram_read_act as f64 + dram_read_weight_e + activity.dram_write_act as f64;
-    let dram_cycles = dram_bytes * 8.0 / spec.dram_bandwidth_bits as f64;
     let sram_read_input_cycles = sram_read_input_e * 8.0 / spec.act_sram_bandwidth_bits as f64;
     let sram_read_weight_cycles = sram_read_weight_e * 8.0 / spec.weight_sram_bandwidth_bits as f64;
     let sram_write_output_cycles =
         activity.sram_write_output as f64 * 8.0 / spec.act_sram_bandwidth_bits as f64;
     let reg_cycles = reg_read_e / decision.su.parallelism().max(1) as f64;
-    let total_cycles = dram_cycles
-        + sram_write_output_cycles
+    let compute_side_cycles = sram_write_output_cycles
         + compute_cycles
             .max(sram_read_input_cycles)
             .max(sram_read_weight_cycles)
             .max(reg_cycles);
+    let (dram_cycles, total_cycles, boundedness) = if spec.dram.is_constrained() {
+        let dram_cycles = spec.dram.cycles_for_bytes(dram_bytes);
+        let dims = &layer.dims;
+        // The activity counts scale DRAM reads by the refetch multipliers,
+        // so dividing by the per-operand footprint recovers them exactly.
+        let weight_fetches = match dims.weight_count() {
+            0 => 0,
+            count => activity.dram_read_weight / count,
+        };
+        let act_fetches = match dims.input_count() {
+            0 => 0,
+            count => activity.dram_read_act / count,
+        };
+        let boundedness = MemoryBoundedness::from_roofline(
+            compute_side_cycles,
+            dram_cycles,
+            dram_bytes,
+            weight_fetches,
+            act_fetches,
+        );
+        (
+            dram_cycles,
+            compute_side_cycles.max(dram_cycles),
+            Some(boundedness),
+        )
+    } else {
+        let dram_cycles = dram_bytes * 8.0 / spec.dram_bandwidth_bits as f64;
+        (dram_cycles, dram_cycles + compute_side_cycles, None)
+    };
 
     // Eq. 4: energy.
     let compute_pj = match spec.pe_style {
@@ -266,6 +326,7 @@ pub fn evaluate_layer_with_mapping(
             register_pj,
             dram_pj,
         },
+        boundedness,
     }
 }
 
@@ -478,6 +539,79 @@ mod tests {
         assert!((a.speedup_over(&b) - 1.0 / s).abs() < 1e-12);
         assert!(b.relative_energy(&a) <= 1.0);
         assert!(b.efficiency_over(&a) >= 1.0);
+    }
+
+    #[test]
+    fn unconstrained_dram_totals_are_additive_and_unreported() {
+        let net = resnet18();
+        let layer = net.layer("layer3.0.conv1").unwrap();
+        let profile = layer_profile(layer);
+        let mem = MemoryHierarchy::bitwave_default();
+        let energy = EnergyModel::finfet_16nm();
+        let spec = AcceleratorSpec::bitwave(BitwaveOptimizations::all());
+        let result = evaluate_layer(&spec, layer, &profile, &mem, &energy).unwrap();
+        assert!(result.boundedness.is_none());
+        assert!(result.total_cycles > result.dram_cycles);
+        assert!(result.total_cycles > result.compute_cycles);
+        let json = serde_json::to_string(&result).unwrap();
+        assert!(
+            !json.contains("boundedness"),
+            "unconstrained layers must serialize without the boundedness key: {json}"
+        );
+    }
+
+    #[test]
+    fn generous_constrained_dram_reduces_to_compute_side() {
+        let net = resnet18();
+        let layer = net.layer("layer3.0.conv1").unwrap();
+        let profile = layer_profile(layer);
+        let mem = MemoryHierarchy::bitwave_default();
+        let energy = EnergyModel::finfet_16nm();
+        let mut spec = AcceleratorSpec::bitwave(BitwaveOptimizations::all());
+        spec.dram = bitwave_dataflow::DramSpec::constrained(1 << 30);
+        let result = evaluate_layer(&spec, layer, &profile, &mem, &energy).unwrap();
+        let boundedness = result
+            .boundedness
+            .expect("constrained tier reports verdict");
+        assert!(!boundedness.memory_bound);
+        assert!((result.total_cycles - boundedness.compute_side_cycles).abs() < 1e-9);
+        assert_eq!(boundedness.dram_stall_cycles, 0.0);
+        assert_eq!(boundedness.dram_stall_fraction, 0.0);
+        // The roofline's compute side equals the legacy total minus its
+        // additive DRAM term.
+        let legacy = evaluate_layer(
+            &AcceleratorSpec::bitwave(BitwaveOptimizations::all()),
+            layer,
+            &profile,
+            &mem,
+            &energy,
+        )
+        .unwrap();
+        let legacy_compute_side = legacy.total_cycles - legacy.dram_cycles;
+        assert!((boundedness.compute_side_cycles - legacy_compute_side).abs() < 1e-6);
+    }
+
+    #[test]
+    fn starved_dram_makes_the_layer_memory_bound() {
+        let net = resnet18();
+        let layer = net.layer("layer3.0.conv1").unwrap();
+        let profile = layer_profile(layer);
+        let mem = MemoryHierarchy::bitwave_default();
+        let energy = EnergyModel::finfet_16nm();
+        let mut spec = AcceleratorSpec::bitwave(BitwaveOptimizations::all());
+        spec.dram = bitwave_dataflow::DramSpec::constrained(1);
+        let result = evaluate_layer(&spec, layer, &profile, &mem, &energy).unwrap();
+        let boundedness = result
+            .boundedness
+            .expect("constrained tier reports verdict");
+        assert!(boundedness.memory_bound);
+        assert!((result.total_cycles - boundedness.dram_cycles).abs() < 1e-9);
+        assert!(boundedness.dram_stall_fraction > 0.5);
+        assert!(boundedness.weight_fetches >= 1);
+        assert!(boundedness.act_fetches >= 1);
+        let json = serde_json::to_string(&result).unwrap();
+        assert!(json.contains("\"boundedness\""));
+        assert!(json.contains("\"memory_bound\":true"));
     }
 
     #[test]

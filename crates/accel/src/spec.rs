@@ -7,8 +7,8 @@
 //! number of processing elements, and memory hierarchy").
 
 use bitwave_dataflow::su::{baseline_su, SpatialUnrolling};
-use bitwave_dataflow::SuSet;
-use serde::Serialize;
+use bitwave_dataflow::{DramSpec, SuSet};
+use serde::{Serialize, Value};
 
 /// The accelerators modelled in the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -125,7 +125,7 @@ impl BitwaveOptimizations {
 }
 
 /// A complete accelerator configuration for the performance model.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcceleratorSpec {
     /// Which accelerator this is.
     pub kind: AcceleratorKind,
@@ -151,6 +151,48 @@ pub struct AcceleratorSpec {
     pub weight_sram_bandwidth_bits: usize,
     /// BitWave-only optimisation toggles (ignored by other kinds).
     pub bitwave_opts: BitwaveOptimizations,
+    /// The DRAM tier.  [`DramSpec::unconstrained`] (the default everywhere)
+    /// keeps the legacy additive Eq. 5 cost with `dram_bandwidth_bits`
+    /// above; a [constrained](DramSpec::constrained) tier supersedes that
+    /// field and switches each layer to the roofline
+    /// `max(cycle_compute, cycle_dram)` with boundedness reporting.
+    pub dram: DramSpec,
+}
+
+/// Hand-written so the `dram` field is **omitted** from the canonical JSON
+/// while the tier is unconstrained: every digest that embeds a spec — DSE
+/// memo keys, sweep identities, report content digests — stays byte-stable
+/// for existing configurations, and only genuinely throttled specs address
+/// new cache entries.
+impl Serialize for AcceleratorSpec {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("kind".to_string(), self.kind.to_value()),
+            ("label".to_string(), self.label.to_value()),
+            ("pe_style".to_string(), self.pe_style.to_value()),
+            ("su_set".to_string(), self.su_set.to_value()),
+            ("sparsity".to_string(), self.sparsity.to_value()),
+            ("compression".to_string(), self.compression.to_value()),
+            ("sync_lanes".to_string(), self.sync_lanes.to_value()),
+            (
+                "dram_bandwidth_bits".to_string(),
+                self.dram_bandwidth_bits.to_value(),
+            ),
+            (
+                "act_sram_bandwidth_bits".to_string(),
+                self.act_sram_bandwidth_bits.to_value(),
+            ),
+            (
+                "weight_sram_bandwidth_bits".to_string(),
+                self.weight_sram_bandwidth_bits.to_value(),
+            ),
+            ("bitwave_opts".to_string(), self.bitwave_opts.to_value()),
+        ];
+        if self.dram.is_constrained() {
+            fields.push(("dram".to_string(), self.dram.to_value()));
+        }
+        Value::Object(fields)
+    }
 }
 
 /// An accelerator name that [`AcceleratorSpec::by_name`] could not resolve.
@@ -208,6 +250,7 @@ impl AcceleratorSpec {
                 sign_magnitude_bcs: false,
                 bit_flip: false,
             },
+            dram: DramSpec::unconstrained(),
         }
     }
 
@@ -531,6 +574,38 @@ mod tests {
         assert_eq!(err.name, "eyeriss");
         let msg = err.to_string();
         assert!(msg.contains("eyeriss") && msg.contains("bitwave-df-sm"));
+    }
+
+    #[test]
+    fn unconstrained_spec_serializes_without_a_dram_key() {
+        for name in AcceleratorSpec::REGISTRY_NAMES {
+            let spec = AcceleratorSpec::by_name(name).unwrap();
+            assert!(
+                !spec.dram.is_constrained(),
+                "`{name}` defaults unconstrained"
+            );
+            let json = serde_json::to_string(&spec).unwrap();
+            assert!(
+                !json.contains("\"dram\""),
+                "`{name}` must omit the dram field at the unconstrained default: {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn constrained_spec_serializes_the_dram_tier_and_changes_the_bytes() {
+        let baseline = AcceleratorSpec::bitwave(BitwaveOptimizations::all());
+        let mut throttled = baseline.clone();
+        throttled.dram = DramSpec::constrained(32);
+        let baseline_json = serde_json::to_string(&baseline).unwrap();
+        let throttled_json = serde_json::to_string(&throttled).unwrap();
+        assert_ne!(baseline_json, throttled_json);
+        assert!(throttled_json.contains("\"dram\""));
+        assert!(throttled_json.contains("\"bandwidth_bits\":32"));
+        assert!(
+            throttled_json.ends_with("}}"),
+            "dram must be the last field"
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ use bitwave::context::ExperimentContext;
 use bitwave::pipeline::Pipeline;
 use bitwave_accel::model::evaluate_layer;
 use bitwave_accel::LayerSparsityProfile;
-use bitwave_bench::print_header;
+use bitwave_bench::{print_header, write_bench_json};
 use bitwave_core::compress::BcsCodec;
 use bitwave_core::group::extract_groups;
 use bitwave_core::stats::LayerSparsityStats;
@@ -29,8 +29,25 @@ use bitwave_tensor::bits::Encoding;
 use bitwave_tensor::copy_metrics::CopyCounter;
 use bitwave_tensor::QuantTensor;
 use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// The `BENCH_pipeline.json` trajectory record, matching the
+/// `BENCH_dse.json`/`BENCH_dram.json` convention.
+#[derive(Serialize)]
+struct PipelineBenchReport {
+    cores: usize,
+    sequential_ms: f64,
+    parallel_ms: f64,
+    parallel_speedup: f64,
+    parallel_speedup_gate: f64,
+    weight_copies: u64,
+    shared_analysis_ms: f64,
+    legacy_emulation_ms: f64,
+    shared_analysis_speedup: f64,
+    shared_analysis_gate: f64,
+}
 
 fn pipeline_context() -> ExperimentContext {
     // Small cap: the bench compares orchestration overhead and scaling, not
@@ -38,7 +55,7 @@ fn pipeline_context() -> ExperimentContext {
     ExperimentContext::default().with_sample_cap(8_000)
 }
 
-fn print_scaling_summary(pipeline: &Pipeline) {
+fn print_scaling_summary(pipeline: &Pipeline) -> (usize, f64, f64, f64) {
     let net = resnet18();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     print_header(
@@ -82,12 +99,18 @@ fn print_scaling_summary(pipeline: &Pipeline) {
             "parallel pipeline speedup {speedup:.2}x below the 1.5x target on {cores} cores"
         );
     }
+    (
+        cores,
+        t_seq.as_secs_f64() * 1e3,
+        t_par.as_secs_f64() * 1e3,
+        speedup,
+    )
 }
 
 /// Gate 2: the zero-copy invariant.  Planning jobs from a weight set and
 /// dispatching the whole model across all cores must perform **zero**
 /// `QuantTensor` deep copies — weights travel by `Arc` handle only.
-fn assert_zero_copy_dispatch(pipeline: &Pipeline) {
+fn assert_zero_copy_dispatch(pipeline: &Pipeline) -> u64 {
     let net = resnet18();
     let weights = pipeline.context().weights(&net);
     print_header(
@@ -109,6 +132,7 @@ fn assert_zero_copy_dispatch(pipeline: &Pipeline) {
         copies, 0,
         "job planning/parallel dispatch must not deep-copy weight tensors"
     );
+    copies
 }
 
 /// Emulates the pre-refactor per-layer pipeline cost for one full-model
@@ -155,7 +179,7 @@ fn legacy_model_pass(
 /// Gate 3: the single-analysis pipeline must beat the pre-refactor cost
 /// emulation by ≥ 1.5× on a `fig06_tradeoff`-style sweep (7 whole-model
 /// passes over one generated weight set).
-fn assert_shared_analysis_speedup(pipeline: &Pipeline) {
+fn assert_shared_analysis_speedup(pipeline: &Pipeline) -> (f64, f64, f64) {
     const ROUNDS: usize = 7;
     const TARGET: f64 = 1.5;
     let net = resnet18();
@@ -208,16 +232,37 @@ fn assert_shared_analysis_speedup(pipeline: &Pipeline) {
         speedup >= TARGET,
         "shared-analysis speedup {speedup:.2}x below the {TARGET}x gate"
     );
+    (
+        t_new.as_secs_f64() * 1e3,
+        t_legacy.as_secs_f64() * 1e3,
+        speedup,
+    )
 }
 
 fn bench(c: &mut Criterion) {
     let pipeline = Pipeline::new(pipeline_context()).with_default_bitflip(&resnet18());
-    print_scaling_summary(&pipeline);
+    let (cores, sequential_ms, parallel_ms, parallel_speedup) = print_scaling_summary(&pipeline);
     // The copy gate runs on the Bit-Flip pipeline: the flip path constructs
     // fresh tensors but must never *copy* one.
-    assert_zero_copy_dispatch(&pipeline);
+    let weight_copies = assert_zero_copy_dispatch(&pipeline);
     let lossless = Pipeline::new(pipeline_context());
-    assert_shared_analysis_speedup(&lossless);
+    let (shared_analysis_ms, legacy_emulation_ms, shared_analysis_speedup) =
+        assert_shared_analysis_speedup(&lossless);
+    write_bench_json(
+        "BENCH_pipeline.json",
+        &PipelineBenchReport {
+            cores,
+            sequential_ms,
+            parallel_ms,
+            parallel_speedup,
+            parallel_speedup_gate: 1.5,
+            weight_copies,
+            shared_analysis_ms,
+            legacy_emulation_ms,
+            shared_analysis_speedup,
+            shared_analysis_gate: 1.5,
+        },
+    );
 
     let net = resnet18();
     c.bench_function("pipeline/run_model_sequential_resnet18", |b| {

@@ -12,14 +12,29 @@
 //!    report-sized entry — promoting an entry into memory must matter.
 
 use bitwave::digest::Digest;
-use bitwave_bench::print_header;
+use bitwave_bench::{print_header, write_bench_json};
 use bitwave_serve::client::Client;
 use bitwave_serve::server::{start, ServeConfig, ServerHandle};
 use bitwave_store::{StoreConfig, StoreOutcome, StringCodec, TieredStore};
 use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// The `BENCH_store.json` trajectory record, matching the
+/// `BENCH_dse.json`/`BENCH_dram.json` convention.
+#[derive(Serialize)]
+struct StoreBenchReport {
+    warm_restart_cold_ms: f64,
+    warm_restart_warm_ms: f64,
+    warm_restart_speedup: f64,
+    warm_restart_gate: f64,
+    disk_hit_us: f64,
+    memory_hit_us: f64,
+    tier_speedup: f64,
+    tier_speedup_gate: f64,
+}
 
 const EVALUATE_BODY: &str = r#"{"model":"resnet18","accelerator":"bitwave","sample_cap":8000}"#;
 
@@ -41,7 +56,7 @@ fn persistent_server(root: &std::path::Path) -> ServerHandle {
 
 /// Gate 1: warm-restart evaluate ≥ 10× faster than cold, byte-identical,
 /// served from the disk tier.
-fn assert_warm_restart_gate(root: &std::path::Path) {
+fn assert_warm_restart_gate(root: &std::path::Path) -> (f64, f64, f64) {
     const TARGET: f64 = 10.0;
     print_header(
         "store_warm_restart",
@@ -94,11 +109,19 @@ fn assert_warm_restart_gate(root: &std::path::Path) {
         ratio >= TARGET,
         "warm-restart evaluate ({warm_elapsed:?}) must be >={TARGET}x faster than cold ({cold_elapsed:?})"
     );
+    (
+        cold_elapsed.as_secs_f64() * 1e3,
+        warm_elapsed.as_secs_f64() * 1e3,
+        ratio,
+    )
 }
 
 /// Gate 2: memory-tier hit ≥ 10× faster than disk-tier hit on a
 /// report-sized entry.
-fn assert_memory_vs_disk_gate(root: &std::path::Path) -> (TieredStore<StringCodec>, Digest) {
+#[allow(clippy::type_complexity)]
+fn assert_memory_vs_disk_gate(
+    root: &std::path::Path,
+) -> (TieredStore<StringCodec>, Digest, (f64, f64, f64)) {
     const TARGET: f64 = 10.0;
     const ROUNDS: u32 = 200;
     print_header(
@@ -148,16 +171,39 @@ fn assert_memory_vs_disk_gate(root: &std::path::Path) -> (TieredStore<StringCode
         ratio >= TARGET,
         "memory hits ({mem_per_hit:?}) must be >={TARGET}x faster than disk hits ({disk_per_hit:?})"
     );
-    (store, key)
+    (
+        store,
+        key,
+        (
+            disk_per_hit.as_secs_f64() * 1e6,
+            mem_per_hit.as_secs_f64() * 1e6,
+            ratio,
+        ),
+    )
 }
 
 fn bench(c: &mut Criterion) {
     let restart_root = temp_root("restart");
-    assert_warm_restart_gate(&restart_root);
+    let (warm_restart_cold_ms, warm_restart_warm_ms, warm_restart_speedup) =
+        assert_warm_restart_gate(&restart_root);
     let _ = std::fs::remove_dir_all(&restart_root);
 
     let tier_root = temp_root("tiers");
-    let (store, key) = assert_memory_vs_disk_gate(&tier_root);
+    let (store, key, (disk_hit_us, memory_hit_us, tier_speedup)) =
+        assert_memory_vs_disk_gate(&tier_root);
+    write_bench_json(
+        "BENCH_store.json",
+        &StoreBenchReport {
+            warm_restart_cold_ms,
+            warm_restart_warm_ms,
+            warm_restart_speedup,
+            warm_restart_gate: 10.0,
+            disk_hit_us,
+            memory_hit_us,
+            tier_speedup,
+            tier_speedup_gate: 10.0,
+        },
+    );
 
     c.bench_function("store/memory_hit", |b| {
         b.iter(|| {

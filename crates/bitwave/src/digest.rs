@@ -15,18 +15,21 @@
 pub use bitwave_core::digest::{fnv1a128, Digest};
 
 use bitwave_dataflow::mapping::MappingPolicy;
-use serde::{Deserialize, Serialize};
+use bitwave_dataflow::DramSpec;
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Version stamp mixed into every `EvaluationKey` digest.  Bump when the
 /// meaning of a key field changes so stale cache entries can never alias new
 /// requests.  Version 2: [`ContextKnobs`] gained the `mapping` policy knob.
+/// (The `dram` knob added later is omitted at its unconstrained default, so
+/// it did not need a bump: unthrottled requests keep their version-2 keys.)
 pub const DIGEST_SCHEMA_VERSION: u32 = 2;
 
 /// The digestible knobs of an [`crate::context::ExperimentContext`]: the
 /// subset of the context that influences a pipeline evaluation and can be set
 /// per request.  The memory hierarchy and unit-energy model are fixed
 /// paper-default tables and are covered by [`DIGEST_SCHEMA_VERSION`] instead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ContextKnobs {
     /// RNG seed for the synthetic weights.
     pub seed: u64,
@@ -36,16 +39,57 @@ pub struct ContextKnobs {
     pub group_size: usize,
     /// How the map stage picks each layer's spatial unrolling.
     pub mapping: MappingPolicy,
+    /// DRAM tier override applied to the accelerator.  The accelerator
+    /// *name* does not change when a request throttles its bandwidth, so
+    /// the knob must be part of the digest for throttled evaluations to get
+    /// their own cache entries.
+    pub dram: DramSpec,
+}
+
+/// Hand-written so the `dram` knob is omitted while unconstrained — the
+/// default for every request that predates the DRAM tier — keeping those
+/// requests' digests (and therefore their cached report bytes) unchanged.
+impl Serialize for ContextKnobs {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("sample_cap".to_string(), self.sample_cap.to_value()),
+            ("group_size".to_string(), self.group_size.to_value()),
+            ("mapping".to_string(), self.mapping.to_value()),
+        ];
+        if self.dram.is_constrained() {
+            fields.push(("dram".to_string(), self.dram.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ContextKnobs {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let field = |name: &str| value.get(name).unwrap_or(&Value::Null);
+        Ok(Self {
+            seed: u64::from_value(field("seed")).map_err(|e| e.at("seed"))?,
+            sample_cap: usize::from_value(field("sample_cap")).map_err(|e| e.at("sample_cap"))?,
+            group_size: usize::from_value(field("group_size")).map_err(|e| e.at("group_size"))?,
+            mapping: MappingPolicy::from_value(field("mapping")).map_err(|e| e.at("mapping"))?,
+            dram: match value.get("dram") {
+                None => DramSpec::unconstrained(),
+                Some(v) => DramSpec::from_value(v).map_err(|e| e.at("dram"))?,
+            },
+        })
+    }
 }
 
 impl ContextKnobs {
-    /// Extracts the digestible knobs of a context.
+    /// Extracts the digestible knobs of a context (unconstrained DRAM; the
+    /// serve layer overrides `dram` when a request throttles the tier).
     pub fn of(ctx: &crate::context::ExperimentContext) -> Self {
         Self {
             seed: ctx.seed,
             sample_cap: ctx.sample_cap,
             group_size: ctx.group_size.len(),
             mapping: ctx.mapping_policy,
+            dram: DramSpec::unconstrained(),
         }
     }
 
@@ -71,6 +115,7 @@ mod tests {
             sample_cap: 1000,
             group_size: 16,
             mapping: MappingPolicy::Heuristic,
+            dram: DramSpec::unconstrained(),
         }
     }
 
@@ -113,7 +158,27 @@ mod tests {
     fn knobs_deserialize_from_canonical_json() {
         let json = serde_json::to_string(&knobs()).unwrap();
         assert!(json.contains("\"Heuristic\""));
+        assert!(
+            !json.contains("\"dram\""),
+            "unconstrained knobs must serialize without a dram key: {json}"
+        );
         let parsed: ContextKnobs = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed, knobs());
+    }
+
+    #[test]
+    fn throttled_dram_knob_changes_the_digest_and_roundtrips() {
+        let base = knobs();
+        let mut throttled = base;
+        throttled.dram = DramSpec::constrained(32);
+        assert_ne!(
+            Digest::of_value(&base).unwrap(),
+            Digest::of_value(&throttled).unwrap(),
+            "a throttled DRAM tier must address its own cache entry"
+        );
+        let json = serde_json::to_string(&throttled).unwrap();
+        assert!(json.contains("\"dram\""));
+        let parsed: ContextKnobs = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, throttled);
     }
 }

@@ -3,7 +3,8 @@
 use bitwave_accel::EnergyBreakdown;
 use bitwave_core::compress::{BcsSizes, CompressedTensor};
 use bitwave_core::stats::LayerSparsityStats;
-use serde::{Deserialize, Serialize};
+use bitwave_dataflow::MemoryBoundedness;
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Size accounting of one BCS-compressed layer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -99,7 +100,7 @@ pub struct MappingSummary {
 }
 
 /// Performance/energy results of the simulate stage on one layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationSummary {
     /// Accelerator label the layer was evaluated on.
     pub accelerator: String,
@@ -113,6 +114,51 @@ pub struct SimulationSummary {
     pub total_cycles: f64,
     /// Energy breakdown.
     pub energy: EnergyBreakdown,
+    /// Compute-vs-memory roofline verdict; `Some` only when the accelerator
+    /// ran with a constrained DRAM tier.
+    pub boundedness: Option<MemoryBoundedness>,
+}
+
+/// Hand-written so the `boundedness` key is omitted (not `null`) when the
+/// DRAM tier is unconstrained: every golden report, cached store entry and
+/// content digest of an existing configuration keeps its exact bytes.
+impl Serialize for SimulationSummary {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("accelerator".to_string(), self.accelerator.to_value()),
+            ("effective_macs".to_string(), self.effective_macs.to_value()),
+            ("compute_cycles".to_string(), self.compute_cycles.to_value()),
+            ("dram_cycles".to_string(), self.dram_cycles.to_value()),
+            ("total_cycles".to_string(), self.total_cycles.to_value()),
+            ("energy".to_string(), self.energy.to_value()),
+        ];
+        if let Some(boundedness) = &self.boundedness {
+            fields.push(("boundedness".to_string(), boundedness.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for SimulationSummary {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let field = |name: &str| value.get(name).unwrap_or(&Value::Null);
+        Ok(Self {
+            accelerator: String::from_value(field("accelerator"))
+                .map_err(|e| e.at("accelerator"))?,
+            effective_macs: f64::from_value(field("effective_macs"))
+                .map_err(|e| e.at("effective_macs"))?,
+            compute_cycles: f64::from_value(field("compute_cycles"))
+                .map_err(|e| e.at("compute_cycles"))?,
+            dram_cycles: f64::from_value(field("dram_cycles")).map_err(|e| e.at("dram_cycles"))?,
+            total_cycles: f64::from_value(field("total_cycles"))
+                .map_err(|e| e.at("total_cycles"))?,
+            energy: EnergyBreakdown::from_value(field("energy")).map_err(|e| e.at("energy"))?,
+            // Absent in every report produced before the DRAM tier existed
+            // (and in all unconstrained ones since) — those decode to `None`.
+            boundedness: Option::<MemoryBoundedness>::from_value(field("boundedness"))
+                .map_err(|e| e.at("boundedness"))?,
+        })
+    }
 }
 
 /// The complete, serializable record of one layer's trip through the
@@ -150,7 +196,7 @@ impl LayerReport {
 }
 
 /// Aggregated results of running a whole model through the pipeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelReport {
     /// Network name.
     pub network: String,
@@ -169,6 +215,61 @@ pub struct ModelReport {
     /// Element-weighted whole-model weight compression ratio (index
     /// included, post-flip where applicable).
     pub weight_compression_ratio: f64,
+    /// How many layers the DRAM-tier roofline judged memory-bound.  Always 0
+    /// under the unconstrained default (and omitted from the JSON).
+    pub memory_bound_layers: usize,
+}
+
+/// Hand-written so `memory_bound_layers` is omitted while 0 — which it
+/// always is at the unconstrained default — keeping golden reports, cached
+/// store bytes and content digests of existing configurations identical.
+impl Serialize for ModelReport {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("network".to_string(), self.network.to_value()),
+            ("accelerator".to_string(), self.accelerator.to_value()),
+            ("layers".to_string(), self.layers.to_value()),
+            ("total_cycles".to_string(), self.total_cycles.to_value()),
+            ("energy".to_string(), self.energy.to_value()),
+            ("effective_macs".to_string(), self.effective_macs.to_value()),
+            ("total_macs".to_string(), self.total_macs.to_value()),
+            (
+                "weight_compression_ratio".to_string(),
+                self.weight_compression_ratio.to_value(),
+            ),
+        ];
+        if self.memory_bound_layers > 0 {
+            fields.push((
+                "memory_bound_layers".to_string(),
+                self.memory_bound_layers.to_value(),
+            ));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ModelReport {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let field = |name: &str| value.get(name).unwrap_or(&Value::Null);
+        Ok(Self {
+            network: String::from_value(field("network")).map_err(|e| e.at("network"))?,
+            accelerator: String::from_value(field("accelerator"))
+                .map_err(|e| e.at("accelerator"))?,
+            layers: Vec::<LayerReport>::from_value(field("layers")).map_err(|e| e.at("layers"))?,
+            total_cycles: f64::from_value(field("total_cycles"))
+                .map_err(|e| e.at("total_cycles"))?,
+            energy: EnergyBreakdown::from_value(field("energy")).map_err(|e| e.at("energy"))?,
+            effective_macs: f64::from_value(field("effective_macs"))
+                .map_err(|e| e.at("effective_macs"))?,
+            total_macs: u64::from_value(field("total_macs")).map_err(|e| e.at("total_macs"))?,
+            weight_compression_ratio: f64::from_value(field("weight_compression_ratio"))
+                .map_err(|e| e.at("weight_compression_ratio"))?,
+            memory_bound_layers: match value.get("memory_bound_layers") {
+                None => 0,
+                Some(v) => usize::from_value(v).map_err(|e| e.at("memory_bound_layers"))?,
+            },
+        })
+    }
 }
 
 impl ModelReport {
@@ -187,6 +288,10 @@ impl ModelReport {
         let weight_compression_ratio = CompressionSummary::aggregate_ratio(
             layers.iter().map(LayerReport::effective_compression),
         );
+        let memory_bound_layers = layers
+            .iter()
+            .filter(|l| l.simulation.boundedness.is_some_and(|b| b.memory_bound))
+            .count();
         Self {
             network,
             accelerator,
@@ -196,6 +301,7 @@ impl ModelReport {
             effective_macs,
             total_macs,
             weight_compression_ratio,
+            memory_bound_layers,
         }
     }
 

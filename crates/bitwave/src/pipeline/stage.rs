@@ -482,6 +482,7 @@ impl SimulateStage {
                 dram_cycles: result.dram_cycles,
                 total_cycles: result.total_cycles,
                 energy: result.energy,
+                boundedness: result.boundedness,
             },
         }
     }

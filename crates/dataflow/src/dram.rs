@@ -1,0 +1,497 @@
+//! The DRAM tier: timing model, per-operand traffic and refetch accounting.
+//!
+//! The Eq. 1–5 cost stack models the PE array and the on-chip SRAMs; this
+//! module adds the off-chip tier the BitSim exemplar models with
+//! `_check_layer_mem_size` / `_calc_num_mem_refetch`: a [`DramSpec`] turns
+//! byte traffic into burst-quantised DRAM cycles, and [`DramTraffic`]
+//! derives the per-operand traffic — including the refetch multipliers that
+//! appear when a layer's weight or activation working set exceeds its SRAM —
+//! from the same tile arithmetic [`crate::activity::ActivityCounts`] uses,
+//! so the two views of the memory system can never drift apart.
+//!
+//! A layer's total latency under a constrained DRAM tier is the roofline
+//! `max(cycle_compute, cycle_dram)` (compute and DRAM transfers overlap
+//! through double buffering, exactly as BitSim sums
+//! `max(cycle_layer_compute, cycle_layer_dram)` per layer); the default
+//! [`DramSpec::unconstrained`] tier keeps the legacy additive Eq. 5
+//! behaviour byte-identical.
+
+use crate::activity::{TemporalMapping, TilingOrder};
+use crate::memory::MemoryHierarchy;
+use bitwave_dnn::layer::LayerSpec;
+use serde::{Deserialize, Serialize};
+
+/// Default DRAM burst length in bytes (a 64-byte burst: 8 beats of the
+/// 64-bit interface of [`MemoryHierarchy::bitwave_default`]).
+pub const DEFAULT_BURST_BYTES: usize = 64;
+
+/// The DRAM interface of one accelerator configuration.
+///
+/// `bandwidth_bits: None` is the **unconstrained** default: the memory
+/// model keeps its legacy additive DRAM term and reports no boundedness —
+/// existing reports stay byte-identical.  A constrained tier
+/// ([`DramSpec::constrained`]) switches the layer total to the roofline
+/// `max(compute, dram)` with burst-quantised DRAM cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramSpec {
+    /// Sustained DRAM bandwidth in bits per compute cycle; `None` models an
+    /// effectively infinite interface (the compute-only legacy behaviour).
+    pub bandwidth_bits: Option<usize>,
+    /// Burst length in bytes: every transfer is rounded up to whole bursts.
+    pub burst_bytes: usize,
+}
+
+impl DramSpec {
+    /// The unconstrained default tier (legacy compute-only behaviour).
+    pub fn unconstrained() -> Self {
+        Self {
+            bandwidth_bits: None,
+            burst_bytes: DEFAULT_BURST_BYTES,
+        }
+    }
+
+    /// A constrained tier sustaining `bandwidth_bits` bits per cycle with
+    /// the default burst length.
+    pub fn constrained(bandwidth_bits: usize) -> Self {
+        Self {
+            bandwidth_bits: Some(bandwidth_bits.max(1)),
+            burst_bytes: DEFAULT_BURST_BYTES,
+        }
+    }
+
+    /// Replaces the burst length.
+    pub fn with_burst(mut self, burst_bytes: usize) -> Self {
+        self.burst_bytes = burst_bytes.max(1);
+        self
+    }
+
+    /// Whether the tier actually limits bandwidth.
+    pub fn is_constrained(&self) -> bool {
+        self.bandwidth_bits.is_some()
+    }
+
+    /// Rounds a transfer of `bytes` up to whole bursts.
+    pub fn burst_quantize(&self, bytes: f64) -> f64 {
+        let burst = self.burst_bytes.max(1) as f64;
+        (bytes / burst).ceil().max(0.0) * burst
+    }
+
+    /// DRAM cycles needed to move `bytes` (burst-quantised); 0 for the
+    /// unconstrained tier.
+    pub fn cycles_for_bytes(&self, bytes: f64) -> f64 {
+        match self.bandwidth_bits {
+            None => 0.0,
+            Some(bw) => self.burst_quantize(bytes) * 8.0 / bw.max(1) as f64,
+        }
+    }
+}
+
+impl Default for DramSpec {
+    fn default() -> Self {
+        Self::unconstrained()
+    }
+}
+
+/// Per-operand DRAM working set of one layer in bytes (Int8 operands: one
+/// byte per element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerFootprint {
+    /// Weight tensor bytes.
+    pub weight_bytes: usize,
+    /// Input activation bytes (including the halo a convolution reads).
+    pub input_bytes: usize,
+    /// Output activation bytes.
+    pub output_bytes: usize,
+}
+
+impl LayerFootprint {
+    /// The footprint of one layer's loop nest.
+    pub fn of_layer(layer: &LayerSpec) -> Self {
+        Self {
+            weight_bytes: layer.dims.weight_count() as usize,
+            input_bytes: layer.dims.input_count() as usize,
+            output_bytes: layer.dims.output_count() as usize,
+        }
+    }
+
+    /// Bytes competing for the activation SRAM (inputs + outputs).
+    pub fn activation_bytes(&self) -> usize {
+        self.input_bytes + self.output_bytes
+    }
+
+    /// The BitSim `_check_layer_mem_size` check: which operands fit their
+    /// SRAM outright (no refetch needed).
+    pub fn fit(&self, memory: &MemoryHierarchy) -> FitCheck {
+        FitCheck {
+            weights_fit: memory.weights_fit(self.weight_bytes),
+            activations_fit: memory.activations_fit(self.activation_bytes()),
+        }
+    }
+}
+
+/// Which operands of a layer fit their on-chip SRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FitCheck {
+    /// The whole weight tensor fits the weight SRAM.
+    pub weights_fit: bool,
+    /// Inputs + outputs fit the activation SRAM.
+    pub activations_fit: bool,
+}
+
+/// How often each operand is streamed from DRAM under one temporal mapping —
+/// the BitSim `_calc_num_mem_refetch` accounting.  A count of 1 means the
+/// operand enters the chip exactly once; higher counts are refetches forced
+/// by the resident operand's tile count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefetchCounts {
+    /// Tiles the resident operand is cut into (capacity-forced count times
+    /// the mapping's `tile_factor`).
+    pub resident_tiles: u64,
+    /// Times the weight tensor is streamed from DRAM.
+    pub weight_fetches: u64,
+    /// Times the input activations are streamed from DRAM.
+    pub act_fetches: u64,
+}
+
+/// Per-operand DRAM traffic of one layer under one temporal mapping, before
+/// weight compression (compression scales the weight stream downstream, in
+/// the Eq. 3 stage of the cost model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramTraffic {
+    /// Weight bytes read from DRAM (refetches included).
+    pub read_weight_bytes: u64,
+    /// Activation bytes read from DRAM (refetches included).
+    pub read_act_bytes: u64,
+    /// Output bytes written back to DRAM.
+    pub write_bytes: u64,
+    /// The refetch accounting behind the read totals.
+    pub refetch: RefetchCounts,
+}
+
+impl DramTraffic {
+    /// Derives the traffic of `footprint` under `temporal`, mirroring the
+    /// tile arithmetic of [`crate::activity::ActivityCounts::analyze_with`]
+    /// exactly (the coherence is pinned by tests): the resident operand is
+    /// cut into capacity-forced tiles and streamed once, the other operand
+    /// is re-streamed once per resident tile.
+    pub fn analyze(
+        footprint: &LayerFootprint,
+        memory: &MemoryHierarchy,
+        temporal: TemporalMapping,
+    ) -> Self {
+        let factor = temporal.tile_factor.max(1) as u64;
+        let (resident_tiles, weight_fetches, act_fetches) = match temporal.order {
+            TilingOrder::WeightOuter => {
+                let tiles = memory.weight_tiles(footprint.weight_bytes) as u64 * factor;
+                (tiles, 1, tiles)
+            }
+            TilingOrder::ActivationOuter => {
+                let tiles = memory.activation_tiles(footprint.activation_bytes()) as u64 * factor;
+                (tiles, tiles, 1)
+            }
+        };
+        Self {
+            read_weight_bytes: footprint.weight_bytes as u64 * weight_fetches,
+            read_act_bytes: footprint.input_bytes as u64 * act_fetches,
+            write_bytes: footprint.output_bytes as u64,
+            refetch: RefetchCounts {
+                resident_tiles,
+                weight_fetches,
+                act_fetches,
+            },
+        }
+    }
+
+    /// Derives the traffic under the cheaper of the two tiling orders — the
+    /// choice [`crate::activity::ActivityCounts::analyze`] makes.
+    pub fn analyze_cheapest(footprint: &LayerFootprint, memory: &MemoryHierarchy) -> Self {
+        let wo = Self::analyze(
+            footprint,
+            memory,
+            TemporalMapping::natural(TilingOrder::WeightOuter),
+        );
+        let ao = Self::analyze(
+            footprint,
+            memory,
+            TemporalMapping::natural(TilingOrder::ActivationOuter),
+        );
+        if wo.read_weight_bytes + wo.read_act_bytes <= ao.read_weight_bytes + ao.read_act_bytes {
+            wo
+        } else {
+            ao
+        }
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_weight_bytes + self.read_act_bytes + self.write_bytes
+    }
+}
+
+/// The compute-vs-memory verdict of one layer under a constrained DRAM
+/// tier: both sides of the roofline `total = max(compute, dram)`, the stall
+/// the slower side causes, and the refetch counts behind the DRAM side.
+/// Only layers evaluated under a [constrained](DramSpec::constrained) tier
+/// carry one; reports omit the field entirely at the unconstrained default.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBoundedness {
+    /// True when the DRAM side of the roofline dominates the layer.
+    pub memory_bound: bool,
+    /// Cycles of the compute (on-chip) side of the roofline: Eq. 5's
+    /// overlapped compute/SRAM/register term plus the output write-back.
+    pub compute_side_cycles: f64,
+    /// Cycles of the DRAM side: burst-quantised traffic over bandwidth.
+    pub dram_cycles: f64,
+    /// Cycles the PE array stalls waiting on DRAM
+    /// (`max(0, dram - compute_side)`).
+    pub dram_stall_cycles: f64,
+    /// Stall cycles as a fraction of the layer total.
+    pub dram_stall_fraction: f64,
+    /// DRAM traffic in bytes (compression-adjusted, refetches included).
+    pub dram_bytes: f64,
+    /// Times the weight tensor is streamed from DRAM.
+    pub weight_fetches: u64,
+    /// Times the input activations are streamed from DRAM.
+    pub act_fetches: u64,
+}
+
+impl MemoryBoundedness {
+    /// Builds the verdict from the two roofline sides.
+    pub fn from_roofline(
+        compute_side_cycles: f64,
+        dram_cycles: f64,
+        dram_bytes: f64,
+        weight_fetches: u64,
+        act_fetches: u64,
+    ) -> Self {
+        let total = compute_side_cycles.max(dram_cycles);
+        let stall = (dram_cycles - compute_side_cycles).max(0.0);
+        Self {
+            memory_bound: dram_cycles > compute_side_cycles,
+            compute_side_cycles,
+            dram_cycles,
+            dram_stall_cycles: stall,
+            dram_stall_fraction: if total > 0.0 { stall / total } else { 0.0 },
+            dram_bytes,
+            weight_fetches,
+            act_fetches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityCounts;
+    use crate::su::bitwave_su;
+
+    fn memory(weight_sram: usize, act_sram: usize) -> MemoryHierarchy {
+        MemoryHierarchy {
+            weight_sram_bytes: weight_sram,
+            activation_sram_bytes: act_sram,
+            dram_word_bits: 64,
+            sram_word_bits: 64,
+        }
+    }
+
+    #[test]
+    fn unconstrained_tier_costs_nothing() {
+        let dram = DramSpec::default();
+        assert!(!dram.is_constrained());
+        assert_eq!(dram.cycles_for_bytes(1e9), 0.0);
+        assert_eq!(dram, DramSpec::unconstrained());
+    }
+
+    #[test]
+    fn constrained_cycles_are_burst_quantised() {
+        let dram = DramSpec::constrained(64);
+        assert!(dram.is_constrained());
+        // 64-byte burst at 64 bits/cycle: one burst = 8 cycles.
+        assert_eq!(dram.cycles_for_bytes(1.0), 8.0);
+        assert_eq!(dram.cycles_for_bytes(64.0), 8.0);
+        assert_eq!(dram.cycles_for_bytes(65.0), 16.0);
+        assert_eq!(dram.cycles_for_bytes(0.0), 0.0);
+        // A wider interface moves the same bursts in fewer cycles.
+        assert_eq!(DramSpec::constrained(128).cycles_for_bytes(65.0), 8.0);
+        // A finer burst wastes less on the tail.
+        assert_eq!(
+            DramSpec::constrained(64)
+                .with_burst(1)
+                .cycles_for_bytes(65.0),
+            65.0 * 8.0 / 64.0
+        );
+    }
+
+    #[test]
+    fn fit_check_matches_the_hierarchy() {
+        let fp = LayerFootprint {
+            weight_bytes: 1000,
+            input_bytes: 300,
+            output_bytes: 200,
+        };
+        let fit = fp.fit(&memory(1024, 512));
+        assert!(fit.weights_fit);
+        assert!(fit.activations_fit);
+        let fit = fp.fit(&memory(999, 499));
+        assert!(!fit.weights_fit);
+        assert!(!fit.activations_fit);
+        // Exactly at capacity still fits (<=, one tile, no refetch).
+        let fit = fp.fit(&memory(1000, 500));
+        assert!(fit.weights_fit && fit.activations_fit);
+    }
+
+    #[test]
+    fn zero_size_layers_produce_no_traffic_and_one_tile() {
+        let fp = LayerFootprint {
+            weight_bytes: 0,
+            input_bytes: 0,
+            output_bytes: 0,
+        };
+        for order in [TilingOrder::WeightOuter, TilingOrder::ActivationOuter] {
+            let t = DramTraffic::analyze(&fp, &memory(1024, 1024), TemporalMapping::natural(order));
+            assert_eq!(t.total_bytes(), 0);
+            assert_eq!(t.refetch.resident_tiles, 1);
+            assert_eq!(t.refetch.weight_fetches.min(t.refetch.act_fetches), 1);
+        }
+    }
+
+    #[test]
+    fn tiles_exactly_at_capacity_need_no_refetch() {
+        let fp = LayerFootprint {
+            weight_bytes: 4096,
+            input_bytes: 2048,
+            output_bytes: 2048,
+        };
+        let mem = memory(4096, 4096);
+        let wo = DramTraffic::analyze(
+            &fp,
+            &mem,
+            TemporalMapping::natural(TilingOrder::WeightOuter),
+        );
+        assert_eq!(wo.refetch.resident_tiles, 1);
+        assert_eq!(wo.read_act_bytes, 2048);
+        // One byte over the edge doubles the resident tile count.
+        let mem = memory(4095, 4096);
+        let wo = DramTraffic::analyze(
+            &fp,
+            &mem,
+            TemporalMapping::natural(TilingOrder::WeightOuter),
+        );
+        assert_eq!(wo.refetch.resident_tiles, 2);
+        assert_eq!(wo.read_act_bytes, 2 * 2048);
+        assert_eq!(
+            wo.read_weight_bytes, 4096,
+            "resident operand still streams once"
+        );
+    }
+
+    #[test]
+    fn traffic_is_coherent_with_activity_counts() {
+        // The module promises byte-level agreement with ActivityCounts for
+        // every order × tile factor, including the depthwise Gu×OXu shape.
+        let conv = LayerSpec::conv2d("c", 64, 128, 3, 1, 1, 56, 0.5);
+        let depthwise = LayerSpec::depthwise("dw", 384, 3, 1, 1, 14, 0.5);
+        let linear = LayerSpec::linear("fc", 4096, 1000, 1, 0.5);
+        let mem = memory(16 * 1024, 8 * 1024);
+        for layer in [&conv, &depthwise, &linear] {
+            let su = if layer.kind.is_depthwise() {
+                bitwave_su::SU7
+            } else {
+                bitwave_su::SU1
+            };
+            let fp = LayerFootprint::of_layer(layer);
+            for order in [TilingOrder::WeightOuter, TilingOrder::ActivationOuter] {
+                for tile_factor in [1, 2, 5] {
+                    let temporal = TemporalMapping { order, tile_factor };
+                    let counts = ActivityCounts::analyze_with(layer, &su, &mem, temporal);
+                    let traffic = DramTraffic::analyze(&fp, &mem, temporal);
+                    assert_eq!(
+                        traffic.read_weight_bytes, counts.dram_read_weight,
+                        "{}",
+                        layer.name
+                    );
+                    assert_eq!(
+                        traffic.read_act_bytes, counts.dram_read_act,
+                        "{}",
+                        layer.name
+                    );
+                    assert_eq!(traffic.write_bytes, counts.dram_write_act, "{}", layer.name);
+                }
+            }
+            let auto = ActivityCounts::analyze(layer, &su, &mem);
+            let cheapest = DramTraffic::analyze_cheapest(&fp, &mem);
+            assert_eq!(
+                cheapest.read_weight_bytes + cheapest.read_act_bytes,
+                auto.dram_read_weight + auto.dram_read_act,
+                "{}",
+                layer.name
+            );
+        }
+    }
+
+    #[test]
+    fn depthwise_footprint_counts_per_channel_kernels() {
+        // Depthwise Gu×OXu shape: K channels of FX×FY kernels, C = 1.
+        let layer = LayerSpec::depthwise("dw", 384, 3, 1, 1, 14, 0.5);
+        let fp = LayerFootprint::of_layer(&layer);
+        assert_eq!(fp.weight_bytes, 384 * 3 * 3);
+        assert!(fp.input_bytes > 0 && fp.output_bytes > 0);
+        // Small enough to fit the paper-default SRAM: exactly one fetch each.
+        let t = DramTraffic::analyze_cheapest(&fp, &MemoryHierarchy::bitwave_default());
+        assert_eq!(t.refetch.weight_fetches, 1);
+        assert_eq!(t.refetch.act_fetches, 1);
+    }
+
+    #[test]
+    fn shrinking_sram_never_decreases_refetches() {
+        let fp = LayerFootprint {
+            weight_bytes: 100_000,
+            input_bytes: 40_000,
+            output_bytes: 20_000,
+        };
+        let mut previous = 0u64;
+        for shift in 0..8 {
+            let mem = memory((128 * 1024) >> shift, (64 * 1024) >> shift);
+            let t = DramTraffic::analyze(
+                &fp,
+                &mem,
+                TemporalMapping::natural(TilingOrder::WeightOuter),
+            );
+            assert!(
+                t.refetch.act_fetches >= previous,
+                "halving SRAM must not reduce refetches"
+            );
+            previous = t.refetch.act_fetches;
+        }
+    }
+
+    #[test]
+    fn boundedness_verdict_splits_the_roofline() {
+        let b = MemoryBoundedness::from_roofline(100.0, 250.0, 2000.0, 1, 3);
+        assert!(b.memory_bound);
+        assert_eq!(b.dram_stall_cycles, 150.0);
+        assert!((b.dram_stall_fraction - 0.6).abs() < 1e-12);
+        let c = MemoryBoundedness::from_roofline(100.0, 40.0, 320.0, 1, 1);
+        assert!(!c.memory_bound);
+        assert_eq!(c.dram_stall_cycles, 0.0);
+        assert_eq!(c.dram_stall_fraction, 0.0);
+        let z = MemoryBoundedness::from_roofline(0.0, 0.0, 0.0, 0, 0);
+        assert_eq!(z.dram_stall_fraction, 0.0);
+    }
+
+    #[test]
+    fn dram_spec_serialization_roundtrips() {
+        for dram in [
+            DramSpec::unconstrained(),
+            DramSpec::constrained(64),
+            DramSpec::constrained(8).with_burst(32),
+        ] {
+            let json = serde_json::to_string(&dram).unwrap();
+            let back: DramSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, dram);
+        }
+        // A missing bandwidth field deserializes to the unconstrained tier.
+        let back: DramSpec = serde_json::from_str(r#"{"burst_bytes":64}"#).unwrap();
+        assert_eq!(back, DramSpec::unconstrained());
+    }
+}

@@ -14,6 +14,10 @@
 //!   accelerators (Section V-B "a common SRAM-DRAM memory hierarchy").
 //! * [`activity`] — the Table II activity counts (`N_DRAM`, `N_SRAM`,
 //!   `N_reg`, `N_mac`, `N_mac,cycle`) derived analytically per layer.
+//! * [`dram`] — the DRAM tier: burst-quantised timing, per-operand traffic
+//!   and refetch accounting (the BitSim `_check_layer_mem_size` /
+//!   `_calc_num_mem_refetch` logic) behind the per-layer roofline
+//!   `max(cycle_compute, cycle_dram)`.
 //! * [`mapping`] — per-layer SU selection for dynamic-dataflow accelerators
 //!   (BitWave, HUAA), mirroring the offline ZigZag search the paper uses.
 
@@ -21,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod activity;
+pub mod dram;
 pub mod mapping;
 pub mod memory;
 pub mod su;
 pub mod utilization;
 
 pub use activity::{ActivityCounts, TemporalMapping, TilingOrder};
+pub use dram::{DramSpec, DramTraffic, LayerFootprint, MemoryBoundedness};
 pub use mapping::{
     map_network, select_spatial_unrolling, MappingDecision, MappingError, MappingPolicy,
 };
@@ -37,6 +43,7 @@ pub use utilization::{effective_macs_per_cycle, spatial_utilization};
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::activity::{ActivityCounts, TemporalMapping, TilingOrder};
+    pub use crate::dram::{DramSpec, DramTraffic, LayerFootprint, MemoryBoundedness};
     pub use crate::mapping::{
         map_network, select_spatial_unrolling, MappingDecision, MappingError, MappingPolicy,
     };

@@ -1,0 +1,104 @@
+//! Property tests pinning the monotonicity of the DRAM refetch accounting:
+//! shrinking either on-chip SRAM can never *decrease* the number of DRAM
+//! refetches or the total DRAM traffic of a layer, for any layer shape and
+//! either tiling order.  This is the invariant the memory-bound DSE relies
+//! on — a smaller chip can only pay more at the DRAM interface.
+
+use bitwave_dataflow::activity::{TemporalMapping, TilingOrder};
+use bitwave_dataflow::{DramSpec, DramTraffic, LayerFootprint, MemoryHierarchy};
+use bitwave_dnn::layer::LayerSpec;
+use proptest::prelude::*;
+
+fn memory(weight_sram: usize, act_sram: usize) -> MemoryHierarchy {
+    MemoryHierarchy {
+        weight_sram_bytes: weight_sram,
+        activation_sram_bytes: act_sram,
+        dram_word_bits: 64,
+        sram_word_bits: 64,
+    }
+}
+
+/// One of the three layer families the cost model distinguishes, with
+/// proptest-driven shape parameters (depthwise exercises the Gu×OXu shape).
+fn synth_layer(kind: u8, channels: usize, hw: usize) -> LayerSpec {
+    match kind {
+        0 => LayerSpec::conv2d("c", channels, channels * 2, 3, 1, 1, hw, 0.5),
+        1 => LayerSpec::depthwise("dw", channels * 8, 3, 1, 1, hw, 0.5),
+        _ => LayerSpec::linear("fc", channels * 64, channels * 16, 1, 0.5),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Shrinking either SRAM never decreases refetch counts or total DRAM
+    /// bytes, under both tiling orders and the cheapest-order choice.
+    #[test]
+    fn shrinking_sram_is_monotone(
+        kind in 0u8..3,
+        channels in 1usize..96,
+        hw in 1usize..40,
+        weight_sram in 64usize..64 * 1024,
+        act_sram in 64usize..64 * 1024,
+        tile_factor in 1usize..4,
+    ) {
+        let layer = synth_layer(kind, channels, hw);
+        let fp = LayerFootprint::of_layer(&layer);
+        let large = memory(weight_sram * 2, act_sram * 2);
+        let small = memory(weight_sram, act_sram);
+        for order in [TilingOrder::WeightOuter, TilingOrder::ActivationOuter] {
+            let temporal = TemporalMapping { order, tile_factor };
+            let before = DramTraffic::analyze(&fp, &large, temporal);
+            let after = DramTraffic::analyze(&fp, &small, temporal);
+            prop_assert!(after.refetch.resident_tiles >= before.refetch.resident_tiles);
+            prop_assert!(after.refetch.weight_fetches >= before.refetch.weight_fetches);
+            prop_assert!(after.refetch.act_fetches >= before.refetch.act_fetches);
+            prop_assert!(after.total_bytes() >= before.total_bytes());
+        }
+        let before = DramTraffic::analyze_cheapest(&fp, &large);
+        let after = DramTraffic::analyze_cheapest(&fp, &small);
+        prop_assert!(after.total_bytes() >= before.total_bytes());
+    }
+
+    /// Every operand is streamed at least once (no layer with a non-empty
+    /// footprint gets free DRAM traffic), and write-back traffic never
+    /// depends on the SRAM sizing.
+    #[test]
+    fn traffic_lower_bounds_hold(
+        kind in 0u8..3,
+        channels in 1usize..96,
+        hw in 1usize..40,
+        weight_sram in 64usize..64 * 1024,
+        act_sram in 64usize..64 * 1024,
+    ) {
+        let layer = synth_layer(kind, channels, hw);
+        let fp = LayerFootprint::of_layer(&layer);
+        let mem = memory(weight_sram, act_sram);
+        for order in [TilingOrder::WeightOuter, TilingOrder::ActivationOuter] {
+            let t = DramTraffic::analyze(&fp, &mem, TemporalMapping::natural(order));
+            prop_assert!(t.read_weight_bytes >= fp.weight_bytes as u64);
+            prop_assert!(t.read_act_bytes >= fp.input_bytes as u64);
+            prop_assert_eq!(t.write_bytes, fp.output_bytes as u64);
+            prop_assert!(t.refetch.weight_fetches >= 1);
+            prop_assert!(t.refetch.act_fetches >= 1);
+        }
+    }
+
+    /// DRAM cycles are monotone in traffic and anti-monotone in bandwidth,
+    /// and burst quantisation only ever rounds up.
+    #[test]
+    fn dram_cycles_are_monotone_in_bytes_and_bandwidth(
+        bytes in 0u32..1_000_000,
+        extra in 0u32..1_000_000,
+        bandwidth in 1usize..2048,
+        burst in 1usize..512,
+    ) {
+        let spec = DramSpec::constrained(bandwidth).with_burst(burst);
+        let base = spec.cycles_for_bytes(f64::from(bytes));
+        prop_assert!(spec.cycles_for_bytes(f64::from(bytes + extra)) >= base);
+        let wider = DramSpec::constrained(bandwidth * 2).with_burst(burst);
+        prop_assert!(wider.cycles_for_bytes(f64::from(bytes)) <= base);
+        prop_assert!(spec.burst_quantize(f64::from(bytes)) >= f64::from(bytes));
+        prop_assert_eq!(DramSpec::unconstrained().cycles_for_bytes(f64::from(bytes)), 0.0);
+    }
+}

@@ -80,7 +80,7 @@ pub struct SearchedLayer {
 }
 
 /// Aggregated outcome of searching every layer of a network.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSearch {
     /// Accelerator label.
     pub accelerator: String,
@@ -98,6 +98,48 @@ pub struct NetworkSearch {
     pub searched_energy_pj: f64,
     /// Network EDP under the searched winners.
     pub searched_edp: f64,
+    /// How many searched winners are pinned at the DRAM side of the
+    /// roofline (`dram_cycles == total_cycles`).  Always 0 under an
+    /// unconstrained DRAM tier, where the additive Eq. 5 keeps
+    /// `dram < total` strictly.
+    pub memory_bound_layers: usize,
+}
+
+/// Hand-written so `memory_bound_layers` is omitted while 0 — every search
+/// response produced under the unconstrained default keeps its exact bytes
+/// (the serve tier caches and replays them byte-identically).
+impl Serialize for NetworkSearch {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("accelerator".to_string(), self.accelerator.to_value()),
+            ("layers".to_string(), self.layers.to_value()),
+            (
+                "heuristic_total_cycles".to_string(),
+                self.heuristic_total_cycles.to_value(),
+            ),
+            (
+                "heuristic_energy_pj".to_string(),
+                self.heuristic_energy_pj.to_value(),
+            ),
+            ("heuristic_edp".to_string(), self.heuristic_edp.to_value()),
+            (
+                "searched_total_cycles".to_string(),
+                self.searched_total_cycles.to_value(),
+            ),
+            (
+                "searched_energy_pj".to_string(),
+                self.searched_energy_pj.to_value(),
+            ),
+            ("searched_edp".to_string(), self.searched_edp.to_value()),
+        ];
+        if self.memory_bound_layers > 0 {
+            fields.push((
+                "memory_bound_layers".to_string(),
+                self.memory_bound_layers.to_value(),
+            ));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 impl NetworkSearch {
@@ -123,11 +165,21 @@ impl NetworkSearch {
         let mut h_energy = 0.0;
         let mut s_cycles = 0.0;
         let mut s_energy = 0.0;
+        let mut memory_bound = 0usize;
         for layer in &layers {
             h_cycles += layer.heuristic.cost.total_cycles;
             h_energy += layer.heuristic.cost.energy_pj;
-            s_cycles += layer.search.winner.cost.total_cycles;
-            s_energy += layer.search.winner.cost.energy_pj;
+            let winner = &layer.search.winner.cost;
+            s_cycles += winner.total_cycles;
+            s_energy += winner.energy_pj;
+            // Only a constrained roofline can pin the total at the DRAM
+            // side; the unconstrained additive model keeps dram < total.
+            if winner.total_cycles > 0.0
+                && winner.dram_cycles >= winner.total_cycles
+                && winner.dram_cycles > winner.compute_cycles
+            {
+                memory_bound += 1;
+            }
         }
         Self {
             accelerator,
@@ -138,6 +190,7 @@ impl NetworkSearch {
             searched_total_cycles: s_cycles,
             searched_energy_pj: s_energy,
             searched_edp: s_cycles * s_energy,
+            memory_bound_layers: memory_bound,
         }
     }
 }

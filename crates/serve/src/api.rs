@@ -10,6 +10,7 @@
 use crate::error::ServeError;
 use bitwave::context::ExperimentContext;
 use bitwave::dataflow::mapping::MappingPolicy;
+use bitwave::dataflow::DramSpec;
 use bitwave::digest::{ContextKnobs, Digest, DIGEST_SCHEMA_VERSION};
 use bitwave::dse::NetworkSearch;
 use bitwave::pipeline::{ModelReport, Pipeline};
@@ -27,6 +28,14 @@ pub const MAX_SAMPLE_CAP: usize = 1_000_000;
 /// Largest accepted BCS group size (the hardware supports 8/16/32; analysis
 /// sweeps may go finer or coarser within reason).
 pub const MAX_GROUP_SIZE: usize = 64;
+
+/// Largest accepted DRAM bandwidth throttle in bits per cycle (anything
+/// beyond this is indistinguishable from unconstrained for every modelled
+/// workload).
+pub const MAX_DRAM_BANDWIDTH_BITS: usize = 1 << 20;
+
+/// Largest accepted DRAM burst size in bytes.
+pub const MAX_DRAM_BURST_BYTES: usize = 4096;
 
 /// The JSON body of `POST /v1/evaluate`; every field except `model` is
 /// optional and falls back to the documented default.
@@ -50,6 +59,14 @@ pub struct EvaluateRequest {
     /// Mapping policy: `"heuristic"` (default) or `"searched"` (per-layer
     /// DSE; winners come from the memoized search).
     pub mapping: Option<String>,
+    /// DRAM bandwidth throttle in bits per cycle.  Omitted (the default)
+    /// means the unconstrained legacy DRAM model; set, it switches every
+    /// layer to the roofline `max(cycle_compute, cycle_dram)` and the
+    /// response reports per-layer boundedness.
+    pub dram_bandwidth_bits: Option<usize>,
+    /// DRAM burst size in bytes for burst-quantised traffic (default 64).
+    /// Only meaningful together with `dram_bandwidth_bits`.
+    pub dram_burst_bytes: Option<usize>,
 }
 
 impl EvaluateRequest {
@@ -90,7 +107,7 @@ impl EvaluateRequest {
         let spec = bitwave_dnn::models::by_name(&self.model)
             .map_err(|e| ServeError::BadRequest(e.to_string()))?;
         let accel_name = self.accelerator.as_deref().unwrap_or("bitwave");
-        let accelerator = AcceleratorSpec::by_name(accel_name)
+        let mut accelerator = AcceleratorSpec::by_name(accel_name)
             .map_err(|e| ServeError::BadRequest(e.to_string()))?;
         let defaults = ExperimentContext::default();
         let mapping = match self.mapping.as_deref() {
@@ -101,11 +118,42 @@ impl EvaluateRequest {
                 ))
             })?,
         };
+        let dram = match (self.dram_bandwidth_bits, self.dram_burst_bytes) {
+            (None, None) => DramSpec::unconstrained(),
+            (None, Some(_)) => {
+                return Err(ServeError::BadRequest(
+                    "dram_burst_bytes requires dram_bandwidth_bits".to_string(),
+                ))
+            }
+            (Some(bandwidth), burst) => {
+                if bandwidth == 0 || bandwidth > MAX_DRAM_BANDWIDTH_BITS {
+                    return Err(ServeError::BadRequest(format!(
+                        "dram_bandwidth_bits must be in 1..={MAX_DRAM_BANDWIDTH_BITS}, \
+                         got {bandwidth}"
+                    )));
+                }
+                let mut spec = DramSpec::constrained(bandwidth);
+                if let Some(burst) = burst {
+                    if burst == 0 || burst > MAX_DRAM_BURST_BYTES {
+                        return Err(ServeError::BadRequest(format!(
+                            "dram_burst_bytes must be in 1..={MAX_DRAM_BURST_BYTES}, got {burst}"
+                        )));
+                    }
+                    spec = spec.with_burst(burst);
+                }
+                spec
+            }
+        };
+        // The throttle travels both in the digest (the accelerator *name*
+        // does not change, so the knob must) and in the spec that actually
+        // runs the evaluation.
+        accelerator.dram = dram;
         let knobs = ContextKnobs {
             seed: self.seed.unwrap_or(defaults.seed),
             sample_cap: self.sample_cap.unwrap_or(defaults.sample_cap),
             group_size: self.group_size.unwrap_or(defaults.group_size.len()),
             mapping,
+            dram,
         };
         if knobs.sample_cap == 0 || knobs.sample_cap > MAX_SAMPLE_CAP {
             return Err(ServeError::BadRequest(format!(
@@ -505,6 +553,99 @@ mod tests {
             panic!("expected BadRequest");
         };
         assert!(msg.contains("mapping policy"));
+    }
+
+    #[test]
+    fn dram_throttle_knob_is_validated_and_digest_relevant() {
+        let base = request(r#"{"model":"resnet18","sample_cap":4000}"#)
+            .normalize()
+            .unwrap();
+        assert!(!base.accelerator.dram.is_constrained());
+        let throttled =
+            request(r#"{"model":"resnet18","sample_cap":4000,"dram_bandwidth_bits":32}"#)
+                .normalize()
+                .unwrap();
+        assert!(throttled.accelerator.dram.is_constrained());
+        assert_ne!(
+            base.key.digest().unwrap(),
+            throttled.key.digest().unwrap(),
+            "a throttled request must address its own cache entry"
+        );
+        // The default burst spelled explicitly aliases the implicit default.
+        let explicit_burst = request(
+            r#"{"model":"resnet18","sample_cap":4000,
+                "dram_bandwidth_bits":32,"dram_burst_bytes":64}"#,
+        )
+        .normalize()
+        .unwrap();
+        assert_eq!(
+            throttled.key.digest().unwrap(),
+            explicit_burst.key.digest().unwrap()
+        );
+        // A different burst does not.
+        let wide_burst = request(
+            r#"{"model":"resnet18","sample_cap":4000,
+                "dram_bandwidth_bits":32,"dram_burst_bytes":128}"#,
+        )
+        .normalize()
+        .unwrap();
+        assert_ne!(
+            throttled.key.digest().unwrap(),
+            wide_burst.key.digest().unwrap()
+        );
+        for (body, needle) in [
+            (
+                r#"{"model":"resnet18","dram_burst_bytes":64}"#,
+                "requires dram_bandwidth_bits",
+            ),
+            (
+                r#"{"model":"resnet18","dram_bandwidth_bits":0}"#,
+                "dram_bandwidth_bits",
+            ),
+            (
+                r#"{"model":"resnet18","dram_bandwidth_bits":2097152}"#,
+                "dram_bandwidth_bits",
+            ),
+            (
+                r#"{"model":"resnet18","dram_bandwidth_bits":32,"dram_burst_bytes":0}"#,
+                "dram_burst_bytes",
+            ),
+            (
+                r#"{"model":"resnet18","dram_bandwidth_bits":32,"dram_burst_bytes":8192}"#,
+                "dram_burst_bytes",
+            ),
+        ] {
+            let err = request(body).normalize().unwrap_err();
+            let ServeError::BadRequest(msg) = &err else {
+                panic!("expected BadRequest for {body}, got {err:?}");
+            };
+            assert!(msg.contains(needle), "`{msg}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn throttled_evaluation_reports_memory_bound_layers() {
+        let normalized =
+            request(r#"{"model":"resnet18","sample_cap":1500,"dram_bandwidth_bits":1}"#)
+                .normalize()
+                .unwrap();
+        let weights = normalized.key.knobs.to_context().weights(&normalized.spec);
+        let report = normalized.evaluate(&weights).unwrap();
+        assert!(
+            report.memory_bound_layers > 0,
+            "a 1 bit/cycle DRAM tier must leave layers memory-bound"
+        );
+        let layer = &report.layers[0].simulation;
+        let boundedness = layer.boundedness.expect("throttled layers carry a verdict");
+        assert!(boundedness.memory_bound);
+        let envelope = normalized
+            .envelope(&normalized.key.digest().unwrap(), &report)
+            .unwrap();
+        assert!(envelope.contains("\"memory_bound_layers\""));
+        assert!(envelope.contains("\"boundedness\""));
+        assert!(envelope.contains("\"dram_stall_fraction\""));
+        let parsed: EvaluateResponse = serde_json::from_str(&envelope).unwrap();
+        assert_eq!(parsed.report, report, "boundedness must roundtrip");
     }
 
     #[test]

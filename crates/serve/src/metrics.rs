@@ -28,6 +28,9 @@ pub struct ServiceMetrics {
     pub http_errors: AtomicU64,
     /// Cold pipeline evaluations executed.
     pub evaluations: AtomicU64,
+    /// Layers judged memory-bound by the DRAM-tier roofline, summed over
+    /// cold evaluations (always 0 unless requests throttle the tier).
+    pub memory_bound_layers: AtomicU64,
     /// Connections rejected because the job queue was full.
     pub queue_rejections: AtomicU64,
     /// Report replays served from `GET /v1/reports/{digest}`.
@@ -101,6 +104,11 @@ impl ServiceMetrics {
             "bitwave_serve_evaluations_total",
             "Cold pipeline evaluations executed.",
             self.evaluations.load(Ordering::Relaxed),
+        );
+        counter(
+            "bitwave_memory_bound_layers_total",
+            "Layers judged memory-bound by the DRAM-tier roofline in cold evaluations.",
+            self.memory_bound_layers.load(Ordering::Relaxed),
         );
         counter(
             "bitwave_serve_queue_rejections_total",
@@ -355,6 +363,7 @@ mod tests {
             "bitwave_serve_http_requests_total 1",
             "bitwave_serve_http_errors_total 0",
             "bitwave_serve_evaluations_total 1",
+            "bitwave_memory_bound_layers_total 0",
             "bitwave_serve_queue_rejections_total 0",
             "bitwave_serve_report_replays_total 0",
             "bitwave_serve_searches_total 0",

@@ -289,6 +289,12 @@ fn compute_evaluate(
     let report = normalized
         .evaluate(&weights)
         .map_err(|e| ServeError::from(e).to_string())?;
+    if report.memory_bound_layers > 0 {
+        state
+            .metrics
+            .memory_bound_layers
+            .fetch_add(report.memory_bound_layers as u64, Ordering::Relaxed);
+    }
     normalized
         .envelope(digest, &report)
         .map_err(|e| e.to_string())

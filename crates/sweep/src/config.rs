@@ -13,8 +13,11 @@ use serde::{Deserialize, Serialize};
 
 /// Version stamp mixed into every sweep digest; bump when the candidate
 /// enumeration, the evaluation semantics, or the result schema changes so
-/// stale persisted results can never replay as current ones.
-pub const SWEEP_SCHEMA_VERSION: u32 = 1;
+/// stale persisted results can never replay as current ones.  Version 2:
+/// candidates evaluate under the constrained DRAM roofline tier (the
+/// bandwidth axis became a real per-layer `max(compute, dram)` constraint
+/// instead of an additive term), so version-1 results must not replay.
+pub const SWEEP_SCHEMA_VERSION: u32 = 2;
 
 /// Which SU menu family a candidate ships in its instruction memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -18,6 +18,7 @@ use crate::config::{MenuKind, SweepConfig};
 use bitwave_accel::area::BITWAVE_AREA_MM2;
 use bitwave_accel::spec::{AcceleratorSpec, BitwaveOptimizations};
 use bitwave_dataflow::su::{bitwave_su, SpatialUnrolling, SuSet};
+use bitwave_dataflow::DramSpec;
 use serde::{Deserialize, Serialize};
 
 /// One hardware candidate, identified by its enumeration `index` within a
@@ -100,6 +101,10 @@ impl CandidatePoint {
         spec.dram_bandwidth_bits = self.dram_bandwidth_bits;
         spec.act_sram_bandwidth_bits = self.sram_bandwidth_bits;
         spec.weight_sram_bandwidth_bits = self.sram_bandwidth_bits;
+        // The sweep's bandwidth axis is a *real* constraint: candidates run
+        // under the roofline DRAM tier, so a narrow interface shows up as
+        // memory-bound layers instead of a uniformly additive tax.
+        spec.dram = DramSpec::constrained(self.dram_bandwidth_bits);
         spec
     }
 
@@ -317,5 +322,7 @@ mod tests {
         assert_eq!(spec.weight_sram_bandwidth_bits, 2048);
         assert!(spec.label.contains("bitsim"));
         assert!(spec.bitwave_opts.dynamic_dataflow);
+        // The bandwidth axis is load-bearing: candidates run constrained.
+        assert_eq!(spec.dram, DramSpec::constrained(128));
     }
 }
