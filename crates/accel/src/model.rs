@@ -20,7 +20,10 @@ use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::sparsity::LayerSparsityProfile;
 use crate::spec::{AcceleratorSpec, PeStyle, WeightCompression};
 use bitwave_dataflow::mapping::{select_spatial_unrolling, MappingError};
-use bitwave_dataflow::{ActivityCounts, MemoryBoundedness, MemoryHierarchy};
+use bitwave_dataflow::{
+    dram_reads, dram_reads_auto, ActivityCounts, MemoryBoundedness, MemoryHierarchy,
+    TemporalMapping,
+};
 use bitwave_dnn::layer::LayerSpec;
 use bitwave_dnn::models::NetworkSpec;
 use serde::{Serialize, Value};
@@ -142,24 +145,69 @@ pub fn evaluate_layer(
     ))
 }
 
-/// Evaluates one layer on one accelerator (Eqs. 1–5) under an already chosen
-/// mapping decision — the entry point of the pipeline's simulate stage and
-/// the DSE cost model, which receive the decision instead of re-deriving it.
-/// When the decision carries an explicit [`bitwave_dataflow::TemporalMapping`]
-/// (a searched loop order + tiling), the activity counts honour it; otherwise
-/// the model's automatic cheapest-order choice applies.
-pub fn evaluate_layer_with_mapping(
+/// Load-imbalance realisation factor for value-sparsity skipping (STEP 2):
+/// the PEs of a value-sparse machine intersect irregular non-zero patterns
+/// and stay in lockstep per tile, so only part of the skipped work turns
+/// into cycle savings (the paper adjusts the sparsity statistics for this
+/// imbalance; SCNN's own evaluation realises roughly half of the ideal
+/// intersection speedup).  Energy still benefits from every skipped MAC.
+const VALUE_SKIP_REALISATION: f64 = 0.5;
+
+/// The memory-hierarchy-**invariant** half of one layer's Eq. 1–5
+/// evaluation: everything that depends only on the layer, the mapping
+/// decision, the sparsity profile and the accelerator's compute-side
+/// parameters (PE style, sync granularity, SU menu, SRAM port widths).
+/// Candidates that differ only along the SRAM-capacity / DRAM-bandwidth
+/// axes share one `FactoredLayerCost` and re-price it per point with
+/// [`FactoredLayerCost::reprice`] — the factored sweep's amortization unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactoredLayerCost {
+    temporal: Option<TemporalMapping>,
+    weight_count: u64,
+    input_count: u64,
+    output_count: u64,
+    weight_cr: f64,
+    effective_macs: f64,
+    compute_cycles: f64,
+    compute_side_cycles: f64,
+    compute_pj: f64,
+    register_pj: f64,
+    sram_read_pj: f64,
+}
+
+/// One layer's Eq. 1–5 outcome after re-pricing a [`FactoredLayerCost`]
+/// against a concrete memory hierarchy and DRAM tier — exactly the fields
+/// of [`LayerResult`] that the memory axes can change, plus the invariant
+/// ones needed to assemble a full result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepricedLayerCost {
+    /// Effective MAC operations after value-sparsity skipping (Eq. 1).
+    pub effective_macs: f64,
+    /// Compute cycles (Eq. 2; memory-invariant, carried through).
+    pub compute_cycles: f64,
+    /// Cycles spent on DRAM traffic.
+    pub dram_cycles: f64,
+    /// Total latency in cycles (Eq. 5 / roofline).
+    pub total_cycles: f64,
+    /// Energy breakdown (Eq. 4).
+    pub energy: EnergyBreakdown,
+    /// Compute-vs-memory verdict under a constrained DRAM tier.
+    pub boundedness: Option<MemoryBoundedness>,
+}
+
+/// Computes the memory-invariant part of one layer's evaluation (Eqs. 1, 2,
+/// 4-compute and the compute side of Eq. 5).  Only `spec`'s compute-side
+/// fields are read — the SRAM capacities of the memory hierarchy and the
+/// DRAM axes (`spec.dram`, `spec.dram_bandwidth_bits`) enter later, in
+/// [`FactoredLayerCost::reprice`].
+pub fn factor_layer_with_mapping(
     spec: &AcceleratorSpec,
     layer: &LayerSpec,
     decision: &bitwave_dataflow::MappingDecision,
     profile: &LayerSparsityProfile,
-    memory: &MemoryHierarchy,
     energy_model: &EnergyModel,
-) -> LayerResult {
-    let activity = match decision.temporal {
-        Some(temporal) => ActivityCounts::analyze_with(layer, &decision.su, memory, temporal),
-        None => ActivityCounts::analyze(layer, &decision.su, memory),
-    };
+) -> FactoredLayerCost {
+    let activity = ActivityCounts::analyze_spatial(layer, &decision.su);
 
     // Eq. 1: value-sparsity skipping (only machines that support it).
     let keep_w = if spec.sparsity.weight_value {
@@ -174,13 +222,6 @@ pub fn evaluate_layer_with_mapping(
     };
     let effective_macs = activity.macs as f64 * keep_w * keep_a;
 
-    // Load-imbalance adjustment for value-sparsity skipping (STEP 2): the
-    // PEs of a value-sparse machine intersect irregular non-zero patterns
-    // and stay in lockstep per tile, so only part of the skipped work turns
-    // into cycle savings (the paper adjusts the sparsity statistics for this
-    // imbalance; SCNN's own evaluation realises roughly half of the ideal
-    // intersection speedup).  Energy still benefits from every skipped MAC.
-    const VALUE_SKIP_REALISATION: f64 = 0.5;
     let keep_w_cycles = if spec.sparsity.weight_value {
         1.0 - VALUE_SKIP_REALISATION * profile.weight_value_sparsity
     } else {
@@ -233,8 +274,6 @@ pub fn evaluate_layer_with_mapping(
         // whose index overhead exceeds its savings falls back to CR = 1.
         WeightCompression::Bcs => profile.bcs_compression_ratio.max(1.0),
     };
-    let dram_read_weight_e = activity.dram_read_weight as f64 / weight_cr;
-    let sram_write_weight_e = activity.sram_write_weight as f64 / weight_cr;
     // Compressed weights are also held compressed on chip: BitWave streams
     // BCS columns straight into the PE array, SCNN stores ZRE symbols whose
     // index overhead *increases* on-chip traffic when value sparsity is low
@@ -249,15 +288,8 @@ pub fn evaluate_layer_with_mapping(
     let reg_read_e = activity.reg_read as f64 * keep_w * keep_a;
     let reg_write_e = activity.reg_write as f64 * keep_w * keep_a;
 
-    // Eq. 5: latency.  On-chip reads and register traffic overlap with
-    // compute; the output write-back does not.  DRAM traffic is additive at
-    // the unconstrained default (the legacy behaviour), and under a
-    // constrained DRAM tier becomes the second side of the per-layer
-    // roofline `max(cycle_compute, cycle_dram)` — DRAM transfers overlap
-    // with compute through double buffering, so the slower side sets the
-    // layer latency.
-    let dram_bytes =
-        activity.dram_read_act as f64 + dram_read_weight_e + activity.dram_write_act as f64;
+    // The compute side of Eq. 5: on-chip reads and register traffic overlap
+    // with compute; the output write-back does not.
     let sram_read_input_cycles = sram_read_input_e * 8.0 / spec.act_sram_bandwidth_bits as f64;
     let sram_read_weight_cycles = sram_read_weight_e * 8.0 / spec.weight_sram_bandwidth_bits as f64;
     let sram_write_output_cycles =
@@ -268,65 +300,186 @@ pub fn evaluate_layer_with_mapping(
             .max(sram_read_input_cycles)
             .max(sram_read_weight_cycles)
             .max(reg_cycles);
-    let (dram_cycles, total_cycles, boundedness) = if spec.dram.is_constrained() {
-        let dram_cycles = spec.dram.cycles_for_bytes(dram_bytes);
-        let dims = &layer.dims;
-        // The activity counts scale DRAM reads by the refetch multipliers,
-        // so dividing by the per-operand footprint recovers them exactly.
-        let weight_fetches = match dims.weight_count() {
-            0 => 0,
-            count => activity.dram_read_weight / count,
-        };
-        let act_fetches = match dims.input_count() {
-            0 => 0,
-            count => activity.dram_read_act / count,
-        };
-        let boundedness = MemoryBoundedness::from_roofline(
-            compute_side_cycles,
-            dram_cycles,
-            dram_bytes,
-            weight_fetches,
-            act_fetches,
-        );
-        (
-            dram_cycles,
-            compute_side_cycles.max(dram_cycles),
-            Some(boundedness),
-        )
-    } else {
-        let dram_cycles = dram_bytes * 8.0 / spec.dram_bandwidth_bits as f64;
-        (dram_cycles, dram_cycles + compute_side_cycles, None)
-    };
 
-    // Eq. 4: energy.
+    // The memory-invariant Eq. 4 terms.
     let compute_pj = match spec.pe_style {
         PeStyle::BitParallel => effective_macs * energy_model.mac_8x8_pj,
         PeStyle::BitSerial => effective_macs * bits_per_mac * energy_model.mac_bit_serial_pj,
         PeStyle::BitColumnSerial => effective_macs * bits_per_mac * energy_model.mac_bit_column_pj,
     };
-    let sram_pj = (sram_read_input_e + sram_read_weight_e) * energy_model.sram_read_pj_per_byte
-        + (activity.sram_write_input as f64
-            + sram_write_weight_e
-            + activity.sram_write_output as f64)
-            * energy_model.sram_write_pj_per_byte;
     let register_pj = (reg_read_e + reg_write_e) * energy_model.reg_access_pj;
-    let dram_pj = dram_bytes * energy_model.dram_pj_per_byte;
+    let sram_read_pj =
+        (sram_read_input_e + sram_read_weight_e) * energy_model.sram_read_pj_per_byte;
 
+    let dims = &layer.dims;
+    FactoredLayerCost {
+        temporal: decision.temporal,
+        weight_count: dims.weight_count(),
+        input_count: dims.input_count(),
+        output_count: dims.output_count(),
+        weight_cr,
+        effective_macs,
+        compute_cycles,
+        compute_side_cycles,
+        compute_pj,
+        register_pj,
+        sram_read_pj,
+    }
+}
+
+impl FactoredLayerCost {
+    /// Re-prices the factored layer against a concrete memory hierarchy and
+    /// the DRAM axes of `spec` (`spec.dram`, `spec.dram_bandwidth_bits`) —
+    /// the cheap per-point half of Eq. 5 + Eq. 4: the SRAM fit check /
+    /// DRAM traffic, the roofline `max`, and the traffic-dependent energy
+    /// terms.  Bit-for-bit, [`evaluate_layer_with_mapping`] ≡
+    /// `factor_layer_with_mapping(...).reprice(...)`; the full evaluator is
+    /// itself implemented this way.
+    pub fn reprice(
+        &self,
+        spec: &AcceleratorSpec,
+        memory: &MemoryHierarchy,
+        energy_model: &EnergyModel,
+    ) -> RepricedLayerCost {
+        let (dram_read_weight, dram_read_act) = match self.temporal {
+            Some(temporal) => dram_reads(
+                self.weight_count,
+                self.input_count,
+                self.output_count,
+                memory,
+                temporal,
+            ),
+            None => dram_reads_auto(
+                self.weight_count,
+                self.input_count,
+                self.output_count,
+                memory,
+            ),
+        };
+        let dram_read_weight_e = dram_read_weight as f64 / self.weight_cr;
+        // The weight SRAM is filled once per DRAM read, compressed.
+        let sram_write_weight_e = dram_read_weight as f64 / self.weight_cr;
+
+        // The DRAM side of Eq. 5: additive at the unconstrained default (the
+        // legacy behaviour), the second side of the per-layer roofline
+        // `max(cycle_compute, cycle_dram)` under a constrained tier — DRAM
+        // transfers overlap with compute through double buffering, so the
+        // slower side sets the layer latency.
+        let dram_bytes = dram_read_act as f64 + dram_read_weight_e + self.output_count as f64;
+        let (dram_cycles, total_cycles, boundedness) = if spec.dram.is_constrained() {
+            let dram_cycles = spec.dram.cycles_for_bytes(dram_bytes);
+            // The DRAM reads scale with the refetch multipliers, so dividing
+            // by the per-operand footprint recovers them exactly.
+            let weight_fetches = match self.weight_count {
+                0 => 0,
+                count => dram_read_weight / count,
+            };
+            let act_fetches = match self.input_count {
+                0 => 0,
+                count => dram_read_act / count,
+            };
+            let boundedness = MemoryBoundedness::from_roofline(
+                self.compute_side_cycles,
+                dram_cycles,
+                dram_bytes,
+                weight_fetches,
+                act_fetches,
+            );
+            (
+                dram_cycles,
+                self.compute_side_cycles.max(dram_cycles),
+                Some(boundedness),
+            )
+        } else {
+            let dram_cycles = dram_bytes * 8.0 / spec.dram_bandwidth_bits as f64;
+            (dram_cycles, dram_cycles + self.compute_side_cycles, None)
+        };
+
+        // The traffic-dependent Eq. 4 terms (the input-SRAM fill mirrors the
+        // activation DRAM reads, the weight-SRAM fill the compressed weight
+        // reads, and the output write-back is invariant).
+        let sram_pj = self.sram_read_pj
+            + (dram_read_act as f64 + sram_write_weight_e + self.output_count as f64)
+                * energy_model.sram_write_pj_per_byte;
+        let dram_pj = dram_bytes * energy_model.dram_pj_per_byte;
+
+        RepricedLayerCost {
+            effective_macs: self.effective_macs,
+            compute_cycles: self.compute_cycles,
+            dram_cycles,
+            total_cycles,
+            energy: EnergyBreakdown {
+                compute_pj: self.compute_pj,
+                sram_pj,
+                register_pj: self.register_pj,
+                dram_pj,
+            },
+            boundedness,
+        }
+    }
+}
+
+/// The equivalence class of [`factor_layer_with_mapping`]'s `bits_per_mac`
+/// branch: two accelerator specs in the same class read the same sparsity
+/// statistic, so (with equal lanes, menu and SRAM port widths) they share
+/// factored compute parts.  The sweep's group cache keys on this.
+pub fn bits_per_mac_class(spec: &AcceleratorSpec) -> &'static str {
+    match spec.pe_style {
+        PeStyle::BitParallel => "bit-parallel",
+        PeStyle::BitSerial => {
+            if spec.sparsity.weight_bit {
+                match spec.sync_lanes {
+                    n if n >= 64 => "bit-serial/sync64",
+                    n if n > 1 => "bit-serial/sync16",
+                    _ => "bit-serial/tc",
+                }
+            } else {
+                "bit-serial/dense"
+            }
+        }
+        PeStyle::BitColumnSerial => {
+            if spec.sparsity.weight_bit_column {
+                if spec.sync_lanes > 1 {
+                    "bit-column/synced"
+                } else {
+                    "bit-column/mean"
+                }
+            } else {
+                "bit-column/dense"
+            }
+        }
+    }
+}
+
+/// Evaluates one layer on one accelerator (Eqs. 1–5) under an already chosen
+/// mapping decision — the entry point of the pipeline's simulate stage and
+/// the DSE cost model, which receive the decision instead of re-deriving it.
+/// When the decision carries an explicit [`bitwave_dataflow::TemporalMapping`]
+/// (a searched loop order + tiling), the activity counts honour it; otherwise
+/// the model's automatic cheapest-order choice applies.
+///
+/// Implemented as [`factor_layer_with_mapping`] + [`FactoredLayerCost::reprice`],
+/// so the factored path used by the sweep is byte-identical by construction.
+pub fn evaluate_layer_with_mapping(
+    spec: &AcceleratorSpec,
+    layer: &LayerSpec,
+    decision: &bitwave_dataflow::MappingDecision,
+    profile: &LayerSparsityProfile,
+    memory: &MemoryHierarchy,
+    energy_model: &EnergyModel,
+) -> LayerResult {
+    let factored = factor_layer_with_mapping(spec, layer, decision, profile, energy_model);
+    let repriced = factored.reprice(spec, memory, energy_model);
     LayerResult {
         layer: layer.name.clone(),
         su: decision.label.clone(),
         utilization: decision.utilization,
-        effective_macs,
-        compute_cycles,
-        dram_cycles,
-        total_cycles,
-        energy: EnergyBreakdown {
-            compute_pj,
-            sram_pj,
-            register_pj,
-            dram_pj,
-        },
-        boundedness,
+        effective_macs: repriced.effective_macs,
+        compute_cycles: repriced.compute_cycles,
+        dram_cycles: repriced.dram_cycles,
+        total_cycles: repriced.total_cycles,
+        energy: repriced.energy,
+        boundedness: repriced.boundedness,
     }
 }
 
@@ -612,6 +765,72 @@ mod tests {
         let json = serde_json::to_string(&result).unwrap();
         assert!(json.contains("\"boundedness\""));
         assert!(json.contains("\"memory_bound\":true"));
+    }
+
+    #[test]
+    fn factored_reprice_reproduces_the_full_evaluation_bitwise() {
+        let net = resnet18();
+        let energy = EnergyModel::finfet_16nm();
+        // Both SRAM-fit regimes (a roomy hierarchy and a starved one that
+        // forces refetch tiling) × unconstrained and constrained DRAM tiers.
+        let roomy = MemoryHierarchy::bitwave_default();
+        let starved = MemoryHierarchy {
+            weight_sram_bytes: 16 * 1024,
+            activation_sram_bytes: 16 * 1024,
+            ..MemoryHierarchy::bitwave_default()
+        };
+        let mut throttled = AcceleratorSpec::bitwave(BitwaveOptimizations::all());
+        throttled.dram = bitwave_dataflow::DramSpec::constrained(32);
+        let specs = [
+            AcceleratorSpec::bitwave(BitwaveOptimizations::all()),
+            AcceleratorSpec::scnn(),
+            throttled,
+        ];
+        for spec in &specs {
+            for layer in net.layers.iter().take(6) {
+                let profile = layer_profile(layer);
+                let decision = select_spatial_unrolling(layer, &spec.su_set).unwrap();
+                let factored = factor_layer_with_mapping(spec, layer, &decision, &profile, &energy);
+                for mem in [&roomy, &starved] {
+                    let full =
+                        evaluate_layer_with_mapping(spec, layer, &decision, &profile, mem, &energy);
+                    let repriced = factored.reprice(spec, mem, &energy);
+                    assert_eq!(
+                        full.total_cycles.to_bits(),
+                        repriced.total_cycles.to_bits(),
+                        "{} / {}",
+                        spec.label,
+                        layer.name
+                    );
+                    assert_eq!(full.dram_cycles.to_bits(), repriced.dram_cycles.to_bits());
+                    assert_eq!(
+                        full.energy.total_pj().to_bits(),
+                        repriced.energy.total_pj().to_bits()
+                    );
+                    assert_eq!(full.boundedness, repriced.boundedness);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bits_per_mac_class_tracks_the_statistic_branch() {
+        let bitwave = AcceleratorSpec::bitwave(BitwaveOptimizations::all());
+        assert_eq!(bits_per_mac_class(&bitwave), "bit-column/synced");
+        let mut unsynced = bitwave.clone();
+        unsynced.sync_lanes = 1;
+        assert_eq!(bits_per_mac_class(&unsynced), "bit-column/mean");
+        assert_eq!(
+            bits_per_mac_class(&AcceleratorSpec::dense()),
+            "bit-column/dense"
+        );
+        // Two sync granularities above 1 share one class: the compute part
+        // reads the same profile statistic either way.
+        let mut s8 = bitwave.clone();
+        s8.sync_lanes = 8;
+        let mut s16 = bitwave;
+        s16.sync_lanes = 16;
+        assert_eq!(bits_per_mac_class(&s8), bits_per_mac_class(&s16));
     }
 
     #[test]

@@ -38,6 +38,9 @@ struct DseBenchReport {
     memo_warm_ms: f64,
     memo_speedup: f64,
     memo_speedup_gate: f64,
+    /// Process-wide mapping-space enumerations answered by the shared
+    /// space cache during this harness run.
+    space_reuse_total: u64,
 }
 
 fn ctx() -> ExperimentContext {
@@ -154,6 +157,7 @@ fn bench(c: &mut Criterion) {
             memo_warm_ms,
             memo_speedup: memo_cold_ms / memo_warm_ms.max(f64::MIN_POSITIVE),
             memo_speedup_gate,
+            space_reuse_total: bitwave::dse::space_reuse_total(),
         },
     );
 

@@ -1,24 +1,32 @@
 //! Harness for the `bitwave-sweep` whole-accelerator design-space sweep.
 //!
-//! Three invariants are **asserted** (not just timed) before the criterion
-//! loops, so `cargo bench --bench bench_sweep` doubles as the CI gate:
+//! Invariants are **asserted** (not just timed) before the criterion loops,
+//! so `cargo bench --bench bench_sweep` doubles as the CI gate:
 //!
 //! 1. at least one searched spec on the Pareto front **strictly dominates**
 //!    the paper's Table I BitWave configuration (4096 lanes, sync 8,
 //!    2×256 KiB SRAM, Table-I menu) on portfolio EDP;
 //! 2. a warm re-sweep over a populated store root re-evaluates **0**
 //!    points (everything replays from the content-addressed result set);
-//! 3. sharding: on a machine with ≥ 4 cores, a 4-worker sharded sweep is
-//!    ≥ 2.5× faster wall-clock than the 1-worker sequential run of the
-//!    same space.  On smaller machines that gate is vacuous (there is no
-//!    parallelism to win), so it degrades to the correctness half —
-//!    sharded and sequential sweeps must produce byte-identical reports,
-//!    and sharding overhead must stay bounded — and prints a skip notice.
+//! 3. amortization: the factored evaluation path (compute groups factored
+//!    once, memory re-priced per point) beats the full per-candidate path
+//!    by ≥ 1.5× sequentially on **any** machine — the win is algorithmic,
+//!    not parallel — and reproduces its report byte for byte;
+//! 4. in-process parallelism: with ≥ 4 cores, a 4-thread fan-out of the
+//!    full path is ≥ 2.5× faster than its sequential run, and the combined
+//!    throughput configuration (factored + 4 threads) is ≥ 5× faster than
+//!    the sequential full path.  Both byte-identical.  On smaller machines
+//!    the timing halves are vacuous (there is no parallelism to win), so
+//!    they degrade to the byte-identity half and print a skip notice —
+//!    `scaling_gate_enforced`/`throughput_gate_enforced` record which
+//!    halves actually ran;
+//! 5. multi-process sharding: same ≥ 2.5× gate for a 4-worker sharded
+//!    sweep, same core-count guard, same byte-identity fallback.
 
 use bitwave_bench::{print_header, write_bench_json};
 use bitwave_sweep::{
-    build_portfolio, evaluate_point, run_sharded, run_with_progress, run_worker, SweepConfig,
-    SweepLedger,
+    build_portfolio, evaluate_point, evaluate_point_factored, global_eval_engine, run_sharded,
+    run_with_progress_opts, run_worker, EvalMode, EvalOptions, SweepConfig, SweepLedger,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use serde::Serialize;
@@ -28,6 +36,18 @@ use std::time::Instant;
 
 const SCALING_TARGET: f64 = 2.5;
 const SCALING_WORKERS: usize = 4;
+/// In-process fan-out width for the parallel gates.
+const IN_PROCESS_THREADS: usize = 4;
+/// Unconditional floor on the sequential factored-vs-full speedup: the
+/// amortization is algorithmic (6 compute groups price 24 points on the
+/// small preset), so it must win even on one core.  Typical measured
+/// speedup is ~2×; 1.5× leaves headroom for noisy shared runners.
+const AMORTIZED_FLOOR: f64 = 1.5;
+/// Repetitions for the best-of-N timing runs backing the unconditional
+/// floor — the minimum is the least noise-inflated estimate of true cost.
+const TIMING_REPS: usize = 3;
+/// Combined gate: factored + threads vs the sequential full path.
+const THROUGHPUT_TARGET: f64 = 5.0;
 /// Sharding-overhead ceiling for the degraded (< 4 cores) gate: claim-file
 /// traffic and polling may cost something, but never double the sweep.
 const OVERHEAD_CEILING: f64 = 2.0;
@@ -36,12 +56,31 @@ const OVERHEAD_CEILING: f64 = 2.0;
 struct SweepBenchReport {
     space: &'static str,
     total_points: usize,
+    /// Sequential full per-candidate evaluation — the pre-amortization
+    /// reference cost (also recorded as `sequential_secs` historically).
+    full_eval_secs: f64,
     sequential_secs: f64,
+    /// Sequential factored evaluation, cold compute-group cache.
+    amortized_secs: f64,
+    amortized_speedup: f64,
+    amortized_floor: f64,
+    /// Full path fanned out across `in_process_threads` scoped threads.
+    parallel_secs: f64,
+    in_process_threads: usize,
+    in_process_scaling: f64,
+    in_process_scaling_target: f64,
+    /// Factored + threads vs sequential full — the shipped configuration.
+    throughput_secs: f64,
+    throughput_speedup: f64,
+    throughput_target: f64,
+    /// Whether the ≥ 4-core timing gates were enforced on this machine
+    /// (the byte-identity halves always run).
+    scaling_gate_enforced: bool,
+    throughput_gate_enforced: bool,
     sharded_secs: f64,
     sharded_workers: usize,
     scaling: f64,
     scaling_target: f64,
-    scaling_gate_enforced: bool,
     available_cores: usize,
     warm_reevaluated: usize,
     warm_reused: usize,
@@ -59,49 +98,87 @@ fn temp_root(tag: &str) -> PathBuf {
     root
 }
 
+fn opts(threads: usize, mode: EvalMode) -> EvalOptions {
+    EvalOptions { threads, mode }
+}
+
+/// One timed in-memory run of the sweep under `opts`; returns the elapsed
+/// seconds and the report JSON.
+fn timed_run(config: &SweepConfig, o: EvalOptions) -> (f64, String) {
+    let t = Instant::now();
+    let (report, _) = run_with_progress_opts(config, None, o, |_| {}).expect("sweep runs");
+    let secs = t.elapsed().as_secs_f64();
+    (secs, serde_json::to_string(&report).expect("report"))
+}
+
+/// Best-of-[`TIMING_REPS`] timing: `prep` re-establishes the measured
+/// state before every repetition (e.g. clears the compute-group cache so a
+/// "cold" run stays cold), and the minimum elapsed time is kept — the
+/// least noise-inflated estimate of the true cost on a shared runner.
+/// Every repetition must produce the same bytes.
+fn timed_best(config: &SweepConfig, o: EvalOptions, prep: impl Fn()) -> (f64, String) {
+    let mut best: Option<(f64, String)> = None;
+    for _ in 0..TIMING_REPS {
+        prep();
+        let (secs, json) = timed_run(config, o);
+        if let Some((best_secs, best_json)) = &best {
+            assert_eq!(
+                &json, best_json,
+                "timed repetitions must agree byte for byte"
+            );
+            if secs >= *best_secs {
+                continue;
+            }
+        }
+        best = Some((secs, json));
+    }
+    best.expect("at least one timing repetition")
+}
+
 fn bench(c: &mut Criterion) {
     let config = SweepConfig::small();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     print_header(
         "sweep_gates",
-        "whole-accelerator DSE sweep: Table-I dominance, warm replay, sharded scaling",
+        "whole-accelerator DSE sweep: Table-I dominance, warm replay, amortized/factored \
+         evaluation, in-process parallel fan-out, sharded scaling",
     );
 
-    // Sequential (1-worker, in-memory) reference run.
-    let t0 = Instant::now();
-    let (sequential_report, _) =
-        run_with_progress(&config, None, |_| {}).expect("sequential sweep");
-    let sequential_secs = t0.elapsed().as_secs_f64();
+    // Untimed warm-up: build the portfolio (shared by every run below) and
+    // warm the process-wide enumeration-space cache, so the timed runs
+    // compare evaluation strategies rather than one-time setup.
+    let portfolio = build_portfolio(&config).expect("portfolio");
+    let (_, reference) = timed_run(&config, opts(1, EvalMode::Full));
+    let sequential_report: bitwave_sweep::FrontReport = {
+        // Re-run to keep a structured copy for the dominance gate (cheap:
+        // everything relevant is warm).
+        let (report, _) =
+            run_with_progress_opts(&config, None, opts(1, EvalMode::Full), |_| {}).expect("sweep");
+        report
+    };
 
     // Gate 1: some front member strictly dominates the paper's Table I
     // BitWave configuration on portfolio EDP.  That configuration is a
     // point *inside* the small space, so its exact portfolio EDP comes out
     // of the same report.
+    let is_table1 = |pt: &bitwave_sweep::CandidatePoint| {
+        pt.lanes == 4096
+            && pt.sync_lanes == 8
+            && pt.weight_sram_kb == 256
+            && pt.activation_sram_kb == 256
+            && pt.menu.name() == "table1"
+    };
     let baseline = sequential_report
         .front
         .iter()
-        .map(|p| (p, &p.point))
-        .find(|(_, pt)| {
-            pt.lanes == 4096
-                && pt.sync_lanes == 8
-                && pt.weight_sram_kb == 256
-                && pt.activation_sram_kb == 256
-                && pt.menu.name() == "table1"
-        })
-        .map(|(p, _)| (p.label.clone(), p.edp));
+        .find(|p| is_table1(&p.point))
+        .map(|p| (p.label.clone(), p.edp));
     let (baseline_label, baseline_edp) = baseline.unwrap_or_else(|| {
         // The Table I point was dominated clean off the front; recover its
         // EDP by evaluating it directly.
-        let portfolio = build_portfolio(&config).expect("portfolio");
         let point = bitwave_sweep::enumerate(&config)
             .into_iter()
-            .find(|pt| {
-                pt.lanes == 4096
-                    && pt.sync_lanes == 8
-                    && pt.weight_sram_kb == 256
-                    && pt.activation_sram_kb == 256
-                    && pt.menu.name() == "table1"
-            })
+            .find(is_table1)
             .expect("Table I point is inside the small space");
         let result = evaluate_point(&point, &config, &portfolio);
         (result.label, result.edp)
@@ -123,7 +200,85 @@ fn bench(c: &mut Criterion) {
         "no searched spec dominates Table I on EDP ({best_edp:.4e} vs {baseline_edp:.4e})"
     );
 
-    // Sharded cold run over a shared store root.
+    // Timed sequential full path — the pre-amortization reference.
+    let (full_eval_secs, full_json) = timed_best(&config, opts(1, EvalMode::Full), || {});
+    assert_eq!(full_json, reference, "full path must be deterministic");
+
+    // Gate 3: sequential factored path, cold compute-group cache (cleared
+    // before every repetition).  The floor is unconditional — the
+    // amortization is algorithmic, not a parallelism artifact.
+    let (amortized_secs, amortized_json) = timed_best(&config, opts(1, EvalMode::Factored), || {
+        global_eval_engine().clear();
+    });
+    assert_eq!(
+        amortized_json, reference,
+        "factored evaluation must reproduce the full report byte for byte"
+    );
+    let amortized_speedup = full_eval_secs / amortized_secs.max(f64::MIN_POSITIVE);
+    println!(
+        "sequential full: {full_eval_secs:.3}s   sequential factored (cold): \
+         {amortized_secs:.3}s   amortized speedup: {amortized_speedup:.2}x   \
+         (floor: >={AMORTIZED_FLOOR}x, unconditional)"
+    );
+    assert!(
+        amortized_speedup >= AMORTIZED_FLOOR,
+        "factored evaluation speedup {amortized_speedup:.2}x is below the \
+         unconditional {AMORTIZED_FLOOR}x floor"
+    );
+
+    // Gate 4a: in-process fan-out of the full path.
+    let (parallel_secs, parallel_json) =
+        timed_best(&config, opts(IN_PROCESS_THREADS, EvalMode::Full), || {});
+    assert_eq!(
+        parallel_json, reference,
+        "in-process parallel fan-out must reproduce the report byte for byte"
+    );
+    let in_process_scaling = full_eval_secs / parallel_secs.max(f64::MIN_POSITIVE);
+    let scaling_gate_enforced = cores >= IN_PROCESS_THREADS;
+
+    // Gate 4b: the shipped throughput configuration — factored + threads —
+    // against the sequential full path, compute-group cache cold again
+    // before every repetition.
+    let (throughput_secs, throughput_json) = timed_best(
+        &config,
+        opts(IN_PROCESS_THREADS, EvalMode::Factored),
+        || {
+            global_eval_engine().clear();
+        },
+    );
+    assert_eq!(
+        throughput_json, reference,
+        "factored + parallel evaluation must reproduce the report byte for byte"
+    );
+    let throughput_speedup = full_eval_secs / throughput_secs.max(f64::MIN_POSITIVE);
+    let throughput_gate_enforced = cores >= IN_PROCESS_THREADS;
+    println!(
+        "{IN_PROCESS_THREADS}-thread full: {parallel_secs:.3}s ({in_process_scaling:.2}x)   \
+         {IN_PROCESS_THREADS}-thread factored: {throughput_secs:.3}s \
+         ({throughput_speedup:.2}x vs sequential full)   (cores: {cores})"
+    );
+    if scaling_gate_enforced {
+        assert!(
+            in_process_scaling >= SCALING_TARGET,
+            "{IN_PROCESS_THREADS}-thread in-process scaling {in_process_scaling:.2}x is below \
+             the {SCALING_TARGET}x gate"
+        );
+        assert!(
+            throughput_speedup >= THROUGHPUT_TARGET,
+            "factored + {IN_PROCESS_THREADS}-thread throughput {throughput_speedup:.2}x is \
+             below the {THROUGHPUT_TARGET}x gate"
+        );
+    } else {
+        println!(
+            "SKIP: in-process timing gates need >= {IN_PROCESS_THREADS} cores (have {cores}); \
+             byte-identity halves enforced above"
+        );
+    }
+
+    // Gate 5: multi-process sharded cold run over a shared store root
+    // (compute-group cache cold again, like the sequential factored run it
+    // is compared against).
+    global_eval_engine().clear();
     let root = temp_root("cold");
     let t1 = Instant::now();
     let stats = run_sharded(&config, &root, SCALING_WORKERS).expect("sharded sweep");
@@ -139,7 +294,7 @@ fn bench(c: &mut Criterion) {
         bitwave_sweep::assemble_report(&config, &ledger).expect("complete sharded result set");
     assert_eq!(
         serde_json::to_string(&sharded_report).expect("report"),
-        serde_json::to_string(&sequential_report).expect("report"),
+        reference,
         "sharded and sequential sweeps must produce byte-identical reports"
     );
 
@@ -152,11 +307,12 @@ fn bench(c: &mut Criterion) {
     assert_eq!(warm.evaluated, 0, "warm re-sweep must replay every point");
     assert_eq!(warm.reused, config.total_points());
 
-    // Gate 3: scaling, enforced only where there are cores to scale onto.
-    let scaling = sequential_secs / sharded_secs.max(f64::MIN_POSITIVE);
-    let scaling_gate_enforced = cores >= SCALING_WORKERS;
+    // Multi-process scaling, enforced only where there are cores to scale
+    // onto.  The sharded run uses the default (factored) path, so it is
+    // compared against the sequential factored time.
+    let scaling = amortized_secs / sharded_secs.max(f64::MIN_POSITIVE);
     println!(
-        "sequential: {sequential_secs:.2}s   {SCALING_WORKERS}-worker sharded: \
+        "sequential factored: {amortized_secs:.2}s   {SCALING_WORKERS}-worker sharded: \
          {sharded_secs:.2}s   scaling: {scaling:.2}x   (cores: {cores})"
     );
     if scaling_gate_enforced {
@@ -166,13 +322,13 @@ fn bench(c: &mut Criterion) {
         );
     } else {
         println!(
-            "SKIP: scaling gate needs >= {SCALING_WORKERS} cores (have {cores}); \
+            "SKIP: multi-process scaling gate needs >= {SCALING_WORKERS} cores (have {cores}); \
              enforcing the overhead ceiling instead"
         );
         assert!(
-            sharded_secs <= sequential_secs * OVERHEAD_CEILING,
+            sharded_secs <= amortized_secs * OVERHEAD_CEILING,
             "sharding overhead {sharded_secs:.2}s exceeds {OVERHEAD_CEILING}x \
-             the sequential {sequential_secs:.2}s on a serial machine"
+             the sequential {amortized_secs:.2}s on a serial machine"
         );
     }
 
@@ -181,12 +337,24 @@ fn bench(c: &mut Criterion) {
         &SweepBenchReport {
             space: "small",
             total_points: config.total_points(),
-            sequential_secs,
+            full_eval_secs,
+            sequential_secs: full_eval_secs,
+            amortized_secs,
+            amortized_speedup,
+            amortized_floor: AMORTIZED_FLOOR,
+            parallel_secs,
+            in_process_threads: IN_PROCESS_THREADS,
+            in_process_scaling,
+            in_process_scaling_target: SCALING_TARGET,
+            throughput_secs,
+            throughput_speedup,
+            throughput_target: THROUGHPUT_TARGET,
+            scaling_gate_enforced,
+            throughput_gate_enforced,
             sharded_secs,
             sharded_workers: SCALING_WORKERS,
             scaling,
             scaling_target: SCALING_TARGET,
-            scaling_gate_enforced,
             available_cores: cores,
             warm_reevaluated: warm.evaluated,
             warm_reused: warm.reused,
@@ -200,11 +368,19 @@ fn bench(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&root);
 
     // Steady-state criterion loops.
-    let portfolio = build_portfolio(&config).expect("portfolio");
     let points = bitwave_sweep::enumerate(&config);
-    c.bench_function("sweep/evaluate_one_point", |b| {
+    c.bench_function("sweep/evaluate_one_point_full", |b| {
         b.iter(|| {
             black_box(evaluate_point(
+                black_box(&points[0]),
+                black_box(&config),
+                black_box(&portfolio),
+            ))
+        })
+    });
+    c.bench_function("sweep/evaluate_one_point_factored", |b| {
+        b.iter(|| {
+            black_box(evaluate_point_factored(
                 black_box(&points[0]),
                 black_box(&config),
                 black_box(&portfolio),

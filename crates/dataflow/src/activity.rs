@@ -100,28 +100,80 @@ pub struct ActivityCounts {
     pub reg_write: u64,
 }
 
+/// Off-chip read counts `(dram_read_weight, dram_read_act)` of one layer
+/// under an explicit temporal mapping — the **only** part of
+/// [`ActivityCounts`] that depends on the memory hierarchy.  Exposed
+/// separately so a factored cost model can re-price just the DRAM axes of
+/// a mapping whose compute side is already known.
+pub fn dram_reads(
+    weight_count: u64,
+    input_count: u64,
+    output_count: u64,
+    memory: &MemoryHierarchy,
+    temporal: TemporalMapping,
+) -> (u64, u64) {
+    let factor = temporal.tile_factor.max(1) as u64;
+    match temporal.order {
+        // Weights resident tile by tile, activations re-streamed once per
+        // weight tile.
+        TilingOrder::WeightOuter => {
+            let weight_tiles = memory.weight_tiles(weight_count as usize) as u64 * factor;
+            (weight_count, input_count * weight_tiles)
+        }
+        // Activations resident tile by tile, weights re-streamed once per
+        // activation tile.
+        TilingOrder::ActivationOuter => {
+            let act_tiles =
+                memory.activation_tiles((input_count + output_count) as usize) as u64 * factor;
+            (weight_count * act_tiles, input_count)
+        }
+    }
+}
+
+/// [`dram_reads`] under the automatic cheapest-order choice: both natural
+/// tiling orders are priced and the one with less total off-chip read
+/// traffic wins (ties go to weight-outer) — exactly the decision
+/// [`ActivityCounts::analyze`] makes.
+pub fn dram_reads_auto(
+    weight_count: u64,
+    input_count: u64,
+    output_count: u64,
+    memory: &MemoryHierarchy,
+) -> (u64, u64) {
+    let wo = dram_reads(
+        weight_count,
+        input_count,
+        output_count,
+        memory,
+        TemporalMapping::natural(TilingOrder::WeightOuter),
+    );
+    let ao = dram_reads(
+        weight_count,
+        input_count,
+        output_count,
+        memory,
+        TemporalMapping::natural(TilingOrder::ActivationOuter),
+    );
+    if wo.0 + wo.1 <= ao.0 + ao.1 {
+        wo
+    } else {
+        ao
+    }
+}
+
 impl ActivityCounts {
     /// Analyses one layer under one spatial unrolling and memory hierarchy,
     /// letting the model pick the cheaper tiling order (the decision
     /// ZigZag's temporal-mapping search would make).
     pub fn analyze(layer: &LayerSpec, su: &SpatialUnrolling, memory: &MemoryHierarchy) -> Self {
-        let a = Self::analyze_with(
-            layer,
-            su,
+        let dims = &layer.dims;
+        let (dram_read_weight, dram_read_act) = dram_reads_auto(
+            dims.weight_count(),
+            dims.input_count(),
+            dims.output_count(),
             memory,
-            TemporalMapping::natural(TilingOrder::WeightOuter),
         );
-        let b = Self::analyze_with(
-            layer,
-            su,
-            memory,
-            TemporalMapping::natural(TilingOrder::ActivationOuter),
-        );
-        if a.dram_read_weight + a.dram_read_act <= b.dram_read_weight + b.dram_read_act {
-            a
-        } else {
-            b
-        }
+        Self::assemble(layer, su, dram_read_weight, dram_read_act)
     }
 
     /// Analyses one layer under an **explicit** temporal mapping instead of
@@ -134,29 +186,39 @@ impl ActivityCounts {
         temporal: TemporalMapping,
     ) -> Self {
         let dims = &layer.dims;
+        let (dram_read_weight, dram_read_act) = dram_reads(
+            dims.weight_count(),
+            dims.input_count(),
+            dims.output_count(),
+            memory,
+            temporal,
+        );
+        Self::assemble(layer, su, dram_read_weight, dram_read_act)
+    }
+
+    /// The memory-hierarchy-**independent** activity counts of one layer
+    /// under one spatial unrolling, with the DRAM read counts left at zero.
+    /// A factored cost model computes these once per `(layer, SU)` and
+    /// fills the DRAM axes in per memory configuration via [`dram_reads`] /
+    /// [`dram_reads_auto`]; the zeros here are placeholders, never totals.
+    pub fn analyze_spatial(layer: &LayerSpec, su: &SpatialUnrolling) -> Self {
+        Self::assemble(layer, su, 0, 0)
+    }
+
+    /// Everything except the DRAM read decision: MAC counts, spatial SRAM
+    /// reuse and register activity, with the given off-chip reads slotted
+    /// into the DRAM axes (and their mirrored SRAM fill counts).
+    fn assemble(
+        layer: &LayerSpec,
+        su: &SpatialUnrolling,
+        dram_read_weight: u64,
+        dram_read_act: u64,
+    ) -> Self {
+        let dims = &layer.dims;
         let macs = dims.macs();
         let utilization = su.utilization(dims);
         let macs_per_cycle = (su.parallelism() as f64 * utilization).max(1.0);
 
-        let weight_bytes = dims.weight_count() as usize;
-        let input_bytes = dims.input_count() as usize;
-        let output_bytes = dims.output_count() as usize;
-        let factor = temporal.tile_factor.max(1) as u64;
-
-        let (dram_read_weight, dram_read_act) = match temporal.order {
-            // Weights resident tile by tile, activations re-streamed once
-            // per weight tile.
-            TilingOrder::WeightOuter => {
-                let weight_tiles = memory.weight_tiles(weight_bytes) as u64 * factor;
-                (dims.weight_count(), dims.input_count() * weight_tiles)
-            }
-            // Activations resident tile by tile, weights re-streamed once
-            // per activation tile.
-            TilingOrder::ActivationOuter => {
-                let act_tiles = memory.activation_tiles(input_bytes + output_bytes) as u64 * factor;
-                (dims.weight_count() * act_tiles, dims.input_count())
-            }
-        };
         let dram_write_act = dims.output_count();
 
         // Spatial reuse on chip.
@@ -348,6 +410,52 @@ mod tests {
         }
         assert_eq!(TilingOrder::WeightOuter.tag(), "wo");
         assert_eq!(TilingOrder::ActivationOuter.tag(), "ao");
+    }
+
+    #[test]
+    fn split_dram_reads_match_the_full_analysis() {
+        let net = bert_base();
+        let mem = MemoryHierarchy::bitwave_default();
+        for layer in &net.layers {
+            let dims = &layer.dims;
+            let auto = ActivityCounts::analyze(layer, &bitwave_su::SU6, &mem);
+            assert_eq!(
+                dram_reads_auto(
+                    dims.weight_count(),
+                    dims.input_count(),
+                    dims.output_count(),
+                    &mem
+                ),
+                (auto.dram_read_weight, auto.dram_read_act),
+                "{}",
+                layer.name
+            );
+            for order in [TilingOrder::WeightOuter, TilingOrder::ActivationOuter] {
+                let temporal = TemporalMapping {
+                    order,
+                    tile_factor: 3,
+                };
+                let full = ActivityCounts::analyze_with(layer, &bitwave_su::SU6, &mem, temporal);
+                let spatial = ActivityCounts::analyze_spatial(layer, &bitwave_su::SU6);
+                let (w, a) = dram_reads(
+                    dims.weight_count(),
+                    dims.input_count(),
+                    dims.output_count(),
+                    &mem,
+                    temporal,
+                );
+                assert_eq!((full.dram_read_weight, full.dram_read_act), (w, a));
+                // The spatial part is everything except the DRAM axes and
+                // their mirrored SRAM fills.
+                assert_eq!(spatial.macs, full.macs);
+                assert_eq!(spatial.sram_read_weight, full.sram_read_weight);
+                assert_eq!(spatial.sram_read_input, full.sram_read_input);
+                assert_eq!(spatial.sram_write_output, full.sram_write_output);
+                assert_eq!(spatial.dram_write_act, full.dram_write_act);
+                assert_eq!(spatial.dram_read_weight, 0);
+                assert_eq!(spatial.dram_read_act, 0);
+            }
+        }
     }
 
     #[test]

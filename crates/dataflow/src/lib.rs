@@ -31,7 +31,7 @@ pub mod memory;
 pub mod su;
 pub mod utilization;
 
-pub use activity::{ActivityCounts, TemporalMapping, TilingOrder};
+pub use activity::{dram_reads, dram_reads_auto, ActivityCounts, TemporalMapping, TilingOrder};
 pub use dram::{DramSpec, DramTraffic, LayerFootprint, MemoryBoundedness};
 pub use mapping::{
     map_network, select_spatial_unrolling, MappingDecision, MappingError, MappingPolicy,

@@ -19,6 +19,10 @@
 //!   `bitwave-accel` Eq. 1–5 performance/energy model driven by the layer's
 //!   sparsity profile.  Searched winners therefore predict exactly what a
 //!   `MappingPolicy::Searched` pipeline run reports.
+//! * [`factored`] — the amortized sweep path: each candidate's
+//!   memory-invariant compute part is evaluated once per accelerator
+//!   compute configuration ([`factor_network`]) and cheaply re-priced per
+//!   `(SRAM sizes, DRAM axes)` point, bit-identical to the full search.
 //! * [`search`] — the engine: minimum-EDP winner selection, a generalised
 //!   cycles/energy/EDP/utilisation Pareto front (`bitwave_core::pareto`),
 //!   and deterministic rayon fan-out (parallel ≡ sequential, bit-identical).
@@ -67,6 +71,7 @@
 
 pub mod cost;
 pub mod error;
+pub mod factored;
 pub mod memo;
 pub mod refine;
 pub mod search;
@@ -74,10 +79,14 @@ pub mod space;
 
 pub use cost::{EvaluatedMapping, MappingCost};
 pub use error::{DseError, Result};
+pub use factored::{
+    factor_network, factored_repriced_total, FactoredLayerSearch, FactoredMapping,
+    FactoredNetworkSearch,
+};
 pub use memo::{global_cache, persist_global_cache, SearchCache, DEFAULT_MEMO_ENTRIES};
 pub use refine::{engine_config_for, validate_mapping};
 pub use search::{DseEngine, LayerSearchResult, NetworkSearch, SearchedLayer, DSE_SCHEMA_VERSION};
-pub use space::{Candidate, SearchSpace};
+pub use space::{space_reuse_total, Candidate, SearchSpace};
 
 /// Convenience re-exports.
 pub mod prelude {

@@ -23,12 +23,45 @@ pub const DSE_SCHEMA_VERSION: u32 = 1;
 
 /// The four pruning objectives: minimise cycles, energy and EDP, maximise
 /// utilisation.
-const OBJECTIVES: [Direction; 4] = [
+pub(crate) const OBJECTIVES: [Direction; 4] = [
     Direction::Minimize,
     Direction::Minimize,
     Direction::Minimize,
     Direction::Maximize,
 ];
+
+/// Winner + front selection over the `[cycles, energy, edp, utilization]`
+/// objective rows — the single implementation both the full per-candidate
+/// path and the factored re-pricing path run, so they agree bit-for-bit.
+/// Returns `(winner index, capped front indices, full front size)`.
+pub(crate) fn select_from_objectives(
+    objectives: &[[f64; 4]],
+    max_front: usize,
+) -> (usize, Vec<usize>, usize) {
+    // Winner: minimum EDP, ties towards higher utilisation, then the
+    // earlier candidate (SU-set seeds precede generated shapes).
+    let mut winner = 0usize;
+    for (i, row) in objectives.iter().enumerate().skip(1) {
+        let best = &objectives[winner];
+        let better = row[2] < best[2] || (row[2] == best[2] && row[3] > best[3]);
+        if better {
+            winner = i;
+        }
+    }
+
+    // Multi-objective Pareto front, EDP-sorted, deduplicated, capped.
+    let mut front_idx = pareto_front_indices(objectives, &OBJECTIVES);
+    let front_total = front_idx.len();
+    front_idx.sort_by(|&a, &b| {
+        objectives[a][2]
+            .partial_cmp(&objectives[b][2])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    front_idx.dedup_by_key(|i| objectives[*i]);
+    front_idx.truncate(max_front.max(1));
+    (winner, front_idx, front_total)
+}
 
 /// Everything a layer's search outcome depends on — and nothing it does not
 /// (notably not the layer's *name*, so identically shaped layers share one
@@ -45,6 +78,30 @@ struct SearchKey {
     memory: MemoryHierarchy,
     energy: EnergyModel,
     space: SearchSpace,
+}
+
+/// Builds the memoization digest for one layer's search — shared by
+/// [`DseEngine::search_layer`] and the factored sweep path, so both address
+/// (and can replay) the exact same store entries.
+pub(crate) fn layer_search_key(
+    accel: &AcceleratorSpec,
+    dims: LoopDims,
+    kind: LayerKind,
+    profile_hex: String,
+    memory: &MemoryHierarchy,
+    energy: &EnergyModel,
+    space: &SearchSpace,
+) -> Result<Digest> {
+    Ok(Digest::of_value(&SearchKey {
+        schema: DSE_SCHEMA_VERSION,
+        accelerator: accel.clone(),
+        dims,
+        kind,
+        profile: profile_hex,
+        memory: *memory,
+        energy: *energy,
+        space: space.clone(),
+    })?)
 }
 
 /// Outcome of one layer's design-space search.  `Deserialize` lets results
@@ -160,7 +217,7 @@ impl NetworkSearch {
         }
     }
 
-    fn aggregate(accelerator: String, layers: Vec<SearchedLayer>) -> Self {
+    pub(crate) fn aggregate(accelerator: String, layers: Vec<SearchedLayer>) -> Self {
         let mut h_cycles = 0.0;
         let mut h_energy = 0.0;
         let mut s_cycles = 0.0;
@@ -285,16 +342,15 @@ impl DseEngine {
         profile: &LayerSparsityProfile,
     ) -> Result<Arc<LayerSearchResult>> {
         validate_layer_dims(layer)?;
-        let key = Digest::of_value(&SearchKey {
-            schema: DSE_SCHEMA_VERSION,
-            accelerator: accel.clone(),
-            dims: layer.dims,
-            kind: layer.kind,
-            profile: Digest::of_value(profile)?.to_hex(),
-            memory: self.memory,
-            energy: self.energy,
-            space: self.space.clone(),
-        })?;
+        let key = layer_search_key(
+            accel,
+            layer.dims,
+            layer.kind,
+            Digest::of_value(profile)?.to_hex(),
+            &self.memory,
+            &self.energy,
+            &self.space,
+        )?;
         self.cache
             .get_or_compute(key, || self.search_uncached(accel, layer, profile, key))
     }
@@ -311,7 +367,7 @@ impl DseEngine {
         profile: &LayerSparsityProfile,
         key: Digest,
     ) -> Result<LayerSearchResult> {
-        let candidates = self.space.enumerate(accel, layer);
+        let candidates = self.space.enumerate_shared(accel, layer);
         if candidates.is_empty() {
             return Err(DseError::EmptySpace {
                 layer: layer.name.clone(),
@@ -322,31 +378,10 @@ impl DseEngine {
             .map(|c| evaluate_candidate(accel, layer, profile, &self.memory, &self.energy, c))
             .collect();
 
-        // Winner: minimum EDP, ties towards higher utilisation, then the
-        // earlier candidate (SU-set seeds precede generated shapes).
-        let mut winner = 0usize;
-        for (i, m) in evaluated.iter().enumerate().skip(1) {
-            let best = &evaluated[winner];
-            let better = m.cost.edp < best.cost.edp
-                || (m.cost.edp == best.cost.edp && m.utilization > best.utilization);
-            if better {
-                winner = i;
-            }
-        }
-
-        // Multi-objective Pareto front, EDP-sorted, deduplicated, capped.
         let objectives: Vec<[f64; 4]> =
             evaluated.iter().map(EvaluatedMapping::objectives).collect();
-        let mut front_idx = pareto_front_indices(&objectives, &OBJECTIVES);
-        let front_total = front_idx.len();
-        front_idx.sort_by(|&a, &b| {
-            objectives[a][2]
-                .partial_cmp(&objectives[b][2])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        front_idx.dedup_by_key(|i| objectives[*i]);
-        front_idx.truncate(self.space.max_front.max(1));
+        let (winner, front_idx, front_total) =
+            select_from_objectives(&objectives, self.space.max_front);
         let front: Vec<EvaluatedMapping> = front_idx
             .into_iter()
             .map(|i| evaluated[i].clone())

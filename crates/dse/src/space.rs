@@ -18,10 +18,14 @@
 //!   Pareto prune rather than skipped a priori.
 
 use bitwave_accel::spec::AcceleratorSpec;
+use bitwave_core::digest::Digest;
 use bitwave_dataflow::activity::{TemporalMapping, TilingOrder};
-use bitwave_dataflow::su::SpatialUnrolling;
+use bitwave_dataflow::su::{SpatialUnrolling, SuSet};
 use bitwave_dnn::layer::LayerSpec;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Placeholder `SpatialUnrolling::name` of generated candidates; the
 /// human-readable shape lives in [`Candidate::label`].
@@ -71,6 +75,32 @@ pub struct Candidate {
     pub label: String,
     /// The explicit temporal mapping.
     pub temporal: TemporalMapping,
+}
+
+/// Everything [`SearchSpace::enumerate`] depends on.  The layer enters only
+/// through its depthwise-ness (the walk is over the *lane budget*, not the
+/// layer's extents), so every non-depthwise layer of every model shares one
+/// cached enumeration per `(space, SU menu, budget)`.
+#[derive(Serialize)]
+struct SpaceKey {
+    space: SearchSpace,
+    su_set: SuSet,
+    budget: usize,
+    depthwise: bool,
+}
+
+/// Process-wide cache of enumerated candidate spaces.  Bounded: distinct
+/// keys beyond the cap fall back to uncached enumeration rather than
+/// evicting (sweeps cycle through a small menu of SU families).
+static SPACE_CACHE: OnceLock<Mutex<HashMap<String, Arc<Vec<Candidate>>>>> = OnceLock::new();
+static SPACE_HITS: AtomicU64 = AtomicU64::new(0);
+const SPACE_CACHE_CAP: usize = 512;
+
+/// Number of times an enumerated mapping space was served from the
+/// process-wide cache instead of being re-walked (the
+/// `bitwave_sweep_space_reuse_total` metric).
+pub fn space_reuse_total() -> u64 {
+    SPACE_HITS.load(Ordering::Relaxed)
 }
 
 /// Power-of-two values `1, 2, 4, … ≤ cap`.
@@ -192,6 +222,44 @@ impl SearchSpace {
         }
         out
     }
+
+    /// [`SearchSpace::enumerate`] behind the process-wide space cache: the
+    /// `Cu × OXu × Ku` factorization walk runs once per distinct
+    /// `(space, SU menu, lane budget, depthwise)` key and every later caller
+    /// shares the same `Arc`.  Falls back to an uncached walk if the key
+    /// fails to digest or the cache is full.
+    pub fn enumerate_shared(
+        &self,
+        accel: &AcceleratorSpec,
+        layer: &LayerSpec,
+    ) -> Arc<Vec<Candidate>> {
+        let key = SpaceKey {
+            space: self.clone(),
+            su_set: accel.su_set.clone(),
+            budget: self.budget(accel),
+            depthwise: layer.kind.is_depthwise(),
+        };
+        let Ok(digest) = Digest::of_value(&key) else {
+            return Arc::new(self.enumerate(accel, layer));
+        };
+        let hex = digest.to_hex();
+        let cache = SPACE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache.lock().ok().and_then(|g| g.get(&hex).cloned()) {
+            SPACE_HITS.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        // Enumerate outside the lock; a racing duplicate walk is harmless
+        // (both produce the identical deterministic Vec) and rarer than the
+        // contention a held-lock walk would cause.
+        let computed = Arc::new(self.enumerate(accel, layer));
+        if let Ok(mut guard) = cache.lock() {
+            if guard.len() < SPACE_CACHE_CAP || guard.contains_key(&hex) {
+                // Return the canonical Arc so racing enumerators converge.
+                return Arc::clone(guard.entry(hex).or_insert_with(|| Arc::clone(&computed)));
+            }
+        }
+        computed
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +323,22 @@ mod tests {
         assert!(conv_cands
             .iter()
             .all(|c| c.su.g <= 1 || c.su.name != GENERATED_SU_NAME));
+    }
+
+    #[test]
+    fn shared_enumeration_reuses_one_arc_across_shape_siblings() {
+        let space = SearchSpace::default();
+        let net = resnet18();
+        let accel = bitwave();
+        // Warm the process-wide cache, then two differently shaped (but both
+        // non-depthwise) layers must share one Arc'd enumeration.
+        let _warm = space.enumerate_shared(&accel, &net.layers[0]);
+        let before = space_reuse_total();
+        let a = space.enumerate_shared(&accel, &net.layers[0]);
+        let b = space.enumerate_shared(&accel, &net.layers[3]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(space_reuse_total() >= before + 2);
+        assert_eq!(*a, space.enumerate(&accel, &net.layers[0]));
     }
 
     #[test]

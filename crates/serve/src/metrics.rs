@@ -13,6 +13,10 @@
 //! coalesced,evictions,quarantined}_total{op="…"}` counters plus
 //! `bitwave_store_{mem,disk}_{entries,bytes}{op="…"}` gauges for the
 //! `evaluate`, `search`, `weights` and (process-wide) `dse` ops.
+//!
+//! Amortized-evaluation counters expose the sweep/DSE reuse machinery:
+//! `bitwave_dse_memo_{hits,misses}_total`,
+//! `bitwave_sweep_{profile_reuse,space_reuse,factored_repriced}_total`.
 
 use crate::cache::{CacheOp, ReportCache};
 use crate::store::ModelStore;
@@ -202,6 +206,36 @@ impl ServiceMetrics {
             "Process-wide QuantTensor deep copies (the zero-copy invariant).",
             bitwave_tensor::copy_metrics::deep_copies(),
         );
+
+        // Amortized-evaluation counters: how much work the DSE memo, the
+        // sweep's shared workload analyses, the enumeration-space cache and
+        // the factored re-pricing path are saving process-wide.
+        let dse_stats = bitwave::dse::memo::global_cache().stats();
+        counter(
+            "bitwave_dse_memo_hits_total",
+            "DSE layer-search memo hits (memory or disk), process-wide.",
+            dse_stats.hits() + dse_stats.disk_hits(),
+        );
+        counter(
+            "bitwave_dse_memo_misses_total",
+            "DSE layer-search memo misses (full searches), process-wide.",
+            dse_stats.misses(),
+        );
+        counter(
+            "bitwave_sweep_profile_reuse_total",
+            "Sweep portfolio models served from the shared profile cache.",
+            bitwave_sweep::profile_reuse_total(),
+        );
+        counter(
+            "bitwave_sweep_space_reuse_total",
+            "DSE mapping-space enumerations served from the shared space cache.",
+            bitwave::dse::space_reuse_total(),
+        );
+        counter(
+            "bitwave_sweep_factored_repriced_total",
+            "Factored layer searches re-priced instead of fully re-searched.",
+            bitwave::dse::factored_repriced_total(),
+        );
         out.push_str(&format!(
             "# HELP bitwave_serve_cache_entries Ready entries in the report cache.\n\
              # TYPE bitwave_serve_cache_entries gauge\n\
@@ -384,6 +418,11 @@ mod tests {
             "bitwave_serve_weight_generations_total 0",
             "bitwave_serve_cache_entries 1",
             "bitwave_tensor_deep_copies_total",
+            "bitwave_dse_memo_hits_total",
+            "bitwave_dse_memo_misses_total",
+            "bitwave_sweep_profile_reuse_total",
+            "bitwave_sweep_space_reuse_total",
+            "bitwave_sweep_factored_repriced_total",
             "bitwave_store_hits_total{op=\"evaluate\"} 0",
             "bitwave_store_disk_hits_total{op=\"search\"} 0",
             "bitwave_store_misses_total{op=\"evaluate\"} 1",

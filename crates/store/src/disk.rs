@@ -146,6 +146,16 @@ impl DiskTier {
         self.dir.join(key.to_hex())
     }
 
+    /// Whether an entry file exists for `key` — a single `stat`, no read,
+    /// no verification.  A poll loop can use this to skip opening and
+    /// checksumming files it has already decided it does not need yet; a
+    /// `true` may still turn into a verified-read miss (quarantine) later.
+    pub fn contains(&self, key: Digest) -> bool {
+        fs::metadata(self.entry_path(key))
+            .map(|m| m.is_file())
+            .unwrap_or(false)
+    }
+
     /// Reads and fully verifies the entry for `key`.  Any failure short of
     /// "file absent" quarantines the file; the caller only ever sees a
     /// payload or a miss.

@@ -266,6 +266,23 @@ impl<C: StoreCodec> TieredStore<C> {
         }
     }
 
+    /// Non-blocking existence probe: `true` when `key` is ready in memory
+    /// or has an entry file on disk (one `stat`, nothing read, decoded or
+    /// promoted).  A pending in-flight computation reports `false` — the
+    /// caller polls again, exactly like [`try_get`](Self::try_get).  A
+    /// `true` can still miss on the subsequent verified read if the disk
+    /// entry turns out corrupt; poll loops must treat it as a hint.
+    pub fn contains(&self, key: Digest) -> bool {
+        match self.memory.try_peek(key) {
+            TryPeek::Ready(_) => true,
+            TryPeek::Pending => false,
+            TryPeek::Absent => self
+                .disk_lock()
+                .as_ref()
+                .is_some_and(|disk| disk.contains(key)),
+        }
+    }
+
     /// Non-blocking **counted** lookup for admission paths: a memory hit
     /// bumps `hits`, a disk promotion bumps `disk_hits`, and a miss or
     /// in-flight key counts nothing here — the eventual
@@ -446,6 +463,22 @@ mod tests {
         assert_eq!((&**value, outcome), ("pp", StoreOutcome::Disk));
         assert_eq!(store.stats().disk_hits(), 1);
         assert_eq!(store.mem_entries(), 1, "probe promotes into memory");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn contains_probes_both_tiers_without_reading_or_promoting() {
+        let root = temp_root("contains");
+        let config = StoreConfig::default().with_root(&root);
+        let store = TieredStore::<StringCodec>::new("op", &config).unwrap();
+        assert!(!store.contains(key("c")));
+        store
+            .get_or_compute(key("c"), || Ok::<_, String>("cc".to_string()), |e| e)
+            .unwrap();
+        assert!(store.contains(key("c")));
+        store.clear_memory();
+        assert!(store.contains(key("c")), "the disk entry answers the probe");
+        assert_eq!(store.mem_entries(), 0, "a probe must not read or promote");
         let _ = std::fs::remove_dir_all(&root);
     }
 

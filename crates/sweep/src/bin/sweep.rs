@@ -17,7 +17,9 @@
 //! stdout (or `--out FILE`), and `--menus FILE` exports the
 //! instruction-memory menu of every front member.
 
-use bitwave_sweep::run::{run_with_progress, run_worker, FrontReport};
+use bitwave_sweep::run::{
+    run_with_progress_opts, run_worker_with, EvalMode, EvalOptions, FrontReport,
+};
 use bitwave_sweep::{MenuRow, SweepConfig};
 use serde::Serialize;
 use std::io::Write;
@@ -26,8 +28,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: bitwave-sweep --store-root DIR [--space tiny|small|full] \
                      [--config FILE] [--portfolio a,b,...] [--seed N] [--sample-cap N] \
-                     [--ttl-ms N] [--worker] [--workers N] [--watch] [--out FILE] \
-                     [--menus FILE]\n\
+                     [--ttl-ms N] [--worker] [--workers N] [--threads N] \
+                     [--eval full|factored] [--watch] [--out FILE] [--menus FILE]\n\
                      \n\
                      Whole-accelerator hardware design-space sweep, sharded across \
                      any number of worker processes coordinating through one shared \
@@ -38,8 +40,12 @@ const USAGE: &str = "usage: bitwave-sweep --store-root DIR [--space tiny|small|f
                      against the same root; crashed workers' claims expire after \
                      --ttl-ms and are re-stolen).  --config FILE loads a full \
                      SweepConfig JSON instead of a preset; --portfolio/--seed/\
-                     --sample-cap/--ttl-ms override either.  --watch streams one \
-                     partial-front JSON line to stderr per landed result.";
+                     --sample-cap/--ttl-ms override either.  --threads N fans \
+                     candidate evaluations across N scoped threads per worker and \
+                     --eval pins the evaluation path (both byte-neutral: any \
+                     combination reproduces the sequential full-path report \
+                     exactly).  --watch streams one partial-front JSON line to \
+                     stderr per landed result.";
 
 /// One front member's instruction-memory menu (`--menus` export row).
 #[derive(Serialize)]
@@ -54,6 +60,7 @@ struct Cli {
     store_root: Option<PathBuf>,
     worker: bool,
     workers: usize,
+    eval: EvalOptions,
     watch: bool,
     out: Option<PathBuf>,
     menus: Option<PathBuf>,
@@ -65,6 +72,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         store_root: None,
         worker: false,
         workers: 1,
+        eval: EvalOptions::default(),
         watch: false,
         out: None,
         menus: None,
@@ -113,6 +121,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--sample-cap" => cli.config.sample_cap = parse_u64()? as usize,
             "--ttl-ms" => cli.config.claim_ttl_ms = parse_u64()?.max(1),
             "--workers" => cli.workers = (parse_u64()? as usize).max(1),
+            "--threads" => cli.eval.threads = (parse_u64()? as usize).max(1),
+            "--eval" => {
+                cli.eval.mode = EvalMode::parse(value)
+                    .ok_or_else(|| format!("unknown --eval `{value}` (full|factored)"))?;
+            }
             "--out" => cli.out = Some(PathBuf::from(value)),
             "--menus" => cli.menus = Some(PathBuf::from(value)),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
@@ -138,7 +151,8 @@ fn run(cli: Cli) -> Result<(), String> {
     let sweep = cli.config.digest().to_hex();
     if cli.worker {
         let root = cli.store_root.as_deref().expect("checked in parse_args");
-        let stats = run_worker(&cli.config, root).map_err(|e| format!("worker failed: {e}"))?;
+        let stats = run_worker_with(&cli.config, root, cli.eval)
+            .map_err(|e| format!("worker failed: {e}"))?;
         println!(
             "worker done: sweep {sweep} evaluated {} reused {} stolen {} of {total}",
             stats.evaluated, stats.reused, stats.stolen
@@ -151,18 +165,20 @@ fn run(cli: Cli) -> Result<(), String> {
         .map(|_| {
             let config = cli.config.clone();
             let root = cli.store_root.clone().expect("checked in parse_args");
-            std::thread::spawn(move || run_worker(&config, &root))
+            let eval = cli.eval;
+            std::thread::spawn(move || run_worker_with(&config, &root, eval))
         })
         .collect();
     let watch = cli.watch;
-    let (report, stats) = run_with_progress(&cli.config, cli.store_root.as_deref(), |frame| {
-        if watch {
-            if let Ok(line) = serde_json::to_string(frame) {
-                eprintln!("{line}");
+    let (report, stats) =
+        run_with_progress_opts(&cli.config, cli.store_root.as_deref(), cli.eval, |frame| {
+            if watch {
+                if let Ok(line) = serde_json::to_string(frame) {
+                    eprintln!("{line}");
+                }
             }
-        }
-    })
-    .map_err(|e| format!("sweep failed: {e}"))?;
+        })
+        .map_err(|e| format!("sweep failed: {e}"))?;
     for handle in extra {
         handle
             .join()

@@ -1,16 +1,36 @@
 //! Candidate evaluation: one hardware point against the whole workload
 //! portfolio, through the existing per-layer design-space search and the
 //! Eq. 1–5 cost stack.
+//!
+//! Two amortization layers make the sweep cheap without changing a single
+//! output byte:
+//!
+//! * **Portfolio sharing** — sparsity profiles and synthetic weights depend
+//!   only on `(model, seed, sample_cap)`, so [`build_portfolio`] serves
+//!   each model from a process-wide `Arc` store: every candidate, worker
+//!   thread and serve request prices the same profiled portfolio.
+//! * **Factored groups** — candidates that differ only along the
+//!   SRAM-size / DRAM-bandwidth axes share identical compute-side costs,
+//!   so [`evaluate_point_factored`] factors each portfolio model once per
+//!   `(lanes, menu, bandwidth, bit-class)` group
+//!   ([`bitwave_dse::factor_network`]) and re-prices the factored searches
+//!   per point — bit-identical to [`evaluate_point`], which remains the
+//!   reference path.
 
 use crate::config::SweepConfig;
 use crate::menu::{menu_rows, MenuRow};
 use crate::space::CandidatePoint;
 use bitwave::context::ExperimentContext;
 use bitwave_accel::sparsity::LayerSparsityProfile;
+use bitwave_accel::{bits_per_mac_class, EnergyModel};
+use bitwave_core::digest::Digest;
 use bitwave_dataflow::MemoryHierarchy;
 use bitwave_dnn::models::{by_name, NetworkSpec};
-use bitwave_dse::DseEngine;
+use bitwave_dse::{factor_network, DseEngine, DseError, FactoredNetworkSearch};
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The pre-computed, hardware-independent inputs of one portfolio model:
 /// the network shape and its per-layer sparsity profiles.  Profiles depend
@@ -24,29 +44,144 @@ pub struct PortfolioModel {
     pub profiles: Vec<LayerSparsityProfile>,
 }
 
-/// Builds the portfolio (generating synthetic weights and profiling each
-/// layer once per model).
+/// Process-wide portfolio store keyed by `(model, seed, sample_cap)`.
+/// Bounded: on overflow the whole map is dropped (entries are rebuildable
+/// and real sweeps cycle through a handful of models).
+static PORTFOLIO_STORE: OnceLock<Mutex<HashMap<String, Arc<PortfolioModel>>>> = OnceLock::new();
+static PROFILE_REUSE: AtomicU64 = AtomicU64::new(0);
+const PORTFOLIO_CACHE_CAP: usize = 32;
+
+/// Number of portfolio models served from the process-wide profile store
+/// instead of being re-generated and re-profiled (the
+/// `bitwave_sweep_profile_reuse_total` metric).
+pub fn profile_reuse_total() -> u64 {
+    PROFILE_REUSE.load(Ordering::Relaxed)
+}
+
+fn portfolio_model(
+    name: &str,
+    seed: u64,
+    sample_cap: usize,
+) -> Result<Arc<PortfolioModel>, String> {
+    let key = format!("{name}|{seed}|{sample_cap}");
+    let store = PORTFOLIO_STORE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = store.lock().ok().and_then(|g| g.get(&key).cloned()) {
+        PROFILE_REUSE.fetch_add(1, Ordering::Relaxed);
+        return Ok(hit);
+    }
+    // Build outside the lock; a racing duplicate build produces identical
+    // content and the first insert wins.
+    let ctx = ExperimentContext::default()
+        .with_seed(seed)
+        .with_sample_cap(sample_cap);
+    let network = by_name(name).map_err(|e| format!("unknown portfolio model `{name}`: {e}"))?;
+    let weights = ctx.weights(&network);
+    let profiles = ctx
+        .profiles(&network, &weights)
+        .map_err(|e| format!("profiling {name}: {e}"))?;
+    let model = Arc::new(PortfolioModel { network, profiles });
+    if let Ok(mut guard) = store.lock() {
+        if guard.len() >= PORTFOLIO_CACHE_CAP {
+            guard.clear();
+        }
+        return Ok(Arc::clone(guard.entry(key).or_insert(model)));
+    }
+    Ok(model)
+}
+
+/// Builds the portfolio, sharing each model's profiles through the
+/// process-wide store — weight generation and profiling run once per
+/// `(model, seed, sample_cap)` no matter how many candidates, worker
+/// threads or serve requests price against it.
 ///
 /// # Errors
 ///
 /// Returns a message naming the unknown model or the profiling failure.
-pub fn build_portfolio(config: &SweepConfig) -> Result<Vec<PortfolioModel>, String> {
-    let ctx = ExperimentContext::default()
-        .with_seed(config.seed)
-        .with_sample_cap(config.sample_cap);
+pub fn build_portfolio(config: &SweepConfig) -> Result<Vec<Arc<PortfolioModel>>, String> {
     config
         .portfolio
         .iter()
-        .map(|name| {
-            let network =
-                by_name(name).map_err(|e| format!("unknown portfolio model `{name}`: {e}"))?;
-            let weights = ctx.weights(&network);
-            let profiles = ctx
-                .profiles(&network, &weights)
-                .map_err(|e| format!("profiling {name}: {e}"))?;
-            Ok(PortfolioModel { network, profiles })
-        })
+        .map(|name| portfolio_model(name, config.seed, config.sample_cap))
         .collect()
+}
+
+/// One factored compute group: each portfolio model's outcome of
+/// [`factor_network`] under the group's representative accelerator spec.
+struct GroupEntry {
+    models: Vec<Result<FactoredNetworkSearch, DseError>>,
+}
+
+struct GroupState {
+    map: HashMap<String, Arc<OnceLock<Arc<GroupEntry>>>>,
+    order: VecDeque<String>,
+}
+
+/// FIFO-bounded, single-flight cache of factored compute groups.  A sweep
+/// visits its `(lanes, menu, bandwidth, bit-class)` sub-grids in
+/// enumeration order, so a small window holds every live group.
+pub struct EvalEngine {
+    groups: Mutex<GroupState>,
+}
+
+const GROUP_CACHE_CAP: usize = 8;
+
+impl EvalEngine {
+    fn new() -> Self {
+        Self {
+            groups: Mutex::new(GroupState {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Drops every cached group — benches use this to measure cold
+    /// factoring without a fresh process.
+    pub fn clear(&self) {
+        let mut state = self
+            .groups
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.map.clear();
+        state.order.clear();
+    }
+
+    /// Cached groups currently held.
+    pub fn groups_held(&self) -> usize {
+        self.groups.lock().map(|state| state.map.len()).unwrap_or(0)
+    }
+
+    fn group(&self, key: String, build: impl FnOnce() -> GroupEntry) -> Arc<GroupEntry> {
+        let slot = {
+            let mut state = self
+                .groups
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match state.map.get(&key) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    if state.order.len() >= GROUP_CACHE_CAP {
+                        if let Some(evicted) = state.order.pop_front() {
+                            state.map.remove(&evicted);
+                        }
+                    }
+                    let slot = Arc::new(OnceLock::new());
+                    state.map.insert(key.clone(), Arc::clone(&slot));
+                    state.order.push_back(key);
+                    slot
+                }
+            }
+        };
+        // Single-flight: concurrent worker threads hitting one cold group
+        // block here while the first caller factors it.
+        Arc::clone(slot.get_or_init(|| Arc::new(build())))
+    }
+}
+
+/// The process-wide [`EvalEngine`].
+pub fn global_eval_engine() -> &'static EvalEngine {
+    static ENGINE: OnceLock<EvalEngine> = OnceLock::new();
+    ENGINE.get_or_init(EvalEngine::new)
 }
 
 /// One model's outcome on one candidate (searched mappings).
@@ -106,38 +241,22 @@ impl PointResult {
     }
 }
 
-/// Evaluates one candidate against the portfolio.  Deterministic: same
-/// point + same config ⇒ identical result, on any worker.
-pub fn evaluate_point(
-    point: &CandidatePoint,
-    config: &SweepConfig,
-    portfolio: &[PortfolioModel],
-) -> PointResult {
-    let spec = point.spec();
-    let memory = MemoryHierarchy {
+/// The point's memory hierarchy (its SRAM axes over the shared defaults).
+fn point_memory(point: &CandidatePoint) -> MemoryHierarchy {
+    MemoryHierarchy {
         weight_sram_bytes: point.weight_sram_kb * 1024,
         activation_sram_bytes: point.activation_sram_kb * 1024,
         ..MemoryHierarchy::bitwave_default()
-    };
-    let engine = DseEngine::new(memory, bitwave_accel::EnergyModel::finfet_16nm())
-        .with_space(config.space.clone());
-
-    let mut models = Vec::with_capacity(portfolio.len());
-    let mut error = None;
-    for model in portfolio {
-        match engine.search_network_sequential(&spec, &model.network, &model.profiles) {
-            Ok(search) => models.push(ModelOutcome {
-                model: model.network.name.clone(),
-                cycles: search.searched_total_cycles,
-                energy_pj: search.searched_energy_pj,
-                edp: search.searched_edp,
-            }),
-            Err(e) => {
-                error = Some(format!("{}: {e}", model.network.name));
-                break;
-            }
-        }
     }
+}
+
+/// Assembles the shared tail of both evaluation paths.
+fn assemble_result(
+    point: &CandidatePoint,
+    spec: &bitwave_accel::AcceleratorSpec,
+    mut models: Vec<ModelOutcome>,
+    error: Option<String>,
+) -> PointResult {
     let feasible = error.is_none();
     if !feasible {
         models.clear();
@@ -160,6 +279,106 @@ pub fn evaluate_point(
     }
 }
 
+/// Evaluates one candidate against the portfolio — the full per-candidate
+/// reference path.  Deterministic: same point + same config ⇒ identical
+/// result, on any worker.
+pub fn evaluate_point(
+    point: &CandidatePoint,
+    config: &SweepConfig,
+    portfolio: &[Arc<PortfolioModel>],
+) -> PointResult {
+    let spec = point.spec();
+    let memory = point_memory(point);
+    let engine =
+        DseEngine::new(memory, EnergyModel::finfet_16nm()).with_space(config.space.clone());
+
+    let mut models = Vec::with_capacity(portfolio.len());
+    let mut error = None;
+    for model in portfolio {
+        match engine.search_network_sequential(&spec, &model.network, &model.profiles) {
+            Ok(search) => models.push(ModelOutcome {
+                model: model.network.name.clone(),
+                cycles: search.searched_total_cycles,
+                energy_pj: search.searched_energy_pj,
+                edp: search.searched_edp,
+            }),
+            Err(e) => {
+                error = Some(format!("{}: {e}", model.network.name));
+                break;
+            }
+        }
+    }
+    assemble_result(point, &spec, models, error)
+}
+
+/// The compute-group key: everything the factoring depends on, nothing the
+/// per-point re-pricing covers (SRAM sizes, DRAM axes).  `bits_per_mac_class`
+/// folds sync granularities that share one bits-per-MAC statistic, so e.g.
+/// the `small` preset's 24 points collapse into 6 factored groups.
+fn group_key(
+    point: &CandidatePoint,
+    config: &SweepConfig,
+    spec: &bitwave_accel::AcceleratorSpec,
+) -> String {
+    let space_hex = Digest::of_value(&config.space)
+        .map(|d| d.to_hex())
+        .unwrap_or_else(|_| format!("{:?}", config.space));
+    format!(
+        "{}|{:?}|{}|{}|{}|{}|{}",
+        point.lanes,
+        point.menu,
+        point.sram_bandwidth_bits,
+        bits_per_mac_class(spec),
+        config.seed,
+        config.sample_cap,
+        space_hex,
+    ) + "|"
+        + &config.portfolio.join(",")
+}
+
+/// Evaluates one candidate through the amortized factored path: the
+/// portfolio's compute parts are factored once per compute group (shared
+/// process-wide) and only the cheap memory re-pricing runs per point.
+/// Bit-identical to [`evaluate_point`] — `bench_sweep`, the sweep property
+/// tests and CI all assert the byte equality.
+pub fn evaluate_point_factored(
+    point: &CandidatePoint,
+    config: &SweepConfig,
+    portfolio: &[Arc<PortfolioModel>],
+) -> PointResult {
+    let spec = point.spec();
+    let memory = point_memory(point);
+    let energy = EnergyModel::finfet_16nm();
+    let entry = global_eval_engine().group(group_key(point, config, &spec), || GroupEntry {
+        models: portfolio
+            .iter()
+            .map(|m| factor_network(&spec, &m.network, &m.profiles, &energy, &config.space))
+            .collect(),
+    });
+
+    let mut models = Vec::with_capacity(portfolio.len());
+    let mut error = None;
+    for (model, factored) in portfolio.iter().zip(&entry.models) {
+        let outcome = factored
+            .as_ref()
+            .map_err(DseError::clone)
+            .and_then(|f| f.reprice(&spec, &memory, &energy, &config.space));
+        match outcome {
+            Ok(search) => models.push(ModelOutcome {
+                model: model.network.name.clone(),
+                cycles: search.searched_total_cycles,
+                energy_pj: search.searched_energy_pj,
+                edp: search.searched_edp,
+            }),
+            Err(e) => {
+                error = Some(format!("{}: {e}", model.network.name));
+                break;
+            }
+        }
+    }
+    assemble_result(point, &spec, models, error)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +390,21 @@ mod tests {
         config.portfolio = vec!["not-a-model".to_string()];
         let err = build_portfolio(&config).unwrap_err();
         assert!(err.contains("not-a-model"));
+    }
+
+    #[test]
+    fn portfolio_models_are_shared_across_builds() {
+        let config = SweepConfig::tiny();
+        let first = build_portfolio(&config).unwrap();
+        let before = profile_reuse_total();
+        let second = build_portfolio(&config).unwrap();
+        assert!(Arc::ptr_eq(&first[0], &second[0]));
+        assert!(profile_reuse_total() > before);
+        // A different seed is a different portfolio entry.
+        let mut other = config.clone();
+        other.seed += 1;
+        let third = build_portfolio(&other).unwrap();
+        assert!(!Arc::ptr_eq(&first[0], &third[0]));
     }
 
     #[test]
@@ -189,5 +423,24 @@ mod tests {
         let back: PointResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back, a);
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn factored_evaluation_reproduces_the_full_path_byte_for_byte() {
+        let config = SweepConfig::tiny();
+        let portfolio = build_portfolio(&config).unwrap();
+        for point in enumerate(&config) {
+            let full = evaluate_point(&point, &config, &portfolio);
+            let factored = evaluate_point_factored(&point, &config, &portfolio);
+            assert_eq!(factored, full, "{}", point.label());
+            assert_eq!(
+                serde_json::to_string(&factored).unwrap(),
+                serde_json::to_string(&full).unwrap(),
+                "{}: factored result must serialize byte-identically",
+                point.label()
+            );
+        }
+        // The tiny preset's 8 points share (lanes × menu) compute groups.
+        assert!(global_eval_engine().groups_held() >= 1);
     }
 }

@@ -15,9 +15,10 @@ use crate::eval::PointResult;
 use bitwave_core::digest::Digest;
 use bitwave_store::{ClaimLedger, ClaimOutcome, JsonCodec, StoreConfig, TieredStore};
 use serde::Serialize;
+use std::collections::HashMap;
 use std::io;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Store operation namespace for sweep point results.
@@ -36,6 +37,14 @@ pub struct SweepLedger {
     store: TieredStore<JsonCodec<PointResult>>,
     claims: Option<ClaimLedger>,
     sweep: String,
+    /// Memoized per-index store keys — the digest of `(sweep, index)` never
+    /// changes, so poll loops should not re-serialize it every tick.
+    keys: Mutex<HashMap<usize, Digest>>,
+    /// Results this handle has already observed.  Once a point has landed
+    /// it is immutable (content-addressed), so a polling `--watch` loop
+    /// answers landed indices from here with zero syscalls and only
+    /// `stat`s the still-missing ones.
+    seen: Mutex<HashMap<usize, Arc<PointResult>>>,
 }
 
 impl SweepLedger {
@@ -62,12 +71,16 @@ impl SweepLedger {
                     store,
                     claims: Some(claims),
                     sweep,
+                    keys: Mutex::new(HashMap::new()),
+                    seen: Mutex::new(HashMap::new()),
                 })
             }
             None => Ok(Self {
                 store: TieredStore::memory_only(SWEEP_OP, config.total_points().max(64)),
                 claims: None,
                 sweep,
+                keys: Mutex::new(HashMap::new()),
+                seen: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -77,18 +90,39 @@ impl SweepLedger {
         &self.sweep
     }
 
-    /// The store key of point `index`.
+    /// The store key of point `index` (memoized per handle).
     pub fn key(&self, index: usize) -> Digest {
-        Digest::of_value(&PointKey {
+        if let Some(hit) = self.keys.lock().ok().and_then(|g| g.get(&index).copied()) {
+            return hit;
+        }
+        let key = Digest::of_value(&PointKey {
             sweep: self.sweep.clone(),
             index,
         })
-        .expect("point key is always serializable")
+        .expect("point key is always serializable");
+        if let Ok(mut guard) = self.keys.lock() {
+            guard.insert(index, key);
+        }
+        key
     }
 
-    /// Non-blocking result lookup (memory, then shared disk).
+    /// Non-blocking result lookup.  An index this handle has already seen
+    /// answers from its immutable-result cache without touching the store;
+    /// an unseen index costs one `stat` (plus the verified read when the
+    /// entry actually exists — memory, then shared disk).
     pub fn result(&self, index: usize) -> Option<Arc<PointResult>> {
-        self.store.try_get(self.key(index)).map(|(value, _)| value)
+        if let Some(hit) = self.seen.lock().ok().and_then(|g| g.get(&index).cloned()) {
+            return Some(hit);
+        }
+        let key = self.key(index);
+        if !self.store.contains(key) {
+            return None;
+        }
+        let value = self.store.try_get(key).map(|(value, _)| value)?;
+        if let Ok(mut guard) = self.seen.lock() {
+            guard.insert(index, Arc::clone(&value));
+        }
+        Some(value)
     }
 
     /// Attempts to claim point `index` for computation.  Without a shared
@@ -112,6 +146,9 @@ impl SweepLedger {
             .unwrap_or_else(|_| unreachable!("sweep publish compute is infallible"));
         if let Some(claims) = &self.claims {
             claims.release(&format!("{index}"));
+        }
+        if let Ok(mut guard) = self.seen.lock() {
+            guard.insert(index, Arc::clone(&value));
         }
         value
     }
@@ -180,6 +217,26 @@ mod tests {
         // Publishing released the claim; the point is answered by the store
         // so no one needs it, but a re-claim must not dead-lock.
         assert_eq!(b.claim(2).unwrap(), ClaimOutcome::Claimed);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn watch_polls_answer_seen_indices_without_reopening_entry_files() {
+        let config = SweepConfig::tiny();
+        let root = temp_root("seen");
+        let a = SweepLedger::open(&config, Some(&root)).unwrap();
+        a.publish(3, synthetic_result(3));
+        assert!(a.result(3).is_some());
+        // Remove the entry file behind the ledger's back: a handle that has
+        // already observed the landed (immutable) result keeps answering
+        // from its cache with zero syscalls...
+        let path = root.join(SWEEP_OP).join(a.key(3).to_hex());
+        std::fs::remove_file(&path).unwrap();
+        assert!(a.result(3).is_some(), "seen cache answers without the file");
+        // ...while a fresh handle only stats the missing entry and reports
+        // it absent without attempting a read.
+        let b = SweepLedger::open(&config, Some(&root)).unwrap();
+        assert!(b.result(3).is_none());
         let _ = std::fs::remove_dir_all(&root);
     }
 

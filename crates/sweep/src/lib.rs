@@ -21,6 +21,14 @@
 //! are stolen), restart warm (published results are reused), and any
 //! worker count produces a byte-identical [`run::FrontReport`].
 //!
+//! Inside each process, evaluation is **amortized and factored**
+//! ([`eval`]): workload sparsity profiles are built once per portfolio
+//! entry and shared as `Arc`s, per-candidate network searches are factored
+//! into compute groups re-priced per memory point
+//! ([`bitwave_dse::factor_network`]), and claimed points fan out across
+//! scoped threads ([`run::EvalOptions`]) — all byte-identical to the
+//! historical sequential full-evaluation loop.
+//!
 //! Surfaces: the `bitwave-sweep` CLI (coordinator and `--worker` modes),
 //! `POST /v1/design` on `bitwave-serve` (streams partial fronts), and a
 //! Table-I-style instruction-memory [`menu`] export per front member.
@@ -36,11 +44,15 @@ pub mod run;
 pub mod space;
 
 pub use config::{MenuKind, SweepConfig, SWEEP_SCHEMA_VERSION};
-pub use eval::{build_portfolio, evaluate_point, ModelOutcome, PointResult};
+pub use eval::{
+    build_portfolio, evaluate_point, evaluate_point_factored, global_eval_engine,
+    profile_reuse_total, EvalEngine, ModelOutcome, PointResult,
+};
 pub use ledger::SweepLedger;
 pub use menu::{menu_rows, MenuRow};
 pub use run::{
-    assemble_report, run_sharded, run_with_progress, run_worker, FrontPoint, FrontReport,
-    PartialFront, WorkerStats, OBJECTIVES,
+    assemble_report, run_sharded, run_sharded_with, run_with_progress, run_with_progress_opts,
+    run_worker, run_worker_with, EvalMode, EvalOptions, FrontPoint, FrontReport, PartialFront,
+    WorkerStats, OBJECTIVES,
 };
 pub use space::{enumerate, CandidatePoint};

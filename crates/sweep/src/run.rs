@@ -13,7 +13,9 @@
 //! was split.
 
 use crate::config::{SweepConfig, SWEEP_SCHEMA_VERSION};
-use crate::eval::{build_portfolio, evaluate_point, PointResult, PortfolioModel};
+use crate::eval::{
+    build_portfolio, evaluate_point, evaluate_point_factored, PointResult, PortfolioModel,
+};
 use crate::ledger::SweepLedger;
 use crate::space::{enumerate, CandidatePoint};
 use bitwave_core::pareto::{Direction, FrontAccumulator};
@@ -29,6 +31,53 @@ pub const OBJECTIVES: [Direction; 4] = [Direction::Minimize; 4];
 
 /// Delay between polling passes while waiting on points other workers hold.
 const PASS_DELAY: Duration = Duration::from_millis(20);
+
+/// Which evaluation path a worker runs per candidate.  Both produce
+/// byte-identical [`PointResult`]s; the option exists so benches, CI and
+/// debugging can pin the reference path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Full per-candidate evaluation through the memoizing engine.
+    Full,
+    /// Amortized path: factored compute groups + per-point re-pricing.
+    #[default]
+    Factored,
+}
+
+impl EvalMode {
+    /// Parses a CLI name (`full` / `factored`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "full" => Some(EvalMode::Full),
+            "factored" => Some(EvalMode::Factored),
+            _ => None,
+        }
+    }
+}
+
+/// In-process evaluation options.  Deliberately **not** part of
+/// [`SweepConfig`] (and therefore never part of the sweep digest): neither
+/// knob can change a single result byte, only how fast results land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Candidate evaluations run concurrently inside this process.  Claimed
+    /// points are batched up to this size and fanned out across scoped
+    /// threads, order-preserving; `1` keeps the historical strictly
+    /// sequential loop.  Composes with multi-process sharding — claims are
+    /// still taken per point through the shared [`SweepLedger`].
+    pub threads: usize,
+    /// The evaluation path.
+    pub mode: EvalMode,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            mode: EvalMode::Factored,
+        }
+    }
+}
 
 /// What one worker did during a sweep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
@@ -113,11 +162,11 @@ impl FrontReport {
 /// generation and profiling.
 struct LazyPortfolio<'a> {
     config: &'a SweepConfig,
-    models: Option<Vec<PortfolioModel>>,
+    models: Option<Vec<Arc<PortfolioModel>>>,
 }
 
 impl<'a> LazyPortfolio<'a> {
-    fn get(&mut self) -> io::Result<&[PortfolioModel]> {
+    fn get(&mut self) -> io::Result<&[Arc<PortfolioModel>]> {
         if self.models.is_none() {
             self.models = Some(build_portfolio(self.config).map_err(io::Error::other)?);
         }
@@ -125,12 +174,47 @@ impl<'a> LazyPortfolio<'a> {
     }
 }
 
+/// Evaluates a batch of owned points, fanning out across scoped threads
+/// when `opts.threads > 1`.  Order-preserving: results come back in batch
+/// order, so downstream publication and progress streaming are
+/// byte-identical to the sequential loop no matter the thread count.
+fn evaluate_batch(
+    points: &[&CandidatePoint],
+    config: &SweepConfig,
+    portfolio: &[Arc<PortfolioModel>],
+    opts: EvalOptions,
+) -> io::Result<Vec<PointResult>> {
+    let eval = |point: &CandidatePoint| match opts.mode {
+        EvalMode::Full => evaluate_point(point, config, portfolio),
+        EvalMode::Factored => evaluate_point_factored(point, config, portfolio),
+    };
+    if opts.threads <= 1 || points.len() <= 1 {
+        return Ok(points.iter().map(|p| eval(p)).collect());
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = points
+            .iter()
+            .map(|point| scope.spawn(move || eval(point)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| io::Error::other("sweep evaluation thread panicked"))
+            })
+            .collect()
+    })
+}
+
 /// The shared worker loop: drives `config`'s full enumeration to
 /// completion against `ledger`, invoking `on_result` exactly once per
-/// point (in arrival order) with each landed result.
+/// point (in arrival order) with each landed result.  Claimed points are
+/// batched up to `opts.threads` and evaluated by [`evaluate_batch`];
+/// results publish and stream in batch (= enumeration) order.
 fn run_loop(
     config: &SweepConfig,
     ledger: &SweepLedger,
+    opts: EvalOptions,
     mut on_result: impl FnMut(&Arc<PointResult>),
 ) -> io::Result<WorkerStats> {
     let points = enumerate(config);
@@ -139,9 +223,11 @@ fn run_loop(
         models: None,
     };
     let mut stats = WorkerStats::default();
+    let batch_cap = opts.threads.max(1);
     let mut pending: Vec<&CandidatePoint> = points.iter().collect();
     while !pending.is_empty() {
         let mut next = Vec::with_capacity(pending.len());
+        let mut owned: Vec<&CandidatePoint> = Vec::with_capacity(batch_cap);
         for point in pending {
             if let Some(result) = ledger.result(point.index) {
                 stats.reused += 1;
@@ -153,13 +239,33 @@ fn run_loop(
                 if outcome == bitwave_store::ClaimOutcome::Stolen {
                     stats.stolen += 1;
                 }
-                let result = evaluate_point(point, config, portfolio.get()?);
-                let result = ledger.publish(point.index, result);
-                stats.evaluated += 1;
-                on_result(&result);
+                owned.push(point);
+                if owned.len() == batch_cap {
+                    flush_batch(
+                        &owned,
+                        config,
+                        ledger,
+                        &mut portfolio,
+                        opts,
+                        &mut stats,
+                        &mut on_result,
+                    )?;
+                    owned.clear();
+                }
             } else {
                 next.push(point);
             }
+        }
+        if !owned.is_empty() {
+            flush_batch(
+                &owned,
+                config,
+                ledger,
+                &mut portfolio,
+                opts,
+                &mut stats,
+                &mut on_result,
+            )?;
         }
         pending = next;
         if !pending.is_empty() {
@@ -169,14 +275,46 @@ fn run_loop(
     Ok(stats)
 }
 
+/// Evaluates and publishes one batch of owned points in order.
+fn flush_batch(
+    owned: &[&CandidatePoint],
+    config: &SweepConfig,
+    ledger: &SweepLedger,
+    portfolio: &mut LazyPortfolio<'_>,
+    opts: EvalOptions,
+    stats: &mut WorkerStats,
+    on_result: &mut impl FnMut(&Arc<PointResult>),
+) -> io::Result<()> {
+    let results = evaluate_batch(owned, config, portfolio.get()?, opts)?;
+    for (point, result) in owned.iter().zip(results) {
+        let result = ledger.publish(point.index, result);
+        stats.evaluated += 1;
+        on_result(&result);
+    }
+    Ok(())
+}
+
 /// Runs one worker over a shared store root until the sweep is complete.
 ///
 /// # Errors
 ///
 /// Propagates ledger I/O and portfolio construction failures.
 pub fn run_worker(config: &SweepConfig, root: &Path) -> io::Result<WorkerStats> {
+    run_worker_with(config, root, EvalOptions::default())
+}
+
+/// [`run_worker`] with explicit [`EvalOptions`].
+///
+/// # Errors
+///
+/// Propagates ledger I/O and portfolio construction failures.
+pub fn run_worker_with(
+    config: &SweepConfig,
+    root: &Path,
+    opts: EvalOptions,
+) -> io::Result<WorkerStats> {
     let ledger = SweepLedger::open(config, Some(root))?;
-    run_loop(config, &ledger, |_| {})
+    run_loop(config, &ledger, opts, |_| {})
 }
 
 /// Runs `workers` in-process worker threads over one shared root and
@@ -190,11 +328,25 @@ pub fn run_sharded(
     root: &Path,
     workers: usize,
 ) -> io::Result<Vec<WorkerStats>> {
+    run_sharded_with(config, root, workers, EvalOptions::default())
+}
+
+/// [`run_sharded`] with explicit [`EvalOptions`] applied to every worker.
+///
+/// # Errors
+///
+/// Propagates the first worker failure.
+pub fn run_sharded_with(
+    config: &SweepConfig,
+    root: &Path,
+    workers: usize,
+    opts: EvalOptions,
+) -> io::Result<Vec<WorkerStats>> {
     let handles: Vec<_> = (0..workers.max(1))
         .map(|_| {
             let config = config.clone();
             let root = PathBuf::from(root);
-            std::thread::spawn(move || run_worker(&config, &root))
+            std::thread::spawn(move || run_worker_with(&config, &root, opts))
         })
         .collect();
     handles
@@ -214,6 +366,20 @@ pub fn run_sharded(
 pub fn run_with_progress(
     config: &SweepConfig,
     root: Option<&Path>,
+    progress: impl FnMut(&PartialFront),
+) -> io::Result<(FrontReport, WorkerStats)> {
+    run_with_progress_opts(config, root, EvalOptions::default(), progress)
+}
+
+/// [`run_with_progress`] with explicit [`EvalOptions`].
+///
+/// # Errors
+///
+/// Propagates ledger I/O and portfolio construction failures.
+pub fn run_with_progress_opts(
+    config: &SweepConfig,
+    root: Option<&Path>,
+    opts: EvalOptions,
     mut progress: impl FnMut(&PartialFront),
 ) -> io::Result<(FrontReport, WorkerStats)> {
     let ledger = SweepLedger::open(config, root)?;
@@ -221,7 +387,7 @@ pub fn run_with_progress(
     let mut acc = FrontAccumulator::new(OBJECTIVES);
     let mut live: Vec<Option<Arc<PointResult>>> = vec![None; total];
     let mut completed = 0usize;
-    let stats = run_loop(config, &ledger, |result| {
+    let stats = run_loop(config, &ledger, opts, |result| {
         completed += 1;
         if result.feasible {
             acc.insert(result.objectives(), result.index);
@@ -312,6 +478,37 @@ mod tests {
         assert_eq!(report.feasible_points, config.total_points());
         // The front is ascending by index and mutually non-dominated.
         assert!(report.front.windows(2).all(|w| w[0].index < w[1].index));
+    }
+
+    #[test]
+    fn parallel_and_factored_runs_reproduce_the_sequential_report_byte_for_byte() {
+        let config = fast_tiny();
+        let full_seq = EvalOptions {
+            threads: 1,
+            mode: EvalMode::Full,
+        };
+        let full_par = EvalOptions {
+            threads: 4,
+            mode: EvalMode::Full,
+        };
+        let factored_par = EvalOptions {
+            threads: 4,
+            mode: EvalMode::Factored,
+        };
+        let (sequential, _) = run_with_progress_opts(&config, None, full_seq, |_| {}).unwrap();
+        let (parallel, _) = run_with_progress_opts(&config, None, full_par, |_| {}).unwrap();
+        let (factored, _) = run_with_progress_opts(&config, None, factored_par, |_| {}).unwrap();
+        let expect = serde_json::to_string(&sequential).unwrap();
+        assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            expect,
+            "in-process parallel fan-out must not change a byte"
+        );
+        assert_eq!(
+            serde_json::to_string(&factored).unwrap(),
+            expect,
+            "amortized factored evaluation must not change a byte"
+        );
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Property: the amortized factored evaluation path is **semantically
+//! invisible** — for arbitrary synthetic candidate points, spanning both
+//! SRAM-fit regimes (workloads that fit on-chip and workloads forced
+//! through the DRAM roofline), `evaluate_point_factored` reproduces
+//! `evaluate_point` byte for byte.
+
+use bitwave_sweep::{
+    build_portfolio, enumerate, evaluate_point, evaluate_point_factored, MenuKind, SweepConfig,
+};
+use proptest::prelude::*;
+
+/// A single-point sweep configuration over one axis choice each, so the
+/// candidate under test is exactly the generated hardware point.
+fn single_point_config(
+    lanes: usize,
+    sync: usize,
+    sram_kb: usize,
+    dram_bits: usize,
+    sram_bits: usize,
+    menu: MenuKind,
+    seed: u64,
+) -> SweepConfig {
+    let mut config = SweepConfig::tiny();
+    config.lanes = vec![lanes];
+    config.sync_lanes = vec![sync];
+    config.weight_sram_kb = vec![sram_kb];
+    config.activation_sram_kb = vec![sram_kb];
+    config.dram_bandwidth_bits = vec![dram_bits];
+    config.sram_bandwidth_bits = vec![sram_bits];
+    config.menus = vec![menu];
+    config.seed = seed;
+    config.sample_cap = 1_000;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Factored ≡ full, byte for byte, on arbitrary candidates.  The SRAM
+    /// axis deliberately straddles the fit boundary: 16 KiB forces layers
+    /// through the constrained DRAM tier while 1024 KiB keeps the portfolio
+    /// on-chip, so the re-pricing (fit check + DRAM traffic + roofline max)
+    /// is exercised in both regimes.
+    #[test]
+    fn factored_evaluation_equals_full_evaluation(
+        lanes_pow in 10u32..=13,   // 1024..=8192 lanes
+        sync_pick in 0u8..2,       // 8 or 16 synced lanes
+        sram_pick in 0u8..2,       // 16 KiB (DRAM-bound) or 1024 KiB (fits)
+        dram_pick in 0u8..2,       // 32 or 128 bits/cycle
+        sram_bw_pick in 0u8..2,    // 512 or 1024 bits/cycle
+        menu_pick in 0u8..2,
+        seed in 1u64..500,
+    ) {
+        let sync = [8usize, 16][sync_pick as usize];
+        let sram_kb = [16usize, 1024][sram_pick as usize];
+        let dram_bits = [32usize, 128][dram_pick as usize];
+        let sram_bits = [512usize, 1024][sram_bw_pick as usize];
+        let menu = [MenuKind::TableI, MenuKind::BitSim][menu_pick as usize];
+        let config = single_point_config(
+            1usize << lanes_pow, sync, sram_kb, dram_bits, sram_bits, menu, seed,
+        );
+        prop_assert_eq!(config.total_points(), 1);
+        let portfolio = build_portfolio(&config).expect("portfolio builds");
+        let point = enumerate(&config)[0];
+
+        let full = evaluate_point(&point, &config, &portfolio);
+        let factored = evaluate_point_factored(&point, &config, &portfolio);
+        prop_assert_eq!(
+            serde_json::to_string(&factored).unwrap(),
+            serde_json::to_string(&full).unwrap(),
+            "factored evaluation must reproduce the full path byte for byte"
+        );
+    }
+}
